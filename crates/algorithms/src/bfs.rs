@@ -1,0 +1,142 @@
+//! Breadth-first search — the Graph500-style kernel the paper names for
+//! SNB-Algorithms (and compares to Graph-500 in related work).
+
+use crate::graph::CsrGraph;
+use std::collections::VecDeque;
+
+/// Distance label for unreachable vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// BFS distances from `source`; `UNREACHED` where disconnected.
+pub fn bfs_levels(g: &CsrGraph, source: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; g.vertex_count()];
+    if (source as usize) >= g.vertex_count() {
+        return dist;
+    }
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHED {
+                dist[v as usize] = d + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Summary of one BFS run (Graph500-style reporting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BfsStats {
+    /// Vertices reached (including the source).
+    pub reached: usize,
+    /// Eccentricity of the source within its component.
+    pub max_depth: u32,
+    /// Mean distance over reached vertices (excluding the source).
+    pub mean_depth: f64,
+}
+
+/// Run BFS and summarize.
+pub fn bfs_stats(g: &CsrGraph, source: u32) -> BfsStats {
+    let dist = bfs_levels(g, source);
+    let reached: Vec<u32> = dist.iter().copied().filter(|&d| d != UNREACHED).collect();
+    let max_depth = reached.iter().copied().max().unwrap_or(0);
+    let nonzero: Vec<u32> = reached.iter().copied().filter(|&d| d > 0).collect();
+    let mean_depth = if nonzero.is_empty() {
+        0.0
+    } else {
+        nonzero.iter().map(|&d| d as f64).sum::<f64>() / nonzero.len() as f64
+    };
+    BfsStats { reached: reached.len(), max_depth, mean_depth }
+}
+
+/// Weakly-connected components via repeated BFS; returns per-vertex
+/// component labels and the number of components.
+pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = g.vertex_count();
+    let mut label = vec![UNREACHED; n];
+    let mut components = 0;
+    for start in 0..n as u32 {
+        if label[start as usize] != UNREACHED {
+            continue;
+        }
+        let id = components as u32;
+        components += 1;
+        label[start as usize] = id;
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if label[v as usize] == UNREACHED {
+                    label[v as usize] = id;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    (label, components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_on_a_path() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_levels(&g, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn unreachable_vertices_are_marked() {
+        let g = CsrGraph::from_edges(4, [(0, 1)]);
+        let d = bfs_levels(&g, 0);
+        assert_eq!(d[2], UNREACHED);
+        assert_eq!(d[3], UNREACHED);
+    }
+
+    #[test]
+    fn stats_summarize_the_component() {
+        let g = CsrGraph::from_edges(5, [(0, 1), (1, 2), (2, 3)]);
+        let s = bfs_stats(&g, 0);
+        assert_eq!(s.reached, 4);
+        assert_eq!(s.max_depth, 3);
+        assert!((s.mean_depth - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn components_partition_the_graph() {
+        let g = CsrGraph::from_edges(7, [(0, 1), (1, 2), (3, 4), (5, 6)]);
+        let (label, n) = connected_components(&g);
+        assert_eq!(n, 3);
+        assert_eq!(label[0], label[2]);
+        assert_eq!(label[3], label[4]);
+        assert_ne!(label[0], label[3]);
+        assert_ne!(label[3], label[5]);
+    }
+
+    #[test]
+    fn generated_graph_has_one_dominant_component() {
+        // §2: "The dataset forms a graph that is a fully connected component
+        // of persons" — our block-windowed generator approximates this: the
+        // largest component should dominate.
+        let ds = snb_datagen::generate(
+            snb_datagen::GeneratorConfig::with_persons(600).activity(0.2),
+        )
+        .unwrap();
+        let g = CsrGraph::from_dataset(&ds);
+        let (label, n) = connected_components(&g);
+        let mut sizes = vec![0usize; n];
+        for &l in &label {
+            sizes[l as usize] += 1;
+        }
+        let largest = *sizes.iter().max().unwrap();
+        assert!(
+            largest as f64 > 0.85 * g.vertex_count() as f64,
+            "largest component covers only {largest}/{}",
+            g.vertex_count()
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Clustering coefficients — the "Clustering" entry of the planned
+//! SNB-Algorithms workload, and the structural property (together with
+//! communities) that §1 says DATAGEN is tuned to make realistic.
+
+use crate::graph::CsrGraph;
+
+/// Local clustering coefficient of `v`: the fraction of its neighbor pairs
+/// that are themselves connected. 0 for degree < 2.
+pub fn local_clustering(g: &CsrGraph, v: u32) -> f64 {
+    let neigh = g.neighbors(v);
+    let d = neigh.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in neigh.iter().enumerate() {
+        for &b in &neigh[i + 1..] {
+            if g.has_edge(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (d * (d - 1)) as f64
+}
+
+/// Average local clustering coefficient over all vertices with degree ≥ 2.
+pub fn average_clustering(g: &CsrGraph) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in 0..g.vertex_count() as u32 {
+        if g.degree(v) >= 2 {
+            sum += local_clustering(g, v);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Exact global triangle count (sum over ordered wedges / 3, implemented as
+/// neighbor-intersection on the higher-id side to count each once).
+pub fn triangle_count(g: &CsrGraph) -> u64 {
+    let mut triangles = 0u64;
+    for v in 0..g.vertex_count() as u32 {
+        let neigh = g.neighbors(v);
+        for (i, &a) in neigh.iter().enumerate() {
+            if a <= v {
+                continue;
+            }
+            for &b in &neigh[i + 1..] {
+                if b > a && g.has_edge(a, b) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    triangles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        for v in 0..3 {
+            assert!((local_clustering(&g, v) - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(triangle_count(&g), 1);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let g = CsrGraph::from_edges(5, (1..5).map(|i| (0u32, i as u32)));
+        assert_eq!(local_clustering(&g, 0), 0.0);
+        assert_eq!(triangle_count(&g), 0);
+    }
+
+    #[test]
+    fn square_with_diagonal() {
+        // 0-1-2-3-0 plus diagonal 0-2: two triangles.
+        let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        assert_eq!(triangle_count(&g), 2);
+        // Vertex 1 has neighbors {0,2} which are connected -> cc = 1.
+        assert!((local_clustering(&g, 1) - 1.0).abs() < 1e-9);
+        // Vertex 0 has neighbors {1,2,3}: pairs (1,2) and (2,3) closed -> 2/3.
+        assert!((local_clustering(&g, 0) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_graph_clusters_more_than_random() {
+        // Homophily (§2.3) must produce clustering far above the
+        // Erdős–Rényi expectation (which is mean_degree / n).
+        let ds = snb_datagen::generate(
+            snb_datagen::GeneratorConfig::with_persons(800).activity(0.2),
+        )
+        .unwrap();
+        let g = CsrGraph::from_dataset(&ds);
+        let cc = average_clustering(&g);
+        let mean_degree = 2.0 * g.edge_count() as f64 / g.vertex_count() as f64;
+        let random_cc = mean_degree / g.vertex_count() as f64;
+        assert!(
+            cc > 5.0 * random_cc,
+            "clustering {cc:.4} vs random expectation {random_cc:.4}"
+        );
+        assert!(triangle_count(&g) > 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Compressed sparse-row snapshot of the `knows` graph.
+//!
+//! The SNB-Algorithms workload (§1) runs "a handful of often-used graph
+//! analysis algorithms" over the same dataset as the Interactive workload;
+//! they are read-only and scan-heavy, so they operate on an immutable CSR
+//! extraction rather than the transactional store.
+
+use snb_core::schema::Knows;
+use snb_core::PersonId;
+
+/// Immutable undirected graph in CSR form.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<u32>,
+    /// Concatenated, sorted adjacency lists.
+    neighbors: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Build from an edge list over `n` vertices. Parallel edges are
+    /// deduplicated; self-loops dropped.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> CsrGraph {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (a, b) in edges {
+            if a == b {
+                continue;
+            }
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0u32);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len() as u32);
+        }
+        CsrGraph { offsets, neighbors }
+    }
+
+    /// Build from a generated dataset's friendship edges.
+    pub fn from_dataset(ds: &snb_datagen::Dataset) -> CsrGraph {
+        CsrGraph::from_edges(
+            ds.persons.len(),
+            ds.knows.iter().map(|k: &Knows| (k.a.raw() as u32, k.b.raw() as u32)),
+        )
+    }
+
+    /// Vertex count.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Undirected edge count.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Total adjacency-entry count (2 × edges); the `2m` of modularity.
+    #[inline]
+    pub fn neighbors_len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Whether `a` and `b` are adjacent (binary search on the sorted list).
+    #[inline]
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Person id of vertex `v` (vertices are dense person indices).
+    pub fn person(&self, v: u32) -> PersonId {
+        PersonId(v as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> CsrGraph {
+        // 0-1-2 triangle, 2-3 tail, 4 isolated.
+        CsrGraph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    #[test]
+    fn csr_layout_is_correct() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.neighbors(4), &[] as &[u32]);
+        assert_eq!(g.degree(2), 3);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = triangle_plus_tail();
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(4, 0));
+    }
+
+    #[test]
+    fn duplicates_and_self_loops_are_dropped() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 0), (0, 0), (0, 1)]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn dataset_extraction_matches_knows() {
+        let ds = snb_datagen::generate(
+            snb_datagen::GeneratorConfig::with_persons(150).activity(0.3),
+        )
+        .unwrap();
+        let g = CsrGraph::from_dataset(&ds);
+        assert_eq!(g.vertex_count(), 150);
+        assert_eq!(g.edge_count(), ds.knows.len());
+        for k in &ds.knows {
+            assert!(g.has_edge(k.a.raw() as u32, k.b.raw() as u32));
+        }
+    }
+}

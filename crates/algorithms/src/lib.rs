@@ -1,0 +1,48 @@
+//! # snb-algorithms
+//!
+//! The SNB-Algorithms workload the paper announces alongside Interactive
+//! and BI (§1): "a handful of often-used graph analysis algorithms,
+//! including PageRank, Community Detection, Clustering and Breadth First
+//! Search", running on the same generated dataset so that the generator's
+//! structural realism (communities, clustering, power-law degrees) produces
+//! "sensible" analytical results.
+//!
+//! Algorithms operate on an immutable CSR extraction of the `knows` graph
+//! ([`graph::CsrGraph`]); they are the read-only, scan-everything
+//! counterpart to the Interactive workload's point traversals.
+
+pub mod bfs;
+pub mod clustering;
+pub mod community;
+pub mod graph;
+pub mod pagerank;
+
+pub use bfs::{bfs_levels, bfs_stats, connected_components, BfsStats};
+pub use clustering::{average_clustering, local_clustering, triangle_count};
+pub use community::{label_propagation, louvain_communities, modularity, Communities};
+pub use graph::CsrGraph;
+pub use pagerank::{pagerank, top_k, PageRank, PageRankConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_workload_runs_on_one_dataset() {
+        // The paper's point: all workloads share one dataset. Run every
+        // algorithm over the same generated graph.
+        let ds = snb_datagen::generate(
+            snb_datagen::GeneratorConfig::with_persons(300).activity(0.2),
+        )
+        .unwrap();
+        let g = CsrGraph::from_dataset(&ds);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        assert_eq!(pr.scores.len(), 300);
+        let stats = bfs_stats(&g, top_k(&pr, 1)[0].0);
+        assert!(stats.reached > 1);
+        let communities = label_propagation(&g, 20);
+        assert!(communities.count >= 1);
+        let cc = average_clustering(&g);
+        assert!((0.0..=1.0).contains(&cc));
+    }
+}

@@ -1,0 +1,146 @@
+//! PageRank by power iteration.
+//!
+//! One of the four algorithms the paper plans for SNB-Algorithms (§1):
+//! "PageRank, Community Detection, Clustering and Breadth First Search".
+//! Standard damped formulation on the undirected `knows` graph (each
+//! undirected edge acts as two directed ones); isolated vertices distribute
+//! their rank uniformly (the dangling-mass correction).
+
+use crate::graph::CsrGraph;
+
+/// PageRank configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankConfig {
+    /// Damping factor (probability of following an edge).
+    pub damping: f64,
+    /// Maximum iterations.
+    pub max_iterations: usize,
+    /// L1 convergence threshold.
+    pub tolerance: f64,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig { damping: 0.85, max_iterations: 100, tolerance: 1e-9 }
+    }
+}
+
+/// Result of a PageRank run.
+#[derive(Debug, Clone)]
+pub struct PageRank {
+    /// Per-vertex scores, summing to 1.
+    pub scores: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final L1 delta.
+    pub delta: f64,
+}
+
+/// Run PageRank on `g`.
+pub fn pagerank(g: &CsrGraph, config: &PageRankConfig) -> PageRank {
+    let n = g.vertex_count();
+    if n == 0 {
+        return PageRank { scores: Vec::new(), iterations: 0, delta: 0.0 };
+    }
+    let uniform = 1.0 / n as f64;
+    let mut scores = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    let mut iterations = 0;
+    let mut delta = f64::INFINITY;
+
+    while iterations < config.max_iterations && delta > config.tolerance {
+        // Dangling mass: vertices without edges spread uniformly.
+        let dangling: f64 =
+            (0..n as u32).filter(|&v| g.degree(v) == 0).map(|v| scores[v as usize]).sum();
+        let base = (1.0 - config.damping) * uniform + config.damping * dangling * uniform;
+        next.iter_mut().for_each(|x| *x = base);
+        for v in 0..n as u32 {
+            let d = g.degree(v);
+            if d == 0 {
+                continue;
+            }
+            let share = config.damping * scores[v as usize] / d as f64;
+            for &u in g.neighbors(v) {
+                next[u as usize] += share;
+            }
+        }
+        delta = scores.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut scores, &mut next);
+        iterations += 1;
+    }
+    PageRank { scores, iterations, delta }
+}
+
+/// Top-`k` vertices by score, descending (vertex id tie-break ascending).
+pub fn top_k(pr: &PageRank, k: usize) -> Vec<(u32, f64)> {
+    let mut ranked: Vec<(u32, f64)> =
+        pr.scores.iter().enumerate().map(|(v, &s)| (v as u32, s)).collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_sum_to_one() {
+        let g = CsrGraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        let total: f64 = pr.scores.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+        assert!(pr.delta <= 1e-9 || pr.iterations == 100);
+    }
+
+    #[test]
+    fn symmetric_graph_gives_equal_scores() {
+        // A cycle: all vertices equivalent.
+        let g = CsrGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        for w in pr.scores.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hub_outranks_spokes() {
+        // Star: center 0 with 5 spokes.
+        let g = CsrGraph::from_edges(6, (1..6).map(|i| (0u32, i as u32)));
+        let pr = pagerank(&g, &PageRankConfig::default());
+        for spoke in 1..6 {
+            assert!(pr.scores[0] > pr.scores[spoke]);
+        }
+        let top = top_k(&pr, 1);
+        assert_eq!(top[0].0, 0);
+    }
+
+    #[test]
+    fn isolated_vertices_keep_base_rank() {
+        let g = CsrGraph::from_edges(3, [(0, 1)]);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        assert!(pr.scores[2] > 0.0, "dangling vertex must retain rank");
+        let total: f64 = pr.scores.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pagerank_correlates_with_degree_on_generated_graph() {
+        let ds = snb_datagen::generate(
+            snb_datagen::GeneratorConfig::with_persons(400).activity(0.2),
+        )
+        .unwrap();
+        let g = CsrGraph::from_dataset(&ds);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        let top = top_k(&pr, 10);
+        let mean_degree =
+            (0..g.vertex_count() as u32).map(|v| g.degree(v)).sum::<usize>() as f64
+                / g.vertex_count() as f64;
+        for (v, _) in top {
+            assert!(
+                g.degree(v) as f64 > mean_degree,
+                "top-ranked vertex {v} has below-average degree"
+            );
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Criterion micro-benchmarks for the SNB-Algorithms workload kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snb_algorithms::{
+    average_clustering, bfs_levels, label_propagation, louvain_communities, pagerank, CsrGraph,
+    PageRankConfig,
+};
+use snb_bench::dataset;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let ds = dataset(1_500);
+    let g = CsrGraph::from_dataset(&ds);
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10);
+    group.bench_function("pagerank", |b| b.iter(|| pagerank(&g, &PageRankConfig::default())));
+    group.bench_function("bfs", |b| b.iter(|| bfs_levels(&g, 0)));
+    group.bench_function("label_propagation", |b| b.iter(|| label_propagation(&g, 20)));
+    group.bench_function("louvain", |b| b.iter(|| louvain_communities(&g, 20)));
+    group.bench_function("clustering", |b| b.iter(|| average_clustering(&g)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

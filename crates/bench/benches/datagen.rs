@@ -1,0 +1,19 @@
+//! Criterion micro-benchmarks for DATAGEN (behind Fig. 3b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snb_datagen::{generate, GeneratorConfig};
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+    group.bench_function("generate_500_persons_1_thread", |b| {
+        b.iter(|| generate(GeneratorConfig::with_persons(500).threads(1)).unwrap().stats())
+    });
+    group.bench_function("generate_500_persons_4_threads", |b| {
+        b.iter(|| generate(GeneratorConfig::with_persons(500).threads(4)).unwrap().stats())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_datagen);
+criterion_main!(benches);

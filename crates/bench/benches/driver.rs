@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks for the driver's dependency-tracking hot path
+//! (the synchronization whose cost §4.2's Sequential/Windowed modes avoid).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snb_core::time::SimTime;
+use snb_driver::dependency::Gds;
+
+fn bench_dependency(c: &mut Criterion) {
+    c.bench_function("driver/lds_initiate_complete", |b| {
+        b.iter_batched(
+            || Gds::new(4),
+            |gds| {
+                let s = gds.stream(0).clone();
+                for t in 1..=1_000i64 {
+                    s.initiate(SimTime(t));
+                    s.complete(SimTime(t));
+                }
+                gds.gct()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("driver/gct_read_16_streams", |b| {
+        let gds = Gds::new(16);
+        for i in 0..16 {
+            let s = gds.stream(i);
+            s.initiate(SimTime(100 + i as i64));
+        }
+        b.iter(|| gds.gct())
+    });
+}
+
+criterion_group!(benches, bench_dependency);
+criterion_main!(benches);

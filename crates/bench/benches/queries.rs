@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks for representative complex reads on both
+//! engines (the per-query numbers behind Table 6 and Fig. 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snb_bench::{bulk_store, dataset};
+use snb_queries::{complex, Engine};
+
+fn bench_queries(c: &mut Criterion) {
+    let ds = dataset(1_000);
+    let store = bulk_store(&ds);
+    let bindings = snb_params::curated_bindings(&ds, 4);
+
+    let mut group = c.benchmark_group("complex_reads");
+    group.sample_size(10);
+    for q in [2usize, 5, 9, 13] {
+        for engine in [Engine::Intended, Engine::Naive] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("q{q}"), engine.name()),
+                &engine,
+                |b, &engine| {
+                    b.iter(|| {
+                        let snap = store.snapshot();
+                        let mut rows = 0;
+                        for binding in bindings.all(q) {
+                            rows += complex::run_complex(&snap, engine, binding);
+                        }
+                        rows
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig. 2a — post density over time: event-driven versus uniform post
+//! generation (§2.2). With events enabled the density shows spikes of
+//! different magnitudes; uniform stays flat.
+
+use snb_bench::{dataset_with, Table};
+use snb_core::time::{SimTime, MILLIS_PER_DAY};
+use snb_datagen::GeneratorConfig;
+
+fn density(event_driven: bool) -> (Vec<usize>, f64) {
+    let ds = dataset_with(
+        GeneratorConfig::with_persons(2_000)
+            .events(event_driven)
+            .threads(snb_bench::num_threads())
+            .seed(42),
+    );
+    let days = (SimTime::SIM_END.since(SimTime::SIM_START) / MILLIS_PER_DAY) as usize;
+    let mut buckets = vec![0usize; days / 7 + 1]; // weekly buckets
+    let last = buckets.len() - 1;
+    for p in &ds.posts {
+        let d = (p.creation_date.since(SimTime::SIM_START) / MILLIS_PER_DAY) as usize / 7;
+        buckets[d.min(last)] += 1;
+    }
+    // Detrended spikiness: the network grows over the simulation, so raw
+    // max/mean confounds growth with trending events. Normalize each week
+    // against a centered rolling mean and take the largest excursion.
+    let mut spike: f64 = 1.0;
+    for w in 4..buckets.len().saturating_sub(4) {
+        let local: usize = buckets[w - 4..=w + 4].iter().sum();
+        let local_mean = (local - buckets[w]) as f64 / 8.0;
+        if local_mean > 20.0 {
+            spike = spike.max(buckets[w] as f64 / local_mean);
+        }
+    }
+    (buckets, spike)
+}
+
+fn main() {
+    let (uniform, r_uniform) = density(false);
+    let (events, r_events) = density(true);
+    println!("Fig 2a: weekly post counts, uniform vs event-driven\n");
+    let mut t = Table::new(&["week", "uniform", "event-driven", "spike bar"]);
+    for w in (0..uniform.len()).step_by(6) {
+        let bar = "#".repeat(events[w] / 40);
+        t.row(&[w.to_string(), uniform[w].to_string(), events[w].to_string(), bar]);
+    }
+    t.print();
+    println!("\ndetrended peak ratio (week vs rolling mean): uniform {r_uniform:.2}, event-driven {r_events:.2}");
+    println!("paper shape: event-driven shows spikes of different magnitude; uniform is flat");
+    assert!(r_events > r_uniform, "event-driven generation must spike");
+}

@@ -1,0 +1,21 @@
+//! Fig. 2b — maximum degree of each percentile of the (Facebook-shaped)
+//! degree distribution DATAGEN discretizes (§2.3).
+
+use snb_bench::Table;
+use snb_core::degree::DegreeModel;
+
+fn main() {
+    let m = DegreeModel::facebook();
+    println!("Fig 2b: max degree per percentile (paper: log axis, ~10 at p0 to ~1000+ at p100)\n");
+    let mut t = Table::new(&["percentile", "max degree", "bar (log scale)"]);
+    for p in (5..=100).step_by(5) {
+        let d = m.max_degree_at_percentile(p);
+        let bar = "#".repeat((d.ln() * 6.0) as usize);
+        t.row(&[p.to_string(), format!("{d:.0}"), bar]);
+    }
+    t.print();
+    println!("\nunscaled mean degree (stands in for the Facebook average): {:.1}", m.unscaled_mean());
+    println!("avg-degree law anchors: n=10k -> {:.1}, n=700M -> {:.1} (paper: ~200)",
+        DegreeModel::avg_degree_for(10_000),
+        DegreeModel::avg_degree_for(700_000_000));
+}

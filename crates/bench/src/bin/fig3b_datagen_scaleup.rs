@@ -1,0 +1,38 @@
+//! Fig. 3b — DATAGEN scale-up: generation time versus scale factor and
+//! worker count (the paper shows Hadoop clusters of 1/3/10 nodes; we show
+//! 1/2/4/8 threads on one node — same shape, near-linear in SF, dropping
+//! with parallelism).
+
+use snb_bench::{time, Table};
+use snb_datagen::{generate, GeneratorConfig};
+
+fn main() {
+    println!("Fig 3b: generation time (seconds) by scale factor and threads\n");
+    let thread_counts = [1usize, 2, 4, 8];
+    let mut t = Table::new(&["SF", "persons", "1 thread", "2 threads", "4 threads", "8 threads", "speedup@8"]);
+    for sf in [0.05, 0.1, 0.2] {
+        let mut row = vec![format!("{sf}")];
+        let mut t1 = 0.0;
+        let mut t8 = 0.0;
+        let mut persons = 0;
+        for &threads in &thread_counts {
+            let config = GeneratorConfig::scale_factor(sf).threads(threads).seed(42);
+            persons = config.n_persons;
+            let (ds, d) = time(|| generate(config).unwrap());
+            std::hint::black_box(ds.message_count());
+            if threads == 1 {
+                t1 = d.as_secs_f64();
+                row.push(persons.to_string());
+            }
+            if threads == 8 {
+                t8 = d.as_secs_f64();
+            }
+            row.push(format!("{:.2}", d.as_secs_f64()));
+        }
+        let _ = persons;
+        row.push(format!("{:.2}x", t1 / t8.max(1e-9)));
+        t.row(&row);
+    }
+    t.print();
+    println!("\npaper shape: time grows ~linearly with SF; more workers shift the curve down");
+}

@@ -1,0 +1,82 @@
+//! Fig. 5 — why parameter curation: (a) the 2-hop environment size is
+//! multimodal with enormous spread, so (b) uniformly sampled Q5 parameters
+//! give wildly varying runtimes, while curated parameters collapse the
+//! variance (properties P1/P2 of §4.1).
+
+use snb_bench::{bulk_store, dataset, coefficient_of_variation, fmt_duration, query_times, Table};
+use snb_params::{curated_bindings, pc_table, uniform_bindings};
+use snb_queries::Engine;
+use std::time::Duration;
+
+fn main() {
+    let ds = dataset(snb_bench::BENCH_PERSONS);
+    let store = bulk_store(&ds);
+
+    // ---- Fig 5a: distribution of 2-hop environment sizes --------------
+    let stats = pc_table::person_stats(&ds);
+    let sizes: Vec<u64> = stats
+        .friends
+        .iter()
+        .zip(&stats.friends_of_friends)
+        .map(|(a, b)| a + b)
+        .collect();
+    let mut sorted = sizes.clone();
+    sorted.sort_unstable();
+    println!("Fig 5a: size of the 2-hop friend environment ({} persons)\n", sizes.len());
+    let mut t = Table::new(&["percentile", "2-hop size"]);
+    for p in [1, 10, 25, 50, 75, 90, 99, 100] {
+        let idx = ((p as f64 / 100.0) * (sorted.len() - 1) as f64) as usize;
+        t.row(&[format!("p{p}"), sorted[idx].to_string()]);
+    }
+    t.print();
+    println!("\npaper shape: multimodal, >100x spread between small and large environments\n");
+
+    // ---- Fig 5b: Q5 runtime distribution, uniform vs curated ----------
+    let k = 20;
+    let uniform = uniform_bindings(&ds, k, 7);
+    let curated = curated_bindings(&ds, k);
+    let t_uniform = query_times(&store, Engine::Intended, uniform.all(5));
+    let t_curated = query_times(&store, Engine::Intended, curated.all(5));
+    let summary = |ts: &[Duration]| {
+        let min = ts.iter().min().copied().unwrap_or_default();
+        let max = ts.iter().max().copied().unwrap_or_default();
+        let mean = ts.iter().sum::<Duration>() / ts.len().max(1) as u32;
+        (min, mean, max)
+    };
+    let (u_min, u_mean, u_max) = summary(&t_uniform);
+    let (c_min, c_mean, c_max) = summary(&t_curated);
+    println!("Fig 5b: Q5 runtime distribution over {k} parameter bindings\n");
+    let mut t = Table::new(&["parameters", "min", "mean", "max", "max/min", "CV"]);
+    t.row(&[
+        "uniform".into(),
+        fmt_duration(u_min),
+        fmt_duration(u_mean),
+        fmt_duration(u_max),
+        format!("{:.0}x", u_max.as_secs_f64() / u_min.as_secs_f64().max(1e-9)),
+        format!("{:.2}", coefficient_of_variation(&t_uniform)),
+    ]);
+    t.row(&[
+        "curated".into(),
+        fmt_duration(c_min),
+        fmt_duration(c_mean),
+        fmt_duration(c_max),
+        format!("{:.0}x", c_max.as_secs_f64() / c_min.as_secs_f64().max(1e-9)),
+        format!("{:.2}", coefficient_of_variation(&t_curated)),
+    ]);
+    t.print();
+
+    println!("\nper-binding detail (curated):");
+    for (q, d) in curated.all(5).iter().zip(&t_curated) {
+        if let snb_queries::ComplexQuery::Q5(params) = q {
+            let i = params.person.index();
+            println!(
+                "  person {:>5}  friends {:>4}  fof {:>5}  runtime {}",
+                params.person.raw(),
+                stats.friends[i],
+                stats.friends_of_friends[i],
+                fmt_duration(*d)
+            );
+        }
+    }
+    println!("\npaper shape: uniform sampling spans >100x runtimes; curation bounds the variance (P1)");
+}

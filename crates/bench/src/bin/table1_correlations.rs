@@ -1,0 +1,137 @@
+//! Table 1 — attribute value correlations ("left determines right").
+//!
+//! The paper's Table 1 is a specification, not a measurement; this binary
+//! verifies each rule empirically on a generated dataset and prints the
+//! strength of the correlation.
+
+use snb_bench::{dataset, Table};
+use snb_core::dict::Dictionaries;
+use std::collections::HashMap;
+
+fn main() {
+    let ds = dataset(4_000);
+    let dicts = Dictionaries::global();
+    let mut t = Table::new(&["rule (left determines right)", "measured", "verdict"]);
+    let mut check = |rule: &str, measured: String, ok: bool| {
+        t.row(&[rule.into(), measured, if ok { "PASS" } else { "FAIL" }.into()]);
+    };
+
+    // person.location -> person.firstName: top names differ across countries.
+    let top_name = |country: &str| -> &'static str {
+        let c = dicts.places.country_by_name(country).unwrap();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for p in ds.persons.iter().filter(|p| p.country == c) {
+            *counts.entry(p.first_name).or_default() += 1;
+        }
+        counts.into_iter().max_by_key(|&(_, n)| n).map(|(name, _)| name).unwrap_or("")
+    };
+    let (de, cn) = (top_name("Germany"), top_name("China"));
+    check(
+        "location -> firstName",
+        format!("top DE name {de:?} vs top CN name {cn:?}"),
+        de != cn,
+    );
+
+    // person.location -> person.university (nearby universities).
+    let with_uni: Vec<_> = ds.persons.iter().filter(|p| p.study_at.is_some()).collect();
+    let local_uni = with_uni
+        .iter()
+        .filter(|p| dicts.orgs.university(p.study_at.unwrap().university.index()).country == p.country)
+        .count();
+    let uni_rate = local_uni as f64 / with_uni.len() as f64;
+    check("location -> university", format!("{:.0}% study in home country", 100.0 * uni_rate), uni_rate > 0.8);
+
+    // person.location -> person.company (in country).
+    let jobs: Vec<(usize, usize)> = ds
+        .persons
+        .iter()
+        .flat_map(|p| p.work_at.iter().map(move |w| (p.country, dicts.orgs.company(w.company.index()).country)))
+        .collect();
+    let local_jobs = jobs.iter().filter(|(home, at)| home == at).count();
+    let job_rate = local_jobs as f64 / jobs.len() as f64;
+    check("location -> company", format!("{:.0}% work in home country", 100.0 * job_rate), job_rate > 0.85);
+
+    // person.location -> person.languages (spoken in country).
+    let lang_ok = ds.persons.iter().all(|p| {
+        let native = dicts.places.country(p.country).languages;
+        native.iter().all(|l| p.languages.contains(l))
+    });
+    check("location -> languages", "every person speaks all home languages".into(), lang_ok);
+
+    // person.language -> post.language (speaks).
+    let speaks = ds.posts.iter().all(|p| ds.persons[p.author.index()].languages.contains(&p.language));
+    check("language -> post.language", "every post in a language its author speaks".into(), speaks);
+
+    // person.interests -> forum/post topic: wall tags drawn from interests.
+    let wall_topic = ds
+        .forums
+        .iter()
+        .filter(|f| f.kind == snb_core::schema::ForumKind::Wall)
+        .all(|f| {
+            let owner = &ds.persons[f.moderator.index()];
+            f.tags.iter().all(|t| owner.interests.contains(t))
+        });
+    check("interests -> forum topic", "wall tags are subsets of owner interests".into(), wall_topic);
+
+    // post.topic -> post.text (DBpedia article lines -> topic words in text).
+    let sampled: Vec<_> = ds.posts.iter().filter(|p| p.image_file.is_none()).take(2_000).collect();
+    let on_topic = sampled
+        .iter()
+        .filter(|p| {
+            p.tags.first().is_some_and(|t| {
+                p.content.contains(dicts.tags.tag(t.index()).name.as_str())
+            })
+        })
+        .count();
+    let topic_rate = on_topic as f64 / sampled.len() as f64;
+    check("post.topic -> post.text", format!("{:.0}% of posts mention their topic", 100.0 * topic_rate), topic_rate > 0.9);
+
+    // person.employer -> person.email (@company / @university).
+    let employed: Vec<_> = ds.persons.iter().filter(|p| !p.work_at.is_empty()).take(2_000).collect();
+    let branded = employed
+        .iter()
+        .filter(|p| {
+            let company = dicts.orgs.company(p.work_at[0].company.index());
+            let slug: String = company
+                .name
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric() || *c == ' ')
+                .collect::<String>()
+                .to_lowercase()
+                .replace(' ', "-");
+            p.emails.iter().any(|e| e.contains(&slug))
+        })
+        .count();
+    check(
+        "employer -> email",
+        format!("{}/{} employed persons use a company domain", branded, employed.len()),
+        branded == employed.len(),
+    );
+
+    // Time-ordering rules.
+    let birth_ok = ds.persons.iter().all(|p| p.birthday < p.creation_date);
+    check("birthDate < createdDate", "all persons".into(), birth_ok);
+    let forum_ok = ds
+        .forums
+        .iter()
+        .all(|f| f.creation_date > ds.persons[f.moderator.index()].creation_date);
+    check("person.createdDate < forum.createdDate", "all forums".into(), forum_ok);
+    let mut msg_time: HashMap<u64, snb_core::SimTime> =
+        ds.posts.iter().map(|p| (p.id.raw(), p.creation_date)).collect();
+    msg_time.extend(ds.comments.iter().map(|c| (c.id.raw(), c.creation_date)));
+    let post_ok = {
+        let forum_created: Vec<_> = ds.forums.iter().map(|f| f.creation_date).collect();
+        ds.posts.iter().all(|p| p.creation_date > forum_created[p.forum.index()])
+    };
+    check("forum.createdDate < post.createdDate", "all posts".into(), post_ok);
+    let comment_ok = ds.comments.iter().all(|c| c.creation_date > msg_time[&c.reply_to.raw()]);
+    check("post.createdDate < comment.createdDate", "all comments".into(), comment_ok);
+    let join_ok = {
+        let forum_created: Vec<_> = ds.forums.iter().map(|f| f.creation_date).collect();
+        ds.memberships.iter().all(|m| m.join_date >= forum_created[m.forum.index()])
+    };
+    check("forum.createdDate <= joinedDate", "all memberships".into(), join_ok);
+
+    println!("Table 1: attribute value correlations, verified on {} persons\n", ds.persons.len());
+    t.print();
+}

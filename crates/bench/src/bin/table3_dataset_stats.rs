@@ -1,0 +1,36 @@
+//! Table 3 — SNB dataset statistics at different scale factors.
+//!
+//! The paper reports entity counts at SF 30..1000 (millions of entities);
+//! we run the same generator at laptop scale factors and check that the
+//! *composition* matches: messages dominate nodes, friendships dominate
+//! person-edges, and the messages-per-person ratio tracks the degree law.
+
+use snb_bench::{dataset_with, Table};
+use snb_datagen::GeneratorConfig;
+
+fn main() {
+    println!("Table 3: dataset statistics (paper rows at SF30-SF1000 for shape reference)\n");
+    println!("  paper: SF30  -> nodes 99.4M  edges 655.4M  persons 0.18M  friends 14.2M  messages 97.4M  forums 1.8M");
+    println!("  paper: SF100 -> nodes 317.7M edges 2154.9M persons 0.50M  friends 46.6M  messages 312.1M forums 5.0M");
+    println!();
+    let mut t = Table::new(&[
+        "SF", "persons", "friends", "messages", "forums", "nodes", "edges", "msg/person", "msg/friend",
+    ]);
+    for sf in [0.01, 0.03, 0.1, 0.3] {
+        let ds = dataset_with(GeneratorConfig::scale_factor(sf).threads(snb_bench::num_threads()));
+        let s = ds.stats();
+        t.row(&[
+            format!("{sf}"),
+            s.persons.to_string(),
+            s.friends.to_string(),
+            s.messages.to_string(),
+            s.forums.to_string(),
+            s.nodes.to_string(),
+            s.edges.to_string(),
+            format!("{:.1}", s.messages as f64 / s.persons as f64),
+            format!("{:.2}", s.messages as f64 / s.friends as f64),
+        ]);
+    }
+    t.print();
+    println!("\npaper shape anchors: msg/friend ~6.9 (SF30), messages >> persons, edges > 6x nodes");
+}

@@ -1,0 +1,33 @@
+//! Table 4 — frequency of complex read-only queries (one execution per N
+//! update operations), plus the realized mix on a generated update stream.
+
+use snb_bench::{dataset, Table};
+use snb_driver::mix::{build_mix, scaled_frequencies, TABLE4_FREQUENCIES};
+use snb_driver::Operation;
+
+fn main() {
+    let ds = dataset(2_000);
+    let bindings = snb_params::curated_bindings(&ds, 20);
+    let mix = build_mix(&ds, &bindings);
+    let updates = mix.iter().filter(|w| matches!(w.op, Operation::Update(_))).count();
+    let scaled = scaled_frequencies(ds.config.n_persons);
+
+    println!("Table 4: complex-read frequencies (number of updates per execution)\n");
+    let mut t = Table::new(&["query", "paper freq", "scaled freq", "executions", "per updates"]);
+    for q in 1..=14 {
+        let count = mix
+            .iter()
+            .filter(|w| matches!(&w.op, Operation::Complex(c) if c.number() == q))
+            .count();
+        t.row(&[
+            format!("Q{q}"),
+            TABLE4_FREQUENCIES[q - 1].to_string(),
+            scaled[q - 1].to_string(),
+            count.to_string(),
+            updates.checked_div(count).map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t.print();
+    println!("\nupdate operations in stream: {updates}");
+    println!("total scheduled operations:  {}", mix.len());
+}

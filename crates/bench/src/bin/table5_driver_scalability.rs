@@ -1,0 +1,60 @@
+//! Table 5 — driver scalability: operations/second versus partition count
+//! with the dummy sleep connector (§4.2, "Scalable Dependent Execution").
+//!
+//! Paper (12-core Xeon, SF10 stream):
+//!   partitions:  1     2     4     8     12
+//!   1ms:         997   1990  3969  7836  11298
+//!   100us:       9745  19245 38285 78913 110837
+
+use snb_bench::{dataset, Table};
+use snb_driver::{mix, run, DriverConfig, SleepConnector};
+use std::time::Duration;
+
+fn main() {
+    let ds = dataset(3_000);
+    let items = mix::updates_only(&ds);
+    println!(
+        "Table 5: driver throughput vs partitions ({} update ops, {} user ops)\n",
+        items.len(),
+        items
+            .iter()
+            .filter(|w| matches!(
+                &w.op,
+                snb_driver::Operation::Update(snb_core::update::UpdateOp::AddPerson(_))
+            ))
+            .count()
+    );
+    let paper_1ms = [997.0, 1990.0, 3969.0, 7836.0, 11298.0];
+    let paper_100us = [9745.0, 19245.0, 38285.0, 78913.0, 110837.0];
+    let partition_counts = [1usize, 2, 4, 8, 12];
+
+    for (label, sleep, paper) in [
+        ("1ms", Duration::from_millis(1), paper_1ms),
+        ("100us", Duration::from_micros(100), paper_100us),
+    ] {
+        let mut t = Table::new(&["partitions", "ops/s (ours)", "speedup", "ops/s (paper)", "paper speedup"]);
+        let conn = SleepConnector::new(sleep);
+        let mut base = 0.0;
+        for (i, &p) in partition_counts.iter().enumerate() {
+            // Subsample the stream so the 1ms runs stay short.
+            let take = (2_000 * p).min(items.len());
+            let slice = &items[..take];
+            let config = DriverConfig { partitions: p, ..DriverConfig::default() };
+            let report = run(slice, &conn, &config).expect("run");
+            if i == 0 {
+                base = report.ops_per_second;
+            }
+            t.row(&[
+                p.to_string(),
+                format!("{:.0}", report.ops_per_second),
+                format!("{:.2}x", report.ops_per_second / base),
+                format!("{:.0}", paper[i]),
+                format!("{:.2}x", paper[i] / paper[0]),
+            ]);
+        }
+        println!("sleep = {label}:");
+        t.print();
+        println!();
+    }
+    println!("paper shape: near-linear scaling while maintaining inter-partition dependencies");
+}

@@ -1,0 +1,46 @@
+//! Table 6 — mean runtime of the 14 complex read-only queries.
+//!
+//! The paper compares Sparksee (SF10) and Virtuoso (SF300); we compare the
+//! intended-plan engine and the naive scan engine on the same store. What
+//! should reproduce: the *relative* cost ordering — Q3/Q6/Q9/Q14 among the
+//! heaviest, Q8 among the cheapest — and intended <= naive per query.
+
+use snb_bench::{bulk_store, dataset, fmt_duration, mean_query_time, Table};
+use snb_queries::Engine;
+
+/// Paper Table 6, mean ms.
+const SPARKSEE_SF10: [f64; 14] =
+    [20.0, 44.0, 441.0, 31.0, 100.0, 41.0, 11.0, 38.0, 3376.0, 194.0, 66.0, 177.0, 794.0, 2009.0];
+const VIRTUOSO_SF300: [f64; 14] = [
+    941.0, 1493.0, 4232.0, 1163.0, 2688.0, 16090.0, 1000.0, 32.0, 18464.0, 1257.0, 762.0, 1519.0,
+    559.0, 742.0,
+];
+
+fn main() {
+    let ds = dataset(snb_bench::BENCH_PERSONS);
+    let store = bulk_store(&ds);
+    let bindings = snb_params::curated_bindings(&ds, 8);
+
+    println!(
+        "Table 6: mean complex-read runtime ({} persons, {} messages bulk-loaded)\n",
+        ds.persons.len(),
+        ds.message_count()
+    );
+    let mut t = Table::new(&[
+        "query", "intended", "naive", "naive/intended", "Sparksee SF10 (ms)", "Virtuoso SF300 (ms)",
+    ]);
+    for q in 1..=14 {
+        let intended = mean_query_time(&store, Engine::Intended, bindings.all(q));
+        let naive = mean_query_time(&store, Engine::Naive, bindings.all(q));
+        t.row(&[
+            format!("Q{q}"),
+            fmt_duration(intended),
+            fmt_duration(naive),
+            format!("{:.1}x", naive.as_secs_f64() / intended.as_secs_f64().max(1e-9)),
+            format!("{}", SPARKSEE_SF10[q - 1]),
+            format!("{}", VIRTUOSO_SF300[q - 1]),
+        ]);
+    }
+    t.print();
+    println!("\npaper shape anchors: Q9 and Q3 heaviest, Q8 cheapest (index point lookup scale)");
+}

@@ -1,0 +1,53 @@
+//! Table 7 — mean runtime of the 7 short read-only queries.
+
+use snb_bench::{bulk_store, dataset, fmt_duration, time, Table};
+use snb_core::{MessageId, PersonId};
+use snb_queries::params::ShortQuery;
+use snb_queries::short::run_short;
+
+/// Paper Table 7, mean ms.
+const SPARKSEE_SF10: [f64; 7] = [7.0, 9.0, 9.0, 8.0, 9.0, 9.0, 8.0];
+const VIRTUOSO_SF300: [f64; 7] = [6.0, 147.0, 37.0, 7.0, 2.0, 1.0, 8.0];
+
+fn main() {
+    let ds = dataset(snb_bench::BENCH_PERSONS);
+    let store = bulk_store(&ds);
+    let snap = store.snapshot();
+    // Anchors: a busy person and a post with replies.
+    let mut deg = vec![0u32; ds.persons.len()];
+    for k in &ds.knows {
+        deg[k.a.index()] += 1;
+        deg[k.b.index()] += 1;
+    }
+    let person = PersonId(deg.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64);
+    let message = ds.comments.iter().map(|c| c.reply_to).find(|m| {
+        m.raw() < ds.message_count() as u64
+    }).unwrap_or(MessageId(0));
+
+    let queries = [
+        ShortQuery::S1(person),
+        ShortQuery::S2(person),
+        ShortQuery::S3(person),
+        ShortQuery::S4(message),
+        ShortQuery::S5(message),
+        ShortQuery::S6(message),
+        ShortQuery::S7(message),
+    ];
+    println!("Table 7: mean short-read runtime (1000 iterations each)\n");
+    let mut t = Table::new(&["query", "ours", "Sparksee SF10 (ms)", "Virtuoso SF300 (ms)"]);
+    for (i, q) in queries.iter().enumerate() {
+        let (_, d) = time(|| {
+            for _ in 0..1000 {
+                run_short(&snap, q);
+            }
+        });
+        t.row(&[
+            format!("S{}", i + 1),
+            fmt_duration(d / 1000),
+            format!("{}", SPARKSEE_SF10[i]),
+            format!("{}", VIRTUOSO_SF300[i]),
+        ]);
+    }
+    t.print();
+    println!("\npaper shape: all short reads orders of magnitude below complex reads");
+}

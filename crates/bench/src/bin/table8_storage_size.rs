@@ -1,0 +1,28 @@
+//! Table 8 — sizes of the three largest tables and their largest indices.
+//!
+//! Paper (Virtuoso, SF300): post 76.8GB (index ps_content 41.7GB),
+//! likes 23.6GB (l_creationdate 11.3GB), forum_person 9.3GB
+//! (fp_creationdate 6.0GB).
+
+use snb_bench::{dataset, full_store, Table};
+
+fn main() {
+    let ds = dataset(5_000);
+    let store = full_store(&ds);
+    let stats = store.snapshot().storage_stats();
+
+    println!("Table 8: three largest tables ({} persons, {} messages)\n", ds.persons.len(), ds.message_count());
+    let mut t = Table::new(&["table", "rows", "MB", "largest index", "index MB"]);
+    for ts in stats.largest(3) {
+        t.row(&[
+            ts.name.to_string(),
+            ts.rows.to_string(),
+            format!("{:.2}", ts.bytes as f64 / 1e6),
+            ts.largest_index.0.to_string(),
+            format!("{:.2}", ts.largest_index.1 as f64 / 1e6),
+        ]);
+    }
+    t.print();
+    println!("\ntotal allocated: {:.2} MB", stats.total_bytes as f64 / 1e6);
+    println!("paper shape: message/post table dominates, then likes, then forum_person");
+}

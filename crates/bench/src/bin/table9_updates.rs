@@ -1,0 +1,43 @@
+//! Table 9 — mean runtime of the 8 transactional update queries, measured
+//! by replaying the full update stream through the driver.
+
+use snb_bench::{bulk_store, dataset, fmt_duration, Table};
+use snb_driver::{mix, run, DriverConfig, OpKind, StoreConnector};
+use snb_queries::Engine;
+use std::sync::Arc;
+
+/// Paper Table 9, mean ms.
+const SPARKSEE_SF10: [f64; 8] = [492.0, 309.0, 307.0, 239.0, 317.0, 190.0, 324.0, 273.0];
+const VIRTUOSO_SF300: [f64; 8] = [35.0, 198.0, 85.0, 55.0, 16.0, 118.0, 141.0, 15.0];
+
+const NAMES: [&str; 8] = [
+    "addPerson", "addPostLike", "addCommentLike", "addForum", "addMembership", "addPost",
+    "addComment", "addFriendship",
+];
+
+fn main() {
+    let ds = dataset(snb_bench::BENCH_PERSONS);
+    let items = mix::updates_only(&ds);
+    let store = Arc::new(bulk_store(&ds));
+    let conn = StoreConnector::new(Arc::clone(&store), Engine::Intended);
+    let config = DriverConfig { partitions: snb_bench::num_threads(), ..DriverConfig::default() };
+    let report = run(&items, &conn, &config).expect("replay");
+
+    println!("Table 9: mean update runtime ({} operations replayed)\n", items.len());
+    let mut t = Table::new(&["update", "count", "mean", "p99", "Sparksee SF10 (ms)", "Virtuoso SF300 (ms)"]);
+    for u in 1..=8 {
+        if let Some(s) = report.metrics.stats(OpKind::Update(u)) {
+            t.row(&[
+                format!("U{u} {}", NAMES[u - 1]),
+                s.count.to_string(),
+                fmt_duration(s.mean),
+                fmt_duration(s.p99),
+                format!("{}", SPARKSEE_SF10[u - 1]),
+                format!("{}", VIRTUOSO_SF300[u - 1]),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nthroughput: {:.0} updates/s across {} partitions", report.ops_per_second, config.partitions);
+    println!("paper shape: all updates within one order of magnitude of each other");
+}

@@ -1,0 +1,417 @@
+//! # snb-bi
+//!
+//! The SNB Business Intelligence workload — at the paper's writing "a
+//! working draft" (§1): "a set of queries that access a large percentage of
+//! all entities in the dataset (the 'fact tables'), and groups these in
+//! various dimensions [...] similarities with existing relational Business
+//! Intelligence benchmarks like TPC-H and TPC-DS; the distinguishing factor
+//! is the presence of graph traversal predicates and recursion."
+//!
+//! Six representative drafts over the message fact table and its
+//! dimensions (time, tag, country, person), executed against a store
+//! snapshot so they compose with the Interactive workload's concurrent
+//! updates. Every query scans a large fraction of the dataset — the
+//! defining contrast with the Interactive reads.
+
+use snb_core::dict::Dictionaries;
+use snb_core::time::SimTime;
+use snb_core::{MessageId, PersonId};
+use snb_store::Snapshot;
+use std::collections::HashMap;
+
+/// BI-1 "Posting summary": message counts, average length and share of
+/// total, grouped by (year, message kind).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostingSummaryRow {
+    /// Calendar year.
+    pub year: i64,
+    /// True for comments, false for posts.
+    pub is_comment: bool,
+    /// Message count in the group.
+    pub count: u64,
+    /// Average content length in the group.
+    pub avg_length: f64,
+    /// Fraction of all messages.
+    pub share: f64,
+}
+
+/// Run BI-1.
+pub fn bi1_posting_summary(snap: &Snapshot<'_>) -> Vec<PostingSummaryRow> {
+    let mut groups: HashMap<(i64, bool), (u64, u64)> = HashMap::new();
+    let mut total = 0u64;
+    for m in 0..snap.message_slots() as u64 {
+        let Some(row) = snap.message(MessageId(m)) else { continue };
+        total += 1;
+        let e = groups.entry((row.creation_date.year(), row.is_comment())).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += row.content.len() as u64;
+    }
+    let mut out: Vec<PostingSummaryRow> = groups
+        .into_iter()
+        .map(|((year, is_comment), (count, bytes))| PostingSummaryRow {
+            year,
+            is_comment,
+            count,
+            avg_length: bytes as f64 / count as f64,
+            share: count as f64 / total.max(1) as f64,
+        })
+        .collect();
+    out.sort_by_key(|a| (a.year, a.is_comment));
+    out
+}
+
+/// BI-2 "Tag evolution": per tag, message counts in two consecutive months
+/// and the absolute difference, descending by difference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagEvolutionRow {
+    /// Tag name.
+    pub tag: String,
+    /// Count in the first month.
+    pub count_a: u64,
+    /// Count in the second month.
+    pub count_b: u64,
+    /// |count_a - count_b|.
+    pub diff: u64,
+}
+
+/// Run BI-2 for the month bucket `month` (0-based from simulation start)
+/// and its successor.
+pub fn bi2_tag_evolution(snap: &Snapshot<'_>, month: i64, limit: usize) -> Vec<TagEvolutionRow> {
+    let dicts = Dictionaries::global();
+    let mut a: HashMap<u64, u64> = HashMap::new();
+    let mut b: HashMap<u64, u64> = HashMap::new();
+    for m in 0..snap.message_slots() as u64 {
+        let id = MessageId(m);
+        let Some(meta) = snap.message_meta(id) else { continue };
+        let bucket = meta.creation_date.month_bucket();
+        let target = if bucket == month {
+            &mut a
+        } else if bucket == month + 1 {
+            &mut b
+        } else {
+            continue;
+        };
+        for t in snap.message_tags(id) {
+            *target.entry(t.raw()).or_default() += 1;
+        }
+    }
+    let tags: std::collections::HashSet<u64> = a.keys().chain(b.keys()).copied().collect();
+    let mut out: Vec<TagEvolutionRow> = tags
+        .into_iter()
+        .map(|t| {
+            let ca = a.get(&t).copied().unwrap_or(0);
+            let cb = b.get(&t).copied().unwrap_or(0);
+            TagEvolutionRow {
+                tag: dicts.tags.tag(t as usize).name.clone(),
+                count_a: ca,
+                count_b: cb,
+                diff: ca.abs_diff(cb),
+            }
+        })
+        .collect();
+    out.sort_by(|x, y| (std::cmp::Reverse(x.diff), &x.tag).cmp(&(std::cmp::Reverse(y.diff), &y.tag)));
+    out.truncate(limit);
+    out
+}
+
+/// BI-3 "Popular topics by country": top tags of messages sent from a
+/// country.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountryTopicRow {
+    /// Tag name.
+    pub tag: String,
+    /// Message count.
+    pub count: u64,
+}
+
+/// Run BI-3.
+pub fn bi3_popular_topics(snap: &Snapshot<'_>, country: usize, limit: usize) -> Vec<CountryTopicRow> {
+    let dicts = Dictionaries::global();
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for m in 0..snap.message_slots() as u64 {
+        let id = MessageId(m);
+        let Some(meta) = snap.message_meta(id) else { continue };
+        if meta.country as usize != country {
+            continue;
+        }
+        for t in snap.message_tags(id) {
+            *counts.entry(t.raw()).or_default() += 1;
+        }
+    }
+    let mut out: Vec<CountryTopicRow> = counts
+        .into_iter()
+        .map(|(t, count)| CountryTopicRow { tag: dicts.tags.tag(t as usize).name.clone(), count })
+        .collect();
+    out.sort_by(|a, b| (std::cmp::Reverse(a.count), &a.tag).cmp(&(std::cmp::Reverse(b.count), &b.tag)));
+    out.truncate(limit);
+    out
+}
+
+/// BI-4 "Activity by country": message and person counts per home country.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountryActivityRow {
+    /// Country name.
+    pub country: &'static str,
+    /// Resident persons.
+    pub persons: u64,
+    /// Messages authored by residents.
+    pub messages: u64,
+    /// Messages per resident.
+    pub messages_per_person: f64,
+}
+
+/// Run BI-4.
+pub fn bi4_country_activity(snap: &Snapshot<'_>) -> Vec<CountryActivityRow> {
+    let dicts = Dictionaries::global();
+    let mut persons = vec![0u64; dicts.places.country_count()];
+    let mut home = HashMap::new();
+    for p in 0..snap.person_slots() as u64 {
+        if let Some(person) = snap.person(PersonId(p)) {
+            persons[person.country] += 1;
+            home.insert(p, person.country);
+        }
+    }
+    let mut messages = vec![0u64; dicts.places.country_count()];
+    for m in 0..snap.message_slots() as u64 {
+        if let Some(meta) = snap.message_meta(MessageId(m)) {
+            if let Some(&c) = home.get(&meta.author.raw()) {
+                messages[c] += 1;
+            }
+        }
+    }
+    let mut out: Vec<CountryActivityRow> = (0..dicts.places.country_count())
+        .filter(|&c| persons[c] > 0)
+        .map(|c| CountryActivityRow {
+            country: dicts.places.country(c).name,
+            persons: persons[c],
+            messages: messages[c],
+            messages_per_person: messages[c] as f64 / persons[c] as f64,
+        })
+        .collect();
+    out.sort_by(|a, b| b.messages.cmp(&a.messages).then(a.country.cmp(b.country)));
+    out
+}
+
+/// BI-5 "Experts on a topic": persons with the most messages carrying a
+/// tag, with the likes those messages received.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicExpertRow {
+    /// The expert.
+    pub person: PersonId,
+    /// Messages about the tag.
+    pub messages: u64,
+    /// Likes received on those messages.
+    pub likes: u64,
+}
+
+/// Run BI-5.
+pub fn bi5_topic_experts(snap: &Snapshot<'_>, tag: usize, limit: usize) -> Vec<TopicExpertRow> {
+    let mut agg: HashMap<u64, (u64, u64)> = HashMap::new();
+    for m in 0..snap.message_slots() as u64 {
+        let id = MessageId(m);
+        let Some(meta) = snap.message_meta(id) else { continue };
+        if !snap.message_tags(id).iter().any(|t| t.index() == tag) {
+            continue;
+        }
+        let e = agg.entry(meta.author.raw()).or_default();
+        e.0 += 1;
+        e.1 += snap.likes_of(id).len() as u64;
+    }
+    let mut out: Vec<TopicExpertRow> = agg
+        .into_iter()
+        .map(|(p, (messages, likes))| TopicExpertRow { person: PersonId(p), messages, likes })
+        .collect();
+    out.sort_by_key(|r| (std::cmp::Reverse(r.messages), std::cmp::Reverse(r.likes), r.person));
+    out.truncate(limit);
+    out
+}
+
+/// BI-6 "Zombies": persons who joined before `before` yet authored fewer
+/// than one message per full month of membership, with their zombie score
+/// (likes received from other zombies — the real BI workload's twist,
+/// simplified to likes received).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZombieRow {
+    /// The inactive account.
+    pub person: PersonId,
+    /// Months since the account was created (at `before`).
+    pub months: i64,
+    /// Messages ever authored.
+    pub messages: u64,
+    /// Likes their messages received anyway.
+    pub likes_received: u64,
+}
+
+/// Run BI-6.
+pub fn bi6_zombies(snap: &Snapshot<'_>, before: SimTime, limit: usize) -> Vec<ZombieRow> {
+    let mut out = Vec::new();
+    for p in 0..snap.person_slots() as u64 {
+        let id = PersonId(p);
+        let Some(person) = snap.person(id) else { continue };
+        if person.creation_date >= before {
+            continue;
+        }
+        let months = before.month_bucket() - person.creation_date.month_bucket();
+        if months < 1 {
+            continue;
+        }
+        let messages = snap.messages_of(id);
+        if (messages.len() as i64) < months {
+            let likes_received: u64 = messages
+                .iter()
+                .map(|&(m, _)| snap.likes_of(MessageId(m)).len() as u64)
+                .sum();
+            out.push(ZombieRow { person: id, months, messages: messages.len() as u64, likes_received });
+        }
+    }
+    out.sort_by_key(|r| (std::cmp::Reverse(r.likes_received), r.person));
+    out.truncate(limit);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_store::Store;
+    use std::sync::OnceLock;
+
+    struct Fixture {
+        ds: snb_datagen::Dataset,
+        store: Store,
+    }
+
+    fn fixture() -> &'static Fixture {
+        static F: OnceLock<Fixture> = OnceLock::new();
+        F.get_or_init(|| {
+            let ds = snb_datagen::generate(
+                snb_datagen::GeneratorConfig::with_persons(300).activity(0.4).seed(13),
+            )
+            .unwrap();
+            let store = Store::new();
+            store.load_full(&ds);
+            Fixture { ds, store }
+        })
+    }
+
+    #[test]
+    fn bi1_covers_every_message_exactly_once() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let rows = bi1_posting_summary(&snap);
+        let total: u64 = rows.iter().map(|r| r.count).sum();
+        assert_eq!(total, f.ds.message_count() as u64);
+        let share: f64 = rows.iter().map(|r| r.share).sum();
+        assert!((share - 1.0).abs() < 1e-9);
+        // Years are within the simulation window.
+        for r in &rows {
+            assert!((2010..=2012).contains(&r.year), "year {}", r.year);
+        }
+        // Posts are longer than comments on average, per the text model.
+        let post_avg: f64 = rows.iter().filter(|r| !r.is_comment).map(|r| r.avg_length).sum::<f64>()
+            / rows.iter().filter(|r| !r.is_comment).count() as f64;
+        let comment_avg: f64 =
+            rows.iter().filter(|r| r.is_comment).map(|r| r.avg_length).sum::<f64>()
+                / rows.iter().filter(|r| r.is_comment).count() as f64;
+        assert!(post_avg > comment_avg);
+    }
+
+    #[test]
+    fn bi2_diffs_match_manual_recount() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let month = 14;
+        let rows = bi2_tag_evolution(&snap, month, 5);
+        assert!(!rows.is_empty());
+        // Recount the top row from the raw dataset.
+        let top = &rows[0];
+        let dicts = Dictionaries::global();
+        let tag_idx = dicts.tags.tag_by_name(&top.tag).unwrap() as u64;
+        let count_in = |b: i64| -> u64 {
+            f.ds.posts
+                .iter()
+                .map(|p| (p.creation_date, &p.tags))
+                .chain(f.ds.comments.iter().map(|c| (c.creation_date, &c.tags)))
+                .filter(|(d, tags)| {
+                    d.month_bucket() == b && tags.iter().any(|t| t.raw() == tag_idx)
+                })
+                .count() as u64
+        };
+        assert_eq!(top.count_a, count_in(month));
+        assert_eq!(top.count_b, count_in(month + 1));
+    }
+
+    #[test]
+    fn bi3_counts_only_the_requested_country() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        // Use the most common message country.
+        let mut by_country: HashMap<usize, usize> = HashMap::new();
+        for p in &f.ds.posts {
+            *by_country.entry(p.country).or_default() += 1;
+        }
+        let country = by_country.into_iter().max_by_key(|&(_, c)| c).unwrap().0;
+        let rows = bi3_popular_topics(&snap, country, 10);
+        assert!(!rows.is_empty());
+        for w in rows.windows(2) {
+            assert!(w[0].count >= w[1].count);
+        }
+        // The country's own cultural tags should rank near the top.
+        let dicts = Dictionaries::global();
+        let local: Vec<&str> = dicts
+            .tags
+            .country_tags(country)
+            .iter()
+            .map(|&t| dicts.tags.tag(t).name.as_str())
+            .collect();
+        assert!(
+            rows.iter().take(4).any(|r| local.contains(&r.tag.as_str())),
+            "no local tag in top-4 for country {country}: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn bi4_totals_match_dataset() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let rows = bi4_country_activity(&snap);
+        let persons: u64 = rows.iter().map(|r| r.persons).sum();
+        let messages: u64 = rows.iter().map(|r| r.messages).sum();
+        assert_eq!(persons, f.ds.persons.len() as u64);
+        assert_eq!(messages, f.ds.message_count() as u64);
+    }
+
+    #[test]
+    fn bi5_experts_actually_write_about_the_topic() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        // Most used tag in the dataset.
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for p in &f.ds.posts {
+            for t in &p.tags {
+                *counts.entry(t.raw()).or_default() += 1;
+            }
+        }
+        let tag = counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0 as usize;
+        let rows = bi5_topic_experts(&snap, tag, 10);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.messages > 0);
+        }
+        for w in rows.windows(2) {
+            assert!(w[0].messages >= w[1].messages);
+        }
+    }
+
+    #[test]
+    fn bi6_zombies_are_genuinely_inactive() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let before = SimTime::from_ymd(2012, 6, 1);
+        let rows = bi6_zombies(&snap, before, 50);
+        for r in &rows {
+            assert!((r.messages as i64) < r.months);
+            let created = snap.person(r.person).unwrap().creation_date;
+            assert!(created < before);
+        }
+    }
+}

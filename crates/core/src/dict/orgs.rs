@@ -1,0 +1,182 @@
+//! Universities and companies.
+//!
+//! Table 1: `person.location` determines `person.university` (nearby
+//! universities) and `person.company` (companies in the country);
+//! `person.employer` shapes `person.email` (`@company`, `@university`).
+//! Universities additionally anchor the study-location correlation
+//! dimension of friendship generation (§2.3).
+
+use crate::dict::places::{CityIdx, CountryIdx, Places};
+use crate::rng::Rng;
+
+/// A university located in a specific city.
+#[derive(Debug)]
+pub struct University {
+    /// Display name.
+    pub name: String,
+    /// City the campus is in.
+    pub city: CityIdx,
+    /// Country (denormalized from the city for fast filtering).
+    pub country: CountryIdx,
+}
+
+/// A company operating in a country.
+#[derive(Debug)]
+pub struct Company {
+    /// Display name.
+    pub name: String,
+    /// Country of incorporation.
+    pub country: CountryIdx,
+}
+
+/// The organisation dictionary.
+#[derive(Debug)]
+pub struct Organisations {
+    universities: Vec<University>,
+    companies: Vec<Company>,
+    /// Universities per country (indices into `universities`).
+    unis_by_country: Vec<Vec<usize>>,
+    /// Companies per country (indices into `companies`).
+    companies_by_country: Vec<Vec<usize>>,
+}
+
+const UNI_SUFFIXES: &[&str] = &["University", "Institute of Technology", "Polytechnic"];
+const COMPANY_STEMS: &[&str] =
+    &["Dyna", "Inter", "Global", "Omni", "Neo", "Prime", "Vertex", "Apex"];
+const COMPANY_SUFFIXES: &[&str] = &["Systems", "Industries", "Logistics", "Media", "Labs"];
+
+impl Organisations {
+    /// Derive universities (per city) and companies (per country) from the
+    /// place dictionary. Names are synthesized deterministically.
+    pub fn build(places: &Places) -> Organisations {
+        let mut universities = Vec::new();
+        let mut companies = Vec::new();
+        let mut unis_by_country = vec![Vec::new(); places.country_count()];
+        let mut companies_by_country = vec![Vec::new(); places.country_count()];
+
+        for (ci, country) in places.countries().iter().enumerate() {
+            // One university per city, plus a flagship national one in the
+            // first city.
+            for (k, city_idx) in country.cities.clone().enumerate() {
+                let city = places.city(city_idx);
+                let suffix = UNI_SUFFIXES[k % UNI_SUFFIXES.len()];
+                unis_by_country[ci].push(universities.len());
+                universities.push(University {
+                    name: format!("{} {}", city.name, suffix),
+                    city: city_idx,
+                    country: ci,
+                });
+            }
+            // A handful of companies per country.
+            for k in 0..5 {
+                let stem = COMPANY_STEMS[(ci + k) % COMPANY_STEMS.len()];
+                let suffix = COMPANY_SUFFIXES[(ci * 3 + k) % COMPANY_SUFFIXES.len()];
+                companies_by_country[ci].push(companies.len());
+                companies.push(Company {
+                    name: format!("{} {} {}", stem, suffix, country.name),
+                    country: ci,
+                });
+            }
+        }
+        Organisations { universities, companies, unis_by_country, companies_by_country }
+    }
+
+    /// All universities.
+    pub fn universities(&self) -> &[University] {
+        &self.universities
+    }
+
+    /// All companies.
+    pub fn companies(&self) -> &[Company] {
+        &self.companies
+    }
+
+    /// University by global index.
+    pub fn university(&self, idx: usize) -> &University {
+        &self.universities[idx]
+    }
+
+    /// Company by global index.
+    pub fn company(&self, idx: usize) -> &Company {
+        &self.companies[idx]
+    }
+
+    /// Pick a university for a resident of `country`: usually local
+    /// ("nearby universities"), occasionally abroad.
+    pub fn sample_university(&self, rng: &mut Rng, country: CountryIdx) -> usize {
+        if rng.chance(0.9) {
+            let local = &self.unis_by_country[country];
+            local[rng.index(local.len())]
+        } else {
+            rng.index(self.universities.len())
+        }
+    }
+
+    /// Pick an employer for a resident of `country` ("in country").
+    pub fn sample_company(&self, rng: &mut Rng, country: CountryIdx) -> usize {
+        if rng.chance(0.95) {
+            let local = &self.companies_by_country[country];
+            local[rng.index(local.len())]
+        } else {
+            rng.index(self.companies.len())
+        }
+    }
+
+    /// Companies registered in `country` (used by complex read Q11).
+    pub fn companies_in_country(&self, country: CountryIdx) -> &[usize] {
+        &self.companies_by_country[country]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng, Stream};
+
+    #[test]
+    fn every_country_has_orgs() {
+        let places = Places::build();
+        let orgs = Organisations::build(&places);
+        for ci in 0..places.country_count() {
+            assert!(!orgs.unis_by_country[ci].is_empty());
+            assert_eq!(orgs.companies_by_country[ci].len(), 5);
+        }
+    }
+
+    #[test]
+    fn university_sampling_is_mostly_local() {
+        let places = Places::build();
+        let orgs = Organisations::build(&places);
+        let mut rng = Rng::for_entity(1, Stream::PersonAttrs, 0);
+        let germany = places.country_by_name("Germany").unwrap();
+        let n = 10_000;
+        let local = (0..n)
+            .filter(|_| orgs.university(orgs.sample_university(&mut rng, germany)).country == germany)
+            .count();
+        let frac = local as f64 / n as f64;
+        assert!(frac > 0.85, "local fraction {frac}");
+        assert!(frac < 1.0, "some study abroad");
+    }
+
+    #[test]
+    fn company_names_are_unique() {
+        let places = Places::build();
+        let orgs = Organisations::build(&places);
+        let mut names: Vec<&str> = orgs.companies().iter().map(|c| c.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn companies_in_country_belong_to_it() {
+        let places = Places::build();
+        let orgs = Organisations::build(&places);
+        for ci in 0..places.country_count() {
+            for &k in orgs.companies_in_country(ci) {
+                assert_eq!(orgs.company(k).country, ci);
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Message-text synthesis.
+//!
+//! The original DATAGEN takes message text from "DBpedia article lines"
+//! related to the post's topic (Table 1: `post.topic` determines
+//! `post.text`). We synthesize sentences deterministically from the topic
+//! tag name and a small word bank, preserving the properties the benchmark
+//! depends on: text length distribution (posts longer than comments, with a
+//! heavy tail), topic words embedded in the text, and a deterministic
+//! mapping from (topic, rng stream) to content.
+
+use crate::rng::Rng;
+
+const OPENERS: &[&str] = &[
+    "Thinking about", "Just read about", "Can't stop discussing", "An interesting take on",
+    "A deep dive into", "Some new thoughts on", "Another perspective on", "Notes on",
+];
+const VERBS: &[&str] = &[
+    "shows", "suggests", "proves", "reminds us", "demonstrates", "hints", "reveals",
+];
+const CLAUSES: &[&str] = &[
+    "more than people expect", "in surprising ways", "against conventional wisdom",
+    "for the whole community", "despite recent trends", "as history repeats itself",
+    "with remarkable consistency", "beyond the usual debate",
+];
+const REPLIES: &[&str] = &[
+    "ok", "great", "thanks", "not sure about that", "LOL", "no way", "I was thinking the same",
+    "good point", "maybe", "fine", "right", "duh", "roflol", "thx", "cool story",
+];
+
+/// Deterministic text generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TextGen;
+
+impl TextGen {
+    /// Text of a post about `topic`. Length follows a shifted-exponential
+    /// sentence count, giving the heavy tail of real article excerpts.
+    pub fn post_text(rng: &mut Rng, topic: &str) -> String {
+        let sentences = 1 + rng.exponential(0.9) as usize;
+        let mut out = String::with_capacity(sentences * 64);
+        for i in 0..sentences.min(8) {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(OPENERS[rng.index(OPENERS.len())]);
+            out.push(' ');
+            out.push_str(topic);
+            out.push_str(": it ");
+            out.push_str(VERBS[rng.index(VERBS.len())]);
+            out.push(' ');
+            out.push_str(CLAUSES[rng.index(CLAUSES.len())]);
+            out.push('.');
+        }
+        out
+    }
+
+    /// Text of a comment replying in a thread about `topic`. Most comments
+    /// are short interjections; a minority are substantial (one sentence on
+    /// the topic).
+    pub fn comment_text(rng: &mut Rng, topic: &str) -> String {
+        if rng.chance(0.66) {
+            REPLIES[rng.index(REPLIES.len())].to_string()
+        } else {
+            let mut out = String::with_capacity(64);
+            out.push_str("About ");
+            out.push_str(topic);
+            out.push_str(", it ");
+            out.push_str(VERBS[rng.index(VERBS.len())]);
+            out.push(' ');
+            out.push_str(CLAUSES[rng.index(CLAUSES.len())]);
+            out.push('.');
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng, Stream};
+
+    #[test]
+    fn post_text_contains_topic() {
+        let mut rng = Rng::for_entity(1, Stream::Posts, 0);
+        for _ in 0..50 {
+            let t = TextGen::post_text(&mut rng, "Rust");
+            assert!(t.contains("Rust"));
+            assert!(t.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn posts_are_longer_than_comments_on_average() {
+        let mut rng = Rng::for_entity(2, Stream::Posts, 0);
+        let n = 2_000;
+        let post_len: usize = (0..n).map(|_| TextGen::post_text(&mut rng, "Chess").len()).sum();
+        let comment_len: usize =
+            (0..n).map(|_| TextGen::comment_text(&mut rng, "Chess").len()).sum();
+        assert!(post_len > 2 * comment_len);
+    }
+
+    #[test]
+    fn text_is_deterministic_per_stream() {
+        let mut a = Rng::for_entity(3, Stream::Posts, 42);
+        let mut b = Rng::for_entity(3, Stream::Posts, 42);
+        assert_eq!(TextGen::post_text(&mut a, "Yoga"), TextGen::post_text(&mut b, "Yoga"));
+    }
+
+    #[test]
+    fn comment_lengths_are_bimodal() {
+        let mut rng = Rng::for_entity(4, Stream::Comments, 0);
+        let lens: Vec<usize> =
+            (0..2_000).map(|_| TextGen::comment_text(&mut rng, "Poetry").len()).collect();
+        let short = lens.iter().filter(|&&l| l < 25).count();
+        let long = lens.iter().filter(|&&l| l >= 25).count();
+        assert!(short > 0 && long > 0);
+        assert!(short > long, "interjections dominate");
+    }
+}

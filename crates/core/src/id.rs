@@ -1,0 +1,121 @@
+//! Typed entity identifiers.
+//!
+//! Every entity in the SNB schema is addressed by a dense `u64` identifier.
+//! The newtypes below prevent the classic benchmark-implementation bug of
+//! handing a `PersonId` to an API expecting a `ForumId`. Message identifiers
+//! are assigned in creation-time order by the generator, which the paper
+//! calls out (§3) as enabling high-locality date-range scans.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Raw numeric value of the identifier.
+            #[inline]
+            pub fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Index form for dense per-entity arrays.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            #[inline]
+            fn from(v: u64) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for u64 {
+            #[inline]
+            fn from(v: $name) -> u64 {
+                v.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a [`crate::schema::Person`].
+    PersonId,
+    "person:"
+);
+define_id!(
+    /// Identifier of a [`crate::schema::Forum`].
+    ForumId,
+    "forum:"
+);
+define_id!(
+    /// Identifier of a message (either a post or a comment).
+    ///
+    /// Posts and comments share one id space, mirroring the LDBC schema where
+    /// `Message` is the supertype; ids increase with creation time.
+    MessageId,
+    "message:"
+);
+define_id!(
+    /// Identifier of a `Tag` (dictionary entity).
+    TagId,
+    "tag:"
+);
+define_id!(
+    /// Identifier of a `TagClass` (dictionary entity).
+    TagClassId,
+    "tagclass:"
+);
+define_id!(
+    /// Identifier of a `Place` dictionary entity (country or city).
+    PlaceId,
+    "place:"
+);
+define_id!(
+    /// Identifier of a `Organisation` dictionary entity (university or company).
+    OrganisationId,
+    "org:"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(PersonId(42).to_string(), "person:42");
+        assert_eq!(ForumId(7).to_string(), "forum:7");
+        assert_eq!(MessageId(0).to_string(), "message:0");
+    }
+
+    #[test]
+    fn ids_roundtrip_u64() {
+        let p: PersonId = 99u64.into();
+        assert_eq!(u64::from(p), 99);
+        assert_eq!(p.raw(), 99);
+        assert_eq!(p.index(), 99);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(TagId(1));
+        set.insert(TagId(1));
+        set.insert(TagId(2));
+        assert_eq!(set.len(), 2);
+        assert!(MessageId(3) < MessageId(10));
+    }
+}

@@ -1,0 +1,298 @@
+//! Deterministic random-number generation.
+//!
+//! DATAGEN's key engineering property (§2.4) is that "regardless \[of\] the
+//! Hadoop configuration parameters (#node, #map and #reduce tasks) the
+//! generated dataset is always the same". We reproduce that by deriving an
+//! independent, stable RNG stream per (seed, purpose, entity) triple: a
+//! worker generating person 4711's interests draws exactly the same values
+//! no matter which thread it runs on or how the work was partitioned.
+//!
+//! The generator is SplitMix64 (Steele et al., "Fast splittable pseudorandom
+//! number generators"), which passes BigCrush, needs only 8 bytes of state,
+//! and — crucially for us — is trivially *splittable* by hashing the stream
+//! coordinates into the seed. We deliberately do not depend on the `rand`
+//! crate for generation: its algorithms may change across versions, which
+//! would silently change every generated dataset.
+
+/// Skewed/uniform random source with SplitMix64 state.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+/// Purpose tags keep per-entity streams independent: drawing more values for
+/// one attribute never perturbs another attribute's stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stream {
+    /// Person attribute generation.
+    PersonAttrs = 1,
+    /// Person interest (tag) assignment.
+    Interests = 2,
+    /// Friendship window sampling, one sub-stream per correlation dimension.
+    Friends = 3,
+    /// Forum creation and membership.
+    Forums = 4,
+    /// Post generation.
+    Posts = 5,
+    /// Comment-tree generation.
+    Comments = 6,
+    /// Like generation.
+    Likes = 7,
+    /// Trending-event placement.
+    Events = 8,
+    /// Degree-target assignment.
+    Degree = 9,
+    /// Workload construction (query interleaving, random walks).
+    Workload = 10,
+    /// Miscellaneous / tests.
+    Misc = 11,
+}
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// RNG from a raw seed.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: mix64(seed.wrapping_add(GOLDEN_GAMMA)) }
+    }
+
+    /// Independent deterministic stream for `(seed, purpose, entity)`.
+    ///
+    /// This is the only constructor the generator uses; it is what makes
+    /// generation order- and thread-count-independent.
+    pub fn for_entity(seed: u64, purpose: Stream, entity: u64) -> Rng {
+        let h = mix64(seed ^ mix64((purpose as u64) << 32 ^ entity));
+        Rng::new(h)
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix64(self.state)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits -> uniform double.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be nonzero.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Lemire's multiply-shift rejection method (unbiased).
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    #[inline]
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        lo + self.below((hi - lo + 1) as u64) as i64
+    }
+
+    /// Uniform index into a slice of length `len`.
+    #[inline]
+    pub fn index(&mut self, len: usize) -> usize {
+        self.below(len as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Geometric distribution on `{0, 1, 2, ...}` with success probability
+    /// `p`: the distance-in-window distribution used when picking friends
+    /// from the sliding window (§2.3, "a geometric probability distribution
+    /// that decreases with distance in the window").
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        debug_assert!(p > 0.0 && p < 1.0);
+        let u = self.next_f64().max(f64::MIN_POSITIVE);
+        (u.ln() / (1.0 - p).ln()).floor() as u64
+    }
+
+    /// Exponential distribution with rate `lambda` (mean `1/lambda`); the
+    /// paper notes most value distributions are "either skewed (typically
+    /// using the exponential distribution) or power-laws".
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        debug_assert!(lambda > 0.0);
+        let u = self.next_f64().max(f64::MIN_POSITIVE);
+        -u.ln() / lambda
+    }
+
+    /// Skewed index into a dictionary of `len` entries: exponentially
+    /// decaying rank popularity, clamped to the dictionary. Rank 0 is the
+    /// most popular entry. `skew` controls decay; the generator uses values
+    /// around `8/len` so the top handful of entries dominate, matching the
+    /// shape of Table 2.
+    pub fn skewed_index(&mut self, len: usize, skew: f64) -> usize {
+        debug_assert!(len > 0);
+        let idx = self.exponential(skew) as usize;
+        idx.min(len - 1)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Pick an index according to cumulative weights (`cum` is
+    /// non-decreasing, last element is the total weight).
+    pub fn weighted_index(&mut self, cum: &[f64]) -> usize {
+        debug_assert!(!cum.is_empty());
+        let total = *cum.last().unwrap();
+        let x = self.next_f64() * total;
+        match cum.binary_search_by(|w| w.partial_cmp(&x).unwrap()) {
+            Ok(i) => (i + 1).min(cum.len() - 1),
+            Err(i) => i.min(cum.len() - 1),
+        }
+    }
+
+    /// Uniform simulation-time draw in `[lo, hi)`.
+    pub fn sim_time(&mut self, lo: crate::SimTime, hi: crate::SimTime) -> crate::SimTime {
+        debug_assert!(lo < hi);
+        crate::SimTime(self.range_i64(lo.0, hi.0 - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_coordinates() {
+        let mut a = Rng::for_entity(42, Stream::Posts, 7);
+        let mut b = Rng::for_entity(42, Stream::Posts, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_streams_diverge() {
+        let mut a = Rng::for_entity(42, Stream::Posts, 7);
+        let mut b = Rng::for_entity(42, Stream::Comments, 7);
+        let mut c = Rng::for_entity(42, Stream::Posts, 8);
+        let mut d = Rng::for_entity(43, Stream::Posts, 7);
+        let a0 = a.next_u64();
+        assert_ne!(a0, b.next_u64());
+        assert_ne!(a0, c.next_u64());
+        assert_ne!(a0, d.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Rng::new(1);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Rng::new(2);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        // Mean of geometric on {0,1,...} with success p is (1-p)/p.
+        let mut rng = Rng::new(3);
+        let p = 0.25;
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| rng.geometric(p)).sum();
+        let mean = sum as f64 / n as f64;
+        let expect = (1.0 - p) / p;
+        assert!((mean - expect).abs() < 0.1, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_theory() {
+        let mut rng = Rng::new(4);
+        let lambda = 2.0;
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(lambda)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn skewed_index_prefers_low_ranks() {
+        let mut rng = Rng::new(5);
+        let mut counts = [0usize; 20];
+        for _ in 0..20_000 {
+            counts[rng.skewed_index(20, 0.4)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[5] > counts[15]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::new(6);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffled order changed");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = Rng::new(7);
+        // weights 1, 3 -> cum [1.0, 4.0]; expect ~75% index 1.
+        let cum = [1.0, 4.0];
+        let n = 40_000;
+        let ones = (0..n).filter(|_| rng.weighted_index(&cum) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let mut rng = Rng::new(8);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1_000 {
+            let v = rng.range_i64(-3, 3);
+            assert!((-3..=3).contains(&v));
+            lo_seen |= v == -3;
+            hi_seen |= v == 3;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

@@ -1,0 +1,193 @@
+//! Simulation time.
+//!
+//! The benchmark timeline covers three years (§1: "a standard scale factor
+//! covers three years. Of this 32 months are bulkloaded at benchmark start,
+//! whereas the data from the last 4 months is added using individual DML
+//! statements"). We model simulation time as milliseconds since the Unix
+//! epoch, matching the LDBC CSV `creationDate` representation, and provide
+//! just enough calendar arithmetic (proleptic Gregorian, no external crates)
+//! for the generator's date-correlated rules.
+
+use std::fmt;
+
+/// A point in simulation time: milliseconds since the Unix epoch (UTC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub i64);
+
+/// Milliseconds per second.
+pub const MILLIS_PER_SECOND: i64 = 1_000;
+/// Milliseconds per minute.
+pub const MILLIS_PER_MINUTE: i64 = 60 * MILLIS_PER_SECOND;
+/// Milliseconds per hour.
+pub const MILLIS_PER_HOUR: i64 = 60 * MILLIS_PER_MINUTE;
+/// Milliseconds per day.
+pub const MILLIS_PER_DAY: i64 = 24 * MILLIS_PER_HOUR;
+
+impl SimTime {
+    /// Simulation start: 2010-01-01T00:00:00Z, the network's birth date.
+    pub const SIM_START: SimTime = SimTime::from_ymd(2010, 1, 1);
+    /// Simulation end: three years after the start.
+    pub const SIM_END: SimTime = SimTime::from_ymd(2013, 1, 1);
+    /// The bulk-load / update-stream split: 32 months after start
+    /// (2012-09-01). Everything earlier is bulk-loaded; the remaining four
+    /// months are replayed as individual DML statements by the driver.
+    pub const UPDATE_SPLIT: SimTime = SimTime::from_ymd(2012, 9, 1);
+
+    /// Construct from a calendar date at midnight UTC. `month` and `day` are
+    /// 1-based. Days are validated only by debug assertion; the generator
+    /// always passes valid dates.
+    pub const fn from_ymd(year: i64, month: u8, day: u8) -> SimTime {
+        SimTime(days_from_civil(year, month as i64, day as i64) * MILLIS_PER_DAY)
+    }
+
+    /// Raw millisecond value.
+    #[inline]
+    pub fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Add a number of milliseconds.
+    #[inline]
+    pub fn plus_millis(self, ms: i64) -> SimTime {
+        SimTime(self.0 + ms)
+    }
+
+    /// Add a number of whole days.
+    #[inline]
+    pub fn plus_days(self, days: i64) -> SimTime {
+        SimTime(self.0 + days * MILLIS_PER_DAY)
+    }
+
+    /// Millisecond difference `self - other`.
+    #[inline]
+    pub fn since(self, other: SimTime) -> i64 {
+        self.0 - other.0
+    }
+
+    /// Decompose into `(year, month, day)` in UTC.
+    pub fn to_ymd(self) -> (i64, u8, u8) {
+        let days = self.0.div_euclid(MILLIS_PER_DAY);
+        civil_from_days(days)
+    }
+
+    /// Calendar year.
+    pub fn year(self) -> i64 {
+        self.to_ymd().0
+    }
+
+    /// Calendar month (1-12).
+    pub fn month(self) -> u8 {
+        self.to_ymd().1
+    }
+
+    /// Zero-based month index since [`SimTime::SIM_START`]; used to bucket
+    /// continuous timestamp parameters during parameter curation.
+    pub fn month_bucket(self) -> i64 {
+        let (y, m, _) = self.to_ymd();
+        let (sy, sm, _) = SimTime::SIM_START.to_ymd();
+        (y - sy) * 12 + (m as i64 - sm as i64)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let days = self.0.div_euclid(MILLIS_PER_DAY);
+        let rem = self.0.rem_euclid(MILLIS_PER_DAY);
+        let (y, m, d) = civil_from_days(days);
+        let h = rem / MILLIS_PER_HOUR;
+        let min = (rem % MILLIS_PER_HOUR) / MILLIS_PER_MINUTE;
+        let s = (rem % MILLIS_PER_MINUTE) / MILLIS_PER_SECOND;
+        let ms = rem % MILLIS_PER_SECOND;
+        write!(
+            f,
+            "{y:04}-{m:02}-{d:02}T{h:02}:{min:02}:{s:02}.{ms:03}Z"
+        )
+    }
+}
+
+/// Days since 1970-01-01 for a proleptic Gregorian civil date.
+/// Algorithm from Howard Hinnant's `days_from_civil`.
+const fn days_from_civil(y: i64, m: i64, d: i64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m + 9) % 12; // March-based month [0, 11]
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i64, u8, u8) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m as u8, d as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(SimTime::from_ymd(1970, 1, 1).millis(), 0);
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2010-01-01 is 14610 days after the epoch.
+        assert_eq!(SimTime::SIM_START.millis(), 14_610 * MILLIS_PER_DAY);
+        assert_eq!(SimTime::SIM_START.to_ymd(), (2010, 1, 1));
+        assert_eq!(SimTime::SIM_END.to_ymd(), (2013, 1, 1));
+        assert_eq!(SimTime::UPDATE_SPLIT.to_ymd(), (2012, 9, 1));
+    }
+
+    #[test]
+    fn roundtrip_every_day_of_simulation() {
+        let mut t = SimTime::SIM_START;
+        while t < SimTime::SIM_END {
+            let (y, m, d) = t.to_ymd();
+            assert_eq!(SimTime::from_ymd(y, m, d), t);
+            t = t.plus_days(1);
+        }
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        // 2012 is a leap year.
+        let feb29 = SimTime::from_ymd(2012, 2, 29);
+        assert_eq!(feb29.to_ymd(), (2012, 2, 29));
+        assert_eq!(feb29.plus_days(1).to_ymd(), (2012, 3, 1));
+    }
+
+    #[test]
+    fn month_buckets_cover_simulation() {
+        assert_eq!(SimTime::SIM_START.month_bucket(), 0);
+        assert_eq!(SimTime::from_ymd(2010, 12, 15).month_bucket(), 11);
+        assert_eq!(SimTime::UPDATE_SPLIT.month_bucket(), 32);
+        assert_eq!(SimTime::SIM_END.plus_millis(-1).month_bucket(), 35);
+    }
+
+    #[test]
+    fn display_iso8601() {
+        let t = SimTime::from_ymd(2011, 6, 5).plus_millis(
+            13 * MILLIS_PER_HOUR + 7 * MILLIS_PER_MINUTE + 9 * MILLIS_PER_SECOND + 42,
+        );
+        assert_eq!(t.to_string(), "2011-06-05T13:07:09.042Z");
+    }
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::from_ymd(2010, 5, 1);
+        let b = a.plus_days(3);
+        assert!(b > a);
+        assert_eq!(b.since(a), 3 * MILLIS_PER_DAY);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the core primitives: calendar arithmetic, RNG
+//! distribution bounds, and the degree model.
+
+use proptest::prelude::*;
+use snb_core::degree::DegreeModel;
+use snb_core::rng::{Rng, Stream};
+use snb_core::time::{SimTime, MILLIS_PER_DAY};
+
+proptest! {
+    /// Calendar roundtrip holds for any date in a ±200-year window.
+    #[test]
+    fn simtime_ymd_roundtrip(days in -73_000i64..73_000) {
+        let t = SimTime(days * MILLIS_PER_DAY);
+        let (y, m, d) = t.to_ymd();
+        prop_assert!( (1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+        prop_assert_eq!(SimTime::from_ymd(y, m, d), t);
+    }
+
+    /// Adding days then decomposing is consistent with millisecond math.
+    #[test]
+    fn simtime_day_arithmetic(base in -10_000i64..10_000, add in 0i64..5_000) {
+        let t = SimTime(base * MILLIS_PER_DAY);
+        let u = t.plus_days(add);
+        prop_assert_eq!(u.since(t), add * MILLIS_PER_DAY);
+        prop_assert!(u >= t);
+    }
+
+    /// Month buckets increase with time and are contiguous.
+    #[test]
+    fn month_buckets_are_monotone(a in 0i64..1_095, b in 0i64..1_095) {
+        let ta = SimTime::SIM_START.plus_days(a);
+        let tb = SimTime::SIM_START.plus_days(b);
+        if a <= b {
+            prop_assert!(ta.month_bucket() <= tb.month_bucket());
+        }
+        prop_assert!(tb.month_bucket() - ta.month_bucket() <= (b - a).abs() / 28 + 1);
+    }
+
+    /// `below(n)` always lands in `[0, n)` and is deterministic per stream.
+    #[test]
+    fn rng_below_is_bounded(seed in any::<u64>(), entity in any::<u64>(), n in 1u64..1_000_000) {
+        let mut a = Rng::for_entity(seed, Stream::Misc, entity);
+        let mut b = Rng::for_entity(seed, Stream::Misc, entity);
+        for _ in 0..50 {
+            let x = a.below(n);
+            prop_assert!(x < n);
+            prop_assert_eq!(x, b.below(n));
+        }
+    }
+
+    /// `range_i64` is inclusive on both ends and never escapes.
+    #[test]
+    fn rng_range_is_inclusive(seed in any::<u64>(), lo in -1_000i64..1_000, width in 0i64..1_000) {
+        let hi = lo + width;
+        let mut rng = Rng::for_entity(seed, Stream::Misc, 1);
+        for _ in 0..50 {
+            let v = rng.range_i64(lo, hi);
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    /// Shuffle is always a permutation.
+    #[test]
+    fn rng_shuffle_permutes(seed in any::<u64>(), len in 0usize..200) {
+        let mut v: Vec<usize> = (0..len).collect();
+        let mut rng = Rng::for_entity(seed, Stream::Misc, 2);
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+
+    /// Weighted index respects the cumulative bounds.
+    #[test]
+    fn rng_weighted_index_in_bounds(seed in any::<u64>(), weights in proptest::collection::vec(0.01f64..100.0, 1..30)) {
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for w in &weights {
+            total += w;
+            cum.push(total);
+        }
+        let mut rng = Rng::for_entity(seed, Stream::Misc, 3);
+        for _ in 0..50 {
+            prop_assert!(rng.weighted_index(&cum) < cum.len());
+        }
+    }
+
+    /// Geometric and exponential draws are nonnegative and finite.
+    #[test]
+    fn rng_distributions_are_sane(seed in any::<u64>(), p in 0.01f64..0.99, lambda in 0.01f64..50.0) {
+        let mut rng = Rng::for_entity(seed, Stream::Misc, 4);
+        for _ in 0..20 {
+            let g = rng.geometric(p);
+            prop_assert!(g < 10_000_000);
+            let e = rng.exponential(lambda);
+            prop_assert!(e.is_finite() && e >= 0.0);
+        }
+    }
+
+    /// Target degrees stay within the scaled percentile envelope.
+    #[test]
+    fn degree_targets_are_positive_and_bounded(seed in any::<u64>(), n_persons in 10u64..1_000_000) {
+        let model = DegreeModel::facebook();
+        let mut rng = Rng::for_entity(seed, Stream::Degree, 9);
+        let scale = DegreeModel::avg_degree_for(n_persons) / model.unscaled_mean();
+        let max_possible = (model.max_degree_at_percentile(100) * scale).ceil() as u32 + 1;
+        for _ in 0..50 {
+            let d = model.target_degree(&mut rng, n_persons);
+            prop_assert!(d >= 1);
+            prop_assert!(d <= max_possible, "{d} > {max_possible}");
+        }
+    }
+
+    /// The average-degree law is monotone in network size.
+    #[test]
+    fn avg_degree_law_is_monotone(a in 2u64..100_000_000, b in 2u64..100_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(DegreeModel::avg_degree_for(lo) <= DegreeModel::avg_degree_for(hi) + 1e-9);
+    }
+}

@@ -1,0 +1,715 @@
+//! Person-activity generation: forums, post/comment trees, likes (§2.4,
+//! "person activity generation").
+//!
+//! "This data is mostly tree-structured and is therefore easily parallelized
+//! by the person who owns the forum. Each worker needs the attributes of the
+//! owner (e.g. interests influence post topics), the friend list (only
+//! friends post comments and likes) with the friendship creation timestamps
+//! (they only post after that); but otherwise the workers can operate
+//! independently." We parallelize exactly that way: one deterministic unit
+//! of work per owning person, read-only access to the friendship adjacency.
+//!
+//! Volume scales with friendship degree ("people having more friends are
+//! likely more active and post more messages"), and every timestamp obeys
+//! the Table 1 ordering rules plus the driver's `T_SAFE` guarantee: a
+//! person's first activity in a forum comes at least `T_SAFE` after the
+//! membership/friendship that enables it.
+
+use crate::config::GeneratorConfig;
+use crate::events::EventSchedule;
+use crate::pipeline::run_blocks;
+use snb_core::dict::text::TextGen;
+use snb_core::dict::Dictionaries;
+use snb_core::rng::{Rng, Stream};
+use snb_core::schema::{Comment, Forum, ForumKind, ForumMembership, Knows, Like, Person, Post};
+use snb_core::time::{SimTime, MILLIS_PER_DAY, MILLIS_PER_HOUR, MILLIS_PER_MINUTE};
+use snb_core::{ForumId, MessageId, TagId};
+use std::collections::{HashMap, HashSet};
+
+/// Generated activity, ids dense and creation-time ordered.
+#[derive(Debug, Default)]
+pub struct Activity {
+    /// All forums (walls, groups, albums).
+    pub forums: Vec<Forum>,
+    /// Forum memberships.
+    pub memberships: Vec<ForumMembership>,
+    /// Root messages.
+    pub posts: Vec<Post>,
+    /// Replies.
+    pub comments: Vec<Comment>,
+    /// Likes on posts and comments.
+    pub likes: Vec<Like>,
+}
+
+/// Friendship adjacency: for each person, `(friend index, friendship date)`
+/// sorted by date.
+pub fn build_adjacency(n_persons: usize, knows: &[Knows]) -> Vec<Vec<(u32, SimTime)>> {
+    let mut adj = vec![Vec::new(); n_persons];
+    for k in knows {
+        adj[k.a.index()].push((k.b.raw() as u32, k.creation_date));
+        adj[k.b.index()].push((k.a.raw() as u32, k.creation_date));
+    }
+    for list in &mut adj {
+        list.sort_unstable_by_key(|&(f, d)| (d, f));
+    }
+    adj
+}
+
+/// A forum member during generation: person plus the time from which they
+/// may act in the forum (join + `T_SAFE`).
+#[derive(Debug, Clone, Copy)]
+struct Member {
+    person: u32,
+    join: SimTime,
+    eligible_from: SimTime,
+}
+
+/// Per-worker output with temporary ids (remapped after the merge).
+#[derive(Debug, Default)]
+struct RawActivity {
+    forums: Vec<Forum>,
+    memberships: Vec<ForumMembership>,
+    posts: Vec<Post>,
+    comments: Vec<Comment>,
+    likes: Vec<Like>,
+}
+
+/// Generate all activity for the network.
+pub fn generate_activity(
+    config: &GeneratorConfig,
+    persons: &[Person],
+    knows: &[Knows],
+    events: &EventSchedule,
+) -> Activity {
+    let adj = build_adjacency(persons.len(), knows);
+    let adj = &adj;
+
+    let raws = run_blocks(persons.len(), config.block_size, config.threads, |range| {
+        let mut raw = RawActivity::default();
+        for p in range {
+            generate_for_person(config, persons, adj, events, p, &mut raw);
+        }
+        raw
+    });
+
+    merge_and_remap(raws)
+}
+
+/// All activity owned by one person (their wall, groups, albums).
+fn generate_for_person(
+    config: &GeneratorConfig,
+    persons: &[Person],
+    adj: &[Vec<(u32, SimTime)>],
+    events: &EventSchedule,
+    p: usize,
+    raw: &mut RawActivity,
+) {
+    let dicts = Dictionaries::global();
+    let person = &persons[p];
+    let degree = adj[p].len();
+    let mut frng = Rng::for_entity(config.seed, Stream::Forums, person.id.raw());
+    let mut forum_counter: u64 = 0;
+    let mut message_counter: u64 = 0;
+    let scale = config.activity_scale;
+
+    // ---- Wall -------------------------------------------------------
+    // The wall is created T_SAFE after the account: addForum is a dependent
+    // of addPerson in the update stream, and DATAGEN guarantees every
+    // dependent fires at least T_SAFE after its dependency (§4.2).
+    let wall_created = person.creation_date.plus_millis(config.t_safe_millis);
+    let wall_tags: Vec<TagId> = person.interests.iter().copied().take(3).collect();
+    let mut wall_members = vec![Member {
+        person: p as u32,
+        join: wall_created,
+        eligible_from: person.creation_date.plus_millis(config.t_safe_millis),
+    }];
+    for &(f, fdate) in &adj[p] {
+        let join = fdate.plus_millis(MILLIS_PER_HOUR);
+        if join < config.end {
+            wall_members.push(Member {
+                person: f,
+                join,
+                eligible_from: join.plus_millis(config.t_safe_millis),
+            });
+        }
+    }
+    let wall_posts = ((0.75 * degree as f64 * scale).round() as usize).max(1);
+    emit_forum(
+        config,
+        persons,
+        events,
+        raw,
+        ForumSpec {
+            owner: p as u32,
+            kind: ForumKind::Wall,
+            title: format!("Wall of {} {}", person.first_name, person.last_name),
+            created: wall_created,
+            tags: wall_tags,
+            members: wall_members,
+            n_posts: wall_posts,
+            comments_mean: 3.0,
+            likes_mean: 1.5,
+        },
+        &mut forum_counter,
+        &mut message_counter,
+    );
+
+    // ---- Interest groups --------------------------------------------
+    let n_groups = usize::from(frng.chance(0.35)) + usize::from(frng.chance(0.10));
+    for _ in 0..n_groups {
+        let earliest = person.creation_date.plus_millis(config.t_safe_millis);
+        let latest = config.end.plus_days(-30);
+        if earliest >= latest {
+            break;
+        }
+        let created = frng.sim_time(earliest, latest);
+        let topic = person.interests[frng.index(person.interests.len())];
+        let mut tags = vec![topic];
+        for _ in 0..2 {
+            let t = TagId(frng.index(dicts.tags.tag_count()) as u64);
+            if !tags.contains(&t) {
+                tags.push(t);
+            }
+        }
+        let mut members = vec![Member {
+            person: p as u32,
+            join: created,
+            eligible_from: created.max(person.creation_date.plus_millis(config.t_safe_millis)),
+        }];
+        let mut invited: HashSet<u32> = HashSet::new();
+        invited.insert(p as u32);
+        // Friends join with high probability, friends-of-friends with low.
+        for &(f, fdate) in &adj[p] {
+            if frng.chance(0.6) {
+                push_member(config, persons, &mut members, &mut invited, f, created, fdate);
+            }
+            if members.len() >= 50 {
+                break;
+            }
+            for &(ff, ffdate) in adj[f as usize].iter().take(8) {
+                if frng.chance(0.08) {
+                    push_member(config, persons, &mut members, &mut invited, ff, created, ffdate);
+                }
+            }
+        }
+        let n_posts = (1.2 * members.len() as f64 * scale).round() as usize;
+        emit_forum(
+            config,
+            persons,
+            events,
+            raw,
+            ForumSpec {
+                owner: p as u32,
+                kind: ForumKind::Group,
+                title: format!("Group for {}", dicts.tags.tag(topic.index()).name),
+                created,
+                tags,
+                members,
+                n_posts,
+                comments_mean: 2.5,
+                likes_mean: 1.5,
+            },
+            &mut forum_counter,
+            &mut message_counter,
+        );
+    }
+
+    // ---- Photo albums ------------------------------------------------
+    let n_albums = usize::from(frng.chance(0.3)) + usize::from(frng.chance(0.1));
+    for _ in 0..n_albums {
+        let earliest = person.creation_date.plus_millis(config.t_safe_millis);
+        let latest = config.end.plus_days(-7);
+        if earliest >= latest {
+            break;
+        }
+        let created = frng.sim_time(earliest, latest);
+        let mut members = vec![Member { person: p as u32, join: created, eligible_from: created }];
+        let mut invited: HashSet<u32> = HashSet::new();
+        invited.insert(p as u32);
+        for &(f, fdate) in &adj[p] {
+            if frng.chance(0.5) {
+                push_member(config, persons, &mut members, &mut invited, f, created, fdate);
+            }
+        }
+        let n_photos = ((0.25 * degree as f64 * scale).round() as usize).max(1);
+        emit_forum(
+            config,
+            persons,
+            events,
+            raw,
+            ForumSpec {
+                owner: p as u32,
+                kind: ForumKind::Album,
+                title: format!("Album of {} {}", person.first_name, person.last_name),
+                created,
+                tags: person.interests.iter().copied().take(1).collect(),
+                members,
+                n_posts: n_photos,
+                comments_mean: 0.0,
+                likes_mean: 0.8,
+            },
+            &mut forum_counter,
+            &mut message_counter,
+        );
+    }
+}
+
+fn push_member(
+    config: &GeneratorConfig,
+    persons: &[Person],
+    members: &mut Vec<Member>,
+    invited: &mut HashSet<u32>,
+    f: u32,
+    forum_created: SimTime,
+    friendship_date: SimTime,
+) {
+    if !invited.insert(f) {
+        return;
+    }
+    let join = forum_created
+        .max(friendship_date)
+        .max(persons[f as usize].creation_date.plus_millis(config.t_safe_millis))
+        .plus_millis(MILLIS_PER_HOUR);
+    if join < config.end {
+        members.push(Member { person: f, join, eligible_from: join.plus_millis(config.t_safe_millis) });
+    }
+}
+
+/// Everything needed to materialize one forum's content.
+struct ForumSpec {
+    owner: u32,
+    kind: ForumKind,
+    title: String,
+    created: SimTime,
+    tags: Vec<TagId>,
+    members: Vec<Member>,
+    n_posts: usize,
+    comments_mean: f64,
+    likes_mean: f64,
+}
+
+/// Emit a forum, its memberships, and its discussion trees into `raw`.
+fn emit_forum(
+    config: &GeneratorConfig,
+    persons: &[Person],
+    events: &EventSchedule,
+    raw: &mut RawActivity,
+    spec: ForumSpec,
+    forum_counter: &mut u64,
+    message_counter: &mut u64,
+) {
+    let dicts = Dictionaries::global();
+    let owner_id = persons[spec.owner as usize].id;
+    let forum_temp = temp_forum_id(spec.owner, *forum_counter);
+    *forum_counter += 1;
+
+    raw.forums.push(Forum {
+        id: ForumId(forum_temp),
+        title: spec.title,
+        moderator: owner_id,
+        creation_date: spec.created,
+        tags: spec.tags.clone(),
+        kind: spec.kind,
+    });
+    for m in &spec.members {
+        raw.memberships.push(ForumMembership {
+            forum: ForumId(forum_temp),
+            person: persons[m.person as usize].id,
+            join_date: m.join,
+        });
+    }
+
+    // Members sorted by eligibility for prefix sampling at a given time.
+    let mut members = spec.members;
+    members.sort_unstable_by_key(|m| (m.eligible_from, m.person));
+
+    let post_window_lo = spec.created.plus_millis(config.t_safe_millis);
+    let post_window_hi = config.end.plus_millis(-MILLIS_PER_HOUR);
+    if post_window_lo >= post_window_hi {
+        return;
+    }
+
+    let mut prng = Rng::for_entity(config.seed, Stream::Posts, forum_temp);
+    for _ in 0..spec.n_posts {
+        // Sample a (possibly event-clustered) time, then find who can post.
+        let mut t = events.sample_post_time(&mut prng, post_window_lo, post_window_hi, &spec.tags);
+        let mut eligible = members.partition_point(|m| m.eligible_from <= t);
+        if eligible == 0 {
+            // Retry once uniformly, then give up on this slot.
+            t = prng.sim_time(post_window_lo, post_window_hi);
+            eligible = members.partition_point(|m| m.eligible_from <= t);
+            if eligible == 0 {
+                continue;
+            }
+        }
+        // Owner bias: the moderator authors a third of root posts.
+        let author_idx = if prng.chance(0.33) && members[..eligible].iter().any(|m| m.person == spec.owner)
+        {
+            spec.owner
+        } else {
+            members[prng.index(eligible)].person
+        };
+        let author = &persons[author_idx as usize];
+
+        let mut tags: Vec<TagId> = Vec::with_capacity(spec.tags.len());
+        for (i, &tag) in spec.tags.iter().enumerate() {
+            if i == 0 || prng.chance(0.4) {
+                tags.push(tag);
+            }
+        }
+        let topic = tags
+            .first()
+            .map(|t| dicts.tags.tag(t.index()).name.as_str())
+            .unwrap_or("life");
+        let language = author.languages[prng.index(author.languages.len())];
+        let country = message_country(&mut prng, author, dicts);
+
+        let post_temp = temp_message_id(spec.owner, *message_counter);
+        *message_counter += 1;
+        let is_photo = spec.kind == ForumKind::Album;
+        raw.posts.push(Post {
+            id: MessageId(post_temp),
+            author: author.id,
+            forum: ForumId(forum_temp),
+            creation_date: t,
+            content: if is_photo { String::new() } else { TextGen::post_text(&mut prng, topic) },
+            image_file: is_photo.then(|| format!("photo{post_temp}.jpg")),
+            tags: tags.clone(),
+            language,
+            country,
+        });
+
+        // Discussion tree under the post.
+        let mut thread: Vec<(u64, SimTime)> = vec![(post_temp, t)];
+        if spec.comments_mean > 0.0 {
+            let mut crng = Rng::for_entity(config.seed, Stream::Comments, post_temp);
+            let n_comments = crng.exponential(1.0 / spec.comments_mean) as usize;
+            for _ in 0..n_comments {
+                // Recency-biased parent choice keeps trees deep-ish.
+                let back = (crng.geometric(0.45) as usize).min(thread.len() - 1);
+                let (parent_temp, parent_t) = thread[thread.len() - 1 - back];
+                let ct = parent_t
+                    .plus_millis(MILLIS_PER_MINUTE + crng.exponential(1.0 / (8.0 * MILLIS_PER_HOUR as f64)) as i64);
+                if ct >= config.end {
+                    break;
+                }
+                let celig = members.partition_point(|m| m.eligible_from <= ct);
+                if celig == 0 {
+                    continue;
+                }
+                let cauthor = &persons[members[crng.index(celig)].person as usize];
+                let ctags: Vec<TagId> =
+                    tags.iter().copied().filter(|_| crng.chance(0.3)).collect();
+                let comment_temp = temp_message_id(spec.owner, *message_counter);
+                *message_counter += 1;
+                raw.comments.push(Comment {
+                    id: MessageId(comment_temp),
+                    author: cauthor.id,
+                    creation_date: ct,
+                    content: TextGen::comment_text(&mut crng, topic),
+                    reply_to: MessageId(parent_temp),
+                    root_post: MessageId(post_temp),
+                    forum: ForumId(forum_temp),
+                    tags: ctags,
+                    country: message_country(&mut crng, cauthor, dicts),
+                });
+                thread.push((comment_temp, ct));
+            }
+        }
+
+        // Likes on every message of the thread.
+        if spec.likes_mean > 0.0 {
+            for &(msg_temp, msg_t) in &thread {
+                let mut lrng = Rng::for_entity(config.seed, Stream::Likes, msg_temp);
+                let n_likes = lrng.exponential(1.0 / spec.likes_mean) as usize;
+                let mut likers: HashSet<u32> = HashSet::new();
+                for _ in 0..n_likes {
+                    let lt = msg_t
+                        .plus_millis(MILLIS_PER_MINUTE + lrng.exponential(1.0 / (2.0 * MILLIS_PER_DAY as f64)) as i64);
+                    if lt >= config.end {
+                        continue;
+                    }
+                    let lelig = members.partition_point(|m| m.eligible_from <= lt);
+                    if lelig == 0 {
+                        continue;
+                    }
+                    let liker = members[lrng.index(lelig)].person;
+                    if likers.insert(liker) {
+                        raw.likes.push(Like {
+                            person: persons[liker as usize].id,
+                            message: MessageId(msg_temp),
+                            creation_date: lt,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Messages are mostly written from the author's home country; occasionally
+/// while travelling (this is what makes Q3's "posts in foreign countries"
+/// selective).
+fn message_country(rng: &mut Rng, author: &Person, dicts: &Dictionaries) -> usize {
+    if rng.chance(0.05) {
+        rng.index(dicts.places.country_count())
+    } else {
+        author.country
+    }
+}
+
+#[inline]
+fn temp_forum_id(owner: u32, counter: u64) -> u64 {
+    ((owner as u64) << 16) | counter
+}
+
+#[inline]
+fn temp_message_id(owner: u32, counter: u64) -> u64 {
+    ((owner as u64) << 28) | counter
+}
+
+/// Merge per-block outputs, sort by creation date, and replace temporary ids
+/// with dense creation-ordered ids (paper footnote 3: entity id order
+/// follows the time dimension).
+fn merge_and_remap(raws: Vec<RawActivity>) -> Activity {
+    let mut forums = Vec::new();
+    let mut memberships = Vec::new();
+    let mut posts = Vec::new();
+    let mut comments = Vec::new();
+    let mut likes = Vec::new();
+    for raw in raws {
+        forums.extend(raw.forums);
+        memberships.extend(raw.memberships);
+        posts.extend(raw.posts);
+        comments.extend(raw.comments);
+        likes.extend(raw.likes);
+    }
+
+    forums.sort_by_key(|f| (f.creation_date, f.id.raw()));
+    let forum_map: HashMap<u64, u64> =
+        forums.iter().enumerate().map(|(i, f)| (f.id.raw(), i as u64)).collect();
+    for (i, f) in forums.iter_mut().enumerate() {
+        f.id = ForumId(i as u64);
+    }
+
+    // Posts and comments share one creation-ordered id space.
+    let mut msg_keys: Vec<(SimTime, u64)> = posts
+        .iter()
+        .map(|p| (p.creation_date, p.id.raw()))
+        .chain(comments.iter().map(|c| (c.creation_date, c.id.raw())))
+        .collect();
+    msg_keys.sort_unstable();
+    let msg_map: HashMap<u64, u64> =
+        msg_keys.iter().enumerate().map(|(i, &(_, tmp))| (tmp, i as u64)).collect();
+
+    for p in &mut posts {
+        p.id = MessageId(msg_map[&p.id.raw()]);
+        p.forum = ForumId(forum_map[&p.forum.raw()]);
+    }
+    for c in &mut comments {
+        c.id = MessageId(msg_map[&c.id.raw()]);
+        c.reply_to = MessageId(msg_map[&c.reply_to.raw()]);
+        c.root_post = MessageId(msg_map[&c.root_post.raw()]);
+        c.forum = ForumId(forum_map[&c.forum.raw()]);
+    }
+    for l in &mut likes {
+        l.message = MessageId(msg_map[&l.message.raw()]);
+    }
+    for m in &mut memberships {
+        m.forum = ForumId(forum_map[&m.forum.raw()]);
+    }
+
+    posts.sort_by_key(|p| p.id);
+    comments.sort_by_key(|c| c.id);
+    likes.sort_by_key(|l| (l.creation_date, l.person, l.message));
+    memberships.sort_by_key(|m| (m.join_date, m.forum, m.person));
+
+    Activity { forums, memberships, posts, comments, likes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::friends::generate_friendships;
+    use crate::person::generate_persons;
+
+    fn make(n: u64, threads: usize) -> (GeneratorConfig, Vec<Person>, Vec<Knows>, Activity) {
+        let config = GeneratorConfig::with_persons(n).threads(threads).activity(0.4);
+        let persons = generate_persons(&config);
+        let knows = generate_friendships(&config, &persons);
+        let events = EventSchedule::generate(&config);
+        let activity = generate_activity(&config, &persons, &knows, &events);
+        (config, persons, knows, activity)
+    }
+
+    #[test]
+    fn every_person_has_a_wall() {
+        let (_, persons, _, act) = make(300, 1);
+        let walls = act.forums.iter().filter(|f| f.kind == ForumKind::Wall).count();
+        assert_eq!(walls, persons.len());
+    }
+
+    #[test]
+    fn message_ids_are_dense_and_time_ordered() {
+        let (_, _, _, act) = make(300, 1);
+        let mut all: Vec<(u64, SimTime)> = act
+            .posts
+            .iter()
+            .map(|p| (p.id.raw(), p.creation_date))
+            .chain(act.comments.iter().map(|c| (c.id.raw(), c.creation_date)))
+            .collect();
+        all.sort_unstable();
+        for (i, &(id, _)) in all.iter().enumerate() {
+            assert_eq!(id, i as u64, "dense ids");
+        }
+        for w in all.windows(2) {
+            assert!(w[0].1 <= w[1].1, "ids follow time");
+        }
+    }
+
+    #[test]
+    fn comments_reply_to_earlier_messages_in_same_forum() {
+        let (_, _, _, act) = make(300, 1);
+        let mut msg_time: HashMap<u64, SimTime> =
+            act.posts.iter().map(|p| (p.id.raw(), p.creation_date)).collect();
+        msg_time.extend(act.comments.iter().map(|c| (c.id.raw(), c.creation_date)));
+        let post_forum: HashMap<u64, ForumId> =
+            act.posts.iter().map(|p| (p.id.raw(), p.forum)).collect();
+        assert!(!act.comments.is_empty());
+        for c in &act.comments {
+            assert!(c.creation_date > msg_time[&c.reply_to.raw()]);
+            assert_eq!(post_forum[&c.root_post.raw()], c.forum);
+        }
+    }
+
+    #[test]
+    fn likes_follow_message_creation() {
+        let (_, _, _, act) = make(300, 1);
+        let mut msg_time: HashMap<u64, SimTime> =
+            act.posts.iter().map(|p| (p.id.raw(), p.creation_date)).collect();
+        msg_time.extend(act.comments.iter().map(|c| (c.id.raw(), c.creation_date)));
+        assert!(!act.likes.is_empty());
+        for l in &act.likes {
+            assert!(l.creation_date > msg_time[&l.message.raw()]);
+        }
+    }
+
+    #[test]
+    fn activity_respects_t_safe_after_membership() {
+        let (config, _, _, act) = make(300, 1);
+        // Map (forum, person) -> join date.
+        let joins: HashMap<(u64, u64), SimTime> = act
+            .memberships
+            .iter()
+            .map(|m| ((m.forum.raw(), m.person.raw()), m.join_date))
+            .collect();
+        for p in &act.posts {
+            let join = joins
+                .get(&(p.forum.raw(), p.author.raw()))
+                .unwrap_or_else(|| panic!("author {} not member of forum {}", p.author, p.forum));
+            assert!(
+                p.creation_date.since(*join) >= 0,
+                "post precedes membership"
+            );
+            // Non-moderator authors also get the full safety gap.
+            let forum = act.forums.iter().find(|f| f.id == p.forum).unwrap();
+            if forum.moderator != p.author {
+                assert!(
+                    p.creation_date.since(*join) >= config.t_safe_millis,
+                    "post violates T_SAFE"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comment_and_like_authors_are_members() {
+        let (_, _, _, act) = make(300, 1);
+        let members: HashSet<(u64, u64)> = act
+            .memberships
+            .iter()
+            .map(|m| (m.forum.raw(), m.person.raw()))
+            .collect();
+        for c in &act.comments {
+            assert!(members.contains(&(c.forum.raw(), c.author.raw())));
+        }
+        let msg_forum: HashMap<u64, u64> = act
+            .posts
+            .iter()
+            .map(|p| (p.id.raw(), p.forum.raw()))
+            .chain(act.comments.iter().map(|c| (c.id.raw(), c.forum.raw())))
+            .collect();
+        for l in &act.likes {
+            assert!(members.contains(&(msg_forum[&l.message.raw()], l.person.raw())));
+        }
+    }
+
+    #[test]
+    fn generation_is_thread_count_independent() {
+        let (_, _, _, a) = make(400, 1);
+        let (_, _, _, b) = make(400, 4);
+        assert_eq!(a.posts.len(), b.posts.len());
+        assert_eq!(a.comments.len(), b.comments.len());
+        assert_eq!(a.likes.len(), b.likes.len());
+        for (x, y) in a.posts.iter().zip(&b.posts) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.author, y.author);
+            assert_eq!(x.creation_date, y.creation_date);
+            assert_eq!(x.content, y.content);
+        }
+        for (x, y) in a.comments.iter().zip(&b.comments) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.reply_to, y.reply_to);
+        }
+    }
+
+    #[test]
+    fn photos_live_in_albums_without_comments() {
+        let (_, _, _, act) = make(600, 1);
+        let album_ids: HashSet<u64> = act
+            .forums
+            .iter()
+            .filter(|f| f.kind == ForumKind::Album)
+            .map(|f| f.id.raw())
+            .collect();
+        assert!(!album_ids.is_empty());
+        for p in &act.posts {
+            if album_ids.contains(&p.forum.raw()) {
+                assert!(p.image_file.is_some());
+                assert!(p.content.is_empty());
+            } else {
+                assert!(p.image_file.is_none());
+            }
+        }
+        for c in &act.comments {
+            assert!(!album_ids.contains(&c.forum.raw()), "no comments in albums");
+        }
+    }
+
+    #[test]
+    fn volume_scales_with_degree() {
+        let (_, persons, knows, act) = make(600, 2);
+        let adj = build_adjacency(persons.len(), &knows);
+        // Messages per person correlate with degree: top-degree decile
+        // produces more wall posts than bottom decile.
+        let mut wall_posts = vec![0usize; persons.len()];
+        let wall_owner: HashMap<u64, usize> = act
+            .forums
+            .iter()
+            .filter(|f| f.kind == ForumKind::Wall)
+            .map(|f| (f.id.raw(), f.moderator.index()))
+            .collect();
+        for p in &act.posts {
+            if let Some(&owner) = wall_owner.get(&p.forum.raw()) {
+                wall_posts[owner] += 1;
+            }
+        }
+        let mut by_degree: Vec<(usize, usize)> =
+            (0..persons.len()).map(|i| (adj[i].len(), wall_posts[i])).collect();
+        by_degree.sort_unstable();
+        let decile = persons.len() / 10;
+        let low: usize = by_degree[..decile].iter().map(|&(_, w)| w).sum();
+        let high: usize = by_degree[persons.len() - decile..].iter().map(|&(_, w)| w).sum();
+        assert!(high > 2 * low, "high-degree {high} vs low-degree {low}");
+    }
+}

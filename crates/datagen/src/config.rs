@@ -1,0 +1,157 @@
+//! Generator configuration.
+
+use snb_core::time::{SimTime, MILLIS_PER_DAY};
+use snb_core::{SnbError, SnbResult};
+
+/// Configuration of one DATAGEN run.
+///
+/// The paper's scale factor (SF) is defined as gigabytes of CSV; the scale
+/// knob underneath is the number of persons (§2.4: "The scale is determined
+/// by setting the amount of persons in the network"). We expose persons
+/// directly and provide [`GeneratorConfig::scale_factor`] with the paper's
+/// persons-per-SF ratio (Table 3: SF30 has 0.18 M persons ⇒ ≈ 6 000
+/// persons/SF at small scale).
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of persons in the network.
+    pub n_persons: u64,
+    /// Master seed; two runs with equal config produce identical datasets,
+    /// regardless of `threads`.
+    pub seed: u64,
+    /// Worker threads for the parallel generation phases.
+    pub threads: usize,
+    /// Enable event-driven (spiking) post-time generation (§2.2, Fig. 2a).
+    pub event_driven: bool,
+    /// Simulation window start.
+    pub start: SimTime,
+    /// Simulation window end.
+    pub end: SimTime,
+    /// Bulk/update split point; data after this becomes the update stream.
+    pub update_split: SimTime,
+    /// `T_SAFE` (§4.2, Windowed Execution): guaranteed minimum simulation
+    /// time between a person-level dependency (account creation, friendship,
+    /// membership) and the first dependent activity.
+    pub t_safe_millis: i64,
+    /// Multiplier on activity volume (posts per person-degree). 1.0
+    /// approximates the paper's messages-per-person ratio; tests use less.
+    pub activity_scale: f64,
+    /// Sliding-window size for friendship generation (§2.3).
+    pub window_size: usize,
+    /// Fixed block size for deterministic parallel processing: block
+    /// boundaries depend only on the dataset, never on `threads`.
+    pub block_size: usize,
+}
+
+impl GeneratorConfig {
+    /// Config for a given number of persons with defaults everywhere else.
+    pub fn with_persons(n_persons: u64) -> GeneratorConfig {
+        GeneratorConfig {
+            n_persons,
+            seed: 1,
+            threads: 1,
+            event_driven: true,
+            start: SimTime::SIM_START,
+            end: SimTime::SIM_END,
+            update_split: SimTime::UPDATE_SPLIT,
+            t_safe_millis: 10 * MILLIS_PER_DAY,
+            activity_scale: 1.0,
+            window_size: 128,
+            block_size: 4096,
+        }
+    }
+
+    /// Config matching the paper's persons-per-SF ratio.
+    pub fn scale_factor(sf: f64) -> GeneratorConfig {
+        GeneratorConfig::with_persons((sf * 6_000.0).round().max(50.0) as u64)
+    }
+
+    /// Builder-style seed override.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style thread-count override.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder-style activity-volume override.
+    pub fn activity(mut self, scale: f64) -> Self {
+        self.activity_scale = scale;
+        self
+    }
+
+    /// Builder-style event-driven toggle.
+    pub fn events(mut self, on: bool) -> Self {
+        self.event_driven = on;
+        self
+    }
+
+    /// Validate invariants before generation.
+    pub fn validate(&self) -> SnbResult<()> {
+        if self.n_persons < 2 {
+            return Err(SnbError::Config("need at least 2 persons".into()));
+        }
+        if !(self.start < self.update_split && self.update_split < self.end) {
+            return Err(SnbError::Config(
+                "require start < update_split < end".into(),
+            ));
+        }
+        if self.t_safe_millis <= 0 {
+            return Err(SnbError::Config("t_safe must be positive".into()));
+        }
+        if self.window_size < 2 || self.block_size < 2 * self.window_size {
+            return Err(SnbError::Config(
+                "block_size must be at least twice window_size".into(),
+            ));
+        }
+        if self.activity_scale <= 0.0 || self.activity_scale.is_nan() {
+            return Err(SnbError::Config("activity_scale must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        GeneratorConfig::with_persons(100).validate().unwrap();
+        GeneratorConfig::scale_factor(0.1).validate().unwrap();
+    }
+
+    #[test]
+    fn scale_factor_maps_to_persons() {
+        assert_eq!(GeneratorConfig::scale_factor(1.0).n_persons, 6_000);
+        assert_eq!(GeneratorConfig::scale_factor(0.1).n_persons, 600);
+        // Tiny SFs are clamped to a usable minimum.
+        assert_eq!(GeneratorConfig::scale_factor(0.0001).n_persons, 50);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(GeneratorConfig::with_persons(1).validate().is_err());
+        let mut c = GeneratorConfig::with_persons(100);
+        c.update_split = c.end;
+        assert!(c.validate().is_err());
+        let mut c = GeneratorConfig::with_persons(100);
+        c.block_size = c.window_size;
+        assert!(c.validate().is_err());
+        let mut c = GeneratorConfig::with_persons(100);
+        c.activity_scale = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = GeneratorConfig::with_persons(10).seed(9).threads(4).activity(0.5).events(false);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.activity_scale, 0.5);
+        assert!(!c.event_driven);
+    }
+}

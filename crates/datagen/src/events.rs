@@ -1,0 +1,208 @@
+//! Event-driven post-time generation (§2.2, Fig. 2a).
+//!
+//! "Whenever an important real world event occurs, the amount of people and
+//! messages talking about that topic spikes." DATAGEN simulates events
+//! related to certain tags; posts by persons interested in that tag cluster
+//! around the event with "spikes of different magnitude [...] which
+//! correspond to events of different levels of importance", following the
+//! rise-and-decay volume shape of Leskovec et al.'s meme-tracking study
+//! (paper ref \[7\]).
+
+use crate::config::GeneratorConfig;
+use snb_core::dict::Dictionaries;
+use snb_core::rng::{Rng, Stream};
+use snb_core::time::{SimTime, MILLIS_PER_DAY, MILLIS_PER_HOUR};
+use snb_core::TagId;
+
+/// A trending event: a topic spikes at a point in time.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// The trending tag.
+    pub tag: TagId,
+    /// Peak time.
+    pub time: SimTime,
+    /// Importance (≥ 1); spike volume scales with it.
+    pub importance: f64,
+}
+
+/// The global, deterministic schedule of trending events.
+#[derive(Debug)]
+pub struct EventSchedule {
+    events: Vec<Event>,
+    /// `per_tag[t]` lists events about tag `t`.
+    per_tag: Vec<Vec<usize>>,
+    /// Fraction of posts drawn from the spike model rather than uniform.
+    event_prob: f64,
+}
+
+/// Share of a spike's mass in the pre-peak ramp-up.
+const RISE_FRACTION: f64 = 0.25;
+/// Ramp-up window before the peak.
+const RISE_WINDOW_MS: i64 = MILLIS_PER_DAY;
+/// Mean of the exponential post-peak decay.
+const DECAY_MEAN_MS: f64 = 2.0 * MILLIS_PER_DAY as f64;
+
+impl EventSchedule {
+    /// Build the schedule. With `event_driven` disabled the schedule is
+    /// empty and all sampled times are uniform.
+    pub fn generate(config: &GeneratorConfig) -> EventSchedule {
+        let dicts = Dictionaries::global();
+        let n_tags = dicts.tags.tag_count();
+        let mut per_tag = vec![Vec::new(); n_tags];
+        let mut events = Vec::new();
+        if config.event_driven {
+            let n_events = 30 + (config.n_persons / 100) as usize;
+            let lo = config.start.plus_days(30);
+            let hi = config.end.plus_days(-30);
+            for e in 0..n_events {
+                let mut rng = Rng::for_entity(config.seed, Stream::Events, e as u64);
+                let tag = rng.index(n_tags);
+                let time = rng.sim_time(lo, hi);
+                // Pareto-tailed importance: most events minor, a few huge.
+                let importance = (1.0 / rng.next_f64().max(1e-9)).powf(0.6).min(1_000.0);
+                per_tag[tag].push(events.len());
+                events.push(Event { tag: TagId(tag as u64), time, importance });
+            }
+        }
+        EventSchedule { events, per_tag, event_prob: 0.35 }
+    }
+
+    /// All events (for inspection / experiments).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Sample a post creation time in `[lo, hi)` for a forum about `tags`:
+    /// with probability `event_prob`, cluster around a matching event
+    /// (weighted by importance); otherwise uniform.
+    pub fn sample_post_time(
+        &self,
+        rng: &mut Rng,
+        lo: SimTime,
+        hi: SimTime,
+        tags: &[TagId],
+    ) -> SimTime {
+        debug_assert!(lo < hi);
+        if !self.events.is_empty() && rng.chance(self.event_prob) {
+            if let Some(ev) = self.pick_event(rng, lo, hi, tags) {
+                let t = self.spike_time(rng, ev);
+                if t >= lo && t < hi {
+                    return t;
+                }
+            }
+        }
+        rng.sim_time(lo, hi)
+    }
+
+    /// Pick an event about one of `tags` whose peak lies inside the window,
+    /// weighted by importance.
+    fn pick_event(&self, rng: &mut Rng, lo: SimTime, hi: SimTime, tags: &[TagId]) -> Option<&Event> {
+        let candidates: Vec<&Event> = tags
+            .iter()
+            .flat_map(|t| self.per_tag.get(t.index()).into_iter().flatten())
+            .map(|&i| &self.events[i])
+            .filter(|e| e.time >= lo && e.time < hi)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let mut cum = Vec::with_capacity(candidates.len());
+        let mut total = 0.0;
+        for e in &candidates {
+            total += e.importance;
+            cum.push(total);
+        }
+        Some(candidates[rng.weighted_index(&cum)])
+    }
+
+    /// A time drawn from the spike shape around `event`: linear ramp-up in
+    /// the day before the peak, exponential decay after.
+    fn spike_time(&self, rng: &mut Rng, event: &Event) -> SimTime {
+        if rng.chance(RISE_FRACTION) {
+            // Ramp up: density increasing toward the peak (sqrt transform).
+            let u = rng.next_f64().sqrt();
+            event.time.plus_millis(-((1.0 - u) * RISE_WINDOW_MS as f64) as i64)
+        } else {
+            let lag = rng.exponential(1.0 / DECAY_MEAN_MS);
+            event.time.plus_millis((lag as i64).max(MILLIS_PER_HOUR / 60))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(event_driven: bool) -> (GeneratorConfig, EventSchedule) {
+        let config = GeneratorConfig::with_persons(2_000).events(event_driven);
+        let s = EventSchedule::generate(&config);
+        (config, s)
+    }
+
+    #[test]
+    fn disabled_schedule_is_uniform() {
+        let (config, s) = schedule(false);
+        assert!(s.events().is_empty());
+        let mut rng = Rng::for_entity(1, Stream::Posts, 0);
+        for _ in 0..100 {
+            let t = s.sample_post_time(&mut rng, config.start, config.end, &[TagId(0)]);
+            assert!(t >= config.start && t < config.end);
+        }
+    }
+
+    #[test]
+    fn event_times_are_within_simulation() {
+        let (config, s) = schedule(true);
+        assert!(!s.events().is_empty());
+        for e in s.events() {
+            assert!(e.time > config.start && e.time < config.end);
+            assert!(e.importance >= 1.0);
+        }
+    }
+
+    #[test]
+    fn sampled_times_stay_in_window() {
+        let (config, s) = schedule(true);
+        let mut rng = Rng::for_entity(2, Stream::Posts, 1);
+        let lo = config.start.plus_days(100);
+        let hi = config.start.plus_days(400);
+        let tags: Vec<TagId> = (0..10).map(TagId).collect();
+        for _ in 0..5_000 {
+            let t = s.sample_post_time(&mut rng, lo, hi, &tags);
+            assert!(t >= lo && t < hi);
+        }
+    }
+
+    #[test]
+    fn event_driven_density_spikes_versus_uniform() {
+        // The Fig. 2a property: with events on, daily post-count density has
+        // pronounced peaks; uniform stays flat.
+        let (config, on) = schedule(true);
+        let (_, off) = schedule(false);
+        let peak_ratio = |s: &EventSchedule| -> f64 {
+            let mut rng = Rng::for_entity(3, Stream::Posts, 7);
+            let days = ((config.end.since(config.start)) / MILLIS_PER_DAY) as usize;
+            let mut buckets = vec![0u32; days];
+            let tags: Vec<TagId> = (0..40).map(TagId).collect();
+            for _ in 0..40_000 {
+                let t = s.sample_post_time(&mut rng, config.start, config.end, &tags);
+                let d = (t.since(config.start) / MILLIS_PER_DAY) as usize;
+                buckets[d.min(days - 1)] += 1;
+            }
+            let mean = buckets.iter().map(|&b| b as f64).sum::<f64>() / days as f64;
+            *buckets.iter().max().unwrap() as f64 / mean
+        };
+        let r_on = peak_ratio(&on);
+        let r_off = peak_ratio(&off);
+        assert!(r_on > 2.0 * r_off, "spikes missing: on {r_on:.1} off {r_off:.1}");
+    }
+
+    #[test]
+    fn importance_distribution_is_heavy_tailed() {
+        let (_, s) = schedule(true);
+        let max = s.events().iter().map(|e| e.importance).fold(0.0, f64::max);
+        let mean =
+            s.events().iter().map(|e| e.importance).sum::<f64>() / s.events().len() as f64;
+        assert!(max > 3.0 * mean, "max {max:.1} mean {mean:.1}");
+    }
+}

@@ -1,0 +1,257 @@
+//! Person generation with correlated attributes (§2.1, Table 1).
+//!
+//! The correlation chain implemented here:
+//! `location → firstName/lastName` (gendered), `location → university,
+//! company, languages`, `employer → email`, `location → interests`,
+//! `birthDate < createdDate`. Identifier order follows creation time
+//! (footnote 3 of the paper: ids are assigned "in an order that follows the
+//! time dimension"), which we realize by drawing creation dates first,
+//! sorting, and assigning dense ids in date order.
+
+use crate::config::GeneratorConfig;
+use crate::pipeline::run_blocks;
+use snb_core::dict::names::Gender;
+use snb_core::dict::Dictionaries;
+use snb_core::rng::{Rng, Stream};
+use snb_core::schema::{Person, StudyAt, WorkAt, BROWSERS};
+use snb_core::time::{SimTime, MILLIS_PER_DAY};
+use snb_core::{OrganisationId, PersonId, TagId};
+
+/// Distinguishes the date-drawing stream from the attribute stream for the
+/// same person index.
+const DATE_STREAM_BIT: u64 = 1 << 63;
+
+/// Generate all persons, ids dense in creation-date order.
+pub fn generate_persons(config: &GeneratorConfig) -> Vec<Person> {
+    let n = config.n_persons as usize;
+    let dicts = Dictionaries::global();
+
+    // Phase A: creation dates. Uniform over the simulation window minus a
+    // small tail (late joiners could otherwise have no time to act); ~11 %
+    // of persons land after the update split and become U1 operations,
+    // matching the paper's SF10 stream (6,889 user ops vs 32.6 M forum ops).
+    let span = config.end.since(config.start) - 30 * MILLIS_PER_DAY;
+    let mut dates: Vec<SimTime> = run_blocks(n, config.block_size, config.threads, |range| {
+        range
+            .map(|i| {
+                let mut rng =
+                    Rng::for_entity(config.seed, Stream::PersonAttrs, DATE_STREAM_BIT | i as u64);
+                config.start.plus_millis((rng.next_f64() * span as f64) as i64)
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    dates.sort_unstable();
+
+    // Phase B: attributes per final id.
+    let dates = &dates;
+    run_blocks(n, config.block_size, config.threads, move |range| {
+        range.map(|r| generate_one(config, dicts, PersonId(r as u64), dates[r])).collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+fn generate_one(
+    config: &GeneratorConfig,
+    dicts: &Dictionaries,
+    id: PersonId,
+    creation_date: SimTime,
+) -> Person {
+    let mut rng = Rng::for_entity(config.seed, Stream::PersonAttrs, id.raw());
+
+    let country = dicts.places.sample_country(&mut rng);
+    let city = dicts.places.sample_city(&mut rng, country);
+    let gender = if rng.chance(0.5) { Gender::Male } else { Gender::Female };
+    let first_name = dicts.names.first_name(&mut rng, country, gender);
+    let last_name = dicts.names.last_name(&mut rng, country);
+
+    // Born 15-60 years before the network starts; always before account
+    // creation (Table 1: person.birthDate < person.createdDate).
+    let birth_year = 1950 + rng.range_i64(0, 44);
+    let birthday = SimTime::from_ymd(birth_year, 1 + rng.below(12) as u8, 1 + rng.below(28) as u8);
+
+    // Languages: home-country languages, plus English for a majority.
+    let mut languages: Vec<&'static str> = dicts.places.country(country).languages.to_vec();
+    if !languages.contains(&"en") && rng.chance(0.6) {
+        languages.push("en");
+    }
+
+    // Education & employment; both are location-correlated.
+    let study_at = rng.chance(0.8).then(|| {
+        let university = dicts.orgs.sample_university(&mut rng, country);
+        let class_year = (birth_year + 18 + rng.range_i64(0, 7)) as i32;
+        StudyAt { university: OrganisationId(university as u64), class_year }
+    });
+    let n_jobs = rng.below(3) as usize;
+    let mut work_at = Vec::with_capacity(n_jobs);
+    for _ in 0..n_jobs {
+        let company = dicts.orgs.sample_company(&mut rng, country);
+        if work_at.iter().any(|w: &WorkAt| w.company.raw() == company as u64) {
+            continue;
+        }
+        let work_from = (birth_year + 20 + rng.range_i64(0, 20)).min(2012) as i32;
+        work_at.push(WorkAt { company: OrganisationId(company as u64), work_from });
+    }
+    work_at.sort_by_key(|w| (w.work_from, w.company.raw()));
+
+    // Emails from employer/university domains (Table 1: person.employer
+    // determines person.email).
+    let mut emails = Vec::new();
+    let handle = format!("{}.{}{}", first_name.to_lowercase(), last_name.to_lowercase(), id.raw());
+    if let Some(w) = work_at.first() {
+        let domain = slug(&dicts.orgs.company(w.company.index()).name);
+        emails.push(format!("{handle}@{domain}.com"));
+    }
+    if let Some(s) = study_at {
+        let domain = slug(&dicts.orgs.university(s.university.index()).name);
+        emails.push(format!("{handle}@{domain}.edu"));
+    }
+    if emails.is_empty() {
+        emails.push(format!("{handle}@mail.example.org"));
+    }
+
+    // Interests: skewed count, location-correlated tags.
+    let mut irng = Rng::for_entity(config.seed, Stream::Interests, id.raw());
+    let n_interests = (3 + irng.exponential(0.35) as usize).min(24);
+    let interests: Vec<TagId> = dicts
+        .tags
+        .sample_interest_set(&mut irng, country, n_interests)
+        .into_iter()
+        .map(|t| TagId(t as u64))
+        .collect();
+
+    let location_ip = format!(
+        "{}.{}.{}.{}",
+        20 + country,
+        rng.below(256),
+        rng.below(256),
+        1 + rng.below(254)
+    );
+    let browser = BROWSERS[rng.skewed_index(BROWSERS.len(), 0.7)];
+
+    Person {
+        id,
+        first_name,
+        last_name,
+        gender,
+        birthday,
+        creation_date,
+        city,
+        country,
+        browser,
+        location_ip,
+        languages,
+        emails,
+        interests,
+        study_at,
+        work_at,
+    }
+}
+
+fn slug(name: &str) -> String {
+    name.chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == ' ')
+        .collect::<String>()
+        .to_lowercase()
+        .replace(' ', "-")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(n: u64) -> GeneratorConfig {
+        GeneratorConfig::with_persons(n)
+    }
+
+    #[test]
+    fn ids_are_dense_and_date_ordered() {
+        let persons = generate_persons(&config(500));
+        assert_eq!(persons.len(), 500);
+        for (i, p) in persons.iter().enumerate() {
+            assert_eq!(p.id.raw(), i as u64);
+        }
+        for w in persons.windows(2) {
+            assert!(w[0].creation_date <= w[1].creation_date);
+        }
+    }
+
+    #[test]
+    fn generation_is_thread_count_independent() {
+        let a = generate_persons(&config(300).threads(1));
+        let b = generate_persons(&config(300).threads(4));
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.first_name, pb.first_name);
+            assert_eq!(pa.creation_date, pb.creation_date);
+            assert_eq!(pa.country, pb.country);
+            assert_eq!(pa.interests, pb.interests);
+            assert_eq!(pa.emails, pb.emails);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_persons(&config(100).seed(1));
+        let b = generate_persons(&config(100).seed(2));
+        let same = a.iter().zip(&b).filter(|(x, y)| x.first_name == y.first_name).count();
+        assert!(same < 60, "only coincidental matches, got {same}");
+    }
+
+    #[test]
+    fn birthday_precedes_creation() {
+        for p in generate_persons(&config(300)) {
+            assert!(p.birthday < p.creation_date);
+        }
+    }
+
+    #[test]
+    fn attributes_are_location_correlated() {
+        let persons = generate_persons(&config(2_000));
+        let dicts = Dictionaries::global();
+        // Most persons study in their home country.
+        let with_uni: Vec<&Person> = persons.iter().filter(|p| p.study_at.is_some()).collect();
+        assert!(!with_uni.is_empty());
+        let local = with_uni
+            .iter()
+            .filter(|p| {
+                dicts.orgs.university(p.study_at.unwrap().university.index()).country == p.country
+            })
+            .count();
+        assert!(local as f64 / with_uni.len() as f64 > 0.8);
+        // City always belongs to home country.
+        for p in &persons {
+            assert_eq!(dicts.places.city(p.city).country, p.country);
+        }
+    }
+
+    #[test]
+    fn emails_use_org_domains() {
+        let persons = generate_persons(&config(500));
+        let p = persons.iter().find(|p| !p.work_at.is_empty()).unwrap();
+        assert!(p.emails[0].ends_with(".com"));
+        assert!(p.emails[0].contains('@'));
+    }
+
+    #[test]
+    fn interest_counts_are_skewed_but_bounded() {
+        let persons = generate_persons(&config(1_000));
+        let counts: Vec<usize> = persons.iter().map(|p| p.interests.len()).collect();
+        assert!(counts.iter().all(|&c| (3..=24).contains(&c)));
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!((4.0..9.0).contains(&mean), "mean interests {mean}");
+    }
+
+    #[test]
+    fn some_persons_join_after_update_split() {
+        let c = config(1_000);
+        let persons = generate_persons(&c);
+        let late = persons.iter().filter(|p| p.creation_date > c.update_split).count();
+        let frac = late as f64 / persons.len() as f64;
+        assert!((0.05..0.20).contains(&frac), "late-joiner fraction {frac}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic parallel execution.
+//!
+//! The original DATAGEN runs on Hadoop; its headline engineering property is
+//! that the generated dataset is identical "regardless \[of\] the Hadoop
+//! configuration parameters (#node, #map and #reduce tasks)" (§2.4). The
+//! equivalent here: work is partitioned into *fixed-size blocks* whose
+//! boundaries depend only on the item count — never on the thread count —
+//! and every random draw comes from a per-entity RNG stream. Threads are
+//! merely a pool pulling blocks off a shared counter; results are collected
+//! by block index, so output order is deterministic too.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Split `n` items into consecutive blocks of at most `block_size`.
+pub fn blocks(n: usize, block_size: usize) -> Vec<Range<usize>> {
+    assert!(block_size > 0);
+    let mut out = Vec::with_capacity(n.div_ceil(block_size));
+    let mut start = 0;
+    while start < n {
+        let end = (start + block_size).min(n);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Run `f` over each block on `threads` workers; returns per-block results
+/// in block order. `f` must be deterministic given the block range (use
+/// per-entity RNG streams inside).
+pub fn run_blocks<T, F>(n: usize, block_size: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = blocks(n, block_size);
+    let n_blocks = ranges.len();
+    if n_blocks == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n_blocks);
+    if threads == 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n_blocks).map(|_| None).collect();
+    let slots_ptr = SlotsPtr(slots.as_mut_ptr());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let ranges = &ranges;
+            let next = &next;
+            let slots_ptr = &slots_ptr;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_blocks {
+                    break;
+                }
+                let result = f(ranges[i].clone());
+                // SAFETY: each block index is claimed exactly once via the
+                // atomic counter, so no two threads write the same slot, and
+                // the scope joins all threads before `slots` is read.
+                unsafe { slots_ptr.0.add(i).write(Some(result)) };
+            });
+        }
+    });
+
+    slots.into_iter().map(|s| s.expect("all blocks completed")).collect()
+}
+
+/// Send/Sync wrapper for the disjoint-slot writes above.
+struct SlotsPtr<T>(*mut Option<T>);
+// SAFETY: writes target disjoint indices (unique atomic claim per block) and
+// the thread scope joins before reads.
+unsafe impl<T: Send> Send for SlotsPtr<T> {}
+unsafe impl<T: Send> Sync for SlotsPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_cover_exactly() {
+        let bs = blocks(10, 3);
+        assert_eq!(bs, vec![0..3, 3..6, 6..9, 9..10]);
+        assert!(blocks(0, 3).is_empty());
+        assert_eq!(blocks(3, 3), vec![0..3]);
+    }
+
+    #[test]
+    fn results_arrive_in_block_order() {
+        let out = run_blocks(100, 7, 4, |r| r.start);
+        let expect: Vec<usize> = blocks(100, 7).into_iter().map(|r| r.start).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let work = |r: Range<usize>| -> u64 { r.map(|i| (i as u64).wrapping_mul(2_654_435_761)).sum() };
+        let a = run_blocks(10_000, 64, 1, work);
+        let b = run_blocks(10_000, 64, 4, work);
+        let c = run_blocks(10_000, 64, 13, work);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn single_item_single_block() {
+        let out = run_blocks(1, 100, 8, |r| r.len());
+        assert_eq!(out, vec![1]);
+    }
+}

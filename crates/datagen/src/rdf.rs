@@ -1,0 +1,208 @@
+//! N-Triples (RDF) serialization.
+//!
+//! §2.4: "DATAGEN can also generate RDF data in Ntriple format, which is
+//! much more verbose." The paper's footnote 3 specifies the URI scheme:
+//! "When generating URIs that identify entities, we ensure that URIs for
+//! the same kind of entity (e.g. person) have an order that follows the
+//! time dimension. This is done by encoding the timestamp (e.g. when the
+//! user joined the network) in the URI string in an order-preserving way.
+//! This is important for URI compression in RDF systems."
+//!
+//! We realize that with zero-padded fixed-width decimal timestamps embedded
+//! in each URI: lexicographic URI order == creation-time order.
+
+use crate::Dataset;
+use snb_core::time::SimTime;
+use snb_core::SnbResult;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+const BASE: &str = "http://ldbc.eu/snb";
+
+/// Order-preserving URI for an entity: fixed-width timestamp then id.
+/// Lexicographic comparison of two URIs of the same kind orders them by
+/// creation time (ties by id).
+pub fn entity_uri(kind: &str, created: SimTime, id: u64) -> String {
+    // 13 decimal digits cover the simulation epoch range; zero-padding makes
+    // the encoding order-preserving under string comparison.
+    format!("<{BASE}/{kind}/{:013}-{id}>", created.millis())
+}
+
+fn literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn date_literal(t: SimTime) -> String {
+    format!("\"{t}\"^^<http://www.w3.org/2001/XMLSchema#dateTime>")
+}
+
+/// Write the bulk part of `ds` as N-Triples into `path`. Returns the number
+/// of triples written.
+pub fn write_ntriples(ds: &Dataset, path: &Path) -> SnbResult<u64> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let split = ds.config.update_split;
+    let mut n = 0u64;
+    let mut triple = |w: &mut BufWriter<File>, s: &str, p: &str, o: &str| -> SnbResult<()> {
+        writeln!(w, "{s} <{BASE}/vocab#{p}> {o} .")?;
+        n += 1;
+        Ok(())
+    };
+
+    let person_uri = |id: snb_core::PersonId| {
+        entity_uri("person", ds.persons[id.index()].creation_date, id.raw())
+    };
+    let forum_uri =
+        |id: snb_core::ForumId| entity_uri("forum", ds.forums[id.index()].creation_date, id.raw());
+
+    for p in ds.persons.iter().filter(|p| p.creation_date <= split) {
+        let s = person_uri(p.id);
+        triple(&mut w, &s, "firstName", &literal(p.first_name))?;
+        triple(&mut w, &s, "lastName", &literal(p.last_name))?;
+        triple(&mut w, &s, "gender", &literal(p.gender.as_str()))?;
+        triple(&mut w, &s, "birthday", &date_literal(p.birthday))?;
+        triple(&mut w, &s, "creationDate", &date_literal(p.creation_date))?;
+        for t in &p.interests {
+            triple(&mut w, &s, "hasInterest", &format!("<{BASE}/tag/{}>", t.raw()))?;
+        }
+    }
+    for k in ds.knows.iter().filter(|k| k.creation_date <= split) {
+        triple(&mut w, &person_uri(k.a), "knows", &person_uri(k.b))?;
+    }
+    for f in ds.forums.iter().filter(|f| f.creation_date <= split) {
+        let s = forum_uri(f.id);
+        triple(&mut w, &s, "title", &literal(&f.title))?;
+        triple(&mut w, &s, "hasModerator", &person_uri(f.moderator))?;
+        triple(&mut w, &s, "creationDate", &date_literal(f.creation_date))?;
+    }
+    for m in ds.memberships.iter().filter(|m| m.join_date <= split) {
+        triple(&mut w, &forum_uri(m.forum), "hasMember", &person_uri(m.person))?;
+    }
+    for p in ds.posts.iter().filter(|p| p.creation_date <= split) {
+        let s = entity_uri("message", p.creation_date, p.id.raw());
+        triple(&mut w, &s, "hasCreator", &person_uri(p.author))?;
+        triple(&mut w, &forum_uri(p.forum), "containerOf", &s)?;
+        triple(&mut w, &s, "creationDate", &date_literal(p.creation_date))?;
+        if !p.content.is_empty() {
+            triple(&mut w, &s, "content", &literal(&p.content))?;
+        }
+        for t in &p.tags {
+            triple(&mut w, &s, "hasTag", &format!("<{BASE}/tag/{}>", t.raw()))?;
+        }
+    }
+    let message_uri = |id: snb_core::MessageId, when: SimTime| entity_uri("message", when, id.raw());
+    let mut msg_created: Vec<SimTime> = vec![SimTime(0); ds.message_count()];
+    for p in &ds.posts {
+        msg_created[p.id.index()] = p.creation_date;
+    }
+    for c in &ds.comments {
+        msg_created[c.id.index()] = c.creation_date;
+    }
+    for c in ds.comments.iter().filter(|c| c.creation_date <= split) {
+        let s = message_uri(c.id, c.creation_date);
+        triple(&mut w, &s, "hasCreator", &person_uri(c.author))?;
+        triple(&mut w, &s, "replyOf", &message_uri(c.reply_to, msg_created[c.reply_to.index()]))?;
+        triple(&mut w, &s, "creationDate", &date_literal(c.creation_date))?;
+    }
+    for l in ds.likes.iter().filter(|l| l.creation_date <= split) {
+        triple(
+            &mut w,
+            &person_uri(l.person),
+            "likes",
+            &message_uri(l.message, msg_created[l.message.index()]),
+        )?;
+    }
+    w.flush()?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, GeneratorConfig};
+
+    #[test]
+    fn uris_are_order_preserving() {
+        // Footnote 3's property: lexicographic URI order follows time.
+        let a = entity_uri("person", SimTime(1_000), 5);
+        let b = entity_uri("person", SimTime(2_000), 3);
+        let c = entity_uri("person", SimTime(20_000), 1);
+        assert!(a < b && b < c);
+        // Equal widths regardless of magnitude.
+        let early = entity_uri("message", SimTime(1), 0);
+        let late = entity_uri("message", SimTime(9_999_999_999_999), 0);
+        assert!(early < late);
+    }
+
+    #[test]
+    fn literals_are_escaped() {
+        assert_eq!(literal("plain"), "\"plain\"");
+        assert_eq!(literal("say \"hi\"\n"), "\"say \\\"hi\\\"\\n\"");
+        assert_eq!(literal("back\\slash"), "\"back\\\\slash\"");
+    }
+
+    #[test]
+    fn ntriples_output_is_wellformed() {
+        let ds = generate(GeneratorConfig::with_persons(80).activity(0.3)).unwrap();
+        let path = std::env::temp_dir().join(format!("snb-nt-{}.nt", std::process::id()));
+        let n = write_ntriples(&ds, &path).unwrap();
+        assert!(n > 0);
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len() as u64, n);
+        for line in &lines {
+            assert!(line.ends_with(" ."), "triple missing terminator: {line}");
+            assert!(line.starts_with('<'), "subject must be a URI: {line}");
+            let parts: Vec<&str> = line.splitn(3, ' ').collect();
+            assert_eq!(parts.len(), 3);
+            assert!(parts[1].starts_with('<') && parts[1].ends_with('>'));
+        }
+        // Message URIs appear in creation order when sorted -> ids ascend.
+        let mut message_uris: Vec<&str> = lines
+            .iter()
+            .map(|l| l.split(' ').next().unwrap())
+            .filter(|s| s.contains("/message/"))
+            .collect();
+        message_uris.sort_unstable();
+        message_uris.dedup();
+        // Sorted lexicographically == sorted by embedded timestamp.
+        let stamps: Vec<&str> = message_uris
+            .iter()
+            .map(|u| u.rsplit('/').next().unwrap())
+            .collect();
+        for w in stamps.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rdf_is_more_verbose_than_csv() {
+        // §2.4: "RDF data in Ntriple format, which is much more verbose".
+        let ds = generate(GeneratorConfig::with_persons(80).activity(0.3)).unwrap();
+        let dir = std::env::temp_dir().join(format!("snb-verbosity-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        crate::serializer::write_csv(&ds, &dir).unwrap();
+        let csv_bytes: u64 = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum();
+        let nt = dir.join("data.nt");
+        write_ntriples(&ds, &nt).unwrap();
+        let nt_bytes = std::fs::metadata(&nt).unwrap().len();
+        assert!(nt_bytes > csv_bytes, "nt {nt_bytes} vs csv {csv_bytes}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,209 @@
+//! Bulk/update split and update-stream construction (§4).
+//!
+//! "DATAGEN can divide its output in two parts, splitting all data at one
+//! particular timestamp: all data before this point is output in the
+//! requested bulk-load format, the data with a timestamp after the split is
+//! formatted as input files for the query driver."
+//!
+//! For each post-split entity we emit a [`ScheduledUpdate`] with:
+//! - `due`  = the entity's creation timestamp;
+//! - `dep`  = the creation time of its latest *person-level* prerequisite
+//!   that is itself in the update stream (person accounts). Intra-forum
+//!   prerequisites (forum before membership, post before comment/like) are
+//!   deliberately NOT GCT-tracked: the driver captures them by executing
+//!   each forum's stream sequentially — "using TGC would introduce false
+//!   dependencies" (§4.2);
+//! - `stream` = `Person` for addPerson/addFriendship (the FRIEND graph is
+//!   non-partitionable), `Forum(id)` otherwise.
+
+use crate::Dataset;
+use snb_core::time::SimTime;
+use snb_core::update::{ScheduledUpdate, StreamKey, UpdateOp};
+
+/// Build the time-ordered update stream from everything in `ds` created
+/// after the configured split point.
+pub fn build_update_stream(ds: &Dataset) -> Vec<ScheduledUpdate> {
+    let split = ds.config.update_split;
+    let mut out: Vec<ScheduledUpdate> = Vec::new();
+
+    // Dependency lookup helpers: an entity's creation only constrains GCT
+    // if the entity itself is an update (created after the split).
+    let person_dep = |pid: snb_core::PersonId| -> SimTime {
+        let c = ds.persons[pid.index()].creation_date;
+        if c > split {
+            c
+        } else {
+            SimTime(0)
+        }
+    };
+    for p in &ds.persons {
+        if p.creation_date > split {
+            out.push(ScheduledUpdate {
+                due: p.creation_date,
+                dep: SimTime(0),
+                stream: StreamKey::Person,
+                op: UpdateOp::AddPerson(p.clone()),
+            });
+        }
+    }
+    for k in &ds.knows {
+        if k.creation_date > split {
+            out.push(ScheduledUpdate {
+                due: k.creation_date,
+                dep: person_dep(k.a).max(person_dep(k.b)),
+                stream: StreamKey::Person,
+                op: UpdateOp::AddFriendship(*k),
+            });
+        }
+    }
+    for f in &ds.forums {
+        if f.creation_date > split {
+            out.push(ScheduledUpdate {
+                due: f.creation_date,
+                dep: person_dep(f.moderator),
+                stream: StreamKey::Forum(f.id.raw()),
+                op: UpdateOp::AddForum(f.clone()),
+            });
+        }
+    }
+    for m in &ds.memberships {
+        if m.join_date > split {
+            out.push(ScheduledUpdate {
+                due: m.join_date,
+                dep: person_dep(m.person),
+                stream: StreamKey::Forum(m.forum.raw()),
+                op: UpdateOp::AddMembership(*m),
+            });
+        }
+    }
+    for p in &ds.posts {
+        if p.creation_date > split {
+            out.push(ScheduledUpdate {
+                due: p.creation_date,
+                dep: person_dep(p.author),
+                stream: StreamKey::Forum(p.forum.raw()),
+                op: UpdateOp::AddPost(p.clone()),
+            });
+        }
+    }
+    for c in &ds.comments {
+        if c.creation_date > split {
+            out.push(ScheduledUpdate {
+                due: c.creation_date,
+                dep: person_dep(c.author),
+                stream: StreamKey::Forum(c.forum.raw()),
+                op: UpdateOp::AddComment(c.clone()),
+            });
+        }
+    }
+    // Likes split into U2 (post likes) and U3 (comment likes).
+    for l in &ds.likes {
+        if l.creation_date > split {
+            let is_comment = ds.is_comment(l.message);
+            let forum = ds.forum_of_message(l.message);
+            out.push(ScheduledUpdate {
+                due: l.creation_date,
+                dep: person_dep(l.person),
+                stream: StreamKey::Forum(forum.raw()),
+                op: if is_comment {
+                    UpdateOp::AddCommentLike(*l)
+                } else {
+                    UpdateOp::AddPostLike(*l)
+                },
+            });
+        }
+    }
+
+    out.sort_by_key(|s| (s.due, s.op.query_number()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, GeneratorConfig};
+
+    fn stream() -> (Dataset, Vec<ScheduledUpdate>) {
+        let ds = generate(GeneratorConfig::with_persons(500).activity(0.4)).unwrap();
+        let s = build_update_stream(&ds);
+        (ds, s)
+    }
+
+    #[test]
+    fn stream_is_time_ordered_and_post_split() {
+        let (ds, s) = stream();
+        assert!(!s.is_empty());
+        for w in s.windows(2) {
+            assert!(w[0].due <= w[1].due);
+        }
+        for u in &s {
+            assert!(u.due > ds.config.update_split);
+            assert_eq!(u.due, u.op.creation_date());
+        }
+    }
+
+    #[test]
+    fn dependencies_precede_dependents() {
+        let (_, s) = stream();
+        for u in &s {
+            assert!(u.dep <= u.due, "dep {:?} after due {:?}", u.dep, u.due);
+        }
+    }
+
+    #[test]
+    fn dependents_honor_t_safe() {
+        // §4.2: DATAGEN guarantees a long minimum gap between a dependency
+        // and any dependent operation, enabling Windowed Execution.
+        let (ds, s) = stream();
+        for u in &s {
+            if u.is_dependent() {
+                assert!(
+                    u.due.since(u.dep) >= ds.config.t_safe_millis,
+                    "{} violates T_SAFE: gap {}",
+                    u.op.name(),
+                    u.due.since(u.dep)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn person_ops_are_in_person_stream() {
+        let (_, s) = stream();
+        for u in &s {
+            match &u.op {
+                UpdateOp::AddPerson(_) | UpdateOp::AddFriendship(_) => {
+                    assert_eq!(u.stream, StreamKey::Person)
+                }
+                _ => assert!(matches!(u.stream, StreamKey::Forum(_))),
+            }
+        }
+    }
+
+    #[test]
+    fn all_eight_update_types_occur() {
+        let (_, s) = stream();
+        let mut seen = [false; 9];
+        for u in &s {
+            seen[u.op.query_number()] = true;
+        }
+        for (q, &present) in seen.iter().enumerate().skip(1) {
+            assert!(present, "update type U{q} missing from stream");
+        }
+    }
+
+    #[test]
+    fn forum_ops_reference_correct_forum_partition() {
+        let (ds, s) = stream();
+        for u in &s {
+            if let (StreamKey::Forum(f), UpdateOp::AddComment(c)) = (&u.stream, &u.op) {
+                assert_eq!(*f, c.forum.raw());
+            }
+            if let (StreamKey::Forum(f), UpdateOp::AddPostLike(l) | UpdateOp::AddCommentLike(l)) =
+                (&u.stream, &u.op)
+            {
+                assert_eq!(*f, ds.forum_of_message(l.message).raw());
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for DATAGEN: for arbitrary small configurations,
+//! the generated dataset satisfies the schema's time-ordering and
+//! referential-integrity invariants, and generation is deterministic.
+
+use proptest::prelude::*;
+use snb_datagen::{generate, GeneratorConfig};
+use std::collections::{HashMap, HashSet};
+
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (50u64..220, any::<u64>(), 1usize..5, any::<bool>(), 2u32..10).prop_map(
+        |(n, seed, threads, events, activity_tenths)| {
+            GeneratorConfig::with_persons(n)
+                .seed(seed)
+                .threads(threads)
+                .events(events)
+                .activity(activity_tenths as f64 / 10.0)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All Table 1 time-ordering rules hold for any configuration.
+    #[test]
+    fn generated_timestamps_are_causally_ordered(config in config_strategy()) {
+        let ds = generate(config).unwrap();
+        let person_created: Vec<_> = ds.persons.iter().map(|p| p.creation_date).collect();
+        // person.birthDate < person.createdDate
+        for p in &ds.persons {
+            prop_assert!(p.birthday < p.creation_date);
+        }
+        // knows after both accounts
+        for k in &ds.knows {
+            prop_assert!(k.creation_date >= person_created[k.a.index()]);
+            prop_assert!(k.creation_date >= person_created[k.b.index()]);
+        }
+        // forum after moderator account
+        for f in &ds.forums {
+            prop_assert!(f.creation_date > person_created[f.moderator.index()]);
+        }
+        // membership after forum creation and member account
+        let forum_created: Vec<_> = ds.forums.iter().map(|f| f.creation_date).collect();
+        for m in &ds.memberships {
+            prop_assert!(m.join_date >= forum_created[m.forum.index()]);
+            prop_assert!(m.join_date > person_created[m.person.index()]);
+        }
+        // post after forum, comment after parent, like after message
+        let mut message_created = HashMap::new();
+        for p in &ds.posts {
+            prop_assert!(p.creation_date > forum_created[p.forum.index()]);
+            message_created.insert(p.id, p.creation_date);
+        }
+        for c in &ds.comments {
+            message_created.insert(c.id, c.creation_date);
+        }
+        for c in &ds.comments {
+            prop_assert!(c.creation_date > message_created[&c.reply_to]);
+            prop_assert!(c.creation_date > message_created[&c.root_post]);
+        }
+        for l in &ds.likes {
+            prop_assert!(l.creation_date > message_created[&l.message]);
+        }
+    }
+
+    /// Referential integrity: every foreign key resolves; authors are forum
+    /// members; discussion trees are rooted in their forum's posts.
+    #[test]
+    fn generated_references_resolve(config in config_strategy()) {
+        let ds = generate(config).unwrap();
+        let n = ds.persons.len() as u64;
+        let members: HashSet<(u64, u64)> =
+            ds.memberships.iter().map(|m| (m.forum.raw(), m.person.raw())).collect();
+        for k in &ds.knows {
+            prop_assert!(k.a.raw() < n && k.b.raw() < n && k.a != k.b);
+        }
+        for p in &ds.posts {
+            prop_assert!(p.author.raw() < n);
+            prop_assert!(members.contains(&(p.forum.raw(), p.author.raw())), "post author not a member");
+        }
+        let posts_by_id: HashSet<u64> = ds.posts.iter().map(|p| p.id.raw()).collect();
+        for c in &ds.comments {
+            prop_assert!(c.author.raw() < n);
+            prop_assert!(posts_by_id.contains(&c.root_post.raw()), "root is not a post");
+            prop_assert!(members.contains(&(c.forum.raw(), c.author.raw())));
+        }
+    }
+
+    /// Bit-identical output regardless of thread count, for any seed.
+    #[test]
+    fn determinism_for_arbitrary_seeds(seed in any::<u64>()) {
+        let a = generate(GeneratorConfig::with_persons(120).seed(seed).threads(1).activity(0.3)).unwrap();
+        let b = generate(GeneratorConfig::with_persons(120).seed(seed).threads(4).activity(0.3)).unwrap();
+        prop_assert_eq!(a.stats(), b.stats());
+        prop_assert_eq!(a.knows.len(), b.knows.len());
+        for (x, y) in a.comments.iter().zip(&b.comments) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.reply_to, y.reply_to);
+            prop_assert_eq!(&x.content, &y.content);
+        }
+    }
+
+    /// The update stream is exactly the post-split subset, in due order,
+    /// with T_SAFE-respecting dependencies.
+    #[test]
+    fn update_stream_invariants(config in config_strategy()) {
+        let t_safe = config.t_safe_millis;
+        let split = config.update_split;
+        let ds = generate(config).unwrap();
+        let stream = ds.update_stream();
+        let post_split_entities = ds.persons.iter().filter(|p| p.creation_date > split).count()
+            + ds.knows.iter().filter(|k| k.creation_date > split).count()
+            + ds.forums.iter().filter(|f| f.creation_date > split).count()
+            + ds.memberships.iter().filter(|m| m.join_date > split).count()
+            + ds.posts.iter().filter(|p| p.creation_date > split).count()
+            + ds.comments.iter().filter(|c| c.creation_date > split).count()
+            + ds.likes.iter().filter(|l| l.creation_date > split).count();
+        prop_assert_eq!(stream.len(), post_split_entities);
+        for w in stream.windows(2) {
+            prop_assert!(w[0].due <= w[1].due);
+        }
+        for u in &stream {
+            prop_assert!(u.due > split);
+            if u.is_dependent() {
+                prop_assert!(u.due.since(u.dep) >= t_safe);
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Database connectors.
+//!
+//! The driver is system-agnostic: it hands operations to a [`Connector`].
+//! [`StoreConnector`] targets the in-workspace `snb-store`;
+//! [`SleepConnector`] is the paper's §4.2 "dummy database connector that,
+//! rather than executing transactions against a database, simply sleeps for
+//! a configured duration" — the instrument behind the driver-scalability
+//! experiment (Table 5).
+
+use snb_core::update::UpdateOp;
+use snb_core::{MessageId, PersonId, SnbResult};
+use snb_queries::params::{ComplexQuery, ShortQuery};
+use snb_queries::{complex, short, Engine};
+use snb_store::Store;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One operation of the interactive workload.
+#[derive(Debug, Clone)]
+pub enum Operation {
+    /// A transactional update (U1–U8).
+    Update(UpdateOp),
+    /// A complex read (Q1–Q14).
+    Complex(ComplexQuery),
+    /// A short read (S1–S7).
+    Short(ShortQuery),
+}
+
+/// Classification used by the metrics recorder: `(class, 1-based number)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Update Ui.
+    Update(usize),
+    /// Complex read Qi.
+    Complex(usize),
+    /// Short read Si.
+    Short(usize),
+}
+
+impl Operation {
+    /// Kind for metrics.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Operation::Update(u) => OpKind::Update(u.query_number()),
+            Operation::Complex(q) => OpKind::Complex(q.number()),
+            Operation::Short(s) => OpKind::Short(s.number()),
+        }
+    }
+}
+
+/// What an execution returned: a row count plus optional anchors the
+/// short-read random walk can continue from (§4: "results of the
+/// [complex] queries become input for simple read-only queries").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpOutcome {
+    /// Result rows (or 1 for a successful update).
+    pub rows: usize,
+    /// A person surfaced by the result.
+    pub seed_person: Option<PersonId>,
+    /// A message surfaced by the result.
+    pub seed_message: Option<MessageId>,
+}
+
+/// An execution target.
+pub trait Connector: Send + Sync {
+    /// Execute one operation to completion.
+    fn execute(&self, op: &Operation) -> SnbResult<OpOutcome>;
+}
+
+/// Connector running against the in-workspace store.
+pub struct StoreConnector {
+    store: Arc<Store>,
+    engine: Engine,
+}
+
+impl StoreConnector {
+    /// Wrap a store; complex reads run on the given engine.
+    pub fn new(store: Arc<Store>, engine: Engine) -> StoreConnector {
+        StoreConnector { store, engine }
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+}
+
+impl Connector for StoreConnector {
+    fn execute(&self, op: &Operation) -> SnbResult<OpOutcome> {
+        match op {
+            Operation::Update(u) => {
+                self.store.apply(u)?;
+                Ok(OpOutcome { rows: 1, ..Default::default() })
+            }
+            Operation::Complex(q) => {
+                let snap = self.store.snapshot();
+                let rows = complex::run_complex(&snap, self.engine, q);
+                // Seed the random walk with the query's anchor person and
+                // one of their recent messages.
+                let person = anchor_person(q);
+                let seed_message = person.and_then(|p| {
+                    snap.recent_messages_of(p, snb_core::SimTime(i64::MAX), 1)
+                        .first()
+                        .map(|&(m, _)| MessageId(m))
+                });
+                Ok(OpOutcome { rows, seed_person: person, seed_message })
+            }
+            Operation::Short(s) => {
+                let snap = self.store.snapshot();
+                let rows = short::run_short(&snap, s);
+                let (seed_person, seed_message) = match *s {
+                    ShortQuery::S2(p) => {
+                        let m = snap
+                            .recent_messages_of(p, snb_core::SimTime(i64::MAX), 1)
+                            .first()
+                            .map(|&(m, _)| MessageId(m));
+                        (Some(p), m)
+                    }
+                    ShortQuery::S3(p) => {
+                        let f = snap.friends(p).first().map(|&(f, _)| PersonId(f));
+                        (f, None)
+                    }
+                    ShortQuery::S5(m) => (snap.message_meta(m).map(|meta| meta.author), Some(m)),
+                    ShortQuery::S7(m) => {
+                        let r = snap.replies_of(m).first().map(|&(r, _)| MessageId(r));
+                        (None, r.or(Some(m)))
+                    }
+                    ShortQuery::S1(p) => (Some(p), None),
+                    ShortQuery::S4(m) | ShortQuery::S6(m) => (None, Some(m)),
+                };
+                Ok(OpOutcome { rows, seed_person, seed_message })
+            }
+        }
+    }
+}
+
+/// The anchor person of a complex query's parameters.
+pub fn anchor_person(q: &ComplexQuery) -> Option<PersonId> {
+    Some(match q {
+        ComplexQuery::Q1(p) => p.person,
+        ComplexQuery::Q2(p) => p.person,
+        ComplexQuery::Q3(p) => p.person,
+        ComplexQuery::Q4(p) => p.person,
+        ComplexQuery::Q5(p) => p.person,
+        ComplexQuery::Q6(p) => p.person,
+        ComplexQuery::Q7(p) => p.person,
+        ComplexQuery::Q8(p) => p.person,
+        ComplexQuery::Q9(p) => p.person,
+        ComplexQuery::Q10(p) => p.person,
+        ComplexQuery::Q11(p) => p.person,
+        ComplexQuery::Q12(p) => p.person,
+        ComplexQuery::Q13(p) => p.person_x,
+        ComplexQuery::Q14(p) => p.person_x,
+    })
+}
+
+/// The paper's dummy connector: sleep for a fixed duration per operation.
+pub struct SleepConnector {
+    duration: Duration,
+}
+
+impl SleepConnector {
+    /// Sleep `duration` per operation (the paper uses 1 ms and 100 µs).
+    pub fn new(duration: Duration) -> SleepConnector {
+        SleepConnector { duration }
+    }
+}
+
+impl Connector for SleepConnector {
+    fn execute(&self, _op: &Operation) -> SnbResult<OpOutcome> {
+        // A true blocking sleep, even for the 100 µs mode: the experiment
+        // measures driver synchronization overhead, and blocked "queries"
+        // from different partitions must overlap in wall time (they model a
+        // remote SUT, not local CPU work). Spinning would serialize the
+        // whole run on machines with few cores.
+        std::thread::sleep(self.duration);
+        Ok(OpOutcome { rows: 1, ..Default::default() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn sleep_connector_sleeps_approximately() {
+        let c = SleepConnector::new(Duration::from_micros(200));
+        let op = Operation::Short(ShortQuery::S1(PersonId(0)));
+        let t0 = Instant::now();
+        for _ in 0..50 {
+            c.execute(&op).unwrap();
+        }
+        let per_op = t0.elapsed() / 50;
+        assert!(per_op >= Duration::from_micros(200), "per-op {per_op:?}");
+        assert!(per_op < Duration::from_millis(5), "per-op {per_op:?}");
+    }
+
+    #[test]
+    fn op_kinds_classify() {
+        let q = Operation::Complex(ComplexQuery::Q7(snb_queries::params::Q7Params {
+            person: PersonId(1),
+        }));
+        assert_eq!(q.kind(), OpKind::Complex(7));
+        let s = Operation::Short(ShortQuery::S4(MessageId(2)));
+        assert_eq!(s.kind(), OpKind::Short(4));
+    }
+
+    #[test]
+    fn store_connector_runs_all_classes() {
+        let ds =
+            snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(150).activity(0.3))
+                .unwrap();
+        let store = Arc::new(Store::new());
+        store.bulk_load(&ds);
+        let conn = StoreConnector::new(Arc::clone(&store), Engine::Intended);
+        // Update.
+        let stream = ds.update_stream();
+        let first = &stream[0];
+        conn.execute(&Operation::Update(first.op.clone())).unwrap();
+        // Complex with outcome seeds.
+        let out = conn
+            .execute(&Operation::Complex(ComplexQuery::Q2(snb_queries::params::Q2Params {
+                person: PersonId(0),
+                max_date: ds.config.update_split,
+            })))
+            .unwrap();
+        assert_eq!(out.seed_person, Some(PersonId(0)));
+        // Short read.
+        let out = conn.execute(&Operation::Short(ShortQuery::S1(PersonId(0)))).unwrap();
+        assert_eq!(out.rows, 1);
+    }
+}

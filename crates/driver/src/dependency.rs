@@ -1,0 +1,427 @@
+//! Dependency tracking — Local and Global Dependency Services (Fig. 7).
+//!
+//! The driver "tracks the latest point in time behind which every operation
+//! has completed; every operation (i.e., dependency) with T_DUE lower or
+//! equal to this time is guaranteed to have completed execution. This is
+//! achieved by maintaining a monotonically increasing timestamp variable
+//! called Global Completion Time (T_GC)".
+//!
+//! Per stream, a [`Lds`] maintains Initiated Times (IT) and Completed Times
+//! (CT) and exposes Local Initiation Time (`T_LI`, the lowest timestamp in
+//! IT, or the last known lowest if IT is empty — adds are monotone, so no
+//! lower value can appear later) and Local Completion Time (`T_LC`, the
+//! highest completed time below `T_LI`). The [`Gds`] aggregates: `T_GI` is
+//! the minimum `T_LI`, and `T_GC` the maximum `T_LC` strictly below `T_GI`;
+//! exposing `T_LI`/`T_GI` is what lets `T_GC` advance as early as possible
+//! and makes the service composable hierarchically.
+
+use parking_lot::Mutex;
+use snb_core::time::SimTime;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// Sentinel a finished stream advances to so it never holds `T_GC` back.
+pub const STREAM_END: SimTime = SimTime(i64::MAX / 2);
+
+#[derive(Debug, Default)]
+struct LdsInner {
+    /// Initiated, not yet completed times (multiset: windowed execution may
+    /// initiate several operations with equal due times).
+    it: BTreeMap<i64, u32>,
+    /// Completed times awaiting inclusion in `tlc` (pruned as `tlc` moves).
+    ct: std::collections::BinaryHeap<std::cmp::Reverse<i64>>,
+    /// Highest time ever added to IT (adds must be monotone).
+    last_added: i64,
+}
+
+/// Local Dependency Service: per-stream IT/CT tracking.
+#[derive(Debug)]
+pub struct Lds {
+    inner: Mutex<LdsInner>,
+    /// Cached `T_LI` for lock-free reads by the GDS.
+    tli: AtomicI64,
+    /// Cached `T_LC`.
+    tlc: AtomicI64,
+}
+
+impl Default for Lds {
+    fn default() -> Self {
+        Lds::new()
+    }
+}
+
+impl Lds {
+    /// Fresh service; `T_LI`/`T_LC` start at 0 (before all simulation time).
+    pub fn new() -> Lds {
+        Lds { inner: Mutex::new(LdsInner::default()), tli: AtomicI64::new(0), tlc: AtomicI64::new(0) }
+    }
+
+    /// `T_LI`.
+    #[inline]
+    pub fn tli(&self) -> SimTime {
+        SimTime(self.tli.load(Ordering::Acquire))
+    }
+
+    /// `T_LC`.
+    #[inline]
+    pub fn tlc(&self) -> SimTime {
+        SimTime(self.tlc.load(Ordering::Acquire))
+    }
+
+    /// Add `t` to IT. Times must be added in monotonically non-decreasing
+    /// order (the stream is due-time sorted).
+    pub fn initiate(&self, t: SimTime) {
+        let mut g = self.inner.lock();
+        debug_assert!(
+            t.millis() >= g.last_added,
+            "IT additions must be monotone: {} after {}",
+            t.millis(),
+            g.last_added
+        );
+        g.last_added = t.millis();
+        *g.it.entry(t.millis()).or_insert(0) += 1;
+        self.refresh(&mut g);
+    }
+
+    /// Move `t` from IT to CT (any order).
+    pub fn complete(&self, t: SimTime) {
+        let mut g = self.inner.lock();
+        match g.it.get_mut(&t.millis()) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                g.it.remove(&t.millis());
+            }
+            None => panic!("complete() without matching initiate({t})"),
+        }
+        g.ct.push(std::cmp::Reverse(t.millis()));
+        self.refresh(&mut g);
+    }
+
+    /// Mark the stream exhausted: `T_LI` jumps to [`STREAM_END`].
+    pub fn finish(&self) {
+        let mut g = self.inner.lock();
+        debug_assert!(g.it.is_empty(), "finish() with operations in flight");
+        g.last_added = STREAM_END.millis();
+        self.tli.store(STREAM_END.millis(), Ordering::Release);
+        self.refresh(&mut g);
+    }
+
+    fn refresh(&self, g: &mut LdsInner) {
+        // T_LI: lowest initiated time, or the last known lowest (adds are
+        // monotone, so `last_added` is a valid floor once IT drains).
+        let tli = g.it.keys().next().copied().unwrap_or(g.last_added);
+        self.tli.store(tli, Ordering::Release);
+        // T_LC: highest completed time strictly below T_LI. Completed times
+        // at or above T_LI stay queued; anything below can be consumed
+        // because every earlier operation has completed.
+        let mut tlc = self.tlc.load(Ordering::Relaxed);
+        while let Some(&std::cmp::Reverse(c)) = g.ct.peek() {
+            if c < tli {
+                tlc = tlc.max(c);
+                g.ct.pop();
+            } else {
+                break;
+            }
+        }
+        self.tlc.store(tlc, Ordering::Release);
+    }
+}
+
+/// Global Dependency Service: aggregates the per-stream services.
+#[derive(Debug)]
+pub struct Gds {
+    streams: Vec<Arc<Lds>>,
+    /// Monotone cache of the published `T_GC`. The raw Fig. 7 expression
+    /// can transiently *decrease* when a stream's `T_LC` overtakes `T_GI`
+    /// and leaves the filtered max; any previously published value remains
+    /// a valid completion point (completions never undo), so we publish the
+    /// running maximum, keeping the guaranteed monotonicity.
+    gct_cache: AtomicI64,
+}
+
+impl Gds {
+    /// Build over `n` fresh streams.
+    pub fn new(n: usize) -> Gds {
+        Gds {
+            streams: (0..n).map(|_| Arc::new(Lds::new())).collect(),
+            gct_cache: AtomicI64::new(0),
+        }
+    }
+
+    /// The per-stream services.
+    pub fn stream(&self, i: usize) -> &Arc<Lds> {
+        &self.streams[i]
+    }
+
+    /// `T_GI`: the lowest `T_LI` across streams.
+    pub fn tgi(&self) -> SimTime {
+        self.streams.iter().map(|l| l.tli()).min().unwrap_or(STREAM_END)
+    }
+
+    /// `T_GC`: the highest `T_LC` strictly below `T_GI` — every operation
+    /// with a due time at or below it has completed, across all streams.
+    pub fn gct(&self) -> SimTime {
+        let tgi = self.tgi();
+        let raw = self
+            .streams
+            .iter()
+            .map(|l| l.tlc())
+            .filter(|&tlc| tlc < tgi)
+            .max()
+            .unwrap_or(SimTime(0));
+        self.gct_cache.fetch_max(raw.millis(), Ordering::AcqRel);
+        SimTime(self.gct_cache.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stream_progression() {
+        let gds = Gds::new(1);
+        let s = gds.stream(0).clone();
+        s.initiate(SimTime(10));
+        assert_eq!(s.tli(), SimTime(10));
+        assert_eq!(gds.gct(), SimTime(0), "nothing completed yet");
+        s.initiate(SimTime(20));
+        s.complete(SimTime(10));
+        // 10 completed and T_LI is now 20 -> GCT reaches 10.
+        assert_eq!(s.tlc(), SimTime(10));
+        assert_eq!(gds.gct(), SimTime(10));
+        s.complete(SimTime(20));
+        s.finish();
+        assert_eq!(gds.gct(), SimTime(20));
+    }
+
+    #[test]
+    fn out_of_order_completion() {
+        let gds = Gds::new(1);
+        let s = gds.stream(0).clone();
+        for t in [10, 20, 30] {
+            s.initiate(SimTime(t));
+        }
+        // Completing later ops first must not advance TLC past in-flight 10.
+        s.complete(SimTime(30));
+        s.complete(SimTime(20));
+        assert_eq!(s.tlc(), SimTime(0));
+        s.complete(SimTime(10));
+        // All done; TLI = last added (30), so 20 < 30 counts; 30 itself only
+        // after finish().
+        assert_eq!(s.tlc(), SimTime(20));
+        s.finish();
+        assert_eq!(s.tlc(), SimTime(30));
+    }
+
+    #[test]
+    fn gct_is_min_across_streams() {
+        let gds = Gds::new(2);
+        let a = gds.stream(0).clone();
+        let b = gds.stream(1).clone();
+        a.initiate(SimTime(10));
+        b.initiate(SimTime(5));
+        a.complete(SimTime(10));
+        a.initiate(SimTime(50));
+        // Stream b still holds T_GI at 5, so GCT cannot pass it.
+        assert_eq!(gds.gct(), SimTime(0));
+        b.complete(SimTime(5));
+        b.initiate(SimTime(40));
+        // Now T_GI = 40, both 5 and 10 completed -> GCT = 10.
+        assert_eq!(gds.gct(), SimTime(10));
+    }
+
+    #[test]
+    fn finished_streams_do_not_block() {
+        let gds = Gds::new(2);
+        let a = gds.stream(0).clone();
+        let b = gds.stream(1).clone();
+        b.finish(); // empty stream
+        a.initiate(SimTime(7));
+        a.complete(SimTime(7));
+        a.finish();
+        assert_eq!(gds.gct(), SimTime(7));
+    }
+
+    #[test]
+    fn equal_due_times_are_tracked_as_multiset() {
+        let gds = Gds::new(1);
+        let s = gds.stream(0).clone();
+        s.initiate(SimTime(10));
+        s.initiate(SimTime(10));
+        s.complete(SimTime(10));
+        // One instance still in flight: TLI must stay at 10.
+        assert_eq!(s.tli(), SimTime(10));
+        assert_eq!(s.tlc(), SimTime(0));
+        s.complete(SimTime(10));
+        s.finish();
+        assert_eq!(s.tlc(), SimTime(10));
+    }
+
+    #[test]
+    fn gct_is_monotone_under_concurrency() {
+        // Hammer a 4-stream GDS from 4 threads; observe GCT never goes
+        // backwards and ends at the max due time.
+        let gds = Arc::new(Gds::new(4));
+        let observed = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            for s in 0..4 {
+                let gds = Arc::clone(&gds);
+                scope.spawn(move || {
+                    let lds = gds.stream(s).clone();
+                    for i in 0..500i64 {
+                        let t = SimTime(i * 4 + s as i64 + 1);
+                        lds.initiate(t);
+                        lds.complete(t);
+                    }
+                    lds.finish();
+                });
+            }
+            let gds2 = Arc::clone(&gds);
+            let observed = Arc::clone(&observed);
+            scope.spawn(move || {
+                let mut last = SimTime(0);
+                for _ in 0..2_000 {
+                    let g = gds2.gct();
+                    assert!(g >= last, "GCT went backwards: {g} < {last}");
+                    last = g;
+                    observed.lock().push(g);
+                    std::hint::spin_loop();
+                }
+            });
+        });
+        assert_eq!(gds.gct(), SimTime(2000));
+    }
+}
+
+/// What a GDS aggregates over. "The rationale for exposing T_GI is to make
+/// GDS composable. That is, a GDS instance could track other GDS instances
+/// in the same manner as it tracks LDS instances, enabling dependency
+/// tracking in a hierarchical/distributed setting" (§4.2). An [`Lds`]
+/// exposes `T_LI`/`T_LC`; a [`Gds`] exposes `T_GI`/`T_GC` in the same
+/// roles.
+pub trait DependencyNode: Send + Sync {
+    /// Initiation floor: no operation below this time will start later.
+    fn initiation_time(&self) -> SimTime;
+    /// Completion ceiling: every operation at or below this time completed.
+    fn completion_time(&self) -> SimTime;
+}
+
+impl DependencyNode for Lds {
+    fn initiation_time(&self) -> SimTime {
+        self.tli()
+    }
+    fn completion_time(&self) -> SimTime {
+        self.tlc()
+    }
+}
+
+impl DependencyNode for Gds {
+    fn initiation_time(&self) -> SimTime {
+        self.tgi()
+    }
+    fn completion_time(&self) -> SimTime {
+        self.gct()
+    }
+}
+
+/// A dependency service over arbitrary child nodes — LDS instances, whole
+/// GDS instances (one per driver machine in the paper's planned multi-node
+/// deployment), or a mix.
+pub struct HierarchicalGds {
+    children: Vec<Arc<dyn DependencyNode>>,
+    gct_cache: AtomicI64,
+}
+
+impl HierarchicalGds {
+    /// Aggregate the given children.
+    pub fn new(children: Vec<Arc<dyn DependencyNode>>) -> HierarchicalGds {
+        HierarchicalGds { children, gct_cache: AtomicI64::new(0) }
+    }
+
+    /// Global initiation time across children.
+    pub fn tgi(&self) -> SimTime {
+        self.children.iter().map(|c| c.initiation_time()).min().unwrap_or(STREAM_END)
+    }
+
+    /// Global completion time across children (monotone, like [`Gds::gct`]).
+    pub fn gct(&self) -> SimTime {
+        let tgi = self.tgi();
+        let raw = self
+            .children
+            .iter()
+            .map(|c| c.completion_time())
+            .filter(|&t| t < tgi)
+            .max()
+            .unwrap_or(SimTime(0));
+        self.gct_cache.fetch_max(raw.millis(), Ordering::AcqRel);
+        SimTime(self.gct_cache.load(Ordering::Acquire))
+    }
+}
+
+impl DependencyNode for HierarchicalGds {
+    fn initiation_time(&self) -> SimTime {
+        self.tgi()
+    }
+    fn completion_time(&self) -> SimTime {
+        self.gct()
+    }
+}
+
+#[cfg(test)]
+mod hierarchy_tests {
+    use super::*;
+
+    /// Drive the same four streams flat and as a 2x2 hierarchy; the
+    /// hierarchical GCT must never exceed the flat one (it is conservative)
+    /// and must converge to the same final value.
+    #[test]
+    fn hierarchical_tracking_is_safe_and_converges() {
+        let flat = Gds::new(4);
+        let left = Arc::new(Gds::new(2));
+        let right = Arc::new(Gds::new(2));
+        let top = HierarchicalGds::new(vec![
+            Arc::clone(&left) as Arc<dyn DependencyNode>,
+            Arc::clone(&right) as Arc<dyn DependencyNode>,
+        ]);
+
+        let schedule = [(0usize, 10i64), (1, 12), (2, 14), (3, 16), (0, 20), (2, 24)];
+        for &(stream, t) in &schedule {
+            let (sub, local) = if stream < 2 { (&left, stream) } else { (&right, stream - 2) };
+            flat.stream(stream).initiate(SimTime(t));
+            sub.stream(local).initiate(SimTime(t));
+        }
+        for &(stream, t) in &schedule {
+            let (sub, local) = if stream < 2 { (&left, stream) } else { (&right, stream - 2) };
+            flat.stream(stream).complete(SimTime(t));
+            sub.stream(local).complete(SimTime(t));
+            assert!(
+                top.gct() <= flat.gct(),
+                "hierarchy overshot: {} > {}",
+                top.gct(),
+                flat.gct()
+            );
+        }
+        for s in 0..4 {
+            flat.stream(s).finish();
+        }
+        for s in 0..2 {
+            left.stream(s).finish();
+            right.stream(s).finish();
+        }
+        assert_eq!(top.gct(), flat.gct());
+        assert_eq!(top.gct(), SimTime(24));
+    }
+
+    #[test]
+    fn three_level_hierarchy_composes() {
+        let leaf = Arc::new(Gds::new(1));
+        let mid = Arc::new(HierarchicalGds::new(vec![Arc::clone(&leaf) as Arc<dyn DependencyNode>]));
+        let top = HierarchicalGds::new(vec![Arc::clone(&mid) as Arc<dyn DependencyNode>]);
+        leaf.stream(0).initiate(SimTime(5));
+        leaf.stream(0).complete(SimTime(5));
+        leaf.stream(0).finish();
+        assert_eq!(top.gct(), SimTime(5));
+    }
+}

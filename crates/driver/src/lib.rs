@@ -1,0 +1,23 @@
+//! # snb-driver
+//!
+//! The SNB-Interactive workload driver (§4.2): due-time-scheduled operation
+//! streams with dependency tracking (Local/Global Dependency Services,
+//! Fig. 7), Parallel and Windowed execution modes, per-forum sequential
+//! partitioning, the Table 4 query mix with logarithmic frequency scaling,
+//! the short-read random walk, and latency/throughput metrics with the
+//! steady-state (stable p99) check — "the difficult task of generating a
+//! highly parallel workload [...] on a dataset that by its complex
+//! connected component structure is impossible to partition".
+
+pub mod connector;
+pub mod dependency;
+pub mod metrics;
+pub mod mix;
+pub mod report;
+pub mod scheduler;
+
+pub use connector::{Connector, OpKind, Operation, SleepConnector, StoreConnector};
+pub use metrics::{KindStats, Metrics};
+pub use report::{composition, full_disclosure, Composition};
+pub use mix::{build_mix, updates_only, WorkItem, TABLE4_FREQUENCIES};
+pub use scheduler::{run, DriverConfig, ExecutionMode, RunReport};

@@ -1,0 +1,191 @@
+//! Latency and throughput metrics.
+//!
+//! The benchmark metric is the sustained acceleration factor (simulation
+//! time / real time), with the requirement that "latencies of the complex
+//! read-only queries are stable as measured by a maximum latency on the
+//! 99th percentile" (§4, Rules and Metrics). The recorder keeps full
+//! per-kind latency samples (microseconds), enough for exact percentiles at
+//! benchmark scale.
+
+use crate::connector::OpKind;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Aggregated statistics for one operation kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindStats {
+    /// Number of executions.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Median latency.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Maximum.
+    pub max: Duration,
+}
+
+/// Thread-safe latency recorder.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    samples: Mutex<HashMap<OpKind, Vec<u64>>>,
+}
+
+impl Metrics {
+    /// Fresh recorder.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record one execution.
+    pub fn record(&self, kind: OpKind, latency: Duration) {
+        self.samples.lock().entry(kind).or_default().push(latency.as_micros() as u64);
+    }
+
+    /// Merge a thread-local batch (used by workers to avoid per-op locking).
+    pub fn merge(&self, local: HashMap<OpKind, Vec<u64>>) {
+        let mut g = self.samples.lock();
+        for (k, mut v) in local {
+            g.entry(k).or_default().append(&mut v);
+        }
+    }
+
+    /// Total recorded operations.
+    pub fn total_ops(&self) -> usize {
+        self.samples.lock().values().map(|v| v.len()).sum()
+    }
+
+    /// Statistics for one kind, if any samples exist.
+    pub fn stats(&self, kind: OpKind) -> Option<KindStats> {
+        let g = self.samples.lock();
+        let samples = g.get(&kind)?;
+        Some(compute(samples))
+    }
+
+    /// All kinds with samples, sorted for stable reporting.
+    pub fn kinds(&self) -> Vec<OpKind> {
+        let g = self.samples.lock();
+        let mut kinds: Vec<OpKind> = g.keys().copied().collect();
+        kinds.sort_by_key(|k| match *k {
+            OpKind::Complex(n) => (0, n),
+            OpKind::Short(n) => (1, n),
+            OpKind::Update(n) => (2, n),
+        });
+        kinds
+    }
+
+    /// Latency-stability check over the complex reads: the p99 of the
+    /// second half of samples must not exceed `factor ×` the p99 of the
+    /// first half (steady state, §4).
+    pub fn complex_reads_steady(&self, factor: f64) -> bool {
+        let g = self.samples.lock();
+        for (kind, samples) in g.iter() {
+            if !matches!(kind, OpKind::Complex(_)) || samples.len() < 8 {
+                continue;
+            }
+            let mid = samples.len() / 2;
+            let p99_first = percentile(&samples[..mid], 0.99);
+            let p99_second = percentile(&samples[mid..], 0.99);
+            if p99_second as f64 > factor * p99_first.max(1) as f64 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn compute(samples: &[u64]) -> KindStats {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let count = sorted.len();
+    let sum: u64 = sorted.iter().sum();
+    let pct = |p: f64| Duration::from_micros(percentile(&sorted, p));
+    KindStats {
+        count,
+        mean: Duration::from_micros(if count == 0 { 0 } else { sum / count as u64 }),
+        p50: pct(0.50),
+        p95: pct(0.95),
+        p99: pct(0.99),
+        max: Duration::from_micros(sorted.last().copied().unwrap_or(0)),
+    }
+}
+
+/// Nearest-rank percentile over (possibly unsorted) samples.
+fn percentile(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_compute_percentiles() {
+        let m = Metrics::new();
+        for i in 1..=100u64 {
+            m.record(OpKind::Complex(2), Duration::from_micros(i));
+        }
+        let s = m.stats(OpKind::Complex(2)).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, Duration::from_micros(50));
+        assert_eq!(s.p95, Duration::from_micros(95));
+        assert_eq!(s.p99, Duration::from_micros(99));
+        assert_eq!(s.max, Duration::from_micros(100));
+        assert_eq!(s.mean, Duration::from_micros(50));
+    }
+
+    #[test]
+    fn missing_kind_has_no_stats() {
+        let m = Metrics::new();
+        assert!(m.stats(OpKind::Short(1)).is_none());
+    }
+
+    #[test]
+    fn merge_combines_thread_local_batches() {
+        let m = Metrics::new();
+        let mut local = HashMap::new();
+        local.insert(OpKind::Update(6), vec![10, 20, 30]);
+        m.merge(local);
+        m.record(OpKind::Update(6), Duration::from_micros(40));
+        assert_eq!(m.stats(OpKind::Update(6)).unwrap().count, 4);
+        assert_eq!(m.total_ops(), 4);
+    }
+
+    #[test]
+    fn steady_state_detects_degradation() {
+        let m = Metrics::new();
+        // Stable stream.
+        for _ in 0..50 {
+            m.record(OpKind::Complex(9), Duration::from_micros(100));
+        }
+        assert!(m.complex_reads_steady(2.0));
+        // Degrading stream: second half 10x slower.
+        for _ in 0..50 {
+            m.record(OpKind::Complex(9), Duration::from_micros(1_000));
+        }
+        assert!(!m.complex_reads_steady(2.0));
+    }
+
+    #[test]
+    fn kinds_report_in_stable_order() {
+        let m = Metrics::new();
+        m.record(OpKind::Update(1), Duration::from_micros(1));
+        m.record(OpKind::Short(3), Duration::from_micros(1));
+        m.record(OpKind::Complex(14), Duration::from_micros(1));
+        m.record(OpKind::Complex(2), Duration::from_micros(1));
+        assert_eq!(
+            m.kinds(),
+            vec![OpKind::Complex(2), OpKind::Complex(14), OpKind::Short(3), OpKind::Update(1)]
+        );
+    }
+}

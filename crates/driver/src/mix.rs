@@ -1,0 +1,184 @@
+//! Query-mix construction (§4, "Query Mix" + Table 4).
+//!
+//! The mix interleaves the pre-generated update stream with complex
+//! read-only queries at the paper's Table 4 relative frequencies ("Query 1
+//! should be performed once in every 132 update operations"), scaled by the
+//! logarithmic factor as the dataset grows so the target 10 % / 50 % / 40 %
+//! CPU split between updates, complex reads and short reads is preserved.
+//! Short reads are not scheduled here: the driver issues them at run time
+//! as a random walk seeded by complex-read results, governed by
+//! `(P, Δ)` — see [`crate::scheduler`].
+
+use crate::connector::Operation;
+use snb_core::time::SimTime;
+use snb_core::update::StreamKey;
+use snb_datagen::Dataset;
+use snb_params::Bindings;
+
+/// Table 4: number of update operations between consecutive executions of
+/// each complex read (Q1..Q14).
+pub const TABLE4_FREQUENCIES: [u64; 14] =
+    [132, 240, 550, 161, 534, 1615, 144, 13, 1425, 217, 133, 238, 57, 144];
+
+/// Reference population the Table 4 calibration was performed against
+/// (SF ≈ 1 in our persons-per-SF mapping).
+const CALIBRATION_PERSONS: f64 = 6_000.0;
+
+/// One scheduled item of the mixed workload.
+#[derive(Debug, Clone)]
+pub struct WorkItem {
+    /// Simulation due time.
+    pub due: SimTime,
+    /// Dependency time (updates only; `SimTime(0)` = none).
+    pub dep: SimTime,
+    /// Partition hint: items with equal hints execute on the same stream,
+    /// preserving intra-forum causality (§4.2 Sequential mode).
+    pub partition_hint: u64,
+    /// The operation.
+    pub op: Operation,
+}
+
+/// Scaled inter-arrival counts: frequencies grow (reads become rarer) with
+/// the logarithm of the person count, mirroring §4 "Scaling the workload".
+pub fn scaled_frequencies(n_persons: u64) -> [u64; 14] {
+    let scale = ((n_persons.max(2) as f64).log10() / CALIBRATION_PERSONS.log10()).max(0.25);
+    TABLE4_FREQUENCIES.map(|f| ((f as f64 * scale).round() as u64).max(1))
+}
+
+/// Build the interleaved workload: all updates, with complex reads injected
+/// at the scaled Table 4 cadence, due-time ordered.
+pub fn build_mix(ds: &Dataset, bindings: &Bindings) -> Vec<WorkItem> {
+    let freqs = scaled_frequencies(ds.config.n_persons);
+    let mut items: Vec<WorkItem> = Vec::new();
+    let mut binding_idx = [0usize; 14];
+
+    for (i, u) in ds.update_stream().into_iter().enumerate() {
+        let count = i as u64 + 1;
+        let partition_hint = match u.stream {
+            StreamKey::Person => person_hint(&u.op),
+            StreamKey::Forum(f) => f,
+        };
+        let due = u.due;
+        items.push(WorkItem { due, dep: u.dep, partition_hint, op: Operation::Update(u.op) });
+        // Inject each complex read whose cadence divides the update count.
+        for (qi, &f) in freqs.iter().enumerate() {
+            if count.is_multiple_of(f) {
+                let q = bindings.get(qi + 1, binding_idx[qi]).clone();
+                binding_idx[qi] += 1;
+                let hint = crate::connector::anchor_person(&q).map(|p| p.raw()).unwrap_or(0);
+                items.push(WorkItem {
+                    due,
+                    dep: SimTime(0),
+                    partition_hint: hint,
+                    op: Operation::Complex(q),
+                });
+            }
+        }
+    }
+    // Stable due order; updates precede reads at equal due times (reads were
+    // pushed after their triggering update, and the sort is stable).
+    items.sort_by_key(|w| w.due);
+    items
+}
+
+fn person_hint(op: &snb_core::update::UpdateOp) -> u64 {
+    use snb_core::update::UpdateOp;
+    match op {
+        UpdateOp::AddPerson(p) => p.id.raw(),
+        UpdateOp::AddFriendship(k) => k.a.raw(),
+        _ => 0,
+    }
+}
+
+/// A workload of only the update stream (the Table 5 configuration: "The
+/// chosen workload consists only of the SNB-Interactive updates").
+pub fn updates_only(ds: &Dataset) -> Vec<WorkItem> {
+    ds.update_stream()
+        .into_iter()
+        .map(|u| {
+            let partition_hint = match u.stream {
+                StreamKey::Person => person_hint(&u.op),
+                StreamKey::Forum(f) => f,
+            };
+            WorkItem { due: u.due, dep: u.dep, partition_hint, op: Operation::Update(u.op) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_datagen::{generate, GeneratorConfig};
+    use std::sync::OnceLock;
+
+    fn dataset() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| generate(GeneratorConfig::with_persons(500).activity(0.5)).unwrap())
+    }
+
+    #[test]
+    fn frequencies_scale_logarithmically() {
+        let base = scaled_frequencies(6_000);
+        assert_eq!(base, TABLE4_FREQUENCIES, "calibration point is identity");
+        let big = scaled_frequencies(6_000_000);
+        for (b, g) in base.iter().zip(&big) {
+            assert!(g > b, "reads must become rarer at larger scale");
+        }
+        let small = scaled_frequencies(100);
+        for s in small {
+            assert!(s >= 1);
+        }
+    }
+
+    #[test]
+    fn mix_is_due_ordered_and_read_share_matches_table4() {
+        let ds = dataset();
+        let bindings = snb_params::curated_bindings(ds, 10);
+        let mix = build_mix(ds, &bindings);
+        for w in mix.windows(2) {
+            assert!(w[0].due <= w[1].due);
+        }
+        let updates = mix.iter().filter(|w| matches!(w.op, Operation::Update(_))).count();
+        let freqs = scaled_frequencies(ds.config.n_persons);
+        for (qi, &f) in freqs.iter().enumerate() {
+            let expected = updates as u64 / f;
+            let got = mix
+                .iter()
+                .filter(|w| match &w.op {
+                    Operation::Complex(q) => q.number() == qi + 1,
+                    _ => false,
+                })
+                .count() as u64;
+            assert!(
+                got.abs_diff(expected) <= 1,
+                "Q{}: got {got}, expected ~{expected}",
+                qi + 1
+            );
+        }
+    }
+
+    #[test]
+    fn q8_is_most_frequent_complex_read() {
+        // Table 4: Q8 fires every 13 updates — by far the most frequent.
+        let ds = dataset();
+        let bindings = snb_params::curated_bindings(ds, 10);
+        let mix = build_mix(ds, &bindings);
+        let count = |n: usize| {
+            mix.iter()
+                .filter(|w| matches!(&w.op, Operation::Complex(q) if q.number() == n))
+                .count()
+        };
+        let q8 = count(8);
+        for q in [1, 2, 3, 4, 5, 6, 7, 9, 10, 11, 12, 13, 14] {
+            assert!(q8 > count(q), "Q8 ({q8}) should outnumber Q{q} ({})", count(q));
+        }
+    }
+
+    #[test]
+    fn updates_only_preserves_the_stream() {
+        let ds = dataset();
+        let only = updates_only(ds);
+        assert_eq!(only.len(), ds.update_stream().len());
+        assert!(only.iter().all(|w| matches!(w.op, Operation::Update(_))));
+    }
+}

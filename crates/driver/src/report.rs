@@ -1,0 +1,146 @@
+//! Full-disclosure reports.
+//!
+//! §1: "Each workload produces a single metric for performance at the given
+//! scale ... The full disclosure further breaks down the composition of the
+//! metric into its constituent parts, e.g. single query execution times."
+//! This module renders a [`crate::scheduler::RunReport`] into that
+//! disclosure: the headline acceleration factor plus the per-query latency
+//! table, the workload composition against the §4 target CPU split
+//! (10 % updates / 50 % complex / 40 % short), and the steady-state verdict.
+
+use crate::connector::OpKind;
+use crate::scheduler::RunReport;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Workload-composition summary by operation class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Composition {
+    /// Fraction of total execution time spent in updates.
+    pub update_share: f64,
+    /// Fraction spent in complex reads.
+    pub complex_share: f64,
+    /// Fraction spent in short reads.
+    pub short_share: f64,
+}
+
+/// Compute the time-share composition of a run.
+pub fn composition(report: &RunReport) -> Composition {
+    let mut update = 0.0;
+    let mut complex = 0.0;
+    let mut short = 0.0;
+    for kind in report.metrics.kinds() {
+        let s = report.metrics.stats(kind).expect("kind has stats");
+        let total = s.mean.as_secs_f64() * s.count as f64;
+        match kind {
+            OpKind::Update(_) => update += total,
+            OpKind::Complex(_) => complex += total,
+            OpKind::Short(_) => short += total,
+        }
+    }
+    let sum = (update + complex + short).max(f64::MIN_POSITIVE);
+    Composition {
+        update_share: update / sum,
+        complex_share: complex / sum,
+        short_share: short / sum,
+    }
+}
+
+/// Render the full-disclosure report as plain text.
+pub fn full_disclosure(report: &RunReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== SNB-Interactive full disclosure ===");
+    let _ = writeln!(out, "operations executed:   {}", report.total_ops);
+    let _ = writeln!(out, "wall time:             {:?}", report.wall);
+    let _ = writeln!(out, "throughput:            {:.0} ops/s", report.ops_per_second);
+    let _ = writeln!(
+        out,
+        "acceleration factor:   {:.2} (simulation time / real time)",
+        report.achieved_acceleration
+    );
+    let _ = writeln!(
+        out,
+        "steady-state p99:      {}",
+        if report.steady { "stable" } else { "DEGRADED" }
+    );
+
+    let c = composition(report);
+    let _ = writeln!(out, "\ntime composition (target 10% / 50% / 40%):");
+    let _ = writeln!(out, "  updates:       {:5.1}%", 100.0 * c.update_share);
+    let _ = writeln!(out, "  complex reads: {:5.1}%", 100.0 * c.complex_share);
+    let _ = writeln!(out, "  short reads:   {:5.1}%", 100.0 * c.short_share);
+
+    let _ = writeln!(out, "\nper-query breakdown:");
+    let _ = writeln!(
+        out,
+        "  {:<6} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "query", "count", "mean", "p50", "p99", "max"
+    );
+    for kind in report.metrics.kinds() {
+        let s = report.metrics.stats(kind).expect("kind has stats");
+        let label = match kind {
+            OpKind::Complex(n) => format!("Q{n}"),
+            OpKind::Short(n) => format!("S{n}"),
+            OpKind::Update(n) => format!("U{n}"),
+        };
+        let f = |d: Duration| format!("{:.1?}", d);
+        let _ = writeln!(
+            out,
+            "  {:<6} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            label,
+            s.count,
+            f(s.mean),
+            f(s.p50),
+            f(s.p99),
+            f(s.max)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::StoreConnector;
+    use crate::scheduler::{run, DriverConfig};
+    use crate::mix;
+    use snb_queries::Engine;
+    use std::sync::Arc;
+
+    fn sample_report() -> RunReport {
+        let ds = snb_datagen::generate(
+            snb_datagen::GeneratorConfig::with_persons(300).activity(0.3),
+        )
+        .unwrap();
+        let bindings = snb_params::curated_bindings(&ds, 6);
+        let items = mix::build_mix(&ds, &bindings);
+        let store = Arc::new(snb_store::Store::new());
+        store.bulk_load(&ds);
+        let conn = StoreConnector::new(store, Engine::Intended);
+        run(&items, &conn, &DriverConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn composition_shares_sum_to_one() {
+        let report = sample_report();
+        let c = composition(&report);
+        assert!((c.update_share + c.complex_share + c.short_share - 1.0).abs() < 1e-9);
+        assert!(c.update_share > 0.0);
+        assert!(c.complex_share > 0.0);
+        assert!(c.short_share > 0.0);
+    }
+
+    #[test]
+    fn disclosure_contains_all_sections() {
+        let report = sample_report();
+        let text = full_disclosure(&report);
+        assert!(text.contains("full disclosure"));
+        assert!(text.contains("acceleration factor"));
+        assert!(text.contains("time composition"));
+        assert!(text.contains("per-query breakdown"));
+        // At least one of each class appears in the table.
+        assert!(text.contains("Q8"), "complex reads missing:\n{text}");
+        assert!(text.contains("U6"), "updates missing:\n{text}");
+        assert!(text.contains("S1") || text.contains("S2"), "short reads missing");
+    }
+}

@@ -1,0 +1,464 @@
+//! The parallel workload scheduler (§4.2, "Stream Execution Modes",
+//! "Windowed Execution", "Scalable Dependent Execution").
+//!
+//! The workload is split into partitions by each item's partition hint
+//! (forum id for forum-tree operations — the Sequential mode insight that
+//! "posts and likes only depend on other posts from the same forum"; person
+//! id for person-stream operations and reads). Each partition executes its
+//! items in due-time order on its own thread; cross-partition dependencies
+//! are enforced by waiting on the GDS's Global Completion Time, exactly the
+//! dependent-execution loop of the paper's Fig. 8.
+
+use crate::connector::{Connector, OpKind, Operation};
+use crate::dependency::Gds;
+use crate::metrics::Metrics;
+use crate::mix::WorkItem;
+use parking_lot::Mutex;
+use snb_core::rng::{Rng, Stream};
+use snb_core::time::SimTime;
+use snb_core::{SnbError, SnbResult};
+use snb_queries::params::ShortQuery;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// How operations are scheduled within a partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecutionMode {
+    /// Fig. 8 loop: per-operation GCT synchronization.
+    Parallel,
+    /// Windowed Execution: operations are grouped into fixed windows of
+    /// simulation time; the GCT is consulted once per window. Requires the
+    /// window to be at most the dataset's `T_SAFE` (enforced by clamping).
+    Windowed {
+        /// Window length in simulation milliseconds.
+        window_millis: i64,
+    },
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Number of parallel partitions (streams).
+    pub partitions: usize,
+    /// Acceleration factor: simulation time advanced per unit of real time.
+    /// `None` replays as fast as possible (throughput mode).
+    pub acceleration: Option<f64>,
+    /// Scheduling mode.
+    pub mode: ExecutionMode,
+    /// `P`: probability of starting/continuing the short-read random walk
+    /// after a complex read (§4, "Simple read-only queries").
+    pub short_read_prob: f64,
+    /// `Δ`: how much the probability decreases at every step of the walk.
+    pub short_read_decay: f64,
+    /// Seed for the (deterministic) short-read walks.
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            partitions: 4,
+            acceleration: None,
+            mode: ExecutionMode::Parallel,
+            short_read_prob: 0.6,
+            short_read_decay: 0.15,
+            seed: 1,
+        }
+    }
+}
+
+/// Result of a benchmark run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Operations executed (updates + complex + short reads).
+    pub total_ops: usize,
+    /// Per-kind latency statistics.
+    pub metrics: Metrics,
+    /// Throughput in operations per second.
+    pub ops_per_second: f64,
+    /// Simulation span covered (millis).
+    pub sim_span_millis: i64,
+    /// Achieved acceleration: simulation time / real time.
+    pub achieved_acceleration: f64,
+    /// Whether complex-read p99 latencies stayed stable (steady state).
+    pub steady: bool,
+}
+
+/// Execute a workload against a connector.
+pub fn run(
+    items: &[WorkItem],
+    connector: &dyn Connector,
+    config: &DriverConfig,
+) -> SnbResult<RunReport> {
+    if items.is_empty() {
+        return Err(SnbError::Config("empty workload".into()));
+    }
+    let partitions = config.partitions.max(1);
+    let queues = partition_items(items, partitions);
+    let sim_start = items.first().unwrap().due;
+    let sim_end = items.iter().map(|w| w.due).max().unwrap();
+
+    let gds = Gds::new(partitions);
+    let metrics = Metrics::new();
+    let abort = AtomicBool::new(false);
+    let first_error: Mutex<Option<SnbError>> = Mutex::new(None);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for (pi, queue) in queues.into_iter().enumerate() {
+            let gds = &gds;
+            let metrics = &metrics;
+            let abort = &abort;
+            let first_error = &first_error;
+            let config = config.clone();
+            scope.spawn(move || {
+                let worker = Worker {
+                    lds: gds.stream(pi).clone(),
+                    gds,
+                    connector,
+                    config: &config,
+                    sim_start,
+                    start,
+                    abort,
+                    metrics,
+                    local: HashMap::new(),
+                    walk_counter: (pi as u64) << 40,
+                };
+                if let Err(e) = worker.run(queue) {
+                    abort.store(true, Ordering::Release);
+                    first_error.lock().get_or_insert(e);
+                }
+            });
+        }
+    });
+
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    let wall = start.elapsed();
+    let total_ops = metrics.total_ops();
+    let sim_span_millis = sim_end.since(sim_start);
+    let steady = metrics.complex_reads_steady(4.0);
+    Ok(RunReport {
+        wall,
+        total_ops,
+        ops_per_second: total_ops as f64 / wall.as_secs_f64().max(1e-9),
+        sim_span_millis,
+        achieved_acceleration: sim_span_millis as f64 / wall.as_millis().max(1) as f64,
+        metrics,
+        steady,
+    })
+}
+
+/// Assign whole streams (equal partition hints) to partitions with greedy
+/// least-loaded (LPT) packing: per-forum operation counts are power-law
+/// skewed, so plain `hint % partitions` leaves one partition with most of
+/// the work and throughput stops scaling. Streams stay intact (intra-forum
+/// causality) and each queue stays due-ordered.
+fn partition_items(items: &[WorkItem], partitions: usize) -> Vec<Vec<&WorkItem>> {
+    use std::collections::HashMap;
+    let mut groups: HashMap<u64, Vec<&WorkItem>> = HashMap::new();
+    for item in items {
+        groups.entry(item.partition_hint).or_default().push(item);
+    }
+    let mut sized: Vec<(u64, Vec<&WorkItem>)> = groups.into_iter().collect();
+    // Largest streams first; hint as deterministic tie-break.
+    sized.sort_by_key(|(hint, g)| (std::cmp::Reverse(g.len()), *hint));
+    let mut queues: Vec<Vec<&WorkItem>> = vec![Vec::new(); partitions];
+    for (_, group) in sized {
+        let target = (0..partitions).min_by_key(|&i| queues[i].len()).unwrap();
+        queues[target].extend(group);
+    }
+    for q in &mut queues {
+        q.sort_by_key(|w| w.due);
+    }
+    queues
+}
+
+struct Worker<'a> {
+    lds: std::sync::Arc<crate::dependency::Lds>,
+    gds: &'a Gds,
+    connector: &'a dyn Connector,
+    config: &'a DriverConfig,
+    sim_start: SimTime,
+    start: Instant,
+    abort: &'a AtomicBool,
+    metrics: &'a Metrics,
+    local: HashMap<OpKind, Vec<u64>>,
+    walk_counter: u64,
+}
+
+impl Worker<'_> {
+    fn run(mut self, queue: Vec<&WorkItem>) -> SnbResult<()> {
+        let result = match self.config.mode {
+            ExecutionMode::Parallel => self.run_parallel(&queue),
+            ExecutionMode::Windowed { window_millis } => self.run_windowed(&queue, window_millis),
+        };
+        self.lds.finish();
+        // Publish thread-local samples regardless of outcome.
+        let local = std::mem::take(&mut self.local);
+        self.metrics.merge(local);
+        result
+    }
+
+    fn run_parallel(&mut self, queue: &[&WorkItem]) -> SnbResult<()> {
+        for item in queue {
+            if self.abort.load(Ordering::Acquire) {
+                break;
+            }
+            self.lds.initiate(item.due);
+            if item.dep.millis() > 0 {
+                self.wait_for_gct(item.dep);
+            }
+            self.pace(item.due);
+            let outcome = self.execute_timed(&item.op)?;
+            self.lds.complete(item.due);
+            if let Operation::Complex(_) = item.op {
+                self.short_read_walk(outcome)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn run_windowed(&mut self, queue: &[&WorkItem], window_millis: i64) -> SnbResult<()> {
+        let window = window_millis.max(1);
+        let mut i = 0;
+        while i < queue.len() {
+            if self.abort.load(Ordering::Acquire) {
+                break;
+            }
+            let w_idx = queue[i].due.since(self.sim_start) / window;
+            let mut j = i;
+            while j < queue.len() && queue[j].due.since(self.sim_start) / window == w_idx {
+                j += 1;
+            }
+            let batch = &queue[i..j];
+            // Initiate the whole window, then one GCT synchronization for
+            // its maximum dependency — the once-per-window sync that
+            // Windowed Execution buys (§4.2).
+            for item in batch {
+                self.lds.initiate(item.due);
+            }
+            let max_dep = batch.iter().map(|w| w.dep).max().unwrap_or(SimTime(0));
+            if max_dep.millis() > 0 {
+                self.wait_for_gct(max_dep);
+            }
+            self.pace(batch[0].due);
+            for item in batch {
+                let outcome = self.execute_timed(&item.op)?;
+                self.lds.complete(item.due);
+                if let Operation::Complex(_) = item.op {
+                    self.short_read_walk(outcome)?;
+                }
+            }
+            i = j;
+        }
+        Ok(())
+    }
+
+    /// Fig. 8's `while(operation.DEP < GDS.GCT) wait` (with the comparison
+    /// the right way around).
+    fn wait_for_gct(&self, dep: SimTime) {
+        let mut spins = 0u32;
+        while self.gds.gct() < dep {
+            if self.abort.load(Ordering::Acquire) {
+                return;
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Fig. 8's `while(operation.DUE < now()) wait`: pace to the configured
+    /// acceleration factor.
+    fn pace(&self, due: SimTime) {
+        let Some(accel) = self.config.acceleration else { return };
+        let target = Duration::from_millis((due.since(self.sim_start) as f64 / accel) as u64);
+        loop {
+            let elapsed = self.start.elapsed();
+            if elapsed >= target {
+                return;
+            }
+            let remain = target - elapsed;
+            if remain > Duration::from_millis(2) {
+                std::thread::sleep(remain / 2);
+            } else {
+                // Never spin here: paced partitions must let each other run
+                // even on a single core.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn execute_timed(&mut self, op: &Operation) -> SnbResult<crate::connector::OpOutcome> {
+        let t0 = Instant::now();
+        let outcome = self.connector.execute(op)?;
+        self.local
+            .entry(op.kind())
+            .or_default()
+            .push(t0.elapsed().as_micros() as u64);
+        Ok(outcome)
+    }
+
+    /// The random walk over short reads: "This chain of operations is
+    /// governed by two parameters: the probability to pick an element from
+    /// the previous iteration P, and the step Δ with which this probability
+    /// is decreased at every iteration."
+    fn short_read_walk(&mut self, seed: crate::connector::OpOutcome) -> SnbResult<()> {
+        self.walk_counter += 1;
+        let mut rng = Rng::for_entity(self.config.seed, Stream::Workload, self.walk_counter);
+        let mut prob = self.config.short_read_prob;
+        let mut person = seed.seed_person;
+        let mut message = seed.seed_message;
+        while prob > 0.0 && rng.chance(prob) {
+            // Alternate between profile-side and post-side lookups,
+            // whichever has a live seed.
+            let q = match (person, message) {
+                (Some(p), _) if rng.chance(0.5) || message.is_none() => {
+                    match rng.below(3) {
+                        0 => ShortQuery::S1(p),
+                        1 => ShortQuery::S2(p),
+                        _ => ShortQuery::S3(p),
+                    }
+                }
+                (_, Some(m)) => match rng.below(4) {
+                    0 => ShortQuery::S4(m),
+                    1 => ShortQuery::S5(m),
+                    2 => ShortQuery::S6(m),
+                    _ => ShortQuery::S7(m),
+                },
+                _ => break,
+            };
+            let outcome = self.execute_timed(&Operation::Short(q))?;
+            person = outcome.seed_person.or(person);
+            message = outcome.seed_message.or(message);
+            prob -= self.config.short_read_decay;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::{SleepConnector, StoreConnector};
+    use crate::mix;
+    use snb_datagen::{generate, Dataset, GeneratorConfig};
+    use snb_queries::Engine;
+    use std::sync::{Arc, OnceLock};
+
+    fn dataset() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| generate(GeneratorConfig::with_persons(400).activity(0.4)).unwrap())
+    }
+
+    fn loaded_store(ds: &Dataset) -> Arc<snb_store::Store> {
+        let store = Arc::new(snb_store::Store::new());
+        store.bulk_load(ds);
+        store
+    }
+
+    #[test]
+    fn update_replay_respects_dependencies_across_partition_counts() {
+        // The store validates every foreign key on insert, so a dependency
+        // violation (e.g. a friendship arriving before one of its persons)
+        // would surface as an error. Running the same stream at several
+        // partition counts exercises the GCT synchronization paths.
+        let ds = dataset();
+        let items = mix::updates_only(ds);
+        for partitions in [1, 2, 4, 8] {
+            let store = loaded_store(ds);
+            let conn = StoreConnector::new(store, Engine::Intended);
+            let config = DriverConfig { partitions, ..DriverConfig::default() };
+            let report = run(&items, &conn, &config)
+                .unwrap_or_else(|e| panic!("partitions={partitions}: {e}"));
+            assert_eq!(report.total_ops, items.len(), "partitions={partitions}");
+        }
+    }
+
+    #[test]
+    fn windowed_mode_executes_the_same_operations() {
+        let ds = dataset();
+        let items = mix::updates_only(ds);
+        let store = loaded_store(ds);
+        let conn = StoreConnector::new(store, Engine::Intended);
+        let config = DriverConfig {
+            partitions: 4,
+            mode: ExecutionMode::Windowed { window_millis: ds.config.t_safe_millis },
+            ..DriverConfig::default()
+        };
+        let report = run(&items, &conn, &config).unwrap();
+        assert_eq!(report.total_ops, items.len());
+    }
+
+    #[test]
+    fn full_mix_produces_all_operation_classes() {
+        let ds = dataset();
+        let bindings = snb_params::curated_bindings(ds, 8);
+        let items = mix::build_mix(ds, &bindings);
+        let store = loaded_store(ds);
+        let conn = StoreConnector::new(store, Engine::Intended);
+        let report = run(&items, &conn, &DriverConfig::default()).unwrap();
+        let kinds = report.metrics.kinds();
+        assert!(kinds.iter().any(|k| matches!(k, OpKind::Update(_))));
+        assert!(kinds.iter().any(|k| matches!(k, OpKind::Complex(_))));
+        assert!(kinds.iter().any(|k| matches!(k, OpKind::Short(_))), "random walk fired");
+        assert!(report.total_ops > items.len(), "short reads add to the mix");
+        // No steady-state assertion here: an as-fast-as-possible replay of
+        // an insert-heavy mix grows the dataset during the run, so later
+        // complex reads are legitimately slower than the first ones.
+    }
+
+    #[test]
+    fn acceleration_paces_the_run() {
+        let ds = dataset();
+        // Take a short slice of the stream so the paced run stays quick.
+        let items: Vec<WorkItem> = mix::updates_only(ds).into_iter().take(200).collect();
+        let span = items.last().unwrap().due.since(items[0].due);
+        let accel = span as f64 / 300.0; // target ~300ms wall
+        let store = loaded_store(ds);
+        let conn = StoreConnector::new(store, Engine::Intended);
+        let config = DriverConfig {
+            partitions: 2,
+            acceleration: Some(accel),
+            ..DriverConfig::default()
+        };
+        let report = run(&items, &conn, &config).unwrap();
+        assert!(
+            report.wall >= Duration::from_millis(250),
+            "pacing ignored: {:?}",
+            report.wall
+        );
+        let ratio = report.achieved_acceleration / accel;
+        assert!((0.5..=1.1).contains(&ratio), "achieved/target {ratio}");
+    }
+
+    #[test]
+    fn sleep_connector_scales_with_partitions() {
+        // Miniature Table 5: with a 1ms-per-op dummy connector, doubling the
+        // partitions should nearly double throughput.
+        let ds = dataset();
+        let items: Vec<WorkItem> = mix::updates_only(ds).into_iter().take(600).collect();
+        let conn = SleepConnector::new(Duration::from_millis(1));
+        let t1 = run(&items, &conn, &DriverConfig { partitions: 1, ..DriverConfig::default() })
+            .unwrap()
+            .ops_per_second;
+        let t4 = run(&items, &conn, &DriverConfig { partitions: 4, ..DriverConfig::default() })
+            .unwrap()
+            .ops_per_second;
+        assert!(t4 > 2.0 * t1, "1 partition: {t1:.0} ops/s, 4 partitions: {t4:.0} ops/s");
+    }
+
+    #[test]
+    fn empty_workload_is_rejected() {
+        let conn = SleepConnector::new(Duration::from_micros(1));
+        assert!(run(&[], &conn, &DriverConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the dependency-tracking services: the Fig. 7
+//! semantics model-checked against a brute-force reference under arbitrary
+//! initiate/complete interleavings.
+
+use proptest::prelude::*;
+use snb_core::time::SimTime;
+use snb_driver::dependency::Gds;
+use std::collections::HashSet;
+
+/// A randomized schedule: per stream, a monotone list of due times; plus an
+/// interleaving describing which stream completes its next pending op at
+/// each step.
+#[derive(Debug, Clone)]
+struct Schedule {
+    /// Monotone due times per stream.
+    streams: Vec<Vec<i64>>,
+    /// Completion order (stream picks, consumed round-robin over pending).
+    completions: Vec<usize>,
+}
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    (2usize..5)
+        .prop_flat_map(|n_streams| {
+            let streams = proptest::collection::vec(
+                proptest::collection::vec(1i64..200, 1..20).prop_map(|mut v| {
+                    v.sort_unstable();
+                    v
+                }),
+                n_streams..=n_streams,
+            );
+            let completions = proptest::collection::vec(0..n_streams, 0..100);
+            (streams, completions).prop_map(|(streams, completions)| Schedule { streams, completions })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// GCT never exceeds the smallest incomplete due time minus one, is
+    /// monotone, and reaches the global maximum once everything completes.
+    #[test]
+    fn gct_is_safe_monotone_and_live(s in schedule_strategy()) {
+        let n = s.streams.len();
+        let gds = Gds::new(n);
+        // Initiate everything up front (due order per stream — monotone).
+        for (i, stream) in s.streams.iter().enumerate() {
+            for &t in stream {
+                gds.stream(i).initiate(SimTime(t));
+            }
+        }
+        // Pending queues (complete in due order within a stream; the driver
+        // always does, and out-of-order cross-stream is what we vary).
+        let mut pending: Vec<std::collections::VecDeque<i64>> =
+            s.streams.iter().map(|v| v.iter().copied().collect()).collect();
+        let mut completed: HashSet<(usize, i64)> = HashSet::new();
+        let mut last_gct = SimTime(0);
+
+        let drive = |stream: usize,
+                         pending: &mut Vec<std::collections::VecDeque<i64>>,
+                         completed: &mut HashSet<(usize, i64)>| {
+            if let Some(t) = pending[stream].pop_front() {
+                gds.stream(stream).complete(SimTime(t));
+                completed.insert((stream, t));
+                if pending[stream].is_empty() {
+                    gds.stream(stream).finish();
+                }
+            }
+        };
+
+        for &pick in &s.completions {
+            drive(pick, &mut pending, &mut completed);
+            let gct = gds.gct();
+            // Monotone.
+            prop_assert!(gct >= last_gct, "GCT regressed: {gct} < {last_gct}");
+            last_gct = gct;
+            // Safe: every op with due <= gct must have completed.
+            for (i, stream) in s.streams.iter().enumerate() {
+                for &t in stream {
+                    if t <= gct.millis() {
+                        prop_assert!(
+                            completed.contains(&(i, t)),
+                            "GCT={gct} but stream {i} op at {t} incomplete"
+                        );
+                    }
+                }
+            }
+        }
+        // Drain the rest and check liveness: GCT reaches the global max due.
+        for stream in 0..n {
+            while !pending[stream].is_empty() {
+                drive(stream, &mut pending, &mut completed);
+            }
+        }
+        let global_max = s.streams.iter().flat_map(|v| v.iter()).copied().max().unwrap();
+        prop_assert_eq!(gds.gct(), SimTime(global_max));
+    }
+
+    /// T_LI and T_LC are monotone per stream under any completion order
+    /// within the stream.
+    #[test]
+    fn tli_tlc_are_monotone(
+        dues in proptest::collection::vec(1i64..1_000, 1..40),
+        order in any::<u64>(),
+    ) {
+        let mut dues = dues;
+        dues.sort_unstable();
+        let gds = Gds::new(1);
+        let lds = gds.stream(0).clone();
+        for &t in &dues {
+            lds.initiate(SimTime(t));
+        }
+        // Pseudo-random completion order from the seed.
+        let mut remaining: Vec<i64> = dues.clone();
+        let mut state = order | 1;
+        let mut last_tli = lds.tli();
+        let mut last_tlc = lds.tlc();
+        while !remaining.is_empty() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let idx = (state >> 33) as usize % remaining.len();
+            let t = remaining.swap_remove(idx);
+            lds.complete(SimTime(t));
+            prop_assert!(lds.tli() >= last_tli);
+            prop_assert!(lds.tlc() >= last_tlc);
+            last_tli = lds.tli();
+            last_tlc = lds.tlc();
+        }
+        lds.finish();
+        prop_assert_eq!(lds.tlc(), SimTime(*dues.last().unwrap()));
+    }
+}

@@ -1,0 +1,283 @@
+//! # snb-params
+//!
+//! Parameter curation (§4.1): selecting substitution parameters for the
+//! query templates such that (P1) runtimes have bounded variance, (P2) the
+//! runtime distribution is stable across streams, and (P3) the intended
+//! plan stays optimal. A data-mining step over generation-time statistics
+//! builds Parameter-Count tables ([`pc_table`]) and a greedy
+//! minimum-variance window selection picks the bindings ([`curation`]).
+//! Uniform sampling is provided as the baseline the paper's Fig. 5 argues
+//! against.
+
+pub mod curation;
+pub mod pc_table;
+pub mod timestamps;
+
+use snb_core::rng::{Rng, Stream};
+use snb_core::time::SimTime;
+use snb_core::PersonId;
+use snb_datagen::Dataset;
+use snb_queries::params::*;
+use snb_queries::ComplexQuery;
+
+/// A full set of parameter bindings: `k` instances of each of the 14
+/// complex query templates.
+#[derive(Debug)]
+pub struct Bindings {
+    per_query: Vec<Vec<ComplexQuery>>,
+}
+
+impl Bindings {
+    /// Binding `i` (mod k) of query `q` (1-based).
+    pub fn get(&self, q: usize, i: usize) -> &ComplexQuery {
+        let list = &self.per_query[q - 1];
+        &list[i % list.len()]
+    }
+
+    /// All bindings of query `q` (1-based).
+    pub fn all(&self, q: usize) -> &[ComplexQuery] {
+        &self.per_query[q - 1]
+    }
+
+    /// Number of bindings per template.
+    pub fn k(&self) -> usize {
+        self.per_query[0].len()
+    }
+}
+
+/// Keep only persons that exist in a bulk-loaded store: parameters must
+/// reference bulk entities, not ones that arrive later via the update
+/// stream.
+fn retain_bulk(ds: &Dataset, pc: &mut pc_table::PcTable) {
+    pc.rows.retain(|&(p, _)| ds.persons[p as usize].creation_date <= ds.config.update_split);
+}
+
+/// Curated bindings: persons picked by minimum-variance window selection on
+/// the PC table matching each template's intended plan.
+pub fn curated_bindings(ds: &Dataset, k: usize) -> Bindings {
+    let stats = pc_table::person_stats(ds);
+    let mut one = pc_table::pc_one_hop(&stats);
+    let mut two = pc_table::pc_two_hop(&stats);
+    retain_bulk(ds, &mut one);
+    retain_bulk(ds, &mut two);
+    let one_hop = curation::select(&one, k);
+    let two_hop = curation::select(&two, k);
+    build(ds, k, &one_hop, &two_hop)
+}
+
+/// Uniform random bindings (the baseline of Fig. 5b): persons sampled
+/// uniformly from the bulk-loaded population.
+pub fn uniform_bindings(ds: &Dataset, k: usize, seed: u64) -> Bindings {
+    let mut rng = Rng::for_entity(seed, Stream::Workload, 0);
+    let bulk: Vec<u64> = ds
+        .persons
+        .iter()
+        .filter(|p| p.creation_date <= ds.config.update_split)
+        .map(|p| p.id.raw())
+        .collect();
+    let sample: Vec<u64> = (0..k).map(|_| bulk[rng.index(bulk.len())]).collect();
+    build(ds, k, &sample, &sample)
+}
+
+fn most_common_first_name(ds: &Dataset) -> String {
+    let mut counts = std::collections::HashMap::new();
+    for p in &ds.persons {
+        *counts.entry(p.first_name).or_insert(0usize) += 1;
+    }
+    counts.into_iter().max_by_key(|&(_, c)| c).map(|(n, _)| n.to_string()).unwrap_or_default()
+}
+
+fn most_common_countries(ds: &Dataset) -> Vec<usize> {
+    let mut counts = std::collections::HashMap::new();
+    for p in &ds.persons {
+        *counts.entry(p.country).or_insert(0usize) += 1;
+    }
+    let mut v: Vec<(usize, usize)> = counts.into_iter().collect();
+    v.sort_by_key(|&(c, n)| (std::cmp::Reverse(n), c));
+    v.into_iter().map(|(c, _)| c).collect()
+}
+
+fn build(ds: &Dataset, k: usize, one_hop: &[u64], two_hop: &[u64]) -> Bindings {
+    let name = most_common_first_name(ds);
+    let countries = most_common_countries(ds);
+    let mid = SimTime::from_ymd(2011, 9, 1);
+    let late = SimTime::from_ymd(2012, 3, 1);
+    let split = ds.config.update_split;
+    let dicts = snb_core::dict::Dictionaries::global();
+    let n_classes = dicts.tags.class_count();
+
+    let p1 = |i: usize| PersonId(one_hop[i % one_hop.len()]);
+    let p2 = |i: usize| PersonId(two_hop[i % two_hop.len()]);
+    // Q13/Q14 pair endpoints: walk the two-hop-curated set from both ends,
+    // skipping identical pairs.
+    let pair = |i: usize| {
+        let x = PersonId(two_hop[i % two_hop.len()]);
+        let mut y = PersonId(two_hop[(two_hop.len() - 1 - i % two_hop.len()) % two_hop.len()]);
+        if x == y {
+            y = PersonId(two_hop[(i + 1) % two_hop.len()]);
+        }
+        (x, y)
+    };
+    // Foreign-country picks for Q3: the two most populous countries that
+    // are not the candidate's home.
+    let q3_countries = |home: usize| {
+        let mut it = countries.iter().filter(|&&c| c != home);
+        let x = *it.next().unwrap_or(&0);
+        let y = *it.next().unwrap_or(&1);
+        (x, y)
+    };
+
+    let per_query = (1..=14)
+        .map(|q| {
+            (0..k)
+                .map(|i| match q {
+                    1 => ComplexQuery::Q1(Q1Params { person: p1(i), first_name: name.clone() }),
+                    2 => ComplexQuery::Q2(Q2Params { person: p1(i), max_date: split }),
+                    3 => {
+                        let person = p2(i);
+                        let home = ds.persons[person.index()].country;
+                        let (country_x, country_y) = q3_countries(home);
+                        ComplexQuery::Q3(Q3Params {
+                            person,
+                            country_x,
+                            country_y,
+                            start: mid,
+                            duration_days: 180,
+                        })
+                    }
+                    4 => {
+                        ComplexQuery::Q4(Q4Params { person: p1(i), start: late, duration_days: 45 })
+                    }
+                    5 => ComplexQuery::Q5(Q5Params { person: p2(i), min_date: mid }),
+                    6 => {
+                        let person = p2(i);
+                        let tag = ds.persons[person.index()]
+                            .interests
+                            .first()
+                            .map(|t| t.index())
+                            .unwrap_or(0);
+                        ComplexQuery::Q6(Q6Params { person, tag })
+                    }
+                    7 => ComplexQuery::Q7(Q7Params { person: p1(i) }),
+                    8 => ComplexQuery::Q8(Q8Params { person: p1(i) }),
+                    9 => ComplexQuery::Q9(Q9Params { person: p2(i), max_date: split }),
+                    10 => ComplexQuery::Q10(Q10Params {
+                        person: p2(i),
+                        month: (i % 12 + 1) as u8,
+                    }),
+                    11 => {
+                        let person = p2(i);
+                        ComplexQuery::Q11(Q11Params {
+                            person,
+                            country: ds.persons[person.index()].country,
+                            max_year: 2012,
+                        })
+                    }
+                    12 => ComplexQuery::Q12(Q12Params {
+                        person: p1(i),
+                        // Skip the root class 0 (Thing) — too unselective.
+                        tag_class: 1 + i % (n_classes - 1),
+                    }),
+                    13 => {
+                        let (person_x, person_y) = pair(i);
+                        ComplexQuery::Q13(Q13Params { person_x, person_y })
+                    }
+                    _ => {
+                        let (person_x, person_y) = pair(i);
+                        ComplexQuery::Q14(Q14Params { person_x, person_y })
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Bindings { per_query }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_datagen::{generate, GeneratorConfig};
+    use std::sync::OnceLock;
+
+    fn dataset() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| generate(GeneratorConfig::with_persons(400).activity(0.4)).unwrap())
+    }
+
+    #[test]
+    fn bindings_cover_all_templates() {
+        let ds = dataset();
+        let b = curated_bindings(ds, 8);
+        assert_eq!(b.k(), 8);
+        for q in 1..=14 {
+            assert_eq!(b.all(q).len(), 8);
+            assert_eq!(b.get(q, 3).number(), q);
+        }
+    }
+
+    #[test]
+    fn uniform_bindings_are_seed_deterministic() {
+        let ds = dataset();
+        let a = uniform_bindings(ds, 5, 42);
+        let b = uniform_bindings(ds, 5, 42);
+        for q in 1..=14 {
+            for i in 0..5 {
+                assert_eq!(format!("{:?}", a.get(q, i)), format!("{:?}", b.get(q, i)));
+            }
+        }
+    }
+
+    #[test]
+    fn q3_countries_exclude_home() {
+        let ds = dataset();
+        let b = curated_bindings(ds, 10);
+        for q in b.all(3) {
+            if let ComplexQuery::Q3(p) = q {
+                let home = ds.persons[p.person.index()].country;
+                assert_ne!(home, p.country_x);
+                assert_ne!(home, p.country_y);
+                assert_ne!(p.country_x, p.country_y);
+            }
+        }
+    }
+
+    #[test]
+    fn path_query_endpoints_differ() {
+        let ds = dataset();
+        let b = curated_bindings(ds, 10);
+        for q in b.all(13).iter().chain(b.all(14)) {
+            match q {
+                ComplexQuery::Q13(p) => assert_ne!(p.person_x, p.person_y),
+                ComplexQuery::Q14(p) => assert_ne!(p.person_x, p.person_y),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn curated_persons_have_similar_two_hop_sizes() {
+        let ds = dataset();
+        let stats = pc_table::person_stats(ds);
+        let pc = pc_table::pc_two_hop(&stats);
+        let curated = curation::select(&pc, 10);
+        let curated_var = curation::selection_variance(&pc, &curated);
+        let mut uniform_var = 0.0;
+        for seed in 0..10u64 {
+            let b = uniform_bindings(ds, 10, seed);
+            let sample: Vec<u64> = b
+                .all(9)
+                .iter()
+                .map(|q| match q {
+                    ComplexQuery::Q9(p) => p.person.raw(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            uniform_var += curation::selection_variance(&pc, &sample);
+        }
+        uniform_var /= 10.0;
+        assert!(
+            curated_var < uniform_var,
+            "curated {curated_var:.1} vs uniform {uniform_var:.1}"
+        );
+    }
+}

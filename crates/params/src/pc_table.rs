@@ -1,0 +1,196 @@
+//! Parameter-Count tables (§4.1, Fig. 6b).
+//!
+//! "The goal of this stage is to compute all the intermediate results in
+//! the query plan for each value of the parameter. We store this
+//! information as a Parameter-Count (PC) table, where rows correspond to
+//! parameter values, and columns to specific join result sizes."
+//!
+//! We use the paper's strategy (ii): "since we are generating the data
+//! anyway, we can keep the corresponding counts (number of friends per
+//! user and number of posts per user) as a by-product of data generation" —
+//! the counts are derived from the in-memory [`snb_datagen::Dataset`]
+//! without executing any query.
+
+use snb_datagen::Dataset;
+
+/// A Parameter-Count table: one row per candidate parameter value (person),
+/// one column per intermediate-result cardinality in the intended plan.
+#[derive(Debug, Clone)]
+pub struct PcTable {
+    /// Column labels, e.g. `["|⋈1| friends", "|⋈2| friend posts"]`.
+    pub columns: Vec<&'static str>,
+    /// `(person id, per-column counts)`.
+    pub rows: Vec<(u64, Vec<u64>)>,
+}
+
+impl PcTable {
+    /// Number of candidate rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Per-person base statistics shared by all PC tables.
+#[derive(Debug)]
+pub struct PersonStats {
+    /// Friend count per person.
+    pub friends: Vec<u64>,
+    /// Friends-of-friends count (distinct, excluding self and friends).
+    pub friends_of_friends: Vec<u64>,
+    /// Message count per person.
+    pub messages: Vec<u64>,
+    /// Sum of friends' message counts per person.
+    pub friend_messages: Vec<u64>,
+    /// Sum of the 2-hop circle's message counts per person.
+    pub two_hop_messages: Vec<u64>,
+}
+
+/// Compute the base statistics in one pass over the dataset.
+pub fn person_stats(ds: &Dataset) -> PersonStats {
+    let n = ds.persons.len();
+    let adj = snb_datagen::activity::build_adjacency(n, &ds.knows);
+    let mut messages = vec![0u64; n];
+    for p in &ds.posts {
+        messages[p.author.index()] += 1;
+    }
+    for c in &ds.comments {
+        messages[c.author.index()] += 1;
+    }
+
+    let friends: Vec<u64> = adj.iter().map(|l| l.len() as u64).collect();
+    let mut friends_of_friends = vec![0u64; n];
+    let mut friend_messages = vec![0u64; n];
+    let mut two_hop_messages = vec![0u64; n];
+    let mut seen = vec![u32::MAX; n];
+    for p in 0..n {
+        let mut fof = 0u64;
+        let mut fmsg = 0u64;
+        let mut hmsg = 0u64;
+        seen[p] = p as u32;
+        for &(f, _) in &adj[p] {
+            seen[f as usize] = p as u32;
+        }
+        for &(f, _) in &adj[p] {
+            fmsg += messages[f as usize];
+            hmsg += messages[f as usize];
+            for &(ff, _) in &adj[f as usize] {
+                if seen[ff as usize] != p as u32 {
+                    seen[ff as usize] = p as u32;
+                    fof += 1;
+                    hmsg += messages[ff as usize];
+                }
+            }
+        }
+        friends_of_friends[p] = fof;
+        friend_messages[p] = fmsg;
+        two_hop_messages[p] = hmsg;
+    }
+    PersonStats { friends, friends_of_friends, messages, friend_messages, two_hop_messages }
+}
+
+/// PC table for the one-hop message queries (Q2's intended plan, Fig. 6a):
+/// columns |⋈1| = friends, |⋈2| = friends' messages.
+pub fn pc_one_hop(stats: &PersonStats) -> PcTable {
+    PcTable {
+        columns: vec!["friends", "friend_messages"],
+        rows: (0..stats.friends.len() as u64)
+            .map(|p| {
+                (p, vec![stats.friends[p as usize], stats.friend_messages[p as usize]])
+            })
+            .collect(),
+    }
+}
+
+/// PC table for the two-hop queries (Q5/Q9 intended plans): columns
+/// |⋈1| = friends, |⋈2| = friends-of-friends, |⋈3| = 2-hop messages.
+pub fn pc_two_hop(stats: &PersonStats) -> PcTable {
+    PcTable {
+        columns: vec!["friends", "friends_of_friends", "two_hop_messages"],
+        rows: (0..stats.friends.len() as u64)
+            .map(|p| {
+                let i = p as usize;
+                (
+                    p,
+                    vec![
+                        stats.friends[i],
+                        stats.friends_of_friends[i],
+                        stats.two_hop_messages[i],
+                    ],
+                )
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_datagen::{generate, GeneratorConfig};
+
+    fn dataset() -> Dataset {
+        generate(GeneratorConfig::with_persons(300).activity(0.4)).unwrap()
+    }
+
+    #[test]
+    fn stats_match_brute_force_on_sample() {
+        let ds = dataset();
+        let stats = person_stats(&ds);
+        // Brute-force check for a handful of persons.
+        let adj = snb_datagen::activity::build_adjacency(ds.persons.len(), &ds.knows);
+        for p in [0usize, 7, 100, 250] {
+            let friends: std::collections::HashSet<u32> =
+                adj[p].iter().map(|&(f, _)| f).collect();
+            assert_eq!(stats.friends[p], friends.len() as u64);
+            let mut fof = std::collections::HashSet::new();
+            for &f in &friends {
+                for &(ff, _) in &adj[f as usize] {
+                    if ff as usize != p && !friends.contains(&ff) {
+                        fof.insert(ff);
+                    }
+                }
+            }
+            assert_eq!(stats.friends_of_friends[p], fof.len() as u64, "person {p}");
+            let msg_count = ds
+                .posts
+                .iter()
+                .filter(|m| m.author.index() == p)
+                .count()
+                + ds.comments.iter().filter(|c| c.author.index() == p).count();
+            assert_eq!(stats.messages[p], msg_count as u64);
+        }
+    }
+
+    #[test]
+    fn pc_tables_cover_all_persons() {
+        let ds = dataset();
+        let stats = person_stats(&ds);
+        let t1 = pc_one_hop(&stats);
+        let t2 = pc_two_hop(&stats);
+        assert_eq!(t1.len(), ds.persons.len());
+        assert_eq!(t2.len(), ds.persons.len());
+        assert_eq!(t1.columns.len(), 2);
+        assert_eq!(t2.columns.len(), 3);
+        for (_, counts) in &t2.rows {
+            assert_eq!(counts.len(), 3);
+        }
+    }
+
+    #[test]
+    fn two_hop_distribution_is_multimodal_wide() {
+        // Fig. 5a: the 2-hop environment size varies enormously; the max
+        // should dwarf the median.
+        let ds = dataset();
+        let stats = person_stats(&ds);
+        let mut sizes: Vec<u64> =
+            stats.friends_of_friends.iter().zip(&stats.friends).map(|(a, b)| a + b).collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2];
+        let max = *sizes.last().unwrap();
+        assert!(max > 2 * median.max(1), "max {max} median {median}");
+    }
+}

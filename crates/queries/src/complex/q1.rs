@@ -1,0 +1,209 @@
+//! Q1 — "Extract description of friends with a given name".
+//!
+//! Given a person's `firstName`, return up to 20 people with the same first
+//! name, sorted by increasing distance (max 3) from a given person, then by
+//! last name, then by id; include workplaces and places of study.
+
+use crate::engine::Engine;
+use crate::params::Q1Params;
+use snb_core::dict::Dictionaries;
+use snb_core::PersonId;
+use snb_store::Snapshot;
+use std::collections::HashSet;
+
+/// Maximum BFS distance.
+const MAX_DISTANCE: u32 = 3;
+/// Result limit.
+const LIMIT: usize = 20;
+
+/// One result row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Q1Row {
+    /// The matching person.
+    pub person: PersonId,
+    /// Distance from the start person (1..=3).
+    pub distance: u32,
+    /// Last name (sort key within a distance).
+    pub last_name: &'static str,
+    /// Home city name.
+    pub city: &'static str,
+    /// `"University (class year)"` descriptions.
+    pub universities: Vec<String>,
+    /// `"Company (since year, country)"` descriptions.
+    pub companies: Vec<String>,
+}
+
+/// Execute Q1.
+pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q1Params) -> Vec<Q1Row> {
+    let matches = match engine {
+        Engine::Intended => bfs_collect(snap, p),
+        Engine::Naive => naive_collect(snap, p),
+    };
+    materialize(snap, matches)
+}
+
+/// Intended plan: level-wise BFS out of the start person; stop expanding
+/// once a full level has completed with ≥ 20 matches (deeper levels cannot
+/// displace shallower ones in the ordering).
+fn bfs_collect(snap: &Snapshot<'_>, p: &Q1Params) -> Vec<(u64, u32)> {
+    let mut seen: HashSet<u64> = HashSet::from([p.person.raw()]);
+    let mut frontier = vec![p.person.raw()];
+    let mut matches = Vec::new();
+    for depth in 1..=MAX_DISTANCE {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for (v, _) in snap.friends(PersonId(u)) {
+                if seen.insert(v) {
+                    next.push(v);
+                    if snap.person(PersonId(v)).is_some_and(|pr| pr.first_name == p.first_name) {
+                        matches.push((v, depth));
+                    }
+                }
+            }
+        }
+        if matches.len() >= LIMIT {
+            break;
+        }
+        frontier = next;
+    }
+    matches
+}
+
+/// Naive plan: per BFS level, scan the whole person table probing adjacency
+/// toward the frontier (the join-order inversion a scan-based system runs).
+fn naive_collect(snap: &Snapshot<'_>, p: &Q1Params) -> Vec<(u64, u32)> {
+    let mut seen: HashSet<u64> = HashSet::from([p.person.raw()]);
+    let mut frontier: HashSet<u64> = HashSet::from([p.person.raw()]);
+    let mut matches = Vec::new();
+    for depth in 1..=MAX_DISTANCE {
+        let mut next = HashSet::new();
+        for v in 0..snap.person_slots() as u64 {
+            if seen.contains(&v) {
+                continue;
+            }
+            let touches_frontier =
+                snap.friends(PersonId(v)).into_iter().any(|(f, _)| frontier.contains(&f));
+            if touches_frontier {
+                next.insert(v);
+                if snap.person(PersonId(v)).is_some_and(|pr| pr.first_name == p.first_name) {
+                    matches.push((v, depth));
+                }
+            }
+        }
+        seen.extend(next.iter().copied());
+        if matches.len() >= LIMIT {
+            break;
+        }
+        frontier = next;
+    }
+    matches
+}
+
+fn materialize(snap: &Snapshot<'_>, matches: Vec<(u64, u32)>) -> Vec<Q1Row> {
+    let dicts = Dictionaries::global();
+    let mut rows: Vec<Q1Row> = matches
+        .into_iter()
+        .filter_map(|(id, distance)| {
+            let person = snap.person(PersonId(id))?;
+            let universities = person
+                .study_at
+                .iter()
+                .map(|s| {
+                    let u = dicts.orgs.university(s.university.index());
+                    format!("{} ({})", u.name, s.class_year)
+                })
+                .collect();
+            let companies = person
+                .work_at
+                .iter()
+                .map(|w| {
+                    let c = dicts.orgs.company(w.company.index());
+                    format!(
+                        "{} (since {}, {})",
+                        c.name,
+                        w.work_from,
+                        dicts.places.country(c.country).name
+                    )
+                })
+                .collect();
+            Some(Q1Row {
+                person: PersonId(id),
+                distance,
+                last_name: person.last_name,
+                city: dicts.places.city(person.city).name,
+                universities,
+                companies,
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        (a.distance, a.last_name, a.person).cmp(&(b.distance, b.last_name, b.person))
+    });
+    rows.truncate(LIMIT);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{busy_person, fixture};
+
+    fn params() -> Q1Params {
+        let f = fixture();
+        let start = busy_person(f);
+        // Pick the most common first name among non-start persons so the
+        // query has work to do.
+        let mut counts = std::collections::HashMap::new();
+        for p in &f.ds.persons {
+            *counts.entry(p.first_name).or_insert(0usize) += 1;
+        }
+        let name = counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0;
+        Q1Params { person: start, first_name: name.to_string() }
+    }
+
+    #[test]
+    fn intended_and_naive_agree() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let p = params();
+        let a = run(&snap, Engine::Intended, &p);
+        let b = run(&snap, Engine::Naive, &p);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "popular name should match someone within 3 hops");
+    }
+
+    #[test]
+    fn ordering_and_limit_hold() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let rows = run(&snap, Engine::Intended, &params());
+        assert!(rows.len() <= LIMIT);
+        for w in rows.windows(2) {
+            assert!(
+                (w[0].distance, w[0].last_name, w[0].person)
+                    <= (w[1].distance, w[1].last_name, w[1].person)
+            );
+        }
+        for r in &rows {
+            assert!((1..=MAX_DISTANCE).contains(&r.distance));
+        }
+    }
+
+    #[test]
+    fn start_person_is_excluded() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let p = params();
+        for r in run(&snap, Engine::Intended, &p) {
+            assert_ne!(r.person, p.person);
+        }
+    }
+
+    #[test]
+    fn unknown_name_yields_empty() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let p = Q1Params { person: busy_person(f), first_name: "Zzyzx".into() };
+        assert!(run(&snap, Engine::Intended, &p).is_empty());
+    }
+}

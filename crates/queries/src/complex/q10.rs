@@ -1,0 +1,198 @@
+//! Q10 — "Friend recommendation".
+//!
+//! Find top-10 friends-of-friends (excluding direct friends and the person)
+//! who post much about the person's interests and little about anything
+//! else, restricted by horoscope sign: born in the given month on day ≥ 21,
+//! or in the next month on day < 22. Score = (posts with a common interest
+//! tag) − (posts without). Descending by score, ascending by id.
+
+use crate::engine::Engine;
+use crate::helpers::two_hop;
+use crate::params::Q10Params;
+use snb_core::{MessageId, PersonId, TagId};
+use snb_store::Snapshot;
+use std::collections::{HashMap, HashSet};
+
+/// Result limit.
+const LIMIT: usize = 10;
+
+/// One result row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Q10Row {
+    /// The recommended person.
+    pub person: PersonId,
+    /// First name.
+    pub first_name: &'static str,
+    /// Last name.
+    pub last_name: &'static str,
+    /// Common-interest score.
+    pub score: i64,
+}
+
+/// Execute Q10.
+pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q10Params) -> Vec<Q10Row> {
+    let interests: HashSet<TagId> = match snap.person(p.person) {
+        Some(me) => me.interests.iter().copied().collect(),
+        None => return Vec::new(),
+    };
+    let cands = horoscope_candidates(snap, p);
+    let scores = match engine {
+        Engine::Intended => intended(snap, &cands, &interests),
+        Engine::Naive => naive(snap, &cands, &interests),
+    };
+    let mut rows: Vec<Q10Row> = cands
+        .iter()
+        .filter_map(|&c| {
+            let person = snap.person(PersonId(c))?;
+            Some(Q10Row {
+                person: PersonId(c),
+                first_name: person.first_name,
+                last_name: person.last_name,
+                score: scores.get(&c).copied().unwrap_or(0),
+            })
+        })
+        .collect();
+    rows.sort_by_key(|r| (std::cmp::Reverse(r.score), r.person));
+    rows.truncate(LIMIT);
+    rows
+}
+
+/// Strict friends-of-friends passing the horoscope restriction.
+fn horoscope_candidates(snap: &Snapshot<'_>, p: &Q10Params) -> Vec<u64> {
+    let (_, two) = two_hop(snap, p.person);
+    let next_month = if p.month == 12 { 1 } else { p.month + 1 };
+    two.into_iter()
+        .filter(|&c| {
+            snap.person(PersonId(c)).is_some_and(|pr| {
+                let (_, m, d) = pr.birthday.to_ymd();
+                (m == p.month && d >= 21) || (m == next_month && d < 22)
+            })
+        })
+        .collect()
+}
+
+fn score_one(common: i64, total: i64) -> i64 {
+    common - (total - common)
+}
+
+/// Intended: per candidate, scan their message index counting posts.
+fn intended(
+    snap: &Snapshot<'_>,
+    cands: &[u64],
+    interests: &HashSet<TagId>,
+) -> HashMap<u64, i64> {
+    let mut scores = HashMap::with_capacity(cands.len());
+    for &c in cands {
+        let mut common = 0i64;
+        let mut total = 0i64;
+        for (msg, _) in snap.messages_of(PersonId(c)) {
+            let id = MessageId(msg);
+            if snap.message_meta(id).is_some_and(|m| m.reply_info.is_none()) {
+                total += 1;
+                if snap.message_tags(id).iter().any(|t| interests.contains(t)) {
+                    common += 1;
+                }
+            }
+        }
+        scores.insert(c, score_one(common, total));
+    }
+    scores
+}
+
+/// Naive: one full message scan grouping per candidate.
+fn naive(snap: &Snapshot<'_>, cands: &[u64], interests: &HashSet<TagId>) -> HashMap<u64, i64> {
+    let cand_set: HashSet<u64> = cands.iter().copied().collect();
+    let mut agg: HashMap<u64, (i64, i64)> = HashMap::new();
+    for m in 0..snap.message_slots() as u64 {
+        let id = MessageId(m);
+        let Some(meta) = snap.message_meta(id) else { continue };
+        if meta.reply_info.is_some() || !cand_set.contains(&meta.author.raw()) {
+            continue;
+        }
+        let e = agg.entry(meta.author.raw()).or_default();
+        e.1 += 1;
+        if snap.message_tags(id).iter().any(|t| interests.contains(t)) {
+            e.0 += 1;
+        }
+    }
+    cands
+        .iter()
+        .map(|&c| {
+            let (common, total) = agg.get(&c).copied().unwrap_or((0, 0));
+            (c, score_one(common, total))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{busy_person, fixture};
+
+    fn params() -> Q10Params {
+        // Use a month that certainly has births: probe a few.
+        let f = fixture();
+        let person = busy_person(f);
+        Q10Params { person, month: 6 }
+    }
+
+    #[test]
+    fn intended_and_naive_agree_across_months() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let person = busy_person(f);
+        for month in [1, 6, 12] {
+            let p = Q10Params { person, month };
+            assert_eq!(
+                run(&snap, Engine::Intended, &p),
+                run(&snap, Engine::Naive, &p),
+                "month {month}"
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_are_strict_friends_of_friends() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let p = params();
+        let (one, two) = two_hop(&snap, p.person);
+        for r in run(&snap, Engine::Intended, &p) {
+            assert!(two.contains(&r.person.raw()));
+            assert!(!one.contains(&r.person.raw()), "direct friends excluded");
+            assert_ne!(r.person, p.person);
+        }
+    }
+
+    #[test]
+    fn horoscope_window_is_respected() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let p = params();
+        for r in run(&snap, Engine::Intended, &p) {
+            let (_, m, d) = snap.person(r.person).unwrap().birthday.to_ymd();
+            assert!((m == p.month && d >= 21) || (m == p.month + 1 && d < 22), "{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn december_wraps_to_january() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let p = Q10Params { person: busy_person(f), month: 12 };
+        for r in run(&snap, Engine::Intended, &p) {
+            let (_, m, d) = snap.person(r.person).unwrap().birthday.to_ymd();
+            assert!((m == 12 && d >= 21) || (m == 1 && d < 22));
+        }
+    }
+
+    #[test]
+    fn scores_are_sorted_descending() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let rows = run(&snap, Engine::Intended, &params());
+        for w in rows.windows(2) {
+            assert!(w[0].score > w[1].score || (w[0].score == w[1].score && w[0].person < w[1].person));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Q12 — "Expert Search".
+//!
+//! Find friends of a person who have replied the most to posts with a tag
+//! in a given tag class (or any of its descendant classes). Top 20 persons,
+//! descending by reply count, ascending by id; include the matched tag
+//! names.
+
+use crate::engine::Engine;
+use crate::helpers::friend_set;
+use crate::params::Q12Params;
+use snb_core::dict::Dictionaries;
+use snb_core::{MessageId, PersonId};
+use snb_store::Snapshot;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Result limit.
+const LIMIT: usize = 20;
+
+/// One result row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Q12Row {
+    /// The expert friend.
+    pub person: PersonId,
+    /// First name.
+    pub first_name: &'static str,
+    /// Last name.
+    pub last_name: &'static str,
+    /// Tag names their replies touched (sorted).
+    pub tags: Vec<String>,
+    /// Number of matching replies.
+    pub count: u32,
+}
+
+/// Execute Q12.
+pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q12Params) -> Vec<Q12Row> {
+    let dicts = Dictionaries::global();
+    let classes: HashSet<usize> = dicts.tags.class_descendants(p.tag_class).into_iter().collect();
+    let per_friend = match engine {
+        Engine::Intended => intended(snap, p, &classes),
+        Engine::Naive => naive(snap, p, &classes),
+    };
+    let mut rows: Vec<Q12Row> = per_friend
+        .into_iter()
+        .filter(|(_, (count, _))| *count > 0)
+        .filter_map(|(friend, (count, tags))| {
+            let person = snap.person(PersonId(friend))?;
+            Some(Q12Row {
+                person: PersonId(friend),
+                first_name: person.first_name,
+                last_name: person.last_name,
+                tags: tags.into_iter().collect(),
+                count,
+            })
+        })
+        .collect();
+    rows.sort_by_key(|r| (std::cmp::Reverse(r.count), r.person));
+    rows.truncate(LIMIT);
+    rows
+}
+
+type Agg = HashMap<u64, (u32, BTreeSet<String>)>;
+
+/// Count a comment if its direct parent is a *post* tagged inside the class
+/// subtree; collect the matching tag names.
+fn score_comment(
+    snap: &Snapshot<'_>,
+    comment: MessageId,
+    classes: &HashSet<usize>,
+    entry: &mut (u32, BTreeSet<String>),
+) {
+    let dicts = Dictionaries::global();
+    let Some(meta) = snap.message_meta(comment) else { return };
+    let Some((parent, _)) = meta.reply_info else { return };
+    let Some(pmeta) = snap.message_meta(parent) else { return };
+    if pmeta.reply_info.is_some() {
+        return; // parent must be a post, not a comment
+    }
+    let matched: Vec<String> = snap
+        .message_tags(parent)
+        .into_iter()
+        .filter(|t| classes.contains(&dicts.tags.tag(t.index()).class))
+        .map(|t| dicts.tags.tag(t.index()).name.clone())
+        .collect();
+    if !matched.is_empty() {
+        entry.0 += 1;
+        entry.1.extend(matched);
+    }
+}
+
+/// Intended: per friend, scan their messages picking comments.
+fn intended(snap: &Snapshot<'_>, p: &Q12Params, classes: &HashSet<usize>) -> Agg {
+    let mut agg: Agg = HashMap::new();
+    for friend in friend_set(snap, p.person) {
+        let entry = agg.entry(friend).or_default();
+        for (msg, _) in snap.messages_of(PersonId(friend)) {
+            score_comment(snap, MessageId(msg), classes, entry);
+        }
+    }
+    agg
+}
+
+/// Naive: full message scan probing the friend hash set.
+fn naive(snap: &Snapshot<'_>, p: &Q12Params, classes: &HashSet<usize>) -> Agg {
+    let friends = friend_set(snap, p.person);
+    let mut agg: Agg = HashMap::new();
+    for m in 0..snap.message_slots() as u64 {
+        let Some(meta) = snap.message_meta(MessageId(m)) else { continue };
+        if meta.reply_info.is_some() && friends.contains(&meta.author.raw()) {
+            let entry = agg.entry(meta.author.raw()).or_default();
+            score_comment(snap, MessageId(m), classes, entry);
+        }
+    }
+    agg.retain(|_, (c, _)| *c > 0);
+    // Intended seeds every friend with a zero entry; align by dropping them
+    // there too at the caller (rows filter on count > 0).
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{busy_person, fixture};
+
+    fn params() -> Q12Params {
+        let dicts = Dictionaries::global();
+        Q12Params {
+            person: busy_person(fixture()),
+            tag_class: dicts.tags.class_by_name("MusicalArtist").unwrap(),
+        }
+    }
+
+    #[test]
+    fn intended_and_naive_agree() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let p = params();
+        assert_eq!(run(&snap, Engine::Intended, &p), run(&snap, Engine::Naive, &p));
+    }
+
+    #[test]
+    fn experts_are_friends_with_positive_counts() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let p = params();
+        let friends = friend_set(&snap, p.person);
+        let rows = run(&snap, Engine::Intended, &p);
+        for r in &rows {
+            assert!(friends.contains(&r.person.raw()));
+            assert!(r.count > 0);
+            assert!(!r.tags.is_empty());
+        }
+    }
+
+    #[test]
+    fn root_class_thing_catches_more_than_a_leaf() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let person = busy_person(f);
+        let dicts = Dictionaries::global();
+        let thing = dicts.tags.class_by_name("Thing").unwrap();
+        let leaf = dicts.tags.class_by_name("Programming").unwrap();
+        let all: u32 = run(&snap, Engine::Intended, &Q12Params { person, tag_class: thing })
+            .iter()
+            .map(|r| r.count)
+            .sum();
+        let few: u32 = run(&snap, Engine::Intended, &Q12Params { person, tag_class: leaf })
+            .iter()
+            .map(|r| r.count)
+            .sum();
+        assert!(all >= few);
+        assert!(all > 0, "Thing subtree covers every tag");
+    }
+}

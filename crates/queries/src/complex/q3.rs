@@ -1,0 +1,182 @@
+//! Q3 — "Friends within 2 steps that recently traveled to countries X and Y".
+//!
+//! Find top-20 friends and friends-of-friends of a person who made a post
+//! or comment in both foreign countries X and Y within the window
+//! `[start, start + duration)`. Foreign means neither country is the
+//! candidate's home country. Sorted descending by total message count,
+//! ascending by person id.
+
+use crate::engine::Engine;
+use crate::helpers::two_hop;
+use crate::params::Q3Params;
+use snb_core::{MessageId, PersonId};
+use snb_store::Snapshot;
+use std::collections::HashMap;
+
+/// Result limit.
+const LIMIT: usize = 20;
+
+/// One result row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Q3Row {
+    /// The travelling person.
+    pub person: PersonId,
+    /// First name.
+    pub first_name: &'static str,
+    /// Last name.
+    pub last_name: &'static str,
+    /// Messages sent from country X in the window.
+    pub x_count: u32,
+    /// Messages sent from country Y in the window.
+    pub y_count: u32,
+}
+
+/// Execute Q3.
+pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q3Params) -> Vec<Q3Row> {
+    let counts = match engine {
+        Engine::Intended => intended(snap, p),
+        Engine::Naive => naive(snap, p),
+    };
+    let mut rows: Vec<Q3Row> = counts
+        .into_iter()
+        .filter(|&(_, (x, y))| x > 0 && y > 0)
+        .filter_map(|(id, (x_count, y_count))| {
+            let person = snap.person(PersonId(id))?;
+            Some(Q3Row {
+                person: PersonId(id),
+                first_name: person.first_name,
+                last_name: person.last_name,
+                x_count,
+                y_count,
+            })
+        })
+        .collect();
+    rows.sort_by_key(|r| (std::cmp::Reverse(r.x_count + r.y_count), r.person));
+    rows.truncate(LIMIT);
+    rows
+}
+
+/// Candidates whose home country is neither X nor Y.
+fn candidates(snap: &Snapshot<'_>, p: &Q3Params) -> Vec<u64> {
+    let (one, two) = two_hop(snap, p.person);
+    one.into_iter()
+        .chain(two)
+        .filter(|&c| {
+            snap.person(PersonId(c))
+                .is_some_and(|pr| pr.country != p.country_x && pr.country != p.country_y)
+        })
+        .collect()
+}
+
+/// Intended plan: traverse from the person; per candidate, a date-range
+/// scan of their message index, fetching the country only for in-window
+/// messages.
+fn intended(snap: &Snapshot<'_>, p: &Q3Params) -> HashMap<u64, (u32, u32)> {
+    let end = p.start.plus_days(p.duration_days);
+    let mut counts = HashMap::new();
+    for c in candidates(snap, p) {
+        let mut x = 0u32;
+        let mut y = 0u32;
+        for (msg, date) in snap.messages_of(PersonId(c)) {
+            if date < p.start || date >= end {
+                continue;
+            }
+            if let Some(meta) = snap.message_meta(MessageId(msg)) {
+                if meta.country as usize == p.country_x {
+                    x += 1;
+                } else if meta.country as usize == p.country_y {
+                    y += 1;
+                }
+            }
+        }
+        if x > 0 || y > 0 {
+            counts.insert(c, (x, y));
+        }
+    }
+    counts
+}
+
+/// Naive plan: full message scan grouped by author, filtered afterwards.
+fn naive(snap: &Snapshot<'_>, p: &Q3Params) -> HashMap<u64, (u32, u32)> {
+    let end = p.start.plus_days(p.duration_days);
+    let cands: std::collections::HashSet<u64> = candidates(snap, p).into_iter().collect();
+    let mut counts: HashMap<u64, (u32, u32)> = HashMap::new();
+    for m in 0..snap.message_slots() as u64 {
+        let Some(meta) = snap.message_meta(MessageId(m)) else { continue };
+        if meta.creation_date < p.start || meta.creation_date >= end {
+            continue;
+        }
+        if !cands.contains(&meta.author.raw()) {
+            continue;
+        }
+        let entry = counts.entry(meta.author.raw()).or_default();
+        if meta.country as usize == p.country_x {
+            entry.0 += 1;
+        } else if meta.country as usize == p.country_y {
+            entry.1 += 1;
+        }
+    }
+    counts.retain(|_, &mut (x, y)| x > 0 || y > 0);
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{busy_person, fixture};
+    use snb_core::SimTime;
+
+    fn params() -> Q3Params {
+        let f = fixture();
+        let dicts = snb_core::dict::Dictionaries::global();
+        Q3Params {
+            person: busy_person(f),
+            country_x: dicts.places.country_by_name("China").unwrap(),
+            country_y: dicts.places.country_by_name("India").unwrap(),
+            start: SimTime::from_ymd(2010, 6, 1),
+            duration_days: 700,
+        }
+    }
+
+    #[test]
+    fn intended_and_naive_agree() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let p = params();
+        assert_eq!(run(&snap, Engine::Intended, &p), run(&snap, Engine::Naive, &p));
+    }
+
+    #[test]
+    fn results_require_both_countries_and_exclude_residents() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let p = params();
+        for r in run(&snap, Engine::Intended, &p) {
+            assert!(r.x_count > 0 && r.y_count > 0);
+            let home = snap.person(r.person).unwrap().country;
+            assert_ne!(home, p.country_x);
+            assert_ne!(home, p.country_y);
+        }
+    }
+
+    #[test]
+    fn ordering_is_total_desc_then_id() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let rows = run(&snap, Engine::Intended, &params());
+        for w in rows.windows(2) {
+            let t0 = w[0].x_count + w[0].y_count;
+            let t1 = w[1].x_count + w[1].y_count;
+            assert!(t0 > t1 || (t0 == t1 && w[0].person < w[1].person));
+        }
+    }
+
+    #[test]
+    fn empty_window_yields_nothing() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let mut p = params();
+        p.duration_days = 0;
+        assert!(run(&snap, Engine::Intended, &p).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Q6 — "Tag co-occurrence".
+//!
+//! Given a start person and a tag, find the other tags that occur together
+//! with it on posts created by the person's friends and friends-of-friends.
+//! Top 10 by post count, then tag name.
+
+use crate::engine::Engine;
+use crate::helpers::two_hop;
+use crate::params::Q6Params;
+use snb_core::dict::Dictionaries;
+use snb_core::{MessageId, PersonId};
+use snb_store::Snapshot;
+use std::collections::HashMap;
+
+/// Result limit.
+const LIMIT: usize = 10;
+
+/// One result row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Q6Row {
+    /// Co-occurring tag name.
+    pub tag: String,
+    /// Number of posts carrying both tags.
+    pub count: u32,
+}
+
+/// Execute Q6.
+pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q6Params) -> Vec<Q6Row> {
+    let counts = match engine {
+        Engine::Intended => intended(snap, p),
+        Engine::Naive => naive(snap, p),
+    };
+    let dicts = Dictionaries::global();
+    let mut rows: Vec<Q6Row> = counts
+        .into_iter()
+        .map(|(tag, count)| Q6Row { tag: dicts.tags.tag(tag as usize).name.clone(), count })
+        .collect();
+    rows.sort_by(|a, b| {
+        (std::cmp::Reverse(a.count), &a.tag).cmp(&(std::cmp::Reverse(b.count), &b.tag))
+    });
+    rows.truncate(LIMIT);
+    rows
+}
+
+fn count_post(
+    snap: &Snapshot<'_>,
+    msg: MessageId,
+    anchor: u64,
+    counts: &mut HashMap<u64, u32>,
+) {
+    let tags = snap.message_tags(msg);
+    if tags.iter().any(|t| t.raw() == anchor) {
+        for t in tags {
+            if t.raw() != anchor {
+                *counts.entry(t.raw()).or_default() += 1;
+            }
+        }
+    }
+}
+
+/// Intended: traverse the 2-hop circle, scan each candidate's posts.
+fn intended(snap: &Snapshot<'_>, p: &Q6Params) -> HashMap<u64, u32> {
+    let (one, two) = two_hop(snap, p.person);
+    let mut counts = HashMap::new();
+    for c in one.into_iter().chain(two) {
+        for (msg, _) in snap.messages_of(PersonId(c)) {
+            let id = MessageId(msg);
+            if snap.message_meta(id).is_some_and(|m| m.reply_info.is_none()) {
+                count_post(snap, id, p.tag as u64, &mut counts);
+            }
+        }
+    }
+    counts
+}
+
+/// Naive: full message scan with a hash probe.
+fn naive(snap: &Snapshot<'_>, p: &Q6Params) -> HashMap<u64, u32> {
+    let (one, two) = two_hop(snap, p.person);
+    let circle: std::collections::HashSet<u64> = one.into_iter().chain(two).collect();
+    let mut counts = HashMap::new();
+    for m in 0..snap.message_slots() as u64 {
+        let id = MessageId(m);
+        let Some(meta) = snap.message_meta(id) else { continue };
+        if meta.reply_info.is_none() && circle.contains(&meta.author.raw()) {
+            count_post(snap, id, p.tag as u64, &mut counts);
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{busy_person, fixture};
+
+    fn params() -> Q6Params {
+        // Anchor on the busy person's own primary interest: their circle is
+        // interest-correlated (§2.3), so co-occurrences exist.
+        let f = fixture();
+        let person = busy_person(f);
+        let tag = f.ds.persons[person.index()].interests[0].index();
+        Q6Params { person, tag }
+    }
+
+    #[test]
+    fn intended_and_naive_agree() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let p = params();
+        assert_eq!(run(&snap, Engine::Intended, &p), run(&snap, Engine::Naive, &p));
+    }
+
+    #[test]
+    fn anchor_tag_is_not_its_own_co_occurrence() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let p = params();
+        let anchor = Dictionaries::global().tags.tag(p.tag).name.clone();
+        for r in run(&snap, Engine::Intended, &p) {
+            assert_ne!(r.tag, anchor);
+            assert!(r.count > 0);
+        }
+    }
+
+    #[test]
+    fn ordering_and_limit() {
+        let f = fixture();
+        let snap = f.store.snapshot();
+        let rows = run(&snap, Engine::Intended, &params());
+        assert!(rows.len() <= LIMIT);
+        for w in rows.windows(2) {
+            assert!(w[0].count > w[1].count || (w[0].count == w[1].count && w[0].tag <= w[1].tag));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Execution engines.
+//!
+//! §3 motivates the workload by choke points — above all, choosing the
+//! right plan. We expose two engines over the same store:
+//!
+//! - [`Engine::Intended`]: the per-query intended plans (Fig. 4/6 style):
+//!   index-nested-loop joins out of the small friendship side, date-ordered
+//!   index scans with early termination.
+//! - [`Engine::Naive`]: what a system without the right indexes or join
+//!   orders runs — full table scans with hash probes and full sorts.
+//!
+//! Both produce identical results (differentially tested per query), so the
+//! pair doubles as the evaluation's "two systems" comparison and as a
+//! correctness oracle.
+
+/// Which plan family to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Index-based intended plans.
+    Intended,
+    /// Scan-based baseline plans.
+    Naive,
+}
+
+impl Engine {
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Intended => "intended",
+            Engine::Naive => "naive",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Engine::Intended.name(), "intended");
+        assert_eq!(Engine::Naive.name(), "naive");
+    }
+}

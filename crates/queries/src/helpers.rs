@@ -1,0 +1,153 @@
+//! Shared traversal and top-k helpers.
+
+use snb_store::Snapshot;
+use snb_core::PersonId;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+/// Direct friends of `p` as a set of raw person ids.
+pub fn friend_set(snap: &Snapshot<'_>, p: PersonId) -> HashSet<u64> {
+    snap.friends(p).into_iter().map(|(f, _)| f).collect()
+}
+
+/// Friends and friends-of-friends of `p`, excluding `p` itself.
+/// Returns `(one_hop, two_hop_only)`.
+pub fn two_hop(snap: &Snapshot<'_>, p: PersonId) -> (HashSet<u64>, HashSet<u64>) {
+    let one: HashSet<u64> = friend_set(snap, p);
+    let mut two = HashSet::new();
+    for &f in &one {
+        for (ff, _) in snap.friends(PersonId(f)) {
+            if ff != p.raw() && !one.contains(&ff) {
+                two.insert(ff);
+            }
+        }
+    }
+    (one, two)
+}
+
+/// BFS distances from `start` up to `max_depth`; returns `(person, dist)`
+/// for every reached person except `start`.
+pub fn bfs_within(snap: &Snapshot<'_>, start: PersonId, max_depth: u32) -> Vec<(u64, u32)> {
+    let mut dist: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    dist.insert(start.raw(), 0);
+    let mut queue = VecDeque::from([start.raw()]);
+    let mut out = Vec::new();
+    while let Some(u) = queue.pop_front() {
+        let d = dist[&u];
+        if d == max_depth {
+            continue;
+        }
+        for (v, _) in snap.friends(PersonId(u)) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                e.insert(d + 1);
+                out.push((v, d + 1));
+                queue.push_back(v);
+            }
+        }
+    }
+    out
+}
+
+/// Bounded top-k collector over a key `K`: keeps the k *smallest* keys.
+/// Encode "descending by date, ascending by id" orderings by key choice,
+/// e.g. `(Reverse(date), id)`.
+#[derive(Debug)]
+pub struct TopK<K: Ord, V> {
+    k: usize,
+    heap: BinaryHeap<KeyedEntry<K, V>>,
+}
+
+#[derive(Debug)]
+struct KeyedEntry<K: Ord, V>(K, V);
+
+impl<K: Ord, V> PartialEq for KeyedEntry<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl<K: Ord, V> Eq for KeyedEntry<K, V> {}
+impl<K: Ord, V> PartialOrd for KeyedEntry<K, V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord, V> Ord for KeyedEntry<K, V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl<K: Ord, V> TopK<K, V> {
+    /// New collector for the `k` smallest keys.
+    pub fn new(k: usize) -> TopK<K, V> {
+        TopK { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offer an item.
+    pub fn push(&mut self, key: K, value: V) {
+        if self.heap.len() < self.k {
+            self.heap.push(KeyedEntry(key, value));
+        } else if let Some(top) = self.heap.peek() {
+            if key < top.0 {
+                self.heap.pop();
+                self.heap.push(KeyedEntry(key, value));
+            }
+        }
+    }
+
+    /// Current threshold: the largest retained key, if the collector is
+    /// full. Scans over key-ordered inputs can stop once their next key
+    /// exceeds this.
+    pub fn threshold(&self) -> Option<&K> {
+        (self.heap.len() == self.k).then(|| &self.heap.peek().unwrap().0)
+    }
+
+    /// Whether `key` would be accepted right now.
+    pub fn would_accept(&self, key: &K) -> bool {
+        self.heap.len() < self.k || *key < self.heap.peek().unwrap().0
+    }
+
+    /// Finish: items in ascending key order.
+    pub fn into_sorted(self) -> Vec<(K, V)> {
+        let mut v: Vec<(K, V)> = self.heap.into_iter().map(|e| (e.0, e.1)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+
+    #[test]
+    fn topk_keeps_k_smallest_in_order() {
+        let mut t = TopK::new(3);
+        for x in [5, 1, 9, 3, 7, 2] {
+            t.push(x, x * 10);
+        }
+        let got: Vec<i32> = t.into_sorted().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn topk_reverse_key_gives_most_recent_first() {
+        // Typical usage: key (Reverse(date), id) → newest first, id tiebreak.
+        let mut t = TopK::new(2);
+        for (date, id) in [(10, 1), (30, 2), (20, 3), (30, 1)] {
+            t.push((Reverse(date), id), ());
+        }
+        let got: Vec<(i32, i32)> = t.into_sorted().into_iter().map(|((Reverse(d), i), _)| (d, i)).collect();
+        assert_eq!(got, vec![(30, 1), (30, 2)]);
+    }
+
+    #[test]
+    fn topk_threshold_enables_early_exit() {
+        let mut t = TopK::new(2);
+        t.push(5, ());
+        assert!(t.threshold().is_none());
+        t.push(3, ());
+        assert_eq!(t.threshold(), Some(&5));
+        assert!(t.would_accept(&4));
+        assert!(!t.would_accept(&6));
+    }
+}

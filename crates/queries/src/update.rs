@@ -1,0 +1,49 @@
+//! Transactional update execution (U1–U8).
+//!
+//! The update operations themselves are defined in
+//! [`snb_core::update::UpdateOp`] and applied by the store as single ACID
+//! transactions; this module is the workload-side executor the driver calls,
+//! mirroring [`crate::complex::run_complex`] / [`crate::short::run_short`].
+
+use snb_core::update::UpdateOp;
+use snb_core::SnbResult;
+use snb_store::Store;
+
+/// Execute one update transaction against the store.
+pub fn run_update(store: &Store, op: &UpdateOp) -> SnbResult<()> {
+    store.apply(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fixture;
+    use snb_store::Store;
+
+    #[test]
+    fn replaying_the_update_stream_executes_all_eight_types() {
+        let f = fixture();
+        let store = Store::new();
+        store.bulk_load(&f.ds);
+        let mut seen = [0usize; 9];
+        for u in f.ds.update_stream() {
+            run_update(&store, &u.op).unwrap();
+            seen[u.op.query_number()] += 1;
+        }
+        for (q, &n) in seen.iter().enumerate().skip(1) {
+            assert!(n > 0, "U{q} never executed");
+        }
+    }
+
+    #[test]
+    fn duplicate_update_is_rejected() {
+        let f = fixture();
+        let store = Store::new();
+        store.bulk_load(&f.ds);
+        let stream = f.ds.update_stream();
+        let first_person =
+            stream.iter().find(|u| matches!(u.op, UpdateOp::AddPerson(_))).unwrap();
+        run_update(&store, &first_person.op).unwrap();
+        assert!(run_update(&store, &first_person.op).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Edge-case coverage for the query layer: empty stores, dangling ids,
+//! degenerate parameters — every query must return a well-defined (usually
+//! empty) result instead of panicking.
+
+use snb_core::time::SimTime;
+use snb_core::{MessageId, PersonId};
+use snb_queries::params::*;
+use snb_queries::{complex, short, Engine, ShortQuery};
+use snb_store::Store;
+
+fn empty_snapshot_queries(engine: Engine) {
+    let store = Store::new();
+    let snap = store.snapshot();
+    let p = PersonId(0);
+    let date = SimTime::from_ymd(2012, 1, 1);
+    assert!(complex::q1::run(&snap, engine, &Q1Params { person: p, first_name: "Karl".into() })
+        .is_empty());
+    assert!(complex::q2::run(&snap, engine, &Q2Params { person: p, max_date: date }).is_empty());
+    assert!(complex::q3::run(
+        &snap,
+        engine,
+        &Q3Params { person: p, country_x: 0, country_y: 1, start: date, duration_days: 10 }
+    )
+    .is_empty());
+    assert!(complex::q4::run(&snap, engine, &Q4Params { person: p, start: date, duration_days: 10 })
+        .is_empty());
+    assert!(complex::q5::run(&snap, engine, &Q5Params { person: p, min_date: date }).is_empty());
+    assert!(complex::q6::run(&snap, engine, &Q6Params { person: p, tag: 0 }).is_empty());
+    assert!(complex::q7::run(&snap, engine, &Q7Params { person: p }).is_empty());
+    assert!(complex::q8::run(&snap, engine, &Q8Params { person: p }).is_empty());
+    assert!(complex::q9::run(&snap, engine, &Q9Params { person: p, max_date: date }).is_empty());
+    assert!(complex::q10::run(&snap, engine, &Q10Params { person: p, month: 6 }).is_empty());
+    assert!(complex::q11::run(
+        &snap,
+        engine,
+        &Q11Params { person: p, country: 0, max_year: 2012 }
+    )
+    .is_empty());
+    assert!(complex::q12::run(&snap, engine, &Q12Params { person: p, tag_class: 0 }).is_empty());
+    assert_eq!(
+        complex::q13::run(&snap, engine, &Q13Params { person_x: p, person_y: PersonId(1) }),
+        -1
+    );
+    assert!(complex::q14::run(&snap, engine, &Q14Params { person_x: p, person_y: PersonId(1) })
+        .is_empty());
+}
+
+#[test]
+fn all_complex_queries_handle_an_empty_store() {
+    empty_snapshot_queries(Engine::Intended);
+    empty_snapshot_queries(Engine::Naive);
+}
+
+#[test]
+fn all_short_queries_handle_an_empty_store() {
+    let store = Store::new();
+    let snap = store.snapshot();
+    for q in [
+        ShortQuery::S1(PersonId(7)),
+        ShortQuery::S2(PersonId(7)),
+        ShortQuery::S3(PersonId(7)),
+        ShortQuery::S4(MessageId(7)),
+        ShortQuery::S5(MessageId(7)),
+        ShortQuery::S6(MessageId(7)),
+        ShortQuery::S7(MessageId(7)),
+    ] {
+        assert_eq!(short::run_short(&snap, &q), 0, "{q:?}");
+    }
+}
+
+#[test]
+fn queries_tolerate_ids_beyond_the_population() {
+    let ds = snb_datagen::generate(
+        snb_datagen::GeneratorConfig::with_persons(60).activity(0.3),
+    )
+    .unwrap();
+    let store = Store::new();
+    store.load_full(&ds);
+    let snap = store.snapshot();
+    let ghost = PersonId(1_000_000);
+    assert!(complex::q2::run(
+        &snap,
+        Engine::Intended,
+        &Q2Params { person: ghost, max_date: SimTime::SIM_END }
+    )
+    .is_empty());
+    assert!(complex::q7::run(&snap, Engine::Intended, &Q7Params { person: ghost }).is_empty());
+    assert_eq!(
+        complex::q13::run(
+            &snap,
+            Engine::Intended,
+            &Q13Params { person_x: ghost, person_y: PersonId(0) }
+        ),
+        -1
+    );
+    assert!(complex::q10::run(&snap, Engine::Intended, &Q10Params { person: ghost, month: 1 })
+        .is_empty());
+}
+
+#[test]
+fn degenerate_parameters_are_well_defined() {
+    let ds = snb_datagen::generate(
+        snb_datagen::GeneratorConfig::with_persons(60).activity(0.3),
+    )
+    .unwrap();
+    let store = Store::new();
+    store.load_full(&ds);
+    let snap = store.snapshot();
+    let p = PersonId(0);
+    // Same foreign country twice in Q3: Y-count can never be disjoint from
+    // X-count, so either every row double-counts or nothing matches; the
+    // engines must still agree.
+    let q3 = Q3Params {
+        person: p,
+        country_x: 2,
+        country_y: 2,
+        start: SimTime::SIM_START,
+        duration_days: 2_000,
+    };
+    assert_eq!(
+        complex::q3::run(&snap, Engine::Intended, &q3),
+        complex::q3::run(&snap, Engine::Naive, &q3)
+    );
+    // Zero-length window.
+    let q4 = Q4Params { person: p, start: SimTime::SIM_START, duration_days: 0 };
+    assert!(complex::q4::run(&snap, Engine::Intended, &q4).is_empty());
+    // max_date before anything exists.
+    let q9 = Q9Params { person: p, max_date: SimTime::from_ymd(2009, 1, 1) };
+    assert!(complex::q9::run(&snap, Engine::Intended, &q9).is_empty());
+    // Out-of-range tag class index must not panic in Q12... (valid range
+    // only; guard at the dictionary boundary).
+    let classes = snb_core::dict::Dictionaries::global().tags.class_count();
+    let q12 = Q12Params { person: p, tag_class: classes - 1 };
+    let _ = complex::q12::run(&snap, Engine::Intended, &q12);
+}

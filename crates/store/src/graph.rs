@@ -1,0 +1,926 @@
+//! The transactional property-graph store.
+//!
+//! This is the substrate the paper's evaluation ran on closed systems
+//! (Sparksee, Virtuoso): an in-memory graph store with ACID inserts and
+//! snapshot reads (see [`crate::mvcc`] for why snapshot isolation is
+//! serializable on this workload), primary-key tables dense in the
+//! creation-ordered id space, and the adjacency/secondary indexes the
+//! Interactive queries need:
+//!
+//! - `knows` adjacency with friendship dates (Q1-Q14, S3)
+//! - per-person messages ordered by creation date (Q2, Q8, Q9, S2)
+//! - per-forum posts and members, per-person forum joins (Q5, S6)
+//! - reply trees (Q8, Q12, S7) and like edges in both directions (Q7)
+//!
+//! Date-ordered index entries make the "top-20 most recent before date"
+//! pattern — the backbone of half the complex reads — a reverse scan with
+//! early termination, which is exactly the locality §3 says systems should
+//! exploit when ids correlate with time.
+
+use crate::mvcc::{visible, CommitClock, CommitTs, BULK_TS};
+use crate::wal::Wal;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use snb_core::schema::{Comment, Forum, ForumMembership, Knows, Like, Person, Post};
+use snb_core::time::SimTime;
+use snb_core::update::UpdateOp;
+use snb_core::{ForumId, MessageId, PersonId, SnbError, SnbResult, TagId};
+use std::path::Path;
+
+/// A stored message: posts and comments share one table and id space.
+#[derive(Debug, Clone)]
+pub struct MessageRow {
+    /// Author.
+    pub author: PersonId,
+    /// Containing forum.
+    pub forum: ForumId,
+    /// Creation date.
+    pub creation_date: SimTime,
+    /// Content (empty for photos).
+    pub content: Box<str>,
+    /// Image file for photos.
+    pub image_file: Option<Box<str>>,
+    /// Topic tags.
+    pub tags: Box<[TagId]>,
+    /// Content language (posts only; comments inherit "").
+    pub language: &'static str,
+    /// Country the message was sent from.
+    pub country: u32,
+    /// `None` for posts; `Some((reply_to, root_post))` for comments.
+    pub reply_info: Option<(MessageId, MessageId)>,
+}
+
+impl MessageRow {
+    /// Whether this message is a comment.
+    #[inline]
+    pub fn is_comment(&self) -> bool {
+        self.reply_info.is_some()
+    }
+}
+
+/// Versioned row wrapper.
+#[derive(Debug, Clone)]
+struct Versioned<T> {
+    commit: CommitTs,
+    row: T,
+}
+
+/// A dated, versioned index entry pointing at an entity.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    date: SimTime,
+    id: u64,
+    commit: CommitTs,
+}
+
+/// Insert keeping the list sorted by `(date, id)`.
+fn sorted_insert(list: &mut Vec<Entry>, e: Entry) {
+    let pos = list.partition_point(|x| (x.date, x.id) < (e.date, e.id));
+    list.insert(pos, e);
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    persons: Vec<Option<Versioned<Person>>>,
+    forums: Vec<Option<Versioned<Forum>>>,
+    messages: Vec<Option<Versioned<MessageRow>>>,
+    /// knows adjacency, both directions; Entry.id = other person.
+    knows: Vec<Vec<Entry>>,
+    /// per-person authored messages; Entry.id = message.
+    person_messages: Vec<Vec<Entry>>,
+    /// per-forum posts; Entry.id = message.
+    forum_posts: Vec<Vec<Entry>>,
+    /// per-forum members; Entry.id = person, date = join date.
+    forum_members: Vec<Vec<Entry>>,
+    /// per-person joined forums; Entry.id = forum, date = join date.
+    person_forums: Vec<Vec<Entry>>,
+    /// per-message direct replies; Entry.id = replying comment.
+    message_replies: Vec<Vec<Entry>>,
+    /// per-message likes; Entry.id = liking person.
+    message_likes: Vec<Vec<Entry>>,
+    /// per-person given likes; Entry.id = liked message.
+    person_likes: Vec<Vec<Entry>>,
+}
+
+fn ensure<T: Default>(v: &mut Vec<T>, idx: usize) {
+    if v.len() <= idx {
+        v.resize_with(idx + 1, T::default);
+    }
+}
+
+/// The store.
+#[derive(Debug)]
+pub struct Store {
+    inner: RwLock<Inner>,
+    clock: CommitClock,
+    wal: Option<Mutex<Wal>>,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::new()
+    }
+}
+
+impl Store {
+    /// Empty store without durability.
+    pub fn new() -> Store {
+        Store { inner: RwLock::new(Inner::default()), clock: CommitClock::new(), wal: None }
+    }
+
+    /// Empty store logging every committed transaction to a write-ahead log
+    /// at `path` (created or truncated).
+    pub fn with_wal(path: &Path) -> SnbResult<Store> {
+        Ok(Store {
+            inner: RwLock::new(Inner::default()),
+            clock: CommitClock::new(),
+            wal: Some(Mutex::new(Wal::create(path)?)),
+        })
+    }
+
+    /// Recover a store by bulk-loading `bulk` and replaying the WAL at
+    /// `path`. Returns the store and the number of replayed transactions.
+    pub fn recover(bulk: &snb_datagen::Dataset, path: &Path) -> SnbResult<(Store, u64)> {
+        let store = Store::new();
+        store.bulk_load(bulk);
+        let ops = crate::wal::replay(path)?;
+        let n = ops.len() as u64;
+        for op in &ops {
+            store.apply_internal(op, false)?;
+        }
+        Ok((store, n))
+    }
+
+    /// Bulk-load every entity of `ds` with a creation date at or before the
+    /// configured update split (§4: "32 months are bulkloaded at benchmark
+    /// start"). Bulk rows carry [`BULK_TS`] and are visible to every
+    /// snapshot.
+    pub fn bulk_load(&self, ds: &snb_datagen::Dataset) {
+        self.bulk_load_until(ds, ds.config.update_split)
+    }
+
+    /// Bulk-load everything (useful for query-only experiments).
+    pub fn load_full(&self, ds: &snb_datagen::Dataset) {
+        self.bulk_load_until(ds, ds.config.end)
+    }
+
+    /// Bulk-load all entities created at or before `cut`.
+    pub fn bulk_load_until(&self, ds: &snb_datagen::Dataset, cut: SimTime) {
+        let mut g = self.inner.write();
+        for p in &ds.persons {
+            if p.creation_date <= cut {
+                g.insert_person(p.clone(), BULK_TS);
+            }
+        }
+        for k in &ds.knows {
+            if k.creation_date <= cut {
+                g.insert_knows(k, BULK_TS);
+            }
+        }
+        for f in &ds.forums {
+            if f.creation_date <= cut {
+                g.insert_forum(f.clone(), BULK_TS);
+            }
+        }
+        for m in &ds.memberships {
+            if m.join_date <= cut {
+                g.insert_membership(m, BULK_TS);
+            }
+        }
+        for p in &ds.posts {
+            if p.creation_date <= cut {
+                g.insert_post(p, BULK_TS);
+            }
+        }
+        for c in &ds.comments {
+            if c.creation_date <= cut {
+                g.insert_comment(c, BULK_TS);
+            }
+        }
+        for l in &ds.likes {
+            if l.creation_date <= cut {
+                g.insert_like(l, BULK_TS);
+            }
+        }
+    }
+
+    /// Execute one update operation as an ACID transaction: validate,
+    /// WAL-append, apply, publish.
+    pub fn apply(&self, op: &UpdateOp) -> SnbResult<()> {
+        self.apply_internal(op, true)
+    }
+
+    fn apply_internal(&self, op: &UpdateOp, log: bool) -> SnbResult<()> {
+        let mut g = self.inner.write();
+        g.validate(op)?;
+        if log {
+            if let Some(wal) = &self.wal {
+                wal.lock().append(op)?;
+            }
+        }
+        let ts = self.clock.reserve();
+        match op {
+            UpdateOp::AddPerson(p) => g.insert_person(p.clone(), ts),
+            UpdateOp::AddPostLike(l) | UpdateOp::AddCommentLike(l) => g.insert_like(l, ts),
+            UpdateOp::AddForum(f) => g.insert_forum(f.clone(), ts),
+            UpdateOp::AddMembership(m) => g.insert_membership(m, ts),
+            UpdateOp::AddPost(p) => g.insert_post(p, ts),
+            UpdateOp::AddComment(c) => g.insert_comment(c, ts),
+            UpdateOp::AddFriendship(k) => g.insert_knows(k, ts),
+        }
+        // Publish while still holding the writer lock so commit order equals
+        // timestamp order.
+        self.clock.publish(ts);
+        Ok(())
+    }
+
+    /// Flush the WAL to the OS.
+    pub fn flush_wal(&self) -> SnbResult<()> {
+        if let Some(wal) = &self.wal {
+            wal.lock().flush()?;
+        }
+        Ok(())
+    }
+
+    /// Open a read snapshot: sees every transaction committed before this
+    /// call, and nothing that commits after.
+    pub fn snapshot(&self) -> Snapshot<'_> {
+        Snapshot { store: self, ts: self.clock.snapshot_ts() }
+    }
+}
+
+impl Inner {
+    fn validate(&self, op: &UpdateOp) -> SnbResult<()> {
+        let person_exists = |id: PersonId| -> SnbResult<()> {
+            self.persons
+                .get(id.index())
+                .and_then(|s| s.as_ref())
+                .map(|_| ())
+                .ok_or(SnbError::NotFound { entity: "person", id: id.raw() })
+        };
+        let forum_exists = |id: ForumId| -> SnbResult<()> {
+            self.forums
+                .get(id.index())
+                .and_then(|s| s.as_ref())
+                .map(|_| ())
+                .ok_or(SnbError::NotFound { entity: "forum", id: id.raw() })
+        };
+        let message_exists = |id: MessageId| -> SnbResult<()> {
+            self.messages
+                .get(id.index())
+                .and_then(|s| s.as_ref())
+                .map(|_| ())
+                .ok_or(SnbError::NotFound { entity: "message", id: id.raw() })
+        };
+        match op {
+            UpdateOp::AddPerson(p) => {
+                if self.persons.get(p.id.index()).and_then(|s| s.as_ref()).is_some() {
+                    return Err(SnbError::Constraint(format!("duplicate person {}", p.id)));
+                }
+            }
+            UpdateOp::AddFriendship(k) => {
+                if k.a == k.b {
+                    return Err(SnbError::Constraint("self-friendship".into()));
+                }
+                person_exists(k.a)?;
+                person_exists(k.b)?;
+            }
+            UpdateOp::AddForum(f) => {
+                person_exists(f.moderator)?;
+                if self.forums.get(f.id.index()).and_then(|s| s.as_ref()).is_some() {
+                    return Err(SnbError::Constraint(format!("duplicate forum {}", f.id)));
+                }
+            }
+            UpdateOp::AddMembership(m) => {
+                person_exists(m.person)?;
+                forum_exists(m.forum)?;
+            }
+            UpdateOp::AddPost(p) => {
+                person_exists(p.author)?;
+                forum_exists(p.forum)?;
+                if self.messages.get(p.id.index()).and_then(|s| s.as_ref()).is_some() {
+                    return Err(SnbError::Constraint(format!("duplicate message {}", p.id)));
+                }
+            }
+            UpdateOp::AddComment(c) => {
+                person_exists(c.author)?;
+                forum_exists(c.forum)?;
+                message_exists(c.reply_to)?;
+                message_exists(c.root_post)?;
+                if self.messages.get(c.id.index()).and_then(|s| s.as_ref()).is_some() {
+                    return Err(SnbError::Constraint(format!("duplicate message {}", c.id)));
+                }
+            }
+            UpdateOp::AddPostLike(l) | UpdateOp::AddCommentLike(l) => {
+                person_exists(l.person)?;
+                message_exists(l.message)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn insert_person(&mut self, p: Person, ts: CommitTs) {
+        let i = p.id.index();
+        ensure(&mut self.persons, i);
+        ensure(&mut self.knows, i);
+        ensure(&mut self.person_messages, i);
+        ensure(&mut self.person_forums, i);
+        ensure(&mut self.person_likes, i);
+        self.persons[i] = Some(Versioned { commit: ts, row: p });
+    }
+
+    fn insert_knows(&mut self, k: &Knows, ts: CommitTs) {
+        let (a, b) = (k.a.index(), k.b.index());
+        ensure(&mut self.knows, a.max(b));
+        sorted_insert(
+            &mut self.knows[a],
+            Entry { date: k.creation_date, id: k.b.raw(), commit: ts },
+        );
+        sorted_insert(
+            &mut self.knows[b],
+            Entry { date: k.creation_date, id: k.a.raw(), commit: ts },
+        );
+    }
+
+    fn insert_forum(&mut self, f: Forum, ts: CommitTs) {
+        let i = f.id.index();
+        ensure(&mut self.forums, i);
+        ensure(&mut self.forum_posts, i);
+        ensure(&mut self.forum_members, i);
+        self.forums[i] = Some(Versioned { commit: ts, row: f });
+    }
+
+    fn insert_membership(&mut self, m: &ForumMembership, ts: CommitTs) {
+        ensure(&mut self.forum_members, m.forum.index());
+        ensure(&mut self.person_forums, m.person.index());
+        sorted_insert(
+            &mut self.forum_members[m.forum.index()],
+            Entry { date: m.join_date, id: m.person.raw(), commit: ts },
+        );
+        sorted_insert(
+            &mut self.person_forums[m.person.index()],
+            Entry { date: m.join_date, id: m.forum.raw(), commit: ts },
+        );
+    }
+
+    fn insert_message_row(&mut self, id: MessageId, row: MessageRow, ts: CommitTs) {
+        let i = id.index();
+        ensure(&mut self.messages, i);
+        ensure(&mut self.message_replies, i);
+        ensure(&mut self.message_likes, i);
+        ensure(&mut self.person_messages, row.author.index());
+        sorted_insert(
+            &mut self.person_messages[row.author.index()],
+            Entry { date: row.creation_date, id: id.raw(), commit: ts },
+        );
+        self.messages[i] = Some(Versioned { commit: ts, row });
+    }
+
+    fn insert_post(&mut self, p: &Post, ts: CommitTs) {
+        ensure(&mut self.forum_posts, p.forum.index());
+        sorted_insert(
+            &mut self.forum_posts[p.forum.index()],
+            Entry { date: p.creation_date, id: p.id.raw(), commit: ts },
+        );
+        self.insert_message_row(
+            p.id,
+            MessageRow {
+                author: p.author,
+                forum: p.forum,
+                creation_date: p.creation_date,
+                content: p.content.as_str().into(),
+                image_file: p.image_file.as_deref().map(Into::into),
+                tags: p.tags.clone().into_boxed_slice(),
+                language: p.language,
+                country: p.country as u32,
+                reply_info: None,
+            },
+            ts,
+        );
+    }
+
+    fn insert_comment(&mut self, c: &Comment, ts: CommitTs) {
+        ensure(&mut self.message_replies, c.reply_to.index().max(c.id.index()));
+        sorted_insert(
+            &mut self.message_replies[c.reply_to.index()],
+            Entry { date: c.creation_date, id: c.id.raw(), commit: ts },
+        );
+        self.insert_message_row(
+            c.id,
+            MessageRow {
+                author: c.author,
+                forum: c.forum,
+                creation_date: c.creation_date,
+                content: c.content.as_str().into(),
+                image_file: None,
+                tags: c.tags.clone().into_boxed_slice(),
+                language: "",
+                country: c.country as u32,
+                reply_info: Some((c.reply_to, c.root_post)),
+            },
+            ts,
+        );
+    }
+
+    fn insert_like(&mut self, l: &Like, ts: CommitTs) {
+        ensure(&mut self.message_likes, l.message.index());
+        ensure(&mut self.person_likes, l.person.index());
+        sorted_insert(
+            &mut self.message_likes[l.message.index()],
+            Entry { date: l.creation_date, id: l.person.raw(), commit: ts },
+        );
+        sorted_insert(
+            &mut self.person_likes[l.person.index()],
+            Entry { date: l.creation_date, id: l.message.raw(), commit: ts },
+        );
+    }
+}
+
+/// A consistent read view of the store.
+///
+/// The snapshot pins a commit timestamp and acquires the store latch only
+/// briefly inside each accessor — never across caller code — so writers
+/// keep committing while long queries run. Consistency comes from MVCC
+/// visibility, not from the latch: every accessor filters by the pinned
+/// timestamp, so the snapshot observes exactly the transactions committed
+/// before it was opened, no matter how many commit during the query.
+pub struct Snapshot<'a> {
+    store: &'a Store,
+    ts: CommitTs,
+}
+
+/// `(entity id, date)` pair yielded by index scans.
+pub type Dated = (u64, SimTime);
+
+/// Fixed-size message header for traversal-heavy queries; cloning the full
+/// [`MessageRow`] (content included) is reserved for result materialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageMeta {
+    /// Author.
+    pub author: PersonId,
+    /// Containing forum.
+    pub forum: ForumId,
+    /// Creation date.
+    pub creation_date: SimTime,
+    /// Country the message was sent from.
+    pub country: u32,
+    /// `None` for posts; `Some((reply_to, root_post))` for comments.
+    pub reply_info: Option<(MessageId, MessageId)>,
+}
+
+impl Snapshot<'_> {
+    fn read(&self) -> RwLockReadGuard<'_, Inner> {
+        self.store.inner.read()
+    }
+
+    /// The snapshot's commit timestamp.
+    pub fn ts(&self) -> CommitTs {
+        self.ts
+    }
+
+    /// Person by id, if visible (cloned row).
+    pub fn person(&self, id: PersonId) -> Option<Person> {
+        let g = self.read();
+        g.persons
+            .get(id.index())
+            .and_then(|s| s.as_ref())
+            .filter(|v| visible(v.commit, self.ts))
+            .map(|v| v.row.clone())
+    }
+
+    /// Forum by id, if visible (cloned row).
+    pub fn forum(&self, id: ForumId) -> Option<Forum> {
+        let g = self.read();
+        g.forums
+            .get(id.index())
+            .and_then(|s| s.as_ref())
+            .filter(|v| visible(v.commit, self.ts))
+            .map(|v| v.row.clone())
+    }
+
+    /// Full message row (content included), if visible.
+    pub fn message(&self, id: MessageId) -> Option<MessageRow> {
+        let g = self.read();
+        g.messages
+            .get(id.index())
+            .and_then(|s| s.as_ref())
+            .filter(|v| visible(v.commit, self.ts))
+            .map(|v| v.row.clone())
+    }
+
+    /// Fixed-size message header, if visible.
+    pub fn message_meta(&self, id: MessageId) -> Option<MessageMeta> {
+        let g = self.read();
+        g.messages
+            .get(id.index())
+            .and_then(|s| s.as_ref())
+            .filter(|v| visible(v.commit, self.ts))
+            .map(|v| MessageMeta {
+                author: v.row.author,
+                forum: v.row.forum,
+                creation_date: v.row.creation_date,
+                country: v.row.country,
+                reply_info: v.row.reply_info,
+            })
+    }
+
+    /// Tags of a message (empty if the message is not visible).
+    pub fn message_tags(&self, id: MessageId) -> Vec<TagId> {
+        let g = self.read();
+        g.messages
+            .get(id.index())
+            .and_then(|s| s.as_ref())
+            .filter(|v| visible(v.commit, self.ts))
+            .map(|v| v.row.tags.to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Upper bound of the person id space (for scans; slots may be empty).
+    pub fn person_slots(&self) -> usize {
+        self.read().persons.len()
+    }
+
+    /// Upper bound of the forum id space.
+    pub fn forum_slots(&self) -> usize {
+        self.read().forums.len()
+    }
+
+    /// Upper bound of the message id space.
+    pub fn message_slots(&self) -> usize {
+        self.read().messages.len()
+    }
+
+    fn collect(list: Option<&Vec<Entry>>, ts: CommitTs) -> Vec<Dated> {
+        list.into_iter()
+            .flatten()
+            .filter(|e| visible(e.commit, ts))
+            .map(|e| (e.id, e.date))
+            .collect()
+    }
+
+    /// Friends of `id` with friendship dates, ascending by date.
+    pub fn friends(&self, id: PersonId) -> Vec<Dated> {
+        Self::collect(self.read().knows.get(id.index()), self.ts)
+    }
+
+    /// Messages authored by `id`, ascending by creation date.
+    pub fn messages_of(&self, id: PersonId) -> Vec<Dated> {
+        Self::collect(self.read().person_messages.get(id.index()), self.ts)
+    }
+
+    /// The up-to-`k` most recent messages of `id` created at or before
+    /// `max_date`, newest first — the intended-plan primitive behind
+    /// Q2/Q9/S2 ("top-20 most recent before date" with early termination
+    /// on the date-ordered index).
+    pub fn recent_messages_of(&self, id: PersonId, max_date: SimTime, k: usize) -> Vec<Dated> {
+        let g = self.read();
+        let Some(list) = g.person_messages.get(id.index()) else {
+            return Vec::new();
+        };
+        let end = list.partition_point(|e| e.date <= max_date);
+        let mut out = Vec::with_capacity(k.min(end));
+        for e in list[..end].iter().rev() {
+            if !visible(e.commit, self.ts) {
+                continue;
+            }
+            out.push((e.id, e.date));
+            if out.len() == k {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Posts in forum `id`, ascending by creation date.
+    pub fn posts_in_forum(&self, id: ForumId) -> Vec<Dated> {
+        Self::collect(self.read().forum_posts.get(id.index()), self.ts)
+    }
+
+    /// Members of forum `id` with join dates.
+    pub fn members_of(&self, id: ForumId) -> Vec<Dated> {
+        Self::collect(self.read().forum_members.get(id.index()), self.ts)
+    }
+
+    /// Forums `id` has joined, with join dates.
+    pub fn forums_of(&self, id: PersonId) -> Vec<Dated> {
+        Self::collect(self.read().person_forums.get(id.index()), self.ts)
+    }
+
+    /// Forums `id` joined strictly after `min_date` (date-index range scan).
+    pub fn forums_of_after(&self, id: PersonId, min_date: SimTime) -> Vec<Dated> {
+        let g = self.read();
+        let Some(list) = g.person_forums.get(id.index()) else {
+            return Vec::new();
+        };
+        let start = list.partition_point(|e| e.date <= min_date);
+        list[start..]
+            .iter()
+            .filter(|e| visible(e.commit, self.ts))
+            .map(|e| (e.id, e.date))
+            .collect()
+    }
+
+    /// Direct replies to message `id`, ascending by date.
+    pub fn replies_of(&self, id: MessageId) -> Vec<Dated> {
+        Self::collect(self.read().message_replies.get(id.index()), self.ts)
+    }
+
+    /// Likes on message `id` as `(person, like date)`.
+    pub fn likes_of(&self, id: MessageId) -> Vec<Dated> {
+        Self::collect(self.read().message_likes.get(id.index()), self.ts)
+    }
+
+    /// Likes given by person `id` as `(message, like date)`.
+    pub fn likes_by(&self, id: PersonId) -> Vec<Dated> {
+        Self::collect(self.read().person_likes.get(id.index()), self.ts)
+    }
+
+    /// Whether persons `a` and `b` are friends in this snapshot.
+    pub fn are_friends(&self, a: PersonId, b: PersonId) -> bool {
+        let g = self.read();
+        g.knows
+            .get(a.index())
+            .map(|l| l.iter().any(|e| e.id == b.raw() && visible(e.commit, self.ts)))
+            .unwrap_or(false)
+    }
+
+    /// Storage statistics for the Table 8 experiment.
+    pub fn storage_stats(&self) -> crate::stats::StorageStats {
+        crate::stats::from_raw(self.read().sizes())
+    }
+}
+
+impl Inner {
+    /// Raw element counts and byte sizes per table for storage statistics.
+    fn sizes(&self) -> crate::stats::RawSizes {
+        let inner = self;
+        let entry_bytes = std::mem::size_of::<Entry>();
+        let list_bytes =
+            |lists: &Vec<Vec<Entry>>| lists.iter().map(|l| l.len() * entry_bytes).sum::<usize>();
+        let msg_content: usize = inner
+            .messages
+            .iter()
+            .flatten()
+            .map(|v| v.row.content.len() + v.row.tags.len() * 8 + 64)
+            .sum();
+        crate::stats::RawSizes {
+            persons: inner.persons.iter().flatten().count(),
+            person_bytes: inner
+                .persons
+                .iter()
+                .flatten()
+                .map(|v| {
+                    160 + v.row.location_ip.len()
+                        + v.row.emails.iter().map(|e| e.len()).sum::<usize>()
+                        + v.row.interests.len() * 8
+                        + v.row.work_at.len() * 16
+                })
+                .sum(),
+            forums: inner.forums.iter().flatten().count(),
+            forum_bytes: inner
+                .forums
+                .iter()
+                .flatten()
+                .map(|v| 64 + v.row.title.len() + v.row.tags.len() * 8)
+                .sum(),
+            messages: inner.messages.iter().flatten().count(),
+            message_bytes: msg_content,
+            knows_entries: inner.knows.iter().map(|l| l.len()).sum(),
+            knows_bytes: list_bytes(&inner.knows),
+            likes_entries: inner.message_likes.iter().map(|l| l.len()).sum(),
+            likes_bytes: list_bytes(&inner.message_likes) + list_bytes(&inner.person_likes),
+            membership_entries: inner.forum_members.iter().map(|l| l.len()).sum(),
+            membership_bytes: list_bytes(&inner.forum_members) + list_bytes(&inner.person_forums),
+            person_message_bytes: list_bytes(&inner.person_messages),
+            forum_post_bytes: list_bytes(&inner.forum_posts),
+            reply_bytes: list_bytes(&inner.message_replies),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_core::dict::names::Gender;
+    use snb_core::schema::ForumKind;
+
+    fn person(id: u64, t: i64) -> Person {
+        Person {
+            id: PersonId(id),
+            first_name: "Karl",
+            last_name: "Muller",
+            gender: Gender::Male,
+            birthday: SimTime(0),
+            creation_date: SimTime(t),
+            city: 0,
+            country: 0,
+            browser: "Chrome",
+            location_ip: "1.2.3.4".into(),
+            languages: vec!["de"],
+            emails: vec![],
+            interests: vec![TagId(1)],
+            study_at: None,
+            work_at: vec![],
+        }
+    }
+
+    fn forum(id: u64, moderator: u64, t: i64) -> Forum {
+        Forum {
+            id: ForumId(id),
+            title: "wall".into(),
+            moderator: PersonId(moderator),
+            creation_date: SimTime(t),
+            tags: vec![TagId(1)],
+            kind: ForumKind::Wall,
+        }
+    }
+
+    fn post(id: u64, author: u64, forum: u64, t: i64) -> Post {
+        Post {
+            id: MessageId(id),
+            author: PersonId(author),
+            forum: ForumId(forum),
+            creation_date: SimTime(t),
+            content: "hello".into(),
+            image_file: None,
+            tags: vec![TagId(1)],
+            language: "de",
+            country: 0,
+        }
+    }
+
+    #[test]
+    fn insert_and_read_roundtrip() {
+        let s = Store::new();
+        s.apply(&UpdateOp::AddPerson(person(0, 10))).unwrap();
+        s.apply(&UpdateOp::AddPerson(person(1, 20))).unwrap();
+        s.apply(&UpdateOp::AddFriendship(Knows {
+            a: PersonId(0),
+            b: PersonId(1),
+            creation_date: SimTime(30),
+        }))
+        .unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.person(PersonId(0)).unwrap().creation_date, SimTime(10));
+        assert_eq!(snap.friends(PersonId(0)).len(), 1);
+        assert!(snap.are_friends(PersonId(1), PersonId(0)));
+    }
+
+    #[test]
+    fn snapshots_do_not_see_later_commits() {
+        let s = Store::new();
+        s.apply(&UpdateOp::AddPerson(person(0, 10))).unwrap();
+        let snap = s.snapshot();
+        s.apply(&UpdateOp::AddPerson(person(1, 20))).unwrap();
+        assert!(snap.person(PersonId(1)).is_none(), "later commit leaked into snapshot");
+        assert!(s.snapshot().person(PersonId(1)).is_some());
+    }
+
+    #[test]
+    fn constraint_violations_are_rejected() {
+        let s = Store::new();
+        s.apply(&UpdateOp::AddPerson(person(0, 10))).unwrap();
+        // Duplicate person.
+        assert!(matches!(
+            s.apply(&UpdateOp::AddPerson(person(0, 10))),
+            Err(SnbError::Constraint(_))
+        ));
+        // Friendship with missing endpoint.
+        assert!(matches!(
+            s.apply(&UpdateOp::AddFriendship(Knows {
+                a: PersonId(0),
+                b: PersonId(9),
+                creation_date: SimTime(1),
+            })),
+            Err(SnbError::NotFound { .. })
+        ));
+        // Self-friendship.
+        assert!(s
+            .apply(&UpdateOp::AddFriendship(Knows {
+                a: PersonId(0),
+                b: PersonId(0),
+                creation_date: SimTime(1),
+            }))
+            .is_err());
+        // Post into missing forum.
+        assert!(s.apply(&UpdateOp::AddPost(post(0, 0, 5, 50))).is_err());
+    }
+
+    #[test]
+    fn failed_transactions_leave_no_trace() {
+        let s = Store::new();
+        s.apply(&UpdateOp::AddPerson(person(0, 10))).unwrap();
+        let before = s.snapshot().ts();
+        let _ = s.apply(&UpdateOp::AddPost(post(0, 0, 5, 50)));
+        let snap = s.snapshot();
+        assert_eq!(snap.ts(), before, "failed txn must not advance the clock");
+        assert!(snap.message(MessageId(0)).is_none());
+    }
+
+    #[test]
+    fn message_indexes_are_date_ordered() {
+        let s = Store::new();
+        s.apply(&UpdateOp::AddPerson(person(0, 1))).unwrap();
+        s.apply(&UpdateOp::AddForum(forum(0, 0, 2))).unwrap();
+        // Insert posts out of date order; index must stay sorted.
+        s.apply(&UpdateOp::AddPost(post(1, 0, 0, 50))).unwrap();
+        s.apply(&UpdateOp::AddPost(post(0, 0, 0, 30))).unwrap();
+        s.apply(&UpdateOp::AddPost(post(2, 0, 0, 40))).unwrap();
+        let snap = s.snapshot();
+        let dates: Vec<i64> = snap.messages_of(PersonId(0)).iter().map(|(_, d)| d.millis()).collect();
+        assert_eq!(dates, vec![30, 40, 50]);
+        let recent: Vec<u64> =
+            snap.recent_messages_of(PersonId(0), SimTime(i64::MAX), 10).iter().map(|&(m, _)| m).collect();
+        assert_eq!(recent, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn comment_and_like_indexes() {
+        let s = Store::new();
+        s.apply(&UpdateOp::AddPerson(person(0, 1))).unwrap();
+        s.apply(&UpdateOp::AddForum(forum(0, 0, 2))).unwrap();
+        s.apply(&UpdateOp::AddPost(post(0, 0, 0, 10))).unwrap();
+        s.apply(&UpdateOp::AddComment(Comment {
+            id: MessageId(1),
+            author: PersonId(0),
+            creation_date: SimTime(20),
+            content: "re".into(),
+            reply_to: MessageId(0),
+            root_post: MessageId(0),
+            forum: ForumId(0),
+            tags: vec![],
+            country: 0,
+        }))
+        .unwrap();
+        s.apply(&UpdateOp::AddPostLike(Like {
+            person: PersonId(0),
+            message: MessageId(0),
+            creation_date: SimTime(30),
+        }))
+        .unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.replies_of(MessageId(0)).len(), 1);
+        assert_eq!(snap.likes_of(MessageId(0)).first(), Some(&(0, SimTime(30))));
+        assert_eq!(snap.likes_by(PersonId(0)).first(), Some(&(0, SimTime(30))));
+        let msg = snap.message(MessageId(1)).unwrap();
+        assert!(msg.is_comment());
+        assert_eq!(msg.reply_info, Some((MessageId(0), MessageId(0))));
+    }
+
+    #[test]
+    fn comment_requires_existing_parent() {
+        let s = Store::new();
+        s.apply(&UpdateOp::AddPerson(person(0, 1))).unwrap();
+        s.apply(&UpdateOp::AddForum(forum(0, 0, 2))).unwrap();
+        let c = Comment {
+            id: MessageId(5),
+            author: PersonId(0),
+            creation_date: SimTime(20),
+            content: "re".into(),
+            reply_to: MessageId(99),
+            root_post: MessageId(99),
+            forum: ForumId(0),
+            tags: vec![],
+            country: 0,
+        };
+        assert!(s.apply(&UpdateOp::AddComment(c)).is_err());
+    }
+
+    #[test]
+    fn bulk_load_is_visible_to_all_snapshots() {
+        let ds = snb_datagen::generate(
+            snb_datagen::GeneratorConfig::with_persons(100).activity(0.3),
+        )
+        .unwrap();
+        let s = Store::new();
+        s.bulk_load(&ds);
+        let snap = s.snapshot();
+        let bulk_persons =
+            ds.persons.iter().filter(|p| p.creation_date <= ds.config.update_split).count();
+        let visible_persons =
+            (0..snap.person_slots()).filter(|&i| snap.person(PersonId(i as u64)).is_some()).count();
+        assert_eq!(visible_persons, bulk_persons);
+    }
+
+    #[test]
+    fn update_stream_replays_cleanly_after_bulk_load() {
+        let ds = snb_datagen::generate(
+            snb_datagen::GeneratorConfig::with_persons(200).activity(0.3),
+        )
+        .unwrap();
+        let s = Store::new();
+        s.bulk_load(&ds);
+        let stream = ds.update_stream();
+        assert!(!stream.is_empty());
+        for u in &stream {
+            s.apply(&u.op).unwrap_or_else(|e| panic!("replay failed on {}: {e}", u.op.name()));
+        }
+        let snap = s.snapshot();
+        let visible_persons =
+            (0..snap.person_slots()).filter(|&i| snap.person(PersonId(i as u64)).is_some()).count();
+        assert_eq!(visible_persons, ds.persons.len());
+        let visible_msgs = (0..snap.message_slots())
+            .filter(|&i| snap.message(MessageId(i as u64)).is_some())
+            .count();
+        assert_eq!(visible_msgs, ds.message_count());
+    }
+}

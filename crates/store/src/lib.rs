@@ -1,0 +1,16 @@
+//! # snb-store
+//!
+//! The transactional in-memory property-graph store the benchmark runs
+//! against — the substrate standing in for the paper's closed-source
+//! systems under test. Insert-only MVCC gives serializable snapshot reads
+//! (see [`mvcc`]), a write-ahead log gives redo durability (see [`wal`]),
+//! and the index set is designed around the Interactive workload's
+//! "most recent N before date" access patterns (see [`graph`]).
+
+pub mod graph;
+pub mod mvcc;
+pub mod stats;
+pub mod wal;
+
+pub use graph::{MessageRow, Snapshot, Store};
+pub use stats::StorageStats;

@@ -1,0 +1,117 @@
+//! Storage-size accounting (the paper's Table 8 reports "the sizes in MB of
+//! allocated database pages for \[the\] three largest tables and their largest
+//! indices" in the Virtuoso SF300 run; we report the in-memory equivalent).
+
+use std::fmt;
+
+/// Raw per-table sizes gathered from the store internals.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct RawSizes {
+    pub persons: usize,
+    pub person_bytes: usize,
+    pub forums: usize,
+    pub forum_bytes: usize,
+    pub messages: usize,
+    pub message_bytes: usize,
+    pub knows_entries: usize,
+    pub knows_bytes: usize,
+    pub likes_entries: usize,
+    pub likes_bytes: usize,
+    pub membership_entries: usize,
+    pub membership_bytes: usize,
+    pub person_message_bytes: usize,
+    pub forum_post_bytes: usize,
+    pub reply_bytes: usize,
+}
+
+/// One table (or index) size line.
+#[derive(Debug, Clone)]
+pub struct TableSize {
+    /// Table name.
+    pub name: &'static str,
+    /// Row / entry count.
+    pub rows: usize,
+    /// Estimated resident bytes.
+    pub bytes: usize,
+    /// The table's largest index: `(name, bytes)`.
+    pub largest_index: (&'static str, usize),
+}
+
+/// Store-wide storage statistics.
+#[derive(Debug, Clone)]
+pub struct StorageStats {
+    /// Per-table sizes, largest first.
+    pub tables: Vec<TableSize>,
+    /// Sum of all table and index bytes.
+    pub total_bytes: usize,
+}
+
+impl StorageStats {
+    /// The `n` largest tables (Table 8 reports three).
+    pub fn largest(&self, n: usize) -> &[TableSize] {
+        &self.tables[..n.min(self.tables.len())]
+    }
+}
+
+impl fmt::Display for StorageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<16} {:>12} {:>12}  largest index", "table", "rows", "MB")?;
+        for t in &self.tables {
+            writeln!(
+                f,
+                "{:<16} {:>12} {:>12.2}  {} ({:.2} MB)",
+                t.name,
+                t.rows,
+                t.bytes as f64 / 1e6,
+                t.largest_index.0,
+                t.largest_index.1 as f64 / 1e6,
+            )?;
+        }
+        write!(f, "total {:.2} MB", self.total_bytes as f64 / 1e6)
+    }
+}
+
+pub(crate) fn from_raw(raw: RawSizes) -> StorageStats {
+    let mut tables = vec![
+        TableSize {
+            name: "message",
+            rows: raw.messages,
+            bytes: raw.message_bytes,
+            largest_index: ("person_messages(date)", raw.person_message_bytes),
+        },
+        TableSize {
+            name: "likes",
+            rows: raw.likes_entries,
+            bytes: raw.likes_bytes,
+            largest_index: ("message_likes(date)", raw.likes_bytes / 2),
+        },
+        TableSize {
+            name: "forum_person",
+            rows: raw.membership_entries,
+            bytes: raw.membership_bytes,
+            largest_index: ("forum_members(join)", raw.membership_bytes / 2),
+        },
+        TableSize {
+            name: "knows",
+            rows: raw.knows_entries,
+            bytes: raw.knows_bytes,
+            largest_index: ("knows(date)", raw.knows_bytes),
+        },
+        TableSize {
+            name: "person",
+            rows: raw.persons,
+            bytes: raw.person_bytes,
+            largest_index: ("person(pk)", raw.persons * 16),
+        },
+        TableSize {
+            name: "forum",
+            rows: raw.forums,
+            bytes: raw.forum_bytes,
+            largest_index: ("forum_posts(date)", raw.forum_post_bytes),
+        },
+    ];
+    tables.sort_by_key(|t| std::cmp::Reverse(t.bytes));
+    let total_bytes = tables.iter().map(|t| t.bytes + t.largest_index.1).sum::<usize>()
+        + raw.reply_bytes;
+    StorageStats { tables, total_bytes }
+}

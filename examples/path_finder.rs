@@ -1,0 +1,67 @@
+//! Graph-navigation demo: shortest paths (Q13) and weighted shortest paths
+//! (Q14) between members of the network — the benchmark's most
+//! traversal-heavy queries, plus a peek at the homophily structure §2.3
+//! generates.
+//!
+//! ```sh
+//! cargo run --release --example path_finder
+//! ```
+
+use ldbc_snb::core::dict::Dictionaries;
+use ldbc_snb::core::PersonId;
+use ldbc_snb::datagen::{generate, GeneratorConfig};
+use ldbc_snb::queries::params::{Q13Params, Q14Params};
+use ldbc_snb::queries::{complex, Engine};
+use ldbc_snb::store::Store;
+
+fn main() {
+    let ds = generate(GeneratorConfig::with_persons(1_200).threads(4).seed(23)).unwrap();
+    let store = Store::new();
+    store.load_full(&ds);
+    let snap = store.snapshot();
+    let dicts = Dictionaries::global();
+
+    // Sample pairs at increasing "social distance": same city, same
+    // country, different continents.
+    let by_city = |city: usize| ds.persons.iter().find(|p| p.city == city).map(|p| p.id);
+    let a = PersonId(0);
+    let pairs: Vec<(PersonId, PersonId, &str)> = [
+        (by_city(ds.persons[0].city), "same city"),
+        (ds.persons.iter().find(|p| p.country != ds.persons[0].country).map(|p| p.id), "another country"),
+        (Some(PersonId(ds.persons.len() as u64 - 1)), "latest member"),
+    ]
+    .into_iter()
+    .filter_map(|(b, label)| b.filter(|&b| b != a).map(|b| (a, b, label)))
+    .collect();
+
+    println!("shortest paths from person {} ({} in {}):\n",
+        a.raw(),
+        ds.persons[0].first_name,
+        dicts.places.country(ds.persons[0].country).name);
+
+    for (x, y, label) in pairs {
+        let len = complex::q13::run(&snap, Engine::Intended, &Q13Params { person_x: x, person_y: y });
+        println!("Q13 {} -> {} ({label}): distance {len}", x.raw(), y.raw());
+        if (1..=4).contains(&len) {
+            let paths =
+                complex::q14::run(&snap, Engine::Intended, &Q14Params { person_x: x, person_y: y });
+            println!("Q14: {} shortest path(s); top by interaction weight:", paths.len());
+            for row in paths.iter().take(3) {
+                let ids: Vec<String> = row.path.iter().map(|p| p.raw().to_string()).collect();
+                println!("   weight {:>5.1}  {}", row.weight, ids.join(" - "));
+            }
+        }
+        println!();
+    }
+
+    // Homophily check: how often do direct friends share a country?
+    let same_country = ds
+        .knows
+        .iter()
+        .filter(|k| ds.persons[k.a.index()].country == ds.persons[k.b.index()].country)
+        .count();
+    println!(
+        "homophily: {:.0}% of friendships connect people from the same country",
+        100.0 * same_country as f64 / ds.knows.len() as f64
+    );
+}

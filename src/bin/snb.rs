@@ -1,0 +1,143 @@
+//! `snb` — command-line front end for the benchmark kit.
+//!
+//! ```text
+//! snb generate --persons 5000 --out ./data         # CSV bulk + update stream
+//! snb rdf      --persons 5000 --out ./data.nt      # N-Triples bulk
+//! snb stats    --persons 5000                      # Table 3-style statistics
+//! snb run      --persons 2000 [--accel N] [--partitions N] [--naive]
+//!                                                  # full benchmark + disclosure
+//! ```
+//!
+//! Argument handling is deliberately dependency-free; every subcommand maps
+//! onto the public library API.
+
+use ldbc_snb::datagen::{generate, serializer, GeneratorConfig};
+use ldbc_snb::driver::{build_mix, full_disclosure, run, DriverConfig, StoreConnector};
+use ldbc_snb::params::curated_bindings;
+use ldbc_snb::queries::Engine;
+use ldbc_snb::store::Store;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    command: String,
+    persons: u64,
+    seed: u64,
+    threads: usize,
+    out: PathBuf,
+    accel: Option<f64>,
+    partitions: usize,
+    naive: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: snb <generate|rdf|stats|run> [--persons N] [--seed N] [--threads N]\n\
+         \x20          [--out PATH] [--accel N] [--partitions N] [--naive]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse() -> Result<Args, ExitCode> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        command,
+        persons: 1_000,
+        seed: 42,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+        out: PathBuf::from("./snb-data"),
+        accel: None,
+        partitions: 4,
+        naive: false,
+    };
+    let rest: Vec<String> = argv.collect();
+    let mut i = 0;
+    let value = |rest: &[String], i: &mut usize| -> Result<String, ExitCode> {
+        *i += 1;
+        rest.get(*i - 1).cloned().ok_or_else(usage)
+    };
+    while i < rest.len() {
+        let flag = rest[i].clone();
+        i += 1;
+        match flag.as_str() {
+            "--persons" => args.persons = value(&rest, &mut i)?.parse().map_err(|_| usage())?,
+            "--seed" => args.seed = value(&rest, &mut i)?.parse().map_err(|_| usage())?,
+            "--threads" => args.threads = value(&rest, &mut i)?.parse().map_err(|_| usage())?,
+            "--out" => args.out = PathBuf::from(value(&rest, &mut i)?),
+            "--accel" => args.accel = Some(value(&rest, &mut i)?.parse().map_err(|_| usage())?),
+            "--partitions" => {
+                args.partitions = value(&rest, &mut i)?.parse().map_err(|_| usage())?
+            }
+            "--naive" => args.naive = true,
+            other => {
+                eprintln!("unknown flag: {other}");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let config = GeneratorConfig::with_persons(args.persons).seed(args.seed).threads(args.threads);
+    match args.command.as_str() {
+        "generate" => {
+            let ds = generate(config).expect("generation failed");
+            let rows = serializer::write_csv(&ds, &args.out).expect("csv write failed");
+            println!(
+                "wrote {} rows of bulk CSV + update stream to {}",
+                rows,
+                args.out.display()
+            );
+            ExitCode::SUCCESS
+        }
+        "rdf" => {
+            let ds = generate(config).expect("generation failed");
+            let out =
+                if args.out.extension().is_some() { args.out } else { args.out.join("data.nt") };
+            if let Some(parent) = out.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let triples =
+                ldbc_snb::datagen::rdf::write_ntriples(&ds, &out).expect("rdf write failed");
+            println!("wrote {} triples to {}", triples, out.display());
+            ExitCode::SUCCESS
+        }
+        "stats" => {
+            let ds = generate(config).expect("generation failed");
+            let s = ds.stats();
+            println!("persons:  {}", s.persons);
+            println!("friends:  {} (directed rows)", s.friends);
+            println!("messages: {}", s.messages);
+            println!("forums:   {}", s.forums);
+            println!("nodes:    {}", s.nodes);
+            println!("edges:    {}", s.edges);
+            println!("updates:  {}", ds.update_stream().len());
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let ds = generate(config).expect("generation failed");
+            let store = Arc::new(Store::new());
+            store.bulk_load(&ds);
+            let bindings = curated_bindings(&ds, 16);
+            let items = build_mix(&ds, &bindings);
+            let engine = if args.naive { Engine::Naive } else { Engine::Intended };
+            let conn = StoreConnector::new(store, engine);
+            let driver_config = DriverConfig {
+                partitions: args.partitions,
+                acceleration: args.accel,
+                ..DriverConfig::default()
+            };
+            let report = run(&items, &conn, &driver_config).expect("benchmark run failed");
+            println!("{}", full_disclosure(&report));
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
