@@ -122,10 +122,9 @@ mod tests {
         // §2: "The dataset forms a graph that is a fully connected component
         // of persons" — our block-windowed generator approximates this: the
         // largest component should dominate.
-        let ds = snb_datagen::generate(
-            snb_datagen::GeneratorConfig::with_persons(600).activity(0.2),
-        )
-        .unwrap();
+        let ds =
+            snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(600).activity(0.2))
+                .unwrap();
         let g = CsrGraph::from_dataset(&ds);
         let (label, n) = connected_components(&g);
         let mut sizes = vec![0usize; n];

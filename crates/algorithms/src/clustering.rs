@@ -96,18 +96,14 @@ mod tests {
     fn generated_graph_clusters_more_than_random() {
         // Homophily (§2.3) must produce clustering far above the
         // Erdős–Rényi expectation (which is mean_degree / n).
-        let ds = snb_datagen::generate(
-            snb_datagen::GeneratorConfig::with_persons(800).activity(0.2),
-        )
-        .unwrap();
+        let ds =
+            snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(800).activity(0.2))
+                .unwrap();
         let g = CsrGraph::from_dataset(&ds);
         let cc = average_clustering(&g);
         let mean_degree = 2.0 * g.edge_count() as f64 / g.vertex_count() as f64;
         let random_cc = mean_degree / g.vertex_count() as f64;
-        assert!(
-            cc > 5.0 * random_cc,
-            "clustering {cc:.4} vs random expectation {random_cc:.4}"
-        );
+        assert!(cc > 5.0 * random_cc, "clustering {cc:.4} vs random expectation {random_cc:.4}");
         assert!(triangle_count(&g) > 0);
     }
 }

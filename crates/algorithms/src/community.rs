@@ -47,12 +47,8 @@ pub fn label_propagation(g: &CsrGraph, max_iterations: usize) -> Communities {
             if freq.get(&current) == Some(&max_count) {
                 continue; // current label is already (co-)dominant
             }
-            let best = freq
-                .iter()
-                .filter(|&(_, &c)| c == max_count)
-                .map(|(&l, _)| l)
-                .min()
-                .unwrap();
+            let best =
+                freq.iter().filter(|&(_, &c)| c == max_count).map(|(&l, _)| l).min().unwrap();
             labels[v as usize] = best;
             changed = true;
         }
@@ -215,10 +211,9 @@ mod tests {
         // The correlation dimensions of §2.3 should produce communities
         // with clearly positive modularity (paper ref [13] argues DATAGEN
         // graphs are community-like; this is the reproduction's check).
-        let ds = snb_datagen::generate(
-            snb_datagen::GeneratorConfig::with_persons(800).activity(0.2),
-        )
-        .unwrap();
+        let ds =
+            snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(800).activity(0.2))
+                .unwrap();
         let g = CsrGraph::from_dataset(&ds);
         let c = louvain_communities(&g, 30);
         let q = modularity(&g, &c.labels);
@@ -241,10 +236,9 @@ mod tests {
 
     #[test]
     fn louvain_beats_label_propagation_on_dense_graphs() {
-        let ds = snb_datagen::generate(
-            snb_datagen::GeneratorConfig::with_persons(500).activity(0.2),
-        )
-        .unwrap();
+        let ds =
+            snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(500).activity(0.2))
+                .unwrap();
         let g = CsrGraph::from_dataset(&ds);
         let lpa = label_propagation(&g, 30);
         let louvain = louvain_communities(&g, 30);
@@ -265,10 +259,9 @@ mod determinism_tests {
 
     #[test]
     fn louvain_is_deterministic_on_generated_graphs() {
-        let ds = snb_datagen::generate(
-            snb_datagen::GeneratorConfig::with_persons(400).activity(0.2),
-        )
-        .unwrap();
+        let ds =
+            snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(400).activity(0.2))
+                .unwrap();
         let g = CsrGraph::from_dataset(&ds);
         let a = louvain_communities(&g, 20);
         let b = louvain_communities(&g, 20);

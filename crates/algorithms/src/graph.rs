@@ -130,10 +130,9 @@ mod tests {
 
     #[test]
     fn dataset_extraction_matches_knows() {
-        let ds = snb_datagen::generate(
-            snb_datagen::GeneratorConfig::with_persons(150).activity(0.3),
-        )
-        .unwrap();
+        let ds =
+            snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(150).activity(0.3))
+                .unwrap();
         let g = CsrGraph::from_dataset(&ds);
         assert_eq!(g.vertex_count(), 150);
         assert_eq!(g.edge_count(), ds.knows.len());

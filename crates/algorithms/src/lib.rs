@@ -31,10 +31,9 @@ mod tests {
     fn full_workload_runs_on_one_dataset() {
         // The paper's point: all workloads share one dataset. Run every
         // algorithm over the same generated graph.
-        let ds = snb_datagen::generate(
-            snb_datagen::GeneratorConfig::with_persons(300).activity(0.2),
-        )
-        .unwrap();
+        let ds =
+            snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(300).activity(0.2))
+                .unwrap();
         let g = CsrGraph::from_dataset(&ds);
         let pr = pagerank(&g, &PageRankConfig::default());
         assert_eq!(pr.scores.len(), 300);

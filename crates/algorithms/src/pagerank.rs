@@ -126,16 +126,14 @@ mod tests {
 
     #[test]
     fn pagerank_correlates_with_degree_on_generated_graph() {
-        let ds = snb_datagen::generate(
-            snb_datagen::GeneratorConfig::with_persons(400).activity(0.2),
-        )
-        .unwrap();
+        let ds =
+            snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(400).activity(0.2))
+                .unwrap();
         let g = CsrGraph::from_dataset(&ds);
         let pr = pagerank(&g, &PageRankConfig::default());
         let top = top_k(&pr, 10);
-        let mean_degree =
-            (0..g.vertex_count() as u32).map(|v| g.degree(v)).sum::<usize>() as f64
-                / g.vertex_count() as f64;
+        let mean_degree = (0..g.vertex_count() as u32).map(|v| g.degree(v)).sum::<usize>() as f64
+            / g.vertex_count() as f64;
         for (v, _) in top {
             assert!(
                 g.degree(v) as f64 > mean_degree,

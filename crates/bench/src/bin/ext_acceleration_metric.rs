@@ -27,8 +27,11 @@ fn main() {
     // A slice long enough to be meaningful, short enough to iterate.
     let items = &all[..all.len().min(40_000)];
     let sim_span = items.last().unwrap().due.since(items[0].due) as f64;
-    println!("searching max sustainable acceleration over {} ops ({:.1} simulated days)\n",
-        items.len(), sim_span / 86_400_000.0);
+    println!(
+        "searching max sustainable acceleration over {} ops ({:.1} simulated days)\n",
+        items.len(),
+        sim_span / 86_400_000.0
+    );
 
     // Exponential probe upward, then report the knee.
     let mut accel = sim_span / 20_000.0; // start: ~20s of wall time

@@ -28,7 +28,11 @@ fn main() {
     t.row(&[
         "connected components".into(),
         snb_bench::fmt_duration(d),
-        format!("{} components, largest {:.1}%", comp.1, 100.0 * largest as f64 / g.vertex_count() as f64),
+        format!(
+            "{} components, largest {:.1}%",
+            comp.1,
+            100.0 * largest as f64 / g.vertex_count() as f64
+        ),
     ]);
 
     let (pr, d) = time(|| pagerank(&g, &PageRankConfig::default()));
@@ -43,7 +47,10 @@ fn main() {
     t.row(&[
         "bfs from hub".into(),
         snb_bench::fmt_duration(d),
-        format!("reached {}, depth {}, mean dist {:.2}", stats.reached, stats.max_depth, stats.mean_depth),
+        format!(
+            "reached {}, depth {}, mean dist {:.2}",
+            stats.reached, stats.max_depth, stats.mean_depth
+        ),
     ]);
 
     let (lpa, d) = time(|| label_propagation(&g, 30));

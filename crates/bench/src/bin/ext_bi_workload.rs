@@ -20,7 +20,12 @@ fn main() {
         "BI1 posting summary".into(),
         fmt_duration(d1),
         r1.len().to_string(),
-        format!("{} {} in {}", busiest.count, if busiest.is_comment { "comments" } else { "posts" }, busiest.year),
+        format!(
+            "{} {} in {}",
+            busiest.count,
+            if busiest.is_comment { "comments" } else { "posts" },
+            busiest.year
+        ),
     ]);
 
     let (r2, d2) = time(|| bi::bi2_tag_evolution(&snap, 20, 10));
@@ -28,7 +33,9 @@ fn main() {
         "BI2 tag evolution".into(),
         fmt_duration(d2),
         r2.len().to_string(),
-        r2.first().map(|r| format!("{}: {} -> {}", r.tag, r.count_a, r.count_b)).unwrap_or_default(),
+        r2.first()
+            .map(|r| format!("{}: {} -> {}", r.tag, r.count_a, r.count_b))
+            .unwrap_or_default(),
     ]);
 
     let dicts = snb_core::dict::Dictionaries::global();
@@ -54,7 +61,9 @@ fn main() {
         "BI5 topic experts".into(),
         fmt_duration(d5),
         r5.len().to_string(),
-        r5.first().map(|r| format!("person {} with {} msgs", r.person.raw(), r.messages)).unwrap_or_default(),
+        r5.first()
+            .map(|r| format!("person {} with {} msgs", r.person.raw(), r.messages))
+            .unwrap_or_default(),
     ]);
 
     let (r6, d6) = time(|| bi::bi6_zombies(&snap, SimTime::from_ymd(2012, 6, 1), 20));
@@ -62,7 +71,11 @@ fn main() {
         "BI6 zombies".into(),
         fmt_duration(d6),
         r6.len().to_string(),
-        r6.first().map(|r| format!("person {} ({} msgs in {} months)", r.person.raw(), r.messages, r.months)).unwrap_or_default(),
+        r6.first()
+            .map(|r| {
+                format!("person {} ({} msgs in {} months)", r.person.raw(), r.messages, r.months)
+            })
+            .unwrap_or_default(),
     ]);
     t.print();
 

@@ -1,0 +1,27 @@
+//! Extension — machine-readable full disclosure (§1: "The full disclosure
+//! further breaks down the composition of the metric into its constituent
+//! parts"). Runs the full interactive mix on a small dataset and prints the
+//! JSON disclosure: per-query latency histograms, operator counters, store
+//! MVCC/WAL counters, and per-partition scheduler accounting.
+//!
+//! Usage: `cargo run -p snb-bench --release --bin ext_observability [persons]`
+
+use snb_driver::{full_disclosure_json, mix, run, DriverConfig, StoreConnector};
+use snb_queries::Engine;
+use std::sync::Arc;
+
+fn main() {
+    let persons: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("persons must be a number"))
+        .unwrap_or(1_000);
+    let ds = snb_bench::dataset(persons);
+    let bindings = snb_params::curated_bindings(&ds, 8);
+    let items = mix::build_mix(&ds, &bindings);
+    let store = Arc::new(snb_bench::bulk_store(&ds));
+    let conn = StoreConnector::new(store, Engine::Intended);
+    let config =
+        DriverConfig { partitions: snb_bench::num_threads().max(2), ..DriverConfig::default() };
+    let report = run(&items, &conn, &config).expect("run");
+    println!("{}", full_disclosure_json(&report).render_pretty(2));
+}

@@ -17,7 +17,8 @@ fn main() {
     println!("sync-mode ablation: {} update ops, 10us dummy connector\n", slice.len());
 
     let conn = SleepConnector::new(Duration::from_micros(10));
-    let mut t = Table::new(&["partitions", "parallel ops/s", "windowed ops/s", "windowed/parallel"]);
+    let mut t =
+        Table::new(&["partitions", "parallel ops/s", "windowed ops/s", "windowed/parallel"]);
     for partitions in [2usize, 4, 8] {
         let par = run(
             slice,

@@ -14,8 +14,13 @@ fn main() {
         t.row(&[p.to_string(), format!("{d:.0}"), bar]);
     }
     t.print();
-    println!("\nunscaled mean degree (stands in for the Facebook average): {:.1}", m.unscaled_mean());
-    println!("avg-degree law anchors: n=10k -> {:.1}, n=700M -> {:.1} (paper: ~200)",
+    println!(
+        "\nunscaled mean degree (stands in for the Facebook average): {:.1}",
+        m.unscaled_mean()
+    );
+    println!(
+        "avg-degree law anchors: n=10k -> {:.1}, n=700M -> {:.1} (paper: ~200)",
         DegreeModel::avg_degree_for(10_000),
-        DegreeModel::avg_degree_for(700_000_000));
+        DegreeModel::avg_degree_for(700_000_000)
+    );
 }

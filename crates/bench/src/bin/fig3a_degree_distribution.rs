@@ -21,18 +21,28 @@ fn main() {
         };
         counts[b.min(buckets - 1)] += 1;
     }
-    println!("Fig 3a: friendship degree distribution ({} persons, {} edges)\n", ds.persons.len(), ds.knows.len());
+    println!(
+        "Fig 3a: friendship degree distribution ({} persons, {} edges)\n",
+        ds.persons.len(),
+        ds.knows.len()
+    );
     let mut t = Table::new(&["degree <=", "persons", "bar (log)"]);
     for (b, &c) in counts.iter().enumerate() {
         let upper = (max.ln() * b as f64 / (buckets - 1) as f64).exp();
-        let bar = if c > 0 { "#".repeat(((c as f64).ln() * 5.0).max(1.0) as usize) } else { String::new() };
+        let bar = if c > 0 {
+            "#".repeat(((c as f64).ln() * 5.0).max(1.0) as usize)
+        } else {
+            String::new()
+        };
         t.row(&[format!("{upper:.0}"), c.to_string(), bar]);
     }
     t.print();
     let mean = deg.iter().map(|&d| d as f64).sum::<f64>() / deg.len() as f64;
-    println!("\nmean degree {:.1} (law predicts {:.1}); max degree {}",
+    println!(
+        "\nmean degree {:.1} (law predicts {:.1}); max degree {}",
         mean,
         snb_core::degree::DegreeModel::avg_degree_for(ds.persons.len() as u64),
-        max as u32);
+        max as u32
+    );
     println!("paper shape: heavy right tail, max >> mean");
 }

@@ -9,7 +9,15 @@ use snb_datagen::{generate, GeneratorConfig};
 fn main() {
     println!("Fig 3b: generation time (seconds) by scale factor and threads\n");
     let thread_counts = [1usize, 2, 4, 8];
-    let mut t = Table::new(&["SF", "persons", "1 thread", "2 threads", "4 threads", "8 threads", "speedup@8"]);
+    let mut t = Table::new(&[
+        "SF",
+        "persons",
+        "1 thread",
+        "2 threads",
+        "4 threads",
+        "8 threads",
+        "speedup@8",
+    ]);
     for sf in [0.05, 0.1, 0.2] {
         let mut row = vec![format!("{sf}")];
         let mut t1 = 0.0;

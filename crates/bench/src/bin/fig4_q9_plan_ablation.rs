@@ -12,7 +12,8 @@ use snb_queries::Engine;
 
 fn main() {
     println!("Fig 4: Q9 plan ablation (index-nested-loop vs hash/scan)\n");
-    let mut t = Table::new(&["persons", "messages", "intended (INL)", "naive (hash+scan)", "penalty"]);
+    let mut t =
+        Table::new(&["persons", "messages", "intended (INL)", "naive (hash+scan)", "penalty"]);
     for persons in [500u64, 1_000, 2_000, 4_000] {
         let ds = dataset_with(
             GeneratorConfig::with_persons(persons).threads(snb_bench::num_threads()).seed(42),

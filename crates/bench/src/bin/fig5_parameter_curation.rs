@@ -3,7 +3,7 @@
 //! give wildly varying runtimes, while curated parameters collapse the
 //! variance (properties P1/P2 of §4.1).
 
-use snb_bench::{bulk_store, dataset, coefficient_of_variation, fmt_duration, query_times, Table};
+use snb_bench::{bulk_store, coefficient_of_variation, dataset, fmt_duration, query_times, Table};
 use snb_params::{curated_bindings, pc_table, uniform_bindings};
 use snb_queries::Engine;
 use std::time::Duration;
@@ -14,12 +14,8 @@ fn main() {
 
     // ---- Fig 5a: distribution of 2-hop environment sizes --------------
     let stats = pc_table::person_stats(&ds);
-    let sizes: Vec<u64> = stats
-        .friends
-        .iter()
-        .zip(&stats.friends_of_friends)
-        .map(|(a, b)| a + b)
-        .collect();
+    let sizes: Vec<u64> =
+        stats.friends.iter().zip(&stats.friends_of_friends).map(|(a, b)| a + b).collect();
     let mut sorted = sizes.clone();
     sorted.sort_unstable();
     println!("Fig 5a: size of the 2-hop friend environment ({} persons)\n", sizes.len());
@@ -78,5 +74,7 @@ fn main() {
             );
         }
     }
-    println!("\npaper shape: uniform sampling spans >100x runtimes; curation bounds the variance (P1)");
+    println!(
+        "\npaper shape: uniform sampling spans >100x runtimes; curation bounds the variance (P1)"
+    );
 }

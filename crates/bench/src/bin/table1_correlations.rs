@@ -26,30 +26,40 @@ fn main() {
         counts.into_iter().max_by_key(|&(_, n)| n).map(|(name, _)| name).unwrap_or("")
     };
     let (de, cn) = (top_name("Germany"), top_name("China"));
-    check(
-        "location -> firstName",
-        format!("top DE name {de:?} vs top CN name {cn:?}"),
-        de != cn,
-    );
+    check("location -> firstName", format!("top DE name {de:?} vs top CN name {cn:?}"), de != cn);
 
     // person.location -> person.university (nearby universities).
     let with_uni: Vec<_> = ds.persons.iter().filter(|p| p.study_at.is_some()).collect();
     let local_uni = with_uni
         .iter()
-        .filter(|p| dicts.orgs.university(p.study_at.unwrap().university.index()).country == p.country)
+        .filter(|p| {
+            dicts.orgs.university(p.study_at.unwrap().university.index()).country == p.country
+        })
         .count();
     let uni_rate = local_uni as f64 / with_uni.len() as f64;
-    check("location -> university", format!("{:.0}% study in home country", 100.0 * uni_rate), uni_rate > 0.8);
+    check(
+        "location -> university",
+        format!("{:.0}% study in home country", 100.0 * uni_rate),
+        uni_rate > 0.8,
+    );
 
     // person.location -> person.company (in country).
     let jobs: Vec<(usize, usize)> = ds
         .persons
         .iter()
-        .flat_map(|p| p.work_at.iter().map(move |w| (p.country, dicts.orgs.company(w.company.index()).country)))
+        .flat_map(|p| {
+            p.work_at
+                .iter()
+                .map(move |w| (p.country, dicts.orgs.company(w.company.index()).country))
+        })
         .collect();
     let local_jobs = jobs.iter().filter(|(home, at)| home == at).count();
     let job_rate = local_jobs as f64 / jobs.len() as f64;
-    check("location -> company", format!("{:.0}% work in home country", 100.0 * job_rate), job_rate > 0.85);
+    check(
+        "location -> company",
+        format!("{:.0}% work in home country", 100.0 * job_rate),
+        job_rate > 0.85,
+    );
 
     // person.location -> person.languages (spoken in country).
     let lang_ok = ds.persons.iter().all(|p| {
@@ -59,35 +69,42 @@ fn main() {
     check("location -> languages", "every person speaks all home languages".into(), lang_ok);
 
     // person.language -> post.language (speaks).
-    let speaks = ds.posts.iter().all(|p| ds.persons[p.author.index()].languages.contains(&p.language));
+    let speaks =
+        ds.posts.iter().all(|p| ds.persons[p.author.index()].languages.contains(&p.language));
     check("language -> post.language", "every post in a language its author speaks".into(), speaks);
 
     // person.interests -> forum/post topic: wall tags drawn from interests.
-    let wall_topic = ds
-        .forums
-        .iter()
-        .filter(|f| f.kind == snb_core::schema::ForumKind::Wall)
-        .all(|f| {
+    let wall_topic =
+        ds.forums.iter().filter(|f| f.kind == snb_core::schema::ForumKind::Wall).all(|f| {
             let owner = &ds.persons[f.moderator.index()];
             f.tags.iter().all(|t| owner.interests.contains(t))
         });
-    check("interests -> forum topic", "wall tags are subsets of owner interests".into(), wall_topic);
+    check(
+        "interests -> forum topic",
+        "wall tags are subsets of owner interests".into(),
+        wall_topic,
+    );
 
     // post.topic -> post.text (DBpedia article lines -> topic words in text).
     let sampled: Vec<_> = ds.posts.iter().filter(|p| p.image_file.is_none()).take(2_000).collect();
     let on_topic = sampled
         .iter()
         .filter(|p| {
-            p.tags.first().is_some_and(|t| {
-                p.content.contains(dicts.tags.tag(t.index()).name.as_str())
-            })
+            p.tags
+                .first()
+                .is_some_and(|t| p.content.contains(dicts.tags.tag(t.index()).name.as_str()))
         })
         .count();
     let topic_rate = on_topic as f64 / sampled.len() as f64;
-    check("post.topic -> post.text", format!("{:.0}% of posts mention their topic", 100.0 * topic_rate), topic_rate > 0.9);
+    check(
+        "post.topic -> post.text",
+        format!("{:.0}% of posts mention their topic", 100.0 * topic_rate),
+        topic_rate > 0.9,
+    );
 
     // person.employer -> person.email (@company / @university).
-    let employed: Vec<_> = ds.persons.iter().filter(|p| !p.work_at.is_empty()).take(2_000).collect();
+    let employed: Vec<_> =
+        ds.persons.iter().filter(|p| !p.work_at.is_empty()).take(2_000).collect();
     let branded = employed
         .iter()
         .filter(|p| {
@@ -111,10 +128,8 @@ fn main() {
     // Time-ordering rules.
     let birth_ok = ds.persons.iter().all(|p| p.birthday < p.creation_date);
     check("birthDate < createdDate", "all persons".into(), birth_ok);
-    let forum_ok = ds
-        .forums
-        .iter()
-        .all(|f| f.creation_date > ds.persons[f.moderator.index()].creation_date);
+    let forum_ok =
+        ds.forums.iter().all(|f| f.creation_date > ds.persons[f.moderator.index()].creation_date);
     check("person.createdDate < forum.createdDate", "all forums".into(), forum_ok);
     let mut msg_time: HashMap<u64, snb_core::SimTime> =
         ds.posts.iter().map(|p| (p.id.raw(), p.creation_date)).collect();

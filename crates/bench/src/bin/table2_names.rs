@@ -39,7 +39,15 @@ fn main() {
     }
 
     println!("Table 2: top-10 male first names by location ({} persons)\n", ds.persons.len());
-    let mut t = Table::new(&["rank", "Germany (paper)", "Germany (ours)", "n", "China (paper)", "China (ours)", "n"]);
+    let mut t = Table::new(&[
+        "rank",
+        "Germany (paper)",
+        "Germany (ours)",
+        "n",
+        "China (paper)",
+        "China (ours)",
+        "n",
+    ]);
     let de10 = top10(&de);
     let cn10 = top10(&cn);
     for i in 0..10 {

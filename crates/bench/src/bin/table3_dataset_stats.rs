@@ -14,7 +14,15 @@ fn main() {
     println!("  paper: SF100 -> nodes 317.7M edges 2154.9M persons 0.50M  friends 46.6M  messages 312.1M forums 5.0M");
     println!();
     let mut t = Table::new(&[
-        "SF", "persons", "friends", "messages", "forums", "nodes", "edges", "msg/person", "msg/friend",
+        "SF",
+        "persons",
+        "friends",
+        "messages",
+        "forums",
+        "nodes",
+        "edges",
+        "msg/person",
+        "msg/friend",
     ]);
     for sf in [0.01, 0.03, 0.1, 0.3] {
         let ds = dataset_with(GeneratorConfig::scale_factor(sf).threads(snb_bench::num_threads()));
@@ -32,5 +40,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\npaper shape anchors: msg/friend ~6.9 (SF30), messages >> persons, edges > 6x nodes");
+    println!(
+        "\npaper shape anchors: msg/friend ~6.9 (SF30), messages >> persons, edges > 6x nodes"
+    );
 }

@@ -32,7 +32,13 @@ fn main() {
         ("1ms", Duration::from_millis(1), paper_1ms),
         ("100us", Duration::from_micros(100), paper_100us),
     ] {
-        let mut t = Table::new(&["partitions", "ops/s (ours)", "speedup", "ops/s (paper)", "paper speedup"]);
+        let mut t = Table::new(&[
+            "partitions",
+            "ops/s (ours)",
+            "speedup",
+            "ops/s (paper)",
+            "paper speedup",
+        ]);
         let conn = SleepConnector::new(sleep);
         let mut base = 0.0;
         for (i, &p) in partition_counts.iter().enumerate() {

@@ -27,7 +27,12 @@ fn main() {
         ds.message_count()
     );
     let mut t = Table::new(&[
-        "query", "intended", "naive", "naive/intended", "Sparksee SF10 (ms)", "Virtuoso SF300 (ms)",
+        "query",
+        "intended",
+        "naive",
+        "naive/intended",
+        "Sparksee SF10 (ms)",
+        "Virtuoso SF300 (ms)",
     ]);
     for q in 1..=14 {
         let intended = mean_query_time(&store, Engine::Intended, bindings.all(q));

@@ -20,9 +20,12 @@ fn main() {
         deg[k.b.index()] += 1;
     }
     let person = PersonId(deg.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u64);
-    let message = ds.comments.iter().map(|c| c.reply_to).find(|m| {
-        m.raw() < ds.message_count() as u64
-    }).unwrap_or(MessageId(0));
+    let message = ds
+        .comments
+        .iter()
+        .map(|c| c.reply_to)
+        .find(|m| m.raw() < ds.message_count() as u64)
+        .unwrap_or(MessageId(0));
 
     let queries = [
         ShortQuery::S1(person),

@@ -11,7 +11,11 @@ fn main() {
     let store = full_store(&ds);
     let stats = store.snapshot().storage_stats();
 
-    println!("Table 8: three largest tables ({} persons, {} messages)\n", ds.persons.len(), ds.message_count());
+    println!(
+        "Table 8: three largest tables ({} persons, {} messages)\n",
+        ds.persons.len(),
+        ds.message_count()
+    );
     let mut t = Table::new(&["table", "rows", "MB", "largest index", "index MB"]);
     for ts in stats.largest(3) {
         t.row(&[

@@ -11,8 +11,14 @@ const SPARKSEE_SF10: [f64; 8] = [492.0, 309.0, 307.0, 239.0, 317.0, 190.0, 324.0
 const VIRTUOSO_SF300: [f64; 8] = [35.0, 198.0, 85.0, 55.0, 16.0, 118.0, 141.0, 15.0];
 
 const NAMES: [&str; 8] = [
-    "addPerson", "addPostLike", "addCommentLike", "addForum", "addMembership", "addPost",
-    "addComment", "addFriendship",
+    "addPerson",
+    "addPostLike",
+    "addCommentLike",
+    "addForum",
+    "addMembership",
+    "addPost",
+    "addComment",
+    "addFriendship",
 ];
 
 fn main() {
@@ -24,7 +30,14 @@ fn main() {
     let report = run(&items, &conn, &config).expect("replay");
 
     println!("Table 9: mean update runtime ({} operations replayed)\n", items.len());
-    let mut t = Table::new(&["update", "count", "mean", "p99", "Sparksee SF10 (ms)", "Virtuoso SF300 (ms)"]);
+    let mut t = Table::new(&[
+        "update",
+        "count",
+        "mean",
+        "p99",
+        "Sparksee SF10 (ms)",
+        "Virtuoso SF300 (ms)",
+    ]);
     for u in 1..=8 {
         if let Some(s) = report.metrics.stats(OpKind::Update(u)) {
             t.row(&[
@@ -38,6 +51,9 @@ fn main() {
         }
     }
     t.print();
-    println!("\nthroughput: {:.0} updates/s across {} partitions", report.ops_per_second, config.partitions);
+    println!(
+        "\nthroughput: {:.0} updates/s across {} partitions",
+        report.ops_per_second, config.partitions
+    );
     println!("paper shape: all updates within one order of magnitude of each other");
 }

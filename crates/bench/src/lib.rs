@@ -55,11 +55,7 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 }
 
 /// Mean execution time of a complex-query binding set on one engine.
-pub fn mean_query_time(
-    store: &Store,
-    engine: Engine,
-    bindings: &[ComplexQuery],
-) -> Duration {
+pub fn mean_query_time(store: &Store, engine: Engine, bindings: &[ComplexQuery]) -> Duration {
     let mut total = Duration::ZERO;
     for q in bindings {
         let snap = store.snapshot();
@@ -107,8 +103,11 @@ impl Table {
             }
         }
         let line = |cells: &[String]| {
-            let joined: Vec<String> =
-                cells.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = widths[i])).collect();
+            let joined: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
             println!("  {}", joined.join("  "));
         };
         line(&self.headers);

@@ -109,7 +109,9 @@ pub fn bi2_tag_evolution(snap: &Snapshot<'_>, month: i64, limit: usize) -> Vec<T
             }
         })
         .collect();
-    out.sort_by(|x, y| (std::cmp::Reverse(x.diff), &x.tag).cmp(&(std::cmp::Reverse(y.diff), &y.tag)));
+    out.sort_by(|x, y| {
+        (std::cmp::Reverse(x.diff), &x.tag).cmp(&(std::cmp::Reverse(y.diff), &y.tag))
+    });
     out.truncate(limit);
     out
 }
@@ -125,7 +127,11 @@ pub struct CountryTopicRow {
 }
 
 /// Run BI-3.
-pub fn bi3_popular_topics(snap: &Snapshot<'_>, country: usize, limit: usize) -> Vec<CountryTopicRow> {
+pub fn bi3_popular_topics(
+    snap: &Snapshot<'_>,
+    country: usize,
+    limit: usize,
+) -> Vec<CountryTopicRow> {
     let dicts = Dictionaries::global();
     let mut counts: HashMap<u64, u64> = HashMap::new();
     for m in 0..snap.message_slots() as u64 {
@@ -142,7 +148,9 @@ pub fn bi3_popular_topics(snap: &Snapshot<'_>, country: usize, limit: usize) -> 
         .into_iter()
         .map(|(t, count)| CountryTopicRow { tag: dicts.tags.tag(t as usize).name.clone(), count })
         .collect();
-    out.sort_by(|a, b| (std::cmp::Reverse(a.count), &a.tag).cmp(&(std::cmp::Reverse(b.count), &b.tag)));
+    out.sort_by(|a, b| {
+        (std::cmp::Reverse(a.count), &a.tag).cmp(&(std::cmp::Reverse(b.count), &b.tag))
+    });
     out.truncate(limit);
     out
 }
@@ -257,11 +265,14 @@ pub fn bi6_zombies(snap: &Snapshot<'_>, before: SimTime, limit: usize) -> Vec<Zo
         }
         let messages = snap.messages_of(id);
         if (messages.len() as i64) < months {
-            let likes_received: u64 = messages
-                .iter()
-                .map(|&(m, _)| snap.likes_of(MessageId(m)).len() as u64)
-                .sum();
-            out.push(ZombieRow { person: id, months, messages: messages.len() as u64, likes_received });
+            let likes_received: u64 =
+                messages.iter().map(|&(m, _)| snap.likes_of(MessageId(m)).len() as u64).sum();
+            out.push(ZombieRow {
+                person: id,
+                months,
+                messages: messages.len() as u64,
+                likes_received,
+            });
         }
     }
     out.sort_by_key(|r| (std::cmp::Reverse(r.likes_received), r.person));
@@ -307,8 +318,9 @@ mod tests {
             assert!((2010..=2012).contains(&r.year), "year {}", r.year);
         }
         // Posts are longer than comments on average, per the text model.
-        let post_avg: f64 = rows.iter().filter(|r| !r.is_comment).map(|r| r.avg_length).sum::<f64>()
-            / rows.iter().filter(|r| !r.is_comment).count() as f64;
+        let post_avg: f64 =
+            rows.iter().filter(|r| !r.is_comment).map(|r| r.avg_length).sum::<f64>()
+                / rows.iter().filter(|r| !r.is_comment).count() as f64;
         let comment_avg: f64 =
             rows.iter().filter(|r| r.is_comment).map(|r| r.avg_length).sum::<f64>()
                 / rows.iter().filter(|r| r.is_comment).count() as f64;

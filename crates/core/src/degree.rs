@@ -51,10 +51,9 @@ impl DegreeModel {
         }
         // Mean of the two-stage draw: percentile uniform, then degree
         // uniform in [max[p-1], max[p]] -> mean of band midpoints.
-        let mean = (1..=PERCENTILES)
-            .map(|p| (max_degree[p - 1] + max_degree[p]) / 2.0)
-            .sum::<f64>()
-            / PERCENTILES as f64;
+        let mean =
+            (1..=PERCENTILES).map(|p| (max_degree[p - 1] + max_degree[p]) / 2.0).sum::<f64>()
+                / PERCENTILES as f64;
         DegreeModel { max_degree, mean }
     }
 
@@ -136,9 +135,7 @@ mod tests {
         let n_persons = 10_000u64;
         let mut rng = Rng::for_entity(1, Stream::Degree, 0);
         let samples = 200_000;
-        let sum: u64 = (0..samples)
-            .map(|_| m.target_degree(&mut rng, n_persons) as u64)
-            .sum();
+        let sum: u64 = (0..samples).map(|_| m.target_degree(&mut rng, n_persons) as u64).sum();
         let mean = sum as f64 / samples as f64;
         let expect = DegreeModel::avg_degree_for(n_persons);
         let rel = (mean - expect).abs() / expect;
@@ -160,8 +157,7 @@ mod tests {
         let m = DegreeModel::facebook();
         let mut rng = Rng::for_entity(3, Stream::Degree, 0);
         let n_persons = 10_000u64;
-        let samples: Vec<u32> =
-            (0..50_000).map(|_| m.target_degree(&mut rng, n_persons)).collect();
+        let samples: Vec<u32> = (0..50_000).map(|_| m.target_degree(&mut rng, n_persons)).collect();
         let mean = samples.iter().map(|&d| d as f64).sum::<f64>() / samples.len() as f64;
         let max = *samples.iter().max().unwrap() as f64;
         assert!(max > 5.0 * mean, "max {max} mean {mean}");

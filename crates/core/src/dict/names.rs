@@ -186,14 +186,30 @@ pub fn intern_name(name: &str) -> Option<&'static str> {
     let index = INDEX.get_or_init(|| {
         let mut m = HashMap::new();
         for pool in [
-            data::DE_MALE, data::DE_FEMALE, data::DE_LAST,
-            data::CN_MALE, data::CN_FEMALE, data::CN_LAST,
-            data::EN_MALE, data::EN_FEMALE, data::EN_LAST,
-            data::IN_MALE, data::IN_FEMALE, data::IN_LAST,
-            data::ES_MALE, data::ES_FEMALE, data::ES_LAST,
-            data::RU_MALE, data::RU_FEMALE, data::RU_LAST,
-            data::JP_MALE, data::JP_FEMALE, data::JP_LAST,
-            data::AR_MALE, data::AR_FEMALE, data::AR_LAST,
+            data::DE_MALE,
+            data::DE_FEMALE,
+            data::DE_LAST,
+            data::CN_MALE,
+            data::CN_FEMALE,
+            data::CN_LAST,
+            data::EN_MALE,
+            data::EN_FEMALE,
+            data::EN_LAST,
+            data::IN_MALE,
+            data::IN_FEMALE,
+            data::IN_LAST,
+            data::ES_MALE,
+            data::ES_FEMALE,
+            data::ES_LAST,
+            data::RU_MALE,
+            data::RU_FEMALE,
+            data::RU_LAST,
+            data::JP_MALE,
+            data::JP_FEMALE,
+            data::JP_LAST,
+            data::AR_MALE,
+            data::AR_FEMALE,
+            data::AR_LAST,
         ] {
             for &n in pool {
                 m.insert(n, n);
@@ -245,11 +261,8 @@ mod tests {
         // Some Germans should carry names from other pools, but rarely.
         let tops = top_names("Germany", Gender::Male, 50_000);
         let total: usize = tops.iter().map(|(_, c)| c).sum();
-        let german: usize = tops
-            .iter()
-            .filter(|(n, _)| data::DE_MALE.contains(&n.as_str()))
-            .map(|(_, c)| c)
-            .sum();
+        let german: usize =
+            tops.iter().filter(|(n, _)| data::DE_MALE.contains(&n.as_str())).map(|(_, c)| c).sum();
         let frac = german as f64 / total as f64;
         assert!(frac > 0.80 && frac < 0.99, "local fraction {frac}");
     }

@@ -151,7 +151,9 @@ mod tests {
         let germany = places.country_by_name("Germany").unwrap();
         let n = 10_000;
         let local = (0..n)
-            .filter(|_| orgs.university(orgs.sample_university(&mut rng, germany)).country == germany)
+            .filter(|_| {
+                orgs.university(orgs.sample_university(&mut rng, germany)).country == germany
+            })
             .count();
         let frac = local as f64 / n as f64;
         assert!(frac > 0.85, "local fraction {frac}");

@@ -48,12 +48,7 @@ pub struct Places {
 }
 
 /// Raw table: (country, weight, languages, [(city, lat, lon); ...]).
-type Raw = (
-    &'static str,
-    f64,
-    &'static [&'static str],
-    &'static [(&'static str, f64, f64)],
-);
+type Raw = (&'static str, f64, &'static [&'static str], &'static [(&'static str, f64, f64)]);
 
 #[rustfmt::skip]
 const RAW: &[Raw] = &[

@@ -50,19 +50,19 @@ pub struct Tags {
 
 /// Class table: (name, parent index). Index 0 is the root.
 const CLASSES: &[(&str, Option<usize>)] = &[
-    ("Thing", None),              // 0
-    ("MusicalArtist", Some(0)),   // 1
-    ("Sport", Some(0)),           // 2
-    ("Politician", Some(0)),      // 3
-    ("Cuisine", Some(0)),         // 4
-    ("Technology", Some(0)),      // 5
-    ("Programming", Some(5)),     // 6
-    ("Gadgets", Some(5)),         // 7
-    ("Science", Some(0)),         // 8
-    ("Film", Some(0)),            // 9
-    ("Literature", Some(0)),      // 10
-    ("Travel", Some(0)),          // 11
-    ("Gaming", Some(0)),          // 12
+    ("Thing", None),            // 0
+    ("MusicalArtist", Some(0)), // 1
+    ("Sport", Some(0)),         // 2
+    ("Politician", Some(0)),    // 3
+    ("Cuisine", Some(0)),       // 4
+    ("Technology", Some(0)),    // 5
+    ("Programming", Some(5)),   // 6
+    ("Gadgets", Some(5)),       // 7
+    ("Science", Some(0)),       // 8
+    ("Film", Some(0)),          // 9
+    ("Literature", Some(0)),    // 10
+    ("Travel", Some(0)),        // 11
+    ("Gaming", Some(0)),        // 12
 ];
 
 const GLOBAL_TAGS: &[(&str, usize, f64)] = &[
@@ -104,10 +104,8 @@ impl Tags {
     pub fn build(country_count: usize) -> Tags {
         let places = crate::dict::places::Places::build();
         assert_eq!(places.country_count(), country_count);
-        let classes: Vec<TagClassDef> = CLASSES
-            .iter()
-            .map(|&(name, parent)| TagClassDef { name, parent })
-            .collect();
+        let classes: Vec<TagClassDef> =
+            CLASSES.iter().map(|&(name, parent)| TagClassDef { name, parent }).collect();
 
         let mut tags = Vec::new();
         let mut by_country = vec![Vec::new(); country_count];
@@ -199,12 +197,7 @@ impl Tags {
     }
 
     /// Sample `n` distinct interests for a person from `country`.
-    pub fn sample_interest_set(
-        &self,
-        rng: &mut Rng,
-        country: CountryIdx,
-        n: usize,
-    ) -> Vec<usize> {
+    pub fn sample_interest_set(&self, rng: &mut Rng, country: CountryIdx, n: usize) -> Vec<usize> {
         let n = n.min(self.tags.len());
         let mut out: Vec<usize> = Vec::with_capacity(n);
         // Bounded retry loop; fall back to linear fill if the space is tiny.

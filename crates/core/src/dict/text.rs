@@ -11,20 +11,43 @@
 use crate::rng::Rng;
 
 const OPENERS: &[&str] = &[
-    "Thinking about", "Just read about", "Can't stop discussing", "An interesting take on",
-    "A deep dive into", "Some new thoughts on", "Another perspective on", "Notes on",
+    "Thinking about",
+    "Just read about",
+    "Can't stop discussing",
+    "An interesting take on",
+    "A deep dive into",
+    "Some new thoughts on",
+    "Another perspective on",
+    "Notes on",
 ];
-const VERBS: &[&str] = &[
-    "shows", "suggests", "proves", "reminds us", "demonstrates", "hints", "reveals",
-];
+const VERBS: &[&str] =
+    &["shows", "suggests", "proves", "reminds us", "demonstrates", "hints", "reveals"];
 const CLAUSES: &[&str] = &[
-    "more than people expect", "in surprising ways", "against conventional wisdom",
-    "for the whole community", "despite recent trends", "as history repeats itself",
-    "with remarkable consistency", "beyond the usual debate",
+    "more than people expect",
+    "in surprising ways",
+    "against conventional wisdom",
+    "for the whole community",
+    "despite recent trends",
+    "as history repeats itself",
+    "with remarkable consistency",
+    "beyond the usual debate",
 ];
 const REPLIES: &[&str] = &[
-    "ok", "great", "thanks", "not sure about that", "LOL", "no way", "I was thinking the same",
-    "good point", "maybe", "fine", "right", "duh", "roflol", "thx", "cool story",
+    "ok",
+    "great",
+    "thanks",
+    "not sure about that",
+    "LOL",
+    "no way",
+    "I was thinking the same",
+    "good point",
+    "maybe",
+    "fine",
+    "right",
+    "duh",
+    "roflol",
+    "thx",
+    "cool story",
 ];
 
 /// Deterministic text generator.

@@ -98,10 +98,7 @@ impl fmt::Display for SimTime {
         let min = (rem % MILLIS_PER_HOUR) / MILLIS_PER_MINUTE;
         let s = (rem % MILLIS_PER_MINUTE) / MILLIS_PER_SECOND;
         let ms = rem % MILLIS_PER_SECOND;
-        write!(
-            f,
-            "{y:04}-{m:02}-{d:02}T{h:02}:{min:02}:{s:02}.{ms:03}Z"
-        )
+        write!(f, "{y:04}-{m:02}-{d:02}T{h:02}:{min:02}:{s:02}.{ms:03}Z")
     }
 }
 
@@ -177,9 +174,8 @@ mod tests {
 
     #[test]
     fn display_iso8601() {
-        let t = SimTime::from_ymd(2011, 6, 5).plus_millis(
-            13 * MILLIS_PER_HOUR + 7 * MILLIS_PER_MINUTE + 9 * MILLIS_PER_SECOND + 42,
-        );
+        let t = SimTime::from_ymd(2011, 6, 5)
+            .plus_millis(13 * MILLIS_PER_HOUR + 7 * MILLIS_PER_MINUTE + 9 * MILLIS_PER_SECOND + 42);
         assert_eq!(t.to_string(), "2011-06-05T13:07:09.042Z");
     }
 

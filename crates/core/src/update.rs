@@ -169,9 +169,6 @@ mod tests {
 
     #[test]
     fn creation_date_extraction() {
-        assert_eq!(
-            UpdateOp::AddPostLike(like()).creation_date(),
-            SimTime::from_ymd(2012, 10, 1)
-        );
+        assert_eq!(UpdateOp::AddPostLike(like()).creation_date(), SimTime::from_ymd(2012, 10, 1));
     }
 }

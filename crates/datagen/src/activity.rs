@@ -271,7 +271,11 @@ fn push_member(
         .max(persons[f as usize].creation_date.plus_millis(config.t_safe_millis))
         .plus_millis(MILLIS_PER_HOUR);
     if join < config.end {
-        members.push(Member { person: f, join, eligible_from: join.plus_millis(config.t_safe_millis) });
+        members.push(Member {
+            person: f,
+            join,
+            eligible_from: join.plus_millis(config.t_safe_millis),
+        });
     }
 }
 
@@ -343,12 +347,12 @@ fn emit_forum(
             }
         }
         // Owner bias: the moderator authors a third of root posts.
-        let author_idx = if prng.chance(0.33) && members[..eligible].iter().any(|m| m.person == spec.owner)
-        {
-            spec.owner
-        } else {
-            members[prng.index(eligible)].person
-        };
+        let author_idx =
+            if prng.chance(0.33) && members[..eligible].iter().any(|m| m.person == spec.owner) {
+                spec.owner
+            } else {
+                members[prng.index(eligible)].person
+            };
         let author = &persons[author_idx as usize];
 
         let mut tags: Vec<TagId> = Vec::with_capacity(spec.tags.len());
@@ -357,10 +361,7 @@ fn emit_forum(
                 tags.push(tag);
             }
         }
-        let topic = tags
-            .first()
-            .map(|t| dicts.tags.tag(t.index()).name.as_str())
-            .unwrap_or("life");
+        let topic = tags.first().map(|t| dicts.tags.tag(t.index()).name.as_str()).unwrap_or("life");
         let language = author.languages[prng.index(author.languages.len())];
         let country = message_country(&mut prng, author, dicts);
 
@@ -388,8 +389,10 @@ fn emit_forum(
                 // Recency-biased parent choice keeps trees deep-ish.
                 let back = (crng.geometric(0.45) as usize).min(thread.len() - 1);
                 let (parent_temp, parent_t) = thread[thread.len() - 1 - back];
-                let ct = parent_t
-                    .plus_millis(MILLIS_PER_MINUTE + crng.exponential(1.0 / (8.0 * MILLIS_PER_HOUR as f64)) as i64);
+                let ct = parent_t.plus_millis(
+                    MILLIS_PER_MINUTE
+                        + crng.exponential(1.0 / (8.0 * MILLIS_PER_HOUR as f64)) as i64,
+                );
                 if ct >= config.end {
                     break;
                 }
@@ -398,8 +401,7 @@ fn emit_forum(
                     continue;
                 }
                 let cauthor = &persons[members[crng.index(celig)].person as usize];
-                let ctags: Vec<TagId> =
-                    tags.iter().copied().filter(|_| crng.chance(0.3)).collect();
+                let ctags: Vec<TagId> = tags.iter().copied().filter(|_| crng.chance(0.3)).collect();
                 let comment_temp = temp_message_id(spec.owner, *message_counter);
                 *message_counter += 1;
                 raw.comments.push(Comment {
@@ -424,8 +426,10 @@ fn emit_forum(
                 let n_likes = lrng.exponential(1.0 / spec.likes_mean) as usize;
                 let mut likers: HashSet<u32> = HashSet::new();
                 for _ in 0..n_likes {
-                    let lt = msg_t
-                        .plus_millis(MILLIS_PER_MINUTE + lrng.exponential(1.0 / (2.0 * MILLIS_PER_DAY as f64)) as i64);
+                    let lt = msg_t.plus_millis(
+                        MILLIS_PER_MINUTE
+                            + lrng.exponential(1.0 / (2.0 * MILLIS_PER_DAY as f64)) as i64,
+                    );
                     if lt >= config.end {
                         continue;
                     }
@@ -607,10 +611,7 @@ mod tests {
             let join = joins
                 .get(&(p.forum.raw(), p.author.raw()))
                 .unwrap_or_else(|| panic!("author {} not member of forum {}", p.author, p.forum));
-            assert!(
-                p.creation_date.since(*join) >= 0,
-                "post precedes membership"
-            );
+            assert!(p.creation_date.since(*join) >= 0, "post precedes membership");
             // Non-moderator authors also get the full safety gap.
             let forum = act.forums.iter().find(|f| f.id == p.forum).unwrap();
             if forum.moderator != p.author {
@@ -625,11 +626,8 @@ mod tests {
     #[test]
     fn comment_and_like_authors_are_members() {
         let (_, _, _, act) = make(300, 1);
-        let members: HashSet<(u64, u64)> = act
-            .memberships
-            .iter()
-            .map(|m| (m.forum.raw(), m.person.raw()))
-            .collect();
+        let members: HashSet<(u64, u64)> =
+            act.memberships.iter().map(|m| (m.forum.raw(), m.person.raw())).collect();
         for c in &act.comments {
             assert!(members.contains(&(c.forum.raw(), c.author.raw())));
         }
@@ -666,12 +664,8 @@ mod tests {
     #[test]
     fn photos_live_in_albums_without_comments() {
         let (_, _, _, act) = make(600, 1);
-        let album_ids: HashSet<u64> = act
-            .forums
-            .iter()
-            .filter(|f| f.kind == ForumKind::Album)
-            .map(|f| f.id.raw())
-            .collect();
+        let album_ids: HashSet<u64> =
+            act.forums.iter().filter(|f| f.kind == ForumKind::Album).map(|f| f.id.raw()).collect();
         assert!(!album_ids.is_empty());
         for p in &act.posts {
             if album_ids.contains(&p.forum.raw()) {

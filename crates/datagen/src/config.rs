@@ -95,17 +95,13 @@ impl GeneratorConfig {
             return Err(SnbError::Config("need at least 2 persons".into()));
         }
         if !(self.start < self.update_split && self.update_split < self.end) {
-            return Err(SnbError::Config(
-                "require start < update_split < end".into(),
-            ));
+            return Err(SnbError::Config("require start < update_split < end".into()));
         }
         if self.t_safe_millis <= 0 {
             return Err(SnbError::Config("t_safe must be positive".into()));
         }
         if self.window_size < 2 || self.block_size < 2 * self.window_size {
-            return Err(SnbError::Config(
-                "block_size must be at least twice window_size".into(),
-            ));
+            return Err(SnbError::Config("block_size must be at least twice window_size".into()));
         }
         if self.activity_scale <= 0.0 || self.activity_scale.is_nan() {
             return Err(SnbError::Config("activity_scale must be positive".into()));

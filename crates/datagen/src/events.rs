@@ -96,7 +96,13 @@ impl EventSchedule {
 
     /// Pick an event about one of `tags` whose peak lies inside the window,
     /// weighted by importance.
-    fn pick_event(&self, rng: &mut Rng, lo: SimTime, hi: SimTime, tags: &[TagId]) -> Option<&Event> {
+    fn pick_event(
+        &self,
+        rng: &mut Rng,
+        lo: SimTime,
+        hi: SimTime,
+        tags: &[TagId],
+    ) -> Option<&Event> {
         let candidates: Vec<&Event> = tags
             .iter()
             .flat_map(|t| self.per_tag.get(t.index()).into_iter().flatten())
@@ -201,8 +207,7 @@ mod tests {
     fn importance_distribution_is_heavy_tailed() {
         let (_, s) = schedule(true);
         let max = s.events().iter().map(|e| e.importance).fold(0.0, f64::max);
-        let mean =
-            s.events().iter().map(|e| e.importance).sum::<f64>() / s.events().len() as f64;
+        let mean = s.events().iter().map(|e| e.importance).sum::<f64>() / s.events().len() as f64;
         assert!(max > 3.0 * mean, "max {max:.1} mean {mean:.1}");
     }
 }

@@ -240,8 +240,7 @@ mod tests {
         for k in &knows {
             let pa = &persons[k.a.index()];
             let pb = &persons[k.b.index()];
-            let earliest =
-                pa.creation_date.max(pb.creation_date).plus_millis(config.t_safe_millis);
+            let earliest = pa.creation_date.max(pb.creation_date).plus_millis(config.t_safe_millis);
             assert!(
                 k.creation_date >= earliest.min(config.end.plus_millis(-MILLIS_PER_DAY)),
                 "edge too early"

@@ -209,9 +209,6 @@ mod tests {
         let avg_degree = stats.friends as f64 / stats.persons as f64;
         let msgs_per_person = stats.messages as f64 / stats.persons as f64;
         let ratio = msgs_per_person / avg_degree;
-        assert!(
-            (2.0..12.0).contains(&ratio),
-            "messages/person per degree ratio {ratio:.1}"
-        );
+        assert!((2.0..12.0).contains(&ratio), "messages/person per degree ratio {ratio:.1}");
     }
 }

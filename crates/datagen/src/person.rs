@@ -124,13 +124,8 @@ fn generate_one(
         .map(|t| TagId(t as u64))
         .collect();
 
-    let location_ip = format!(
-        "{}.{}.{}.{}",
-        20 + country,
-        rng.below(256),
-        rng.below(256),
-        1 + rng.below(254)
-    );
+    let location_ip =
+        format!("{}.{}.{}.{}", 20 + country, rng.below(256), rng.below(256), 1 + rng.below(254));
     let browser = BROWSERS[rng.skewed_index(BROWSERS.len(), 0.7)];
 
     Person {

@@ -98,7 +98,8 @@ mod tests {
 
     #[test]
     fn thread_count_does_not_change_results() {
-        let work = |r: Range<usize>| -> u64 { r.map(|i| (i as u64).wrapping_mul(2_654_435_761)).sum() };
+        let work =
+            |r: Range<usize>| -> u64 { r.map(|i| (i as u64).wrapping_mul(2_654_435_761)).sum() };
         let a = run_blocks(10_000, 64, 1, work);
         let b = run_blocks(10_000, 64, 4, work);
         let c = run_blocks(10_000, 64, 13, work);

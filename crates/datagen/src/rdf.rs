@@ -102,7 +102,8 @@ pub fn write_ntriples(ds: &Dataset, path: &Path) -> SnbResult<u64> {
             triple(&mut w, &s, "hasTag", &format!("<{BASE}/tag/{}>", t.raw()))?;
         }
     }
-    let message_uri = |id: snb_core::MessageId, when: SimTime| entity_uri("message", when, id.raw());
+    let message_uri =
+        |id: snb_core::MessageId, when: SimTime| entity_uri("message", when, id.raw());
     let mut msg_created: Vec<SimTime> = vec![SimTime(0); ds.message_count()];
     for p in &ds.posts {
         msg_created[p.id.index()] = p.creation_date;
@@ -178,10 +179,8 @@ mod tests {
         message_uris.sort_unstable();
         message_uris.dedup();
         // Sorted lexicographically == sorted by embedded timestamp.
-        let stamps: Vec<&str> = message_uris
-            .iter()
-            .map(|u| u.rsplit('/').next().unwrap())
-            .collect();
+        let stamps: Vec<&str> =
+            message_uris.iter().map(|u| u.rsplit('/').next().unwrap()).collect();
         for w in stamps.windows(2) {
             assert!(w[0] <= w[1]);
         }
@@ -195,10 +194,8 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("snb-verbosity-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         crate::serializer::write_csv(&ds, &dir).unwrap();
-        let csv_bytes: u64 = std::fs::read_dir(&dir)
-            .unwrap()
-            .map(|e| e.unwrap().metadata().unwrap().len())
-            .sum();
+        let csv_bytes: u64 =
+            std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().metadata().unwrap().len()).sum();
         let nt = dir.join("data.nt");
         write_ntriples(&ds, &nt).unwrap();
         let nt_bytes = std::fs::metadata(&nt).unwrap().len();

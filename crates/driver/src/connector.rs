@@ -65,6 +65,12 @@ pub struct OpOutcome {
 pub trait Connector: Send + Sync {
     /// Execute one operation to completion.
     fn execute(&self, op: &Operation) -> SnbResult<OpOutcome>;
+
+    /// Runtime counters of the system under test, as `(name, value)` pairs
+    /// for the full-disclosure report. Default: none.
+    fn counters(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
 }
 
 /// Connector running against the in-workspace store.
@@ -86,6 +92,15 @@ impl StoreConnector {
 }
 
 impl Connector for StoreConnector {
+    fn counters(&self) -> Vec<(String, u64)> {
+        self.store
+            .counters()
+            .snapshot()
+            .into_iter()
+            .map(|(name, value)| (name.to_string(), value))
+            .collect()
+    }
+
     fn execute(&self, op: &Operation) -> SnbResult<OpOutcome> {
         match op {
             Operation::Update(u) => {

@@ -54,7 +54,11 @@ impl Default for Lds {
 impl Lds {
     /// Fresh service; `T_LI`/`T_LC` start at 0 (before all simulation time).
     pub fn new() -> Lds {
-        Lds { inner: Mutex::new(LdsInner::default()), tli: AtomicI64::new(0), tlc: AtomicI64::new(0) }
+        Lds {
+            inner: Mutex::new(LdsInner::default()),
+            tli: AtomicI64::new(0),
+            tlc: AtomicI64::new(0),
+        }
     }
 
     /// `T_LI`.
@@ -396,12 +400,7 @@ mod hierarchy_tests {
             let (sub, local) = if stream < 2 { (&left, stream) } else { (&right, stream - 2) };
             flat.stream(stream).complete(SimTime(t));
             sub.stream(local).complete(SimTime(t));
-            assert!(
-                top.gct() <= flat.gct(),
-                "hierarchy overshot: {} > {}",
-                top.gct(),
-                flat.gct()
-            );
+            assert!(top.gct() <= flat.gct(), "hierarchy overshot: {} > {}", top.gct(), flat.gct());
         }
         for s in 0..4 {
             flat.stream(s).finish();
@@ -417,7 +416,8 @@ mod hierarchy_tests {
     #[test]
     fn three_level_hierarchy_composes() {
         let leaf = Arc::new(Gds::new(1));
-        let mid = Arc::new(HierarchicalGds::new(vec![Arc::clone(&leaf) as Arc<dyn DependencyNode>]));
+        let mid =
+            Arc::new(HierarchicalGds::new(vec![Arc::clone(&leaf) as Arc<dyn DependencyNode>]));
         let top = HierarchicalGds::new(vec![Arc::clone(&mid) as Arc<dyn DependencyNode>]);
         leaf.stream(0).initiate(SimTime(5));
         leaf.stream(0).complete(SimTime(5));

@@ -17,7 +17,7 @@ pub mod report;
 pub mod scheduler;
 
 pub use connector::{Connector, OpKind, Operation, SleepConnector, StoreConnector};
-pub use metrics::{KindStats, Metrics};
-pub use report::{composition, full_disclosure, Composition};
+pub use metrics::{percentile_sorted, EpochVerdict, KindRecorder, KindStats, Metrics};
 pub use mix::{build_mix, updates_only, WorkItem, TABLE4_FREQUENCIES};
-pub use scheduler::{run, DriverConfig, ExecutionMode, RunReport};
+pub use report::{composition, full_disclosure, full_disclosure_json, Composition, STEADY_FACTOR};
+pub use scheduler::{run, DriverConfig, ExecutionMode, PartitionStats, RunReport};

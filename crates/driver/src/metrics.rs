@@ -3,73 +3,204 @@
 //! The benchmark metric is the sustained acceleration factor (simulation
 //! time / real time), with the requirement that "latencies of the complex
 //! read-only queries are stable as measured by a maximum latency on the
-//! 99th percentile" (§4, Rules and Metrics). The recorder keeps full
-//! per-kind latency samples (microseconds), enough for exact percentiles at
-//! benchmark scale.
+//! 99th percentile" (§4, Rules and Metrics). The recorder keeps one
+//! lock-free [`LatencyHistogram`] per operation kind (bounded relative
+//! error, no per-sample allocation) plus, for the complex reads, an
+//! [`EpochSeries`] of wall-clock windows so the steady-state verdict is
+//! judged on *time* order — not on the order in which worker threads happen
+//! to publish their samples. Each kind also carries a shared
+//! [`QueryProfile`] so operator counters (rows scanned, index probes,
+//! neighbors expanded, version walks) aggregate per query kind.
 
 use crate::connector::OpKind;
 use parking_lot::Mutex;
+use snb_obs::{EpochSeries, LatencyHistogram, ProfileSnapshot, QueryProfile};
 use std::collections::HashMap;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default wall-clock epoch length for the steady-state series: 500 ms.
+pub const DEFAULT_EPOCH_MICROS: u64 = 500_000;
+/// Default number of epoch slots (covers 32 s; later samples clamp into the
+/// last slot, which only makes the steady-state check stricter).
+pub const DEFAULT_EPOCH_SLOTS: usize = 64;
 
 /// Aggregated statistics for one operation kind.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KindStats {
     /// Number of executions.
     pub count: usize,
-    /// Mean latency.
+    /// Mean latency (exact: from the summed total, not the histogram).
     pub mean: Duration,
-    /// Median latency.
+    /// Median latency (histogram estimate, relative error ≤ 1/16).
     pub p50: Duration,
-    /// 95th percentile.
+    /// 95th percentile (histogram estimate).
     pub p95: Duration,
-    /// 99th percentile.
+    /// 99th percentile (histogram estimate).
     pub p99: Duration,
-    /// Maximum.
+    /// Maximum (exact).
     pub max: Duration,
+    /// Total time spent in this kind (exact).
+    pub total: Duration,
 }
 
-/// Thread-safe latency recorder.
-#[derive(Debug, Default)]
+/// Per-epoch steady-state verdict for one complex-read kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochVerdict {
+    /// Epoch index (wall-clock window number since run start).
+    pub epoch: usize,
+    /// Samples recorded in this epoch.
+    pub count: u64,
+    /// p99 latency of this epoch, in microseconds.
+    pub p99_micros: u64,
+    /// Whether this epoch's p99 stayed within `factor ×` the baseline
+    /// (the first non-empty epoch). The baseline epoch itself is `true`.
+    pub ok: bool,
+}
+
+/// Per-kind recorder: latency histogram + wall-clock epochs + operator
+/// profile. All recording paths are lock-free.
+#[derive(Debug)]
+pub struct KindRecorder {
+    hist: LatencyHistogram,
+    /// Present for complex reads only — that is the class the steady-state
+    /// rule is defined over.
+    epochs: Option<EpochSeries>,
+    total_micros: AtomicU64,
+    profile: Arc<QueryProfile>,
+}
+
+impl KindRecorder {
+    fn new(kind: OpKind, epoch_micros: u64, epoch_slots: usize) -> KindRecorder {
+        KindRecorder {
+            hist: LatencyHistogram::new(),
+            epochs: matches!(kind, OpKind::Complex(_))
+                .then(|| EpochSeries::new(epoch_micros, epoch_slots)),
+            total_micros: AtomicU64::new(0),
+            profile: Arc::new(QueryProfile::new()),
+        }
+    }
+
+    /// Record one execution: `elapsed_micros` is wall time since run start
+    /// (selects the epoch), `latency_micros` the operation latency.
+    #[inline]
+    pub fn record(&self, elapsed_micros: u64, latency_micros: u64) {
+        self.hist.record(latency_micros);
+        self.total_micros.fetch_add(latency_micros, Ordering::Relaxed);
+        if let Some(epochs) = &self.epochs {
+            epochs.record(elapsed_micros, latency_micros);
+        }
+    }
+
+    /// The operator profile shared by every execution of this kind; install
+    /// it with [`QueryProfile::enter`] around the query call.
+    pub fn profile(&self) -> &Arc<QueryProfile> {
+        &self.profile
+    }
+
+    /// The latency histogram.
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.hist
+    }
+
+    /// The wall-clock epoch series (complex reads only).
+    pub fn epochs(&self) -> Option<&EpochSeries> {
+        self.epochs.as_ref()
+    }
+}
+
+/// Thread-safe latency recorder. The registry lock is touched only when a
+/// kind is first seen (or by reporting); the hot path is atomic increments
+/// on the per-kind recorder.
+#[derive(Debug)]
 pub struct Metrics {
-    samples: Mutex<HashMap<OpKind, Vec<u64>>>,
+    start: Instant,
+    epoch_micros: u64,
+    epoch_slots: usize,
+    recorders: Mutex<HashMap<OpKind, Arc<KindRecorder>>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
 }
 
 impl Metrics {
-    /// Fresh recorder.
+    /// Fresh recorder with the default epoch geometry.
     pub fn new() -> Metrics {
-        Metrics::default()
+        Metrics::with_epochs(DEFAULT_EPOCH_MICROS, DEFAULT_EPOCH_SLOTS)
     }
 
-    /// Record one execution.
-    pub fn record(&self, kind: OpKind, latency: Duration) {
-        self.samples.lock().entry(kind).or_default().push(latency.as_micros() as u64);
-    }
-
-    /// Merge a thread-local batch (used by workers to avoid per-op locking).
-    pub fn merge(&self, local: HashMap<OpKind, Vec<u64>>) {
-        let mut g = self.samples.lock();
-        for (k, mut v) in local {
-            g.entry(k).or_default().append(&mut v);
+    /// Fresh recorder with explicit epoch geometry (mostly for tests).
+    pub fn with_epochs(epoch_micros: u64, epoch_slots: usize) -> Metrics {
+        Metrics {
+            start: Instant::now(),
+            epoch_micros,
+            epoch_slots,
+            recorders: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The shared recorder for a kind, creating it on first use. Workers
+    /// cache the returned `Arc` so steady-state recording never touches the
+    /// registry lock.
+    pub fn recorder(&self, kind: OpKind) -> Arc<KindRecorder> {
+        let mut g = self.recorders.lock();
+        Arc::clone(g.entry(kind).or_insert_with(|| {
+            Arc::new(KindRecorder::new(kind, self.epoch_micros, self.epoch_slots))
+        }))
+    }
+
+    /// Record one execution at the current wall-clock offset.
+    pub fn record(&self, kind: OpKind, latency: Duration) {
+        let elapsed = self.start.elapsed().as_micros() as u64;
+        self.recorder(kind).record(elapsed, latency.as_micros() as u64);
+    }
+
+    /// Record one execution at an explicit wall-clock offset (deterministic
+    /// replay for tests and offline ingestion).
+    pub fn record_at(&self, kind: OpKind, elapsed_micros: u64, latency_micros: u64) {
+        self.recorder(kind).record(elapsed_micros, latency_micros);
     }
 
     /// Total recorded operations.
     pub fn total_ops(&self) -> usize {
-        self.samples.lock().values().map(|v| v.len()).sum()
+        self.recorders.lock().values().map(|r| r.hist.count() as usize).sum()
     }
 
     /// Statistics for one kind, if any samples exist.
     pub fn stats(&self, kind: OpKind) -> Option<KindStats> {
-        let g = self.samples.lock();
-        let samples = g.get(&kind)?;
-        Some(compute(samples))
+        let rec = self.recorders.lock().get(&kind).cloned()?;
+        let count = rec.hist.count();
+        if count == 0 {
+            return None;
+        }
+        let q = |p: f64| Duration::from_micros(rec.hist.value_at_quantile(p));
+        let total = rec.total_micros.load(Ordering::Relaxed);
+        Some(KindStats {
+            count: count as usize,
+            mean: Duration::from_micros(total / count),
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            max: Duration::from_micros(rec.hist.max()),
+            total: Duration::from_micros(total),
+        })
+    }
+
+    /// Aggregated operator counters for one kind, if any were recorded.
+    pub fn profile(&self, kind: OpKind) -> Option<ProfileSnapshot> {
+        let rec = self.recorders.lock().get(&kind).cloned()?;
+        Some(rec.profile.snapshot())
     }
 
     /// All kinds with samples, sorted for stable reporting.
     pub fn kinds(&self) -> Vec<OpKind> {
-        let g = self.samples.lock();
-        let mut kinds: Vec<OpKind> = g.keys().copied().collect();
+        let g = self.recorders.lock();
+        let mut kinds: Vec<OpKind> =
+            g.iter().filter(|(_, r)| r.hist.count() > 0).map(|(k, _)| *k).collect();
         kinds.sort_by_key(|k| match *k {
             OpKind::Complex(n) => (0, n),
             OpKind::Short(n) => (1, n),
@@ -78,49 +209,65 @@ impl Metrics {
         kinds
     }
 
-    /// Latency-stability check over the complex reads: the p99 of the
-    /// second half of samples must not exceed `factor ×` the p99 of the
-    /// first half (steady state, §4).
-    pub fn complex_reads_steady(&self, factor: f64) -> bool {
-        let g = self.samples.lock();
-        for (kind, samples) in g.iter() {
-            if !matches!(kind, OpKind::Complex(_)) || samples.len() < 8 {
-                continue;
+    /// Per-epoch steady-state verdicts for every complex-read kind with at
+    /// least two non-empty wall-clock epochs. The baseline is the first
+    /// non-empty epoch's p99; a later epoch fails if its p99 exceeds
+    /// `factor ×` the baseline.
+    pub fn epoch_verdicts(&self, factor: f64) -> Vec<(OpKind, Vec<EpochVerdict>)> {
+        let recorders: Vec<(OpKind, Arc<KindRecorder>)> = {
+            let g = self.recorders.lock();
+            let mut v: Vec<(OpKind, Arc<KindRecorder>)> =
+                g.iter().map(|(k, r)| (*k, Arc::clone(r))).collect();
+            v.sort_by_key(|(k, _)| match *k {
+                OpKind::Complex(n) => n,
+                _ => usize::MAX,
+            });
+            v
+        };
+        let mut out = Vec::new();
+        for (kind, rec) in recorders {
+            let Some(epochs) = rec.epochs() else { continue };
+            let windows = epochs.non_empty();
+            if windows.len() < 2 || epochs.count() < 8 {
+                continue; // not enough time spread to judge
             }
-            let mid = samples.len() / 2;
-            let p99_first = percentile(&samples[..mid], 0.99);
-            let p99_second = percentile(&samples[mid..], 0.99);
-            if p99_second as f64 > factor * p99_first.max(1) as f64 {
-                return false;
-            }
+            let baseline = windows[0].1.value_at_quantile(0.99).max(1);
+            let verdicts: Vec<EpochVerdict> = windows
+                .iter()
+                .enumerate()
+                .map(|(i, (epoch, hist))| {
+                    let p99 = hist.value_at_quantile(0.99);
+                    EpochVerdict {
+                        epoch: *epoch,
+                        count: hist.count(),
+                        p99_micros: p99,
+                        ok: i == 0 || p99 as f64 <= factor * baseline as f64,
+                    }
+                })
+                .collect();
+            out.push((kind, verdicts));
         }
-        true
+        out
+    }
+
+    /// Latency-stability check over the complex reads: for each kind, the
+    /// p99 of every later wall-clock epoch must stay within `factor ×` the
+    /// p99 of the first non-empty epoch (steady state, §4). Judged on time
+    /// windows, so the order in which worker threads interleave their
+    /// recordings cannot change the verdict.
+    pub fn complex_reads_steady(&self, factor: f64) -> bool {
+        self.epoch_verdicts(factor).iter().all(|(_, verdicts)| verdicts.iter().all(|v| v.ok))
     }
 }
 
-fn compute(samples: &[u64]) -> KindStats {
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let count = sorted.len();
-    let sum: u64 = sorted.iter().sum();
-    let pct = |p: f64| Duration::from_micros(percentile(&sorted, p));
-    KindStats {
-        count,
-        mean: Duration::from_micros(if count == 0 { 0 } else { sum / count as u64 }),
-        p50: pct(0.50),
-        p95: pct(0.95),
-        p99: pct(0.99),
-        max: Duration::from_micros(sorted.last().copied().unwrap_or(0)),
-    }
-}
-
-/// Nearest-rank percentile over (possibly unsorted) samples.
-fn percentile(samples: &[u64], p: f64) -> u64 {
-    if samples.is_empty() {
+/// Nearest-rank percentile over **already sorted** samples — no clone, no
+/// re-sort. Callers sort once and query many percentiles; sortedness is
+/// checked in debug builds.
+pub fn percentile_sorted(sorted: &[u64], p: f64) -> u64 {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    if sorted.is_empty() {
         return 0;
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
     let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
@@ -130,18 +277,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn stats_compute_percentiles() {
+    fn stats_compute_percentiles_within_histogram_error() {
         let m = Metrics::new();
         for i in 1..=100u64 {
             m.record(OpKind::Complex(2), Duration::from_micros(i));
         }
         let s = m.stats(OpKind::Complex(2)).unwrap();
         assert_eq!(s.count, 100);
-        assert_eq!(s.p50, Duration::from_micros(50));
-        assert_eq!(s.p95, Duration::from_micros(95));
-        assert_eq!(s.p99, Duration::from_micros(99));
-        assert_eq!(s.max, Duration::from_micros(100));
+        // Mean, max and total are exact; percentiles carry the histogram's
+        // bounded relative error (≤ 1/16 of the value).
         assert_eq!(s.mean, Duration::from_micros(50));
+        assert_eq!(s.max, Duration::from_micros(100));
+        assert_eq!(s.total, Duration::from_micros(5050));
+        let close = |got: Duration, exact: u64| {
+            let got = got.as_micros() as u64;
+            assert!(
+                got >= exact && got <= exact + exact / 16 + 1,
+                "estimate {got} vs exact {exact}"
+            );
+        };
+        close(s.p50, 50);
+        close(s.p95, 95);
+        close(s.p99, 99);
     }
 
     #[test]
@@ -151,29 +308,68 @@ mod tests {
     }
 
     #[test]
-    fn merge_combines_thread_local_batches() {
-        let m = Metrics::new();
-        let mut local = HashMap::new();
-        local.insert(OpKind::Update(6), vec![10, 20, 30]);
-        m.merge(local);
-        m.record(OpKind::Update(6), Duration::from_micros(40));
-        assert_eq!(m.stats(OpKind::Update(6)).unwrap().count, 4);
-        assert_eq!(m.total_ops(), 4);
+    fn percentile_sorted_is_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_sorted(&sorted, 0.50), 50);
+        assert_eq!(percentile_sorted(&sorted, 0.99), 99);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 100);
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1);
+        assert_eq!(percentile_sorted(&[], 0.5), 0);
     }
 
     #[test]
-    fn steady_state_detects_degradation() {
-        let m = Metrics::new();
-        // Stable stream.
+    #[should_panic(expected = "sorted")]
+    #[cfg(debug_assertions)]
+    fn percentile_sorted_rejects_unsorted_input_in_debug() {
+        percentile_sorted(&[3, 1, 2], 0.5);
+    }
+
+    #[test]
+    fn steady_state_detects_degradation_across_epochs() {
+        let m = Metrics::with_epochs(1_000_000, 8);
+        // Epoch 0: fast. Epoch 1: 10× slower — a genuine degradation.
         for _ in 0..50 {
-            m.record(OpKind::Complex(9), Duration::from_micros(100));
+            m.record_at(OpKind::Complex(9), 0, 100);
         }
-        assert!(m.complex_reads_steady(2.0));
-        // Degrading stream: second half 10x slower.
+        assert!(m.complex_reads_steady(2.0), "single epoch cannot fail");
         for _ in 0..50 {
-            m.record(OpKind::Complex(9), Duration::from_micros(1_000));
+            m.record_at(OpKind::Complex(9), 1_000_000, 1_000);
         }
         assert!(!m.complex_reads_steady(2.0));
+        let verdicts = m.epoch_verdicts(2.0);
+        assert_eq!(verdicts.len(), 1);
+        let (kind, epochs) = &verdicts[0];
+        assert_eq!(*kind, OpKind::Complex(9));
+        assert_eq!(epochs.len(), 2);
+        assert!(epochs[0].ok && !epochs[1].ok);
+    }
+
+    #[test]
+    fn steady_state_is_immune_to_merge_order() {
+        // Regression: the old recorder concatenated per-worker sample
+        // batches and split the vector in half, so a fast worker publishing
+        // before a slow one looked like degradation even when both ran at a
+        // constant rate for the whole run. Judged on wall-clock epochs the
+        // same recordings are steady.
+        let m = Metrics::with_epochs(1_000_000, 8);
+        // Worker A (fast ops, whole run) publishes first...
+        for epoch in [0u64, 1] {
+            for _ in 0..25 {
+                m.record_at(OpKind::Complex(3), epoch * 1_000_000, 100);
+            }
+        }
+        // ...then worker B (slow ops, whole run).
+        for epoch in [0u64, 1] {
+            for _ in 0..25 {
+                m.record_at(OpKind::Complex(3), epoch * 1_000_000, 1_000);
+            }
+        }
+        // Old verdict: first half p99=100, second half p99=1000 → "degraded".
+        // Both epochs contain the same latency mix → actually steady.
+        assert!(m.complex_reads_steady(2.0));
+        for (_, verdicts) in m.epoch_verdicts(2.0) {
+            assert!(verdicts.iter().all(|v| v.ok));
+        }
     }
 
     #[test]
@@ -187,5 +383,32 @@ mod tests {
             m.kinds(),
             vec![OpKind::Complex(2), OpKind::Complex(14), OpKind::Short(3), OpKind::Update(1)]
         );
+    }
+
+    #[test]
+    fn per_kind_profiles_aggregate_operator_ticks() {
+        let m = Metrics::new();
+        let rec = m.recorder(OpKind::Complex(5));
+        {
+            let _guard = QueryProfile::enter(Arc::clone(rec.profile()));
+            snb_obs::tick_rows_scanned(7);
+            snb_obs::tick_index_probes(3);
+        }
+        let p = m.profile(OpKind::Complex(5)).unwrap();
+        assert_eq!(p.rows_scanned, 7);
+        assert_eq!(p.index_probes, 3);
+        assert!(m.profile(OpKind::Complex(6)).is_none());
+    }
+
+    #[test]
+    fn recorder_is_shared_and_cacheable() {
+        let m = Metrics::new();
+        let a = m.recorder(OpKind::Short(2));
+        let b = m.recorder(OpKind::Short(2));
+        assert!(Arc::ptr_eq(&a, &b));
+        a.record(0, 10);
+        b.record(0, 20);
+        assert_eq!(m.stats(OpKind::Short(2)).unwrap().count, 2);
+        assert_eq!(m.total_ops(), 2);
     }
 }

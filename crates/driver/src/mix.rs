@@ -149,11 +149,7 @@ mod tests {
                     _ => false,
                 })
                 .count() as u64;
-            assert!(
-                got.abs_diff(expected) <= 1,
-                "Q{}: got {got}, expected ~{expected}",
-                qi + 1
-            );
+            assert!(got.abs_diff(expected) <= 1, "Q{}: got {got}, expected ~{expected}", qi + 1);
         }
     }
 
@@ -164,9 +160,7 @@ mod tests {
         let bindings = snb_params::curated_bindings(ds, 10);
         let mix = build_mix(ds, &bindings);
         let count = |n: usize| {
-            mix.iter()
-                .filter(|w| matches!(&w.op, Operation::Complex(q) if q.number() == n))
-                .count()
+            mix.iter().filter(|w| matches!(&w.op, Operation::Complex(q) if q.number() == n)).count()
         };
         let q8 = count(8);
         for q in [1, 2, 3, 4, 5, 6, 7, 9, 10, 11, 12, 13, 14] {

@@ -6,12 +6,19 @@
 //! This module renders a [`crate::scheduler::RunReport`] into that
 //! disclosure: the headline acceleration factor plus the per-query latency
 //! table, the workload composition against the §4 target CPU split
-//! (10 % updates / 50 % complex / 40 % short), and the steady-state verdict.
+//! (10 % updates / 50 % complex / 40 % short), the steady-state verdict,
+//! scheduler accounting, and store counters. [`full_disclosure_json`]
+//! emits the same data machine-readable (schema documented in DESIGN.md).
 
 use crate::connector::OpKind;
 use crate::scheduler::RunReport;
+use snb_obs::Json;
 use std::fmt::Write as _;
 use std::time::Duration;
+
+/// Steady-state factor used by reports: a later epoch's p99 may exceed the
+/// baseline epoch's p99 by at most this factor.
+pub const STEADY_FACTOR: f64 = 4.0;
 
 /// Workload-composition summary by operation class.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,14 +31,15 @@ pub struct Composition {
     pub short_share: f64,
 }
 
-/// Compute the time-share composition of a run.
+/// Compute the time-share composition of a run from the exact per-kind
+/// time totals.
 pub fn composition(report: &RunReport) -> Composition {
     let mut update = 0.0;
     let mut complex = 0.0;
     let mut short = 0.0;
     for kind in report.metrics.kinds() {
         let s = report.metrics.stats(kind).expect("kind has stats");
-        let total = s.mean.as_secs_f64() * s.count as f64;
+        let total = s.total.as_secs_f64();
         match kind {
             OpKind::Update(_) => update += total,
             OpKind::Complex(_) => complex += total,
@@ -43,6 +51,14 @@ pub fn composition(report: &RunReport) -> Composition {
         update_share: update / sum,
         complex_share: complex / sum,
         short_share: short / sum,
+    }
+}
+
+fn kind_label(kind: OpKind) -> String {
+    match kind {
+        OpKind::Complex(n) => format!("Q{n}"),
+        OpKind::Short(n) => format!("S{n}"),
+        OpKind::Update(n) => format!("U{n}"),
     }
 }
 
@@ -78,16 +94,11 @@ pub fn full_disclosure(report: &RunReport) -> String {
     );
     for kind in report.metrics.kinds() {
         let s = report.metrics.stats(kind).expect("kind has stats");
-        let label = match kind {
-            OpKind::Complex(n) => format!("Q{n}"),
-            OpKind::Short(n) => format!("S{n}"),
-            OpKind::Update(n) => format!("U{n}"),
-        };
         let f = |d: Duration| format!("{:.1?}", d);
         let _ = writeln!(
             out,
             "  {:<6} {:>8} {:>12} {:>12} {:>12} {:>12}",
-            label,
+            kind_label(kind),
             s.count,
             f(s.mean),
             f(s.p50),
@@ -95,23 +106,128 @@ pub fn full_disclosure(report: &RunReport) -> String {
             f(s.max)
         );
     }
+
+    let _ = writeln!(out, "\nscheduler (per partition):");
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>8} {:>10} {:>14} {:>14}",
+        "partition", "ops", "gct waits", "gct wait (µs)", "slippage (µs)"
+    );
+    for p in &report.partitions {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>8} {:>10} {:>14} {:>14}",
+            p.partition, p.ops, p.gct_waits, p.gct_wait_micros, p.slippage_micros
+        );
+    }
+
+    if !report.connector_counters.is_empty() {
+        let _ = writeln!(out, "\nstore counters:");
+        for (name, value) in &report.connector_counters {
+            let _ = writeln!(out, "  {name:<28} {value}");
+        }
+    }
     out
+}
+
+/// Render the full-disclosure report as JSON (schema in DESIGN.md).
+pub fn full_disclosure_json(report: &RunReport) -> Json {
+    let comp = composition(report);
+    // Per-kind epoch verdicts for the complex reads, keyed by kind.
+    let verdicts: std::collections::HashMap<OpKind, Vec<crate::metrics::EpochVerdict>> =
+        report.metrics.epoch_verdicts(STEADY_FACTOR).into_iter().collect();
+
+    let queries: Vec<Json> = report
+        .metrics
+        .kinds()
+        .into_iter()
+        .map(|kind| {
+            let s = report.metrics.stats(kind).expect("kind has stats");
+            let mut q = Json::obj([
+                ("kind", Json::from(kind_label(kind))),
+                ("count", Json::from(s.count)),
+                ("total_micros", Json::from(s.total.as_micros() as u64)),
+                ("mean_micros", Json::from(s.mean.as_micros() as u64)),
+                ("p50_micros", Json::from(s.p50.as_micros() as u64)),
+                ("p95_micros", Json::from(s.p95.as_micros() as u64)),
+                ("p99_micros", Json::from(s.p99.as_micros() as u64)),
+                ("max_micros", Json::from(s.max.as_micros() as u64)),
+            ]);
+            if let Some(profile) = report.metrics.profile(kind) {
+                q.push_field(
+                    "operators",
+                    Json::obj(profile.fields().map(|(name, value)| (name, Json::from(value)))),
+                );
+            }
+            if let Some(epochs) = verdicts.get(&kind) {
+                q.push_field(
+                    "epochs",
+                    Json::arr(epochs.iter().map(|e| {
+                        Json::obj([
+                            ("epoch", Json::from(e.epoch)),
+                            ("count", Json::from(e.count)),
+                            ("p99_micros", Json::from(e.p99_micros)),
+                            ("steady", Json::from(e.ok)),
+                        ])
+                    })),
+                );
+            }
+            q
+        })
+        .collect();
+
+    let partitions = Json::arr(report.partitions.iter().map(|p| {
+        Json::obj([
+            ("partition", Json::from(p.partition)),
+            ("ops", Json::from(p.ops)),
+            ("gct_waits", Json::from(p.gct_waits)),
+            ("gct_wait_micros", Json::from(p.gct_wait_micros)),
+            ("slippage_micros", Json::from(p.slippage_micros)),
+            ("window_batches", Json::from(p.window_batches)),
+        ])
+    }));
+
+    let store_counters = Json::obj(
+        report.connector_counters.iter().map(|(name, value)| (name.clone(), Json::from(*value))),
+    );
+
+    Json::obj([
+        ("schema_version", Json::from(1u64)),
+        ("benchmark", Json::from("ldbc-snb-interactive")),
+        ("total_ops", Json::from(report.total_ops)),
+        ("wall_micros", Json::from(report.wall.as_micros() as u64)),
+        ("ops_per_second", Json::from(report.ops_per_second)),
+        ("sim_span_millis", Json::from(report.sim_span_millis)),
+        ("achieved_acceleration", Json::from(report.achieved_acceleration)),
+        ("steady", Json::from(report.steady)),
+        ("steady_factor", Json::from(STEADY_FACTOR)),
+        (
+            "composition",
+            Json::obj([
+                ("update_share", Json::from(comp.update_share)),
+                ("complex_share", Json::from(comp.complex_share)),
+                ("short_share", Json::from(comp.short_share)),
+            ]),
+        ),
+        ("queries", Json::Arr(queries)),
+        ("scheduler", Json::obj([("partitions", partitions)])),
+        ("store_counters", store_counters),
+    ])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::connector::StoreConnector;
-    use crate::scheduler::{run, DriverConfig};
     use crate::mix;
+    use crate::scheduler::{run, DriverConfig};
     use snb_queries::Engine;
     use std::sync::Arc;
 
     fn sample_report() -> RunReport {
-        let ds = snb_datagen::generate(
-            snb_datagen::GeneratorConfig::with_persons(300).activity(0.3),
-        )
-        .unwrap();
+        let ds =
+            snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(300).activity(0.3))
+                .unwrap();
         let bindings = snb_params::curated_bindings(&ds, 6);
         let items = mix::build_mix(&ds, &bindings);
         let store = Arc::new(snb_store::Store::new());
@@ -138,9 +254,38 @@ mod tests {
         assert!(text.contains("acceleration factor"));
         assert!(text.contains("time composition"));
         assert!(text.contains("per-query breakdown"));
+        assert!(text.contains("scheduler (per partition)"));
+        assert!(text.contains("store counters"));
+        assert!(text.contains("store.txn.commits"));
         // At least one of each class appears in the table.
         assert!(text.contains("Q8"), "complex reads missing:\n{text}");
         assert!(text.contains("U6"), "updates missing:\n{text}");
         assert!(text.contains("S1") || text.contains("S2"), "short reads missing");
+    }
+
+    #[test]
+    fn json_disclosure_is_machine_readable() {
+        let report = sample_report();
+        let json = full_disclosure_json(&report);
+        let text = json.render_pretty(2);
+        assert!(text.contains("\"benchmark\": \"ldbc-snb-interactive\""));
+        assert!(text.contains("\"queries\""));
+        assert!(text.contains("\"operators\""));
+        assert!(text.contains("\"rows_scanned\""));
+        assert!(text.contains("\"store.mvcc.versions_walked\""));
+        assert!(text.contains("\"gct_wait_micros\""));
+        // The acceptance bar: at least 5 complex queries report non-zero
+        // operator counters in the disclosure.
+        let with_operators = report
+            .metrics
+            .kinds()
+            .into_iter()
+            .filter(|k| matches!(k, OpKind::Complex(_)))
+            .filter(|&k| report.metrics.profile(k).is_some_and(|p| !p.is_zero()))
+            .count();
+        assert!(
+            with_operators >= 5,
+            "expected >=5 complex kinds with operator counters, got {with_operators}"
+        );
     }
 }

@@ -11,15 +11,17 @@
 
 use crate::connector::{Connector, OpKind, Operation};
 use crate::dependency::Gds;
-use crate::metrics::Metrics;
+use crate::metrics::{KindRecorder, Metrics};
 use crate::mix::WorkItem;
 use parking_lot::Mutex;
 use snb_core::rng::{Rng, Stream};
 use snb_core::time::SimTime;
 use snb_core::{SnbError, SnbResult};
+use snb_obs::QueryProfile;
 use snb_queries::params::ShortQuery;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How operations are scheduled within a partition.
@@ -68,6 +70,24 @@ impl Default for DriverConfig {
     }
 }
 
+/// Scheduler-side runtime accounting for one partition thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Partition index.
+    pub partition: usize,
+    /// Operations this partition executed (including walk short reads).
+    pub ops: u64,
+    /// Times the partition blocked on the Fig. 8 GCT loop.
+    pub gct_waits: u64,
+    /// Total wall time spent blocked on the GCT, in microseconds.
+    pub gct_wait_micros: u64,
+    /// Schedule slippage under pacing: accumulated lateness of operations
+    /// against their due time, in microseconds (0 in throughput mode).
+    pub slippage_micros: u64,
+    /// Windows executed (windowed mode only).
+    pub window_batches: u64,
+}
+
 /// Result of a benchmark run.
 #[derive(Debug)]
 pub struct RunReport {
@@ -83,8 +103,14 @@ pub struct RunReport {
     pub sim_span_millis: i64,
     /// Achieved acceleration: simulation time / real time.
     pub achieved_acceleration: f64,
-    /// Whether complex-read p99 latencies stayed stable (steady state).
+    /// Whether complex-read p99 latencies stayed stable (steady state),
+    /// judged per wall-clock epoch.
     pub steady: bool,
+    /// Per-partition scheduler accounting, sorted by partition index.
+    pub partitions: Vec<PartitionStats>,
+    /// Connector-side runtime counters (e.g. the store's MVCC/WAL
+    /// counters), captured when the run finished.
+    pub connector_counters: Vec<(String, u64)>,
 }
 
 /// Execute a workload against a connector.
@@ -105,6 +131,7 @@ pub fn run(
     let metrics = Metrics::new();
     let abort = AtomicBool::new(false);
     let first_error: Mutex<Option<SnbError>> = Mutex::new(None);
+    let partition_stats: Mutex<Vec<PartitionStats>> = Mutex::new(Vec::new());
     let start = Instant::now();
 
     std::thread::scope(|scope| {
@@ -113,6 +140,7 @@ pub fn run(
             let metrics = &metrics;
             let abort = &abort;
             let first_error = &first_error;
+            let partition_stats = &partition_stats;
             let config = config.clone();
             scope.spawn(move || {
                 let worker = Worker {
@@ -124,10 +152,18 @@ pub fn run(
                     start,
                     abort,
                     metrics,
-                    local: HashMap::new(),
+                    recorders: HashMap::new(),
+                    stats: PartitionStats {
+                        partition: pi,
+                        ops: 0,
+                        gct_waits: 0,
+                        gct_wait_micros: 0,
+                        slippage_micros: 0,
+                        window_batches: 0,
+                    },
                     walk_counter: (pi as u64) << 40,
                 };
-                if let Err(e) = worker.run(queue) {
+                if let Err(e) = worker.run(queue, partition_stats) {
                     abort.store(true, Ordering::Release);
                     first_error.lock().get_or_insert(e);
                 }
@@ -142,6 +178,8 @@ pub fn run(
     let total_ops = metrics.total_ops();
     let sim_span_millis = sim_end.since(sim_start);
     let steady = metrics.complex_reads_steady(4.0);
+    let mut partitions = partition_stats.into_inner();
+    partitions.sort_by_key(|s| s.partition);
     Ok(RunReport {
         wall,
         total_ops,
@@ -150,6 +188,8 @@ pub fn run(
         achieved_acceleration: sim_span_millis as f64 / wall.as_millis().max(1) as f64,
         metrics,
         steady,
+        partitions,
+        connector_counters: connector.counters(),
     })
 }
 
@@ -187,20 +227,23 @@ struct Worker<'a> {
     start: Instant,
     abort: &'a AtomicBool,
     metrics: &'a Metrics,
-    local: HashMap<OpKind, Vec<u64>>,
+    /// Per-kind recorder handles, cached so the hot path never takes the
+    /// metrics registry lock (only atomic increments on the recorder).
+    recorders: HashMap<OpKind, Arc<KindRecorder>>,
+    stats: PartitionStats,
     walk_counter: u64,
 }
 
 impl Worker<'_> {
-    fn run(mut self, queue: Vec<&WorkItem>) -> SnbResult<()> {
+    fn run(mut self, queue: Vec<&WorkItem>, out: &Mutex<Vec<PartitionStats>>) -> SnbResult<()> {
         let result = match self.config.mode {
             ExecutionMode::Parallel => self.run_parallel(&queue),
             ExecutionMode::Windowed { window_millis } => self.run_windowed(&queue, window_millis),
         };
         self.lds.finish();
-        // Publish thread-local samples regardless of outcome.
-        let local = std::mem::take(&mut self.local);
-        self.metrics.merge(local);
+        // Publish scheduler accounting regardless of outcome (latencies are
+        // recorded directly into the shared per-kind recorders).
+        out.lock().push(self.stats);
         result
     }
 
@@ -236,6 +279,7 @@ impl Worker<'_> {
                 j += 1;
             }
             let batch = &queue[i..j];
+            self.stats.window_batches += 1;
             // Initiate the whole window, then one GCT synchronization for
             // its maximum dependency — the once-per-window sync that
             // Windowed Execution buys (§4.2).
@@ -260,12 +304,17 @@ impl Worker<'_> {
     }
 
     /// Fig. 8's `while(operation.DEP < GDS.GCT) wait` (with the comparison
-    /// the right way around).
-    fn wait_for_gct(&self, dep: SimTime) {
+    /// the right way around). Time spent blocked here is the price of
+    /// dependent execution, so it is accounted per partition.
+    fn wait_for_gct(&mut self, dep: SimTime) {
+        if self.gds.gct() >= dep {
+            return;
+        }
+        let t0 = Instant::now();
         let mut spins = 0u32;
         while self.gds.gct() < dep {
             if self.abort.load(Ordering::Acquire) {
-                return;
+                break;
             }
             spins += 1;
             if spins < 64 {
@@ -274,13 +323,21 @@ impl Worker<'_> {
                 std::thread::yield_now();
             }
         }
+        self.stats.gct_waits += 1;
+        self.stats.gct_wait_micros += t0.elapsed().as_micros() as u64;
     }
 
     /// Fig. 8's `while(operation.DUE < now()) wait`: pace to the configured
-    /// acceleration factor.
-    fn pace(&self, due: SimTime) {
+    /// acceleration factor. An operation whose due time has already passed
+    /// is counted as schedule slippage.
+    fn pace(&mut self, due: SimTime) {
         let Some(accel) = self.config.acceleration else { return };
         let target = Duration::from_millis((due.since(self.sim_start) as f64 / accel) as u64);
+        let now = self.start.elapsed();
+        if now > target {
+            self.stats.slippage_micros += (now - target).as_micros() as u64;
+            return;
+        }
         loop {
             let elapsed = self.start.elapsed();
             if elapsed >= target {
@@ -297,13 +354,25 @@ impl Worker<'_> {
         }
     }
 
+    fn recorder(&mut self, kind: OpKind) -> Arc<KindRecorder> {
+        if let Some(rec) = self.recorders.get(&kind) {
+            return Arc::clone(rec);
+        }
+        let rec = self.metrics.recorder(kind);
+        self.recorders.insert(kind, Arc::clone(&rec));
+        rec
+    }
+
     fn execute_timed(&mut self, op: &Operation) -> SnbResult<crate::connector::OpOutcome> {
+        let rec = self.recorder(op.kind());
+        // Operator counters tick into the kind's shared profile while the
+        // connector runs the operation.
+        let _scope = QueryProfile::enter(Arc::clone(rec.profile()));
         let t0 = Instant::now();
         let outcome = self.connector.execute(op)?;
-        self.local
-            .entry(op.kind())
-            .or_default()
-            .push(t0.elapsed().as_micros() as u64);
+        let latency = t0.elapsed().as_micros() as u64;
+        rec.record(self.start.elapsed().as_micros() as u64, latency);
+        self.stats.ops += 1;
         Ok(outcome)
     }
 
@@ -321,13 +390,11 @@ impl Worker<'_> {
             // Alternate between profile-side and post-side lookups,
             // whichever has a live seed.
             let q = match (person, message) {
-                (Some(p), _) if rng.chance(0.5) || message.is_none() => {
-                    match rng.below(3) {
-                        0 => ShortQuery::S1(p),
-                        1 => ShortQuery::S2(p),
-                        _ => ShortQuery::S3(p),
-                    }
-                }
+                (Some(p), _) if rng.chance(0.5) || message.is_none() => match rng.below(3) {
+                    0 => ShortQuery::S1(p),
+                    1 => ShortQuery::S2(p),
+                    _ => ShortQuery::S3(p),
+                },
                 (_, Some(m)) => match rng.below(4) {
                     0 => ShortQuery::S4(m),
                     1 => ShortQuery::S5(m),
@@ -425,17 +492,10 @@ mod tests {
         let accel = span as f64 / 300.0; // target ~300ms wall
         let store = loaded_store(ds);
         let conn = StoreConnector::new(store, Engine::Intended);
-        let config = DriverConfig {
-            partitions: 2,
-            acceleration: Some(accel),
-            ..DriverConfig::default()
-        };
+        let config =
+            DriverConfig { partitions: 2, acceleration: Some(accel), ..DriverConfig::default() };
         let report = run(&items, &conn, &config).unwrap();
-        assert!(
-            report.wall >= Duration::from_millis(250),
-            "pacing ignored: {:?}",
-            report.wall
-        );
+        assert!(report.wall >= Duration::from_millis(250), "pacing ignored: {:?}", report.wall);
         let ratio = report.achieved_acceleration / accel;
         assert!((0.5..=1.1).contains(&ratio), "achieved/target {ratio}");
     }
@@ -454,6 +514,30 @@ mod tests {
             .unwrap()
             .ops_per_second;
         assert!(t4 > 2.0 * t1, "1 partition: {t1:.0} ops/s, 4 partitions: {t4:.0} ops/s");
+    }
+
+    #[test]
+    fn report_includes_partition_stats_and_store_counters() {
+        let ds = dataset();
+        let items = mix::updates_only(ds);
+        let store = loaded_store(ds);
+        let conn = StoreConnector::new(store, Engine::Intended);
+        let config = DriverConfig { partitions: 3, ..DriverConfig::default() };
+        let report = run(&items, &conn, &config).unwrap();
+        assert_eq!(report.partitions.len(), 3);
+        assert_eq!(
+            report.partitions.iter().map(|p| p.partition).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        let ops: u64 = report.partitions.iter().map(|p| p.ops).sum();
+        assert_eq!(ops as usize, report.total_ops);
+        let commits = report
+            .connector_counters
+            .iter()
+            .find(|(name, _)| name == "store.txn.commits")
+            .map(|&(_, v)| v)
+            .expect("store counters exposed through the connector");
+        assert_eq!(commits as usize, items.len());
     }
 
     #[test]

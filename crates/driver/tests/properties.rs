@@ -19,18 +19,17 @@ struct Schedule {
 }
 
 fn schedule_strategy() -> impl Strategy<Value = Schedule> {
-    (2usize..5)
-        .prop_flat_map(|n_streams| {
-            let streams = proptest::collection::vec(
-                proptest::collection::vec(1i64..200, 1..20).prop_map(|mut v| {
-                    v.sort_unstable();
-                    v
-                }),
-                n_streams..=n_streams,
-            );
-            let completions = proptest::collection::vec(0..n_streams, 0..100);
-            (streams, completions).prop_map(|(streams, completions)| Schedule { streams, completions })
-        })
+    (2usize..5).prop_flat_map(|n_streams| {
+        let streams = proptest::collection::vec(
+            proptest::collection::vec(1i64..200, 1..20).prop_map(|mut v| {
+                v.sort_unstable();
+                v
+            }),
+            n_streams..=n_streams,
+        );
+        let completions = proptest::collection::vec(0..n_streams, 0..100);
+        (streams, completions).prop_map(|(streams, completions)| Schedule { streams, completions })
+    })
 }
 
 proptest! {

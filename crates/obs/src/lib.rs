@@ -1,0 +1,39 @@
+//! Observability primitives for the SNB interactive workload.
+//!
+//! The interactive benchmark's headline metric — the acceleration factor a
+//! system sustains — is only meaningful next to *how* it was achieved: query
+//! latency distributions, scheduler wait breakdowns, and store-level work
+//! counters (the paper's "full disclosure" reports). This crate provides the
+//! shared building blocks all layers record into:
+//!
+//! - [`LatencyHistogram`]: fixed-bucket log-linear histogram with atomic
+//!   buckets. Recording is a handful of relaxed atomic adds — no allocation,
+//!   no locks — so it can sit on the driver's hot path. Streaming quantiles
+//!   (p50/p95/p99), exact mean/max, and lossless merging.
+//! - [`EpochSeries`]: wall-clock bucketed histograms so steady-state is
+//!   judged on *time order*, independent of which worker thread's samples
+//!   merged first.
+//! - [`Counters`] / [`Counter`]: a registry of named atomic counters with
+//!   `#[inline]` increments, snapshotted in sorted name order. Names follow
+//!   `layer.subsystem.metric` (e.g. `store.mvcc.versions_walked`).
+//! - [`QueryProfile`]: per-operator tick counts (rows scanned, index probes,
+//!   neighbors expanded, versions walked, result rows) threaded to query
+//!   implementations through a thread-local scope so deep helpers tick it
+//!   without signature churn.
+//! - [`Json`]: a tiny dependency-free JSON document builder backing the
+//!   machine-readable full-disclosure export.
+
+mod counters;
+mod epoch;
+mod hist;
+mod json;
+mod profile;
+
+pub use counters::{Counter, Counters};
+pub use epoch::EpochSeries;
+pub use hist::LatencyHistogram;
+pub use json::Json;
+pub use profile::{
+    current_profile, tick_index_probes, tick_neighbors_expanded, tick_result_rows,
+    tick_rows_scanned, tick_versions_walked, ProfileGuard, ProfileSnapshot, QueryProfile,
+};

@@ -78,10 +78,8 @@ pub fn selection_variance(pc: &PcTable, selected: &[u64]) -> f64 {
         pc.rows.iter().map(|(p, c)| (*p, c)).collect();
     let mut total = 0.0;
     for col in 0..pc.columns.len() {
-        let vals: Vec<f64> = selected
-            .iter()
-            .filter_map(|p| index.get(p).map(|c| c[col] as f64))
-            .collect();
+        let vals: Vec<f64> =
+            selected.iter().filter_map(|p| index.get(p).map(|c| c[col] as f64)).collect();
         if vals.is_empty() {
             continue;
         }

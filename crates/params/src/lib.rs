@@ -161,10 +161,7 @@ fn build(ds: &Dataset, k: usize, one_hop: &[u64], two_hop: &[u64]) -> Bindings {
                     7 => ComplexQuery::Q7(Q7Params { person: p1(i) }),
                     8 => ComplexQuery::Q8(Q8Params { person: p1(i) }),
                     9 => ComplexQuery::Q9(Q9Params { person: p2(i), max_date: split }),
-                    10 => ComplexQuery::Q10(Q10Params {
-                        person: p2(i),
-                        month: (i % 12 + 1) as u8,
-                    }),
+                    10 => ComplexQuery::Q10(Q10Params { person: p2(i), month: (i % 12 + 1) as u8 }),
                     11 => {
                         let person = p2(i);
                         ComplexQuery::Q11(Q11Params {
@@ -275,9 +272,6 @@ mod tests {
             uniform_var += curation::selection_variance(&pc, &sample);
         }
         uniform_var /= 10.0;
-        assert!(
-            curated_var < uniform_var,
-            "curated {curated_var:.1} vs uniform {uniform_var:.1}"
-        );
+        assert!(curated_var < uniform_var, "curated {curated_var:.1} vs uniform {uniform_var:.1}");
     }
 }

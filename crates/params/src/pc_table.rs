@@ -99,9 +99,7 @@ pub fn pc_one_hop(stats: &PersonStats) -> PcTable {
     PcTable {
         columns: vec!["friends", "friend_messages"],
         rows: (0..stats.friends.len() as u64)
-            .map(|p| {
-                (p, vec![stats.friends[p as usize], stats.friend_messages[p as usize]])
-            })
+            .map(|p| (p, vec![stats.friends[p as usize], stats.friend_messages[p as usize]]))
             .collect(),
     }
 }
@@ -114,14 +112,7 @@ pub fn pc_two_hop(stats: &PersonStats) -> PcTable {
         rows: (0..stats.friends.len() as u64)
             .map(|p| {
                 let i = p as usize;
-                (
-                    p,
-                    vec![
-                        stats.friends[i],
-                        stats.friends_of_friends[i],
-                        stats.two_hop_messages[i],
-                    ],
-                )
+                (p, vec![stats.friends[i], stats.friends_of_friends[i], stats.two_hop_messages[i]])
             })
             .collect(),
     }
@@ -143,8 +134,7 @@ mod tests {
         // Brute-force check for a handful of persons.
         let adj = snb_datagen::activity::build_adjacency(ds.persons.len(), &ds.knows);
         for p in [0usize, 7, 100, 250] {
-            let friends: std::collections::HashSet<u32> =
-                adj[p].iter().map(|&(f, _)| f).collect();
+            let friends: std::collections::HashSet<u32> = adj[p].iter().map(|&(f, _)| f).collect();
             assert_eq!(stats.friends[p], friends.len() as u64);
             let mut fof = std::collections::HashSet::new();
             for &f in &friends {
@@ -155,11 +145,7 @@ mod tests {
                 }
             }
             assert_eq!(stats.friends_of_friends[p], fof.len() as u64, "person {p}");
-            let msg_count = ds
-                .posts
-                .iter()
-                .filter(|m| m.author.index() == p)
-                .count()
+            let msg_count = ds.posts.iter().filter(|m| m.author.index() == p).count()
                 + ds.comments.iter().filter(|c| c.author.index() == p).count();
             assert_eq!(stats.messages[p], msg_count as u64);
         }

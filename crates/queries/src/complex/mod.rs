@@ -8,6 +8,11 @@
 //! other's oracle.
 
 pub mod q1;
+pub mod q10;
+pub mod q11;
+pub mod q12;
+pub mod q13;
+pub mod q14;
 pub mod q2;
 pub mod q3;
 pub mod q4;
@@ -16,11 +21,6 @@ pub mod q6;
 pub mod q7;
 pub mod q8;
 pub mod q9;
-pub mod q10;
-pub mod q11;
-pub mod q12;
-pub mod q13;
-pub mod q14;
 
 use crate::engine::Engine;
 use crate::params::ComplexQuery;
@@ -29,7 +29,14 @@ use snb_store::Snapshot;
 /// Execute any complex query; returns the number of result rows (the
 /// uniform interface the workload driver uses — latency is what the
 /// benchmark measures, the rows themselves are checked by tests).
+/// Result-row counts tick the current [`snb_obs::QueryProfile`] scope.
 pub fn run_complex(snap: &Snapshot<'_>, engine: Engine, q: &ComplexQuery) -> usize {
+    let rows = dispatch(snap, engine, q);
+    snb_obs::tick_result_rows(rows as u64);
+    rows
+}
+
+fn dispatch(snap: &Snapshot<'_>, engine: Engine, q: &ComplexQuery) -> usize {
     match q {
         ComplexQuery::Q1(p) => q1::run(snap, engine, p).len(),
         ComplexQuery::Q2(p) => q2::run(snap, engine, p).len(),

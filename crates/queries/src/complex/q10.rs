@@ -76,11 +76,7 @@ fn score_one(common: i64, total: i64) -> i64 {
 }
 
 /// Intended: per candidate, scan their message index counting posts.
-fn intended(
-    snap: &Snapshot<'_>,
-    cands: &[u64],
-    interests: &HashSet<TagId>,
-) -> HashMap<u64, i64> {
+fn intended(snap: &Snapshot<'_>, cands: &[u64], interests: &HashSet<TagId>) -> HashMap<u64, i64> {
     let mut scores = HashMap::with_capacity(cands.len());
     for &c in cands {
         let mut common = 0i64;
@@ -192,7 +188,9 @@ mod tests {
         let snap = f.store.snapshot();
         let rows = run(&snap, Engine::Intended, &params());
         for w in rows.windows(2) {
-            assert!(w[0].score > w[1].score || (w[0].score == w[1].score && w[0].person < w[1].person));
+            assert!(
+                w[0].score > w[1].score || (w[0].score == w[1].score && w[0].person < w[1].person)
+            );
         }
     }
 }

@@ -64,8 +64,11 @@ pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q11Params) -> Vec<Q11Row> {
         }
     }
     rows.sort_by(|a, b| {
-        (a.work_from, a.person, std::cmp::Reverse(&a.company))
-            .cmp(&(b.work_from, b.person, std::cmp::Reverse(&b.company)))
+        (a.work_from, a.person, std::cmp::Reverse(&a.company)).cmp(&(
+            b.work_from,
+            b.person,
+            std::cmp::Reverse(&b.company),
+        ))
     });
     rows.truncate(LIMIT);
     rows

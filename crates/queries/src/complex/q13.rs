@@ -7,9 +7,9 @@ use crate::engine::Engine;
 use crate::params::Q13Params;
 use snb_core::PersonId;
 use snb_store::Snapshot;
-use std::collections::{HashMap, HashSet};
 #[cfg(test)]
 use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet};
 
 /// Execute Q13; returns the path length, 0 for identical endpoints, or −1.
 pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q13Params) -> i32 {
@@ -121,10 +121,8 @@ mod tests {
         let n = f.ds.persons.len() as u64;
         let mut rng = Rng::for_entity(11, Stream::Misc, 0);
         for _ in 0..25 {
-            let p = Q13Params {
-                person_x: PersonId(rng.below(n)),
-                person_y: PersonId(rng.below(n)),
-            };
+            let p =
+                Q13Params { person_x: PersonId(rng.below(n)), person_y: PersonId(rng.below(n)) };
             let reference = plain_bfs(&snap, p.person_x, p.person_y);
             assert_eq!(run(&snap, Engine::Intended, &p), reference, "{p:?}");
             assert_eq!(run(&snap, Engine::Naive, &p), reference, "{p:?}");

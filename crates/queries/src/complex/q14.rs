@@ -33,30 +33,17 @@ pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q14Params) -> Vec<Q14Row> {
     let mut rows: Vec<Q14Row> = paths
         .into_iter()
         .map(|path| {
-            let weight = path
-                .windows(2)
-                .map(|w| pair_weight(snap, &mut cache, w[0], w[1]))
-                .sum();
+            let weight = path.windows(2).map(|w| pair_weight(snap, &mut cache, w[0], w[1])).sum();
             Q14Row { path: path.into_iter().map(PersonId).collect(), weight }
         })
         .collect();
-    rows.sort_by(|a, b| {
-        b.weight
-            .partial_cmp(&a.weight)
-            .unwrap()
-            .then_with(|| a.path.cmp(&b.path))
-    });
+    rows.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap().then_with(|| a.path.cmp(&b.path)));
     rows
 }
 
 /// Interaction weight between a pair of adjacent persons, symmetric.
 /// Cached per unordered pair.
-fn pair_weight(
-    snap: &Snapshot<'_>,
-    cache: &mut HashMap<(u64, u64), f64>,
-    a: u64,
-    b: u64,
-) -> f64 {
+fn pair_weight(snap: &Snapshot<'_>, cache: &mut HashMap<(u64, u64), f64>, a: u64, b: u64) -> f64 {
     let key = (a.min(b), a.max(b));
     if let Some(&w) = cache.get(&key) {
         return w;
@@ -177,10 +164,8 @@ mod tests {
         let n = f.ds.persons.len() as u64;
         let mut rng = Rng::for_entity(21, Stream::Misc, 0);
         for _ in 0..8 {
-            let p = Q14Params {
-                person_x: PersonId(rng.below(n)),
-                person_y: PersonId(rng.below(n)),
-            };
+            let p =
+                Q14Params { person_x: PersonId(rng.below(n)), person_y: PersonId(rng.below(n)) };
             let a = run(&snap, Engine::Intended, &p);
             let b = run(&snap, Engine::Naive, &p);
             assert_eq!(a, b, "{p:?}");
@@ -218,11 +203,8 @@ mod tests {
         let x = busy_person(f);
         let (_, two) = crate::helpers::two_hop(&snap, x);
         if let Some(&fof) = two.iter().next() {
-            let rows = run(
-                &snap,
-                Engine::Intended,
-                &Q14Params { person_x: x, person_y: PersonId(fof) },
-            );
+            let rows =
+                run(&snap, Engine::Intended, &Q14Params { person_x: x, person_y: PersonId(fof) });
             for w in rows.windows(2) {
                 assert!(w[0].weight >= w[1].weight);
             }
@@ -243,10 +225,10 @@ mod tests {
     #[test]
     fn comment_to_post_weighs_double() {
         // Unit-level check of the weight rule on a crafted store.
+        use snb_core::dict::names::Gender;
         use snb_core::schema::*;
         use snb_core::time::SimTime;
         use snb_core::update::UpdateOp;
-        use snb_core::dict::names::Gender;
         let s = snb_store::Store::new();
         let person = |id: u64| Person {
             id: PersonId(id),

@@ -146,10 +146,8 @@ mod tests {
     fn early_date_yields_fewer_results() {
         let f = fixture();
         let snap = f.store.snapshot();
-        let early = Q2Params {
-            person: busy_person(f),
-            max_date: snb_core::SimTime::from_ymd(2010, 2, 1),
-        };
+        let early =
+            Q2Params { person: busy_person(f), max_date: snb_core::SimTime::from_ymd(2010, 2, 1) };
         let rows = run(&snap, Engine::Intended, &early);
         assert!(rows.len() < LIMIT, "almost no content exists that early");
     }

@@ -37,7 +37,9 @@ pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q4Params) -> Vec<Q4Row> {
         .filter(|(tag, _)| !before.contains(tag))
         .map(|(tag, count)| Q4Row { tag: dicts.tags.tag(tag as usize).name.clone(), count })
         .collect();
-    rows.sort_by(|a, b| (std::cmp::Reverse(a.count), &a.tag).cmp(&(std::cmp::Reverse(b.count), &b.tag)));
+    rows.sort_by(|a, b| {
+        (std::cmp::Reverse(a.count), &a.tag).cmp(&(std::cmp::Reverse(b.count), &b.tag))
+    });
     rows.truncate(LIMIT);
     rows
 }
@@ -152,14 +154,13 @@ mod tests {
         // no results at all.
         let f = fixture();
         let snap = f.store.snapshot();
-        let loner = f
-            .ds
-            .persons
-            .iter()
-            .map(|p| p.id)
-            .find(|&id| snap.friends(id).is_empty());
+        let loner = f.ds.persons.iter().map(|p| p.id).find(|&id| snap.friends(id).is_empty());
         if let Some(loner) = loner {
-            let p = Q4Params { person: loner, start: SimTime::from_ymd(2010, 1, 1), duration_days: 1000 };
+            let p = Q4Params {
+                person: loner,
+                start: SimTime::from_ymd(2010, 1, 1),
+                duration_days: 1000,
+            };
             assert!(run(&snap, Engine::Intended, &p).is_empty());
         }
     }

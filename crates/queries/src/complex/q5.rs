@@ -86,8 +86,7 @@ fn naive(snap: &Snapshot<'_>, p: &Q5Params) -> HashMap<u64, u32> {
             }
         }
     }
-    let mut counts: HashMap<u64, u32> =
-        joiners.keys().map(|&f| (f, 0)).collect();
+    let mut counts: HashMap<u64, u32> = joiners.keys().map(|&f| (f, 0)).collect();
     for m in 0..snap.message_slots() as u64 {
         let Some(meta) = snap.message_meta(MessageId(m)) else { continue };
         if meta.reply_info.is_some() {
@@ -127,7 +126,9 @@ mod tests {
         let rows = run(&snap, Engine::Intended, &params());
         assert!(!rows.is_empty());
         for w in rows.windows(2) {
-            assert!(w[0].count > w[1].count || (w[0].count == w[1].count && w[0].forum < w[1].forum));
+            assert!(
+                w[0].count > w[1].count || (w[0].count == w[1].count && w[0].forum < w[1].forum)
+            );
         }
     }
 
@@ -136,14 +137,16 @@ mod tests {
         let f = fixture();
         let snap = f.store.snapshot();
         let person = busy_person(f);
-        let early = run(&snap, Engine::Intended, &Q5Params {
-            person,
-            min_date: SimTime::from_ymd(2010, 1, 1),
-        });
-        let late = run(&snap, Engine::Intended, &Q5Params {
-            person,
-            min_date: SimTime::from_ymd(2012, 12, 20),
-        });
+        let early = run(
+            &snap,
+            Engine::Intended,
+            &Q5Params { person, min_date: SimTime::from_ymd(2010, 1, 1) },
+        );
+        let late = run(
+            &snap,
+            Engine::Intended,
+            &Q5Params { person, min_date: SimTime::from_ymd(2012, 12, 20) },
+        );
         // With an early cutoff every join qualifies; with a very late one
         // almost none do.
         assert!(early.len() >= late.len());

@@ -42,12 +42,7 @@ pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q6Params) -> Vec<Q6Row> {
     rows
 }
 
-fn count_post(
-    snap: &Snapshot<'_>,
-    msg: MessageId,
-    anchor: u64,
-    counts: &mut HashMap<u64, u32>,
-) {
+fn count_post(snap: &Snapshot<'_>, msg: MessageId, anchor: u64, counts: &mut HashMap<u64, u32>) {
     let tags = snap.message_tags(msg);
     if tags.iter().any(|t| t.raw() == anchor) {
         for t in tags {

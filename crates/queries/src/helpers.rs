@@ -1,12 +1,19 @@
 //! Shared traversal and top-k helpers.
+//!
+//! These tick the current [`snb_obs::QueryProfile`] scope (neighbors
+//! expanded, rows scanned), so every query built on them reports operator
+//! counts without per-query instrumentation.
 
-use snb_store::Snapshot;
 use snb_core::PersonId;
+use snb_obs::{tick_neighbors_expanded, tick_rows_scanned};
+use snb_store::Snapshot;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 /// Direct friends of `p` as a set of raw person ids.
 pub fn friend_set(snap: &Snapshot<'_>, p: PersonId) -> HashSet<u64> {
-    snap.friends(p).into_iter().map(|(f, _)| f).collect()
+    let set: HashSet<u64> = snap.friends(p).into_iter().map(|(f, _)| f).collect();
+    tick_neighbors_expanded(set.len() as u64);
+    set
 }
 
 /// Friends and friends-of-friends of `p`, excluding `p` itself.
@@ -14,13 +21,16 @@ pub fn friend_set(snap: &Snapshot<'_>, p: PersonId) -> HashSet<u64> {
 pub fn two_hop(snap: &Snapshot<'_>, p: PersonId) -> (HashSet<u64>, HashSet<u64>) {
     let one: HashSet<u64> = friend_set(snap, p);
     let mut two = HashSet::new();
+    let mut expanded = 0u64;
     for &f in &one {
         for (ff, _) in snap.friends(PersonId(f)) {
+            expanded += 1;
             if ff != p.raw() && !one.contains(&ff) {
                 two.insert(ff);
             }
         }
     }
+    tick_neighbors_expanded(expanded);
     (one, two)
 }
 
@@ -31,12 +41,14 @@ pub fn bfs_within(snap: &Snapshot<'_>, start: PersonId, max_depth: u32) -> Vec<(
     dist.insert(start.raw(), 0);
     let mut queue = VecDeque::from([start.raw()]);
     let mut out = Vec::new();
+    let mut expanded = 0u64;
     while let Some(u) = queue.pop_front() {
         let d = dist[&u];
         if d == max_depth {
             continue;
         }
         for (v, _) in snap.friends(PersonId(u)) {
+            expanded += 1;
             if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
                 e.insert(d + 1);
                 out.push((v, d + 1));
@@ -44,6 +56,7 @@ pub fn bfs_within(snap: &Snapshot<'_>, start: PersonId, max_depth: u32) -> Vec<(
             }
         }
     }
+    tick_neighbors_expanded(expanded);
     out
 }
 
@@ -84,6 +97,7 @@ impl<K: Ord, V> TopK<K, V> {
 
     /// Offer an item.
     pub fn push(&mut self, key: K, value: V) {
+        tick_rows_scanned(1);
         if self.heap.len() < self.k {
             self.heap.push(KeyedEntry(key, value));
         } else if let Some(top) = self.heap.peek() {
@@ -136,7 +150,8 @@ mod tests {
         for (date, id) in [(10, 1), (30, 2), (20, 3), (30, 1)] {
             t.push((Reverse(date), id), ());
         }
-        let got: Vec<(i32, i32)> = t.into_sorted().into_iter().map(|((Reverse(d), i), _)| (d, i)).collect();
+        let got: Vec<(i32, i32)> =
+            t.into_sorted().into_iter().map(|((Reverse(d), i), _)| (d, i)).collect();
         assert_eq!(got, vec![(30, 1), (30, 2)]);
     }
 

@@ -235,7 +235,10 @@ mod tests {
 
     #[test]
     fn numbering_is_stable() {
-        assert_eq!(ComplexQuery::Q1(Q1Params { person: PersonId(0), first_name: "K".into() }).number(), 1);
+        assert_eq!(
+            ComplexQuery::Q1(Q1Params { person: PersonId(0), first_name: "K".into() }).number(),
+            1
+        );
         assert_eq!(
             ComplexQuery::Q14(Q14Params { person_x: PersonId(0), person_y: PersonId(1) }).number(),
             14

@@ -99,12 +99,8 @@ pub fn s3_friends(snap: &Snapshot<'_>, person: PersonId) -> Vec<(PersonId, SimTi
 /// S4 — message content and creation date.
 pub fn s4_message(snap: &Snapshot<'_>, message: MessageId) -> Option<(String, SimTime)> {
     let m = snap.message(message)?;
-    let content = m
-        .image_file
-        .as_deref()
-        .filter(|_| m.content.is_empty())
-        .unwrap_or(&m.content)
-        .to_string();
+    let content =
+        m.image_file.as_deref().filter(|_| m.content.is_empty()).unwrap_or(&m.content).to_string();
     Some((content, m.creation_date))
 }
 
@@ -161,7 +157,7 @@ pub fn s7_replies(snap: &Snapshot<'_>, message: MessageId) -> Vec<ReplyRow> {
 
 /// Uniform executor used by the driver; returns the result row count.
 pub fn run_short(snap: &Snapshot<'_>, q: &ShortQuery) -> usize {
-    match *q {
+    let rows = match *q {
         ShortQuery::S1(p) => usize::from(s1_profile(snap, p).is_some()),
         ShortQuery::S2(p) => s2_recent_messages(snap, p).len(),
         ShortQuery::S3(p) => s3_friends(snap, p).len(),
@@ -169,7 +165,9 @@ pub fn run_short(snap: &Snapshot<'_>, q: &ShortQuery) -> usize {
         ShortQuery::S5(m) => usize::from(s5_creator(snap, m).is_some()),
         ShortQuery::S6(m) => usize::from(s6_forum(snap, m).is_some()),
         ShortQuery::S7(m) => s7_replies(snap, m).len(),
-    }
+    };
+    snb_obs::tick_result_rows(rows as u64);
+    rows
 }
 
 #[cfg(test)]

@@ -41,8 +41,7 @@ mod tests {
         let store = Store::new();
         store.bulk_load(&f.ds);
         let stream = f.ds.update_stream();
-        let first_person =
-            stream.iter().find(|u| matches!(u.op, UpdateOp::AddPerson(_))).unwrap();
+        let first_person = stream.iter().find(|u| matches!(u.op, UpdateOp::AddPerson(_))).unwrap();
         run_update(&store, &first_person.op).unwrap();
         assert!(run_update(&store, &first_person.op).is_err());
     }

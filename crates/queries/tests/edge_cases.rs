@@ -22,20 +22,20 @@ fn empty_snapshot_queries(engine: Engine) {
         &Q3Params { person: p, country_x: 0, country_y: 1, start: date, duration_days: 10 }
     )
     .is_empty());
-    assert!(complex::q4::run(&snap, engine, &Q4Params { person: p, start: date, duration_days: 10 })
-        .is_empty());
+    assert!(complex::q4::run(
+        &snap,
+        engine,
+        &Q4Params { person: p, start: date, duration_days: 10 }
+    )
+    .is_empty());
     assert!(complex::q5::run(&snap, engine, &Q5Params { person: p, min_date: date }).is_empty());
     assert!(complex::q6::run(&snap, engine, &Q6Params { person: p, tag: 0 }).is_empty());
     assert!(complex::q7::run(&snap, engine, &Q7Params { person: p }).is_empty());
     assert!(complex::q8::run(&snap, engine, &Q8Params { person: p }).is_empty());
     assert!(complex::q9::run(&snap, engine, &Q9Params { person: p, max_date: date }).is_empty());
     assert!(complex::q10::run(&snap, engine, &Q10Params { person: p, month: 6 }).is_empty());
-    assert!(complex::q11::run(
-        &snap,
-        engine,
-        &Q11Params { person: p, country: 0, max_year: 2012 }
-    )
-    .is_empty());
+    assert!(complex::q11::run(&snap, engine, &Q11Params { person: p, country: 0, max_year: 2012 })
+        .is_empty());
     assert!(complex::q12::run(&snap, engine, &Q12Params { person: p, tag_class: 0 }).is_empty());
     assert_eq!(
         complex::q13::run(&snap, engine, &Q13Params { person_x: p, person_y: PersonId(1) }),
@@ -70,10 +70,8 @@ fn all_short_queries_handle_an_empty_store() {
 
 #[test]
 fn queries_tolerate_ids_beyond_the_population() {
-    let ds = snb_datagen::generate(
-        snb_datagen::GeneratorConfig::with_persons(60).activity(0.3),
-    )
-    .unwrap();
+    let ds = snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(60).activity(0.3))
+        .unwrap();
     let store = Store::new();
     store.load_full(&ds);
     let snap = store.snapshot();
@@ -99,10 +97,8 @@ fn queries_tolerate_ids_beyond_the_population() {
 
 #[test]
 fn degenerate_parameters_are_well_defined() {
-    let ds = snb_datagen::generate(
-        snb_datagen::GeneratorConfig::with_persons(60).activity(0.3),
-    )
-    .unwrap();
+    let ds = snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(60).activity(0.3))
+        .unwrap();
     let store = Store::new();
     store.load_full(&ds);
     let snap = store.snapshot();

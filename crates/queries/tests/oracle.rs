@@ -65,6 +65,7 @@ fn post(id: u64, author: u64, forum: u64, t: i64, tags: &[u64], country: usize) 
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn comment(
     id: u64,
     author: u64,
@@ -91,7 +92,7 @@ fn comment(
 /// Build the oracle store through the transactional interface.
 fn oracle_store() -> Store {
     let store = Store::new();
-    let mut apply = |op: UpdateOp| store.apply(&op).expect("oracle insert");
+    let apply = |op: UpdateOp| store.apply(&op).expect("oracle insert");
 
     // Persons. Q1 searches for "Karl" from person 0.
     let names = ["Hans", "Walter", "Karl", "Fritz", "Karl", "Karl", "Karl", "Paul"];
@@ -106,7 +107,14 @@ fn oracle_store() -> Store {
         apply(UpdateOp::AddPerson(person(id as u64, name, birthday)));
     }
     // knows edges.
-    for (a, b, t) in [(0u64, 1u64, 2_000i64), (0, 2, 2_100), (1, 3, 2_200), (2, 4, 2_300), (3, 5, 2_400), (6, 7, 2_500)] {
+    for (a, b, t) in [
+        (0u64, 1u64, 2_000i64),
+        (0, 2, 2_100),
+        (1, 3, 2_200),
+        (2, 4, 2_300),
+        (3, 5, 2_400),
+        (6, 7, 2_500),
+    ] {
         apply(UpdateOp::AddFriendship(Knows {
             a: PersonId(a),
             b: PersonId(b),
@@ -161,9 +169,7 @@ fn oracle_store() -> Store {
     store
 }
 
-fn both<T: PartialEq + std::fmt::Debug>(
-    run: impl Fn(Engine) -> T,
-) -> T {
+fn both<T: PartialEq + std::fmt::Debug>(run: impl Fn(Engine) -> T) -> T {
     let a = run(Engine::Intended);
     let b = run(Engine::Naive);
     assert_eq!(a, b, "engines disagree on the oracle graph");
@@ -344,11 +350,7 @@ fn q11_finds_employment_in_country() {
         .unwrap();
     let snap = store.snapshot();
     let rows = both(|e| {
-        complex::q11::run(
-            &snap,
-            e,
-            &Q11Params { person: PersonId(0), country: 0, max_year: 2013 },
-        )
+        complex::q11::run(&snap, e, &Q11Params { person: PersonId(0), country: 0, max_year: 2013 })
     });
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0].person, PersonId(3));
@@ -356,11 +358,7 @@ fn q11_finds_employment_in_country() {
     assert_eq!(rows[0].company, dicts.orgs.company(company).name);
     // A tighter year bound excludes it.
     let none = both(|e| {
-        complex::q11::run(
-            &snap,
-            e,
-            &Q11Params { person: PersonId(0), country: 0, max_year: 2005 },
-        )
+        complex::q11::run(&snap, e, &Q11Params { person: PersonId(0), country: 0, max_year: 2005 })
     });
     assert!(none.is_empty());
 }
@@ -426,8 +424,10 @@ mod short_reads {
         let snap = store.snapshot();
         // Person 2's messages: msg1 (post, 4100) and msg4 (comment on msg0).
         let rows = short::s2_recent_messages(&snap, PersonId(2));
-        let got: Vec<(u64, u64, u64)> =
-            rows.iter().map(|r| (r.message.raw(), r.root_post.raw(), r.root_author.raw())).collect();
+        let got: Vec<(u64, u64, u64)> = rows
+            .iter()
+            .map(|r| (r.message.raw(), r.root_post.raw(), r.root_author.raw()))
+            .collect();
         // Newest first: msg4 roots at msg0 (author 1); msg1 roots at itself.
         assert_eq!(got, vec![(4, 0, 1), (1, 1, 2)]);
     }

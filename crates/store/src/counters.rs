@@ -1,0 +1,78 @@
+//! Store-level runtime counters.
+//!
+//! One [`StoreCounters`] instance lives in each [`crate::Store`]; hot paths
+//! hold pre-registered [`Counter`] handles so recording is a single relaxed
+//! atomic add. Names follow the workspace `layer.subsystem.metric`
+//! convention so they land sorted and greppable in the full-disclosure
+//! export.
+
+use snb_obs::{Counter, Counters};
+
+/// Counter handles for every store subsystem.
+#[derive(Debug)]
+pub struct StoreCounters {
+    registry: Counters,
+    /// Snapshots opened (`store.mvcc.snapshots`).
+    pub snapshots: Counter,
+    /// Version-stamped entries examined by snapshot reads
+    /// (`store.mvcc.versions_walked`) — the MVCC walk length.
+    pub versions_walked: Counter,
+    /// Entries skipped because they were invisible to the reading snapshot
+    /// (`store.mvcc.versions_skipped`).
+    pub versions_skipped: Counter,
+    /// Committed transactions (`store.txn.commits`).
+    pub commits: Counter,
+    /// Transactions rejected by validation (`store.txn.conflicts`).
+    pub conflicts: Counter,
+    /// WAL records appended (`store.wal.appends`).
+    pub wal_appends: Counter,
+    /// WAL bytes written including record headers (`store.wal.bytes`).
+    pub wal_bytes: Counter,
+}
+
+impl Default for StoreCounters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StoreCounters {
+    pub fn new() -> StoreCounters {
+        let registry = Counters::new();
+        StoreCounters {
+            snapshots: registry.counter("store.mvcc.snapshots"),
+            versions_walked: registry.counter("store.mvcc.versions_walked"),
+            versions_skipped: registry.counter("store.mvcc.versions_skipped"),
+            commits: registry.counter("store.txn.commits"),
+            conflicts: registry.counter("store.txn.conflicts"),
+            wal_appends: registry.counter("store.wal.appends"),
+            wal_bytes: registry.counter("store.wal.bytes"),
+            registry,
+        }
+    }
+
+    /// Current values in sorted name order.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reports_all_counters_sorted() {
+        let c = StoreCounters::new();
+        c.snapshots.inc();
+        c.wal_bytes.add(100);
+        let snap = c.snapshot();
+        let names: Vec<&str> = snap.iter().map(|&(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(names.len(), 7);
+        assert!(snap.contains(&("store.mvcc.snapshots", 1)));
+        assert!(snap.contains(&("store.wal.bytes", 100)));
+    }
+}

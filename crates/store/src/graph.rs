@@ -17,6 +17,7 @@
 //! early termination, which is exactly the locality §3 says systems should
 //! exploit when ids correlate with time.
 
+use crate::counters::StoreCounters;
 use crate::mvcc::{visible, CommitClock, CommitTs, BULK_TS};
 use crate::wal::Wal;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
@@ -24,6 +25,7 @@ use snb_core::schema::{Comment, Forum, ForumMembership, Knows, Like, Person, Pos
 use snb_core::time::SimTime;
 use snb_core::update::UpdateOp;
 use snb_core::{ForumId, MessageId, PersonId, SnbError, SnbResult, TagId};
+use snb_obs::{tick_index_probes, tick_versions_walked};
 use std::path::Path;
 
 /// A stored message: posts and comments share one table and id space.
@@ -113,6 +115,7 @@ pub struct Store {
     inner: RwLock<Inner>,
     clock: CommitClock,
     wal: Option<Mutex<Wal>>,
+    counters: StoreCounters,
 }
 
 impl Default for Store {
@@ -124,7 +127,12 @@ impl Default for Store {
 impl Store {
     /// Empty store without durability.
     pub fn new() -> Store {
-        Store { inner: RwLock::new(Inner::default()), clock: CommitClock::new(), wal: None }
+        Store {
+            inner: RwLock::new(Inner::default()),
+            clock: CommitClock::new(),
+            wal: None,
+            counters: StoreCounters::new(),
+        }
     }
 
     /// Empty store logging every committed transaction to a write-ahead log
@@ -134,7 +142,13 @@ impl Store {
             inner: RwLock::new(Inner::default()),
             clock: CommitClock::new(),
             wal: Some(Mutex::new(Wal::create(path)?)),
+            counters: StoreCounters::new(),
         })
+    }
+
+    /// Runtime counters for this store instance.
+    pub fn counters(&self) -> &StoreCounters {
+        &self.counters
     }
 
     /// Recover a store by bulk-loading `bulk` and replaying the WAL at
@@ -211,10 +225,15 @@ impl Store {
 
     fn apply_internal(&self, op: &UpdateOp, log: bool) -> SnbResult<()> {
         let mut g = self.inner.write();
-        g.validate(op)?;
+        if let Err(e) = g.validate(op) {
+            self.counters.conflicts.inc();
+            return Err(e);
+        }
         if log {
             if let Some(wal) = &self.wal {
-                wal.lock().append(op)?;
+                let bytes = wal.lock().append(op)?;
+                self.counters.wal_appends.inc();
+                self.counters.wal_bytes.add(bytes);
             }
         }
         let ts = self.clock.reserve();
@@ -230,6 +249,7 @@ impl Store {
         // Publish while still holding the writer lock so commit order equals
         // timestamp order.
         self.clock.publish(ts);
+        self.counters.commits.inc();
         Ok(())
     }
 
@@ -244,6 +264,7 @@ impl Store {
     /// Open a read snapshot: sees every transaction committed before this
     /// call, and nothing that commits after.
     pub fn snapshot(&self) -> Snapshot<'_> {
+        self.counters.snapshots.inc();
         Snapshot { store: self, ts: self.clock.snapshot_ts() }
     }
 }
@@ -472,6 +493,33 @@ impl Snapshot<'_> {
         self.store.inner.read()
     }
 
+    /// Account one keyed point lookup: `examined` when a versioned row was
+    /// present, `kept` when it was visible to this snapshot. Ticks the
+    /// store counters and the current query profile (if any).
+    fn note_probe(&self, examined: bool, kept: bool) {
+        tick_index_probes(1);
+        if examined {
+            let c = &self.store.counters;
+            c.versions_walked.add(1);
+            if !kept {
+                c.versions_skipped.inc();
+            }
+            tick_versions_walked(1);
+        }
+    }
+
+    /// Account one index scan that examined `examined` version-stamped
+    /// entries and kept `kept` visible ones.
+    fn note_walk(&self, examined: usize, kept: usize) {
+        if examined == 0 {
+            return;
+        }
+        let c = &self.store.counters;
+        c.versions_walked.add(examined as u64);
+        c.versions_skipped.add((examined - kept) as u64);
+        tick_versions_walked(examined as u64);
+    }
+
     /// The snapshot's commit timestamp.
     pub fn ts(&self) -> CommitTs {
         self.ts
@@ -480,58 +528,52 @@ impl Snapshot<'_> {
     /// Person by id, if visible (cloned row).
     pub fn person(&self, id: PersonId) -> Option<Person> {
         let g = self.read();
-        g.persons
-            .get(id.index())
-            .and_then(|s| s.as_ref())
-            .filter(|v| visible(v.commit, self.ts))
-            .map(|v| v.row.clone())
+        let slot = g.persons.get(id.index()).and_then(|s| s.as_ref());
+        let vis = slot.filter(|v| visible(v.commit, self.ts));
+        self.note_probe(slot.is_some(), vis.is_some());
+        vis.map(|v| v.row.clone())
     }
 
     /// Forum by id, if visible (cloned row).
     pub fn forum(&self, id: ForumId) -> Option<Forum> {
         let g = self.read();
-        g.forums
-            .get(id.index())
-            .and_then(|s| s.as_ref())
-            .filter(|v| visible(v.commit, self.ts))
-            .map(|v| v.row.clone())
+        let slot = g.forums.get(id.index()).and_then(|s| s.as_ref());
+        let vis = slot.filter(|v| visible(v.commit, self.ts));
+        self.note_probe(slot.is_some(), vis.is_some());
+        vis.map(|v| v.row.clone())
     }
 
     /// Full message row (content included), if visible.
     pub fn message(&self, id: MessageId) -> Option<MessageRow> {
         let g = self.read();
-        g.messages
-            .get(id.index())
-            .and_then(|s| s.as_ref())
-            .filter(|v| visible(v.commit, self.ts))
-            .map(|v| v.row.clone())
+        let slot = g.messages.get(id.index()).and_then(|s| s.as_ref());
+        let vis = slot.filter(|v| visible(v.commit, self.ts));
+        self.note_probe(slot.is_some(), vis.is_some());
+        vis.map(|v| v.row.clone())
     }
 
     /// Fixed-size message header, if visible.
     pub fn message_meta(&self, id: MessageId) -> Option<MessageMeta> {
         let g = self.read();
-        g.messages
-            .get(id.index())
-            .and_then(|s| s.as_ref())
-            .filter(|v| visible(v.commit, self.ts))
-            .map(|v| MessageMeta {
-                author: v.row.author,
-                forum: v.row.forum,
-                creation_date: v.row.creation_date,
-                country: v.row.country,
-                reply_info: v.row.reply_info,
-            })
+        let slot = g.messages.get(id.index()).and_then(|s| s.as_ref());
+        let vis = slot.filter(|v| visible(v.commit, self.ts));
+        self.note_probe(slot.is_some(), vis.is_some());
+        vis.map(|v| MessageMeta {
+            author: v.row.author,
+            forum: v.row.forum,
+            creation_date: v.row.creation_date,
+            country: v.row.country,
+            reply_info: v.row.reply_info,
+        })
     }
 
     /// Tags of a message (empty if the message is not visible).
     pub fn message_tags(&self, id: MessageId) -> Vec<TagId> {
         let g = self.read();
-        g.messages
-            .get(id.index())
-            .and_then(|s| s.as_ref())
-            .filter(|v| visible(v.commit, self.ts))
-            .map(|v| v.row.tags.to_vec())
-            .unwrap_or_default()
+        let slot = g.messages.get(id.index()).and_then(|s| s.as_ref());
+        let vis = slot.filter(|v| visible(v.commit, self.ts));
+        self.note_probe(slot.is_some(), vis.is_some());
+        vis.map(|v| v.row.tags.to_vec()).unwrap_or_default()
     }
 
     /// Upper bound of the person id space (for scans; slots may be empty).
@@ -549,22 +591,24 @@ impl Snapshot<'_> {
         self.read().messages.len()
     }
 
-    fn collect(list: Option<&Vec<Entry>>, ts: CommitTs) -> Vec<Dated> {
-        list.into_iter()
-            .flatten()
-            .filter(|e| visible(e.commit, ts))
-            .map(|e| (e.id, e.date))
-            .collect()
+    fn collect(&self, list: Option<&Vec<Entry>>) -> Vec<Dated> {
+        let Some(list) = list else {
+            return Vec::new();
+        };
+        let out: Vec<Dated> =
+            list.iter().filter(|e| visible(e.commit, self.ts)).map(|e| (e.id, e.date)).collect();
+        self.note_walk(list.len(), out.len());
+        out
     }
 
     /// Friends of `id` with friendship dates, ascending by date.
     pub fn friends(&self, id: PersonId) -> Vec<Dated> {
-        Self::collect(self.read().knows.get(id.index()), self.ts)
+        self.collect(self.read().knows.get(id.index()))
     }
 
     /// Messages authored by `id`, ascending by creation date.
     pub fn messages_of(&self, id: PersonId) -> Vec<Dated> {
-        Self::collect(self.read().person_messages.get(id.index()), self.ts)
+        self.collect(self.read().person_messages.get(id.index()))
     }
 
     /// The up-to-`k` most recent messages of `id` created at or before
@@ -578,7 +622,9 @@ impl Snapshot<'_> {
         };
         let end = list.partition_point(|e| e.date <= max_date);
         let mut out = Vec::with_capacity(k.min(end));
+        let mut examined = 0usize;
         for e in list[..end].iter().rev() {
+            examined += 1;
             if !visible(e.commit, self.ts) {
                 continue;
             }
@@ -587,22 +633,23 @@ impl Snapshot<'_> {
                 break;
             }
         }
+        self.note_walk(examined, out.len());
         out
     }
 
     /// Posts in forum `id`, ascending by creation date.
     pub fn posts_in_forum(&self, id: ForumId) -> Vec<Dated> {
-        Self::collect(self.read().forum_posts.get(id.index()), self.ts)
+        self.collect(self.read().forum_posts.get(id.index()))
     }
 
     /// Members of forum `id` with join dates.
     pub fn members_of(&self, id: ForumId) -> Vec<Dated> {
-        Self::collect(self.read().forum_members.get(id.index()), self.ts)
+        self.collect(self.read().forum_members.get(id.index()))
     }
 
     /// Forums `id` has joined, with join dates.
     pub fn forums_of(&self, id: PersonId) -> Vec<Dated> {
-        Self::collect(self.read().person_forums.get(id.index()), self.ts)
+        self.collect(self.read().person_forums.get(id.index()))
     }
 
     /// Forums `id` joined strictly after `min_date` (date-index range scan).
@@ -612,35 +659,48 @@ impl Snapshot<'_> {
             return Vec::new();
         };
         let start = list.partition_point(|e| e.date <= min_date);
-        list[start..]
+        let out: Vec<Dated> = list[start..]
             .iter()
             .filter(|e| visible(e.commit, self.ts))
             .map(|e| (e.id, e.date))
-            .collect()
+            .collect();
+        self.note_walk(list.len() - start, out.len());
+        out
     }
 
     /// Direct replies to message `id`, ascending by date.
     pub fn replies_of(&self, id: MessageId) -> Vec<Dated> {
-        Self::collect(self.read().message_replies.get(id.index()), self.ts)
+        self.collect(self.read().message_replies.get(id.index()))
     }
 
     /// Likes on message `id` as `(person, like date)`.
     pub fn likes_of(&self, id: MessageId) -> Vec<Dated> {
-        Self::collect(self.read().message_likes.get(id.index()), self.ts)
+        self.collect(self.read().message_likes.get(id.index()))
     }
 
     /// Likes given by person `id` as `(message, like date)`.
     pub fn likes_by(&self, id: PersonId) -> Vec<Dated> {
-        Self::collect(self.read().person_likes.get(id.index()), self.ts)
+        self.collect(self.read().person_likes.get(id.index()))
     }
 
     /// Whether persons `a` and `b` are friends in this snapshot.
     pub fn are_friends(&self, a: PersonId, b: PersonId) -> bool {
         let g = self.read();
-        g.knows
-            .get(a.index())
-            .map(|l| l.iter().any(|e| e.id == b.raw() && visible(e.commit, self.ts)))
-            .unwrap_or(false)
+        let Some(list) = g.knows.get(a.index()) else {
+            self.note_walk(0, 0);
+            return false;
+        };
+        let mut examined = 0usize;
+        let mut found = false;
+        for e in list {
+            examined += 1;
+            if e.id == b.raw() && visible(e.commit, self.ts) {
+                found = true;
+                break;
+            }
+        }
+        self.note_walk(examined, found as usize);
+        found
     }
 
     /// Storage statistics for the Table 8 experiment.
@@ -806,6 +866,66 @@ mod tests {
     }
 
     #[test]
+    fn counters_track_commits_conflicts_snapshots_and_walks() {
+        let s = Store::new();
+        s.apply(&UpdateOp::AddPerson(person(0, 10))).unwrap();
+        s.apply(&UpdateOp::AddPerson(person(1, 20))).unwrap();
+        // Conflict: duplicate person.
+        let _ = s.apply(&UpdateOp::AddPerson(person(0, 10)));
+        assert_eq!(s.counters().commits.get(), 2);
+        assert_eq!(s.counters().conflicts.get(), 1);
+
+        let early = s.snapshot();
+        s.apply(&UpdateOp::AddFriendship(Knows {
+            a: PersonId(0),
+            b: PersonId(1),
+            creation_date: SimTime(30),
+        }))
+        .unwrap();
+        assert_eq!(s.counters().snapshots.get(), 1);
+
+        // The friendship committed after `early`: walking it is one
+        // examined, one skipped version.
+        let walked_before = s.counters().versions_walked.get();
+        let skipped_before = s.counters().versions_skipped.get();
+        assert!(early.friends(PersonId(0)).is_empty());
+        assert_eq!(s.counters().versions_walked.get(), walked_before + 1);
+        assert_eq!(s.counters().versions_skipped.get(), skipped_before + 1);
+
+        // A fresh snapshot sees it: examined but not skipped.
+        let now = s.snapshot();
+        assert_eq!(now.friends(PersonId(0)).len(), 1);
+        assert_eq!(s.counters().versions_skipped.get(), skipped_before + 1);
+
+        // Point probes count index probes via the profile scope.
+        let profile = std::sync::Arc::new(snb_obs::QueryProfile::new());
+        {
+            let _guard = snb_obs::QueryProfile::enter(std::sync::Arc::clone(&profile));
+            assert!(now.person(PersonId(0)).is_some());
+            now.friends(PersonId(0));
+        }
+        let snap = profile.snapshot();
+        assert_eq!(snap.index_probes, 1);
+        assert_eq!(snap.versions_walked, 2);
+    }
+
+    #[test]
+    fn wal_counters_track_appends_and_bytes() {
+        let path =
+            std::env::temp_dir().join(format!("snb-graph-counters-{}.wal", std::process::id()));
+        let s = Store::with_wal(&path).unwrap();
+        s.apply(&UpdateOp::AddPerson(person(0, 10))).unwrap();
+        s.apply(&UpdateOp::AddPerson(person(1, 20))).unwrap();
+        s.flush_wal().unwrap();
+        assert_eq!(s.counters().wal_appends.get(), 2);
+        let logged = s.counters().wal_bytes.get();
+        let on_disk = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(logged, on_disk, "counted bytes must match the file size");
+        drop(s);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn failed_transactions_leave_no_trace() {
         let s = Store::new();
         s.apply(&UpdateOp::AddPerson(person(0, 10))).unwrap();
@@ -826,10 +946,14 @@ mod tests {
         s.apply(&UpdateOp::AddPost(post(0, 0, 0, 30))).unwrap();
         s.apply(&UpdateOp::AddPost(post(2, 0, 0, 40))).unwrap();
         let snap = s.snapshot();
-        let dates: Vec<i64> = snap.messages_of(PersonId(0)).iter().map(|(_, d)| d.millis()).collect();
+        let dates: Vec<i64> =
+            snap.messages_of(PersonId(0)).iter().map(|(_, d)| d.millis()).collect();
         assert_eq!(dates, vec![30, 40, 50]);
-        let recent: Vec<u64> =
-            snap.recent_messages_of(PersonId(0), SimTime(i64::MAX), 10).iter().map(|&(m, _)| m).collect();
+        let recent: Vec<u64> = snap
+            .recent_messages_of(PersonId(0), SimTime(i64::MAX), 10)
+            .iter()
+            .map(|&(m, _)| m)
+            .collect();
         assert_eq!(recent, vec![1, 2, 0]);
     }
 
@@ -887,10 +1011,9 @@ mod tests {
 
     #[test]
     fn bulk_load_is_visible_to_all_snapshots() {
-        let ds = snb_datagen::generate(
-            snb_datagen::GeneratorConfig::with_persons(100).activity(0.3),
-        )
-        .unwrap();
+        let ds =
+            snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(100).activity(0.3))
+                .unwrap();
         let s = Store::new();
         s.bulk_load(&ds);
         let snap = s.snapshot();
@@ -903,10 +1026,9 @@ mod tests {
 
     #[test]
     fn update_stream_replays_cleanly_after_bulk_load() {
-        let ds = snb_datagen::generate(
-            snb_datagen::GeneratorConfig::with_persons(200).activity(0.3),
-        )
-        .unwrap();
+        let ds =
+            snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(200).activity(0.3))
+                .unwrap();
         let s = Store::new();
         s.bulk_load(&ds);
         let stream = ds.update_stream();

@@ -7,10 +7,12 @@
 //! and the index set is designed around the Interactive workload's
 //! "most recent N before date" access patterns (see [`graph`]).
 
+pub mod counters;
 pub mod graph;
 pub mod mvcc;
 pub mod stats;
 pub mod wal;
 
+pub use counters::StoreCounters;
 pub use graph::{MessageRow, Snapshot, Store};
 pub use stats::StorageStats;

@@ -111,7 +111,7 @@ pub(crate) fn from_raw(raw: RawSizes) -> StorageStats {
         },
     ];
     tables.sort_by_key(|t| std::cmp::Reverse(t.bytes));
-    let total_bytes = tables.iter().map(|t| t.bytes + t.largest_index.1).sum::<usize>()
-        + raw.reply_bytes;
+    let total_bytes =
+        tables.iter().map(|t| t.bytes + t.largest_index.1).sum::<usize>() + raw.reply_bytes;
     StorageStats { tables, total_bytes }
 }

@@ -12,8 +12,8 @@
 use snb_core::dict::names::{intern_name, Gender};
 use snb_core::dict::places::intern_language;
 use snb_core::schema::{
-    intern_browser, Comment, Forum, ForumKind, ForumMembership, Knows, Like, Person, Post,
-    StudyAt, WorkAt,
+    intern_browser, Comment, Forum, ForumKind, ForumMembership, Knows, Like, Person, Post, StudyAt,
+    WorkAt,
 };
 use snb_core::time::SimTime;
 use snb_core::update::UpdateOp;
@@ -49,8 +49,9 @@ impl Wal {
         self.records
     }
 
-    /// Append one committed operation.
-    pub fn append(&mut self, op: &UpdateOp) -> SnbResult<()> {
+    /// Append one committed operation. Returns the on-disk record size in
+    /// bytes (header included), for write-volume accounting.
+    pub fn append(&mut self, op: &UpdateOp) -> SnbResult<u64> {
         let mut payload = Vec::with_capacity(128);
         payload.push(WAL_VERSION);
         encode_op(op, &mut payload);
@@ -60,7 +61,7 @@ impl Wal {
         self.w.write_all(&sum.to_le_bytes())?;
         self.w.write_all(&payload)?;
         self.records += 1;
-        Ok(())
+        Ok(8 + payload.len() as u64)
     }
 
     /// Flush buffered records to the OS.
@@ -235,7 +236,8 @@ fn decode_person(p: &mut &[u8]) -> Option<Person> {
     let n_work = get_u64(p)? as usize;
     let mut work_at = Vec::with_capacity(n_work);
     for _ in 0..n_work {
-        work_at.push(WorkAt { company: OrganisationId(get_u64(p)?), work_from: get_i64(p)? as i32 });
+        work_at
+            .push(WorkAt { company: OrganisationId(get_u64(p)?), work_from: get_i64(p)? as i32 });
     }
     Some(Person {
         id,

@@ -29,10 +29,14 @@ fn action_strategy() -> impl Strategy<Value = Action> {
         (0u64..12).prop_map(Action::AddPerson),
         (0u64..12, 0u64..12).prop_map(|(a, b)| Action::AddFriendship(a, b)),
         (0u64..8, 0u64..12).prop_map(|(f, m)| Action::AddForum(f, m)),
-        (0u64..30, 0u64..12, 0u64..8)
-            .prop_map(|(id, author, forum)| Action::AddPost { id, author, forum }),
-        (0u64..30, 0u64..12, 0u64..30, 0u64..8)
-            .prop_map(|(id, author, parent, forum)| Action::AddComment { id, author, parent, forum }),
+        (0u64..30, 0u64..12, 0u64..8).prop_map(|(id, author, forum)| Action::AddPost {
+            id,
+            author,
+            forum
+        }),
+        (0u64..30, 0u64..12, 0u64..30, 0u64..8).prop_map(|(id, author, parent, forum)| {
+            Action::AddComment { id, author, parent, forum }
+        }),
         (0u64..12, 0u64..30).prop_map(|(person, message)| Action::AddLike { person, message }),
         Just(Action::TakeSnapshot),
     ]
@@ -138,8 +142,11 @@ fn to_op(a: &Action, t: i64, model: &Model) -> Option<(UpdateOp, bool)> {
             Some((UpdateOp::AddComment(comment), ok))
         }
         Action::AddLike { person, message } => {
-            let like =
-                Like { person: PersonId(person), message: MessageId(message), creation_date: SimTime(t) };
+            let like = Like {
+                person: PersonId(person),
+                message: MessageId(message),
+                creation_date: SimTime(t),
+            };
             let ok = model.persons.contains(&person) && model.message_exists(message);
             Some((UpdateOp::AddPostLike(like), ok))
         }

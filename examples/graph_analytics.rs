@@ -31,7 +31,10 @@ fn main() {
         sizes[l as usize] += 1;
     }
     sizes.sort_unstable_by(|a, b| b.cmp(a));
-    println!("components: {n_components}; largest covers {:.1}% of persons", 100.0 * sizes[0] as f64 / g.vertex_count() as f64);
+    println!(
+        "components: {n_components}; largest covers {:.1}% of persons",
+        100.0 * sizes[0] as f64 / g.vertex_count() as f64
+    );
 
     // PageRank: who are the most central members?
     let pr = pagerank(&g, &PageRankConfig::default());

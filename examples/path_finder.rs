@@ -27,20 +27,26 @@ fn main() {
     let a = PersonId(0);
     let pairs: Vec<(PersonId, PersonId, &str)> = [
         (by_city(ds.persons[0].city), "same city"),
-        (ds.persons.iter().find(|p| p.country != ds.persons[0].country).map(|p| p.id), "another country"),
+        (
+            ds.persons.iter().find(|p| p.country != ds.persons[0].country).map(|p| p.id),
+            "another country",
+        ),
         (Some(PersonId(ds.persons.len() as u64 - 1)), "latest member"),
     ]
     .into_iter()
     .filter_map(|(b, label)| b.filter(|&b| b != a).map(|b| (a, b, label)))
     .collect();
 
-    println!("shortest paths from person {} ({} in {}):\n",
+    println!(
+        "shortest paths from person {} ({} in {}):\n",
         a.raw(),
         ds.persons[0].first_name,
-        dicts.places.country(ds.persons[0].country).name);
+        dicts.places.country(ds.persons[0].country).name
+    );
 
     for (x, y, label) in pairs {
-        let len = complex::q13::run(&snap, Engine::Intended, &Q13Params { person_x: x, person_y: y });
+        let len =
+            complex::q13::run(&snap, Engine::Intended, &Q13Params { person_x: x, person_y: y });
         println!("Q13 {} -> {} ({label}): distance {len}", x.raw(), y.raw());
         if (1..=4).contains(&len) {
             let paths =

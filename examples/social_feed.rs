@@ -20,16 +20,20 @@ fn main() {
     let snap = store.snapshot();
 
     // The "logged-in user": someone with a decent circle.
-    let me = (0..ds.persons.len() as u64)
-        .map(PersonId)
-        .max_by_key(|&p| snap.friends(p).len())
-        .unwrap();
+    let me =
+        (0..ds.persons.len() as u64).map(PersonId).max_by_key(|&p| snap.friends(p).len()).unwrap();
     let profile = short::s1_profile(&snap, me).unwrap();
-    println!("logged in as {} {} from city #{}", profile.first_name, profile.last_name, profile.city);
+    println!(
+        "logged in as {} {} from city #{}",
+        profile.first_name, profile.last_name, profile.city
+    );
 
     // Open the feed: Q9 over the 2-hop circle.
-    let feed =
-        complex::q9::run(&snap, Engine::Intended, &Q9Params { person: me, max_date: SimTime::SIM_END });
+    let feed = complex::q9::run(
+        &snap,
+        Engine::Intended,
+        &Q9Params { person: me, max_date: SimTime::SIM_END },
+    );
     println!("\n== feed: {} entries ==", feed.len());
     for row in feed.iter().take(3) {
         println!("  {} {} · {}", row.first_name, row.last_name, row.creation_date);

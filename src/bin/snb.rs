@@ -4,7 +4,7 @@
 //! snb generate --persons 5000 --out ./data         # CSV bulk + update stream
 //! snb rdf      --persons 5000 --out ./data.nt      # N-Triples bulk
 //! snb stats    --persons 5000                      # Table 3-style statistics
-//! snb run      --persons 2000 [--accel N] [--partitions N] [--naive]
+//! snb run      --persons 2000 [--accel N] [--partitions N] [--naive] [--json]
 //!                                                  # full benchmark + disclosure
 //! ```
 //!
@@ -12,7 +12,9 @@
 //! onto the public library API.
 
 use ldbc_snb::datagen::{generate, serializer, GeneratorConfig};
-use ldbc_snb::driver::{build_mix, full_disclosure, run, DriverConfig, StoreConnector};
+use ldbc_snb::driver::{
+    build_mix, full_disclosure, full_disclosure_json, run, DriverConfig, StoreConnector,
+};
 use ldbc_snb::params::curated_bindings;
 use ldbc_snb::queries::Engine;
 use ldbc_snb::store::Store;
@@ -29,12 +31,13 @@ struct Args {
     accel: Option<f64>,
     partitions: usize,
     naive: bool,
+    json: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: snb <generate|rdf|stats|run> [--persons N] [--seed N] [--threads N]\n\
-         \x20          [--out PATH] [--accel N] [--partitions N] [--naive]"
+         \x20          [--out PATH] [--accel N] [--partitions N] [--naive] [--json]"
     );
     ExitCode::from(2)
 }
@@ -51,6 +54,7 @@ fn parse() -> Result<Args, ExitCode> {
         accel: None,
         partitions: 4,
         naive: false,
+        json: false,
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -71,6 +75,7 @@ fn parse() -> Result<Args, ExitCode> {
                 args.partitions = value(&rest, &mut i)?.parse().map_err(|_| usage())?
             }
             "--naive" => args.naive = true,
+            "--json" => args.json = true,
             other => {
                 eprintln!("unknown flag: {other}");
                 return Err(usage());
@@ -90,11 +95,7 @@ fn main() -> ExitCode {
         "generate" => {
             let ds = generate(config).expect("generation failed");
             let rows = serializer::write_csv(&ds, &args.out).expect("csv write failed");
-            println!(
-                "wrote {} rows of bulk CSV + update stream to {}",
-                rows,
-                args.out.display()
-            );
+            println!("wrote {} rows of bulk CSV + update stream to {}", rows, args.out.display());
             ExitCode::SUCCESS
         }
         "rdf" => {
@@ -135,7 +136,11 @@ fn main() -> ExitCode {
                 ..DriverConfig::default()
             };
             let report = run(&items, &conn, &driver_config).expect("benchmark run failed");
-            println!("{}", full_disclosure(&report));
+            if args.json {
+                println!("{}", full_disclosure_json(&report).render_pretty(2));
+            } else {
+                println!("{}", full_disclosure(&report));
+            }
             ExitCode::SUCCESS
         }
         _ => usage(),

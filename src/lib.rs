@@ -9,6 +9,7 @@
 //! - [`queries`]: complex reads Q1–Q14, short reads S1–S7, updates U1–U8
 //! - [`params`]: parameter curation
 //! - [`driver`]: the dependency-aware workload driver
+//! - [`obs`]: latency histograms, counters, and query operator profiles
 //! - [`algorithms`]: the SNB-Algorithms workload (PageRank, communities, ...)
 //! - [`bi`]: the SNB-BI workload draft (scan-heavy analytical queries)
 //!
@@ -19,6 +20,7 @@ pub use snb_bi as bi;
 pub use snb_core as core;
 pub use snb_datagen as datagen;
 pub use snb_driver as driver;
+pub use snb_obs as obs;
 pub use snb_params as params;
 pub use snb_queries as queries;
 pub use snb_store as store;

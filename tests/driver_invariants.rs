@@ -2,7 +2,7 @@
 //! never violated, whatever the partitioning or execution mode.
 
 use ldbc_snb::core::update::UpdateOp;
-use ldbc_snb::core::{SnbResult, SimTime};
+use ldbc_snb::core::{SimTime, SnbResult};
 use ldbc_snb::datagen::{generate, Dataset, GeneratorConfig};
 use ldbc_snb::driver::connector::{OpOutcome, Operation};
 use ldbc_snb::driver::{mix, run, Connector, DriverConfig, ExecutionMode};
@@ -160,7 +160,8 @@ fn intra_forum_causality_holds_per_partition() {
                     }
                     UpdateOp::AddComment(c) => {
                         let seen = self.messages.lock();
-                        if !seen.contains(&c.reply_to.raw()) && !self.bulk.contains(&c.reply_to.raw())
+                        if !seen.contains(&c.reply_to.raw())
+                            && !self.bulk.contains(&c.reply_to.raw())
                         {
                             *self.violations.lock() += 1;
                         }
@@ -193,8 +194,10 @@ fn throughput_scales_and_latency_is_recorded() {
     let ds = dataset();
     let items: Vec<_> = mix::updates_only(ds).into_iter().take(4_000).collect();
     let conn = ldbc_snb::driver::SleepConnector::new(std::time::Duration::from_micros(100));
-    let r1 = run(&items, &conn, &DriverConfig { partitions: 1, ..DriverConfig::default() }).unwrap();
-    let r8 = run(&items, &conn, &DriverConfig { partitions: 8, ..DriverConfig::default() }).unwrap();
+    let r1 =
+        run(&items, &conn, &DriverConfig { partitions: 1, ..DriverConfig::default() }).unwrap();
+    let r8 =
+        run(&items, &conn, &DriverConfig { partitions: 8, ..DriverConfig::default() }).unwrap();
     assert!(
         r8.ops_per_second > 2.0 * r1.ops_per_second,
         "1p {:.0} ops/s vs 8p {:.0} ops/s",

@@ -62,8 +62,7 @@ fn all_queries_agree_across_engines_after_replay() {
 #[test]
 fn wal_recovery_restores_exact_state() {
     let ds = dataset();
-    let wal_path =
-        std::env::temp_dir().join(format!("snb-e2e-wal-{}", std::process::id()));
+    let wal_path = std::env::temp_dir().join(format!("snb-e2e-wal-{}", std::process::id()));
     // "Crash" after applying half the update stream.
     let stream = ds.update_stream();
     let half = stream.len() / 2;
@@ -118,7 +117,9 @@ fn snapshots_isolate_concurrent_update_batches() {
     let n_before = count_visible(&before);
     let batch: Vec<_> = stream
         .iter()
-        .filter(|u| matches!(u.op, UpdateOp::AddPerson(_) | UpdateOp::AddForum(_) | UpdateOp::AddPost(_)))
+        .filter(|u| {
+            matches!(u.op, UpdateOp::AddPerson(_) | UpdateOp::AddForum(_) | UpdateOp::AddPost(_))
+        })
         .take(200)
         .collect();
     for u in &batch {

@@ -1,0 +1,280 @@
+//! API-compatible subset of `criterion`, implemented for offline builds.
+//!
+//! This workspace builds in fully offline environments (no registry
+//! access), so external crates are vendored as minimal shims under
+//! `vendor/` (see `vendor/README.md`). The subset covers what the
+//! workspace's benches use: [`Criterion::bench_function`], benchmark
+//! groups with `sample_size` / `bench_with_input`, [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], plus the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of statistical sampling, each benchmark runs `sample_size`
+//! iterations (default 10) and reports min / mean over them. Bench
+//! binaries are `harness = false`, so `cargo test` also executes them;
+//! when any test-harness-style flag is present in argv the run is
+//! shortened to a single iteration per benchmark so the test suite stays
+//! fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are sized in [`Bencher::iter_batched`]. The shim
+/// runs one routine call per batch, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: name.into(), param: param.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// Measures and reports timings for one benchmark.
+pub struct Bencher {
+    iters: u64,
+    /// Total measured time and iteration count, collected by `iter*`.
+    elapsed: Duration,
+    done: u64,
+}
+
+impl Bencher {
+    /// Time `routine` for the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.done = self.iters;
+    }
+
+    /// Time `routine` over fresh inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.done = self.iters;
+    }
+
+    /// Like [`Bencher::iter_batched`]; the shim does not reuse inputs by
+    /// reference, so the routine gets a fresh input each iteration.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.done = self.iters;
+    }
+}
+
+fn fmt_time(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` functions.
+pub struct Criterion {
+    sample_size: u64,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test` (or any harness-style invocation) run each
+        // benchmark once so test runs stay fast; plain `cargo bench`
+        // argv carries `--bench`.
+        let quick = std::env::args().any(|a| a == "--test" || a == "--list" || a == "--quick");
+        Criterion { sample_size: 10, quick }
+    }
+}
+
+impl Criterion {
+    fn iters(&self) -> u64 {
+        if self.quick {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher { iters: self.iters(), elapsed: Duration::ZERO, done: 0 };
+        f(&mut b);
+        if b.done == 0 {
+            println!("bench {id:<48} (no measurement)");
+        } else {
+            let mean = b.elapsed / b.done as u32;
+            println!("bench {id:<48} {:>12}/iter ({} iters)", fmt_time(mean), b.done);
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Run a benchmark named `{group}/{id}`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.parent.run_one(&full, f);
+        self
+    }
+
+    /// Run a parameterised benchmark; the input is passed to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.parent.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (reporting is already done incrementally).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running each group built by [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { sample_size: 3, quick: false };
+        let mut calls = 0u64;
+        c.bench_function("unit/add", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn groups_run_batched_and_with_input() {
+        let mut c = Criterion { sample_size: 4, quick: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8, 2, 3]
+                },
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!((setups, runs), (2, 2));
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &p| b.iter(|| seen = p));
+        assert_eq!(seen, 7);
+        group.finish();
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut c = Criterion { sample_size: 50, quick: true };
+        let mut calls = 0u64;
+        c.bench_function("unit/quick", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+}

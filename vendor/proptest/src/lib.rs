@@ -1,0 +1,127 @@
+//! API-compatible subset of `proptest`, implemented for offline builds.
+//!
+//! This workspace builds in fully offline environments (no registry
+//! access), so external crates are vendored as minimal shims under
+//! `vendor/` (see `vendor/README.md`). The subset covers what the
+//! workspace's property tests use:
+//!
+//! - [`strategy::Strategy`] with `prop_map` / `prop_flat_map` / `boxed`
+//! - integer, float and boolean strategies: ranges, [`arbitrary::any`],
+//!   [`strategy::Just`], tuples up to arity 6, [`collection::vec`]
+//! - the [`proptest!`] macro with `#![proptest_config(...)]`,
+//!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_oneof!`]
+//!
+//! Differences from real proptest: cases are drawn from a fixed-seed
+//! deterministic RNG (reproducible across runs and platforms), there is no
+//! shrinking (the failing inputs are printed verbatim instead), and
+//! `.proptest-regressions` persistence files are ignored.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob import: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Deterministic SplitMix64 generator driving all sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // test-case generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (10i64..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (5u8..=9).sample(&mut rng);
+            assert!((5..=9).contains(&w));
+            let f = (0.25f64..0.75).sample(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::new(2);
+        let s = (0u64..10).prop_map(|x| x * 2).prop_flat_map(|x| x..x + 5);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(v < 25);
+        }
+        let v = collection::vec((0i32..3, any::<bool>()), 2..6).sample(&mut rng);
+        assert!((2..6).contains(&v.len()));
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let s = prop_oneof![Just(1u8), Just(2u8), 3u8..=3];
+        let mut rng = TestRng::new(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, config, and assertions.
+        #[test]
+        fn macro_binds_and_asserts(x in 0u64..100, ys in collection::vec(0i32..5, 0..4)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.iter().filter(|&&y| y >= 5).count(), 0);
+        }
+    }
+}
