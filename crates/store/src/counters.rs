@@ -6,7 +6,9 @@
 //! convention so they land sorted and greppable in the full-disclosure
 //! export.
 
-use snb_obs::{Counter, Counters};
+use crate::wal::WalMetrics;
+use snb_obs::{Counter, Counters, LatencyHistogram};
+use std::sync::Arc;
 
 /// Counter handles for every store subsystem.
 #[derive(Debug)]
@@ -28,6 +30,19 @@ pub struct StoreCounters {
     pub wal_appends: Counter,
     /// WAL bytes written including record headers (`store.wal.bytes`).
     pub wal_bytes: Counter,
+    /// `fdatasync` calls issued by the WAL (`store.wal.fsyncs`).
+    pub wal_fsyncs: Counter,
+    /// Records made durable summed over all fsyncs (`store.wal.group_size`);
+    /// mean commit-group size = `group_size / fsyncs`.
+    pub wal_group_size: Counter,
+    /// WAL flush/sync failures, including those surfaced from `Drop`
+    /// (`store.wal.sync_errors`).
+    pub wal_sync_errors: Counter,
+    /// Bytes cut off the WAL tail during crash recovery
+    /// (`store.wal.recovery_truncated_bytes`).
+    pub wal_recovery_truncated_bytes: Counter,
+    /// WAL fsync latency distribution, in microseconds.
+    pub wal_fsync_micros: Arc<LatencyHistogram>,
 }
 
 impl Default for StoreCounters {
@@ -47,7 +62,24 @@ impl StoreCounters {
             conflicts: registry.counter("store.txn.conflicts"),
             wal_appends: registry.counter("store.wal.appends"),
             wal_bytes: registry.counter("store.wal.bytes"),
+            wal_fsyncs: registry.counter("store.wal.fsyncs"),
+            wal_group_size: registry.counter("store.wal.group_size"),
+            wal_sync_errors: registry.counter("store.wal.sync_errors"),
+            wal_recovery_truncated_bytes: registry.counter("store.wal.recovery_truncated_bytes"),
+            wal_fsync_micros: Arc::new(LatencyHistogram::new()),
             registry,
+        }
+    }
+
+    /// Handles for the WAL to record into (shared with this registry, so
+    /// WAL activity shows up in [`StoreCounters::snapshot`]).
+    pub fn wal_metrics(&self) -> WalMetrics {
+        WalMetrics {
+            fsyncs: self.wal_fsyncs.clone(),
+            group_size: self.wal_group_size.clone(),
+            sync_errors: self.wal_sync_errors.clone(),
+            recovery_truncated_bytes: self.wal_recovery_truncated_bytes.clone(),
+            fsync_micros: Arc::clone(&self.wal_fsync_micros),
         }
     }
 
@@ -71,7 +103,7 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
-        assert_eq!(names.len(), 7);
+        assert_eq!(names.len(), 11);
         assert!(snap.contains(&("store.mvcc.snapshots", 1)));
         assert!(snap.contains(&("store.wal.bytes", 100)));
     }

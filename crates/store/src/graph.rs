@@ -19,8 +19,8 @@
 
 use crate::counters::StoreCounters;
 use crate::mvcc::{visible, CommitClock, CommitTs, BULK_TS};
-use crate::wal::Wal;
-use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use crate::wal::{SyncPolicy, Wal};
+use parking_lot::{RwLock, RwLockReadGuard};
 use snb_core::schema::{Comment, Forum, ForumMembership, Knows, Like, Person, Post};
 use snb_core::time::SimTime;
 use snb_core::update::UpdateOp;
@@ -61,17 +61,17 @@ impl MessageRow {
 
 /// Versioned row wrapper.
 #[derive(Debug, Clone)]
-struct Versioned<T> {
-    commit: CommitTs,
-    row: T,
+pub(crate) struct Versioned<T> {
+    pub(crate) commit: CommitTs,
+    pub(crate) row: T,
 }
 
 /// A dated, versioned index entry pointing at an entity.
 #[derive(Debug, Clone, Copy)]
-struct Entry {
-    date: SimTime,
-    id: u64,
-    commit: CommitTs,
+pub(crate) struct Entry {
+    pub(crate) date: SimTime,
+    pub(crate) id: u64,
+    pub(crate) commit: CommitTs,
 }
 
 /// Insert keeping the list sorted by `(date, id)`.
@@ -81,26 +81,26 @@ fn sorted_insert(list: &mut Vec<Entry>, e: Entry) {
 }
 
 #[derive(Debug, Default)]
-struct Inner {
-    persons: Vec<Option<Versioned<Person>>>,
-    forums: Vec<Option<Versioned<Forum>>>,
-    messages: Vec<Option<Versioned<MessageRow>>>,
+pub(crate) struct Inner {
+    pub(crate) persons: Vec<Option<Versioned<Person>>>,
+    pub(crate) forums: Vec<Option<Versioned<Forum>>>,
+    pub(crate) messages: Vec<Option<Versioned<MessageRow>>>,
     /// knows adjacency, both directions; Entry.id = other person.
-    knows: Vec<Vec<Entry>>,
+    pub(crate) knows: Vec<Vec<Entry>>,
     /// per-person authored messages; Entry.id = message.
-    person_messages: Vec<Vec<Entry>>,
+    pub(crate) person_messages: Vec<Vec<Entry>>,
     /// per-forum posts; Entry.id = message.
-    forum_posts: Vec<Vec<Entry>>,
+    pub(crate) forum_posts: Vec<Vec<Entry>>,
     /// per-forum members; Entry.id = person, date = join date.
-    forum_members: Vec<Vec<Entry>>,
+    pub(crate) forum_members: Vec<Vec<Entry>>,
     /// per-person joined forums; Entry.id = forum, date = join date.
-    person_forums: Vec<Vec<Entry>>,
+    pub(crate) person_forums: Vec<Vec<Entry>>,
     /// per-message direct replies; Entry.id = replying comment.
-    message_replies: Vec<Vec<Entry>>,
+    pub(crate) message_replies: Vec<Vec<Entry>>,
     /// per-message likes; Entry.id = liking person.
-    message_likes: Vec<Vec<Entry>>,
+    pub(crate) message_likes: Vec<Vec<Entry>>,
     /// per-person given likes; Entry.id = liked message.
-    person_likes: Vec<Vec<Entry>>,
+    pub(crate) person_likes: Vec<Vec<Entry>>,
 }
 
 fn ensure<T: Default>(v: &mut Vec<T>, idx: usize) {
@@ -109,12 +109,62 @@ fn ensure<T: Default>(v: &mut Vec<T>, idx: usize) {
     }
 }
 
+/// Default bulk-load parallelism: the machine's cores, capped — loading is
+/// memory-bound well before 8 threads.
+fn default_load_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// [`MessageRow`] for a post — shared by the incremental insert path and
+/// the parallel bulk loader so both produce identical rows.
+pub(crate) fn post_row(p: &Post) -> MessageRow {
+    MessageRow {
+        author: p.author,
+        forum: p.forum,
+        creation_date: p.creation_date,
+        content: p.content.as_str().into(),
+        image_file: p.image_file.as_deref().map(Into::into),
+        tags: p.tags.clone().into_boxed_slice(),
+        language: p.language,
+        country: p.country as u32,
+        reply_info: None,
+    }
+}
+
+/// [`MessageRow`] for a comment — shared like [`post_row`].
+pub(crate) fn comment_row(c: &Comment) -> MessageRow {
+    MessageRow {
+        author: c.author,
+        forum: c.forum,
+        creation_date: c.creation_date,
+        content: c.content.as_str().into(),
+        image_file: None,
+        tags: c.tags.clone().into_boxed_slice(),
+        language: "",
+        country: c.country as u32,
+        reply_info: Some((c.reply_to, c.root_post)),
+    }
+}
+
+/// What [`Store::recover`] found in (and trimmed off) the write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Committed transactions replayed from the intact prefix.
+    pub replayed: u64,
+    /// Bytes truncated off the torn or corrupt tail (0 on a clean log).
+    pub truncated_bytes: u64,
+    /// Best-effort count of records among the truncated bytes.
+    pub truncated_records: u64,
+    /// Sequence number of the last replayed record.
+    pub last_seq: u64,
+}
+
 /// The store.
 #[derive(Debug)]
 pub struct Store {
     inner: RwLock<Inner>,
     clock: CommitClock,
-    wal: Option<Mutex<Wal>>,
+    wal: Option<Wal>,
     counters: StoreCounters,
 }
 
@@ -136,13 +186,23 @@ impl Store {
     }
 
     /// Empty store logging every committed transaction to a write-ahead log
-    /// at `path` (created or truncated).
+    /// at `path` (created or truncated), without fsync — the historical
+    /// behaviour, equivalent to [`SyncPolicy::Never`].
     pub fn with_wal(path: &Path) -> SnbResult<Store> {
+        Store::with_wal_policy(path, SyncPolicy::Never)
+    }
+
+    /// Empty store logging to a write-ahead log at `path` (created or
+    /// truncated) under `policy`: commits are acknowledged only once the
+    /// policy's durability requirement holds for their record.
+    pub fn with_wal_policy(path: &Path, policy: SyncPolicy) -> SnbResult<Store> {
+        let counters = StoreCounters::new();
+        let wal = Wal::create_with(path, policy, counters.wal_metrics())?;
         Ok(Store {
             inner: RwLock::new(Inner::default()),
             clock: CommitClock::new(),
-            wal: Some(Mutex::new(Wal::create(path)?)),
-            counters: StoreCounters::new(),
+            wal: Some(wal),
+            counters,
         })
     }
 
@@ -152,22 +212,46 @@ impl Store {
     }
 
     /// Recover a store by bulk-loading `bulk` and replaying the WAL at
-    /// `path`. Returns the store and the number of replayed transactions.
-    pub fn recover(bulk: &snb_datagen::Dataset, path: &Path) -> SnbResult<(Store, u64)> {
-        let store = Store::new();
+    /// `path`, without keeping the log attached for further durability
+    /// (reopens it under [`SyncPolicy::Never`]).
+    pub fn recover(bulk: &snb_datagen::Dataset, path: &Path) -> SnbResult<(Store, RecoveryReport)> {
+        Store::recover_with_policy(bulk, path, SyncPolicy::Never)
+    }
+
+    /// Recover a store and keep appending to the same log: bulk-load
+    /// `bulk`, replay the WAL's intact prefix, physically truncate its torn
+    /// tail (reported and counted in `store.wal.recovery_truncated_bytes`),
+    /// and resume the log at the next sequence number under `policy`.
+    pub fn recover_with_policy(
+        bulk: &snb_datagen::Dataset,
+        path: &Path,
+        policy: SyncPolicy,
+    ) -> SnbResult<(Store, RecoveryReport)> {
+        let counters = StoreCounters::new();
+        let (wal, replay) = Wal::open_append(path, policy, counters.wal_metrics())?;
+        let report = RecoveryReport {
+            replayed: replay.ops.len() as u64,
+            truncated_bytes: replay.truncated_bytes,
+            truncated_records: replay.truncated_records,
+            last_seq: replay.last_seq,
+        };
+        let store = Store {
+            inner: RwLock::new(Inner::default()),
+            clock: CommitClock::new(),
+            wal: Some(wal),
+            counters,
+        };
         store.bulk_load(bulk);
-        let ops = crate::wal::replay(path)?;
-        let n = ops.len() as u64;
-        for op in &ops {
+        for op in &replay.ops {
             store.apply_internal(op, false)?;
         }
-        Ok((store, n))
+        Ok((store, report))
     }
 
     /// Bulk-load every entity of `ds` with a creation date at or before the
     /// configured update split (§4: "32 months are bulkloaded at benchmark
     /// start"). Bulk rows carry [`BULK_TS`] and are visible to every
-    /// snapshot.
+    /// snapshot. Uses the parallel sorted loader on an empty store.
     pub fn bulk_load(&self, ds: &snb_datagen::Dataset) {
         self.bulk_load_until(ds, ds.config.update_split)
     }
@@ -177,9 +261,29 @@ impl Store {
         self.bulk_load_until(ds, ds.config.end)
     }
 
-    /// Bulk-load all entities created at or before `cut`.
+    /// Bulk-load all entities created at or before `cut`, with the default
+    /// degree of load parallelism.
     pub fn bulk_load_until(&self, ds: &snb_datagen::Dataset, cut: SimTime) {
+        self.bulk_load_until_threads(ds, cut, default_load_threads())
+    }
+
+    /// Bulk-load all entities created at or before `cut` using `threads`
+    /// loader threads.
+    ///
+    /// On an empty store with `threads > 1` this takes the parallel sorted
+    /// path ([`crate::loader`]): partition every id space into contiguous
+    /// per-thread ranges, build each table slice and adjacency list on its
+    /// owning thread, sort every date-ordered index **once**, and
+    /// concatenate — instead of per-item `sorted_insert` memmoves on one
+    /// thread. The result is identical to the serial path. A non-empty
+    /// store (incremental top-up loads, as used by a few experiments) falls
+    /// back to the serial path, which composes with existing contents.
+    pub fn bulk_load_until_threads(&self, ds: &snb_datagen::Dataset, cut: SimTime, threads: usize) {
         let mut g = self.inner.write();
+        if threads > 1 && g.is_empty() {
+            *g = crate::loader::build(ds, cut, threads);
+            return;
+        }
         for p in &ds.persons {
             if p.creation_date <= cut {
                 g.insert_person(p.clone(), BULK_TS);
@@ -218,22 +322,60 @@ impl Store {
     }
 
     /// Execute one update operation as an ACID transaction: validate,
-    /// WAL-append, apply, publish.
+    /// WAL-append, apply, publish — then, outside the writer lock, wait for
+    /// the WAL's [`SyncPolicy`] to make the record durable before
+    /// acknowledging.
+    ///
+    /// Because the append happens under the writer lock, WAL order equals
+    /// commit order, so prefix-consistent recovery preserves every
+    /// dependency. The durability wait happens *after* the lock is
+    /// released (early lock release): group commit batches fsyncs across
+    /// concurrent committers without serializing the in-memory work behind
+    /// the disk. A commit may be briefly visible to snapshots before it is
+    /// durable, but it is never acknowledged to the caller until it is —
+    /// the standard group-commit contract.
     pub fn apply(&self, op: &UpdateOp) -> SnbResult<()> {
+        let seq = self.apply_async(op)?;
+        self.wait_durable(seq)
+    }
+
+    /// Pipelined commit, phase one: WAL-append, apply, publish — and return
+    /// without waiting for durability. The commit is immediately visible to
+    /// new snapshots (so causally dependent operations can proceed), but it
+    /// MUST NOT be acknowledged until [`Store::wait_durable`] has been
+    /// called on the returned sequence number. Because WAL order equals
+    /// commit order, a crash before the sync loses only a suffix of
+    /// unacknowledged commits — never a dependency of a surviving record.
+    pub fn apply_async(&self, op: &UpdateOp) -> SnbResult<Option<u64>> {
         self.apply_internal(op, true)
     }
 
-    fn apply_internal(&self, op: &UpdateOp, log: bool) -> SnbResult<()> {
+    /// Pipelined commit, phase two: block until the WAL record `seq` (and,
+    /// the durable horizon being cumulative, every record before it) is
+    /// durable per the [`SyncPolicy`]. `None` — an op applied with no WAL
+    /// attached — and stores without a WAL return immediately.
+    pub fn wait_durable(&self, seq: Option<u64>) -> SnbResult<()> {
+        if let (Some(wal), Some(seq)) = (&self.wal, seq) {
+            wal.wait_durable(seq)?;
+        }
+        Ok(())
+    }
+
+    /// Locked phase of [`Store::apply`]. Returns the WAL sequence number to
+    /// await when a log append happened.
+    fn apply_internal(&self, op: &UpdateOp, log: bool) -> SnbResult<Option<u64>> {
         let mut g = self.inner.write();
         if let Err(e) = g.validate(op) {
             self.counters.conflicts.inc();
             return Err(e);
         }
+        let mut seq = None;
         if log {
             if let Some(wal) = &self.wal {
-                let bytes = wal.lock().append(op)?;
+                let appended = wal.append(op)?;
                 self.counters.wal_appends.inc();
-                self.counters.wal_bytes.add(bytes);
+                self.counters.wal_bytes.add(appended.bytes);
+                seq = Some(appended.seq);
             }
         }
         let ts = self.clock.reserve();
@@ -250,13 +392,14 @@ impl Store {
         // timestamp order.
         self.clock.publish(ts);
         self.counters.commits.inc();
-        Ok(())
+        Ok(seq)
     }
 
-    /// Flush the WAL to the OS.
+    /// Flush the WAL (an fsync durability point under any policy other than
+    /// [`SyncPolicy::Never`]).
     pub fn flush_wal(&self) -> SnbResult<()> {
         if let Some(wal) = &self.wal {
-            wal.lock().flush()?;
+            wal.flush()?;
         }
         Ok(())
     }
@@ -270,6 +413,12 @@ impl Store {
 }
 
 impl Inner {
+    /// Whether no entity has ever been inserted (the parallel loader can
+    /// only build a store from scratch).
+    fn is_empty(&self) -> bool {
+        self.persons.is_empty() && self.forums.is_empty() && self.messages.is_empty()
+    }
+
     fn validate(&self, op: &UpdateOp) -> SnbResult<()> {
         let person_exists = |id: PersonId| -> SnbResult<()> {
             self.persons
@@ -402,21 +551,7 @@ impl Inner {
             &mut self.forum_posts[p.forum.index()],
             Entry { date: p.creation_date, id: p.id.raw(), commit: ts },
         );
-        self.insert_message_row(
-            p.id,
-            MessageRow {
-                author: p.author,
-                forum: p.forum,
-                creation_date: p.creation_date,
-                content: p.content.as_str().into(),
-                image_file: p.image_file.as_deref().map(Into::into),
-                tags: p.tags.clone().into_boxed_slice(),
-                language: p.language,
-                country: p.country as u32,
-                reply_info: None,
-            },
-            ts,
-        );
+        self.insert_message_row(p.id, post_row(p), ts);
     }
 
     fn insert_comment(&mut self, c: &Comment, ts: CommitTs) {
@@ -425,21 +560,7 @@ impl Inner {
             &mut self.message_replies[c.reply_to.index()],
             Entry { date: c.creation_date, id: c.id.raw(), commit: ts },
         );
-        self.insert_message_row(
-            c.id,
-            MessageRow {
-                author: c.author,
-                forum: c.forum,
-                creation_date: c.creation_date,
-                content: c.content.as_str().into(),
-                image_file: None,
-                tags: c.tags.clone().into_boxed_slice(),
-                language: "",
-                country: c.country as u32,
-                reply_info: Some((c.reply_to, c.root_post)),
-            },
-            ts,
-        );
+        self.insert_message_row(c.id, comment_row(c), ts);
     }
 
     fn insert_like(&mut self, l: &Like, ts: CommitTs) {
@@ -919,10 +1040,86 @@ mod tests {
         s.flush_wal().unwrap();
         assert_eq!(s.counters().wal_appends.get(), 2);
         let logged = s.counters().wal_bytes.get();
+        drop(s); // the clean close trims the preallocated tail
         let on_disk = std::fs::metadata(&path).unwrap().len();
-        assert_eq!(logged, on_disk, "counted bytes must match the file size");
+        assert_eq!(logged + 8, on_disk, "counted bytes + file magic must match the file size");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn durable_policy_fsyncs_before_acknowledging() {
+        let path =
+            std::env::temp_dir().join(format!("snb-graph-durable-{}.wal", std::process::id()));
+        let s = Store::with_wal_policy(&path, crate::wal::SyncPolicy::EveryCommit).unwrap();
+        s.apply(&UpdateOp::AddPerson(person(0, 10))).unwrap();
+        s.apply(&UpdateOp::AddPerson(person(1, 20))).unwrap();
+        // One fsync per acknowledged commit, latency recorded, no errors.
+        assert!(s.counters().wal_fsyncs.get() >= 2);
+        assert_eq!(s.counters().wal_group_size.get(), 2);
+        assert!(s.counters().wal_fsync_micros.count() >= 2);
+        assert_eq!(s.counters().wal_sync_errors.get(), 0);
         drop(s);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pipelined_apply_defers_the_durability_barrier() {
+        let path =
+            std::env::temp_dir().join(format!("snb-graph-pipeline-{}.wal", std::process::id()));
+        let s = Store::with_wal_policy(
+            &path,
+            crate::wal::SyncPolicy::GroupCommit {
+                max_batch: 64,
+                max_delay: std::time::Duration::ZERO,
+            },
+        )
+        .unwrap();
+        // Phase one only: both commits visible, neither necessarily synced.
+        let s0 = s.apply_async(&UpdateOp::AddPerson(person(0, 10))).unwrap();
+        let s1 = s.apply_async(&UpdateOp::AddPerson(person(1, 20))).unwrap();
+        assert_eq!((s0, s1), (Some(1), Some(2)));
+        assert!(s.snapshot().person(PersonId(1)).is_some(), "visible before durable");
+        // One barrier on the newest seq covers the whole window.
+        s.wait_durable(s1).unwrap();
+        assert!(s.counters().wal_fsyncs.get() >= 1);
+        assert_eq!(s.counters().wal_group_size.get(), 2, "horizon covers both records");
+        drop(s);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn parallel_bulk_load_matches_serial_indexes() {
+        let ds =
+            snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(150).activity(0.4))
+                .unwrap();
+        let serial = Store::new();
+        serial.bulk_load_until_threads(&ds, ds.config.end, 1);
+        let parallel = Store::new();
+        parallel.bulk_load_until_threads(&ds, ds.config.end, 4);
+        let ss = serial.snapshot();
+        let sp = parallel.snapshot();
+        assert_eq!(ss.person_slots(), sp.person_slots());
+        assert_eq!(ss.forum_slots(), sp.forum_slots());
+        assert_eq!(ss.message_slots(), sp.message_slots());
+        for i in 0..ss.person_slots() as u64 {
+            let p = PersonId(i);
+            assert_eq!(ss.friends(p), sp.friends(p), "friends of {p}");
+            assert_eq!(ss.messages_of(p), sp.messages_of(p), "messages of {p}");
+            assert_eq!(ss.forums_of(p), sp.forums_of(p), "forums of {p}");
+            assert_eq!(ss.likes_by(p), sp.likes_by(p), "likes by {p}");
+        }
+        for i in 0..ss.message_slots() as u64 {
+            let m = MessageId(i);
+            assert_eq!(ss.replies_of(m), sp.replies_of(m), "replies of {m}");
+            assert_eq!(ss.likes_of(m), sp.likes_of(m), "likes of {m}");
+            let (a, b) = (ss.message(m), sp.message(m));
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "row of {m}");
+        }
+        for i in 0..ss.forum_slots() as u64 {
+            let f = ForumId(i);
+            assert_eq!(ss.posts_in_forum(f), sp.posts_in_forum(f), "posts in {f}");
+            assert_eq!(ss.members_of(f), sp.members_of(f), "members of {f}");
+        }
     }
 
     #[test]

@@ -3,16 +3,20 @@
 //! The transactional in-memory property-graph store the benchmark runs
 //! against — the substrate standing in for the paper's closed-source
 //! systems under test. Insert-only MVCC gives serializable snapshot reads
-//! (see [`mvcc`]), a write-ahead log gives redo durability (see [`wal`]),
-//! and the index set is designed around the Interactive workload's
-//! "most recent N before date" access patterns (see [`graph`]).
+//! (see [`mvcc`]), a group-commit write-ahead log gives redo durability
+//! with tail-truncating crash recovery (see [`wal`]), bulk loading is
+//! parallel and sort-once (see the `bulk_load*` methods on
+//! [`graph::Store`]), and the index set is designed around the Interactive
+//! workload's "most recent N before date" access patterns (see [`graph`]).
 
 pub mod counters;
 pub mod graph;
+mod loader;
 pub mod mvcc;
 pub mod stats;
 pub mod wal;
 
 pub use counters::StoreCounters;
-pub use graph::{MessageRow, Snapshot, Store};
+pub use graph::{MessageRow, RecoveryReport, Snapshot, Store};
 pub use stats::StorageStats;
+pub use wal::{Replay, SyncPolicy, Wal, WalMetrics};

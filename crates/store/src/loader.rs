@@ -1,0 +1,301 @@
+//! Parallel sorted bulk loader.
+//!
+//! The serial loader builds every date-ordered index with per-item
+//! `sorted_insert` — a binary search plus an `O(n)` memmove per entry,
+//! `O(n²)` per list in the worst case, all on one thread. Bulk-load time is
+//! a first-class benchmark dimension (§4: "32 months are bulkloaded at
+//! benchmark start"), so this module builds the same [`Inner`] a different
+//! way:
+//!
+//! 1. every id space (persons, forums, messages) is split into contiguous
+//!    ranges, one per worker thread;
+//! 2. each worker scans the (read-only) dataset and materializes *only*
+//!    the table slots and index lists whose owning id falls in its ranges;
+//! 3. each list is sorted **once** with `sort_unstable_by_key` at the end
+//!    instead of being kept incrementally sorted;
+//! 4. the per-worker chunks are concatenated in range order.
+//!
+//! Every list is owned by exactly one worker and sorted by the same
+//! `(date, id)` key the serial path maintains, and a counting pre-pass
+//! replicates the serial `ensure` calls slot for slot *and* records each
+//! list's exact final length, so workers allocate every list at final
+//! capacity (no growth reallocs) — and the result is identical to a serial
+//! load regardless of thread count (asserted by `tests/recovery.rs` and
+//! the workspace end-to-end suite).
+
+use crate::graph::{comment_row, post_row, Entry, Inner, MessageRow, Versioned};
+use crate::mvcc::BULK_TS;
+use snb_core::schema::{Forum, Person};
+use snb_core::time::SimTime;
+use snb_datagen::Dataset;
+use std::ops::Range;
+
+/// The sizing pre-pass result: exact final length of every [`Inner`]
+/// vector (replicating the serial loader's `ensure` calls so slot counts —
+/// and thus `*_slots()` scan bounds — match the serial path exactly), and
+/// the exact number of entries each index list will receive, so workers
+/// allocate every list at final capacity and never pay a growth realloc.
+#[derive(Debug, Default)]
+struct Plan {
+    persons: usize,
+    forums: usize,
+    messages: usize,
+    knows: Vec<u32>,
+    person_messages: Vec<u32>,
+    person_forums: Vec<u32>,
+    person_likes: Vec<u32>,
+    forum_posts: Vec<u32>,
+    forum_members: Vec<u32>,
+    message_replies: Vec<u32>,
+    message_likes: Vec<u32>,
+}
+
+fn bump(slot: &mut usize, idx: usize) {
+    *slot = (*slot).max(idx + 1);
+}
+
+/// Extend the count vector so slot `idx` exists (an `ensure` without an
+/// entry: the serial loader also materializes empty lists up to the
+/// highest referenced id).
+fn ensure(v: &mut Vec<u32>, idx: usize) {
+    if idx >= v.len() {
+        v.resize(idx + 1, 0);
+    }
+}
+
+/// `ensure` plus: one more entry will land in slot `idx`.
+fn tick(v: &mut Vec<u32>, idx: usize) {
+    ensure(v, idx);
+    v[idx] += 1;
+}
+
+fn plan(ds: &Dataset, cut: SimTime) -> Plan {
+    let mut s = Plan::default();
+    for p in ds.persons.iter().filter(|p| p.creation_date <= cut) {
+        let i = p.id.index();
+        bump(&mut s.persons, i);
+        ensure(&mut s.knows, i);
+        ensure(&mut s.person_messages, i);
+        ensure(&mut s.person_forums, i);
+        ensure(&mut s.person_likes, i);
+    }
+    for k in ds.knows.iter().filter(|k| k.creation_date <= cut) {
+        tick(&mut s.knows, k.a.index());
+        tick(&mut s.knows, k.b.index());
+    }
+    for f in ds.forums.iter().filter(|f| f.creation_date <= cut) {
+        let i = f.id.index();
+        bump(&mut s.forums, i);
+        ensure(&mut s.forum_posts, i);
+        ensure(&mut s.forum_members, i);
+    }
+    for m in ds.memberships.iter().filter(|m| m.join_date <= cut) {
+        tick(&mut s.forum_members, m.forum.index());
+        tick(&mut s.person_forums, m.person.index());
+    }
+    for p in ds.posts.iter().filter(|p| p.creation_date <= cut) {
+        tick(&mut s.forum_posts, p.forum.index());
+        tick(&mut s.person_messages, p.author.index());
+        let i = p.id.index();
+        bump(&mut s.messages, i);
+        ensure(&mut s.message_replies, i);
+        ensure(&mut s.message_likes, i);
+    }
+    for c in ds.comments.iter().filter(|c| c.creation_date <= cut) {
+        tick(&mut s.message_replies, c.reply_to.index());
+        tick(&mut s.person_messages, c.author.index());
+        let i = c.id.index();
+        bump(&mut s.messages, i);
+        ensure(&mut s.message_replies, i);
+        ensure(&mut s.message_likes, i);
+    }
+    for l in ds.likes.iter().filter(|l| l.creation_date <= cut) {
+        tick(&mut s.message_likes, l.message.index());
+        tick(&mut s.person_likes, l.person.index());
+    }
+    s
+}
+
+/// Contiguous slice of `0..len` owned by worker `t` of `threads` (empty
+/// for trailing workers when `len < threads`).
+fn range_of(len: usize, threads: usize, t: usize) -> Range<usize> {
+    let chunk = len.div_ceil(threads).max(1);
+    (t * chunk).min(len)..((t + 1) * chunk).min(len)
+}
+
+/// One worker's contiguous slice of every [`Inner`] vector.
+#[derive(Debug, Default)]
+struct Shard {
+    persons: Vec<Option<Versioned<Person>>>,
+    forums: Vec<Option<Versioned<Forum>>>,
+    messages: Vec<Option<Versioned<MessageRow>>>,
+    knows: Vec<Vec<Entry>>,
+    person_messages: Vec<Vec<Entry>>,
+    forum_posts: Vec<Vec<Entry>>,
+    forum_members: Vec<Vec<Entry>>,
+    person_forums: Vec<Vec<Entry>>,
+    message_replies: Vec<Vec<Entry>>,
+    message_likes: Vec<Vec<Entry>>,
+    person_likes: Vec<Vec<Entry>>,
+}
+
+fn entry(date: SimTime, id: u64) -> Entry {
+    Entry { date, id, commit: BULK_TS }
+}
+
+/// Each list allocated at its exact final capacity, so pushes never
+/// realloc (capacity is invisible to the identical-results contract).
+fn with_caps(counts: &[u32]) -> Vec<Vec<Entry>> {
+    counts.iter().map(|&c| Vec::with_capacity(c as usize)).collect()
+}
+
+fn build_shard(ds: &Dataset, cut: SimTime, s: &Plan, threads: usize, t: usize) -> Shard {
+    let persons_r = range_of(s.persons, threads, t);
+    let knows_r = range_of(s.knows.len(), threads, t);
+    let person_messages_r = range_of(s.person_messages.len(), threads, t);
+    let person_forums_r = range_of(s.person_forums.len(), threads, t);
+    let person_likes_r = range_of(s.person_likes.len(), threads, t);
+    let forums_r = range_of(s.forums, threads, t);
+    let forum_posts_r = range_of(s.forum_posts.len(), threads, t);
+    let forum_members_r = range_of(s.forum_members.len(), threads, t);
+    let messages_r = range_of(s.messages, threads, t);
+    let message_replies_r = range_of(s.message_replies.len(), threads, t);
+    let message_likes_r = range_of(s.message_likes.len(), threads, t);
+
+    let mut sh = Shard {
+        persons: vec![None; persons_r.len()],
+        forums: vec![None; forums_r.len()],
+        messages: vec![None; messages_r.len()],
+        knows: with_caps(&s.knows[knows_r.clone()]),
+        person_messages: with_caps(&s.person_messages[person_messages_r.clone()]),
+        forum_posts: with_caps(&s.forum_posts[forum_posts_r.clone()]),
+        forum_members: with_caps(&s.forum_members[forum_members_r.clone()]),
+        person_forums: with_caps(&s.person_forums[person_forums_r.clone()]),
+        message_replies: with_caps(&s.message_replies[message_replies_r.clone()]),
+        message_likes: with_caps(&s.message_likes[message_likes_r.clone()]),
+        person_likes: with_caps(&s.person_likes[person_likes_r.clone()]),
+    };
+
+    for p in ds.persons.iter().filter(|p| p.creation_date <= cut) {
+        let i = p.id.index();
+        if persons_r.contains(&i) {
+            sh.persons[i - persons_r.start] = Some(Versioned { commit: BULK_TS, row: p.clone() });
+        }
+    }
+    for k in ds.knows.iter().filter(|k| k.creation_date <= cut) {
+        let (a, b) = (k.a.index(), k.b.index());
+        if knows_r.contains(&a) {
+            sh.knows[a - knows_r.start].push(entry(k.creation_date, k.b.raw()));
+        }
+        if knows_r.contains(&b) {
+            sh.knows[b - knows_r.start].push(entry(k.creation_date, k.a.raw()));
+        }
+    }
+    for f in ds.forums.iter().filter(|f| f.creation_date <= cut) {
+        let i = f.id.index();
+        if forums_r.contains(&i) {
+            sh.forums[i - forums_r.start] = Some(Versioned { commit: BULK_TS, row: f.clone() });
+        }
+    }
+    for m in ds.memberships.iter().filter(|m| m.join_date <= cut) {
+        let (f, p) = (m.forum.index(), m.person.index());
+        if forum_members_r.contains(&f) {
+            sh.forum_members[f - forum_members_r.start].push(entry(m.join_date, m.person.raw()));
+        }
+        if person_forums_r.contains(&p) {
+            sh.person_forums[p - person_forums_r.start].push(entry(m.join_date, m.forum.raw()));
+        }
+    }
+    for p in ds.posts.iter().filter(|p| p.creation_date <= cut) {
+        let f = p.forum.index();
+        if forum_posts_r.contains(&f) {
+            sh.forum_posts[f - forum_posts_r.start].push(entry(p.creation_date, p.id.raw()));
+        }
+        let a = p.author.index();
+        if person_messages_r.contains(&a) {
+            sh.person_messages[a - person_messages_r.start]
+                .push(entry(p.creation_date, p.id.raw()));
+        }
+        let i = p.id.index();
+        if messages_r.contains(&i) {
+            sh.messages[i - messages_r.start] =
+                Some(Versioned { commit: BULK_TS, row: post_row(p) });
+        }
+    }
+    for c in ds.comments.iter().filter(|c| c.creation_date <= cut) {
+        let parent = c.reply_to.index();
+        if message_replies_r.contains(&parent) {
+            sh.message_replies[parent - message_replies_r.start]
+                .push(entry(c.creation_date, c.id.raw()));
+        }
+        let a = c.author.index();
+        if person_messages_r.contains(&a) {
+            sh.person_messages[a - person_messages_r.start]
+                .push(entry(c.creation_date, c.id.raw()));
+        }
+        let i = c.id.index();
+        if messages_r.contains(&i) {
+            sh.messages[i - messages_r.start] =
+                Some(Versioned { commit: BULK_TS, row: comment_row(c) });
+        }
+    }
+    for l in ds.likes.iter().filter(|l| l.creation_date <= cut) {
+        let m = l.message.index();
+        if message_likes_r.contains(&m) {
+            sh.message_likes[m - message_likes_r.start]
+                .push(entry(l.creation_date, l.person.raw()));
+        }
+        let p = l.person.index();
+        if person_likes_r.contains(&p) {
+            sh.person_likes[p - person_likes_r.start].push(entry(l.creation_date, l.message.raw()));
+        }
+    }
+
+    // Sort each index list once — same `(date, id)` order `sorted_insert`
+    // maintains incrementally.
+    let lists = sh
+        .knows
+        .iter_mut()
+        .chain(sh.person_messages.iter_mut())
+        .chain(sh.forum_posts.iter_mut())
+        .chain(sh.forum_members.iter_mut())
+        .chain(sh.person_forums.iter_mut())
+        .chain(sh.message_replies.iter_mut())
+        .chain(sh.message_likes.iter_mut())
+        .chain(sh.person_likes.iter_mut());
+    for list in lists {
+        list.sort_unstable_by_key(|e| (e.date, e.id));
+    }
+    sh
+}
+
+/// Build a complete [`Inner`] from `ds` (entities dated at or before
+/// `cut`) using `threads` workers.
+pub(crate) fn build(ds: &Dataset, cut: SimTime, threads: usize) -> Inner {
+    let threads = threads.max(1);
+    let s = plan(ds, cut);
+    let shards: Vec<Shard> = std::thread::scope(|scope| {
+        let s = &s;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| scope.spawn(move || build_shard(ds, cut, s, threads, t)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("bulk-load worker panicked")).collect()
+    });
+    // Per-space ranges are contiguous and in worker order: concatenation
+    // reassembles each full vector.
+    let mut inner = Inner::default();
+    for sh in shards {
+        inner.persons.extend(sh.persons);
+        inner.forums.extend(sh.forums);
+        inner.messages.extend(sh.messages);
+        inner.knows.extend(sh.knows);
+        inner.person_messages.extend(sh.person_messages);
+        inner.forum_posts.extend(sh.forum_posts);
+        inner.forum_members.extend(sh.forum_members);
+        inner.person_forums.extend(sh.person_forums);
+        inner.message_replies.extend(sh.message_replies);
+        inner.message_likes.extend(sh.message_likes);
+        inner.person_likes.extend(sh.person_likes);
+    }
+    inner
+}

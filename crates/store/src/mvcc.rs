@@ -65,9 +65,14 @@ impl CommitClock {
 
     /// Publish `ts` as committed (call after all rows are written, still
     /// under the writer lock, so publication order equals timestamp order).
+    ///
+    /// Monotonicity is a hard invariant, enforced in release builds too: a
+    /// non-monotone publish would silently move the snapshot horizon
+    /// backwards and un-commit visible transactions, so it panics instead.
     #[inline]
     pub fn publish(&self, ts: CommitTs) {
-        debug_assert!(ts > self.latest.load(Ordering::Relaxed));
+        let latest = self.latest.load(Ordering::Relaxed);
+        assert!(ts > latest, "CommitClock::publish went backwards: publishing {ts} over {latest}");
         self.latest.store(ts, Ordering::Release);
     }
 
@@ -113,6 +118,16 @@ mod tests {
         clock.publish(a);
         clock.publish(b);
         assert_eq!(clock.snapshot_ts(), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "publish went backwards")]
+    fn non_monotone_publish_panics_in_release_too() {
+        let clock = CommitClock::new();
+        let a = clock.reserve();
+        let b = clock.reserve();
+        clock.publish(b);
+        clock.publish(a); // would regress the snapshot horizon
     }
 
     #[test]

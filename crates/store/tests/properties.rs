@@ -287,7 +287,7 @@ proptest! {
         let mut model = Model::default();
         let mut written = Vec::new();
         {
-            let mut wal = snb_store::wal::Wal::create(&path).unwrap();
+            let wal = snb_store::wal::Wal::create(&path).unwrap();
             for (i, a) in actions.iter().enumerate() {
                 let Some((op, ok)) = to_op(a, i as i64 + 1, &model) else { continue };
                 if ok {
@@ -299,8 +299,9 @@ proptest! {
             wal.flush().unwrap();
         }
         let replayed = snb_store::wal::replay(&path).unwrap();
-        prop_assert_eq!(replayed.len(), written.len());
-        for (a, b) in written.iter().zip(&replayed) {
+        prop_assert_eq!(replayed.ops.len(), written.len());
+        prop_assert_eq!(replayed.truncated_bytes, 0);
+        for (a, b) in written.iter().zip(&replayed.ops) {
             prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
         }
         std::fs::remove_file(&path).unwrap();

@@ -5,6 +5,7 @@
 //! snb rdf      --persons 5000 --out ./data.nt      # N-Triples bulk
 //! snb stats    --persons 5000                      # Table 3-style statistics
 //! snb run      --persons 2000 [--accel N] [--partitions N] [--naive] [--json]
+//!              [--wal PATH] [--sync never|commit|group|group:B:DELAY_US]
 //!                                                  # full benchmark + disclosure
 //! ```
 //!
@@ -17,7 +18,7 @@ use ldbc_snb::driver::{
 };
 use ldbc_snb::params::curated_bindings;
 use ldbc_snb::queries::Engine;
-use ldbc_snb::store::Store;
+use ldbc_snb::store::{Store, SyncPolicy};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -32,12 +33,15 @@ struct Args {
     partitions: usize,
     naive: bool,
     json: bool,
+    wal: Option<PathBuf>,
+    sync: SyncPolicy,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: snb <generate|rdf|stats|run> [--persons N] [--seed N] [--threads N]\n\
-         \x20          [--out PATH] [--accel N] [--partitions N] [--naive] [--json]"
+         \x20          [--out PATH] [--accel N] [--partitions N] [--naive] [--json]\n\
+         \x20          [--wal PATH] [--sync never|commit|group|group:BATCH:DELAY_US]"
     );
     ExitCode::from(2)
 }
@@ -55,6 +59,8 @@ fn parse() -> Result<Args, ExitCode> {
         partitions: 4,
         naive: false,
         json: false,
+        wal: None,
+        sync: SyncPolicy::default(),
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -76,6 +82,14 @@ fn parse() -> Result<Args, ExitCode> {
             }
             "--naive" => args.naive = true,
             "--json" => args.json = true,
+            "--wal" => args.wal = Some(PathBuf::from(value(&rest, &mut i)?)),
+            "--sync" => {
+                let spec = value(&rest, &mut i)?;
+                args.sync = SyncPolicy::parse(&spec).ok_or_else(|| {
+                    eprintln!("bad --sync policy: {spec}");
+                    usage()
+                })?;
+            }
             other => {
                 eprintln!("unknown flag: {other}");
                 return Err(usage());
@@ -124,7 +138,12 @@ fn main() -> ExitCode {
         }
         "run" => {
             let ds = generate(config).expect("generation failed");
-            let store = Arc::new(Store::new());
+            let store = match &args.wal {
+                Some(path) => {
+                    Arc::new(Store::with_wal_policy(path, args.sync).expect("wal create failed"))
+                }
+                None => Arc::new(Store::new()),
+            };
             store.bulk_load(&ds);
             let bindings = curated_bindings(&ds, 16);
             let items = build_mix(&ds, &bindings);

@@ -75,8 +75,9 @@ fn wal_recovery_restores_exact_state() {
         store.flush_wal().unwrap();
         // store dropped here = crash after flush
     }
-    let (recovered, replayed) = Store::recover(ds, &wal_path).unwrap();
-    assert_eq!(replayed as usize, half);
+    let (recovered, report) = Store::recover(ds, &wal_path).unwrap();
+    assert_eq!(report.replayed as usize, half);
+    assert_eq!(report.truncated_bytes, 0, "clean shutdown must lose nothing");
 
     // The recovered store answers queries identically to a store that never
     // crashed.
@@ -97,6 +98,39 @@ fn wal_recovery_restores_exact_state() {
         recovered.apply(&u.op).unwrap();
     }
     std::fs::remove_file(&wal_path).unwrap();
+}
+
+#[test]
+fn parallel_bulk_load_answers_queries_identically_to_serial() {
+    // Determinism contract of the parallel sorted loader: on a fixed seed,
+    // every complex read (Q1-Q14, all curated bindings) returns
+    // byte-identical results whether the store was loaded with 1 thread or
+    // 4.
+    let ds = dataset();
+    let serial = Store::new();
+    serial.bulk_load_until_threads(ds, ds.config.end, 1);
+    let parallel = Store::new();
+    parallel.bulk_load_until_threads(ds, ds.config.end, 4);
+
+    let ss = serial.snapshot();
+    let sp = parallel.snapshot();
+    assert_eq!(ss.person_slots(), sp.person_slots());
+    assert_eq!(ss.forum_slots(), sp.forum_slots());
+    assert_eq!(ss.message_slots(), sp.message_slots());
+
+    let bindings = ldbc_snb::params::curated_bindings(ds, 3);
+    for q in 1..=14 {
+        for binding in bindings.all(q) {
+            let a = complex::run_complex(&ss, Engine::Intended, binding);
+            let b = complex::run_complex(&sp, Engine::Intended, binding);
+            assert_eq!(a, b, "Q{q} diverges under parallel load ({binding:?})");
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "Q{q} results must be byte-identical ({binding:?})"
+            );
+        }
+    }
 }
 
 #[test]
