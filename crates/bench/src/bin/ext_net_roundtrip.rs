@@ -1,0 +1,65 @@
+//! Extension experiment — the cost of the wire (snb-net): the same
+//! workload driven in-process vs through `RemoteConnector` → loopback TCP
+//! → `Server`. The paper's driver always talks to its SUT over a client/
+//! server boundary; this quantifies what that boundary costs per operation
+//! (serialization + syscalls + one round trip) against the in-process
+//! upper bound.
+
+use snb_bench::{dataset, Table};
+use snb_driver::{mix, run, DriverConfig, StoreConnector};
+use snb_net::{RemoteConnector, Server};
+use snb_queries::Engine;
+use snb_store::Store;
+use std::sync::Arc;
+
+fn main() {
+    let ds = dataset(3_000);
+    let items = mix::updates_only(&ds);
+    let take = items.len().min(30_000);
+    let slice = &items[..take];
+    println!("net round-trip ablation: {} update ops over loopback TCP\n", slice.len());
+
+    let mut t = Table::new(&[
+        "partitions",
+        "in-process ops/s",
+        "loopback ops/s",
+        "loopback/in-proc",
+        "rtt p50 us",
+        "rtt p99 us",
+    ]);
+    for partitions in [1usize, 2, 4, 8] {
+        let config = DriverConfig { partitions, ..DriverConfig::default() };
+
+        let local_store = Arc::new(Store::new());
+        local_store.bulk_load(&ds);
+        let local = StoreConnector::new(local_store, Engine::Intended);
+        let in_proc = run(slice, &local, &config).unwrap().ops_per_second;
+
+        let remote_store = Arc::new(Store::new());
+        remote_store.bulk_load(&ds);
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(StoreConnector::new(remote_store, Engine::Intended)),
+        )
+        .unwrap();
+        let client = RemoteConnector::connect(server.local_addr().to_string()).unwrap();
+        let loopback = run(slice, &client, &config).unwrap().ops_per_second;
+        let rtt_p50 = client.metrics().request_micros.value_at_quantile(0.50);
+        let rtt_p99 = client.metrics().request_micros.value_at_quantile(0.99);
+        server.shutdown();
+        server.join();
+
+        t.row(&[
+            partitions.to_string(),
+            format!("{in_proc:.0}"),
+            format!("{loopback:.0}"),
+            format!("{:.2}x", loopback / in_proc),
+            rtt_p50.to_string(),
+            rtt_p99.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\npaper shape: the SUT boundary costs a fixed per-op round trip, so the");
+    println!("relative penalty shrinks as per-op work grows and with more partitions");
+    println!("(round trips overlap across connections).");
+}

@@ -18,11 +18,61 @@
 use parking_lot::Mutex;
 use snb_core::time::SimTime;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Sentinel a finished stream advances to so it never holds `T_GC` back.
 pub const STREAM_END: SimTime = SimTime(i64::MAX / 2);
+
+/// Wakeup channel for threads blocked on GCT advancement.
+///
+/// Every [`Lds`] state change that can move `T_GC` (initiations raising
+/// `T_LI`, completions, finish/abandon) notifies the signal its [`Gds`]
+/// shares with all streams, so a partition blocked in the Fig. 8 dependency
+/// loop parks on a condvar instead of burning a core — on small machines a
+/// spinning waiter starves the very partitions whose completions it waits
+/// for. Notification is skipped entirely while nobody waits (one relaxed
+/// load on the completion hot path), and waiters recheck their predicate
+/// under the lock plus wake on a short timeout, so a lost wakeup can only
+/// delay, never deadlock.
+#[derive(Debug, Default)]
+pub struct WakeSignal {
+    waiters: AtomicUsize,
+    /// Condvar waits performed (observability: proves waiters park rather
+    /// than spin).
+    parks: AtomicU64,
+    lock: std::sync::Mutex<()>,
+    cond: std::sync::Condvar,
+}
+
+impl WakeSignal {
+    /// Wake all parked waiters. Cheap (one atomic load) when nobody waits.
+    pub fn notify(&self) {
+        if self.waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.cond.notify_all();
+    }
+
+    /// Park until notified or `cap` elapses, unless `ready()` already holds
+    /// (rechecked under the lock, closing the check-then-sleep race).
+    pub fn wait_until(&self, ready: impl Fn() -> bool, cap: Duration) {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        if !ready() {
+            self.parks.fetch_add(1, Ordering::Relaxed);
+            let _ = self.cond.wait_timeout(g, cap).unwrap_or_else(|e| e.into_inner());
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Number of times a waiter actually parked on the condvar.
+    pub fn parks(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+}
 
 #[derive(Debug, Default)]
 struct LdsInner {
@@ -43,6 +93,9 @@ pub struct Lds {
     tli: AtomicI64,
     /// Cached `T_LC`.
     tlc: AtomicI64,
+    /// Shared with the owning [`Gds`]: notified on every state change so
+    /// GCT waiters can park instead of spinning.
+    signal: Arc<WakeSignal>,
 }
 
 impl Default for Lds {
@@ -54,10 +107,17 @@ impl Default for Lds {
 impl Lds {
     /// Fresh service; `T_LI`/`T_LC` start at 0 (before all simulation time).
     pub fn new() -> Lds {
+        Lds::with_signal(Arc::new(WakeSignal::default()))
+    }
+
+    /// A service whose state changes notify `signal` (used by [`Gds`] to
+    /// share one wakeup channel across all streams).
+    pub fn with_signal(signal: Arc<WakeSignal>) -> Lds {
         Lds {
             inner: Mutex::new(LdsInner::default()),
             tli: AtomicI64::new(0),
             tlc: AtomicI64::new(0),
+            signal,
         }
     }
 
@@ -111,6 +171,20 @@ impl Lds {
         self.refresh(&mut g);
     }
 
+    /// Abort-path variant of [`Lds::finish`]: drop any in-flight initiated
+    /// operations and jump to [`STREAM_END`]. A failed partition may die
+    /// between `initiate` and `complete`; keeping its IT entry would pin
+    /// `T_GI` forever and deadlock every other partition waiting on the
+    /// GCT, while asserting emptiness (as `finish` does) would panic on a
+    /// path where the run is already being torn down.
+    pub fn abandon(&self) {
+        let mut g = self.inner.lock();
+        g.it.clear();
+        g.last_added = STREAM_END.millis();
+        self.tli.store(STREAM_END.millis(), Ordering::Release);
+        self.refresh(&mut g);
+    }
+
     fn refresh(&self, g: &mut LdsInner) {
         // T_LI: lowest initiated time, or the last known lowest (adds are
         // monotone, so `last_added` is a valid floor once IT drains).
@@ -129,6 +203,10 @@ impl Lds {
             }
         }
         self.tlc.store(tlc, Ordering::Release);
+        // State published; wake anyone parked on GCT advancement. (Both the
+        // stores above and this notify happen before the waiter re-acquires
+        // the signal lock, so its predicate recheck sees the new values.)
+        self.signal.notify();
     }
 }
 
@@ -142,20 +220,31 @@ pub struct Gds {
     /// a valid completion point (completions never undo), so we publish the
     /// running maximum, keeping the guaranteed monotonicity.
     gct_cache: AtomicI64,
+    /// One wakeup channel shared by every stream's [`Lds`].
+    signal: Arc<WakeSignal>,
 }
 
 impl Gds {
     /// Build over `n` fresh streams.
     pub fn new(n: usize) -> Gds {
+        let signal = Arc::new(WakeSignal::default());
         Gds {
-            streams: (0..n).map(|_| Arc::new(Lds::new())).collect(),
+            streams: (0..n).map(|_| Arc::new(Lds::with_signal(Arc::clone(&signal)))).collect(),
             gct_cache: AtomicI64::new(0),
+            signal,
         }
     }
 
     /// The per-stream services.
     pub fn stream(&self, i: usize) -> &Arc<Lds> {
         &self.streams[i]
+    }
+
+    /// The wakeup channel GCT waiters park on. Notified whenever any
+    /// stream's state changes; callers tearing the run down (abort) should
+    /// notify it explicitly so waiters re-check their abort flag promptly.
+    pub fn signal(&self) -> &Arc<WakeSignal> {
+        &self.signal
     }
 
     /// `T_GI`: the lowest `T_LI` across streams.

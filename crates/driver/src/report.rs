@@ -110,14 +110,14 @@ pub fn full_disclosure(report: &RunReport) -> String {
     let _ = writeln!(out, "\nscheduler (per partition):");
     let _ = writeln!(
         out,
-        "  {:<10} {:>8} {:>10} {:>14} {:>14}",
-        "partition", "ops", "gct waits", "gct wait (µs)", "slippage (µs)"
+        "  {:<10} {:>8} {:>10} {:>14} {:>10} {:>14}",
+        "partition", "ops", "gct waits", "gct wait (µs)", "gct parks", "slippage (µs)"
     );
     for p in &report.partitions {
         let _ = writeln!(
             out,
-            "  {:<10} {:>8} {:>10} {:>14} {:>14}",
-            p.partition, p.ops, p.gct_waits, p.gct_wait_micros, p.slippage_micros
+            "  {:<10} {:>8} {:>10} {:>14} {:>10} {:>14}",
+            p.partition, p.ops, p.gct_waits, p.gct_wait_micros, p.gct_parks, p.slippage_micros
         );
     }
 
@@ -182,6 +182,7 @@ pub fn full_disclosure_json(report: &RunReport) -> Json {
             ("ops", Json::from(p.ops)),
             ("gct_waits", Json::from(p.gct_waits)),
             ("gct_wait_micros", Json::from(p.gct_wait_micros)),
+            ("gct_parks", Json::from(p.gct_parks)),
             ("slippage_micros", Json::from(p.slippage_micros)),
             ("window_batches", Json::from(p.window_batches)),
         ])

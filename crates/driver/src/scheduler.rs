@@ -81,6 +81,11 @@ pub struct PartitionStats {
     pub gct_waits: u64,
     /// Total wall time spent blocked on the GCT, in microseconds.
     pub gct_wait_micros: u64,
+    /// Condvar parks inside GCT waits: long waits escalate from a brief
+    /// spin/yield to parking on the GDS wake signal, so a blocked partition
+    /// does not burn a core while its dependency is paced far in the
+    /// future.
+    pub gct_parks: u64,
     /// Schedule slippage under pacing: accumulated lateness of operations
     /// against their due time, in microseconds (0 in throughput mode).
     pub slippage_micros: u64,
@@ -124,8 +129,16 @@ pub fn run(
     }
     let partitions = config.partitions.max(1);
     let queues = partition_items(items, partitions);
-    let sim_start = items.first().unwrap().due;
+    // Derive the simulation origin from the *minimum* due time, not the
+    // first item: an unsorted workload would otherwise make
+    // `due.since(sim_start)` negative, silently corrupting pacing targets
+    // and (via truncating division) windowed-mode window indices.
+    let sim_start = items.iter().map(|w| w.due).min().unwrap();
     let sim_end = items.iter().map(|w| w.due).max().unwrap();
+    debug_assert!(
+        queues.iter().all(|q| q.windows(2).all(|w| w[0].due <= w[1].due)),
+        "partition queues must be due-ordered"
+    );
 
     let gds = Gds::new(partitions);
     let metrics = Metrics::new();
@@ -158,6 +171,7 @@ pub fn run(
                         ops: 0,
                         gct_waits: 0,
                         gct_wait_micros: 0,
+                        gct_parks: 0,
                         slippage_micros: 0,
                         window_batches: 0,
                     },
@@ -166,6 +180,10 @@ pub fn run(
                 if let Err(e) = worker.run(queue, partition_stats) {
                     abort.store(true, Ordering::Release);
                     first_error.lock().get_or_insert(e);
+                    // Waiters park on the GCT signal; wake them so they
+                    // observe the abort flag instead of sleeping out their
+                    // timeout.
+                    gds.signal().notify();
                 }
             });
         }
@@ -185,7 +203,10 @@ pub fn run(
         total_ops,
         ops_per_second: total_ops as f64 / wall.as_secs_f64().max(1e-9),
         sim_span_millis,
-        achieved_acceleration: sim_span_millis as f64 / wall.as_millis().max(1) as f64,
+        // Simulation millis over wall millis, both as f64: truncating the
+        // wall to whole milliseconds (and clamping to 1) distorted the
+        // ratio by up to 1000x for sub-millisecond runs.
+        achieved_acceleration: sim_span_millis as f64 / (wall.as_secs_f64() * 1e3).max(1e-6),
         metrics,
         steady,
         partitions,
@@ -240,7 +261,15 @@ impl Worker<'_> {
             ExecutionMode::Parallel => self.run_parallel(&queue),
             ExecutionMode::Windowed { window_millis } => self.run_windowed(&queue, window_millis),
         };
-        self.lds.finish();
+        // A failed or aborted partition may hold initiated-but-incomplete
+        // operations; abandon() drops them so no other partition deadlocks
+        // on a dependency that will never complete. The clean path keeps
+        // finish()'s stricter everything-completed invariant.
+        if result.is_ok() && !self.abort.load(Ordering::Acquire) {
+            self.lds.finish();
+        } else {
+            self.lds.abandon();
+        }
         // Publish scheduler accounting regardless of outcome (latencies are
         // recorded directly into the shared per-kind recorders).
         out.lock().push(self.stats);
@@ -257,6 +286,11 @@ impl Worker<'_> {
                 self.wait_for_gct(item.dep);
             }
             self.pace(item.due);
+            // The GCT wait and the pacing sleep both return early on abort;
+            // don't execute an operation the run no longer wants.
+            if self.abort.load(Ordering::Acquire) {
+                break;
+            }
             let outcome = self.execute_timed(&item.op)?;
             self.lds.complete(item.due);
             if let Operation::Complex(_) = item.op {
@@ -291,6 +325,9 @@ impl Worker<'_> {
                 self.wait_for_gct(max_dep);
             }
             self.pace(batch[0].due);
+            if self.abort.load(Ordering::Acquire) {
+                break;
+            }
             for item in batch {
                 let outcome = self.execute_timed(&item.op)?;
                 self.lds.complete(item.due);
@@ -312,15 +349,26 @@ impl Worker<'_> {
         }
         let t0 = Instant::now();
         let mut spins = 0u32;
-        while self.gds.gct() < dep {
-            if self.abort.load(Ordering::Acquire) {
+        loop {
+            if self.gds.gct() >= dep || self.abort.load(Ordering::Acquire) {
                 break;
             }
             spins += 1;
             if spins < 64 {
                 std::hint::spin_loop();
-            } else {
+            } else if spins < 96 {
                 std::thread::yield_now();
+            } else {
+                // Long wait (a paced dependency can be far in the future):
+                // park on the GDS wake signal instead of burning a core,
+                // which would starve co-scheduled partitions on small
+                // machines. Woken by any stream's completion/finish and on
+                // abort; the cap bounds the cost of a lost wakeup.
+                self.stats.gct_parks += 1;
+                self.gds.signal().wait_until(
+                    || self.gds.gct() >= dep || self.abort.load(Ordering::Acquire),
+                    Duration::from_millis(1),
+                );
             }
         }
         self.stats.gct_waits += 1;
@@ -339,13 +387,22 @@ impl Worker<'_> {
             return;
         }
         loop {
+            // Another partition may have failed while we pace toward a due
+            // time that can be the rest of the simulated span away; without
+            // this check a failed accelerated run keeps sleeping instead of
+            // stopping.
+            if self.abort.load(Ordering::Acquire) {
+                return;
+            }
             let elapsed = self.start.elapsed();
             if elapsed >= target {
                 return;
             }
             let remain = target - elapsed;
             if remain > Duration::from_millis(2) {
-                std::thread::sleep(remain / 2);
+                // Cap individual sleeps so the abort flag is observed
+                // promptly no matter how distant the due time is.
+                std::thread::sleep((remain / 2).min(Duration::from_millis(10)));
             } else {
                 // Never spin here: paced partitions must let each other run
                 // even on a single core.

@@ -1,0 +1,137 @@
+//! Regression tests for driver correctness fixes: each test fails on the
+//! pre-fix scheduler.
+//!
+//! 1. `Worker::pace()` ignored the abort flag, so a failed accelerated run
+//!    kept sleeping toward far-future due times instead of stopping.
+//! 2. `run()` took `sim_start` from the *first* item instead of the
+//!    minimum due time, so an unsorted workload produced negative
+//!    `due.since(sim_start)` offsets — corrupting pacing targets and
+//!    (through truncating division) windowed-mode window indices.
+//! 3. `achieved_acceleration` divided by `wall.as_millis().max(1)`,
+//!    distorting the ratio by up to 1000x for sub-millisecond runs.
+//!
+//! (Fix 4 — GCT waits park on a condvar instead of busy-spinning — has its
+//! own dedicated test binary, `gct_parking.rs`, because it measures process
+//! CPU time and must not share the process with CPU-hungry tests.)
+
+use snb_core::time::SimTime;
+use snb_core::{PersonId, SnbError, SnbResult};
+use snb_driver::connector::{Connector, OpOutcome, SleepConnector};
+use snb_driver::mix::WorkItem;
+use snb_driver::scheduler::{run, DriverConfig, ExecutionMode};
+use snb_driver::Operation;
+use snb_queries::params::ShortQuery;
+use std::time::{Duration, Instant};
+
+/// A connector that fails every operation immediately.
+struct FailingConnector;
+
+impl Connector for FailingConnector {
+    fn execute(&self, _op: &Operation) -> SnbResult<OpOutcome> {
+        Err(SnbError::Constraint("injected failure".into()))
+    }
+}
+
+fn short_item(due: i64, dep: i64, hint: u64) -> WorkItem {
+    WorkItem {
+        due: SimTime(due),
+        dep: SimTime(dep),
+        partition_hint: hint,
+        op: Operation::Short(ShortQuery::S1(PersonId(hint))),
+    }
+}
+
+/// Fix 1: after one partition fails, a partition paced toward a due time
+/// hours into the simulated future must observe the abort flag and stop
+/// within a bounded wall time — not sleep out the rest of the span.
+#[test]
+fn failed_accelerated_run_terminates_promptly() {
+    // Partition of hint 1 executes (and fails) immediately; partition of
+    // hint 2 paces toward a due time one simulated hour away, which at
+    // accel=60 is a 60-second wall-clock sleep on the pre-fix scheduler.
+    let items = vec![short_item(0, 0, 1), short_item(3_600_000, 0, 2)];
+    let config =
+        DriverConfig { partitions: 2, acceleration: Some(60.0), ..DriverConfig::default() };
+    let t0 = Instant::now();
+    let result = run(&items, &FailingConnector, &config);
+    let wall = t0.elapsed();
+    assert!(result.is_err(), "injected failure must surface");
+    assert!(wall < Duration::from_secs(5), "abort must interrupt pacing, took {wall:?}");
+}
+
+/// Fix 2 (pacing half): an unsorted workload whose *first* item carries the
+/// maximum due time must still be paced over the full simulated span. The
+/// pre-fix scheduler took `sim_start` from the first item, making every
+/// pacing target non-positive, and replayed the "paced" run instantly.
+#[test]
+fn unsorted_input_is_paced_like_sorted() {
+    let span = 1_000_000i64; // simulated millis
+    let mut items: Vec<WorkItem> =
+        (0..40).map(|i| short_item(i * span / 39, 0, (i % 4) as u64 + 1)).collect();
+    items.reverse(); // first item now has the maximum due time
+    let accel = span as f64 / 300.0; // target ~300 ms wall
+    let conn = SleepConnector::new(Duration::ZERO);
+    let config =
+        DriverConfig { partitions: 2, acceleration: Some(accel), ..DriverConfig::default() };
+    let report = run(&items, &conn, &config).unwrap();
+    assert_eq!(report.total_ops, items.len());
+    assert!(
+        report.wall >= Duration::from_millis(250),
+        "unsorted input must not collapse the paced span: {:?}",
+        report.wall
+    );
+    let ratio = report.achieved_acceleration / accel;
+    assert!((0.5..=1.1).contains(&ratio), "achieved/target {ratio}");
+}
+
+/// Fix 2 (windowed half): a shuffled workload must execute identically to
+/// the sorted one — same op totals and the same per-partition window
+/// batching — in both execution modes. (Due times are distinct here: items
+/// sharing a due time have no recoverable causal order once the input is
+/// scrambled, so the driver's contract only covers ties that arrive in
+/// causal order.) Pre-fix, `sim_start` came from the shuffled first item,
+/// so earlier items got negative window offsets whose truncating division
+/// merged windows around the origin.
+#[test]
+fn unsorted_input_runs_identically_to_sorted() {
+    let window = 1_000i64;
+    let sorted: Vec<WorkItem> =
+        (0..64).map(|i| short_item(i * window / 2, 0, (i % 4) as u64 + 1)).collect();
+    // Deterministic shuffle: an affine permutation mod 64 (the offset
+    // matters — it keeps the minimum due time away from the first slot).
+    let unsorted: Vec<WorkItem> = (0..64).map(|i| sorted[(i * 37 + 11) % 64].clone()).collect();
+
+    for mode in [ExecutionMode::Parallel, ExecutionMode::Windowed { window_millis: window }] {
+        let config = DriverConfig { partitions: 4, mode, ..DriverConfig::default() };
+        let conn = SleepConnector::new(Duration::ZERO);
+        let a = run(&sorted, &conn, &config).unwrap();
+        let b = run(&unsorted, &conn, &config).unwrap();
+        assert_eq!(a.total_ops, sorted.len(), "mode {mode:?}");
+        assert_eq!(a.total_ops, b.total_ops, "mode {mode:?}");
+        let batches = |r: &snb_driver::RunReport| {
+            r.partitions.iter().map(|p| (p.partition, p.ops, p.window_batches)).collect::<Vec<_>>()
+        };
+        assert_eq!(batches(&a), batches(&b), "window batching must not depend on input order");
+        assert_eq!(a.sim_span_millis, b.sim_span_millis, "mode {mode:?}");
+    }
+}
+
+/// Fix 3: `achieved_acceleration` must agree with the report's own wall
+/// clock at full float precision, even for sub-millisecond runs where the
+/// pre-fix whole-millisecond division was off by orders of magnitude.
+#[test]
+fn achieved_acceleration_is_precise_for_short_runs() {
+    let items = vec![short_item(0, 0, 1), short_item(10_000, 0, 1)];
+    let conn = SleepConnector::new(Duration::from_micros(20));
+    let config = DriverConfig { partitions: 1, ..DriverConfig::default() };
+    let report = run(&items, &conn, &config).unwrap();
+    let wall_millis = report.wall.as_secs_f64() * 1e3;
+    let expected = report.sim_span_millis as f64 / wall_millis.max(1e-6);
+    let rel = (report.achieved_acceleration - expected).abs() / expected;
+    assert!(
+        rel < 1e-9,
+        "achieved_acceleration {} != sim/wall {expected} (wall {:?})",
+        report.achieved_acceleration,
+        report.wall
+    );
+}

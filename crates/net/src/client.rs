@@ -1,0 +1,218 @@
+//! [`RemoteConnector`] — the driver side of the wire.
+//!
+//! Implements [`Connector`] over TCP with a connection pool sized by
+//! demand: each concurrent `execute` checks a connection out, so a driver
+//! with P partitions settles on at most P connections. Connect failures are
+//! retried with bounded exponential backoff; a request that has been *sent*
+//! is NEVER retried — updates are not idempotent, and a timed-out update
+//! may well have executed. The error surfaces to the driver, which aborts
+//! the run (the benchmark's required behavior on SUT failure).
+
+use crate::codec::{self, Request, Response, NET_MAGIC};
+use crate::metrics::NetMetrics;
+use snb_core::{SnbError, SnbResult};
+use snb_driver::connector::{Connector, OpOutcome, Operation};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Client-side timeouts and retry policy.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Per-address TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Read/write timeout for one request round trip.
+    pub request_timeout: Duration,
+    /// Additional dial attempts after a failed connect (0 = fail fast).
+    pub connect_retries: u32,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub retry_backoff: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            connect_timeout: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(10),
+            connect_retries: 3,
+            retry_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A pooled TCP client implementing the driver's [`Connector`] trait.
+pub struct RemoteConnector {
+    addr: String,
+    config: NetConfig,
+    pool: Mutex<Vec<TcpStream>>,
+    ever_connected: AtomicBool,
+    metrics: NetMetrics,
+}
+
+impl RemoteConnector {
+    /// Connect with default [`NetConfig`]. Dials one connection eagerly so
+    /// an unreachable server fails here, not mid-run.
+    pub fn connect(addr: impl Into<String>) -> SnbResult<RemoteConnector> {
+        RemoteConnector::with_config(addr, NetConfig::default())
+    }
+
+    /// Connect with an explicit config (see [`RemoteConnector::connect`]).
+    pub fn with_config(addr: impl Into<String>, config: NetConfig) -> SnbResult<RemoteConnector> {
+        let client = RemoteConnector {
+            addr: addr.into(),
+            config,
+            pool: Mutex::new(Vec::new()),
+            ever_connected: AtomicBool::new(false),
+            metrics: NetMetrics::new("client"),
+        };
+        let conn = client.dial()?;
+        client.checkin(conn);
+        Ok(client)
+    }
+
+    /// The client side's net counters.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// Fetch the server's counters (SUT + `net.server.*`) via the RPC.
+    pub fn remote_counters(&self) -> SnbResult<Vec<(String, u64)>> {
+        let mut payload = Vec::new();
+        Request::Counters.encode(&mut payload);
+        match self.request(&payload)? {
+            Response::Counters(counters) => Ok(counters),
+            Response::Error(e) => Err(e),
+            Response::Outcome(_) => {
+                Err(SnbError::Config("protocol mismatch: outcome reply to counters".into()))
+            }
+        }
+    }
+
+    /// Dial with bounded retry + exponential backoff. Only *connecting* is
+    /// retried; requests never are.
+    fn dial(&self) -> SnbResult<TcpStream> {
+        let mut backoff = self.config.retry_backoff;
+        let mut attempts_left = self.config.connect_retries;
+        loop {
+            match self.dial_once() {
+                Ok(stream) => {
+                    self.metrics.connections.inc();
+                    if self.ever_connected.swap(true, Ordering::Relaxed) {
+                        self.metrics.reconnects.inc();
+                    }
+                    return Ok(stream);
+                }
+                Err(e) => {
+                    self.metrics.errors.inc();
+                    if attempts_left == 0 {
+                        return Err(e);
+                    }
+                    attempts_left -= 1;
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+            }
+        }
+    }
+
+    fn dial_once(&self) -> SnbResult<TcpStream> {
+        let addrs: Vec<SocketAddr> = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| SnbError::Config(format!("cannot resolve {}: {e}", self.addr)))?
+            .collect();
+        let mut last_err: Option<std::io::Error> = None;
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
+                Ok(mut stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(self.config.request_timeout))?;
+                    stream.set_write_timeout(Some(self.config.request_timeout))?;
+                    stream.write_all(&NET_MAGIC)?;
+                    let mut echo = [0u8; 8];
+                    stream.read_exact(&mut echo)?;
+                    if echo != NET_MAGIC {
+                        return Err(SnbError::Config(format!(
+                            "{} is not an snb-net server (bad handshake)",
+                            self.addr
+                        )));
+                    }
+                    return Ok(stream);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(SnbError::Io(last_err.unwrap_or_else(|| {
+            std::io::Error::other(format!("{} resolved to no addresses", self.addr))
+        })))
+    }
+
+    fn checkout(&self) -> SnbResult<TcpStream> {
+        if let Some(stream) = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop() {
+            return Ok(stream);
+        }
+        self.dial()
+    }
+
+    fn checkin(&self, stream: TcpStream) {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).push(stream);
+    }
+
+    /// One request round trip. A healthy exchange returns the connection to
+    /// the pool; any transport error poisons (drops) the connection — the
+    /// request may have reached the server, so it must not be replayed.
+    fn request(&self, payload: &[u8]) -> SnbResult<Response> {
+        let mut stream = self.checkout()?;
+        self.metrics.requests.inc();
+        let started = Instant::now();
+        let result = (|| -> std::io::Result<Response> {
+            let n_out = codec::write_frame(&mut stream, payload)?;
+            self.metrics.bytes_out.add(n_out as u64);
+            let mut frame = Vec::new();
+            let n_in = codec::read_frame(&mut stream, &mut frame)?;
+            self.metrics.bytes_in.add(n_in as u64);
+            Response::decode(&frame).ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response frame")
+            })
+        })();
+        self.metrics.request_micros.record(started.elapsed().as_micros() as u64);
+        match result {
+            Ok(response) => {
+                self.checkin(stream);
+                Ok(response)
+            }
+            Err(e) => {
+                self.metrics.errors.inc();
+                drop(stream);
+                Err(SnbError::Io(e))
+            }
+        }
+    }
+}
+
+impl Connector for RemoteConnector {
+    fn execute(&self, op: &Operation) -> SnbResult<OpOutcome> {
+        let mut payload = Vec::new();
+        codec::encode_execute(op, &mut payload);
+        match self.request(&payload)? {
+            Response::Outcome(outcome) => Ok(outcome),
+            Response::Error(e) => {
+                self.metrics.errors.inc();
+                Err(e)
+            }
+            Response::Counters(_) => {
+                Err(SnbError::Config("protocol mismatch: counters reply to execute".into()))
+            }
+        }
+    }
+
+    fn counters(&self) -> Vec<(String, u64)> {
+        let mut counters = self.metrics.snapshot();
+        if let Ok(remote) = self.remote_counters() {
+            counters.extend(remote);
+        }
+        counters
+    }
+}

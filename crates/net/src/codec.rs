@@ -1,0 +1,450 @@
+//! Wire encoding: length-prefixed binary frames over a byte stream.
+//!
+//! One frame is `u32 little-endian payload length | payload`. A connection
+//! opens with an 8-byte magic handshake ([`NET_MAGIC`]) in each direction;
+//! after that the client sends [`Request`] frames and reads exactly one
+//! [`Response`] frame per request. Update operations reuse the WAL's
+//! versioned `UpdateOp` codec ([`snb_store::encode_update`]) so the
+//! workspace has a single binary encoding for mutations, on disk and on the
+//! wire; query parameters are encoded field-by-field here.
+//!
+//! The protocol is deliberately synchronous (one outstanding request per
+//! connection): the driver's dependency-execution loop issues one operation
+//! at a time per partition, and concurrency comes from the connection pool,
+//! not pipelining.
+
+use snb_core::time::SimTime;
+use snb_core::{MessageId, PersonId, SnbError};
+use snb_driver::connector::{OpOutcome, Operation};
+use snb_queries::params::{
+    ComplexQuery, Q10Params, Q11Params, Q12Params, Q13Params, Q14Params, Q1Params, Q2Params,
+    Q3Params, Q4Params, Q5Params, Q6Params, Q7Params, Q8Params, Q9Params, ShortQuery,
+};
+use std::io::{self, Read, Write};
+
+/// Handshake magic, sent by the client and echoed by the server. The
+/// trailing byte versions the protocol.
+pub const NET_MAGIC: [u8; 8] = *b"SNBNET1\0";
+
+/// Maximum accepted frame payload (16 MiB): large enough for any counters
+/// dump, small enough that a corrupt length prefix cannot OOM the peer.
+pub const MAX_FRAME: usize = 1 << 24;
+
+// Request tags.
+const REQ_EXECUTE: u8 = 1;
+const REQ_COUNTERS: u8 = 2;
+// Response tags.
+const RESP_OUTCOME: u8 = 1;
+const RESP_ERROR: u8 = 2;
+const RESP_COUNTERS: u8 = 3;
+// Operation class tags.
+const OP_UPDATE: u8 = 1;
+const OP_COMPLEX: u8 = 2;
+const OP_SHORT: u8 = 3;
+// Error kind tags.
+const ERR_NOT_FOUND: u8 = 0;
+const ERR_CONSTRAINT: u8 = 1;
+const ERR_CONFIG: u8 = 2;
+const ERR_IO: u8 = 3;
+
+/// One client-to-server message. (The size skew between variants is fine:
+/// requests are built transiently for encode/decode, never stored in bulk.)
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum Request {
+    /// Execute one operation and return its outcome.
+    Execute(Operation),
+    /// Return the SUT's counters merged with the server's net counters.
+    Counters,
+}
+
+/// One server-to-client message.
+#[derive(Debug)]
+pub enum Response {
+    /// The operation executed; here is what it returned.
+    Outcome(OpOutcome),
+    /// The operation (or the request itself) failed.
+    Error(SnbError),
+    /// Counters dump.
+    Counters(Vec<(String, u64)>),
+}
+
+impl Request {
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::Execute(op) => encode_execute(op, buf),
+            Request::Counters => buf.push(REQ_COUNTERS),
+        }
+    }
+
+    pub fn decode(mut p: &[u8]) -> Option<Request> {
+        let req = match get_u8(&mut p)? {
+            REQ_EXECUTE => Request::Execute(decode_operation(&mut p)?),
+            REQ_COUNTERS => Request::Counters,
+            _ => return None,
+        };
+        p.is_empty().then_some(req)
+    }
+}
+
+/// Encode an `Execute` request from a borrowed operation (the client's hot
+/// path — avoids cloning the operation into a [`Request`]).
+pub fn encode_execute(op: &Operation, buf: &mut Vec<u8>) {
+    buf.push(REQ_EXECUTE);
+    encode_operation(op, buf);
+}
+
+impl Response {
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Response::Outcome(out) => {
+                buf.push(RESP_OUTCOME);
+                put_u64(buf, out.rows as u64);
+                put_opt_u64(buf, out.seed_person.map(|p| p.0));
+                put_opt_u64(buf, out.seed_message.map(|m| m.0));
+            }
+            Response::Error(e) => {
+                buf.push(RESP_ERROR);
+                encode_error(e, buf);
+            }
+            Response::Counters(counters) => {
+                buf.push(RESP_COUNTERS);
+                put_u64(buf, counters.len() as u64);
+                for (name, value) in counters {
+                    put_str(buf, name);
+                    put_u64(buf, *value);
+                }
+            }
+        }
+    }
+
+    pub fn decode(mut p: &[u8]) -> Option<Response> {
+        let resp = match get_u8(&mut p)? {
+            RESP_OUTCOME => {
+                let rows = get_u64(&mut p)? as usize;
+                let seed_person = get_opt_u64(&mut p)?.map(PersonId);
+                let seed_message = get_opt_u64(&mut p)?.map(MessageId);
+                Response::Outcome(OpOutcome { rows, seed_person, seed_message })
+            }
+            RESP_ERROR => Response::Error(decode_error(&mut p)?),
+            RESP_COUNTERS => {
+                let n = get_u64(&mut p)? as usize;
+                if n > MAX_FRAME / 9 {
+                    return None; // each entry costs ≥ 9 bytes; length is a lie
+                }
+                let mut counters = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = get_str(&mut p)?;
+                    let value = get_u64(&mut p)?;
+                    counters.push((name, value));
+                }
+                Response::Counters(counters)
+            }
+            _ => return None,
+        };
+        p.is_empty().then_some(resp)
+    }
+}
+
+// ---- operations ----
+
+pub fn encode_operation(op: &Operation, buf: &mut Vec<u8>) {
+    match op {
+        Operation::Update(u) => {
+            buf.push(OP_UPDATE);
+            snb_store::encode_update(u, buf);
+        }
+        Operation::Complex(q) => {
+            buf.push(OP_COMPLEX);
+            encode_complex(q, buf);
+        }
+        Operation::Short(s) => {
+            buf.push(OP_SHORT);
+            buf.push(s.number() as u8);
+            put_u64(buf, short_id(s));
+        }
+    }
+}
+
+pub fn decode_operation(p: &mut &[u8]) -> Option<Operation> {
+    Some(match get_u8(p)? {
+        OP_UPDATE => Operation::Update(snb_store::decode_update(p)?),
+        OP_COMPLEX => Operation::Complex(decode_complex(p)?),
+        OP_SHORT => {
+            let number = get_u8(p)?;
+            let id = get_u64(p)?;
+            Operation::Short(match number {
+                1 => ShortQuery::S1(PersonId(id)),
+                2 => ShortQuery::S2(PersonId(id)),
+                3 => ShortQuery::S3(PersonId(id)),
+                4 => ShortQuery::S4(MessageId(id)),
+                5 => ShortQuery::S5(MessageId(id)),
+                6 => ShortQuery::S6(MessageId(id)),
+                7 => ShortQuery::S7(MessageId(id)),
+                _ => return None,
+            })
+        }
+        _ => return None,
+    })
+}
+
+fn short_id(s: &ShortQuery) -> u64 {
+    match *s {
+        ShortQuery::S1(p) | ShortQuery::S2(p) | ShortQuery::S3(p) => p.0,
+        ShortQuery::S4(m) | ShortQuery::S5(m) | ShortQuery::S6(m) | ShortQuery::S7(m) => m.0,
+    }
+}
+
+fn encode_complex(q: &ComplexQuery, buf: &mut Vec<u8>) {
+    buf.push(q.number() as u8);
+    match q {
+        ComplexQuery::Q1(p) => {
+            put_u64(buf, p.person.0);
+            put_str(buf, &p.first_name);
+        }
+        ComplexQuery::Q2(p) => {
+            put_u64(buf, p.person.0);
+            put_i64(buf, p.max_date.0);
+        }
+        ComplexQuery::Q3(p) => {
+            put_u64(buf, p.person.0);
+            put_u64(buf, p.country_x as u64);
+            put_u64(buf, p.country_y as u64);
+            put_i64(buf, p.start.0);
+            put_i64(buf, p.duration_days);
+        }
+        ComplexQuery::Q4(p) => {
+            put_u64(buf, p.person.0);
+            put_i64(buf, p.start.0);
+            put_i64(buf, p.duration_days);
+        }
+        ComplexQuery::Q5(p) => {
+            put_u64(buf, p.person.0);
+            put_i64(buf, p.min_date.0);
+        }
+        ComplexQuery::Q6(p) => {
+            put_u64(buf, p.person.0);
+            put_u64(buf, p.tag as u64);
+        }
+        ComplexQuery::Q7(p) => put_u64(buf, p.person.0),
+        ComplexQuery::Q8(p) => put_u64(buf, p.person.0),
+        ComplexQuery::Q9(p) => {
+            put_u64(buf, p.person.0);
+            put_i64(buf, p.max_date.0);
+        }
+        ComplexQuery::Q10(p) => {
+            put_u64(buf, p.person.0);
+            buf.push(p.month);
+        }
+        ComplexQuery::Q11(p) => {
+            put_u64(buf, p.person.0);
+            put_u64(buf, p.country as u64);
+            put_i64(buf, p.max_year as i64);
+        }
+        ComplexQuery::Q12(p) => {
+            put_u64(buf, p.person.0);
+            put_u64(buf, p.tag_class as u64);
+        }
+        ComplexQuery::Q13(p) => {
+            put_u64(buf, p.person_x.0);
+            put_u64(buf, p.person_y.0);
+        }
+        ComplexQuery::Q14(p) => {
+            put_u64(buf, p.person_x.0);
+            put_u64(buf, p.person_y.0);
+        }
+    }
+}
+
+fn decode_complex(p: &mut &[u8]) -> Option<ComplexQuery> {
+    let number = get_u8(p)?;
+    Some(match number {
+        1 => ComplexQuery::Q1(Q1Params { person: PersonId(get_u64(p)?), first_name: get_str(p)? }),
+        2 => ComplexQuery::Q2(Q2Params {
+            person: PersonId(get_u64(p)?),
+            max_date: SimTime(get_i64(p)?),
+        }),
+        3 => ComplexQuery::Q3(Q3Params {
+            person: PersonId(get_u64(p)?),
+            country_x: get_u64(p)? as usize,
+            country_y: get_u64(p)? as usize,
+            start: SimTime(get_i64(p)?),
+            duration_days: get_i64(p)?,
+        }),
+        4 => ComplexQuery::Q4(Q4Params {
+            person: PersonId(get_u64(p)?),
+            start: SimTime(get_i64(p)?),
+            duration_days: get_i64(p)?,
+        }),
+        5 => ComplexQuery::Q5(Q5Params {
+            person: PersonId(get_u64(p)?),
+            min_date: SimTime(get_i64(p)?),
+        }),
+        6 => {
+            ComplexQuery::Q6(Q6Params { person: PersonId(get_u64(p)?), tag: get_u64(p)? as usize })
+        }
+        7 => ComplexQuery::Q7(Q7Params { person: PersonId(get_u64(p)?) }),
+        8 => ComplexQuery::Q8(Q8Params { person: PersonId(get_u64(p)?) }),
+        9 => ComplexQuery::Q9(Q9Params {
+            person: PersonId(get_u64(p)?),
+            max_date: SimTime(get_i64(p)?),
+        }),
+        10 => ComplexQuery::Q10(Q10Params { person: PersonId(get_u64(p)?), month: get_u8(p)? }),
+        11 => ComplexQuery::Q11(Q11Params {
+            person: PersonId(get_u64(p)?),
+            country: get_u64(p)? as usize,
+            max_year: get_i64(p)? as i32,
+        }),
+        12 => ComplexQuery::Q12(Q12Params {
+            person: PersonId(get_u64(p)?),
+            tag_class: get_u64(p)? as usize,
+        }),
+        13 => ComplexQuery::Q13(Q13Params {
+            person_x: PersonId(get_u64(p)?),
+            person_y: PersonId(get_u64(p)?),
+        }),
+        14 => ComplexQuery::Q14(Q14Params {
+            person_x: PersonId(get_u64(p)?),
+            person_y: PersonId(get_u64(p)?),
+        }),
+        _ => return None,
+    })
+}
+
+// ---- errors ----
+
+fn encode_error(e: &SnbError, buf: &mut Vec<u8>) {
+    match e {
+        SnbError::NotFound { entity, id } => {
+            buf.push(ERR_NOT_FOUND);
+            put_str(buf, entity);
+            put_u64(buf, *id);
+        }
+        SnbError::Constraint(msg) => {
+            buf.push(ERR_CONSTRAINT);
+            put_str(buf, msg);
+        }
+        SnbError::Config(msg) => {
+            buf.push(ERR_CONFIG);
+            put_str(buf, msg);
+        }
+        SnbError::Io(e) => {
+            buf.push(ERR_IO);
+            put_str(buf, &e.to_string());
+        }
+    }
+}
+
+fn decode_error(p: &mut &[u8]) -> Option<SnbError> {
+    Some(match get_u8(p)? {
+        ERR_NOT_FOUND => {
+            // `NotFound.entity` is `&'static str`; re-intern the names the
+            // store actually raises, like the WAL codec does for dictionary
+            // strings.
+            let entity = match get_str(p)?.as_str() {
+                "person" => "person",
+                "forum" => "forum",
+                "message" => "message",
+                _ => "entity",
+            };
+            SnbError::NotFound { entity, id: get_u64(p)? }
+        }
+        ERR_CONSTRAINT => SnbError::Constraint(get_str(p)?),
+        ERR_CONFIG => SnbError::Config(get_str(p)?),
+        ERR_IO => SnbError::Io(io::Error::other(get_str(p)?)),
+        _ => return None,
+    })
+}
+
+// ---- framing ----
+
+/// Write one frame. Returns the number of bytes put on the wire
+/// (payload + 4-byte length prefix) for byte accounting.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<usize> {
+    if payload.is_empty() || payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {} bytes out of range", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(payload.len() + 4)
+}
+
+/// Read one frame into `buf` (reusing its capacity). Returns the number of
+/// bytes consumed from the wire. `UnexpectedEof` on the length prefix means
+/// the peer closed the connection cleanly between frames.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<usize> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} out of range"),
+        ));
+    }
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(len + 4)
+}
+
+// ---- primitive helpers (same layout as the WAL codec) ----
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    put_u64(buf, v as u64);
+}
+
+fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            buf.push(1);
+            put_u64(buf, v);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_u8(p: &mut &[u8]) -> Option<u8> {
+    let (&first, rest) = p.split_first()?;
+    *p = rest;
+    Some(first)
+}
+
+fn get_u64(p: &mut &[u8]) -> Option<u64> {
+    let (bytes, rest) = p.split_first_chunk::<8>()?;
+    *p = rest;
+    Some(u64::from_le_bytes(*bytes))
+}
+
+fn get_i64(p: &mut &[u8]) -> Option<i64> {
+    get_u64(p).map(|v| v as i64)
+}
+
+fn get_opt_u64(p: &mut &[u8]) -> Option<Option<u64>> {
+    match get_u8(p)? {
+        0 => Some(None),
+        1 => Some(Some(get_u64(p)?)),
+        _ => None,
+    }
+}
+
+fn get_str(p: &mut &[u8]) -> Option<String> {
+    let len = get_u64(p)? as usize;
+    if len > p.len() {
+        return None;
+    }
+    let (bytes, rest) = p.split_at(len);
+    *p = rest;
+    String::from_utf8(bytes.to_vec()).ok()
+}

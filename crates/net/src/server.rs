@@ -1,0 +1,212 @@
+//! Blocking multi-threaded TCP server wrapping any [`Connector`].
+//!
+//! One accept thread, one handler thread per connection — the paper's SUTs
+//! are likewise thread-per-session servers, and the driver opens at most
+//! one connection per partition, so the thread count is bounded by the
+//! driver's partition count plus stragglers. Shutdown is cooperative: a
+//! flag flips, every registered connection is `shutdown(Both)` so blocked
+//! reads return, and a throwaway self-connect unblocks `accept`.
+
+use crate::codec::{self, Request, Response, NET_MAGIC};
+use crate::metrics::NetMetrics;
+use snb_core::{SnbError, SnbResult};
+use snb_driver::connector::Connector;
+use std::io::{Read, Write};
+use std::net::ToSocketAddrs;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A running server. Dropping it shuts it down and joins every thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+struct Shared {
+    connector: Arc<dyn Connector>,
+    shutdown: AtomicBool,
+    /// Clones of every accepted stream, so shutdown can unblock their reads.
+    conns: Mutex<Vec<TcpStream>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    metrics: NetMetrics,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving `connector`.
+    pub fn bind(addr: impl ToSocketAddrs, connector: Arc<dyn Connector>) -> SnbResult<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            connector,
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+            metrics: NetMetrics::new("server"),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("snb-net-accept".into())
+            .spawn(move || accept_loop(listener, &accept_shared))
+            .map_err(SnbError::Io)?;
+        Ok(Server { shared, addr, accept: Mutex::new(Some(accept)) })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server side's net counters.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.shared.metrics
+    }
+
+    /// SUT counters merged with the server's net counters — the same view
+    /// the counters RPC returns.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        merged_counters(&self.shared)
+    }
+
+    /// Stop accepting, sever every open connection, and wake blocked reads.
+    /// Idempotent; does not wait for handler threads (see [`Server::join`]).
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for conn in self.shared.conns.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // Unblock `accept` with a throwaway connection to ourselves.
+        let _ = TcpStream::connect_timeout(&wake_addr(self.addr), Duration::from_millis(250));
+    }
+
+    /// Wait for the accept thread and every handler to exit.
+    pub fn join(&self) {
+        if let Some(handle) = self.accept.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            let _ = handle.join();
+        }
+        let handlers =
+            std::mem::take(&mut *self.shared.handlers.lock().unwrap_or_else(|e| e.into_inner()));
+        for handle in handlers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Where to self-connect to unblock `accept`: the bound address, with
+/// unspecified (`0.0.0.0` / `::`) rewritten to loopback.
+fn wake_addr(addr: SocketAddr) -> SocketAddr {
+    let ip = match addr.ip() {
+        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        ip => ip,
+    };
+    SocketAddr::new(ip, addr.port())
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+            break;
+        }
+        shared.metrics.connections.inc();
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
+        }
+        let handler_shared = Arc::clone(shared);
+        let handler = std::thread::Builder::new().name("snb-net-conn".into()).spawn(move || {
+            let _ = serve_conn(stream, &handler_shared);
+        });
+        if let Ok(handle) = handler {
+            shared.handlers.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+        }
+    }
+}
+
+fn serve_conn(mut stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    // Handshake: the client speaks first; echo the magic back.
+    let mut magic = [0u8; 8];
+    stream.read_exact(&mut magic)?;
+    if magic != NET_MAGIC {
+        shared.metrics.errors.inc();
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad handshake magic"));
+    }
+    stream.write_all(&NET_MAGIC)?;
+
+    let mut frame = Vec::new();
+    let mut reply = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let n_in = match codec::read_frame(&mut stream, &mut frame) {
+            Ok(n) => n,
+            // EOF on the length prefix is the client hanging up cleanly;
+            // anything else (including our own shutdown severing the
+            // socket) just ends the connection.
+            Err(_) => break,
+        };
+        shared.metrics.bytes_in.add(n_in as u64);
+        shared.metrics.requests.inc();
+
+        let started = Instant::now();
+        let mut malformed = false;
+        let response = match Request::decode(&frame) {
+            Some(Request::Execute(op)) => match shared.connector.execute(&op) {
+                Ok(outcome) => Response::Outcome(outcome),
+                // An execution error is an application-level reply, not a
+                // connection failure: report it and keep serving.
+                Err(e) => {
+                    shared.metrics.errors.inc();
+                    Response::Error(e)
+                }
+            },
+            Some(Request::Counters) => Response::Counters(merged_counters(shared)),
+            None => {
+                shared.metrics.errors.inc();
+                malformed = true;
+                Response::Error(SnbError::Config("malformed request frame".into()))
+            }
+        };
+        shared.metrics.request_micros.record(started.elapsed().as_micros() as u64);
+
+        reply.clear();
+        response.encode(&mut reply);
+        let n_out = codec::write_frame(&mut stream, &reply)?;
+        shared.metrics.bytes_out.add(n_out as u64);
+        if malformed {
+            // A frame we could not decode leaves no trustworthy stream
+            // position; sever rather than serve garbage.
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn merged_counters(shared: &Shared) -> Vec<(String, u64)> {
+    let mut counters = shared.connector.counters();
+    counters.extend(shared.metrics.snapshot());
+    counters
+}

@@ -1,0 +1,292 @@
+//! Loopback integration tests: the full driver workload through
+//! `RemoteConnector` → TCP → `Server` → `StoreConnector` must behave
+//! exactly like the in-process path, and failures must be prompt, not
+//! hangs.
+
+use snb_core::time::SimTime;
+use snb_core::{MessageId, PersonId, SnbError};
+use snb_datagen::{generate, Dataset, GeneratorConfig};
+use snb_driver::connector::{Connector, OpOutcome, Operation, SleepConnector, StoreConnector};
+use snb_driver::mix::{self, WorkItem};
+use snb_driver::scheduler::{run, DriverConfig};
+use snb_net::{codec, NetConfig, RemoteConnector, Request, Response, Server};
+use snb_queries::params::{
+    ComplexQuery, Q10Params, Q11Params, Q12Params, Q13Params, Q14Params, Q1Params, Q2Params,
+    Q3Params, Q4Params, Q5Params, Q6Params, Q7Params, Q8Params, Q9Params, ShortQuery,
+};
+use snb_queries::Engine;
+use snb_store::Store;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+fn dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| generate(GeneratorConfig::with_persons(300).activity(0.5)).unwrap())
+}
+
+fn store_server(ds: &Dataset) -> Server {
+    let store = Arc::new(Store::new());
+    store.bulk_load(ds);
+    let connector = Arc::new(StoreConnector::new(store, Engine::Intended));
+    Server::bind("127.0.0.1:0", connector).unwrap()
+}
+
+fn every_complex() -> Vec<ComplexQuery> {
+    let p = PersonId(7);
+    vec![
+        ComplexQuery::Q1(Q1Params { person: p, first_name: "Käthe".into() }),
+        ComplexQuery::Q2(Q2Params { person: p, max_date: SimTime(123_456) }),
+        ComplexQuery::Q3(Q3Params {
+            person: p,
+            country_x: 3,
+            country_y: 9,
+            start: SimTime(-5),
+            duration_days: 28,
+        }),
+        ComplexQuery::Q4(Q4Params { person: p, start: SimTime(77), duration_days: 30 }),
+        ComplexQuery::Q5(Q5Params { person: p, min_date: SimTime(i64::MIN) }),
+        ComplexQuery::Q6(Q6Params { person: p, tag: 11 }),
+        ComplexQuery::Q7(Q7Params { person: p }),
+        ComplexQuery::Q8(Q8Params { person: p }),
+        ComplexQuery::Q9(Q9Params { person: p, max_date: SimTime(i64::MAX) }),
+        ComplexQuery::Q10(Q10Params { person: p, month: 12 }),
+        ComplexQuery::Q11(Q11Params { person: p, country: 2, max_year: 2010 }),
+        ComplexQuery::Q12(Q12Params { person: p, tag_class: 4 }),
+        ComplexQuery::Q13(Q13Params { person_x: p, person_y: PersonId(8) }),
+        ComplexQuery::Q14(Q14Params { person_x: p, person_y: PersonId(9) }),
+    ]
+}
+
+fn every_short() -> Vec<ShortQuery> {
+    vec![
+        ShortQuery::S1(PersonId(1)),
+        ShortQuery::S2(PersonId(2)),
+        ShortQuery::S3(PersonId(3)),
+        ShortQuery::S4(MessageId(4)),
+        ShortQuery::S5(MessageId(5)),
+        ShortQuery::S6(MessageId(6)),
+        ShortQuery::S7(MessageId(7)),
+    ]
+}
+
+fn request_round_trip(req: &Request) -> Request {
+    let mut buf = Vec::new();
+    req.encode(&mut buf);
+    Request::decode(&buf).expect("request must decode")
+}
+
+fn response_round_trip(resp: &Response) -> Response {
+    let mut buf = Vec::new();
+    resp.encode(&mut buf);
+    Response::decode(&buf).expect("response must decode")
+}
+
+/// Every operation variant — all 14 complex reads, all 7 short reads, and
+/// every update kind the generator emits — survives a request round trip.
+#[test]
+fn codec_round_trips_every_operation_variant() {
+    let mut ops: Vec<Operation> = Vec::new();
+    ops.extend(every_complex().into_iter().map(Operation::Complex));
+    ops.extend(every_short().into_iter().map(Operation::Short));
+    // All 8 update kinds appear in a generated stream.
+    let mut kinds_seen = std::collections::BTreeSet::new();
+    for u in dataset().update_stream() {
+        if kinds_seen.insert(u.op.query_number()) {
+            ops.push(Operation::Update(u.op.clone()));
+        }
+    }
+    assert!(kinds_seen.len() >= 7, "update stream only covered {kinds_seen:?}");
+
+    for op in &ops {
+        let decoded = request_round_trip(&Request::Execute(op.clone()));
+        let Request::Execute(back) = decoded else { panic!("wrong request variant") };
+        assert_eq!(format!("{op:?}"), format!("{back:?}"));
+    }
+    assert!(matches!(request_round_trip(&Request::Counters), Request::Counters));
+}
+
+/// Outcomes, all four error kinds, and counters dumps survive a response
+/// round trip.
+#[test]
+fn codec_round_trips_every_response_variant() {
+    let outcomes = [
+        OpOutcome { rows: 0, seed_person: None, seed_message: None },
+        OpOutcome { rows: 42, seed_person: Some(PersonId(3)), seed_message: None },
+        OpOutcome { rows: 1, seed_person: None, seed_message: Some(MessageId(u64::MAX)) },
+        OpOutcome { rows: 7, seed_person: Some(PersonId(0)), seed_message: Some(MessageId(9)) },
+    ];
+    for out in outcomes {
+        let Response::Outcome(back) = response_round_trip(&Response::Outcome(out)) else {
+            panic!("wrong response variant")
+        };
+        assert_eq!(back.rows, out.rows);
+        assert_eq!(back.seed_person, out.seed_person);
+        assert_eq!(back.seed_message, out.seed_message);
+    }
+
+    let errors = [
+        SnbError::NotFound { entity: "forum", id: 443 },
+        SnbError::Constraint("duplicate knows edge".into()),
+        SnbError::Config("bad flag".into()),
+        SnbError::Io(std::io::Error::other("socket gone")),
+    ];
+    for e in errors {
+        let msg = e.to_string();
+        let Response::Error(back) = response_round_trip(&Response::Error(e)) else {
+            panic!("wrong response variant")
+        };
+        assert_eq!(back.to_string(), msg);
+    }
+
+    let counters =
+        vec![("net.server.requests".to_string(), 12u64), ("store.wal.bytes".to_string(), 0)];
+    let Response::Counters(back) = response_round_trip(&Response::Counters(counters.clone()))
+    else {
+        panic!("wrong response variant")
+    };
+    assert_eq!(back, counters);
+}
+
+/// Truncated or trailing-garbage payloads must be rejected, and the framing
+/// layer must refuse absurd lengths instead of allocating them.
+#[test]
+fn codec_rejects_malformed_input() {
+    let mut buf = Vec::new();
+    Request::Execute(Operation::Short(ShortQuery::S1(PersonId(5)))).encode(&mut buf);
+    assert!(Request::decode(&buf[..buf.len() - 1]).is_none(), "truncation must fail");
+    buf.push(0xFF);
+    assert!(Request::decode(&buf).is_none(), "trailing bytes must fail");
+    assert!(Request::decode(&[]).is_none());
+    assert!(Request::decode(&[99]).is_none(), "unknown tag must fail");
+
+    // A length prefix past MAX_FRAME is rejected before any payload read.
+    let huge = (codec::MAX_FRAME as u32 + 1).to_le_bytes();
+    let mut cursor = &huge[..];
+    let err = codec::read_frame(&mut cursor, &mut Vec::new()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    // Zero-length frames are likewise invalid.
+    let zero = 0u32.to_le_bytes();
+    let mut cursor = &zero[..];
+    assert!(codec::read_frame(&mut cursor, &mut Vec::new()).is_err());
+}
+
+/// Acceptance criterion: the full update stream driven through the remote
+/// connector completes and executes exactly as many operations as the
+/// in-process run, and both stores converge to the same counters.
+#[test]
+fn updates_only_loopback_matches_in_process() {
+    let ds = dataset();
+    let items = mix::updates_only(ds);
+    assert!(!items.is_empty());
+    let config = DriverConfig { partitions: 4, ..DriverConfig::default() };
+
+    let local_store = Arc::new(Store::new());
+    local_store.bulk_load(ds);
+    let local = StoreConnector::new(Arc::clone(&local_store), Engine::Intended);
+    let local_report = run(&items, &local, &config).unwrap();
+
+    let server = store_server(ds);
+    let remote = RemoteConnector::connect(server.local_addr().to_string()).unwrap();
+    let remote_report = run(&items, &remote, &config).unwrap();
+
+    assert_eq!(remote_report.total_ops, local_report.total_ops);
+    assert_eq!(remote_report.total_ops, items.len(), "updates only: no walk short reads");
+    server.shutdown();
+    server.join();
+}
+
+/// Acceptance criterion: the full interactive mix (updates, complex reads,
+/// short-read walks) through the wire equals the in-process run, op for
+/// op, and the counters RPC exposes both SUT and net counters.
+#[test]
+fn mix_loopback_matches_in_process() {
+    let ds = dataset();
+    let bindings = snb_params::uniform_bindings(ds, 64, 7);
+    let items = mix::build_mix(ds, &bindings);
+    let config = DriverConfig { partitions: 4, ..DriverConfig::default() };
+
+    let local_store = Arc::new(Store::new());
+    local_store.bulk_load(ds);
+    let local = StoreConnector::new(Arc::clone(&local_store), Engine::Intended);
+    let local_report = run(&items, &local, &config).unwrap();
+    assert!(local_report.total_ops > items.len(), "walk must add short reads");
+
+    let server = store_server(ds);
+    let remote = RemoteConnector::connect(server.local_addr().to_string()).unwrap();
+    let remote_report = run(&items, &remote, &config).unwrap();
+
+    assert_eq!(
+        remote_report.total_ops, local_report.total_ops,
+        "remote run must execute the identical operation count (walks included)"
+    );
+
+    // The counters RPC merges SUT counters with the server's net counters.
+    let counters = remote.remote_counters().unwrap();
+    let get = |name: &str| {
+        counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or_else(|| {
+            panic!("counter {name} missing from RPC dump");
+        })
+    };
+    assert!(get("net.server.requests") as usize >= remote_report.total_ops);
+    assert!(get("net.server.bytes_in") > 0);
+    assert!(get("net.server.bytes_out") > 0);
+    assert!(counters.iter().any(|(n, _)| n.starts_with("store.")), "SUT counters must be merged");
+    // Driver-side counters surface through the Connector trait.
+    let client_side = remote.counters();
+    assert!(client_side.iter().any(|(n, _)| n == "net.client.requests"));
+    // At most one connection per partition, plus the eager validation dial.
+    assert!(remote.metrics().connections.get() <= config.partitions as u64 + 1);
+}
+
+/// Killing the server mid-run must abort the driver within the configured
+/// request timeout — a dead SUT must fail the benchmark, not hang it.
+#[test]
+fn server_death_mid_run_fails_driver_promptly() {
+    let server =
+        Server::bind("127.0.0.1:0", Arc::new(SleepConnector::new(Duration::from_millis(2))))
+            .unwrap();
+    let remote = RemoteConnector::with_config(
+        server.local_addr().to_string(),
+        NetConfig {
+            request_timeout: Duration::from_secs(2),
+            connect_retries: 1,
+            retry_backoff: Duration::from_millis(20),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+
+    // ~4 s of work at 2 ms per op across 2 partitions; the server dies long
+    // before that.
+    let items: Vec<WorkItem> = (0..4000)
+        .map(|i| WorkItem {
+            due: SimTime(i),
+            dep: SimTime(0),
+            partition_hint: (i % 2) as u64,
+            op: Operation::Short(ShortQuery::S1(PersonId(1))),
+        })
+        .collect();
+    let config = DriverConfig { partitions: 2, ..DriverConfig::default() };
+
+    let killer = std::thread::spawn({
+        let started = Instant::now();
+        move || {
+            std::thread::sleep(Duration::from_millis(150));
+            server.shutdown();
+            server.join();
+            started.elapsed()
+        }
+    });
+
+    let t0 = Instant::now();
+    let result = run(&items, &remote, &config);
+    let wall = t0.elapsed();
+    killer.join().unwrap();
+
+    let err = result.expect_err("driver must fail once the server is gone");
+    assert!(matches!(err, SnbError::Io(_)), "expected a transport error, got: {err}");
+    assert!(
+        wall < Duration::from_secs(8),
+        "driver must fail within the request timeout, took {wall:?}"
+    );
+}

@@ -19,4 +19,4 @@ pub mod wal;
 pub use counters::StoreCounters;
 pub use graph::{MessageRow, RecoveryReport, Snapshot, Store};
 pub use stats::StorageStats;
-pub use wal::{Replay, SyncPolicy, Wal, WalMetrics};
+pub use wal::{decode_update, encode_update, Replay, SyncPolicy, Wal, WalMetrics};

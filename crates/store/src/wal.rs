@@ -610,6 +610,19 @@ fn tail_account(tail: &[u8]) -> (u64, u64) {
 
 // ---- encoding helpers -----------------------------------------------------
 
+/// Encode one update operation in the WAL's versioned binary format
+/// (without the record framing). Shared with `snb-net`'s wire protocol so
+/// an operation has exactly one on-disk / on-wire encoding.
+pub fn encode_update(op: &UpdateOp, buf: &mut Vec<u8>) {
+    encode_op(op, buf);
+}
+
+/// Decode one update operation encoded by [`encode_update`], advancing
+/// `p` past it. `None` on truncation or an unknown dictionary reference.
+pub fn decode_update(p: &mut &[u8]) -> Option<UpdateOp> {
+    decode_op(p)
+}
+
 fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }

@@ -6,22 +6,32 @@
 //! snb stats    --persons 5000                      # Table 3-style statistics
 //! snb run      --persons 2000 [--accel N] [--partitions N] [--naive] [--json]
 //!              [--wal PATH] [--sync never|commit|group|group:B:DELAY_US]
+//!              [--connect HOST:PORT] [--request-timeout SECS]
 //!                                                  # full benchmark + disclosure
+//! snb serve    --persons 2000 [--addr HOST:PORT] [--naive]
+//!              [--wal PATH] [--sync ...]           # networked SUT (see snb-net)
 //! ```
+//!
+//! `serve` and `run --connect` split the benchmark across the paper's
+//! driver/SUT process boundary: the server owns the store, the driver owns
+//! the workload, and both must be given the same `--persons`/`--seed` so
+//! the generated dataset (and thus the update stream) matches.
 //!
 //! Argument handling is deliberately dependency-free; every subcommand maps
 //! onto the public library API.
 
 use ldbc_snb::datagen::{generate, serializer, GeneratorConfig};
 use ldbc_snb::driver::{
-    build_mix, full_disclosure, full_disclosure_json, run, DriverConfig, StoreConnector,
+    build_mix, full_disclosure, full_disclosure_json, run, Connector, DriverConfig, StoreConnector,
 };
+use ldbc_snb::net::{NetConfig, RemoteConnector, Server};
 use ldbc_snb::params::curated_bindings;
 use ldbc_snb::queries::Engine;
 use ldbc_snb::store::{Store, SyncPolicy};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Args {
     command: String,
@@ -35,13 +45,17 @@ struct Args {
     json: bool,
     wal: Option<PathBuf>,
     sync: SyncPolicy,
+    addr: String,
+    connect: Option<String>,
+    request_timeout: f64,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: snb <generate|rdf|stats|run> [--persons N] [--seed N] [--threads N]\n\
+        "usage: snb <generate|rdf|stats|run|serve> [--persons N] [--seed N] [--threads N]\n\
          \x20          [--out PATH] [--accel N] [--partitions N] [--naive] [--json]\n\
-         \x20          [--wal PATH] [--sync never|commit|group|group:BATCH:DELAY_US]"
+         \x20          [--wal PATH] [--sync never|commit|group|group:BATCH:DELAY_US]\n\
+         \x20          [--addr HOST:PORT] [--connect HOST:PORT] [--request-timeout SECS]"
     );
     ExitCode::from(2)
 }
@@ -61,6 +75,9 @@ fn parse() -> Result<Args, ExitCode> {
         json: false,
         wal: None,
         sync: SyncPolicy::default(),
+        addr: "127.0.0.1:7455".to_string(),
+        connect: None,
+        request_timeout: 10.0,
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -89,6 +106,11 @@ fn parse() -> Result<Args, ExitCode> {
                     eprintln!("bad --sync policy: {spec}");
                     usage()
                 })?;
+            }
+            "--addr" => args.addr = value(&rest, &mut i)?,
+            "--connect" => args.connect = Some(value(&rest, &mut i)?),
+            "--request-timeout" => {
+                args.request_timeout = value(&rest, &mut i)?.parse().map_err(|_| usage())?
             }
             other => {
                 eprintln!("unknown flag: {other}");
@@ -138,6 +160,48 @@ fn main() -> ExitCode {
         }
         "run" => {
             let ds = generate(config).expect("generation failed");
+            let bindings = curated_bindings(&ds, 16);
+            let items = build_mix(&ds, &bindings);
+            let conn: Box<dyn Connector> = match &args.connect {
+                // Networked SUT: the workload crosses the wire; the server
+                // (started with the same --persons/--seed) owns the store.
+                Some(addr) => Box::new(
+                    RemoteConnector::with_config(
+                        addr.clone(),
+                        NetConfig {
+                            request_timeout: Duration::from_secs_f64(args.request_timeout),
+                            ..NetConfig::default()
+                        },
+                    )
+                    .expect("connect failed"),
+                ),
+                None => {
+                    let store = match &args.wal {
+                        Some(path) => Arc::new(
+                            Store::with_wal_policy(path, args.sync).expect("wal create failed"),
+                        ),
+                        None => Arc::new(Store::new()),
+                    };
+                    store.bulk_load(&ds);
+                    let engine = if args.naive { Engine::Naive } else { Engine::Intended };
+                    Box::new(StoreConnector::new(store, engine))
+                }
+            };
+            let driver_config = DriverConfig {
+                partitions: args.partitions,
+                acceleration: args.accel,
+                ..DriverConfig::default()
+            };
+            let report = run(&items, conn.as_ref(), &driver_config).expect("benchmark run failed");
+            if args.json {
+                println!("{}", full_disclosure_json(&report).render_pretty(2));
+            } else {
+                println!("{}", full_disclosure(&report));
+            }
+            ExitCode::SUCCESS
+        }
+        "serve" => {
+            let ds = generate(config).expect("generation failed");
             let store = match &args.wal {
                 Some(path) => {
                     Arc::new(Store::with_wal_policy(path, args.sync).expect("wal create failed"))
@@ -145,21 +209,21 @@ fn main() -> ExitCode {
                 None => Arc::new(Store::new()),
             };
             store.bulk_load(&ds);
-            let bindings = curated_bindings(&ds, 16);
-            let items = build_mix(&ds, &bindings);
             let engine = if args.naive { Engine::Naive } else { Engine::Intended };
-            let conn = StoreConnector::new(store, engine);
-            let driver_config = DriverConfig {
-                partitions: args.partitions,
-                acceleration: args.accel,
-                ..DriverConfig::default()
-            };
-            let report = run(&items, &conn, &driver_config).expect("benchmark run failed");
-            if args.json {
-                println!("{}", full_disclosure_json(&report).render_pretty(2));
-            } else {
-                println!("{}", full_disclosure(&report));
-            }
+            let server =
+                Server::bind(args.addr.as_str(), Arc::new(StoreConnector::new(store, engine)))
+                    .expect("bind failed");
+            println!(
+                "serving {} persons (seed {}) on {} — drive with: snb run --persons {} --seed {} --connect {}",
+                args.persons,
+                args.seed,
+                server.local_addr(),
+                args.persons,
+                args.seed,
+                server.local_addr()
+            );
+            // Serve until the process is killed.
+            server.join();
             ExitCode::SUCCESS
         }
         _ => usage(),

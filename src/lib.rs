@@ -20,6 +20,7 @@ pub use snb_bi as bi;
 pub use snb_core as core;
 pub use snb_datagen as datagen;
 pub use snb_driver as driver;
+pub use snb_net as net;
 pub use snb_obs as obs;
 pub use snb_params as params;
 pub use snb_queries as queries;
