@@ -19,7 +19,7 @@ fn bench_queries(c: &mut Criterion) {
                 &engine,
                 |b, &engine| {
                     b.iter(|| {
-                        let snap = store.snapshot();
+                        let snap = store.pinned();
                         let mut rows = 0;
                         for binding in bindings.all(q) {
                             rows += complex::run_complex(&snap, engine, binding);

@@ -9,7 +9,7 @@ use snb_core::time::SimTime;
 fn main() {
     let ds = dataset(3_000);
     let store = full_store(&ds);
-    let snap = store.snapshot();
+    let snap = store.pinned();
     println!("SNB-BI draft queries on {} messages\n", ds.message_count());
 
     let mut t = Table::new(&["query", "time", "rows", "highlight"]);

@@ -1,0 +1,457 @@
+//! Extension — before/after benchmark of the pinned zero-allocation read
+//! path. The `baseline` module replicates the pre-change read path in-bin
+//! (a per-call-latch `Snapshot` taken per operation, owned `Vec` accessors,
+//! `HashSet` friend circles); the "pinned" side runs the shipped query code
+//! on a `PinnedSnapshot`. Both sides are asserted to return identical rows
+//! before anything is timed, then each is measured for ops/s and — via a
+//! counting global allocator — heap allocations per operation.
+//!
+//! Writes `BENCH_read_path.json` to the working directory (consumed by the
+//! CI perf-smoke step and EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p snb-bench --release --bin ext_read_path [persons]`
+
+use snb_core::time::SimTime;
+use snb_core::{MessageId, PersonId};
+use snb_obs::Json;
+use snb_queries::params::{Q2Params, Q6Params, Q9Params};
+use snb_queries::{complex, Engine};
+use snb_store::Store;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counting allocator: every heap allocation on any thread bumps the
+/// counters. `Relaxed` is fine — readers only look between single-threaded
+/// measurement phases.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The pre-change read path, replicated verbatim from the repository
+/// history so the two implementations stay independently comparable: every
+/// operation latches a fresh `Snapshot`, circles are `HashSet`s, and all
+/// index accessors return owned `Vec`s.
+mod baseline {
+    use snb_core::time::SimTime;
+    use snb_core::{MessageId, PersonId};
+    use snb_queries::complex::{q2::Q2Row, q6::Q6Row, q9::Q9Row};
+    use snb_queries::helpers::TopK;
+    use snb_queries::params::{Q2Params, Q6Params, Q9Params};
+    use snb_store::Snapshot;
+    use std::cmp::Reverse;
+    use std::collections::{HashMap, HashSet};
+
+    const LIMIT: usize = 20;
+    type Key = (Reverse<SimTime>, u64);
+
+    fn friend_set(snap: &Snapshot<'_>, p: PersonId) -> HashSet<u64> {
+        snap.friends(p).into_iter().map(|(f, _)| f).collect()
+    }
+
+    fn two_hop(snap: &Snapshot<'_>, p: PersonId) -> (HashSet<u64>, HashSet<u64>) {
+        let one = friend_set(snap, p);
+        let mut two = HashSet::new();
+        for &f in &one {
+            for (ff, _) in snap.friends(PersonId(f)) {
+                if ff != p.raw() && !one.contains(&ff) {
+                    two.insert(ff);
+                }
+            }
+        }
+        (one, two)
+    }
+
+    pub fn q2(snap: &Snapshot<'_>, p: &Q2Params) -> Vec<Q2Row> {
+        let mut top: TopK<Key, ()> = TopK::new(LIMIT);
+        for (friend, _) in snap.friends(p.person) {
+            for (msg, date) in snap.recent_messages_of(PersonId(friend), p.max_date, LIMIT) {
+                let key = (Reverse(date), msg);
+                if !top.would_accept(&key) {
+                    break;
+                }
+                top.push(key, ());
+            }
+        }
+        materialize_q2(snap, top.into_sorted())
+    }
+
+    fn materialize_q2(snap: &Snapshot<'_>, top: Vec<(Key, ())>) -> Vec<Q2Row> {
+        top.into_iter()
+            .filter_map(|((Reverse(date), msg), ())| {
+                let row = snap.message(MessageId(msg))?;
+                let author = snap.person(row.author)?;
+                let content = row
+                    .image_file
+                    .as_deref()
+                    .filter(|_| row.content.is_empty())
+                    .unwrap_or(&row.content)
+                    .to_string();
+                Some(Q2Row {
+                    author: row.author,
+                    first_name: author.first_name,
+                    last_name: author.last_name,
+                    message: MessageId(msg),
+                    content,
+                    creation_date: date,
+                })
+            })
+            .collect()
+    }
+
+    pub fn q6(snap: &Snapshot<'_>, p: &Q6Params) -> Vec<Q6Row> {
+        let (one, two) = two_hop(snap, p.person);
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        for c in one.into_iter().chain(two) {
+            for (msg, _) in snap.messages_of(PersonId(c)) {
+                let id = MessageId(msg);
+                if snap.message_meta(id).is_some_and(|m| m.reply_info.is_none()) {
+                    let tags = snap.message_tags(id);
+                    if tags.iter().any(|t| t.raw() == p.tag as u64) {
+                        for t in tags {
+                            if t.raw() != p.tag as u64 {
+                                *counts.entry(t.raw()).or_default() += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let dicts = snb_core::dict::Dictionaries::global();
+        let mut rows: Vec<Q6Row> = counts
+            .into_iter()
+            .map(|(tag, count)| Q6Row { tag: dicts.tags.tag(tag as usize).name.clone(), count })
+            .collect();
+        rows.sort_by(|a, b| {
+            (std::cmp::Reverse(a.count), &a.tag).cmp(&(std::cmp::Reverse(b.count), &b.tag))
+        });
+        rows.truncate(10); // Q6 returns the top-10 co-occurring tags
+        rows
+    }
+
+    pub fn q9(snap: &Snapshot<'_>, p: &Q9Params) -> Vec<Q9Row> {
+        let (one, two) = two_hop(snap, p.person);
+        let mut top: TopK<Key, ()> = TopK::new(LIMIT);
+        for c in one.into_iter().chain(two) {
+            for (msg, date) in snap.recent_messages_of(PersonId(c), p.max_date, LIMIT) {
+                let key = (Reverse(date), msg);
+                if !top.would_accept(&key) {
+                    break;
+                }
+                top.push(key, ());
+            }
+        }
+        top.into_sorted()
+            .into_iter()
+            .filter_map(|((Reverse(date), msg), ())| {
+                let row = snap.message(MessageId(msg))?;
+                let author = snap.person(row.author)?;
+                let content = row
+                    .image_file
+                    .as_deref()
+                    .filter(|_| row.content.is_empty())
+                    .unwrap_or(&row.content)
+                    .to_string();
+                Some(Q9Row {
+                    author: row.author,
+                    first_name: author.first_name,
+                    last_name: author.last_name,
+                    message: MessageId(msg),
+                    content,
+                    creation_date: date,
+                })
+            })
+            .collect()
+    }
+
+    /// Pre-change S2: owned top-10 Vec, then row materialization.
+    pub fn s2_rows(snap: &Snapshot<'_>, person: PersonId) -> usize {
+        snap.recent_messages_of(person, SimTime(i64::MAX), 10)
+            .into_iter()
+            .filter(|&(msg, _)| snap.message_meta(MessageId(msg)).is_some())
+            .count()
+    }
+}
+
+/// One measured side of one workload.
+struct Measure {
+    ops_per_s: f64,
+    micros_per_op: f64,
+    allocs_per_op: f64,
+    kib_per_op: f64,
+}
+
+/// Time `f` for `iters` iterations (after one warm-up call) and read the
+/// allocation counters across the timed region.
+fn measure(iters: u32, mut f: impl FnMut() -> usize) -> (Measure, usize) {
+    let rows = f(); // warm-up: faults pages, sizes the thread-local scratch
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..iters {
+        sink = sink.wrapping_add(f());
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let allocs = (ALLOCS.load(Ordering::Relaxed) - a0) as f64;
+    let bytes = (ALLOC_BYTES.load(Ordering::Relaxed) - b0) as f64;
+    std::hint::black_box(sink);
+    let n = iters as f64;
+    (
+        Measure {
+            ops_per_s: n / dt,
+            micros_per_op: dt * 1e6 / n,
+            allocs_per_op: allocs / n,
+            kib_per_op: bytes / n / 1024.0,
+        },
+        rows,
+    )
+}
+
+fn json_pair(name: &str, old: &Measure, new: &Measure) -> Json {
+    Json::obj([
+        ("name", Json::from(name)),
+        (
+            "baseline",
+            Json::obj([
+                ("ops_per_s", Json::from(old.ops_per_s)),
+                ("micros_per_op", Json::from(old.micros_per_op)),
+                ("allocs_per_op", Json::from(old.allocs_per_op)),
+                ("kib_per_op", Json::from(old.kib_per_op)),
+            ]),
+        ),
+        (
+            "pinned",
+            Json::obj([
+                ("ops_per_s", Json::from(new.ops_per_s)),
+                ("micros_per_op", Json::from(new.micros_per_op)),
+                ("allocs_per_op", Json::from(new.allocs_per_op)),
+                ("kib_per_op", Json::from(new.kib_per_op)),
+            ]),
+        ),
+        ("speedup", Json::from(new.ops_per_s / old.ops_per_s)),
+    ])
+}
+
+fn main() {
+    let persons: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("persons must be a number"))
+        .unwrap_or(1_000);
+    let iters: u32 =
+        std::env::args().nth(2).map(|a| a.parse().expect("iters must be a number")).unwrap_or(100);
+    println!("== ext_read_path: pinned read path vs per-call-latch baseline ==");
+    println!("   persons={persons} iters={iters}");
+
+    let ds = snb_bench::dataset(persons);
+    // Mixed store: immutable bulk prefix + the full update stream replayed
+    // as versioned commits, so the fast lane runs next to the checked tail.
+    let store = Store::new();
+    store.bulk_load(&ds);
+    for u in ds.update_stream() {
+        store.apply(&u.op).unwrap();
+    }
+
+    let bindings = snb_params::curated_bindings(&ds, 8);
+    let q2s: Vec<Q2Params> = bindings
+        .all(2)
+        .iter()
+        .filter_map(|q| match q {
+            snb_queries::ComplexQuery::Q2(p) => Some(*p),
+            _ => None,
+        })
+        .collect();
+    let q6s: Vec<Q6Params> = bindings
+        .all(6)
+        .iter()
+        .filter_map(|q| match q {
+            snb_queries::ComplexQuery::Q6(p) => Some(p.clone()),
+            _ => None,
+        })
+        .collect();
+    let q9s: Vec<Q9Params> = bindings
+        .all(9)
+        .iter()
+        .filter_map(|q| match q {
+            snb_queries::ComplexQuery::Q9(p) => Some(*p),
+            _ => None,
+        })
+        .collect();
+    assert!(!q2s.is_empty() && !q6s.is_empty() && !q9s.is_empty(), "curation produced bindings");
+
+    // Differential check before timing anything: the two paths must return
+    // byte-identical rows for every binding.
+    {
+        let old = store.snapshot();
+        let new = store.pinned();
+        for p in &q2s {
+            assert_eq!(baseline::q2(&old, p), complex::q2::run(&new, Engine::Intended, p));
+        }
+        for p in &q6s {
+            assert_eq!(baseline::q6(&old, p), complex::q6::run(&new, Engine::Intended, p));
+        }
+        for p in &q9s {
+            assert_eq!(baseline::q9(&old, p), complex::q9::run(&new, Engine::Intended, p));
+        }
+        println!("   differential check: baseline == pinned on all bindings");
+    }
+
+    let mut table = snb_bench::Table::new(&[
+        "workload",
+        "base ops/s",
+        "pinned ops/s",
+        "speedup",
+        "base allocs/op",
+        "pinned allocs/op",
+    ]);
+    let mut sections: Vec<Json> = Vec::new();
+    let mut push = |name: &str, old: Measure, new: Measure, table: &mut snb_bench::Table| {
+        table.row(&[
+            name.to_string(),
+            format!("{:.0}", old.ops_per_s),
+            format!("{:.0}", new.ops_per_s),
+            format!("{:.2}x", new.ops_per_s / old.ops_per_s),
+            format!("{:.1}", old.allocs_per_op),
+            format!("{:.1}", new.allocs_per_op),
+        ]);
+        sections.push(json_pair(name, &old, &new));
+    };
+
+    // Per-query pairs. Each op latches its own snapshot, matching how the
+    // driver connector issues reads on both sides of the change.
+    let (old_q2, _) = measure(iters, || {
+        let snap = store.snapshot();
+        q2s.iter().map(|p| baseline::q2(&snap, p).len()).sum()
+    });
+    let (new_q2, _) = measure(iters, || {
+        let snap = store.pinned();
+        q2s.iter().map(|p| complex::q2::run(&snap, Engine::Intended, p).len()).sum()
+    });
+    push("Q2", old_q2, new_q2, &mut table);
+
+    let (old_q6, _) = measure(iters, || {
+        let snap = store.snapshot();
+        q6s.iter().map(|p| baseline::q6(&snap, p).len()).sum()
+    });
+    let (new_q6, _) = measure(iters, || {
+        let snap = store.pinned();
+        q6s.iter().map(|p| complex::q6::run(&snap, Engine::Intended, p).len()).sum()
+    });
+    push("Q6", old_q6, new_q6, &mut table);
+
+    let (old_q9, _) = measure(iters, || {
+        let snap = store.snapshot();
+        q9s.iter().map(|p| baseline::q9(&snap, p).len()).sum()
+    });
+    let (new_q9, _) = measure(iters, || {
+        let snap = store.pinned();
+        q9s.iter().map(|p| complex::q9::run(&snap, Engine::Intended, p).len()).sum()
+    });
+    push("Q9", old_q9, new_q9, &mut table);
+
+    // The acceptance metric: the read-only complex mix, one snapshot per
+    // operation on both sides.
+    let (old_mix, _) = measure(iters, || {
+        let mut rows = 0;
+        for p in &q2s {
+            rows += baseline::q2(&store.snapshot(), p).len();
+        }
+        for p in &q6s {
+            rows += baseline::q6(&store.snapshot(), p).len();
+        }
+        for p in &q9s {
+            rows += baseline::q9(&store.snapshot(), p).len();
+        }
+        rows
+    });
+    let (new_mix, _) = measure(iters, || {
+        let mut rows = 0;
+        for p in &q2s {
+            rows += complex::q2::run(&store.pinned(), Engine::Intended, p).len();
+        }
+        for p in &q6s {
+            rows += complex::q6::run(&store.pinned(), Engine::Intended, p).len();
+        }
+        for p in &q9s {
+            rows += complex::q9::run(&store.pinned(), Engine::Intended, p).len();
+        }
+        rows
+    });
+    let mix_speedup = new_mix.ops_per_s / old_mix.ops_per_s;
+    push("complex mix", old_mix, new_mix, &mut table);
+
+    // Short-read pair: S2 anchored on the curated Q2 persons; the pinned
+    // side walks the date index borrowing, the baseline copies a Vec.
+    let s2_people: Vec<PersonId> = q2s.iter().map(|p| p.person).collect();
+    let (old_s2, _) = measure(iters * 10, || {
+        let snap = store.snapshot();
+        s2_people.iter().map(|&p| baseline::s2_rows(&snap, p)).sum()
+    });
+    let (new_s2, _) = measure(iters * 10, || {
+        let snap = store.pinned();
+        s2_people
+            .iter()
+            .map(|&p| {
+                snap.recent_messages_walk(p, SimTime(i64::MAX))
+                    .take(10)
+                    .filter(|&(msg, _)| snap.message_meta(MessageId(msg)).is_some())
+                    .count()
+            })
+            .sum()
+    });
+    push("S2 walk", old_s2, new_s2, &mut table);
+
+    table.print();
+    println!("\n   complex-mix speedup: {mix_speedup:.2}x (target >= 2x)");
+
+    let counters = store.counters().snapshot();
+    let fastpath =
+        counters.iter().find(|(n, _)| *n == "store.read.fastpath_entries").map_or(0, |&(_, v)| v);
+    let pins = counters.iter().find(|(n, _)| *n == "store.read.guard_pins").map_or(0, |&(_, v)| v);
+    println!("   store.read.fastpath_entries={fastpath} store.read.guard_pins={pins}");
+
+    let doc = Json::obj([
+        ("bench", Json::from("ext_read_path")),
+        ("persons", Json::from(persons)),
+        ("iters", Json::from(iters)),
+        ("workloads", Json::Arr(sections)),
+        ("complex_mix_speedup", Json::from(mix_speedup)),
+        (
+            "counters",
+            Json::obj([
+                ("store.read.fastpath_entries", Json::from(fastpath)),
+                ("store.read.guard_pins", Json::from(pins)),
+            ]),
+        ),
+    ]);
+    std::fs::write("BENCH_read_path.json", doc.render_pretty(2)).expect("write json");
+    println!("   wrote BENCH_read_path.json");
+}

@@ -12,7 +12,7 @@ const VIRTUOSO_SF300: [f64; 7] = [6.0, 147.0, 37.0, 7.0, 2.0, 1.0, 8.0];
 fn main() {
     let ds = dataset(snb_bench::BENCH_PERSONS);
     let store = bulk_store(&ds);
-    let snap = store.snapshot();
+    let snap = store.pinned();
     // Anchors: a busy person and a post with replies.
     let mut deg = vec![0u32; ds.persons.len()];
     for k in &ds.knows {

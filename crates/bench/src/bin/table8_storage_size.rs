@@ -9,7 +9,7 @@ use snb_bench::{dataset, full_store, Table};
 fn main() {
     let ds = dataset(5_000);
     let store = full_store(&ds);
-    let stats = store.snapshot().storage_stats();
+    let stats = store.pinned().storage_stats();
 
     println!(
         "Table 8: three largest tables ({} persons, {} messages)\n",

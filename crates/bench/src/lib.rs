@@ -58,7 +58,7 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 pub fn mean_query_time(store: &Store, engine: Engine, bindings: &[ComplexQuery]) -> Duration {
     let mut total = Duration::ZERO;
     for q in bindings {
-        let snap = store.snapshot();
+        let snap = store.pinned();
         let (_, d) = time(|| complex::run_complex(&snap, engine, q));
         total += d;
     }
@@ -70,7 +70,7 @@ pub fn query_times(store: &Store, engine: Engine, bindings: &[ComplexQuery]) -> 
     bindings
         .iter()
         .map(|q| {
-            let snap = store.snapshot();
+            let snap = store.pinned();
             time(|| complex::run_complex(&snap, engine, q)).1
         })
         .collect()

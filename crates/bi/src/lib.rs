@@ -16,7 +16,7 @@
 use snb_core::dict::Dictionaries;
 use snb_core::time::SimTime;
 use snb_core::{MessageId, PersonId};
-use snb_store::Snapshot;
+use snb_store::PinnedSnapshot;
 use std::collections::HashMap;
 
 /// BI-1 "Posting summary": message counts, average length and share of
@@ -36,7 +36,7 @@ pub struct PostingSummaryRow {
 }
 
 /// Run BI-1.
-pub fn bi1_posting_summary(snap: &Snapshot<'_>) -> Vec<PostingSummaryRow> {
+pub fn bi1_posting_summary(snap: &PinnedSnapshot<'_>) -> Vec<PostingSummaryRow> {
     let mut groups: HashMap<(i64, bool), (u64, u64)> = HashMap::new();
     let mut total = 0u64;
     for m in 0..snap.message_slots() as u64 {
@@ -76,7 +76,11 @@ pub struct TagEvolutionRow {
 
 /// Run BI-2 for the month bucket `month` (0-based from simulation start)
 /// and its successor.
-pub fn bi2_tag_evolution(snap: &Snapshot<'_>, month: i64, limit: usize) -> Vec<TagEvolutionRow> {
+pub fn bi2_tag_evolution(
+    snap: &PinnedSnapshot<'_>,
+    month: i64,
+    limit: usize,
+) -> Vec<TagEvolutionRow> {
     let dicts = Dictionaries::global();
     let mut a: HashMap<u64, u64> = HashMap::new();
     let mut b: HashMap<u64, u64> = HashMap::new();
@@ -128,7 +132,7 @@ pub struct CountryTopicRow {
 
 /// Run BI-3.
 pub fn bi3_popular_topics(
-    snap: &Snapshot<'_>,
+    snap: &PinnedSnapshot<'_>,
     country: usize,
     limit: usize,
 ) -> Vec<CountryTopicRow> {
@@ -169,7 +173,7 @@ pub struct CountryActivityRow {
 }
 
 /// Run BI-4.
-pub fn bi4_country_activity(snap: &Snapshot<'_>) -> Vec<CountryActivityRow> {
+pub fn bi4_country_activity(snap: &PinnedSnapshot<'_>) -> Vec<CountryActivityRow> {
     let dicts = Dictionaries::global();
     let mut persons = vec![0u64; dicts.places.country_count()];
     let mut home = HashMap::new();
@@ -213,7 +217,11 @@ pub struct TopicExpertRow {
 }
 
 /// Run BI-5.
-pub fn bi5_topic_experts(snap: &Snapshot<'_>, tag: usize, limit: usize) -> Vec<TopicExpertRow> {
+pub fn bi5_topic_experts(
+    snap: &PinnedSnapshot<'_>,
+    tag: usize,
+    limit: usize,
+) -> Vec<TopicExpertRow> {
     let mut agg: HashMap<u64, (u64, u64)> = HashMap::new();
     for m in 0..snap.message_slots() as u64 {
         let id = MessageId(m);
@@ -223,7 +231,7 @@ pub fn bi5_topic_experts(snap: &Snapshot<'_>, tag: usize, limit: usize) -> Vec<T
         }
         let e = agg.entry(meta.author.raw()).or_default();
         e.0 += 1;
-        e.1 += snap.likes_of(id).len() as u64;
+        e.1 += snap.likes_of_iter(id).count() as u64;
     }
     let mut out: Vec<TopicExpertRow> = agg
         .into_iter()
@@ -251,7 +259,7 @@ pub struct ZombieRow {
 }
 
 /// Run BI-6.
-pub fn bi6_zombies(snap: &Snapshot<'_>, before: SimTime, limit: usize) -> Vec<ZombieRow> {
+pub fn bi6_zombies(snap: &PinnedSnapshot<'_>, before: SimTime, limit: usize) -> Vec<ZombieRow> {
     let mut out = Vec::new();
     for p in 0..snap.person_slots() as u64 {
         let id = PersonId(p);
@@ -263,16 +271,13 @@ pub fn bi6_zombies(snap: &Snapshot<'_>, before: SimTime, limit: usize) -> Vec<Zo
         if months < 1 {
             continue;
         }
-        let messages = snap.messages_of(id);
-        if (messages.len() as i64) < months {
-            let likes_received: u64 =
-                messages.iter().map(|&(m, _)| snap.likes_of(MessageId(m)).len() as u64).sum();
-            out.push(ZombieRow {
-                person: id,
-                months,
-                messages: messages.len() as u64,
-                likes_received,
-            });
+        let messages = snap.messages_of_iter(id).count();
+        if (messages as i64) < months {
+            let likes_received: u64 = snap
+                .messages_of_iter(id)
+                .map(|(m, _)| snap.likes_of_iter(MessageId(m)).count() as u64)
+                .sum();
+            out.push(ZombieRow { person: id, months, messages: messages as u64, likes_received });
         }
     }
     out.sort_by_key(|r| (std::cmp::Reverse(r.likes_received), r.person));
@@ -307,7 +312,7 @@ mod tests {
     #[test]
     fn bi1_covers_every_message_exactly_once() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let rows = bi1_posting_summary(&snap);
         let total: u64 = rows.iter().map(|r| r.count).sum();
         assert_eq!(total, f.ds.message_count() as u64);
@@ -330,7 +335,7 @@ mod tests {
     #[test]
     fn bi2_diffs_match_manual_recount() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let month = 14;
         let rows = bi2_tag_evolution(&snap, month, 5);
         assert!(!rows.is_empty());
@@ -355,7 +360,7 @@ mod tests {
     #[test]
     fn bi3_counts_only_the_requested_country() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         // Use the most common message country.
         let mut by_country: HashMap<usize, usize> = HashMap::new();
         for p in &f.ds.posts {
@@ -384,7 +389,7 @@ mod tests {
     #[test]
     fn bi4_totals_match_dataset() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let rows = bi4_country_activity(&snap);
         let persons: u64 = rows.iter().map(|r| r.persons).sum();
         let messages: u64 = rows.iter().map(|r| r.messages).sum();
@@ -395,7 +400,7 @@ mod tests {
     #[test]
     fn bi5_experts_actually_write_about_the_topic() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         // Most used tag in the dataset.
         let mut counts: HashMap<u64, usize> = HashMap::new();
         for p in &f.ds.posts {
@@ -417,7 +422,7 @@ mod tests {
     #[test]
     fn bi6_zombies_are_genuinely_inactive() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let before = SimTime::from_ymd(2012, 6, 1);
         let rows = bi6_zombies(&snap, before, 50);
         for r in &rows {

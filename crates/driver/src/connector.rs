@@ -108,7 +108,7 @@ impl Connector for StoreConnector {
                 Ok(OpOutcome { rows: 1, ..Default::default() })
             }
             Operation::Complex(q) => {
-                let snap = self.store.snapshot();
+                let snap = self.store.pinned();
                 let rows = complex::run_complex(&snap, self.engine, q);
                 // Seed the random walk with the query's anchor person and
                 // one of their recent messages.
@@ -121,7 +121,7 @@ impl Connector for StoreConnector {
                 Ok(OpOutcome { rows, seed_person: person, seed_message })
             }
             Operation::Short(s) => {
-                let snap = self.store.snapshot();
+                let snap = self.store.pinned();
                 let rows = short::run_short(&snap, s);
                 let (seed_person, seed_message) = match *s {
                     ShortQuery::S2(p) => {

@@ -35,5 +35,6 @@ pub use hist::LatencyHistogram;
 pub use json::Json;
 pub use profile::{
     current_profile, tick_index_probes, tick_neighbors_expanded, tick_result_rows,
-    tick_rows_scanned, tick_versions_walked, ProfileGuard, ProfileSnapshot, QueryProfile,
+    tick_rows_scanned, tick_scratch_reuses, tick_versions_walked, ProfileGuard, ProfileSnapshot,
+    QueryProfile,
 };

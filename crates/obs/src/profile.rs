@@ -23,6 +23,9 @@ pub struct QueryProfile {
     pub versions_walked: AtomicU64,
     /// Rows in final result sets.
     pub result_rows: AtomicU64,
+    /// Times a query reused this thread's [`QueryScratch`]-style workspace
+    /// instead of allocating fresh visited/frontier structures.
+    pub scratch_reuses: AtomicU64,
 }
 
 /// A plain-value copy of a [`QueryProfile`], for reporting.
@@ -33,17 +36,19 @@ pub struct ProfileSnapshot {
     pub neighbors_expanded: u64,
     pub versions_walked: u64,
     pub result_rows: u64,
+    pub scratch_reuses: u64,
 }
 
 impl ProfileSnapshot {
     /// Field names and values, in export order.
-    pub fn fields(&self) -> [(&'static str, u64); 5] {
+    pub fn fields(&self) -> [(&'static str, u64); 6] {
         [
             ("rows_scanned", self.rows_scanned),
             ("index_probes", self.index_probes),
             ("neighbors_expanded", self.neighbors_expanded),
             ("versions_walked", self.versions_walked),
             ("result_rows", self.result_rows),
+            ("scratch_reuses", self.scratch_reuses),
         ]
     }
 
@@ -73,6 +78,7 @@ impl QueryProfile {
             neighbors_expanded: self.neighbors_expanded.load(Ordering::Relaxed),
             versions_walked: self.versions_walked.load(Ordering::Relaxed),
             result_rows: self.result_rows.load(Ordering::Relaxed),
+            scratch_reuses: self.scratch_reuses.load(Ordering::Relaxed),
         }
     }
 }
@@ -138,6 +144,12 @@ pub fn tick_versions_walked(n: u64) {
 #[inline]
 pub fn tick_result_rows(n: u64) {
     tick(n, |p| &p.result_rows);
+}
+
+/// Count `n` reuses of a thread-local query scratch workspace.
+#[inline]
+pub fn tick_scratch_reuses(n: u64) {
+    tick(n, |p| &p.scratch_reuses);
 }
 
 #[cfg(test)]

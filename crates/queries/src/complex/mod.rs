@@ -24,19 +24,19 @@ pub mod q9;
 
 use crate::engine::Engine;
 use crate::params::ComplexQuery;
-use snb_store::Snapshot;
+use snb_store::PinnedSnapshot;
 
 /// Execute any complex query; returns the number of result rows (the
 /// uniform interface the workload driver uses — latency is what the
 /// benchmark measures, the rows themselves are checked by tests).
 /// Result-row counts tick the current [`snb_obs::QueryProfile`] scope.
-pub fn run_complex(snap: &Snapshot<'_>, engine: Engine, q: &ComplexQuery) -> usize {
+pub fn run_complex(snap: &PinnedSnapshot<'_>, engine: Engine, q: &ComplexQuery) -> usize {
     let rows = dispatch(snap, engine, q);
     snb_obs::tick_result_rows(rows as u64);
     rows
 }
 
-fn dispatch(snap: &Snapshot<'_>, engine: Engine, q: &ComplexQuery) -> usize {
+fn dispatch(snap: &PinnedSnapshot<'_>, engine: Engine, q: &ComplexQuery) -> usize {
     match q {
         ComplexQuery::Q1(p) => q1::run(snap, engine, p).len(),
         ComplexQuery::Q2(p) => q2::run(snap, engine, p).len(),

@@ -6,10 +6,10 @@
 
 use crate::engine::Engine;
 use crate::params::Q1Params;
+use crate::scratch::{with_scratch, QueryScratch};
 use snb_core::dict::Dictionaries;
 use snb_core::PersonId;
-use snb_store::Snapshot;
-use std::collections::HashSet;
+use snb_store::PinnedSnapshot;
 
 /// Maximum BFS distance.
 const MAX_DISTANCE: u32 = 3;
@@ -34,28 +34,30 @@ pub struct Q1Row {
 }
 
 /// Execute Q1.
-pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q1Params) -> Vec<Q1Row> {
-    let matches = match engine {
-        Engine::Intended => bfs_collect(snap, p),
-        Engine::Naive => naive_collect(snap, p),
-    };
+pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q1Params) -> Vec<Q1Row> {
+    let matches = with_scratch(|sx| match engine {
+        Engine::Intended => bfs_collect(snap, sx, p),
+        Engine::Naive => naive_collect(snap, sx, p),
+    });
     materialize(snap, matches)
 }
 
 /// Intended plan: level-wise BFS out of the start person; stop expanding
 /// once a full level has completed with ≥ 20 matches (deeper levels cannot
 /// displace shallower ones in the ordering).
-fn bfs_collect(snap: &Snapshot<'_>, p: &Q1Params) -> Vec<(u64, u32)> {
-    let mut seen: HashSet<u64> = HashSet::from([p.person.raw()]);
+fn bfs_collect(snap: &PinnedSnapshot<'_>, sx: &mut QueryScratch, p: &Q1Params) -> Vec<(u64, u32)> {
+    sx.begin(snap.person_slots());
+    sx.mark(p.person.raw(), 0);
     let mut frontier = vec![p.person.raw()];
     let mut matches = Vec::new();
     for depth in 1..=MAX_DISTANCE {
         let mut next = Vec::new();
         for &u in &frontier {
-            for (v, _) in snap.friends(PersonId(u)) {
-                if seen.insert(v) {
+            for (v, _) in snap.friends_iter(PersonId(u)) {
+                if sx.mark(v, depth as u8) {
                     next.push(v);
-                    if snap.person(PersonId(v)).is_some_and(|pr| pr.first_name == p.first_name) {
+                    if snap.person_ref(PersonId(v)).is_some_and(|pr| pr.first_name == p.first_name)
+                    {
                         matches.push((v, depth));
                     }
                 }
@@ -71,35 +73,41 @@ fn bfs_collect(snap: &Snapshot<'_>, p: &Q1Params) -> Vec<(u64, u32)> {
 
 /// Naive plan: per BFS level, scan the whole person table probing adjacency
 /// toward the frontier (the join-order inversion a scan-based system runs).
-fn naive_collect(snap: &Snapshot<'_>, p: &Q1Params) -> Vec<(u64, u32)> {
-    let mut seen: HashSet<u64> = HashSet::from([p.person.raw()]);
-    let mut frontier: HashSet<u64> = HashSet::from([p.person.raw()]);
+fn naive_collect(
+    snap: &PinnedSnapshot<'_>,
+    sx: &mut QueryScratch,
+    p: &Q1Params,
+) -> Vec<(u64, u32)> {
+    sx.begin(snap.person_slots());
+    sx.mark(p.person.raw(), 0);
     let mut matches = Vec::new();
     for depth in 1..=MAX_DISTANCE {
-        let mut next = HashSet::new();
+        let mut found_any = false;
         for v in 0..snap.person_slots() as u64 {
-            if seen.contains(&v) {
+            if sx.is_marked(v) {
                 continue;
             }
-            let touches_frontier =
-                snap.friends(PersonId(v)).into_iter().any(|(f, _)| frontier.contains(&f));
+            // Probing levels directly distinguishes the previous frontier
+            // (level == depth-1) from older levels — no per-level set copy.
+            let touches_frontier = snap
+                .friends_iter(PersonId(v))
+                .any(|(f, _)| sx.level_of(f) == Some((depth - 1) as u8));
             if touches_frontier {
-                next.insert(v);
-                if snap.person(PersonId(v)).is_some_and(|pr| pr.first_name == p.first_name) {
+                sx.mark(v, depth as u8);
+                found_any = true;
+                if snap.person_ref(PersonId(v)).is_some_and(|pr| pr.first_name == p.first_name) {
                     matches.push((v, depth));
                 }
             }
         }
-        seen.extend(next.iter().copied());
-        if matches.len() >= LIMIT {
+        if matches.len() >= LIMIT || !found_any {
             break;
         }
-        frontier = next;
     }
     matches
 }
 
-fn materialize(snap: &Snapshot<'_>, matches: Vec<(u64, u32)>) -> Vec<Q1Row> {
+fn materialize(snap: &PinnedSnapshot<'_>, matches: Vec<(u64, u32)>) -> Vec<Q1Row> {
     let dicts = Dictionaries::global();
     let mut rows: Vec<Q1Row> = matches
         .into_iter()
@@ -164,7 +172,7 @@ mod tests {
     #[test]
     fn intended_and_naive_agree() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         let a = run(&snap, Engine::Intended, &p);
         let b = run(&snap, Engine::Naive, &p);
@@ -175,7 +183,7 @@ mod tests {
     #[test]
     fn ordering_and_limit_hold() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let rows = run(&snap, Engine::Intended, &params());
         assert!(rows.len() <= LIMIT);
         for w in rows.windows(2) {
@@ -192,7 +200,7 @@ mod tests {
     #[test]
     fn start_person_is_excluded() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         for r in run(&snap, Engine::Intended, &p) {
             assert_ne!(r.person, p.person);
@@ -202,7 +210,7 @@ mod tests {
     #[test]
     fn unknown_name_yields_empty() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = Q1Params { person: busy_person(f), first_name: "Zzyzx".into() };
         assert!(run(&snap, Engine::Intended, &p).is_empty());
     }

@@ -7,10 +7,11 @@
 //! tag) − (posts without). Descending by score, ascending by id.
 
 use crate::engine::Engine;
-use crate::helpers::two_hop;
+use crate::helpers::load_two_hop;
 use crate::params::Q10Params;
+use crate::scratch::with_scratch;
 use snb_core::{MessageId, PersonId, TagId};
-use snb_store::Snapshot;
+use snb_store::PinnedSnapshot;
 use std::collections::{HashMap, HashSet};
 
 /// Result limit.
@@ -30,7 +31,7 @@ pub struct Q10Row {
 }
 
 /// Execute Q10.
-pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q10Params) -> Vec<Q10Row> {
+pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q10Params) -> Vec<Q10Row> {
     let interests: HashSet<TagId> = match snap.person(p.person) {
         Some(me) => me.interests.iter().copied().collect(),
         None => return Vec::new(),
@@ -58,17 +59,21 @@ pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q10Params) -> Vec<Q10Row> {
 }
 
 /// Strict friends-of-friends passing the horoscope restriction.
-fn horoscope_candidates(snap: &Snapshot<'_>, p: &Q10Params) -> Vec<u64> {
-    let (_, two) = two_hop(snap, p.person);
+fn horoscope_candidates(snap: &PinnedSnapshot<'_>, p: &Q10Params) -> Vec<u64> {
     let next_month = if p.month == 12 { 1 } else { p.month + 1 };
-    two.into_iter()
-        .filter(|&c| {
-            snap.person(PersonId(c)).is_some_and(|pr| {
-                let (_, m, d) = pr.birthday.to_ymd();
-                (m == p.month && d >= 21) || (m == next_month && d < 22)
+    with_scratch(|sx| {
+        load_two_hop(snap, sx, p.person);
+        sx.two
+            .iter()
+            .copied()
+            .filter(|&c| {
+                snap.person_ref(PersonId(c)).is_some_and(|pr| {
+                    let (_, m, d) = pr.birthday.to_ymd();
+                    (m == p.month && d >= 21) || (m == next_month && d < 22)
+                })
             })
-        })
-        .collect()
+            .collect()
+    })
 }
 
 fn score_one(common: i64, total: i64) -> i64 {
@@ -76,12 +81,16 @@ fn score_one(common: i64, total: i64) -> i64 {
 }
 
 /// Intended: per candidate, scan their message index counting posts.
-fn intended(snap: &Snapshot<'_>, cands: &[u64], interests: &HashSet<TagId>) -> HashMap<u64, i64> {
+fn intended(
+    snap: &PinnedSnapshot<'_>,
+    cands: &[u64],
+    interests: &HashSet<TagId>,
+) -> HashMap<u64, i64> {
     let mut scores = HashMap::with_capacity(cands.len());
     for &c in cands {
         let mut common = 0i64;
         let mut total = 0i64;
-        for (msg, _) in snap.messages_of(PersonId(c)) {
+        for (msg, _) in snap.messages_of_iter(PersonId(c)) {
             let id = MessageId(msg);
             if snap.message_meta(id).is_some_and(|m| m.reply_info.is_none()) {
                 total += 1;
@@ -96,7 +105,11 @@ fn intended(snap: &Snapshot<'_>, cands: &[u64], interests: &HashSet<TagId>) -> H
 }
 
 /// Naive: one full message scan grouping per candidate.
-fn naive(snap: &Snapshot<'_>, cands: &[u64], interests: &HashSet<TagId>) -> HashMap<u64, i64> {
+fn naive(
+    snap: &PinnedSnapshot<'_>,
+    cands: &[u64],
+    interests: &HashSet<TagId>,
+) -> HashMap<u64, i64> {
     let cand_set: HashSet<u64> = cands.iter().copied().collect();
     let mut agg: HashMap<u64, (i64, i64)> = HashMap::new();
     for m in 0..snap.message_slots() as u64 {
@@ -135,7 +148,7 @@ mod tests {
     #[test]
     fn intended_and_naive_agree_across_months() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let person = busy_person(f);
         for month in [1, 6, 12] {
             let p = Q10Params { person, month };
@@ -150,9 +163,12 @@ mod tests {
     #[test]
     fn candidates_are_strict_friends_of_friends() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
-        let (one, two) = two_hop(&snap, p.person);
+        let (one, two) = with_scratch(|sx| {
+            load_two_hop(&snap, sx, p.person);
+            (sx.one.clone(), sx.two.clone())
+        });
         for r in run(&snap, Engine::Intended, &p) {
             assert!(two.contains(&r.person.raw()));
             assert!(!one.contains(&r.person.raw()), "direct friends excluded");
@@ -163,7 +179,7 @@ mod tests {
     #[test]
     fn horoscope_window_is_respected() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         for r in run(&snap, Engine::Intended, &p) {
             let (_, m, d) = snap.person(r.person).unwrap().birthday.to_ymd();
@@ -174,7 +190,7 @@ mod tests {
     #[test]
     fn december_wraps_to_january() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = Q10Params { person: busy_person(f), month: 12 };
         for r in run(&snap, Engine::Intended, &p) {
             let (_, m, d) = snap.person(r.person).unwrap().birthday.to_ymd();
@@ -185,7 +201,7 @@ mod tests {
     #[test]
     fn scores_are_sorted_descending() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let rows = run(&snap, Engine::Intended, &params());
         for w in rows.windows(2) {
             assert!(

@@ -6,11 +6,12 @@
 //! by company name.
 
 use crate::engine::Engine;
-use crate::helpers::two_hop;
+use crate::helpers::load_two_hop;
 use crate::params::Q11Params;
+use crate::scratch::with_scratch;
 use snb_core::dict::Dictionaries;
 use snb_core::PersonId;
-use snb_store::Snapshot;
+use snb_store::PinnedSnapshot;
 
 /// Result limit.
 const LIMIT: usize = 10;
@@ -31,21 +32,19 @@ pub struct Q11Row {
 }
 
 /// Execute Q11.
-pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q11Params) -> Vec<Q11Row> {
-    let candidates: Vec<u64> = match engine {
-        // Intended: traverse outward from the person.
-        Engine::Intended => {
-            let (one, two) = two_hop(snap, p.person);
-            one.into_iter().chain(two).collect()
+pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q11Params) -> Vec<Q11Row> {
+    let candidates: Vec<u64> = with_scratch(|sx| {
+        load_two_hop(snap, sx, p.person);
+        match engine {
+            // Intended: traverse outward from the person.
+            Engine::Intended => sx.one.iter().chain(sx.two.iter()).copied().collect(),
+            // Naive join-order inversion: scan the whole person table and
+            // probe the 2-hop marks directly (1 = friend, 2 = FoF).
+            Engine::Naive => (0..snap.person_slots() as u64)
+                .filter(|&c| matches!(sx.level_of(c), Some(1 | 2)))
+                .collect(),
         }
-        // Naive join-order inversion: scan the whole person table, then
-        // filter by membership in the (still required) 2-hop circle.
-        Engine::Naive => {
-            let (one, two) = two_hop(snap, p.person);
-            let circle: std::collections::HashSet<u64> = one.into_iter().chain(two).collect();
-            (0..snap.person_slots() as u64).filter(|c| circle.contains(c)).collect()
-        }
-    };
+    });
     let dicts = Dictionaries::global();
     let mut rows = Vec::new();
     for c in candidates {
@@ -94,7 +93,7 @@ mod tests {
     #[test]
     fn intended_and_naive_agree() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         assert_eq!(run(&snap, Engine::Intended, &p), run(&snap, Engine::Naive, &p));
     }
@@ -102,7 +101,7 @@ mod tests {
     #[test]
     fn rows_match_filters() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         let dicts = Dictionaries::global();
         let rows = run(&snap, Engine::Intended, &p);
@@ -121,7 +120,7 @@ mod tests {
     #[test]
     fn ordering_is_year_person_company_desc() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let rows = run(&snap, Engine::Intended, &params());
         for w in rows.windows(2) {
             let a = (&w[0].work_from, w[0].person.raw());
@@ -133,7 +132,7 @@ mod tests {
     #[test]
     fn strict_year_bound() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let mut p = params();
         p.max_year = 1900;
         assert!(run(&snap, Engine::Intended, &p).is_empty());

@@ -6,11 +6,12 @@
 //! names.
 
 use crate::engine::Engine;
-use crate::helpers::friend_set;
+use crate::helpers::load_friends;
 use crate::params::Q12Params;
+use crate::scratch::with_scratch;
 use snb_core::dict::Dictionaries;
 use snb_core::{MessageId, PersonId};
-use snb_store::Snapshot;
+use snb_store::PinnedSnapshot;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Result limit.
@@ -32,7 +33,7 @@ pub struct Q12Row {
 }
 
 /// Execute Q12.
-pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q12Params) -> Vec<Q12Row> {
+pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q12Params) -> Vec<Q12Row> {
     let dicts = Dictionaries::global();
     let classes: HashSet<usize> = dicts.tags.class_descendants(p.tag_class).into_iter().collect();
     let per_friend = match engine {
@@ -63,7 +64,7 @@ type Agg = HashMap<u64, (u32, BTreeSet<String>)>;
 /// Count a comment if its direct parent is a *post* tagged inside the class
 /// subtree; collect the matching tag names.
 fn score_comment(
-    snap: &Snapshot<'_>,
+    snap: &PinnedSnapshot<'_>,
     comment: MessageId,
     classes: &HashSet<usize>,
     entry: &mut (u32, BTreeSet<String>),
@@ -77,7 +78,7 @@ fn score_comment(
     }
     let matched: Vec<String> = snap
         .message_tags(parent)
-        .into_iter()
+        .iter()
         .filter(|t| classes.contains(&dicts.tags.tag(t.index()).class))
         .map(|t| dicts.tags.tag(t.index()).name.clone())
         .collect();
@@ -88,28 +89,33 @@ fn score_comment(
 }
 
 /// Intended: per friend, scan their messages picking comments.
-fn intended(snap: &Snapshot<'_>, p: &Q12Params, classes: &HashSet<usize>) -> Agg {
+fn intended(snap: &PinnedSnapshot<'_>, p: &Q12Params, classes: &HashSet<usize>) -> Agg {
     let mut agg: Agg = HashMap::new();
-    for friend in friend_set(snap, p.person) {
-        let entry = agg.entry(friend).or_default();
-        for (msg, _) in snap.messages_of(PersonId(friend)) {
-            score_comment(snap, MessageId(msg), classes, entry);
+    with_scratch(|sx| {
+        load_friends(snap, sx, p.person);
+        for &friend in &sx.one {
+            let entry = agg.entry(friend).or_default();
+            for (msg, _) in snap.messages_of_iter(PersonId(friend)) {
+                score_comment(snap, MessageId(msg), classes, entry);
+            }
         }
-    }
+    });
     agg
 }
 
-/// Naive: full message scan probing the friend hash set.
-fn naive(snap: &Snapshot<'_>, p: &Q12Params, classes: &HashSet<usize>) -> Agg {
-    let friends = friend_set(snap, p.person);
+/// Naive: full message scan probing the friend marks.
+fn naive(snap: &PinnedSnapshot<'_>, p: &Q12Params, classes: &HashSet<usize>) -> Agg {
     let mut agg: Agg = HashMap::new();
-    for m in 0..snap.message_slots() as u64 {
-        let Some(meta) = snap.message_meta(MessageId(m)) else { continue };
-        if meta.reply_info.is_some() && friends.contains(&meta.author.raw()) {
-            let entry = agg.entry(meta.author.raw()).or_default();
-            score_comment(snap, MessageId(m), classes, entry);
+    with_scratch(|sx| {
+        load_friends(snap, sx, p.person);
+        for m in 0..snap.message_slots() as u64 {
+            let Some(meta) = snap.message_meta(MessageId(m)) else { continue };
+            if meta.reply_info.is_some() && sx.level_of(meta.author.raw()) == Some(1) {
+                let entry = agg.entry(meta.author.raw()).or_default();
+                score_comment(snap, MessageId(m), classes, entry);
+            }
         }
-    }
+    });
     agg.retain(|_, (c, _)| *c > 0);
     // Intended seeds every friend with a zero entry; align by dropping them
     // there too at the caller (rows filter on count > 0).
@@ -132,7 +138,7 @@ mod tests {
     #[test]
     fn intended_and_naive_agree() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         assert_eq!(run(&snap, Engine::Intended, &p), run(&snap, Engine::Naive, &p));
     }
@@ -140,9 +146,9 @@ mod tests {
     #[test]
     fn experts_are_friends_with_positive_counts() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
-        let friends = friend_set(&snap, p.person);
+        let friends: Vec<u64> = snap.friends_iter(p.person).map(|(id, _)| id).collect();
         let rows = run(&snap, Engine::Intended, &p);
         for r in &rows {
             assert!(friends.contains(&r.person.raw()));
@@ -154,7 +160,7 @@ mod tests {
     #[test]
     fn root_class_thing_catches_more_than_a_leaf() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let person = busy_person(f);
         let dicts = Dictionaries::global();
         let thing = dicts.tags.class_by_name("Thing").unwrap();

@@ -6,13 +6,13 @@
 use crate::engine::Engine;
 use crate::params::Q13Params;
 use snb_core::PersonId;
-use snb_store::Snapshot;
+use snb_store::PinnedSnapshot;
 #[cfg(test)]
 use std::collections::VecDeque;
 use std::collections::{HashMap, HashSet};
 
 /// Execute Q13; returns the path length, 0 for identical endpoints, or −1.
-pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q13Params) -> i32 {
+pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q13Params) -> i32 {
     if p.person_x == p.person_y {
         return 0;
     }
@@ -24,7 +24,7 @@ pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q13Params) -> i32 {
 
 /// Intended: bidirectional BFS — expand the smaller frontier each round;
 /// meets in the middle with O(b^(d/2)) work instead of O(b^d).
-fn bidirectional_bfs(snap: &Snapshot<'_>, p: &Q13Params) -> i32 {
+fn bidirectional_bfs(snap: &PinnedSnapshot<'_>, p: &Q13Params) -> i32 {
     let mut dist_x: HashMap<u64, u32> = HashMap::from([(p.person_x.raw(), 0)]);
     let mut dist_y: HashMap<u64, u32> = HashMap::from([(p.person_y.raw(), 0)]);
     let mut frontier_x = vec![p.person_x.raw()];
@@ -43,7 +43,7 @@ fn bidirectional_bfs(snap: &Snapshot<'_>, p: &Q13Params) -> i32 {
         let mut next = Vec::new();
         let mut best: Option<u32> = None;
         for &u in frontier.iter() {
-            for (v, _) in snap.friends(PersonId(u)) {
+            for (v, _) in snap.friends_iter(PersonId(u)) {
                 if let Some(&od) = other_dist.get(&v) {
                     let total = *depth + od;
                     best = Some(best.map_or(total, |b| b.min(total)));
@@ -64,7 +64,7 @@ fn bidirectional_bfs(snap: &Snapshot<'_>, p: &Q13Params) -> i32 {
 
 /// Naive: unidirectional BFS where each level re-scans the whole person
 /// table probing adjacency toward the frontier.
-fn level_scan_bfs(snap: &Snapshot<'_>, p: &Q13Params) -> i32 {
+fn level_scan_bfs(snap: &PinnedSnapshot<'_>, p: &Q13Params) -> i32 {
     let mut seen: HashSet<u64> = HashSet::from([p.person_x.raw()]);
     let mut frontier: HashSet<u64> = HashSet::from([p.person_x.raw()]);
     let mut depth = 0;
@@ -75,7 +75,7 @@ fn level_scan_bfs(snap: &Snapshot<'_>, p: &Q13Params) -> i32 {
             if seen.contains(&v) {
                 continue;
             }
-            if snap.friends(PersonId(v)).into_iter().any(|(f, _)| frontier.contains(&f)) {
+            if snap.friends_iter(PersonId(v)).any(|(f, _)| frontier.contains(&f)) {
                 if v == p.person_y.raw() {
                     return depth;
                 }
@@ -90,12 +90,12 @@ fn level_scan_bfs(snap: &Snapshot<'_>, p: &Q13Params) -> i32 {
 
 /// Reference BFS used by tests (plain queue-based).
 #[cfg(test)]
-fn plain_bfs(snap: &Snapshot<'_>, x: PersonId, y: PersonId) -> i32 {
+fn plain_bfs(snap: &PinnedSnapshot<'_>, x: PersonId, y: PersonId) -> i32 {
     let mut dist: HashMap<u64, i32> = HashMap::from([(x.raw(), 0)]);
     let mut q = VecDeque::from([x.raw()]);
     while let Some(u) = q.pop_front() {
         let d = dist[&u];
-        for (v, _) in snap.friends(PersonId(u)) {
+        for (v, _) in snap.friends_iter(PersonId(u)) {
             if v == y.raw() {
                 return d + 1;
             }
@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn engines_agree_with_reference_on_random_pairs() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let n = f.ds.persons.len() as u64;
         let mut rng = Rng::for_entity(11, Stream::Misc, 0);
         for _ in 0..25 {
@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn identical_endpoints_are_distance_zero() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let x = busy_person(f);
         let p = Q13Params { person_x: x, person_y: x };
         assert_eq!(run(&snap, Engine::Intended, &p), 0);
@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn direct_friends_are_distance_one() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let x = busy_person(f);
         let (friend, _) = snap.friends(x)[0];
         let p = Q13Params { person_x: x, person_y: PersonId(friend) };
@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn unreachable_returns_minus_one() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         if let Some(loner) =
             f.ds.persons.iter().map(|p| p.id).find(|&id| snap.friends(id).is_empty())
         {

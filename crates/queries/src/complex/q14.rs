@@ -9,7 +9,7 @@
 use crate::engine::Engine;
 use crate::params::Q14Params;
 use snb_core::{MessageId, PersonId};
-use snb_store::Snapshot;
+use snb_store::PinnedSnapshot;
 use std::collections::HashMap;
 
 /// Cap on the number of enumerated shortest paths: dense social graphs can
@@ -27,7 +27,7 @@ pub struct Q14Row {
 }
 
 /// Execute Q14.
-pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q14Params) -> Vec<Q14Row> {
+pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q14Params) -> Vec<Q14Row> {
     let paths = shortest_paths(snap, engine, p);
     let mut cache: HashMap<(u64, u64), f64> = HashMap::new();
     let mut rows: Vec<Q14Row> = paths
@@ -43,7 +43,12 @@ pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q14Params) -> Vec<Q14Row> {
 
 /// Interaction weight between a pair of adjacent persons, symmetric.
 /// Cached per unordered pair.
-fn pair_weight(snap: &Snapshot<'_>, cache: &mut HashMap<(u64, u64), f64>, a: u64, b: u64) -> f64 {
+fn pair_weight(
+    snap: &PinnedSnapshot<'_>,
+    cache: &mut HashMap<(u64, u64), f64>,
+    a: u64,
+    b: u64,
+) -> f64 {
     let key = (a.min(b), a.max(b));
     if let Some(&w) = cache.get(&key) {
         return w;
@@ -54,9 +59,9 @@ fn pair_weight(snap: &Snapshot<'_>, cache: &mut HashMap<(u64, u64), f64>, a: u64
 }
 
 /// Weight of `from`'s comments on `to`'s messages.
-fn directed_weight(snap: &Snapshot<'_>, from: u64, to: u64) -> f64 {
+fn directed_weight(snap: &PinnedSnapshot<'_>, from: u64, to: u64) -> f64 {
     let mut w = 0.0;
-    for (msg, _) in snap.messages_of(PersonId(from)) {
+    for (msg, _) in snap.messages_of_iter(PersonId(from)) {
         let Some(meta) = snap.message_meta(MessageId(msg)) else { continue };
         let Some((parent, _)) = meta.reply_info else { continue };
         let Some(pmeta) = snap.message_meta(parent) else { continue };
@@ -69,7 +74,7 @@ fn directed_weight(snap: &Snapshot<'_>, from: u64, to: u64) -> f64 {
 
 /// All shortest paths from X to Y as raw id vectors (deterministic order,
 /// capped at [`MAX_PATHS`]).
-fn shortest_paths(snap: &Snapshot<'_>, engine: Engine, p: &Q14Params) -> Vec<Vec<u64>> {
+fn shortest_paths(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q14Params) -> Vec<Vec<u64>> {
     if p.person_x == p.person_y {
         return vec![vec![p.person_x.raw()]];
     }
@@ -96,8 +101,7 @@ fn shortest_paths(snap: &Snapshot<'_>, engine: Engine, p: &Q14Params) -> Vec<Vec
             continue;
         }
         let mut preds: Vec<u64> = snap
-            .friends(PersonId(head))
-            .into_iter()
+            .friends_iter(PersonId(head))
             .map(|(f, _)| f)
             .filter(|f| dist.get(f) == Some(&(d - 1)))
             .collect();
@@ -111,12 +115,12 @@ fn shortest_paths(snap: &Snapshot<'_>, engine: Engine, p: &Q14Params) -> Vec<Vec
     paths
 }
 
-fn bfs_distances(snap: &Snapshot<'_>, start: PersonId) -> HashMap<u64, u32> {
+fn bfs_distances(snap: &PinnedSnapshot<'_>, start: PersonId) -> HashMap<u64, u32> {
     let mut dist = HashMap::from([(start.raw(), 0u32)]);
     let mut q = std::collections::VecDeque::from([start.raw()]);
     while let Some(u) = q.pop_front() {
         let d = dist[&u];
-        for (v, _) in snap.friends(PersonId(u)) {
+        for (v, _) in snap.friends_iter(PersonId(u)) {
             if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
                 e.insert(d + 1);
                 q.push_back(v);
@@ -126,7 +130,7 @@ fn bfs_distances(snap: &Snapshot<'_>, start: PersonId) -> HashMap<u64, u32> {
     dist
 }
 
-fn level_scan_distances(snap: &Snapshot<'_>, start: PersonId) -> HashMap<u64, u32> {
+fn level_scan_distances(snap: &PinnedSnapshot<'_>, start: PersonId) -> HashMap<u64, u32> {
     let mut dist = HashMap::from([(start.raw(), 0u32)]);
     let mut frontier: Vec<u64> = vec![start.raw()];
     let mut depth = 0;
@@ -138,8 +142,7 @@ fn level_scan_distances(snap: &Snapshot<'_>, start: PersonId) -> HashMap<u64, u3
                 continue;
             }
             if snap
-                .friends(PersonId(v))
-                .into_iter()
+                .friends_iter(PersonId(v))
                 .any(|(f, _)| dist.get(&f) == Some(&(depth - 1)) && frontier.contains(&f))
             {
                 dist.insert(v, depth);
@@ -160,7 +163,7 @@ mod tests {
     #[test]
     fn intended_and_naive_agree() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let n = f.ds.persons.len() as u64;
         let mut rng = Rng::for_entity(21, Stream::Misc, 0);
         for _ in 0..8 {
@@ -175,12 +178,14 @@ mod tests {
     #[test]
     fn paths_have_uniform_shortest_length() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let x = busy_person(f);
         // Find someone at distance 2: a friend-of-friend.
-        let (one, two) = crate::helpers::two_hop(&snap, x);
-        let _ = one;
-        if let Some(&fof) = two.iter().next() {
+        let two = crate::scratch::with_scratch(|sx| {
+            crate::helpers::load_two_hop(&snap, sx, x);
+            sx.two.clone()
+        });
+        if let Some(&fof) = two.first() {
             let p = Q14Params { person_x: x, person_y: PersonId(fof) };
             let rows = run(&snap, Engine::Intended, &p);
             assert!(!rows.is_empty());
@@ -199,10 +204,13 @@ mod tests {
     #[test]
     fn weights_sort_descending() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let x = busy_person(f);
-        let (_, two) = crate::helpers::two_hop(&snap, x);
-        if let Some(&fof) = two.iter().next() {
+        let two = crate::scratch::with_scratch(|sx| {
+            crate::helpers::load_two_hop(&snap, sx, x);
+            sx.two.clone()
+        });
+        if let Some(&fof) = two.first() {
             let rows =
                 run(&snap, Engine::Intended, &Q14Params { person_x: x, person_y: PersonId(fof) });
             for w in rows.windows(2) {
@@ -214,7 +222,7 @@ mod tests {
     #[test]
     fn identical_endpoints_yield_trivial_path() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let x = busy_person(f);
         let rows = run(&snap, Engine::Intended, &Q14Params { person_x: x, person_y: x });
         assert_eq!(rows.len(), 1);
@@ -292,7 +300,7 @@ mod tests {
         };
         s.apply(&UpdateOp::AddComment(comment(1, 1, 0, 4))).unwrap();
         s.apply(&UpdateOp::AddComment(comment(2, 0, 1, 5))).unwrap();
-        let snap = s.snapshot();
+        let snap = s.pinned();
         let rows = run(
             &snap,
             Engine::Intended,

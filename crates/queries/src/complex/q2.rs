@@ -7,11 +7,12 @@
 //! message index with a shared top-k threshold.
 
 use crate::engine::Engine;
-use crate::helpers::TopK;
+use crate::helpers::{load_friends, TopK};
 use crate::params::Q2Params;
+use crate::scratch::with_scratch;
 use snb_core::time::SimTime;
 use snb_core::{MessageId, PersonId};
-use snb_store::Snapshot;
+use snb_store::PinnedSnapshot;
 use std::cmp::Reverse;
 
 /// Result limit.
@@ -35,7 +36,7 @@ pub struct Q2Row {
 }
 
 /// Execute Q2.
-pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q2Params) -> Vec<Q2Row> {
+pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q2Params) -> Vec<Q2Row> {
     let top = match engine {
         Engine::Intended => intended(snap, p),
         Engine::Naive => naive(snap, p),
@@ -45,12 +46,12 @@ pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q2Params) -> Vec<Q2Row> {
 
 type Key = (Reverse<SimTime>, u64);
 
-fn intended(snap: &Snapshot<'_>, p: &Q2Params) -> Vec<(Key, ())> {
+fn intended(snap: &PinnedSnapshot<'_>, p: &Q2Params) -> Vec<(Key, ())> {
     let mut top: TopK<Key, ()> = TopK::new(LIMIT);
-    for (friend, _) in snap.friends(p.person) {
-        // Each friend contributes at most LIMIT candidates; the index scan
-        // is newest-first so the first rejected key ends the scan.
-        for (msg, date) in snap.recent_messages_of(PersonId(friend), p.max_date, LIMIT) {
+    for (friend, _) in snap.friends_iter(p.person) {
+        // Each friend contributes at most LIMIT candidates; the walk is
+        // newest-first so the first rejected key ends the scan.
+        for (msg, date) in snap.recent_messages_walk(PersonId(friend), p.max_date).take(LIMIT) {
             let key = (Reverse(date), msg);
             if !top.would_accept(&key) {
                 break;
@@ -61,21 +62,24 @@ fn intended(snap: &Snapshot<'_>, p: &Q2Params) -> Vec<(Key, ())> {
     top.into_sorted()
 }
 
-fn naive(snap: &Snapshot<'_>, p: &Q2Params) -> Vec<(Key, ())> {
-    let friends: std::collections::HashSet<u64> = crate::helpers::friend_set(snap, p.person);
-    let mut top: TopK<Key, ()> = TopK::new(LIMIT);
-    // Full message-table scan with a hash probe into the friend set.
-    for m in 0..snap.message_slots() as u64 {
-        if let Some(meta) = snap.message_meta(MessageId(m)) {
-            if meta.creation_date <= p.max_date && friends.contains(&meta.author.raw()) {
-                top.push((Reverse(meta.creation_date), m), ());
+fn naive(snap: &PinnedSnapshot<'_>, p: &Q2Params) -> Vec<(Key, ())> {
+    with_scratch(|sx| {
+        load_friends(snap, sx, p.person);
+        let mut top: TopK<Key, ()> = TopK::new(LIMIT);
+        // Full message-table scan with a visited-map probe into the
+        // friend marks (level 1 = direct friend).
+        for m in 0..snap.message_slots() as u64 {
+            if let Some(meta) = snap.message_meta(MessageId(m)) {
+                if meta.creation_date <= p.max_date && sx.level_of(meta.author.raw()) == Some(1) {
+                    top.push((Reverse(meta.creation_date), m), ());
+                }
             }
         }
-    }
-    top.into_sorted()
+        top.into_sorted()
+    })
 }
 
-fn materialize(snap: &Snapshot<'_>, top: Vec<(Key, ())>) -> Vec<Q2Row> {
+fn materialize(snap: &PinnedSnapshot<'_>, top: Vec<(Key, ())>) -> Vec<Q2Row> {
     top.into_iter()
         .filter_map(|((Reverse(date), msg), ())| {
             let row = snap.message(MessageId(msg))?;
@@ -106,7 +110,7 @@ mod tests {
     #[test]
     fn intended_and_naive_agree() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = Q2Params { person: busy_person(f), max_date: mid_date() };
         let a = run(&snap, Engine::Intended, &p);
         let b = run(&snap, Engine::Naive, &p);
@@ -117,10 +121,10 @@ mod tests {
     #[test]
     fn results_are_friend_messages_before_date() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let start = busy_person(f);
         let p = Q2Params { person: start, max_date: mid_date() };
-        let friends = crate::helpers::friend_set(&snap, start);
+        let friends: Vec<u64> = snap.friends_iter(start).map(|(id, _)| id).collect();
         for r in run(&snap, Engine::Intended, &p) {
             assert!(friends.contains(&r.author.raw()));
             assert!(r.creation_date <= p.max_date);
@@ -131,7 +135,7 @@ mod tests {
     #[test]
     fn ordering_is_date_desc_then_id_asc() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = Q2Params { person: busy_person(f), max_date: mid_date() };
         let rows = run(&snap, Engine::Intended, &p);
         for w in rows.windows(2) {
@@ -145,7 +149,7 @@ mod tests {
     #[test]
     fn early_date_yields_fewer_results() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let early =
             Q2Params { person: busy_person(f), max_date: snb_core::SimTime::from_ymd(2010, 2, 1) };
         let rows = run(&snap, Engine::Intended, &early);

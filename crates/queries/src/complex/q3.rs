@@ -7,10 +7,11 @@
 //! ascending by person id.
 
 use crate::engine::Engine;
-use crate::helpers::two_hop;
+use crate::helpers::load_two_hop;
 use crate::params::Q3Params;
+use crate::scratch::with_scratch;
 use snb_core::{MessageId, PersonId};
-use snb_store::Snapshot;
+use snb_store::PinnedSnapshot;
 use std::collections::HashMap;
 
 /// Result limit.
@@ -32,7 +33,7 @@ pub struct Q3Row {
 }
 
 /// Execute Q3.
-pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q3Params) -> Vec<Q3Row> {
+pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q3Params) -> Vec<Q3Row> {
     let counts = match engine {
         Engine::Intended => intended(snap, p),
         Engine::Naive => naive(snap, p),
@@ -57,27 +58,31 @@ pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q3Params) -> Vec<Q3Row> {
 }
 
 /// Candidates whose home country is neither X nor Y.
-fn candidates(snap: &Snapshot<'_>, p: &Q3Params) -> Vec<u64> {
-    let (one, two) = two_hop(snap, p.person);
-    one.into_iter()
-        .chain(two)
-        .filter(|&c| {
-            snap.person(PersonId(c))
-                .is_some_and(|pr| pr.country != p.country_x && pr.country != p.country_y)
-        })
-        .collect()
+fn candidates(snap: &PinnedSnapshot<'_>, p: &Q3Params) -> Vec<u64> {
+    with_scratch(|sx| {
+        load_two_hop(snap, sx, p.person);
+        sx.one
+            .iter()
+            .chain(sx.two.iter())
+            .copied()
+            .filter(|&c| {
+                snap.person_ref(PersonId(c))
+                    .is_some_and(|pr| pr.country != p.country_x && pr.country != p.country_y)
+            })
+            .collect()
+    })
 }
 
 /// Intended plan: traverse from the person; per candidate, a date-range
 /// scan of their message index, fetching the country only for in-window
 /// messages.
-fn intended(snap: &Snapshot<'_>, p: &Q3Params) -> HashMap<u64, (u32, u32)> {
+fn intended(snap: &PinnedSnapshot<'_>, p: &Q3Params) -> HashMap<u64, (u32, u32)> {
     let end = p.start.plus_days(p.duration_days);
     let mut counts = HashMap::new();
     for c in candidates(snap, p) {
         let mut x = 0u32;
         let mut y = 0u32;
-        for (msg, date) in snap.messages_of(PersonId(c)) {
+        for (msg, date) in snap.messages_of_iter(PersonId(c)) {
             if date < p.start || date >= end {
                 continue;
             }
@@ -97,7 +102,7 @@ fn intended(snap: &Snapshot<'_>, p: &Q3Params) -> HashMap<u64, (u32, u32)> {
 }
 
 /// Naive plan: full message scan grouped by author, filtered afterwards.
-fn naive(snap: &Snapshot<'_>, p: &Q3Params) -> HashMap<u64, (u32, u32)> {
+fn naive(snap: &PinnedSnapshot<'_>, p: &Q3Params) -> HashMap<u64, (u32, u32)> {
     let end = p.start.plus_days(p.duration_days);
     let cands: std::collections::HashSet<u64> = candidates(snap, p).into_iter().collect();
     let mut counts: HashMap<u64, (u32, u32)> = HashMap::new();
@@ -141,7 +146,7 @@ mod tests {
     #[test]
     fn intended_and_naive_agree() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         assert_eq!(run(&snap, Engine::Intended, &p), run(&snap, Engine::Naive, &p));
     }
@@ -149,7 +154,7 @@ mod tests {
     #[test]
     fn results_require_both_countries_and_exclude_residents() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         for r in run(&snap, Engine::Intended, &p) {
             assert!(r.x_count > 0 && r.y_count > 0);
@@ -162,7 +167,7 @@ mod tests {
     #[test]
     fn ordering_is_total_desc_then_id() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let rows = run(&snap, Engine::Intended, &params());
         for w in rows.windows(2) {
             let t0 = w[0].x_count + w[0].y_count;
@@ -174,7 +179,7 @@ mod tests {
     #[test]
     fn empty_window_yields_nothing() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let mut p = params();
         p.duration_days = 0;
         assert!(run(&snap, Engine::Intended, &p).is_empty());

@@ -6,11 +6,12 @@
 //! friends' posts before the window (only *new* topics count).
 
 use crate::engine::Engine;
-use crate::helpers::friend_set;
+use crate::helpers::load_friends;
 use crate::params::Q4Params;
+use crate::scratch::with_scratch;
 use snb_core::dict::Dictionaries;
 use snb_core::{MessageId, PersonId};
-use snb_store::Snapshot;
+use snb_store::PinnedSnapshot;
 use std::collections::{HashMap, HashSet};
 
 /// Result limit.
@@ -26,7 +27,7 @@ pub struct Q4Row {
 }
 
 /// Execute Q4.
-pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q4Params) -> Vec<Q4Row> {
+pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q4Params) -> Vec<Q4Row> {
     let (in_window, before) = match engine {
         Engine::Intended => intended(snap, p),
         Engine::Naive => naive(snap, p),
@@ -45,55 +46,60 @@ pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q4Params) -> Vec<Q4Row> {
 }
 
 /// Intended: walk friends, range-scan each friend's message index.
-fn intended(snap: &Snapshot<'_>, p: &Q4Params) -> (HashMap<u64, u32>, HashSet<u64>) {
+fn intended(snap: &PinnedSnapshot<'_>, p: &Q4Params) -> (HashMap<u64, u32>, HashSet<u64>) {
     let end = p.start.plus_days(p.duration_days);
     let mut in_window: HashMap<u64, u32> = HashMap::new();
     let mut before: HashSet<u64> = HashSet::new();
-    for friend in friend_set(snap, p.person) {
-        for (msg, date) in snap.messages_of(PersonId(friend)) {
-            if date >= end {
-                break; // index is date-ordered
+    with_scratch(|sx| {
+        load_friends(snap, sx, p.person);
+        for &friend in &sx.one {
+            for (msg, date) in snap.messages_of_iter(PersonId(friend)) {
+                if date >= end {
+                    break; // index is date-ordered
+                }
+                let id = MessageId(msg);
+                let Some(meta) = snap.message_meta(id) else { continue };
+                if meta.reply_info.is_some() {
+                    continue; // posts only
+                }
+                if date < p.start {
+                    before.extend(snap.message_tags(id).iter().map(|t| t.raw()));
+                } else {
+                    for t in snap.message_tags(id) {
+                        *in_window.entry(t.raw()).or_default() += 1;
+                    }
+                }
             }
-            let id = MessageId(msg);
+        }
+    });
+    (in_window, before)
+}
+
+/// Naive: full message-table scan.
+fn naive(snap: &PinnedSnapshot<'_>, p: &Q4Params) -> (HashMap<u64, u32>, HashSet<u64>) {
+    let end = p.start.plus_days(p.duration_days);
+    let mut in_window: HashMap<u64, u32> = HashMap::new();
+    let mut before: HashSet<u64> = HashSet::new();
+    with_scratch(|sx| {
+        load_friends(snap, sx, p.person);
+        for m in 0..snap.message_slots() as u64 {
+            let id = MessageId(m);
             let Some(meta) = snap.message_meta(id) else { continue };
-            if meta.reply_info.is_some() {
-                continue; // posts only
+            if meta.reply_info.is_some()
+                || sx.level_of(meta.author.raw()) != Some(1)
+                || meta.creation_date >= end
+            {
+                continue;
             }
-            if date < p.start {
-                before.extend(snap.message_tags(id).into_iter().map(|t| t.raw()));
+            if meta.creation_date < p.start {
+                before.extend(snap.message_tags(id).iter().map(|t| t.raw()));
             } else {
                 for t in snap.message_tags(id) {
                     *in_window.entry(t.raw()).or_default() += 1;
                 }
             }
         }
-    }
-    (in_window, before)
-}
-
-/// Naive: full message-table scan.
-fn naive(snap: &Snapshot<'_>, p: &Q4Params) -> (HashMap<u64, u32>, HashSet<u64>) {
-    let end = p.start.plus_days(p.duration_days);
-    let friends = friend_set(snap, p.person);
-    let mut in_window: HashMap<u64, u32> = HashMap::new();
-    let mut before: HashSet<u64> = HashSet::new();
-    for m in 0..snap.message_slots() as u64 {
-        let id = MessageId(m);
-        let Some(meta) = snap.message_meta(id) else { continue };
-        if meta.reply_info.is_some()
-            || !friends.contains(&meta.author.raw())
-            || meta.creation_date >= end
-        {
-            continue;
-        }
-        if meta.creation_date < p.start {
-            before.extend(snap.message_tags(id).into_iter().map(|t| t.raw()));
-        } else {
-            for t in snap.message_tags(id) {
-                *in_window.entry(t.raw()).or_default() += 1;
-            }
-        }
-    }
+    });
     (in_window, before)
 }
 
@@ -114,7 +120,7 @@ mod tests {
     #[test]
     fn intended_and_naive_agree() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         assert_eq!(run(&snap, Engine::Intended, &p), run(&snap, Engine::Naive, &p));
     }
@@ -122,7 +128,7 @@ mod tests {
     #[test]
     fn new_topics_exclude_pre_window_tags() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         let (_, before) = intended(&snap, &p);
         let dicts = Dictionaries::global();
@@ -136,7 +142,7 @@ mod tests {
     #[test]
     fn counts_are_positive_and_sorted() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let rows = run(&snap, Engine::Intended, &params());
         assert!(rows.len() <= LIMIT);
         for w in rows.windows(2) {
@@ -153,7 +159,7 @@ mod tests {
         // posted tag counts as new; conversely a person with no friends has
         // no results at all.
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let loner = f.ds.persons.iter().map(|p| p.id).find(|&id| snap.friends(id).is_empty());
         if let Some(loner) = loner {
             let p = Q4Params {

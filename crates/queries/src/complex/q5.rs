@@ -8,10 +8,11 @@
 //! the 2-hop environment. The intended plan is shown in Fig. 6a.
 
 use crate::engine::Engine;
-use crate::helpers::two_hop;
+use crate::helpers::load_two_hop;
 use crate::params::Q5Params;
+use crate::scratch::with_scratch;
 use snb_core::{ForumId, MessageId, PersonId};
-use snb_store::Snapshot;
+use snb_store::PinnedSnapshot;
 use std::collections::{HashMap, HashSet};
 
 /// Result limit.
@@ -29,7 +30,7 @@ pub struct Q5Row {
 }
 
 /// Execute Q5.
-pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q5Params) -> Vec<Q5Row> {
+pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q5Params) -> Vec<Q5Row> {
     let counts = match engine {
         Engine::Intended => intended(snap, p),
         Engine::Naive => naive(snap, p),
@@ -49,20 +50,22 @@ pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q5Params) -> Vec<Q5Row> {
 /// Intended plan (Fig. 6a): person → friends → friends-of-friends, then a
 /// date-range scan of each candidate's join index, then count posts per
 /// forum restricted to the joiners.
-fn intended(snap: &Snapshot<'_>, p: &Q5Params) -> HashMap<u64, u32> {
-    let (one, two) = two_hop(snap, p.person);
+fn intended(snap: &PinnedSnapshot<'_>, p: &Q5Params) -> HashMap<u64, u32> {
     // forum -> persons who joined it after min_date.
     let mut joiners: HashMap<u64, HashSet<u64>> = HashMap::new();
-    for &c in one.iter().chain(&two) {
-        for (forum, _join) in snap.forums_of_after(PersonId(c), p.min_date) {
-            joiners.entry(forum).or_default().insert(c);
+    with_scratch(|sx| {
+        load_two_hop(snap, sx, p.person);
+        for &c in sx.one.iter().chain(sx.two.iter()) {
+            for (forum, _join) in snap.forums_of_after(PersonId(c), p.min_date) {
+                joiners.entry(forum).or_default().insert(c);
+            }
         }
-    }
+    });
     // Count posts in each candidate forum authored by its recent joiners.
     let mut counts = HashMap::with_capacity(joiners.len());
     for (forum, who) in joiners {
         let mut n = 0u32;
-        for (post, _) in snap.posts_in_forum(ForumId(forum)) {
+        for (post, _) in snap.posts_in_forum_iter(ForumId(forum)) {
             if let Some(meta) = snap.message_meta(MessageId(post)) {
                 if who.contains(&meta.author.raw()) {
                     n += 1;
@@ -75,17 +78,20 @@ fn intended(snap: &Snapshot<'_>, p: &Q5Params) -> HashMap<u64, u32> {
 }
 
 /// Naive plan: scan all forums' member lists, then a full message scan.
-fn naive(snap: &Snapshot<'_>, p: &Q5Params) -> HashMap<u64, u32> {
-    let (one, two) = two_hop(snap, p.person);
-    let circle: HashSet<u64> = one.into_iter().chain(two).collect();
+fn naive(snap: &PinnedSnapshot<'_>, p: &Q5Params) -> HashMap<u64, u32> {
     let mut joiners: HashMap<u64, HashSet<u64>> = HashMap::new();
-    for forum in 0..snap.forum_slots() as u64 {
-        for (member, join) in snap.members_of(ForumId(forum)) {
-            if join > p.min_date && circle.contains(&member) {
-                joiners.entry(forum).or_default().insert(member);
+    with_scratch(|sx| {
+        load_two_hop(snap, sx, p.person);
+        for forum in 0..snap.forum_slots() as u64 {
+            for (member, join) in snap.members_of_iter(ForumId(forum)) {
+                // Probe the scratch levels directly (1 = friend, 2 = FoF)
+                // instead of copying the circle into a hash set.
+                if join > p.min_date && matches!(sx.level_of(member), Some(1 | 2)) {
+                    joiners.entry(forum).or_default().insert(member);
+                }
             }
         }
-    }
+    });
     let mut counts: HashMap<u64, u32> = joiners.keys().map(|&f| (f, 0)).collect();
     for m in 0..snap.message_slots() as u64 {
         let Some(meta) = snap.message_meta(MessageId(m)) else { continue };
@@ -114,7 +120,7 @@ mod tests {
     #[test]
     fn intended_and_naive_agree() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         assert_eq!(run(&snap, Engine::Intended, &p), run(&snap, Engine::Naive, &p));
     }
@@ -122,7 +128,7 @@ mod tests {
     #[test]
     fn busy_person_sees_new_groups() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let rows = run(&snap, Engine::Intended, &params());
         assert!(!rows.is_empty());
         for w in rows.windows(2) {
@@ -135,7 +141,7 @@ mod tests {
     #[test]
     fn late_date_shrinks_results() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let person = busy_person(f);
         let early = run(
             &snap,
@@ -155,13 +161,15 @@ mod tests {
     #[test]
     fn counted_posts_are_by_recent_joiners() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         let counts = intended(&snap, &p);
         // Spot-check one forum against a recount from raw data.
         if let Some((&forum, &count)) = counts.iter().max_by_key(|&(_, &c)| c) {
-            let (one, two) = two_hop(&snap, p.person);
-            let circle: HashSet<u64> = one.into_iter().chain(two).collect();
+            let circle: HashSet<u64> = with_scratch(|sx| {
+                load_two_hop(&snap, sx, p.person);
+                sx.one.iter().chain(sx.two.iter()).copied().collect()
+            });
             let joined_after: HashSet<u64> = snap
                 .members_of(ForumId(forum))
                 .into_iter()

@@ -5,11 +5,12 @@
 //! Top 10 by post count, then tag name.
 
 use crate::engine::Engine;
-use crate::helpers::two_hop;
+use crate::helpers::load_two_hop;
 use crate::params::Q6Params;
+use crate::scratch::with_scratch;
 use snb_core::dict::Dictionaries;
 use snb_core::{MessageId, PersonId};
-use snb_store::Snapshot;
+use snb_store::PinnedSnapshot;
 use std::collections::HashMap;
 
 /// Result limit.
@@ -25,7 +26,7 @@ pub struct Q6Row {
 }
 
 /// Execute Q6.
-pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q6Params) -> Vec<Q6Row> {
+pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q6Params) -> Vec<Q6Row> {
     let counts = match engine {
         Engine::Intended => intended(snap, p),
         Engine::Naive => naive(snap, p),
@@ -42,7 +43,12 @@ pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q6Params) -> Vec<Q6Row> {
     rows
 }
 
-fn count_post(snap: &Snapshot<'_>, msg: MessageId, anchor: u64, counts: &mut HashMap<u64, u32>) {
+fn count_post(
+    snap: &PinnedSnapshot<'_>,
+    msg: MessageId,
+    anchor: u64,
+    counts: &mut HashMap<u64, u32>,
+) {
     let tags = snap.message_tags(msg);
     if tags.iter().any(|t| t.raw() == anchor) {
         for t in tags {
@@ -54,32 +60,36 @@ fn count_post(snap: &Snapshot<'_>, msg: MessageId, anchor: u64, counts: &mut Has
 }
 
 /// Intended: traverse the 2-hop circle, scan each candidate's posts.
-fn intended(snap: &Snapshot<'_>, p: &Q6Params) -> HashMap<u64, u32> {
-    let (one, two) = two_hop(snap, p.person);
+fn intended(snap: &PinnedSnapshot<'_>, p: &Q6Params) -> HashMap<u64, u32> {
     let mut counts = HashMap::new();
-    for c in one.into_iter().chain(two) {
-        for (msg, _) in snap.messages_of(PersonId(c)) {
-            let id = MessageId(msg);
-            if snap.message_meta(id).is_some_and(|m| m.reply_info.is_none()) {
-                count_post(snap, id, p.tag as u64, &mut counts);
+    with_scratch(|sx| {
+        load_two_hop(snap, sx, p.person);
+        for &c in sx.one.iter().chain(sx.two.iter()) {
+            for (msg, _) in snap.messages_of_iter(PersonId(c)) {
+                let id = MessageId(msg);
+                if snap.message_meta(id).is_some_and(|m| m.reply_info.is_none()) {
+                    count_post(snap, id, p.tag as u64, &mut counts);
+                }
             }
         }
-    }
+    });
     counts
 }
 
 /// Naive: full message scan with a hash probe.
-fn naive(snap: &Snapshot<'_>, p: &Q6Params) -> HashMap<u64, u32> {
-    let (one, two) = two_hop(snap, p.person);
-    let circle: std::collections::HashSet<u64> = one.into_iter().chain(two).collect();
+fn naive(snap: &PinnedSnapshot<'_>, p: &Q6Params) -> HashMap<u64, u32> {
     let mut counts = HashMap::new();
-    for m in 0..snap.message_slots() as u64 {
-        let id = MessageId(m);
-        let Some(meta) = snap.message_meta(id) else { continue };
-        if meta.reply_info.is_none() && circle.contains(&meta.author.raw()) {
-            count_post(snap, id, p.tag as u64, &mut counts);
+    with_scratch(|sx| {
+        load_two_hop(snap, sx, p.person);
+        for m in 0..snap.message_slots() as u64 {
+            let id = MessageId(m);
+            let Some(meta) = snap.message_meta(id) else { continue };
+            // Level probe (1 = friend, 2 = FoF) replaces the circle copy.
+            if meta.reply_info.is_none() && matches!(sx.level_of(meta.author.raw()), Some(1 | 2)) {
+                count_post(snap, id, p.tag as u64, &mut counts);
+            }
         }
-    }
+    });
     counts
 }
 
@@ -100,7 +110,7 @@ mod tests {
     #[test]
     fn intended_and_naive_agree() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         assert_eq!(run(&snap, Engine::Intended, &p), run(&snap, Engine::Naive, &p));
     }
@@ -108,7 +118,7 @@ mod tests {
     #[test]
     fn anchor_tag_is_not_its_own_co_occurrence() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         let anchor = Dictionaries::global().tags.tag(p.tag).name.clone();
         for r in run(&snap, Engine::Intended, &p) {
@@ -120,7 +130,7 @@ mod tests {
     #[test]
     fn ordering_and_limit() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let rows = run(&snap, Engine::Intended, &params());
         assert!(rows.len() <= LIMIT);
         for w in rows.windows(2) {

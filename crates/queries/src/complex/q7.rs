@@ -10,7 +10,7 @@ use crate::engine::Engine;
 use crate::params::Q7Params;
 use snb_core::time::{SimTime, MILLIS_PER_MINUTE};
 use snb_core::{MessageId, PersonId};
-use snb_store::Snapshot;
+use snb_store::PinnedSnapshot;
 use std::collections::HashMap;
 
 /// Result limit.
@@ -36,7 +36,7 @@ pub struct Q7Row {
 }
 
 /// Execute Q7.
-pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q7Params) -> Vec<Q7Row> {
+pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q7Params) -> Vec<Q7Row> {
     // liker -> (like date, message) keeping the most recent like (smallest
     // message id on ties).
     let latest = match engine {
@@ -78,10 +78,10 @@ fn keep_latest(latest: &mut HashMap<u64, (SimTime, u64)>, liker: u64, date: SimT
 }
 
 /// Intended: scan the person's message index, then each message's like list.
-fn intended(snap: &Snapshot<'_>, p: &Q7Params) -> HashMap<u64, (SimTime, u64)> {
+fn intended(snap: &PinnedSnapshot<'_>, p: &Q7Params) -> HashMap<u64, (SimTime, u64)> {
     let mut latest = HashMap::new();
-    for (msg, _) in snap.messages_of(p.person) {
-        for (liker, date) in snap.likes_of(MessageId(msg)) {
+    for (msg, _) in snap.messages_of_iter(p.person) {
+        for (liker, date) in snap.likes_of_iter(MessageId(msg)) {
             keep_latest(&mut latest, liker, date, msg);
         }
     }
@@ -89,10 +89,10 @@ fn intended(snap: &Snapshot<'_>, p: &Q7Params) -> HashMap<u64, (SimTime, u64)> {
 }
 
 /// Naive: scan every person's given-likes list, probing the target author.
-fn naive(snap: &Snapshot<'_>, p: &Q7Params) -> HashMap<u64, (SimTime, u64)> {
+fn naive(snap: &PinnedSnapshot<'_>, p: &Q7Params) -> HashMap<u64, (SimTime, u64)> {
     let mut latest = HashMap::new();
     for liker in 0..snap.person_slots() as u64 {
-        for (msg, date) in snap.likes_by(PersonId(liker)) {
+        for (msg, date) in snap.likes_by_iter(PersonId(liker)) {
             if snap.message_meta(MessageId(msg)).is_some_and(|m| m.author == p.person) {
                 keep_latest(&mut latest, liker, date, msg);
             }
@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn intended_and_naive_agree() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         assert_eq!(run(&snap, Engine::Intended, &p), run(&snap, Engine::Naive, &p));
     }
@@ -121,7 +121,7 @@ mod tests {
     #[test]
     fn busy_person_has_recent_likes() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let rows = run(&snap, Engine::Intended, &params());
         assert!(!rows.is_empty());
         for r in &rows {
@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn one_row_per_liker() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let rows = run(&snap, Engine::Intended, &params());
         let mut likers: Vec<u64> = rows.iter().map(|r| r.liker.raw()).collect();
         likers.sort_unstable();
@@ -149,7 +149,7 @@ mod tests {
     #[test]
     fn is_new_matches_friendship() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         for r in run(&snap, Engine::Intended, &p) {
             assert_eq!(r.is_new, !snap.are_friends(p.person, r.liker));

@@ -8,7 +8,7 @@ use crate::helpers::TopK;
 use crate::params::Q8Params;
 use snb_core::time::SimTime;
 use snb_core::{MessageId, PersonId};
-use snb_store::Snapshot;
+use snb_store::PinnedSnapshot;
 use std::cmp::Reverse;
 
 /// Result limit.
@@ -32,7 +32,7 @@ pub struct Q8Row {
 }
 
 /// Execute Q8.
-pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q8Params) -> Vec<Q8Row> {
+pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q8Params) -> Vec<Q8Row> {
     let top = match engine {
         Engine::Intended => intended(snap, p),
         Engine::Naive => naive(snap, p),
@@ -56,10 +56,10 @@ pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q8Params) -> Vec<Q8Row> {
 type Key = (Reverse<SimTime>, u64);
 
 /// Intended: person's message index, then each message's reply list.
-fn intended(snap: &Snapshot<'_>, p: &Q8Params) -> Vec<(Key, ())> {
+fn intended(snap: &PinnedSnapshot<'_>, p: &Q8Params) -> Vec<(Key, ())> {
     let mut top: TopK<Key, ()> = TopK::new(LIMIT);
-    for (msg, _) in snap.messages_of(p.person) {
-        for (reply, date) in snap.replies_of(MessageId(msg)) {
+    for (msg, _) in snap.messages_of_iter(p.person) {
+        for (reply, date) in snap.replies_of_iter(MessageId(msg)) {
             top.push((Reverse(date), reply), ());
         }
     }
@@ -67,7 +67,7 @@ fn intended(snap: &Snapshot<'_>, p: &Q8Params) -> Vec<(Key, ())> {
 }
 
 /// Naive: full message scan, checking each comment's parent author.
-fn naive(snap: &Snapshot<'_>, p: &Q8Params) -> Vec<(Key, ())> {
+fn naive(snap: &PinnedSnapshot<'_>, p: &Q8Params) -> Vec<(Key, ())> {
     let mut top: TopK<Key, ()> = TopK::new(LIMIT);
     for m in 0..snap.message_slots() as u64 {
         let Some(meta) = snap.message_meta(MessageId(m)) else { continue };
@@ -91,7 +91,7 @@ mod tests {
     #[test]
     fn intended_and_naive_agree() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         assert_eq!(run(&snap, Engine::Intended, &p), run(&snap, Engine::Naive, &p));
     }
@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn replies_target_the_person() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         let rows = run(&snap, Engine::Intended, &p);
         assert!(!rows.is_empty(), "busy person's messages draw replies");
@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn ordering_is_date_desc_id_asc() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let rows = run(&snap, Engine::Intended, &params());
         assert!(rows.len() <= LIMIT);
         for w in rows.windows(2) {

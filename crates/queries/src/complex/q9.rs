@@ -11,11 +11,12 @@
 //! message table probing it — the ablation behind the Fig. 4 experiment.
 
 use crate::engine::Engine;
-use crate::helpers::{two_hop, TopK};
+use crate::helpers::{load_two_hop, TopK};
 use crate::params::Q9Params;
+use crate::scratch::with_scratch;
 use snb_core::time::SimTime;
 use snb_core::{MessageId, PersonId};
-use snb_store::Snapshot;
+use snb_store::PinnedSnapshot;
 use std::cmp::Reverse;
 
 /// Result limit.
@@ -39,7 +40,7 @@ pub struct Q9Row {
 }
 
 /// Execute Q9.
-pub fn run(snap: &Snapshot<'_>, engine: Engine, p: &Q9Params) -> Vec<Q9Row> {
+pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q9Params) -> Vec<Q9Row> {
     let top = match engine {
         Engine::Intended => intended(snap, p),
         Engine::Naive => naive(snap, p),
@@ -70,35 +71,44 @@ type Key = (Reverse<SimTime>, u64);
 
 /// Intended plan: INL from friends into friends-of-friends, then per-person
 /// date-index scans with a shared top-k threshold.
-fn intended(snap: &Snapshot<'_>, p: &Q9Params) -> Vec<(Key, ())> {
-    let (one, two) = two_hop(snap, p.person);
-    let mut top: TopK<Key, ()> = TopK::new(LIMIT);
-    for c in one.into_iter().chain(two) {
-        for (msg, date) in snap.recent_messages_of(PersonId(c), p.max_date, LIMIT) {
-            let key = (Reverse(date), msg);
-            if !top.would_accept(&key) {
-                break;
+fn intended(snap: &PinnedSnapshot<'_>, p: &Q9Params) -> Vec<(Key, ())> {
+    with_scratch(|sx| {
+        load_two_hop(snap, sx, p.person);
+        let mut top: TopK<Key, ()> = TopK::new(LIMIT);
+        for &c in sx.one.iter().chain(sx.two.iter()) {
+            // Newest-first borrowing walk; the first rejected key ends the
+            // scan for this person.
+            for (msg, date) in snap.recent_messages_walk(PersonId(c), p.max_date).take(LIMIT) {
+                let key = (Reverse(date), msg);
+                if !top.would_accept(&key) {
+                    break;
+                }
+                top.push(key, ());
             }
-            top.push(key, ());
         }
-    }
-    top.into_sorted()
+        top.into_sorted()
+    })
 }
 
-/// The wrong plan: hash-build the 2-hop circle, full message-table scan
-/// probing it.
-fn naive(snap: &Snapshot<'_>, p: &Q9Params) -> Vec<(Key, ())> {
-    let (one, two) = two_hop(snap, p.person);
-    let circle: std::collections::HashSet<u64> = one.into_iter().chain(two).collect();
-    let mut top: TopK<Key, ()> = TopK::new(LIMIT);
-    for m in 0..snap.message_slots() as u64 {
-        if let Some(meta) = snap.message_meta(MessageId(m)) {
-            if meta.creation_date <= p.max_date && circle.contains(&meta.author.raw()) {
-                top.push((Reverse(meta.creation_date), m), ());
+/// The wrong plan: a full message-table scan probing the 2-hop marks. The
+/// join-order inversion is the point of this engine; the probe structure is
+/// not — it reads the scratch levels directly (1 = friend, 2 = FoF) rather
+/// than copying the circle into a third hash set first.
+fn naive(snap: &PinnedSnapshot<'_>, p: &Q9Params) -> Vec<(Key, ())> {
+    with_scratch(|sx| {
+        load_two_hop(snap, sx, p.person);
+        let mut top: TopK<Key, ()> = TopK::new(LIMIT);
+        for m in 0..snap.message_slots() as u64 {
+            if let Some(meta) = snap.message_meta(MessageId(m)) {
+                if meta.creation_date <= p.max_date
+                    && matches!(sx.level_of(meta.author.raw()), Some(1 | 2))
+                {
+                    top.push((Reverse(meta.creation_date), m), ());
+                }
             }
         }
-    }
-    top.into_sorted()
+        top.into_sorted()
+    })
 }
 
 #[cfg(test)]
@@ -113,7 +123,7 @@ mod tests {
     #[test]
     fn intended_and_naive_agree() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
         let a = run(&snap, Engine::Intended, &p);
         let b = run(&snap, Engine::Naive, &p);
@@ -124,9 +134,12 @@ mod tests {
     #[test]
     fn authors_are_in_two_hop_circle() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = params();
-        let (one, two) = two_hop(&snap, p.person);
+        let (one, two) = with_scratch(|sx| {
+            load_two_hop(&snap, sx, p.person);
+            (sx.one.clone(), sx.two.clone())
+        });
         for r in run(&snap, Engine::Intended, &p) {
             assert!(one.contains(&r.author.raw()) || two.contains(&r.author.raw()));
             assert!(r.creation_date <= p.max_date);
@@ -138,7 +151,7 @@ mod tests {
         // The 2-hop circle is a superset of friends, so Q9's newest message
         // is at least as new as Q2's.
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let person = busy_person(f);
         let q9 = run(&snap, Engine::Intended, &Q9Params { person, max_date: mid_date() });
         let q2 = crate::complex::q2::run(

@@ -1,61 +1,78 @@
 //! Shared traversal and top-k helpers.
 //!
-//! These tick the current [`snb_obs::QueryProfile`] scope (neighbors
-//! expanded, rows scanned), so every query built on them reports operator
-//! counts without per-query instrumentation.
+//! Traversals run over a [`PinnedSnapshot`]'s zero-allocation iterators
+//! and mark visited persons in the caller's [`QueryScratch`] (dense
+//! epoch-stamped map) instead of building per-query hash sets. They tick
+//! the current [`snb_obs::QueryProfile`] scope (neighbors expanded), so
+//! every query built on them reports operator counts without per-query
+//! instrumentation.
 
+use crate::scratch::QueryScratch;
 use snb_core::PersonId;
 use snb_obs::{tick_neighbors_expanded, tick_rows_scanned};
-use snb_store::Snapshot;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use snb_store::PinnedSnapshot;
+use std::collections::BinaryHeap;
 
-/// Direct friends of `p` as a set of raw person ids.
-pub fn friend_set(snap: &Snapshot<'_>, p: PersonId) -> HashSet<u64> {
-    let set: HashSet<u64> = snap.friends(p).into_iter().map(|(f, _)| f).collect();
-    tick_neighbors_expanded(set.len() as u64);
-    set
+/// Load the direct friends of `p` into `sx.one`, marking `p` at level 0
+/// and each friend at level 1 in the visited map. Probe membership with
+/// `sx.is_marked` / `sx.level_of` afterwards.
+pub fn load_friends(snap: &PinnedSnapshot<'_>, sx: &mut QueryScratch, p: PersonId) {
+    sx.begin(snap.person_slots());
+    sx.mark(p.raw(), 0);
+    for (f, _) in snap.friends_iter(p) {
+        if sx.mark(f, 1) {
+            sx.one.push(f);
+        }
+    }
+    tick_neighbors_expanded(sx.one.len() as u64);
 }
 
-/// Friends and friends-of-friends of `p`, excluding `p` itself.
-/// Returns `(one_hop, two_hop_only)`.
-pub fn two_hop(snap: &Snapshot<'_>, p: PersonId) -> (HashSet<u64>, HashSet<u64>) {
-    let one: HashSet<u64> = friend_set(snap, p);
-    let mut two = HashSet::new();
+/// Load friends (level 1, `sx.one`) and friends-of-friends excluding `p`
+/// and its friends (level 2, `sx.two`) into the scratch.
+pub fn load_two_hop(snap: &PinnedSnapshot<'_>, sx: &mut QueryScratch, p: PersonId) {
+    load_friends(snap, sx, p);
     let mut expanded = 0u64;
-    for &f in &one {
-        for (ff, _) in snap.friends(PersonId(f)) {
+    for i in 0..sx.one.len() {
+        let f = sx.one[i];
+        for (ff, _) in snap.friends_iter(PersonId(f)) {
             expanded += 1;
-            if ff != p.raw() && !one.contains(&ff) {
-                two.insert(ff);
+            if sx.mark(ff, 2) {
+                sx.two.push(ff);
             }
         }
     }
     tick_neighbors_expanded(expanded);
-    (one, two)
 }
 
 /// BFS distances from `start` up to `max_depth`; returns `(person, dist)`
-/// for every reached person except `start`.
-pub fn bfs_within(snap: &Snapshot<'_>, start: PersonId, max_depth: u32) -> Vec<(u64, u32)> {
-    let mut dist: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
-    dist.insert(start.raw(), 0);
-    let mut queue = VecDeque::from([start.raw()]);
+/// for every reached person except `start`, in discovery order. The depth
+/// rides in the queue entry (no distance-map re-lookup per pop) and
+/// visited tracking is the scratch's dense map.
+pub fn bfs_within(
+    snap: &PinnedSnapshot<'_>,
+    sx: &mut QueryScratch,
+    start: PersonId,
+    max_depth: u32,
+) -> Vec<(u64, u32)> {
+    sx.begin(snap.person_slots());
+    sx.mark(start.raw(), 0);
+    let mut queue = std::mem::take(&mut sx.queue);
+    queue.push_back((start.raw(), 0));
     let mut out = Vec::new();
     let mut expanded = 0u64;
-    while let Some(u) = queue.pop_front() {
-        let d = dist[&u];
+    while let Some((u, d)) = queue.pop_front() {
         if d == max_depth {
             continue;
         }
-        for (v, _) in snap.friends(PersonId(u)) {
+        for (v, _) in snap.friends_iter(PersonId(u)) {
             expanded += 1;
-            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
-                e.insert(d + 1);
+            if sx.mark(v, (d + 1).min(u8::MAX as u32) as u8) {
                 out.push((v, d + 1));
-                queue.push_back(v);
+                queue.push_back((v, d + 1));
             }
         }
     }
+    sx.queue = queue;
     tick_neighbors_expanded(expanded);
     out
 }
@@ -115,7 +132,9 @@ impl<K: Ord, V> TopK<K, V> {
         (self.heap.len() == self.k).then(|| &self.heap.peek().unwrap().0)
     }
 
-    /// Whether `key` would be accepted right now.
+    /// Whether `key` would be accepted right now. Strict `<`: a key tied
+    /// with the current threshold is rejected — first-come-wins on equal
+    /// keys, which keeps threshold-based early exits exact.
     pub fn would_accept(&self, key: &K) -> bool {
         self.heap.len() < self.k || *key < self.heap.peek().unwrap().0
     }
@@ -164,5 +183,51 @@ mod tests {
         assert_eq!(t.threshold(), Some(&5));
         assert!(t.would_accept(&4));
         assert!(!t.would_accept(&6));
+    }
+
+    #[test]
+    fn topk_rejects_key_tied_with_threshold() {
+        let mut t = TopK::new(2);
+        t.push(3, "a");
+        t.push(5, "b");
+        // Full, threshold = 5. A tied key must be rejected (strict `<`) …
+        assert!(!t.would_accept(&5));
+        t.push(5, "c");
+        let got: Vec<(i32, &str)> = t.into_sorted();
+        assert_eq!(got, vec![(3, "a"), (5, "b")], "first-come-wins on equal keys");
+        // … and while not full, ties are accepted freely.
+        let mut u = TopK::new(3);
+        u.push(7, "x");
+        assert!(u.would_accept(&7));
+        u.push(7, "y");
+        assert_eq!(u.into_sorted().len(), 2);
+    }
+
+    #[test]
+    fn threshold_early_exit_matches_exhaustive_scan_on_date_ordered_input() {
+        // A date-descending scan (the store's recent-first walk order) may
+        // stop at the first key would_accept rejects: later keys are only
+        // larger. Verify the early-exit result equals the exhaustive one.
+        let scan: Vec<(i64, u64)> = (0..200).map(|i| (1_000 - (i / 2), i as u64)).collect(); // dates descending, with ties
+        let k = 10;
+
+        let mut exhaustive = TopK::new(k);
+        for &(date, id) in &scan {
+            exhaustive.push((Reverse(date), id), ());
+        }
+
+        let mut early = TopK::new(k);
+        let mut scanned = 0usize;
+        for &(date, id) in &scan {
+            let key = (Reverse(date), id);
+            if !early.would_accept(&key) {
+                break;
+            }
+            scanned += 1;
+            early.push(key, ());
+        }
+
+        assert_eq!(early.into_sorted(), exhaustive.into_sorted());
+        assert!(scanned < scan.len(), "early exit must actually cut the scan short");
     }
 }

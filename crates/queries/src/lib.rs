@@ -3,18 +3,22 @@
 //! The SNB-Interactive query workload: the 14 complex read-only queries of
 //! the paper's Appendix, the 7 short read-only queries (profile/post
 //! lookups), and the 8 transactional updates — each over a
-//! [`snb_store::Snapshot`], with an intended-plan engine and a scan-based
-//! naive engine (see [`engine`]).
+//! [`snb_store::PinnedSnapshot`] (latch pinned once, zero-allocation
+//! borrowing scans), with an intended-plan engine and a scan-based naive
+//! engine (see [`engine`]). Traversals reuse a per-thread [`QueryScratch`]
+//! instead of allocating visited sets per query (see [`scratch`]).
 
 pub mod complex;
 pub mod engine;
 pub mod helpers;
 pub mod params;
+pub mod scratch;
 pub mod short;
 pub mod update;
 
 pub use engine::Engine;
 pub use params::{ComplexQuery, ShortQuery};
+pub use scratch::{with_scratch, QueryScratch};
 
 #[cfg(test)]
 pub(crate) mod testutil {

@@ -9,7 +9,7 @@
 use crate::params::ShortQuery;
 use snb_core::time::SimTime;
 use snb_core::{ForumId, MessageId, PersonId};
-use snb_store::Snapshot;
+use snb_store::PinnedSnapshot;
 
 /// S1 — person profile.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,7 +33,7 @@ pub struct ProfileRow {
 }
 
 /// Run S1.
-pub fn s1_profile(snap: &Snapshot<'_>, person: PersonId) -> Option<ProfileRow> {
+pub fn s1_profile(snap: &PinnedSnapshot<'_>, person: PersonId) -> Option<ProfileRow> {
     let p = snap.person(person)?;
     Some(ProfileRow {
         first_name: p.first_name,
@@ -64,9 +64,9 @@ pub struct RecentMessageRow {
 }
 
 /// Run S2.
-pub fn s2_recent_messages(snap: &Snapshot<'_>, person: PersonId) -> Vec<RecentMessageRow> {
-    snap.recent_messages_of(person, SimTime(i64::MAX), 10)
-        .into_iter()
+pub fn s2_recent_messages(snap: &PinnedSnapshot<'_>, person: PersonId) -> Vec<RecentMessageRow> {
+    snap.recent_messages_walk(person, SimTime(i64::MAX))
+        .take(10)
         .filter_map(|(msg, date)| {
             let row = snap.message(MessageId(msg))?;
             let root = row.reply_info.map(|(_, root)| root).unwrap_or(MessageId(msg));
@@ -90,14 +90,15 @@ pub fn s2_recent_messages(snap: &Snapshot<'_>, person: PersonId) -> Vec<RecentMe
 
 /// S3 — friends of a person with friendship dates, newest first, id
 /// tie-break ascending.
-pub fn s3_friends(snap: &Snapshot<'_>, person: PersonId) -> Vec<(PersonId, SimTime)> {
-    let mut friends = snap.friends(person);
+pub fn s3_friends(snap: &PinnedSnapshot<'_>, person: PersonId) -> Vec<(PersonId, SimTime)> {
+    let mut friends: Vec<(PersonId, SimTime)> =
+        snap.friends_iter(person).map(|(id, date)| (PersonId(id), date)).collect();
     friends.sort_by_key(|&(id, date)| (std::cmp::Reverse(date), id));
-    friends.into_iter().map(|(id, date)| (PersonId(id), date)).collect()
+    friends
 }
 
 /// S4 — message content and creation date.
-pub fn s4_message(snap: &Snapshot<'_>, message: MessageId) -> Option<(String, SimTime)> {
+pub fn s4_message(snap: &PinnedSnapshot<'_>, message: MessageId) -> Option<(String, SimTime)> {
     let m = snap.message(message)?;
     let content =
         m.image_file.as_deref().filter(|_| m.content.is_empty()).unwrap_or(&m.content).to_string();
@@ -105,13 +106,16 @@ pub fn s4_message(snap: &Snapshot<'_>, message: MessageId) -> Option<(String, Si
 }
 
 /// S5 — creator of a message.
-pub fn s5_creator(snap: &Snapshot<'_>, message: MessageId) -> Option<PersonId> {
+pub fn s5_creator(snap: &PinnedSnapshot<'_>, message: MessageId) -> Option<PersonId> {
     Some(snap.message_meta(message)?.author)
 }
 
 /// S6 — forum of a message (via the root post for comments) and its
 /// moderator.
-pub fn s6_forum(snap: &Snapshot<'_>, message: MessageId) -> Option<(ForumId, String, PersonId)> {
+pub fn s6_forum(
+    snap: &PinnedSnapshot<'_>,
+    message: MessageId,
+) -> Option<(ForumId, String, PersonId)> {
     let meta = snap.message_meta(message)?;
     let root = meta.reply_info.map(|(_, r)| r).unwrap_or(message);
     let forum_id = snap.message_meta(root)?.forum;
@@ -134,13 +138,12 @@ pub struct ReplyRow {
 }
 
 /// Run S7.
-pub fn s7_replies(snap: &Snapshot<'_>, message: MessageId) -> Vec<ReplyRow> {
+pub fn s7_replies(snap: &PinnedSnapshot<'_>, message: MessageId) -> Vec<ReplyRow> {
     let Some(original) = snap.message_meta(message) else {
         return Vec::new();
     };
     let mut replies: Vec<ReplyRow> = snap
-        .replies_of(message)
-        .into_iter()
+        .replies_of_iter(message)
         .filter_map(|(reply, date)| {
             let author = snap.message_meta(MessageId(reply))?.author;
             Some(ReplyRow {
@@ -156,7 +159,7 @@ pub fn s7_replies(snap: &Snapshot<'_>, message: MessageId) -> Vec<ReplyRow> {
 }
 
 /// Uniform executor used by the driver; returns the result row count.
-pub fn run_short(snap: &Snapshot<'_>, q: &ShortQuery) -> usize {
+pub fn run_short(snap: &PinnedSnapshot<'_>, q: &ShortQuery) -> usize {
     let rows = match *q {
         ShortQuery::S1(p) => usize::from(s1_profile(snap, p).is_some()),
         ShortQuery::S2(p) => s2_recent_messages(snap, p).len(),
@@ -178,7 +181,7 @@ mod tests {
     #[test]
     fn s1_returns_profile() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let person = busy_person(f);
         let row = s1_profile(&snap, person).unwrap();
         let expect = &f.ds.persons[person.index()];
@@ -190,7 +193,7 @@ mod tests {
     #[test]
     fn s2_returns_recent_messages_with_roots() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let rows = s2_recent_messages(&snap, busy_person(f));
         assert!(!rows.is_empty() && rows.len() <= 10);
         for w in rows.windows(2) {
@@ -206,7 +209,7 @@ mod tests {
     #[test]
     fn s3_orders_friends_by_date_desc() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let rows = s3_friends(&snap, busy_person(f));
         assert!(!rows.is_empty());
         for w in rows.windows(2) {
@@ -217,7 +220,7 @@ mod tests {
     #[test]
     fn s4_s5_s6_resolve_message_anchors() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let comment = &f.ds.comments[0];
         let (content, date) = s4_message(&snap, comment.id).unwrap();
         assert_eq!(content, comment.content);
@@ -231,7 +234,7 @@ mod tests {
     #[test]
     fn s7_lists_replies_with_knows_flag() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         // The first comment's parent certainly has at least one reply.
         let parent = f.ds.comments[0].reply_to;
         let rows = s7_replies(&snap, parent);
@@ -245,7 +248,7 @@ mod tests {
     #[test]
     fn run_short_counts() {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let person = busy_person(f);
         assert_eq!(run_short(&snap, &ShortQuery::S1(person)), 1);
         assert!(run_short(&snap, &ShortQuery::S3(person)) > 0);

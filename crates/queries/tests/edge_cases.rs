@@ -10,7 +10,7 @@ use snb_store::Store;
 
 fn empty_snapshot_queries(engine: Engine) {
     let store = Store::new();
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let p = PersonId(0);
     let date = SimTime::from_ymd(2012, 1, 1);
     assert!(complex::q1::run(&snap, engine, &Q1Params { person: p, first_name: "Karl".into() })
@@ -54,7 +54,7 @@ fn all_complex_queries_handle_an_empty_store() {
 #[test]
 fn all_short_queries_handle_an_empty_store() {
     let store = Store::new();
-    let snap = store.snapshot();
+    let snap = store.pinned();
     for q in [
         ShortQuery::S1(PersonId(7)),
         ShortQuery::S2(PersonId(7)),
@@ -74,7 +74,7 @@ fn queries_tolerate_ids_beyond_the_population() {
         .unwrap();
     let store = Store::new();
     store.load_full(&ds);
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let ghost = PersonId(1_000_000);
     assert!(complex::q2::run(
         &snap,
@@ -101,7 +101,7 @@ fn degenerate_parameters_are_well_defined() {
         .unwrap();
     let store = Store::new();
     store.load_full(&ds);
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let p = PersonId(0);
     // Same foreign country twice in Q3: Y-count can never be disjoint from
     // X-count, so either every row double-counts or nothing matches; the

@@ -179,7 +179,7 @@ fn both<T: PartialEq + std::fmt::Debug>(run: impl Fn(Engine) -> T) -> T {
 #[test]
 fn q1_finds_karls_by_distance() {
     let store = oracle_store();
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let rows = both(|e| {
         complex::q1::run(&snap, e, &Q1Params { person: PersonId(0), first_name: "Karl".into() })
     });
@@ -192,7 +192,7 @@ fn q1_finds_karls_by_distance() {
 #[test]
 fn q2_returns_friend_messages_newest_first() {
     let store = oracle_store();
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let rows = both(|e| {
         complex::q2::run(&snap, e, &Q2Params { person: PersonId(0), max_date: SimTime(5_000) })
     });
@@ -205,7 +205,7 @@ fn q2_returns_friend_messages_newest_first() {
 #[test]
 fn q3_requires_messages_from_both_foreign_countries() {
     let store = oracle_store();
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let rows = both(|e| {
         complex::q3::run(
             &snap,
@@ -229,7 +229,7 @@ fn q3_requires_messages_from_both_foreign_countries() {
 #[test]
 fn q4_reports_only_new_topics() {
     let store = oracle_store();
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let rows = both(|e| {
         complex::q4::run(
             &snap,
@@ -249,7 +249,7 @@ fn q4_reports_only_new_topics() {
 #[test]
 fn q5_counts_posts_of_recent_joiners() {
     let store = oracle_store();
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let rows = both(|e| {
         complex::q5::run(&snap, e, &Q5Params { person: PersonId(0), min_date: SimTime(3_040) })
     });
@@ -263,7 +263,7 @@ fn q5_counts_posts_of_recent_joiners() {
 #[test]
 fn q6_counts_cooccurring_tags_on_posts() {
     let store = oracle_store();
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let rows = both(|e| {
         complex::q6::run(&snap, e, &Q6Params { person: PersonId(0), tag: T_MUSIC as usize })
     });
@@ -278,7 +278,7 @@ fn q6_counts_cooccurring_tags_on_posts() {
 #[test]
 fn q7_returns_latest_like_per_liker() {
     let store = oracle_store();
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let rows = both(|e| complex::q7::run(&snap, e, &Q7Params { person: PersonId(0) }));
     // Likes on 0's messages (msg2, msg5): person 2 @5000, person 1 @5100.
     let got: Vec<(u64, i64)> = rows.iter().map(|r| (r.liker.raw(), r.like_date.millis())).collect();
@@ -290,7 +290,7 @@ fn q7_returns_latest_like_per_liker() {
 #[test]
 fn q8_returns_most_recent_replies() {
     let store = oracle_store();
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let rows = both(|e| complex::q8::run(&snap, e, &Q8Params { person: PersonId(0) }));
     // Replies to 0's messages: msg6 replies msg2 (0's post). msg5 is BY 0.
     let got: Vec<(u64, u64)> = rows.iter().map(|r| (r.comment.raw(), r.commenter.raw())).collect();
@@ -300,7 +300,7 @@ fn q8_returns_most_recent_replies() {
 #[test]
 fn q9_returns_two_hop_messages_before_date() {
     let store = oracle_store();
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let rows = both(|e| {
         complex::q9::run(&snap, e, &Q9Params { person: PersonId(0), max_date: SimTime(4_450) })
     });
@@ -312,7 +312,7 @@ fn q9_returns_two_hop_messages_before_date() {
 #[test]
 fn q10_filters_by_horoscope_and_scores_posts() {
     let store = oracle_store();
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let rows = both(|e| complex::q10::run(&snap, e, &Q10Params { person: PersonId(0), month: 6 }));
     // Strict friends-of-friends of 0: {3, 4}. Horoscope month 6 accepts
     // person 3 (Jun 25) and person 4 (Jul 10 < 22). Neither has posts, so
@@ -348,7 +348,7 @@ fn q11_finds_employment_in_country() {
             creation_date: SimTime(2_200),
         }))
         .unwrap();
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let rows = both(|e| {
         complex::q11::run(&snap, e, &Q11Params { person: PersonId(0), country: 0, max_year: 2013 })
     });
@@ -366,7 +366,7 @@ fn q11_finds_employment_in_country() {
 #[test]
 fn q12_counts_expert_replies_to_tagged_posts() {
     let store = oracle_store();
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let dicts = Dictionaries::global();
     let music_class = dicts.tags.tag(T_MUSIC as usize).class;
     let rows = both(|e| {
@@ -382,7 +382,7 @@ fn q12_counts_expert_replies_to_tagged_posts() {
 #[test]
 fn q13_and_q14_agree_with_the_drawn_topology() {
     let store = oracle_store();
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let d = |x: u64, y: u64| {
         both(|e| {
             complex::q13::run(&snap, e, &Q13Params { person_x: PersonId(x), person_y: PersonId(y) })
@@ -411,7 +411,7 @@ mod short_reads {
     #[test]
     fn s1_profile_matches_inserted_person() {
         let store = oracle_store();
-        let snap = store.snapshot();
+        let snap = store.pinned();
         let row = short::s1_profile(&snap, PersonId(2)).unwrap();
         assert_eq!(row.first_name, "Karl");
         assert_eq!(row.last_name, "Muller");
@@ -421,7 +421,7 @@ mod short_reads {
     #[test]
     fn s2_threads_resolve_to_root_posts() {
         let store = oracle_store();
-        let snap = store.snapshot();
+        let snap = store.pinned();
         // Person 2's messages: msg1 (post, 4100) and msg4 (comment on msg0).
         let rows = short::s2_recent_messages(&snap, PersonId(2));
         let got: Vec<(u64, u64, u64)> = rows
@@ -435,7 +435,7 @@ mod short_reads {
     #[test]
     fn s3_friends_are_date_ordered() {
         let store = oracle_store();
-        let snap = store.snapshot();
+        let snap = store.pinned();
         // Person 0 befriended 1 @2000 and 2 @2100 -> newest first: 2, 1.
         let rows = short::s3_friends(&snap, PersonId(0));
         let got: Vec<(u64, i64)> = rows.iter().map(|&(p, d)| (p.raw(), d.millis())).collect();
@@ -445,7 +445,7 @@ mod short_reads {
     #[test]
     fn s4_s5_s6_resolve_the_comment_chain() {
         let store = oracle_store();
-        let snap = store.snapshot();
+        let snap = store.pinned();
         // msg5 is 0's comment deep in msg0's thread (forum 0, moderator 0).
         let (content, date) = short::s4_message(&snap, MessageId(5)).unwrap();
         assert_eq!(content, "comment 5");
@@ -460,7 +460,7 @@ mod short_reads {
     #[test]
     fn s7_replies_carry_the_knows_flag() {
         let store = oracle_store();
-        let snap = store.snapshot();
+        let snap = store.pinned();
         // Replies to msg0 (by person 1): msg4 by person 2. 1 and 2 are NOT
         // friends (only 0-1 and 0-2 edges exist).
         let rows = short::s7_replies(&snap, MessageId(0));

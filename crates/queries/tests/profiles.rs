@@ -15,7 +15,7 @@ fn complex_queries_tick_operator_counters() {
     let store = snb_store::Store::new();
     store.load_full(&ds);
     let bindings = snb_params::curated_bindings(&ds, 2);
-    let snap = store.snapshot();
+    let snap = store.pinned();
 
     let mut nonzero_kinds = 0;
     let mut with_probes = 0;
@@ -53,7 +53,7 @@ fn short_reads_tick_result_rows_and_probes() {
     .unwrap();
     let store = snb_store::Store::new();
     store.load_full(&ds);
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let person = snb_core::PersonId(0);
 
     let profile = Arc::new(QueryProfile::new());
@@ -76,7 +76,7 @@ fn queries_outside_a_scope_record_nothing_and_still_work() {
     .unwrap();
     let store = snb_store::Store::new();
     store.load_full(&ds);
-    let snap = store.snapshot();
+    let snap = store.pinned();
     // No scope installed: ticks are no-ops, queries behave identically.
     let rows = short::run_short(&snap, &snb_queries::ShortQuery::S3(snb_core::PersonId(0)));
     let profile = Arc::new(QueryProfile::new());

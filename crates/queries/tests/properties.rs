@@ -49,7 +49,7 @@ proptest! {
     #[test]
     fn feed_queries_agree_on_arbitrary_bindings(person in 0u64..250, day_offset in 0i64..1_095) {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let max_date = SimTime::SIM_START.plus_days(day_offset);
         let q2 = Q2Params { person: PersonId(person), max_date };
         prop_assert_eq!(
@@ -73,7 +73,7 @@ proptest! {
         cy in 0usize..25,
     ) {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let start = SimTime::SIM_START.plus_days(start_day);
         let q3 = Q3Params {
             person: PersonId(person),
@@ -102,7 +102,7 @@ proptest! {
     #[test]
     fn categorical_queries_agree(person in 0u64..250, month in 1u8..=12, class in 0usize..13, tag in 0usize..120) {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let q10 = Q10Params { person: PersonId(person), month };
         prop_assert_eq!(
             complex::q10::run(&snap, Engine::Intended, &q10),
@@ -124,7 +124,7 @@ proptest! {
     #[test]
     fn path_queries_agree_and_are_symmetric(x in 0u64..250, y in 0u64..250) {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let p = Q13Params { person_x: PersonId(x), person_y: PersonId(y) };
         let fwd = complex::q13::run(&snap, Engine::Intended, &p);
         prop_assert_eq!(fwd, complex::q13::run(&snap, Engine::Naive, &p));
@@ -148,7 +148,7 @@ proptest! {
     fn like_and_reply_queries_agree(person in 0u64..260) {
         // Range deliberately exceeds the population to cover missing ids.
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let q7 = Q7Params { person: PersonId(person) };
         prop_assert_eq!(
             complex::q7::run(&snap, Engine::Intended, &q7),
@@ -165,7 +165,7 @@ proptest! {
     #[test]
     fn short_reads_are_total(person in 0u64..10_000, message in 0u64..100_000) {
         let f = fixture();
-        let snap = f.store.snapshot();
+        let snap = f.store.pinned();
         let _ = snb_queries::short::run_short(&snap, &ShortQuery::S1(PersonId(person)));
         let _ = snb_queries::short::run_short(&snap, &ShortQuery::S2(PersonId(person)));
         let _ = snb_queries::short::run_short(&snap, &ShortQuery::S3(PersonId(person)));

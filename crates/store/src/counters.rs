@@ -26,6 +26,12 @@ pub struct StoreCounters {
     pub commits: Counter,
     /// Transactions rejected by validation (`store.txn.conflicts`).
     pub conflicts: Counter,
+    /// Index entries served from the bulk-prefix fast lane — no `visible()`
+    /// check needed (`store.read.fastpath_entries`).
+    pub read_fastpath_entries: Counter,
+    /// Pinned snapshots opened: read guards held for the snapshot's whole
+    /// lifetime instead of per accessor call (`store.read.guard_pins`).
+    pub read_guard_pins: Counter,
     /// WAL records appended (`store.wal.appends`).
     pub wal_appends: Counter,
     /// WAL bytes written including record headers (`store.wal.bytes`).
@@ -60,6 +66,8 @@ impl StoreCounters {
             versions_skipped: registry.counter("store.mvcc.versions_skipped"),
             commits: registry.counter("store.txn.commits"),
             conflicts: registry.counter("store.txn.conflicts"),
+            read_fastpath_entries: registry.counter("store.read.fastpath_entries"),
+            read_guard_pins: registry.counter("store.read.guard_pins"),
             wal_appends: registry.counter("store.wal.appends"),
             wal_bytes: registry.counter("store.wal.bytes"),
             wal_fsyncs: registry.counter("store.wal.fsyncs"),
@@ -103,8 +111,10 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
-        assert_eq!(names.len(), 11);
+        assert_eq!(names.len(), 13);
         assert!(snap.contains(&("store.mvcc.snapshots", 1)));
+        assert!(names.contains(&"store.read.fastpath_entries"));
+        assert!(names.contains(&"store.read.guard_pins"));
         assert!(snap.contains(&("store.wal.bytes", 100)));
     }
 }

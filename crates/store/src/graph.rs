@@ -74,10 +74,49 @@ pub(crate) struct Entry {
     pub(crate) commit: CommitTs,
 }
 
-/// Insert keeping the list sorted by `(date, id)`.
-fn sorted_insert(list: &mut Vec<Entry>, e: Entry) {
-    let pos = list.partition_point(|x| (x.date, x.id) < (e.date, e.id));
-    list.insert(pos, e);
+/// A date-ordered index list with an immutable-bulk fast lane.
+///
+/// `entries` is sorted by `(date, id)`. The first `bulk` entries all carry
+/// [`BULK_TS`] — they were bulk-loaded, are immutable, and are visible to
+/// *every* snapshot (`visible(BULK_TS, ts)` is true for any `ts`), so scans
+/// over the prefix skip the `visible()` check entirely. The invariant is
+/// maintained on insert: a bulk entry landing inside (or right after) the
+/// prefix extends it; a post-load commit landing inside the prefix splits
+/// it at the insertion point. Under the SNB workload updates carry
+/// post-split dates, so in practice the prefix covers the 32 bulk-loaded
+/// months and never shrinks.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct IndexList {
+    pub(crate) entries: Vec<Entry>,
+    /// Length of the always-visible bulk prefix.
+    pub(crate) bulk: usize,
+}
+
+impl IndexList {
+    /// A list whose entries are all bulk-loaded (already `(date, id)`
+    /// sorted, all stamped [`BULK_TS`]).
+    pub(crate) fn from_bulk(entries: Vec<Entry>) -> IndexList {
+        debug_assert!(entries.iter().all(|e| e.commit == BULK_TS));
+        debug_assert!(entries.windows(2).all(|w| (w[0].date, w[0].id) <= (w[1].date, w[1].id)));
+        let bulk = entries.len();
+        IndexList { entries, bulk }
+    }
+
+    /// Insert keeping the list sorted by `(date, id)` and the bulk-prefix
+    /// invariant intact.
+    pub(crate) fn insert(&mut self, e: Entry) {
+        let pos = self.entries.partition_point(|x| (x.date, x.id) < (e.date, e.id));
+        if e.commit == BULK_TS && pos <= self.bulk {
+            self.bulk += 1;
+        } else {
+            self.bulk = self.bulk.min(pos);
+        }
+        self.entries.insert(pos, e);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -86,21 +125,21 @@ pub(crate) struct Inner {
     pub(crate) forums: Vec<Option<Versioned<Forum>>>,
     pub(crate) messages: Vec<Option<Versioned<MessageRow>>>,
     /// knows adjacency, both directions; Entry.id = other person.
-    pub(crate) knows: Vec<Vec<Entry>>,
+    pub(crate) knows: Vec<IndexList>,
     /// per-person authored messages; Entry.id = message.
-    pub(crate) person_messages: Vec<Vec<Entry>>,
+    pub(crate) person_messages: Vec<IndexList>,
     /// per-forum posts; Entry.id = message.
-    pub(crate) forum_posts: Vec<Vec<Entry>>,
+    pub(crate) forum_posts: Vec<IndexList>,
     /// per-forum members; Entry.id = person, date = join date.
-    pub(crate) forum_members: Vec<Vec<Entry>>,
+    pub(crate) forum_members: Vec<IndexList>,
     /// per-person joined forums; Entry.id = forum, date = join date.
-    pub(crate) person_forums: Vec<Vec<Entry>>,
+    pub(crate) person_forums: Vec<IndexList>,
     /// per-message direct replies; Entry.id = replying comment.
-    pub(crate) message_replies: Vec<Vec<Entry>>,
+    pub(crate) message_replies: Vec<IndexList>,
     /// per-message likes; Entry.id = liking person.
-    pub(crate) message_likes: Vec<Vec<Entry>>,
+    pub(crate) message_likes: Vec<IndexList>,
     /// per-person given likes; Entry.id = liked message.
-    pub(crate) person_likes: Vec<Vec<Entry>>,
+    pub(crate) person_likes: Vec<IndexList>,
 }
 
 fn ensure<T: Default>(v: &mut Vec<T>, idx: usize) {
@@ -410,6 +449,29 @@ impl Store {
         self.counters.snapshots.inc();
         Snapshot { store: self, ts: self.clock.snapshot_ts() }
     }
+
+    /// Open a *pinned* read snapshot: acquires the store's read latch once
+    /// and holds it for the snapshot's whole lifetime, so every accessor —
+    /// and the zero-allocation borrowing iterators — runs latch-free.
+    ///
+    /// This is the query path's snapshot. Its MVCC semantics are identical
+    /// to [`Store::snapshot`] (same timestamp rule, same visibility
+    /// filter); only the blocking granularity differs: writers wait for
+    /// the whole pinned snapshot to drop rather than for individual
+    /// accessor calls. Do not hold one across a call to [`Store::apply`]
+    /// on the same thread, and do not interleave two pinned snapshots on
+    /// one thread — the underlying `RwLock` is not reentrant (see
+    /// DESIGN.md, "Read path").
+    pub fn pinned(&self) -> PinnedSnapshot<'_> {
+        self.counters.snapshots.inc();
+        self.counters.read_guard_pins.inc();
+        let guard = self.inner.read();
+        // Read the horizon while holding the latch: no commit can be in
+        // flight (publish happens under the write latch), so this sees
+        // exactly the transactions whose rows are in `guard`.
+        let ts = self.clock.snapshot_ts();
+        PinnedSnapshot { guard, ts, counters: &self.counters }
+    }
 }
 
 impl Inner {
@@ -501,14 +563,8 @@ impl Inner {
     fn insert_knows(&mut self, k: &Knows, ts: CommitTs) {
         let (a, b) = (k.a.index(), k.b.index());
         ensure(&mut self.knows, a.max(b));
-        sorted_insert(
-            &mut self.knows[a],
-            Entry { date: k.creation_date, id: k.b.raw(), commit: ts },
-        );
-        sorted_insert(
-            &mut self.knows[b],
-            Entry { date: k.creation_date, id: k.a.raw(), commit: ts },
-        );
+        self.knows[a].insert(Entry { date: k.creation_date, id: k.b.raw(), commit: ts });
+        self.knows[b].insert(Entry { date: k.creation_date, id: k.a.raw(), commit: ts });
     }
 
     fn insert_forum(&mut self, f: Forum, ts: CommitTs) {
@@ -522,14 +578,16 @@ impl Inner {
     fn insert_membership(&mut self, m: &ForumMembership, ts: CommitTs) {
         ensure(&mut self.forum_members, m.forum.index());
         ensure(&mut self.person_forums, m.person.index());
-        sorted_insert(
-            &mut self.forum_members[m.forum.index()],
-            Entry { date: m.join_date, id: m.person.raw(), commit: ts },
-        );
-        sorted_insert(
-            &mut self.person_forums[m.person.index()],
-            Entry { date: m.join_date, id: m.forum.raw(), commit: ts },
-        );
+        self.forum_members[m.forum.index()].insert(Entry {
+            date: m.join_date,
+            id: m.person.raw(),
+            commit: ts,
+        });
+        self.person_forums[m.person.index()].insert(Entry {
+            date: m.join_date,
+            id: m.forum.raw(),
+            commit: ts,
+        });
     }
 
     fn insert_message_row(&mut self, id: MessageId, row: MessageRow, ts: CommitTs) {
@@ -538,42 +596,47 @@ impl Inner {
         ensure(&mut self.message_replies, i);
         ensure(&mut self.message_likes, i);
         ensure(&mut self.person_messages, row.author.index());
-        sorted_insert(
-            &mut self.person_messages[row.author.index()],
-            Entry { date: row.creation_date, id: id.raw(), commit: ts },
-        );
+        self.person_messages[row.author.index()].insert(Entry {
+            date: row.creation_date,
+            id: id.raw(),
+            commit: ts,
+        });
         self.messages[i] = Some(Versioned { commit: ts, row });
     }
 
     fn insert_post(&mut self, p: &Post, ts: CommitTs) {
         ensure(&mut self.forum_posts, p.forum.index());
-        sorted_insert(
-            &mut self.forum_posts[p.forum.index()],
-            Entry { date: p.creation_date, id: p.id.raw(), commit: ts },
-        );
+        self.forum_posts[p.forum.index()].insert(Entry {
+            date: p.creation_date,
+            id: p.id.raw(),
+            commit: ts,
+        });
         self.insert_message_row(p.id, post_row(p), ts);
     }
 
     fn insert_comment(&mut self, c: &Comment, ts: CommitTs) {
         ensure(&mut self.message_replies, c.reply_to.index().max(c.id.index()));
-        sorted_insert(
-            &mut self.message_replies[c.reply_to.index()],
-            Entry { date: c.creation_date, id: c.id.raw(), commit: ts },
-        );
+        self.message_replies[c.reply_to.index()].insert(Entry {
+            date: c.creation_date,
+            id: c.id.raw(),
+            commit: ts,
+        });
         self.insert_message_row(c.id, comment_row(c), ts);
     }
 
     fn insert_like(&mut self, l: &Like, ts: CommitTs) {
         ensure(&mut self.message_likes, l.message.index());
         ensure(&mut self.person_likes, l.person.index());
-        sorted_insert(
-            &mut self.message_likes[l.message.index()],
-            Entry { date: l.creation_date, id: l.person.raw(), commit: ts },
-        );
-        sorted_insert(
-            &mut self.person_likes[l.person.index()],
-            Entry { date: l.creation_date, id: l.message.raw(), commit: ts },
-        );
+        self.message_likes[l.message.index()].insert(Entry {
+            date: l.creation_date,
+            id: l.person.raw(),
+            commit: ts,
+        });
+        self.person_likes[l.person.index()].insert(Entry {
+            date: l.creation_date,
+            id: l.message.raw(),
+            commit: ts,
+        });
     }
 }
 
@@ -585,9 +648,31 @@ impl Inner {
 /// visibility, not from the latch: every accessor filters by the pinned
 /// timestamp, so the snapshot observes exactly the transactions committed
 /// before it was opened, no matter how many commit during the query.
+///
+/// This per-call-latch variant is safe to hold across [`Store::apply`] on
+/// the same thread (tests and mixed read/write code rely on that). The
+/// query hot path uses [`PinnedSnapshot`] instead, which trades that
+/// freedom for latch-free accessors.
 pub struct Snapshot<'a> {
     store: &'a Store,
     ts: CommitTs,
+}
+
+/// A consistent read view that holds the store's read latch for its whole
+/// lifetime (see [`Store::pinned`]).
+///
+/// Pinning buys two things over [`Snapshot`]: accessors skip the per-call
+/// latch acquisition (a single Q9 makes hundreds of them), and the
+/// borrowing APIs ([`PinnedSnapshot::friends_iter`],
+/// [`PinnedSnapshot::recent_messages_walk`], [`PinnedSnapshot::person_ref`]
+/// …) can hand out references and iterators tied to the guard — zero
+/// allocation per scan. MVCC visibility is byte-identical to [`Snapshot`]:
+/// the latch only pins the memory, the timestamp still decides what is
+/// seen.
+pub struct PinnedSnapshot<'a> {
+    guard: RwLockReadGuard<'a, Inner>,
+    ts: CommitTs,
+    counters: &'a StoreCounters,
 }
 
 /// `(entity id, date)` pair yielded by index scans.
@@ -609,18 +694,26 @@ pub struct MessageMeta {
     pub reply_info: Option<(MessageId, MessageId)>,
 }
 
-impl Snapshot<'_> {
-    fn read(&self) -> RwLockReadGuard<'_, Inner> {
-        self.store.inner.read()
-    }
+/// The shared read-path implementation: all primitives over a borrowed
+/// [`Inner`], parameterized by the snapshot timestamp. [`Snapshot`]
+/// constructs one per accessor call (acquire latch, delegate, drop);
+/// [`PinnedSnapshot`] constructs one over its long-lived guard, which is
+/// what lets it return borrows.
+#[derive(Clone, Copy)]
+struct ReadView<'g> {
+    inner: &'g Inner,
+    ts: CommitTs,
+    counters: &'g StoreCounters,
+}
 
+impl<'g> ReadView<'g> {
     /// Account one keyed point lookup: `examined` when a versioned row was
     /// present, `kept` when it was visible to this snapshot. Ticks the
     /// store counters and the current query profile (if any).
     fn note_probe(&self, examined: bool, kept: bool) {
         tick_index_probes(1);
         if examined {
-            let c = &self.store.counters;
+            let c = self.counters;
             c.versions_walked.add(1);
             if !kept {
                 c.versions_skipped.inc();
@@ -629,16 +722,312 @@ impl Snapshot<'_> {
         }
     }
 
-    /// Account one index scan that examined `examined` version-stamped
-    /// entries and kept `kept` visible ones.
-    fn note_walk(&self, examined: usize, kept: usize) {
-        if examined == 0 {
-            return;
+    /// Account one index scan: `fast` entries served from the bulk-prefix
+    /// fast lane (no visibility check), `examined` version-stamped entries
+    /// walked of which `kept` were visible. Both the fast-lane and the
+    /// MVCC-walk paths funnel through here so the two lanes stay
+    /// consistently accounted: every touched entry lands in exactly one of
+    /// `store.read.fastpath_entries` or `store.mvcc.versions_walked`.
+    fn note_scan(&self, fast: usize, examined: usize, kept: usize) {
+        let c = self.counters;
+        if fast > 0 {
+            c.read_fastpath_entries.add(fast as u64);
         }
-        let c = &self.store.counters;
-        c.versions_walked.add(examined as u64);
-        c.versions_skipped.add((examined - kept) as u64);
-        tick_versions_walked(examined as u64);
+        if examined > 0 {
+            c.versions_walked.add(examined as u64);
+            c.versions_skipped.add((examined - kept) as u64);
+            tick_versions_walked(examined as u64);
+        }
+    }
+
+    fn person_ref(&self, id: PersonId) -> Option<&'g Person> {
+        let slot = self.inner.persons.get(id.index()).and_then(|s| s.as_ref());
+        let vis = slot.filter(|v| visible(v.commit, self.ts));
+        self.note_probe(slot.is_some(), vis.is_some());
+        vis.map(|v| &v.row)
+    }
+
+    fn forum_ref(&self, id: ForumId) -> Option<&'g Forum> {
+        let slot = self.inner.forums.get(id.index()).and_then(|s| s.as_ref());
+        let vis = slot.filter(|v| visible(v.commit, self.ts));
+        self.note_probe(slot.is_some(), vis.is_some());
+        vis.map(|v| &v.row)
+    }
+
+    fn message_ref(&self, id: MessageId) -> Option<&'g MessageRow> {
+        let slot = self.inner.messages.get(id.index()).and_then(|s| s.as_ref());
+        let vis = slot.filter(|v| visible(v.commit, self.ts));
+        self.note_probe(slot.is_some(), vis.is_some());
+        vis.map(|v| &v.row)
+    }
+
+    fn message_meta(&self, id: MessageId) -> Option<MessageMeta> {
+        self.message_ref(id).map(|row| MessageMeta {
+            author: row.author,
+            forum: row.forum,
+            creation_date: row.creation_date,
+            country: row.country,
+            reply_info: row.reply_info,
+        })
+    }
+
+    /// Materialize a whole index list, skipping `visible()` over the bulk
+    /// prefix and preallocating from the list length.
+    ///
+    /// Deliberately NOT written as `self.iter(list).collect()`: this loop
+    /// and [`DatedIter`] are independent implementations of the same scan,
+    /// so the property test comparing the `Vec` API against the iterator
+    /// API actually checks something.
+    fn collect(&self, list: Option<&IndexList>) -> Vec<Dated> {
+        let Some(list) = list else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(list.len());
+        for e in &list.entries[..list.bulk] {
+            out.push((e.id, e.date));
+        }
+        let mut kept = 0usize;
+        for e in &list.entries[list.bulk..] {
+            if visible(e.commit, self.ts) {
+                out.push((e.id, e.date));
+                kept += 1;
+            }
+        }
+        self.note_scan(list.bulk, list.len() - list.bulk, kept);
+        out
+    }
+
+    /// Borrowing scan over a whole index list, ascending `(date, id)`.
+    fn iter(&self, list: Option<&'g IndexList>) -> DatedIter<'g> {
+        let (prefix, tail) = match list {
+            Some(l) => (&l.entries[..l.bulk], &l.entries[l.bulk..]),
+            None => (&[][..], &[][..]),
+        };
+        DatedIter {
+            prefix: prefix.iter(),
+            tail: tail.iter(),
+            ts: self.ts,
+            counters: self.counters,
+            fast: 0,
+            examined: 0,
+            kept: 0,
+        }
+    }
+
+    /// Borrowing reverse scan (newest first) over the entries dated at or
+    /// before `max_date`.
+    fn recent_walk(&self, list: Option<&'g IndexList>, max_date: SimTime) -> RecentWalk<'g> {
+        let (entries, bulk) = match list {
+            Some(l) => (&l.entries[..l.entries.partition_point(|e| e.date <= max_date)], l.bulk),
+            None => (&[][..], 0),
+        };
+        RecentWalk {
+            entries,
+            bulk,
+            ts: self.ts,
+            counters: self.counters,
+            fast: 0,
+            examined: 0,
+            kept: 0,
+        }
+    }
+
+    fn recent_messages_of(&self, id: PersonId, max_date: SimTime, k: usize) -> Vec<Dated> {
+        let Some(list) = self.inner.person_messages.get(id.index()) else {
+            return Vec::new();
+        };
+        let end = list.entries.partition_point(|e| e.date <= max_date);
+        let mut out = Vec::with_capacity(k.min(end));
+        let mut fast = 0usize;
+        let mut examined = 0usize;
+        let mut kept = 0usize;
+        for (i, e) in list.entries[..end].iter().enumerate().rev() {
+            if i < list.bulk {
+                fast += 1;
+            } else {
+                examined += 1;
+                if !visible(e.commit, self.ts) {
+                    continue;
+                }
+                kept += 1;
+            }
+            out.push((e.id, e.date));
+            if out.len() == k {
+                break;
+            }
+        }
+        self.note_scan(fast, examined, kept);
+        out
+    }
+
+    fn forums_of_after(&self, id: PersonId, min_date: SimTime) -> Vec<Dated> {
+        let Some(list) = self.inner.person_forums.get(id.index()) else {
+            return Vec::new();
+        };
+        let start = list.entries.partition_point(|e| e.date <= min_date);
+        let mut out = Vec::with_capacity(list.len() - start);
+        let mut fast = 0usize;
+        let mut kept = 0usize;
+        for (i, e) in list.entries.iter().enumerate().skip(start) {
+            if i < list.bulk {
+                fast += 1;
+                out.push((e.id, e.date));
+            } else if visible(e.commit, self.ts) {
+                kept += 1;
+                out.push((e.id, e.date));
+            }
+        }
+        self.note_scan(fast, list.len() - start - fast, kept);
+        out
+    }
+
+    fn are_friends(&self, a: PersonId, b: PersonId) -> bool {
+        let Some(list) = self.inner.knows.get(a.index()) else {
+            self.note_scan(0, 0, 0);
+            return false;
+        };
+        let mut fast = 0usize;
+        let mut examined = 0usize;
+        let mut found = false;
+        for (i, e) in list.entries.iter().enumerate() {
+            if i < list.bulk {
+                fast += 1;
+                if e.id == b.raw() {
+                    found = true;
+                    break;
+                }
+            } else {
+                examined += 1;
+                if e.id == b.raw() && visible(e.commit, self.ts) {
+                    found = true;
+                    break;
+                }
+            }
+        }
+        self.note_scan(fast, examined, if found && examined > 0 { 1 } else { 0 });
+        found
+    }
+}
+
+/// Zero-allocation iterator over the visible entries of one index list,
+/// ascending `(date, id)` — the bulk prefix is yielded without visibility
+/// checks, the versioned tail is MVCC-filtered. Accounting is batched
+/// locally and flushed to the store counters once, on drop, so a scan
+/// costs one atomic add per counter regardless of length.
+pub struct DatedIter<'g> {
+    prefix: std::slice::Iter<'g, Entry>,
+    tail: std::slice::Iter<'g, Entry>,
+    ts: CommitTs,
+    counters: &'g StoreCounters,
+    fast: u64,
+    examined: u64,
+    kept: u64,
+}
+
+impl Iterator for DatedIter<'_> {
+    type Item = Dated;
+
+    #[inline]
+    fn next(&mut self) -> Option<Dated> {
+        if let Some(e) = self.prefix.next() {
+            self.fast += 1;
+            return Some((e.id, e.date));
+        }
+        for e in self.tail.by_ref() {
+            self.examined += 1;
+            if visible(e.commit, self.ts) {
+                self.kept += 1;
+                return Some((e.id, e.date));
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (p, t) = (self.prefix.len(), self.tail.len());
+        (p, Some(p + t))
+    }
+}
+
+impl Drop for DatedIter<'_> {
+    fn drop(&mut self) {
+        let c = self.counters;
+        if self.fast > 0 {
+            c.read_fastpath_entries.add(self.fast);
+        }
+        if self.examined > 0 {
+            c.versions_walked.add(self.examined);
+            c.versions_skipped.add(self.examined - self.kept);
+            tick_versions_walked(self.examined);
+        }
+    }
+}
+
+/// Zero-allocation reverse scan (newest first) over the entries of one
+/// date-ordered index list at or before a date bound — the borrowing form
+/// of the "top-k most recent before date" primitive. Same fast-lane and
+/// drop-flushed accounting as [`DatedIter`].
+pub struct RecentWalk<'g> {
+    /// Remaining entries, already bounded to dates `<= max_date`; consumed
+    /// from the back.
+    entries: &'g [Entry],
+    bulk: usize,
+    ts: CommitTs,
+    counters: &'g StoreCounters,
+    fast: u64,
+    examined: u64,
+    kept: u64,
+}
+
+impl Iterator for RecentWalk<'_> {
+    type Item = Dated;
+
+    #[inline]
+    fn next(&mut self) -> Option<Dated> {
+        while let Some((e, rest)) = self.entries.split_last() {
+            self.entries = rest;
+            if rest.len() < self.bulk {
+                self.fast += 1;
+                return Some((e.id, e.date));
+            }
+            self.examined += 1;
+            if visible(e.commit, self.ts) {
+                self.kept += 1;
+                return Some((e.id, e.date));
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.entries.len().min(self.bulk), Some(self.entries.len()))
+    }
+}
+
+impl Drop for RecentWalk<'_> {
+    fn drop(&mut self) {
+        let c = self.counters;
+        if self.fast > 0 {
+            c.read_fastpath_entries.add(self.fast);
+        }
+        if self.examined > 0 {
+            c.versions_walked.add(self.examined);
+            c.versions_skipped.add(self.examined - self.kept);
+            tick_versions_walked(self.examined);
+        }
+    }
+}
+
+impl Snapshot<'_> {
+    fn read(&self) -> RwLockReadGuard<'_, Inner> {
+        self.store.inner.read()
+    }
+
+    fn view<'g>(&self, g: &'g Inner) -> ReadView<'g>
+    where
+        Self: 'g,
+    {
+        ReadView { inner: g, ts: self.ts, counters: &self.store.counters }
     }
 
     /// The snapshot's commit timestamp.
@@ -649,52 +1038,31 @@ impl Snapshot<'_> {
     /// Person by id, if visible (cloned row).
     pub fn person(&self, id: PersonId) -> Option<Person> {
         let g = self.read();
-        let slot = g.persons.get(id.index()).and_then(|s| s.as_ref());
-        let vis = slot.filter(|v| visible(v.commit, self.ts));
-        self.note_probe(slot.is_some(), vis.is_some());
-        vis.map(|v| v.row.clone())
+        self.view(&g).person_ref(id).cloned()
     }
 
     /// Forum by id, if visible (cloned row).
     pub fn forum(&self, id: ForumId) -> Option<Forum> {
         let g = self.read();
-        let slot = g.forums.get(id.index()).and_then(|s| s.as_ref());
-        let vis = slot.filter(|v| visible(v.commit, self.ts));
-        self.note_probe(slot.is_some(), vis.is_some());
-        vis.map(|v| v.row.clone())
+        self.view(&g).forum_ref(id).cloned()
     }
 
     /// Full message row (content included), if visible.
     pub fn message(&self, id: MessageId) -> Option<MessageRow> {
         let g = self.read();
-        let slot = g.messages.get(id.index()).and_then(|s| s.as_ref());
-        let vis = slot.filter(|v| visible(v.commit, self.ts));
-        self.note_probe(slot.is_some(), vis.is_some());
-        vis.map(|v| v.row.clone())
+        self.view(&g).message_ref(id).cloned()
     }
 
     /// Fixed-size message header, if visible.
     pub fn message_meta(&self, id: MessageId) -> Option<MessageMeta> {
         let g = self.read();
-        let slot = g.messages.get(id.index()).and_then(|s| s.as_ref());
-        let vis = slot.filter(|v| visible(v.commit, self.ts));
-        self.note_probe(slot.is_some(), vis.is_some());
-        vis.map(|v| MessageMeta {
-            author: v.row.author,
-            forum: v.row.forum,
-            creation_date: v.row.creation_date,
-            country: v.row.country,
-            reply_info: v.row.reply_info,
-        })
+        self.view(&g).message_meta(id)
     }
 
     /// Tags of a message (empty if the message is not visible).
     pub fn message_tags(&self, id: MessageId) -> Vec<TagId> {
         let g = self.read();
-        let slot = g.messages.get(id.index()).and_then(|s| s.as_ref());
-        let vis = slot.filter(|v| visible(v.commit, self.ts));
-        self.note_probe(slot.is_some(), vis.is_some());
-        vis.map(|v| v.row.tags.to_vec()).unwrap_or_default()
+        self.view(&g).message_ref(id).map(|row| row.tags.to_vec()).unwrap_or_default()
     }
 
     /// Upper bound of the person id space (for scans; slots may be empty).
@@ -712,24 +1080,16 @@ impl Snapshot<'_> {
         self.read().messages.len()
     }
 
-    fn collect(&self, list: Option<&Vec<Entry>>) -> Vec<Dated> {
-        let Some(list) = list else {
-            return Vec::new();
-        };
-        let out: Vec<Dated> =
-            list.iter().filter(|e| visible(e.commit, self.ts)).map(|e| (e.id, e.date)).collect();
-        self.note_walk(list.len(), out.len());
-        out
-    }
-
     /// Friends of `id` with friendship dates, ascending by date.
     pub fn friends(&self, id: PersonId) -> Vec<Dated> {
-        self.collect(self.read().knows.get(id.index()))
+        let g = self.read();
+        self.view(&g).collect(g.knows.get(id.index()))
     }
 
     /// Messages authored by `id`, ascending by creation date.
     pub fn messages_of(&self, id: PersonId) -> Vec<Dated> {
-        self.collect(self.read().person_messages.get(id.index()))
+        let g = self.read();
+        self.view(&g).collect(g.person_messages.get(id.index()))
     }
 
     /// The up-to-`k` most recent messages of `id` created at or before
@@ -738,95 +1098,235 @@ impl Snapshot<'_> {
     /// on the date-ordered index).
     pub fn recent_messages_of(&self, id: PersonId, max_date: SimTime, k: usize) -> Vec<Dated> {
         let g = self.read();
-        let Some(list) = g.person_messages.get(id.index()) else {
-            return Vec::new();
-        };
-        let end = list.partition_point(|e| e.date <= max_date);
-        let mut out = Vec::with_capacity(k.min(end));
-        let mut examined = 0usize;
-        for e in list[..end].iter().rev() {
-            examined += 1;
-            if !visible(e.commit, self.ts) {
-                continue;
-            }
-            out.push((e.id, e.date));
-            if out.len() == k {
-                break;
-            }
-        }
-        self.note_walk(examined, out.len());
-        out
+        self.view(&g).recent_messages_of(id, max_date, k)
     }
 
     /// Posts in forum `id`, ascending by creation date.
     pub fn posts_in_forum(&self, id: ForumId) -> Vec<Dated> {
-        self.collect(self.read().forum_posts.get(id.index()))
+        let g = self.read();
+        self.view(&g).collect(g.forum_posts.get(id.index()))
     }
 
     /// Members of forum `id` with join dates.
     pub fn members_of(&self, id: ForumId) -> Vec<Dated> {
-        self.collect(self.read().forum_members.get(id.index()))
+        let g = self.read();
+        self.view(&g).collect(g.forum_members.get(id.index()))
     }
 
     /// Forums `id` has joined, with join dates.
     pub fn forums_of(&self, id: PersonId) -> Vec<Dated> {
-        self.collect(self.read().person_forums.get(id.index()))
+        let g = self.read();
+        self.view(&g).collect(g.person_forums.get(id.index()))
     }
 
     /// Forums `id` joined strictly after `min_date` (date-index range scan).
     pub fn forums_of_after(&self, id: PersonId, min_date: SimTime) -> Vec<Dated> {
         let g = self.read();
-        let Some(list) = g.person_forums.get(id.index()) else {
-            return Vec::new();
-        };
-        let start = list.partition_point(|e| e.date <= min_date);
-        let out: Vec<Dated> = list[start..]
-            .iter()
-            .filter(|e| visible(e.commit, self.ts))
-            .map(|e| (e.id, e.date))
-            .collect();
-        self.note_walk(list.len() - start, out.len());
-        out
+        self.view(&g).forums_of_after(id, min_date)
     }
 
     /// Direct replies to message `id`, ascending by date.
     pub fn replies_of(&self, id: MessageId) -> Vec<Dated> {
-        self.collect(self.read().message_replies.get(id.index()))
+        let g = self.read();
+        self.view(&g).collect(g.message_replies.get(id.index()))
     }
 
     /// Likes on message `id` as `(person, like date)`.
     pub fn likes_of(&self, id: MessageId) -> Vec<Dated> {
-        self.collect(self.read().message_likes.get(id.index()))
+        let g = self.read();
+        self.view(&g).collect(g.message_likes.get(id.index()))
     }
 
     /// Likes given by person `id` as `(message, like date)`.
     pub fn likes_by(&self, id: PersonId) -> Vec<Dated> {
-        self.collect(self.read().person_likes.get(id.index()))
+        let g = self.read();
+        self.view(&g).collect(g.person_likes.get(id.index()))
     }
 
     /// Whether persons `a` and `b` are friends in this snapshot.
     pub fn are_friends(&self, a: PersonId, b: PersonId) -> bool {
         let g = self.read();
-        let Some(list) = g.knows.get(a.index()) else {
-            self.note_walk(0, 0);
-            return false;
-        };
-        let mut examined = 0usize;
-        let mut found = false;
-        for e in list {
-            examined += 1;
-            if e.id == b.raw() && visible(e.commit, self.ts) {
-                found = true;
-                break;
-            }
-        }
-        self.note_walk(examined, found as usize);
-        found
+        self.view(&g).are_friends(a, b)
     }
 
     /// Storage statistics for the Table 8 experiment.
     pub fn storage_stats(&self) -> crate::stats::StorageStats {
         crate::stats::from_raw(self.read().sizes())
+    }
+}
+
+impl PinnedSnapshot<'_> {
+    fn view(&self) -> ReadView<'_> {
+        ReadView { inner: &self.guard, ts: self.ts, counters: self.counters }
+    }
+
+    /// The snapshot's commit timestamp.
+    pub fn ts(&self) -> CommitTs {
+        self.ts
+    }
+
+    /// Person by id, if visible — borrowed from the pinned guard.
+    pub fn person_ref(&self, id: PersonId) -> Option<&Person> {
+        self.view().person_ref(id)
+    }
+
+    /// Forum by id, if visible — borrowed from the pinned guard.
+    pub fn forum_ref(&self, id: ForumId) -> Option<&Forum> {
+        self.view().forum_ref(id)
+    }
+
+    /// Full message row, if visible — borrowed from the pinned guard.
+    pub fn message_ref(&self, id: MessageId) -> Option<&MessageRow> {
+        self.view().message_ref(id)
+    }
+
+    /// Person by id, if visible (cloned row).
+    pub fn person(&self, id: PersonId) -> Option<Person> {
+        self.person_ref(id).cloned()
+    }
+
+    /// Forum by id, if visible (cloned row).
+    pub fn forum(&self, id: ForumId) -> Option<Forum> {
+        self.forum_ref(id).cloned()
+    }
+
+    /// Full message row (content included), if visible (cloned row).
+    pub fn message(&self, id: MessageId) -> Option<MessageRow> {
+        self.message_ref(id).cloned()
+    }
+
+    /// Fixed-size message header, if visible.
+    pub fn message_meta(&self, id: MessageId) -> Option<MessageMeta> {
+        self.view().message_meta(id)
+    }
+
+    /// Tags of a message, borrowed (empty if the message is not visible).
+    pub fn message_tags(&self, id: MessageId) -> &[TagId] {
+        self.message_ref(id).map(|row| &row.tags[..]).unwrap_or(&[])
+    }
+
+    /// Upper bound of the person id space (for scans; slots may be empty).
+    pub fn person_slots(&self) -> usize {
+        self.guard.persons.len()
+    }
+
+    /// Upper bound of the forum id space.
+    pub fn forum_slots(&self) -> usize {
+        self.guard.forums.len()
+    }
+
+    /// Upper bound of the message id space.
+    pub fn message_slots(&self) -> usize {
+        self.guard.messages.len()
+    }
+
+    /// Friends of `id`, ascending by date — zero-allocation iterator.
+    pub fn friends_iter(&self, id: PersonId) -> DatedIter<'_> {
+        self.view().iter(self.guard.knows.get(id.index()))
+    }
+
+    /// Messages authored by `id`, ascending by date — zero-allocation.
+    pub fn messages_of_iter(&self, id: PersonId) -> DatedIter<'_> {
+        self.view().iter(self.guard.person_messages.get(id.index()))
+    }
+
+    /// Posts in forum `id`, ascending by date — zero-allocation.
+    pub fn posts_in_forum_iter(&self, id: ForumId) -> DatedIter<'_> {
+        self.view().iter(self.guard.forum_posts.get(id.index()))
+    }
+
+    /// Members of forum `id` with join dates — zero-allocation.
+    pub fn members_of_iter(&self, id: ForumId) -> DatedIter<'_> {
+        self.view().iter(self.guard.forum_members.get(id.index()))
+    }
+
+    /// Forums `id` has joined, with join dates — zero-allocation.
+    pub fn forums_of_iter(&self, id: PersonId) -> DatedIter<'_> {
+        self.view().iter(self.guard.person_forums.get(id.index()))
+    }
+
+    /// Direct replies to message `id`, ascending by date — zero-allocation.
+    pub fn replies_of_iter(&self, id: MessageId) -> DatedIter<'_> {
+        self.view().iter(self.guard.message_replies.get(id.index()))
+    }
+
+    /// Likes on message `id` as `(person, like date)` — zero-allocation.
+    pub fn likes_of_iter(&self, id: MessageId) -> DatedIter<'_> {
+        self.view().iter(self.guard.message_likes.get(id.index()))
+    }
+
+    /// Likes given by person `id` as `(message, like date)` —
+    /// zero-allocation.
+    pub fn likes_by_iter(&self, id: PersonId) -> DatedIter<'_> {
+        self.view().iter(self.guard.person_likes.get(id.index()))
+    }
+
+    /// The messages of `id` created at or before `max_date`, newest first —
+    /// the borrowing form of [`PinnedSnapshot::recent_messages_of`]; bound
+    /// it with `.take(k)` or a threshold-based early break.
+    pub fn recent_messages_walk(&self, id: PersonId, max_date: SimTime) -> RecentWalk<'_> {
+        self.view().recent_walk(self.guard.person_messages.get(id.index()), max_date)
+    }
+
+    /// Friends of `id` with friendship dates, ascending by date.
+    pub fn friends(&self, id: PersonId) -> Vec<Dated> {
+        self.view().collect(self.guard.knows.get(id.index()))
+    }
+
+    /// Messages authored by `id`, ascending by creation date.
+    pub fn messages_of(&self, id: PersonId) -> Vec<Dated> {
+        self.view().collect(self.guard.person_messages.get(id.index()))
+    }
+
+    /// The up-to-`k` most recent messages of `id` created at or before
+    /// `max_date`, newest first.
+    pub fn recent_messages_of(&self, id: PersonId, max_date: SimTime, k: usize) -> Vec<Dated> {
+        self.view().recent_messages_of(id, max_date, k)
+    }
+
+    /// Posts in forum `id`, ascending by creation date.
+    pub fn posts_in_forum(&self, id: ForumId) -> Vec<Dated> {
+        self.view().collect(self.guard.forum_posts.get(id.index()))
+    }
+
+    /// Members of forum `id` with join dates.
+    pub fn members_of(&self, id: ForumId) -> Vec<Dated> {
+        self.view().collect(self.guard.forum_members.get(id.index()))
+    }
+
+    /// Forums `id` has joined, with join dates.
+    pub fn forums_of(&self, id: PersonId) -> Vec<Dated> {
+        self.view().collect(self.guard.person_forums.get(id.index()))
+    }
+
+    /// Forums `id` joined strictly after `min_date` (date-index range scan).
+    pub fn forums_of_after(&self, id: PersonId, min_date: SimTime) -> Vec<Dated> {
+        self.view().forums_of_after(id, min_date)
+    }
+
+    /// Direct replies to message `id`, ascending by date.
+    pub fn replies_of(&self, id: MessageId) -> Vec<Dated> {
+        self.view().collect(self.guard.message_replies.get(id.index()))
+    }
+
+    /// Likes on message `id` as `(person, like date)`.
+    pub fn likes_of(&self, id: MessageId) -> Vec<Dated> {
+        self.view().collect(self.guard.message_likes.get(id.index()))
+    }
+
+    /// Likes given by person `id` as `(message, like date)`.
+    pub fn likes_by(&self, id: PersonId) -> Vec<Dated> {
+        self.view().collect(self.guard.person_likes.get(id.index()))
+    }
+
+    /// Whether persons `a` and `b` are friends in this snapshot.
+    pub fn are_friends(&self, a: PersonId, b: PersonId) -> bool {
+        self.view().are_friends(a, b)
+    }
+
+    /// Storage statistics for the Table 8 experiment.
+    pub fn storage_stats(&self) -> crate::stats::StorageStats {
+        crate::stats::from_raw(self.guard.sizes())
     }
 }
 
@@ -836,7 +1336,7 @@ impl Inner {
         let inner = self;
         let entry_bytes = std::mem::size_of::<Entry>();
         let list_bytes =
-            |lists: &Vec<Vec<Entry>>| lists.iter().map(|l| l.len() * entry_bytes).sum::<usize>();
+            |lists: &Vec<IndexList>| lists.iter().map(|l| l.len() * entry_bytes).sum::<usize>();
         let msg_content: usize = inner
             .messages
             .iter()
@@ -1120,6 +1620,80 @@ mod tests {
             assert_eq!(ss.posts_in_forum(f), sp.posts_in_forum(f), "posts in {f}");
             assert_eq!(ss.members_of(f), sp.members_of(f), "members of {f}");
         }
+    }
+
+    #[test]
+    fn bulk_prefix_tracks_inserts() {
+        let mut list = IndexList::from_bulk(vec![
+            Entry { date: SimTime(10), id: 0, commit: BULK_TS },
+            Entry { date: SimTime(30), id: 1, commit: BULK_TS },
+        ]);
+        assert_eq!(list.bulk, 2);
+        // A bulk entry inside the prefix extends it (serial bulk load).
+        list.insert(Entry { date: SimTime(20), id: 2, commit: BULK_TS });
+        assert_eq!(list.bulk, 3);
+        // A versioned entry appended after the prefix leaves it intact.
+        list.insert(Entry { date: SimTime(40), id: 3, commit: 5 });
+        assert_eq!(list.bulk, 3);
+        // A versioned entry landing inside the prefix splits it there.
+        list.insert(Entry { date: SimTime(15), id: 4, commit: 6 });
+        assert_eq!(list.bulk, 1);
+        // Entries stay `(date, id)` sorted and the prefix stays all-bulk.
+        assert!(list.entries.windows(2).all(|w| (w[0].date, w[0].id) < (w[1].date, w[1].id)));
+        assert!(list.entries[..list.bulk].iter().all(|e| e.commit == BULK_TS));
+    }
+
+    #[test]
+    fn pinned_snapshot_matches_unpinned_reads() {
+        let ds =
+            snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(120).activity(0.4))
+                .unwrap();
+        let s = Store::new();
+        s.bulk_load(&ds);
+        // Mix in post-bulk commits so both lanes are exercised.
+        for u in ds.update_stream().iter().take(200) {
+            s.apply(&u.op).unwrap();
+        }
+        let snap = s.snapshot();
+        let pinned = s.pinned();
+        assert_eq!(snap.ts(), pinned.ts());
+        for i in 0..snap.person_slots() as u64 {
+            let p = PersonId(i);
+            assert_eq!(snap.friends(p), pinned.friends(p));
+            assert_eq!(snap.friends(p), pinned.friends_iter(p).collect::<Vec<_>>());
+            assert_eq!(snap.messages_of(p), pinned.messages_of_iter(p).collect::<Vec<_>>());
+            let recent = snap.recent_messages_of(p, SimTime(i64::MAX), 5);
+            assert_eq!(
+                recent,
+                pinned.recent_messages_walk(p, SimTime(i64::MAX)).take(5).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                format!("{:?}", snap.person(p)),
+                format!("{:?}", pinned.person_ref(p).cloned())
+            );
+        }
+        assert!(s.counters().read_guard_pins.get() >= 1);
+        assert!(s.counters().read_fastpath_entries.get() > 0, "bulk prefix must be exercised");
+    }
+
+    #[test]
+    fn fastpath_entries_skip_version_accounting() {
+        let ds =
+            snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(80).activity(0.3))
+                .unwrap();
+        let s = Store::new();
+        s.load_full(&ds);
+        let pinned = s.pinned();
+        let walked_before = s.counters().versions_walked.get();
+        let fast_before = s.counters().read_fastpath_entries.get();
+        let mut total = 0usize;
+        for i in 0..pinned.person_slots() as u64 {
+            total += pinned.friends_iter(PersonId(i)).count();
+        }
+        assert!(total > 0);
+        // A purely bulk-loaded store serves everything from the fast lane.
+        assert_eq!(s.counters().versions_walked.get(), walked_before);
+        assert_eq!(s.counters().read_fastpath_entries.get(), fast_before + total as u64);
     }
 
     #[test]

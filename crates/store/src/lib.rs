@@ -17,6 +17,9 @@ pub mod stats;
 pub mod wal;
 
 pub use counters::StoreCounters;
-pub use graph::{MessageRow, RecoveryReport, Snapshot, Store};
+pub use graph::{
+    Dated, DatedIter, MessageMeta, MessageRow, PinnedSnapshot, RecentWalk, RecoveryReport,
+    Snapshot, Store,
+};
 pub use stats::StorageStats;
 pub use wal::{decode_update, encode_update, Replay, SyncPolicy, Wal, WalMetrics};

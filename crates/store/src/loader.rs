@@ -23,7 +23,7 @@
 //! load regardless of thread count (asserted by `tests/recovery.rs` and
 //! the workspace end-to-end suite).
 
-use crate::graph::{comment_row, post_row, Entry, Inner, MessageRow, Versioned};
+use crate::graph::{comment_row, post_row, Entry, IndexList, Inner, MessageRow, Versioned};
 use crate::mvcc::BULK_TS;
 use snb_core::schema::{Forum, Person};
 use snb_core::time::SimTime;
@@ -282,20 +282,22 @@ pub(crate) fn build(ds: &Dataset, cut: SimTime, threads: usize) -> Inner {
         handles.into_iter().map(|h| h.join().expect("bulk-load worker panicked")).collect()
     });
     // Per-space ranges are contiguous and in worker order: concatenation
-    // reassembles each full vector.
+    // reassembles each full vector. Every loader entry carries `BULK_TS`,
+    // so each list's bulk-prefix fast lane covers it entirely.
+    let as_bulk = |lists: Vec<Vec<Entry>>| lists.into_iter().map(IndexList::from_bulk);
     let mut inner = Inner::default();
     for sh in shards {
         inner.persons.extend(sh.persons);
         inner.forums.extend(sh.forums);
         inner.messages.extend(sh.messages);
-        inner.knows.extend(sh.knows);
-        inner.person_messages.extend(sh.person_messages);
-        inner.forum_posts.extend(sh.forum_posts);
-        inner.forum_members.extend(sh.forum_members);
-        inner.person_forums.extend(sh.person_forums);
-        inner.message_replies.extend(sh.message_replies);
-        inner.message_likes.extend(sh.message_likes);
-        inner.person_likes.extend(sh.person_likes);
+        inner.knows.extend(as_bulk(sh.knows));
+        inner.person_messages.extend(as_bulk(sh.person_messages));
+        inner.forum_posts.extend(as_bulk(sh.forum_posts));
+        inner.forum_members.extend(as_bulk(sh.forum_members));
+        inner.person_forums.extend(as_bulk(sh.person_forums));
+        inner.message_replies.extend(as_bulk(sh.message_replies));
+        inner.message_likes.extend(as_bulk(sh.message_likes));
+        inner.person_likes.extend(as_bulk(sh.person_likes));
     }
     inner
 }

@@ -18,7 +18,7 @@ fn main() {
     let ds = generate(GeneratorConfig::with_persons(1_200).threads(4).seed(23)).unwrap();
     let store = Store::new();
     store.load_full(&ds);
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let dicts = Dictionaries::global();
 
     // Sample pairs at increasing "social distance": same city, same

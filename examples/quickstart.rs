@@ -38,7 +38,7 @@ fn main() {
 
     // 4. Query: who is the best-connected person, and what's new in their
     //    feed?
-    let snap = store.snapshot();
+    let snap = store.pinned();
     let busiest = (0..stats.persons).map(PersonId).max_by_key(|&p| snap.friends(p).len()).unwrap();
     let profile = short::s1_profile(&snap, busiest).unwrap();
     println!(

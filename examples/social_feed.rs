@@ -17,7 +17,7 @@ fn main() {
     let ds = generate(GeneratorConfig::with_persons(800).threads(4).seed(11)).unwrap();
     let store = Store::new();
     store.load_full(&ds);
-    let snap = store.snapshot();
+    let snap = store.pinned();
 
     // The "logged-in user": someone with a decent circle.
     let me =

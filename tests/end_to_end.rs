@@ -49,7 +49,7 @@ fn all_queries_agree_across_engines_after_replay() {
         store.apply(&u.op).unwrap();
     }
     let bindings = ldbc_snb::params::curated_bindings(ds, 3);
-    let snap = store.snapshot();
+    let snap = store.pinned();
     for q in 1..=14 {
         for binding in bindings.all(q) {
             let a = complex::run_complex(&snap, Engine::Intended, binding);
@@ -112,8 +112,8 @@ fn parallel_bulk_load_answers_queries_identically_to_serial() {
     let parallel = Store::new();
     parallel.bulk_load_until_threads(ds, ds.config.end, 4);
 
-    let ss = serial.snapshot();
-    let sp = parallel.snapshot();
+    let ss = serial.pinned();
+    let sp = parallel.pinned();
     assert_eq!(ss.person_slots(), sp.person_slots());
     assert_eq!(ss.forum_slots(), sp.forum_slots());
     assert_eq!(ss.message_slots(), sp.message_slots());
