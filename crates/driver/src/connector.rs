@@ -74,6 +74,14 @@ pub trait Connector: Send + Sync {
 }
 
 /// Connector running against the in-workspace store.
+///
+/// Partition threads call [`Connector::execute`] concurrently on one
+/// shared instance. Since the store's latch-free read / striped-write
+/// path (DESIGN.md "Concurrency model"), those calls genuinely run in
+/// parallel: updates touching different entity stripes commit
+/// concurrently and queries never block behind a writer, so partition
+/// count translates to real SUT-side parallelism instead of queueing on
+/// a global store latch.
 pub struct StoreConnector {
     store: Arc<Store>,
     engine: Engine,

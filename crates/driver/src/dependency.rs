@@ -36,19 +36,58 @@ pub const STREAM_END: SimTime = SimTime(i64::MAX / 2);
 /// load on the completion hot path), and waiters recheck their predicate
 /// under the lock plus wake on a short timeout, so a lost wakeup can only
 /// delay, never deadlock.
+///
+/// With the store's global write latch replaced by striped per-shard locks
+/// (PR 5), completions arrive from many writer threads at once and every
+/// one of them rings this signal. A `notify_all` per completion then turns
+/// into a wake-up storm: all `P` parked partitions wake, contend on the
+/// signal lock, recheck, and most re-park — `O(P)` futile wakes per
+/// completion, quadratic scheduler churn overall. [`WakeSignal::notify`]
+/// therefore wakes at most [`MAX_WAKE_BATCH`] waiters; since GCT is a
+/// single monotone frontier, waiters become ready in due-time order and a
+/// small batch almost always contains the one that can make progress. Any
+/// waiter left out is covered twice over: the woken waiters' own state
+/// changes re-notify, and `wait_until`'s timeout cap bounds the stall even
+/// if no further notification arrives. Teardown paths use
+/// [`WakeSignal::notify_all`], which really does wake everyone — an
+/// aborting run wants every partition to observe the abort flag now, not
+/// after a timeout ladder.
 #[derive(Debug, Default)]
 pub struct WakeSignal {
     waiters: AtomicUsize,
     /// Condvar waits performed (observability: proves waiters park rather
     /// than spin).
     parks: AtomicU64,
+    /// Wake-ups suppressed by the batch cap (observability: how much
+    /// thundering herd the cap absorbed).
+    capped_wakes: AtomicU64,
     lock: std::sync::Mutex<()>,
     cond: std::sync::Condvar,
 }
 
+/// Most waiters woken by a single [`WakeSignal::notify`] call.
+pub const MAX_WAKE_BATCH: usize = 4;
+
 impl WakeSignal {
-    /// Wake all parked waiters. Cheap (one atomic load) when nobody waits.
+    /// Wake up to [`MAX_WAKE_BATCH`] parked waiters. Cheap (one atomic
+    /// load) when nobody waits.
     pub fn notify(&self) {
+        let waiting = self.waiters.load(Ordering::SeqCst);
+        if waiting == 0 {
+            return;
+        }
+        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        if waiting > MAX_WAKE_BATCH {
+            self.capped_wakes.fetch_add((waiting - MAX_WAKE_BATCH) as u64, Ordering::Relaxed);
+        }
+        for _ in 0..waiting.min(MAX_WAKE_BATCH) {
+            self.cond.notify_one();
+        }
+    }
+
+    /// Wake **every** parked waiter, bypassing the batch cap. For teardown
+    /// (abort, shutdown) where all waiters must re-check a flag promptly.
+    pub fn notify_all(&self) {
         if self.waiters.load(Ordering::SeqCst) == 0 {
             return;
         }
@@ -71,6 +110,11 @@ impl WakeSignal {
     /// Number of times a waiter actually parked on the condvar.
     pub fn parks(&self) -> u64 {
         self.parks.load(Ordering::Relaxed)
+    }
+
+    /// Number of wake-ups the batch cap suppressed.
+    pub fn capped_wakes(&self) -> u64 {
+        self.capped_wakes.load(Ordering::Relaxed)
     }
 }
 

@@ -180,10 +180,11 @@ pub fn run(
                 if let Err(e) = worker.run(queue, partition_stats) {
                     abort.store(true, Ordering::Release);
                     first_error.lock().get_or_insert(e);
-                    // Waiters park on the GCT signal; wake them so they
-                    // observe the abort flag instead of sleeping out their
+                    // Waiters park on the GCT signal; wake ALL of them
+                    // (bypassing the wake-batch cap) so every partition
+                    // observes the abort flag instead of sleeping out its
                     // timeout.
-                    gds.signal().notify();
+                    gds.signal().notify_all();
                 }
             });
         }

@@ -135,3 +135,64 @@ fn achieved_acceleration_is_precise_for_short_runs() {
         report.wall
     );
 }
+
+/// PR 5 satellite: with the store's global write latch replaced by striped
+/// shard locks, completions ring the GCT signal from many threads at once,
+/// and the old `notify_all`-per-completion stormed every parked partition
+/// (`O(partitions)` futile wakes per completion). `WakeSignal::notify` now
+/// wakes at most `MAX_WAKE_BATCH` waiters per call, while `notify_all`
+/// (used by the abort path) still releases everyone at once.
+#[test]
+fn gct_wake_batches_are_capped() {
+    use snb_driver::dependency::{WakeSignal, MAX_WAKE_BATCH};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    const WAITERS: usize = 8;
+    let signal = Arc::new(WakeSignal::default());
+    let released = Arc::new(AtomicBool::new(false));
+    let woken = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..WAITERS {
+            let signal = Arc::clone(&signal);
+            let released = Arc::clone(&released);
+            let woken = Arc::clone(&woken);
+            scope.spawn(move || {
+                // Cap far beyond the test budget: only a notification can
+                // end this wait early.
+                signal.wait_until(|| released.load(Ordering::SeqCst), Duration::from_secs(30));
+                woken.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // All eight must actually park before we ring the bell.
+        while signal.parks() < WAITERS as u64 {
+            assert!(start.elapsed() < Duration::from_secs(5), "waiters never parked");
+            std::thread::yield_now();
+        }
+
+        // One capped notify: at most MAX_WAKE_BATCH waiters come back.
+        signal.notify();
+        std::thread::sleep(Duration::from_millis(100));
+        let after_one = woken.load(Ordering::SeqCst);
+        assert!(after_one >= 1, "a capped notify must wake someone");
+        assert!(
+            after_one <= MAX_WAKE_BATCH,
+            "notify woke {after_one} waiters, cap is {MAX_WAKE_BATCH}"
+        );
+        assert!(
+            signal.capped_wakes() >= (WAITERS - MAX_WAKE_BATCH) as u64,
+            "suppressed wake-ups must be counted"
+        );
+
+        // The abort path releases everyone immediately, cap bypassed.
+        released.store(true, Ordering::SeqCst);
+        signal.notify_all();
+    });
+    assert_eq!(woken.load(Ordering::SeqCst), WAITERS);
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "notify_all must release the remaining waiters without waiting out the cap"
+    );
+}

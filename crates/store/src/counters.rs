@@ -29,9 +29,15 @@ pub struct StoreCounters {
     /// Index entries served from the bulk-prefix fast lane — no `visible()`
     /// check needed (`store.read.fastpath_entries`).
     pub read_fastpath_entries: Counter,
-    /// Pinned snapshots opened: read guards held for the snapshot's whole
-    /// lifetime instead of per accessor call (`store.read.guard_pins`).
-    pub read_guard_pins: Counter,
+    /// Latch-free read snapshots opened (`store.read.latchfree_reads`):
+    /// pinned snapshots that never touch a lock — readers see the store
+    /// through release/acquire tail publication alone. Replaces the
+    /// pre-latch-free `store.read.guard_pins`.
+    pub read_latchfree: Counter,
+    /// Writer stripe-lock acquisitions that found the stripe contended and
+    /// had to block (`store.write.shard_conflicts`) — the residual
+    /// serialization between shard-colliding transactions.
+    pub write_shard_conflicts: Counter,
     /// WAL records appended (`store.wal.appends`).
     pub wal_appends: Counter,
     /// WAL bytes written including record headers (`store.wal.bytes`).
@@ -67,7 +73,8 @@ impl StoreCounters {
             commits: registry.counter("store.txn.commits"),
             conflicts: registry.counter("store.txn.conflicts"),
             read_fastpath_entries: registry.counter("store.read.fastpath_entries"),
-            read_guard_pins: registry.counter("store.read.guard_pins"),
+            read_latchfree: registry.counter("store.read.latchfree_reads"),
+            write_shard_conflicts: registry.counter("store.write.shard_conflicts"),
             wal_appends: registry.counter("store.wal.appends"),
             wal_bytes: registry.counter("store.wal.bytes"),
             wal_fsyncs: registry.counter("store.wal.fsyncs"),
@@ -111,10 +118,11 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
-        assert_eq!(names.len(), 13);
+        assert_eq!(names.len(), 14);
         assert!(snap.contains(&("store.mvcc.snapshots", 1)));
         assert!(names.contains(&"store.read.fastpath_entries"));
-        assert!(names.contains(&"store.read.guard_pins"));
+        assert!(names.contains(&"store.read.latchfree_reads"));
+        assert!(names.contains(&"store.write.shard_conflicts"));
         assert!(snap.contains(&("store.wal.bytes", 100)));
     }
 }

@@ -16,17 +16,43 @@
 //! pattern — the backbone of half the complex reads — a reverse scan with
 //! early termination, which is exactly the locality §3 says systems should
 //! exploit when ids correlate with time.
+//!
+//! # Concurrency model
+//!
+//! Reads are **latch-free** and writes are **shard-parallel** (see
+//! DESIGN.md, "Concurrency model" for the full memory-ordering argument):
+//!
+//! - Every table is a [`SegVec`] — a fixed spine of geometrically growing
+//!   segments. Segments are never reallocated or moved, so readers hold
+//!   plain references while writers install new slots; a published length
+//!   (`high`) is advanced with release stores and read with acquire loads.
+//! - Every [`IndexList`] is an immutable sorted bulk prefix plus an
+//!   append-only *published tail*: a writer (serialized per list by its
+//!   stripe lock) initializes the next slot, then release-stores the new
+//!   visible length; readers acquire-load the length and never see a
+//!   partially written entry.
+//! - Writers lock only the [`STRIPES`]-way striped locks covering the ids
+//!   their operation touches, so shard-disjoint updates (different persons'
+//!   activity — the common case) run in parallel.
+//!   [`crate::mvcc::CommitClock::publish`] remains the single global
+//!   serialization point and enforces timestamp-order publication.
+//! - MVCC visibility is untouched: a published entry whose commit
+//!   timestamp is above the snapshot timestamp is simply invisible, so
+//!   [`Snapshot`]/[`PinnedSnapshot`] semantics are byte-identical to the
+//!   old latched store.
 
 use crate::counters::StoreCounters;
 use crate::mvcc::{visible, CommitClock, CommitTs, BULK_TS};
 use crate::wal::{SyncPolicy, Wal};
-use parking_lot::{RwLock, RwLockReadGuard};
+use parking_lot::{Mutex, MutexGuard};
 use snb_core::schema::{Comment, Forum, ForumMembership, Knows, Like, Person, Post};
 use snb_core::time::SimTime;
 use snb_core::update::UpdateOp;
 use snb_core::{ForumId, MessageId, PersonId, SnbError, SnbResult, TagId};
 use snb_obs::{tick_index_probes, tick_versions_walked};
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// A stored message: posts and comments share one table and id space.
 #[derive(Debug, Clone)]
@@ -74,22 +100,305 @@ pub(crate) struct Entry {
     pub(crate) commit: CommitTs,
 }
 
-/// A date-ordered index list with an immutable-bulk fast lane.
+#[inline]
+fn key(e: &Entry) -> (SimTime, u64) {
+    (e.date, e.id)
+}
+
+/// A concurrent segmented vector: a fixed spine of [`OnceLock`] segments
+/// whose sizes grow geometrically (segment `k` holds `1 << (B + k)`
+/// elements), plus a published element-count `high`.
 ///
-/// `entries` is sorted by `(date, id)`. The first `bulk` entries all carry
-/// [`BULK_TS`] — they were bulk-loaded, are immutable, and are visible to
-/// *every* snapshot (`visible(BULK_TS, ts)` is true for any `ts`), so scans
-/// over the prefix skip the `visible()` check entirely. The invariant is
-/// maintained on insert: a bulk entry landing inside (or right after) the
-/// prefix extends it; a post-load commit landing inside the prefix splits
-/// it at the insertion point. Under the SNB workload updates carry
-/// post-split dates, so in practice the prefix covers the 32 bulk-loaded
-/// months and never shrinks.
-#[derive(Debug, Default, Clone)]
+/// The two properties the latch-free read path needs:
+///
+/// - **Stable addresses.** Segments are boxed slices allocated once and
+///   never moved, so a reader's `&T` stays valid while writers install
+///   other slots — there is no `Vec`-style reallocation to invalidate it.
+/// - **Atomic publication.** Each slot is a [`OnceLock`]: `set` fully
+///   initializes the value before flipping the slot's state, and `get`
+///   acquires that state, so a reader observes either nothing or the whole
+///   value. `high` gates `get` so slots above the published bound stay
+///   invisible even if already installed.
+///
+/// All of this is safe Rust: the unsafe publication machinery lives inside
+/// `std::sync::OnceLock`.
+#[derive(Debug)]
+pub(crate) struct SegVec<T, const B: u32, const N: usize> {
+    segs: [OnceLock<Box<[OnceLock<T>]>>; N],
+    high: AtomicUsize,
+}
+
+impl<T, const B: u32, const N: usize> Default for SegVec<T, B, N> {
+    fn default() -> Self {
+        SegVec::new()
+    }
+}
+
+impl<T, const B: u32, const N: usize> SegVec<T, B, N> {
+    pub(crate) fn new() -> SegVec<T, B, N> {
+        SegVec { segs: std::array::from_fn(|_| OnceLock::new()), high: AtomicUsize::new(0) }
+    }
+
+    /// Segment index and offset of element `i`: segment `k` covers the
+    /// index range `[((1<<k)-1) << B, ((1<<(k+1))-1) << B)`.
+    #[inline]
+    fn locate(i: usize) -> (usize, usize) {
+        let n = (i >> B) + 1;
+        let k = (usize::BITS - 1 - n.leading_zeros()) as usize;
+        let base = ((1usize << k) - 1) << B;
+        (k, i - base)
+    }
+
+    #[inline]
+    fn seg_len(k: usize) -> usize {
+        1usize << (B as usize + k)
+    }
+
+    /// The slot for element `i`, allocating its segment on first touch.
+    /// Writer-side only; readers go through [`SegVec::get`].
+    fn slot(&self, i: usize) -> &OnceLock<T> {
+        let (k, off) = Self::locate(i);
+        let seg = self.segs[k].get_or_init(|| {
+            (0..Self::seg_len(k)).map(|_| OnceLock::new()).collect::<Vec<_>>().into_boxed_slice()
+        });
+        &seg[off]
+    }
+
+    /// Element `i` if it is below the published bound and installed.
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> Option<&T> {
+        if i >= self.high.load(Ordering::Acquire) {
+            return None;
+        }
+        let (k, off) = Self::locate(i);
+        self.segs[k].get()?.get(off)?.get()
+    }
+
+    /// Raise the published bound to at least `n` (slots below it read as
+    /// absent until installed, exactly like the old `ensure`d `None`s).
+    #[inline]
+    pub(crate) fn bump(&self, n: usize) {
+        self.high.fetch_max(n, Ordering::AcqRel);
+    }
+
+    /// Published bound of the id space (the `*_slots()` scan limit).
+    #[inline]
+    pub(crate) fn high(&self) -> usize {
+        self.high.load(Ordering::Acquire)
+    }
+
+    /// Install element `i` without raising the bound — the bulk loader's
+    /// primitive: workers install in parallel, then the caller publishes
+    /// every table's bound once at the end.
+    pub(crate) fn set_slot(&self, i: usize, v: T) {
+        let stored = self.slot(i).set(v).is_ok();
+        debug_assert!(stored, "SegVec slot {i} installed twice");
+    }
+
+    /// Install element `i` and publish it (bound raised first so a reader
+    /// that sees the slot also sees it in-bounds).
+    pub(crate) fn install(&self, i: usize, v: T) {
+        self.bump(i + 1);
+        self.set_slot(i, v);
+    }
+
+    /// Element `i` without the `high` gate, for readers whose visibility
+    /// proof is external (e.g. a ladder run published strictly before an
+    /// acquire-loaded tail length). Skips one atomic load per lookup.
+    #[inline]
+    fn get_published(&self, i: usize) -> Option<&T> {
+        let (k, off) = Self::locate(i);
+        self.segs[k].get()?.get(off)?.get()
+    }
+}
+
+/// Entity tables: segment 0 holds 1024 rows, 22 segments bound the id
+/// space at ~4.3e9 — far beyond any scale factor we generate.
+pub(crate) type EntityTable<T> = SegVec<Versioned<T>, 10, 22>;
+/// Index-list tables, same geometry as [`EntityTable`].
+pub(crate) type IndexTable = SegVec<IndexList, 10, 22>;
+/// Published tails: start at 8 entries (most lists see few post-bulk
+/// inserts), 24 segments bound a single list at ~134M tail entries.
+pub(crate) type TailSlots = SegVec<Entry, 3, 24>;
+
+impl TailSlots {
+    /// The published length: every index below it is fully initialized.
+    #[inline]
+    fn published_len(&self) -> usize {
+        self.high.load(Ordering::Acquire)
+    }
+
+    /// Entry `i`, which must be below a previously acquire-loaded
+    /// published length (or, writer-side, a slot installed under the held
+    /// stripe lock).
+    #[inline]
+    fn published(&self, i: usize) -> Entry {
+        *self.published_ref(i)
+    }
+
+    #[inline]
+    fn published_ref(&self, i: usize) -> &Entry {
+        let (k, off) = Self::locate(i);
+        self.segs[k].get().expect("published tail segment missing")[off]
+            .get()
+            .expect("published tail slot uninitialized")
+    }
+}
+
+/// Merge-ladder height: level `k` holds `(date, id)`-sorted runs of
+/// `1 << k` entries (level 0 is the raw slot array itself), so levels up
+/// to 26 cover the ~2^27-entry tail capacity of [`TailSlots`].
+const LADDER_LEVELS: usize = 27;
+/// Most runs one decomposition can produce: one per level (the binary
+/// representation of the published length has at most one bit per level).
+const MAX_RUNS: usize = LADDER_LEVELS;
+
+/// One ladder level: run `j` of level `k` is the sorted copy of raw tail
+/// entries `[j << k, (j + 1) << k)`. Runs complete in ascending `j` order
+/// (run `j` is built when entry `((j + 1) << k) - 1` lands), so a
+/// [`SegVec`] publishes them naturally.
+type RunLevel = SegVec<Box<[Entry]>, 2, 26>;
+
+/// The published tail of an [`IndexList`]: an append-only raw slot array
+/// plus a *merge ladder* of immutable sorted runs (Bentley–Saxe binary
+/// decomposition).
+///
+/// Writers only ever append: [`IndexTail::push`] installs the raw slot,
+/// builds every power-of-two-aligned run the append completes (merging
+/// the two half-size runs below it), and only then release-stores the new
+/// length. A reader that acquire-loads length `p` therefore finds the
+/// full run decomposition of `p` already published, and — because runs
+/// are never mutated or freed — a reader holding an *older* length keeps
+/// using the older decomposition untouched. This is what lets the
+/// borrowing iterators stay **lazy**: instead of eagerly copying and
+/// sorting the visible tail per read, they k-way-merge at most one
+/// immutable run per level (≤ [`MAX_RUNS`] cursors) and pay only for the
+/// entries actually consumed, with zero per-read allocation — the same
+/// cost class as the old sorted-in-place list, without its write latch.
+///
+/// The price is write-side: the ladder costs `O(log n)` amortized copy
+/// work per append (one `O(n)` carry when the length crosses a power of
+/// two) and `O(n log n)` total memory per list, both bounded by the tail
+/// length, not the bulk prefix.
+#[derive(Debug)]
+pub(crate) struct IndexTail {
+    slots: TailSlots,
+    /// Level `k` lives at `levels[k - 1]`; lazily allocated (short tails
+    /// never touch the higher levels).
+    levels: [OnceLock<Box<RunLevel>>; LADDER_LEVELS - 1],
+}
+
+impl IndexTail {
+    fn new() -> IndexTail {
+        IndexTail { slots: TailSlots::new(), levels: std::array::from_fn(|_| OnceLock::new()) }
+    }
+
+    /// The published tail length (readers decompose exactly this prefix).
+    #[inline]
+    fn published_len(&self) -> usize {
+        self.slots.published_len()
+    }
+
+    /// Raw entry `i` in append order (below a published length).
+    #[inline]
+    fn published(&self, i: usize) -> Entry {
+        self.slots.published(i)
+    }
+
+    fn level(&self, k: usize) -> &RunLevel {
+        self.levels[k - 1].get_or_init(|| Box::new(RunLevel::new()))
+    }
+
+    /// Append `e`, build every ladder run this append completes, then
+    /// publish the new length. Callers must hold the owning list's stripe
+    /// lock: the lock serializes pushers, so the relaxed length read sees
+    /// the previous push (the lock's release/acquire pairs order them),
+    /// and the release store hands every initialized slot *and run* to
+    /// readers that acquire-load the length.
+    fn push(&self, e: Entry) {
+        let n = self.slots.high.load(Ordering::Relaxed);
+        let stored = self.slots.slot(n).set(e).is_ok();
+        debug_assert!(stored, "tail slot {n} double-published");
+        let len = n + 1;
+        let mut k = 1usize;
+        while k < LADDER_LEVELS && len & ((1usize << k) - 1) == 0 {
+            let j = (len >> k) - 1;
+            let run: Box<[Entry]> = if k == 1 {
+                let (a, b) = (self.slots.published(2 * j), self.slots.published(2 * j + 1));
+                let pair = if key(&a) <= key(&b) { [a, b] } else { [b, a] };
+                Box::new(pair)
+            } else {
+                let lower = self.level(k - 1);
+                let a = lower.get(2 * j).expect("ladder child run missing");
+                let b = lower.get(2 * j + 1).expect("ladder child run missing");
+                merge_runs(a, b)
+            };
+            self.level(k).install(j, run);
+            k += 1;
+        }
+        self.slots.high.store(len, Ordering::Release);
+    }
+
+    /// The sorted-run decomposition of the published prefix `p`: at most
+    /// one run per level, descending sizes, together covering raw entries
+    /// `[0, p)` exactly. Every returned run was fully built before `p`
+    /// was published.
+    #[inline]
+    fn decompose<'t>(&'t self, p: usize, out: &mut [&'t [Entry]; MAX_RUNS]) -> usize {
+        let mut n = 0usize;
+        let mut offset = 0usize;
+        let mut rem = p;
+        while rem != 0 {
+            let k = (usize::BITS - 1 - rem.leading_zeros()) as usize;
+            out[n] = if k == 0 {
+                std::slice::from_ref(self.slots.published_ref(offset))
+            } else {
+                let level = self.levels[k - 1].get().expect("published ladder level missing");
+                level.get_published(offset >> k).expect("published ladder run missing")
+            };
+            n += 1;
+            offset += 1usize << k;
+            rem &= !(1usize << k);
+        }
+        n
+    }
+}
+
+/// Merge two `(date, id)`-sorted runs into a new boxed run.
+fn merge_runs(a: &[Entry], b: &[Entry]) -> Box<[Entry]> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if key(&a[i]) <= key(&b[j]) {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out.into_boxed_slice()
+}
+
+/// A date-ordered index list: an immutable `(date, id)`-sorted bulk prefix
+/// (all entries stamped [`BULK_TS`], visible to every snapshot, scanned
+/// with no `visible()` checks — the fast lane) plus an append-only
+/// *published tail* of post-bulk entries.
+///
+/// The raw tail is not kept sorted — writers only ever append and publish
+/// the new length with a release store, so readers never race a memmove.
+/// Order is recovered two ways: the borrowing iterators lazily merge the
+/// tail's [`IndexTail`] ladder runs (zero allocation, pay-per-entry), and
+/// the materializing `Vec` APIs eagerly [`IndexList::gather_tail`] the
+/// raw slots and sort the (typically tiny) batch. A list with an empty
+/// tail costs readers nothing beyond one acquire load either way.
+#[derive(Debug, Default)]
 pub(crate) struct IndexList {
-    pub(crate) entries: Vec<Entry>,
-    /// Length of the always-visible bulk prefix.
-    pub(crate) bulk: usize,
+    bulk: Box<[Entry]>,
+    /// Lazily allocated: most lists never see a post-bulk insert.
+    tail: OnceLock<Box<IndexTail>>,
 }
 
 impl IndexList {
@@ -97,54 +406,380 @@ impl IndexList {
     /// sorted, all stamped [`BULK_TS`]).
     pub(crate) fn from_bulk(entries: Vec<Entry>) -> IndexList {
         debug_assert!(entries.iter().all(|e| e.commit == BULK_TS));
-        debug_assert!(entries.windows(2).all(|w| (w[0].date, w[0].id) <= (w[1].date, w[1].id)));
-        let bulk = entries.len();
-        IndexList { entries, bulk }
+        debug_assert!(entries.windows(2).all(|w| key(&w[0]) <= key(&w[1])));
+        IndexList { bulk: entries.into_boxed_slice(), tail: OnceLock::new() }
     }
 
-    /// Insert keeping the list sorted by `(date, id)` and the bulk-prefix
-    /// invariant intact.
-    pub(crate) fn insert(&mut self, e: Entry) {
-        let pos = self.entries.partition_point(|x| (x.date, x.id) < (e.date, e.id));
-        if e.commit == BULK_TS && pos <= self.bulk {
-            self.bulk += 1;
-        } else {
-            self.bulk = self.bulk.min(pos);
-        }
-        self.entries.insert(pos, e);
+    /// The immutable always-visible bulk prefix.
+    #[inline]
+    pub(crate) fn bulk(&self) -> &[Entry] {
+        &self.bulk
     }
 
+    /// Append `e` to the published tail (requires the owning stripe lock;
+    /// see [`IndexTail::push`]).
+    pub(crate) fn push(&self, e: Entry) {
+        self.tail.get_or_init(|| Box::new(IndexTail::new())).push(e);
+    }
+
+    fn tail(&self) -> Option<&IndexTail> {
+        self.tail.get().map(|t| &**t)
+    }
+
+    /// Published tail length.
+    pub(crate) fn tail_len(&self) -> usize {
+        self.tail().map_or(0, |t| t.published_len())
+    }
+
+    /// Total published entries (bulk prefix + tail).
     pub(crate) fn len(&self) -> usize {
-        self.entries.len()
+        self.bulk.len() + self.tail_len()
+    }
+
+    /// Gather the tail entries passing `pred` that are visible at `ts`
+    /// into `out`, sorted by `(date, id)`. Returns `(fast, examined,
+    /// kept)`: tail entries served on the [`BULK_TS`] fast lane, versioned
+    /// entries examined, and of those the visible ones kept. Entries
+    /// rejected by `pred` are uncounted (a date-bounded scan never touched
+    /// them in the sorted representation). Allocates nothing when the tail
+    /// is empty.
+    pub(crate) fn gather_tail<F: Fn(&Entry) -> bool>(
+        &self,
+        ts: CommitTs,
+        pred: F,
+        out: &mut Vec<Entry>,
+    ) -> (usize, usize, usize) {
+        let Some(tail) = self.tail() else {
+            return (0, 0, 0);
+        };
+        let n = tail.published_len();
+        if n == 0 {
+            return (0, 0, 0);
+        }
+        out.reserve(n);
+        let (mut fast, mut examined, mut kept) = (0usize, 0usize, 0usize);
+        for i in 0..n {
+            let e = tail.published(i);
+            if !pred(&e) {
+                continue;
+            }
+            if e.commit == BULK_TS {
+                fast += 1;
+                out.push(e);
+            } else {
+                examined += 1;
+                if visible(e.commit, ts) {
+                    kept += 1;
+                    out.push(e);
+                }
+            }
+        }
+        out.sort_unstable_by_key(key);
+        (fast, examined, kept)
     }
 }
 
-#[derive(Debug, Default)]
-pub(crate) struct Inner {
-    pub(crate) persons: Vec<Option<Versioned<Person>>>,
-    pub(crate) forums: Vec<Option<Versioned<Forum>>>,
-    pub(crate) messages: Vec<Option<Versioned<MessageRow>>>,
-    /// knows adjacency, both directions; Entry.id = other person.
-    pub(crate) knows: Vec<IndexList>,
-    /// per-person authored messages; Entry.id = message.
-    pub(crate) person_messages: Vec<IndexList>,
-    /// per-forum posts; Entry.id = message.
-    pub(crate) forum_posts: Vec<IndexList>,
-    /// per-forum members; Entry.id = person, date = join date.
-    pub(crate) forum_members: Vec<IndexList>,
-    /// per-person joined forums; Entry.id = forum, date = join date.
-    pub(crate) person_forums: Vec<IndexList>,
-    /// per-message direct replies; Entry.id = replying comment.
-    pub(crate) message_replies: Vec<IndexList>,
-    /// per-message likes; Entry.id = liking person.
-    pub(crate) message_likes: Vec<IndexList>,
-    /// per-person given likes; Entry.id = liked message.
-    pub(crate) person_likes: Vec<IndexList>,
+/// Write-lock striping width. Power of two so the stripe map is a mask;
+/// 64 stripes keep the collision probability of two random ids ~1.6% while
+/// the whole lock array stays one cache page.
+const STRIPES: usize = 64;
+
+#[inline]
+fn stripe_of(raw: u64) -> usize {
+    (raw as usize) & (STRIPES - 1)
 }
 
-fn ensure<T: Default>(v: &mut Vec<T>, idx: usize) {
-    if v.len() <= idx {
-        v.resize_with(idx + 1, T::default);
+/// The stripes an update writes to, sorted ascending and deduplicated —
+/// locking in ascending order makes overlapping writers deadlock-free.
+/// Validation-only reads (e.g. a comment's forum or root post) take no
+/// stripe: latch-free readers don't either, and a miss is equivalent to
+/// serializing before the in-flight dependency.
+fn stripe_set(op: &UpdateOp) -> ([usize; 3], usize) {
+    let mut s = [0usize; 3];
+    let n = match op {
+        UpdateOp::AddPerson(p) => {
+            s[0] = stripe_of(p.id.raw());
+            1
+        }
+        UpdateOp::AddFriendship(k) => {
+            s[0] = stripe_of(k.a.raw());
+            s[1] = stripe_of(k.b.raw());
+            2
+        }
+        UpdateOp::AddForum(f) => {
+            s[0] = stripe_of(f.id.raw());
+            1
+        }
+        UpdateOp::AddMembership(m) => {
+            s[0] = stripe_of(m.person.raw());
+            s[1] = stripe_of(m.forum.raw());
+            2
+        }
+        UpdateOp::AddPost(p) => {
+            s[0] = stripe_of(p.author.raw());
+            s[1] = stripe_of(p.forum.raw());
+            s[2] = stripe_of(p.id.raw());
+            3
+        }
+        UpdateOp::AddComment(c) => {
+            s[0] = stripe_of(c.author.raw());
+            s[1] = stripe_of(c.reply_to.raw());
+            s[2] = stripe_of(c.id.raw());
+            3
+        }
+        UpdateOp::AddPostLike(l) | UpdateOp::AddCommentLike(l) => {
+            s[0] = stripe_of(l.person.raw());
+            s[1] = stripe_of(l.message.raw());
+            2
+        }
+    };
+    s[..n].sort_unstable();
+    let mut m = 1;
+    for i in 1..n {
+        if s[i] != s[m - 1] {
+            s[m] = s[i];
+            m += 1;
+        }
+    }
+    (s, m)
+}
+
+/// All tables of the store, shared lock-free between readers and writers.
+/// Insert methods take `&self` but require the caller to hold the stripe
+/// locks covering every id they write (the per-list single-writer
+/// guarantee behind [`IndexTail::push`]).
+#[derive(Debug)]
+pub(crate) struct Tables {
+    pub(crate) persons: EntityTable<Person>,
+    pub(crate) forums: EntityTable<Forum>,
+    pub(crate) messages: EntityTable<MessageRow>,
+    /// knows adjacency, both directions; Entry.id = other person.
+    pub(crate) knows: IndexTable,
+    /// per-person authored messages; Entry.id = message.
+    pub(crate) person_messages: IndexTable,
+    /// per-forum posts; Entry.id = message.
+    pub(crate) forum_posts: IndexTable,
+    /// per-forum members; Entry.id = person, date = join date.
+    pub(crate) forum_members: IndexTable,
+    /// per-person joined forums; Entry.id = forum, date = join date.
+    pub(crate) person_forums: IndexTable,
+    /// per-message direct replies; Entry.id = replying comment.
+    pub(crate) message_replies: IndexTable,
+    /// per-message likes; Entry.id = liking person.
+    pub(crate) message_likes: IndexTable,
+    /// per-person given likes; Entry.id = liked message.
+    pub(crate) person_likes: IndexTable,
+}
+
+impl Tables {
+    fn new() -> Tables {
+        Tables {
+            persons: SegVec::new(),
+            forums: SegVec::new(),
+            messages: SegVec::new(),
+            knows: SegVec::new(),
+            person_messages: SegVec::new(),
+            forum_posts: SegVec::new(),
+            forum_members: SegVec::new(),
+            person_forums: SegVec::new(),
+            message_replies: SegVec::new(),
+            message_likes: SegVec::new(),
+            person_likes: SegVec::new(),
+        }
+    }
+
+    /// Whether no entity has ever been inserted (the parallel loader can
+    /// only build a store from scratch).
+    fn is_empty(&self) -> bool {
+        self.persons.high() == 0 && self.forums.high() == 0 && self.messages.high() == 0
+    }
+
+    /// The list at `i`, created empty on first touch (with the bound
+    /// raised, replicating the old `ensure` slot parity).
+    fn list(table: &IndexTable, i: usize) -> &IndexList {
+        table.bump(i + 1);
+        table.slot(i).get_or_init(IndexList::default)
+    }
+
+    fn validate(&self, op: &UpdateOp) -> SnbResult<()> {
+        let person_exists = |id: PersonId| -> SnbResult<()> {
+            self.persons
+                .get(id.index())
+                .map(|_| ())
+                .ok_or(SnbError::NotFound { entity: "person", id: id.raw() })
+        };
+        let forum_exists = |id: ForumId| -> SnbResult<()> {
+            self.forums
+                .get(id.index())
+                .map(|_| ())
+                .ok_or(SnbError::NotFound { entity: "forum", id: id.raw() })
+        };
+        let message_exists = |id: MessageId| -> SnbResult<()> {
+            self.messages
+                .get(id.index())
+                .map(|_| ())
+                .ok_or(SnbError::NotFound { entity: "message", id: id.raw() })
+        };
+        match op {
+            UpdateOp::AddPerson(p) => {
+                if self.persons.get(p.id.index()).is_some() {
+                    return Err(SnbError::Constraint(format!("duplicate person {}", p.id)));
+                }
+            }
+            UpdateOp::AddFriendship(k) => {
+                if k.a == k.b {
+                    return Err(SnbError::Constraint("self-friendship".into()));
+                }
+                person_exists(k.a)?;
+                person_exists(k.b)?;
+            }
+            UpdateOp::AddForum(f) => {
+                person_exists(f.moderator)?;
+                if self.forums.get(f.id.index()).is_some() {
+                    return Err(SnbError::Constraint(format!("duplicate forum {}", f.id)));
+                }
+            }
+            UpdateOp::AddMembership(m) => {
+                person_exists(m.person)?;
+                forum_exists(m.forum)?;
+            }
+            UpdateOp::AddPost(p) => {
+                person_exists(p.author)?;
+                forum_exists(p.forum)?;
+                if self.messages.get(p.id.index()).is_some() {
+                    return Err(SnbError::Constraint(format!("duplicate message {}", p.id)));
+                }
+            }
+            UpdateOp::AddComment(c) => {
+                person_exists(c.author)?;
+                forum_exists(c.forum)?;
+                message_exists(c.reply_to)?;
+                message_exists(c.root_post)?;
+                if self.messages.get(c.id.index()).is_some() {
+                    return Err(SnbError::Constraint(format!("duplicate message {}", c.id)));
+                }
+            }
+            UpdateOp::AddPostLike(l) | UpdateOp::AddCommentLike(l) => {
+                person_exists(l.person)?;
+                message_exists(l.message)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn insert_person(&self, p: Person, ts: CommitTs) {
+        let i = p.id.index();
+        self.knows.bump(i + 1);
+        self.person_messages.bump(i + 1);
+        self.person_forums.bump(i + 1);
+        self.person_likes.bump(i + 1);
+        self.persons.install(i, Versioned { commit: ts, row: p });
+    }
+
+    fn insert_knows(&self, k: &Knows, ts: CommitTs) {
+        let (a, b) = (k.a.index(), k.b.index());
+        Self::list(&self.knows, a).push(Entry { date: k.creation_date, id: k.b.raw(), commit: ts });
+        Self::list(&self.knows, b).push(Entry { date: k.creation_date, id: k.a.raw(), commit: ts });
+    }
+
+    fn insert_forum(&self, f: Forum, ts: CommitTs) {
+        let i = f.id.index();
+        self.forum_posts.bump(i + 1);
+        self.forum_members.bump(i + 1);
+        self.forums.install(i, Versioned { commit: ts, row: f });
+    }
+
+    fn insert_membership(&self, m: &ForumMembership, ts: CommitTs) {
+        Self::list(&self.forum_members, m.forum.index()).push(Entry {
+            date: m.join_date,
+            id: m.person.raw(),
+            commit: ts,
+        });
+        Self::list(&self.person_forums, m.person.index()).push(Entry {
+            date: m.join_date,
+            id: m.forum.raw(),
+            commit: ts,
+        });
+    }
+
+    fn insert_message_row(&self, id: MessageId, row: MessageRow, ts: CommitTs) {
+        let i = id.index();
+        self.message_replies.bump(i + 1);
+        self.message_likes.bump(i + 1);
+        Self::list(&self.person_messages, row.author.index()).push(Entry {
+            date: row.creation_date,
+            id: id.raw(),
+            commit: ts,
+        });
+        self.messages.install(i, Versioned { commit: ts, row });
+    }
+
+    fn insert_post(&self, p: &Post, ts: CommitTs) {
+        Self::list(&self.forum_posts, p.forum.index()).push(Entry {
+            date: p.creation_date,
+            id: p.id.raw(),
+            commit: ts,
+        });
+        self.insert_message_row(p.id, post_row(p), ts);
+    }
+
+    fn insert_comment(&self, c: &Comment, ts: CommitTs) {
+        Self::list(&self.message_replies, c.reply_to.index()).push(Entry {
+            date: c.creation_date,
+            id: c.id.raw(),
+            commit: ts,
+        });
+        self.insert_message_row(c.id, comment_row(c), ts);
+    }
+
+    fn insert_like(&self, l: &Like, ts: CommitTs) {
+        Self::list(&self.message_likes, l.message.index()).push(Entry {
+            date: l.creation_date,
+            id: l.person.raw(),
+            commit: ts,
+        });
+        Self::list(&self.person_likes, l.person.index()).push(Entry {
+            date: l.creation_date,
+            id: l.message.raw(),
+            commit: ts,
+        });
+    }
+
+    /// Raw element counts and byte sizes per table for storage statistics.
+    fn sizes(&self) -> crate::stats::RawSizes {
+        let entry_bytes = std::mem::size_of::<Entry>();
+        let list_entries =
+            |t: &IndexTable| (0..t.high()).map(|i| t.get(i).map_or(0, |l| l.len())).sum::<usize>();
+        let list_bytes = |t: &IndexTable| list_entries(t) * entry_bytes;
+        let persons = || (0..self.persons.high()).filter_map(|i| self.persons.get(i));
+        let forums = || (0..self.forums.high()).filter_map(|i| self.forums.get(i));
+        let messages = || (0..self.messages.high()).filter_map(|i| self.messages.get(i));
+        crate::stats::RawSizes {
+            persons: persons().count(),
+            person_bytes: persons()
+                .map(|v| {
+                    160 + v.row.location_ip.len()
+                        + v.row.emails.iter().map(|e| e.len()).sum::<usize>()
+                        + v.row.interests.len() * 8
+                        + v.row.work_at.len() * 16
+                })
+                .sum(),
+            forums: forums().count(),
+            forum_bytes: forums().map(|v| 64 + v.row.title.len() + v.row.tags.len() * 8).sum(),
+            messages: messages().count(),
+            message_bytes: messages()
+                .map(|v| v.row.content.len() + v.row.tags.len() * 8 + 64)
+                .sum(),
+            knows_entries: list_entries(&self.knows),
+            knows_bytes: list_bytes(&self.knows),
+            likes_entries: list_entries(&self.message_likes),
+            likes_bytes: list_bytes(&self.message_likes) + list_bytes(&self.person_likes),
+            membership_entries: list_entries(&self.forum_members),
+            membership_bytes: list_bytes(&self.forum_members) + list_bytes(&self.person_forums),
+            person_message_bytes: list_bytes(&self.person_messages),
+            forum_post_bytes: list_bytes(&self.forum_posts),
+            reply_bytes: list_bytes(&self.message_replies),
+        }
     }
 }
 
@@ -201,7 +836,10 @@ pub struct RecoveryReport {
 /// The store.
 #[derive(Debug)]
 pub struct Store {
-    inner: RwLock<Inner>,
+    tables: Tables,
+    /// Striped writer locks; an update locks only the stripes covering the
+    /// ids it writes, in ascending order (deadlock-free).
+    stripes: [Mutex<()>; STRIPES],
     clock: CommitClock,
     wal: Option<Wal>,
     counters: StoreCounters,
@@ -213,11 +851,16 @@ impl Default for Store {
     }
 }
 
+fn stripe_locks() -> [Mutex<()>; STRIPES] {
+    std::array::from_fn(|_| Mutex::new(()))
+}
+
 impl Store {
     /// Empty store without durability.
     pub fn new() -> Store {
         Store {
-            inner: RwLock::new(Inner::default()),
+            tables: Tables::new(),
+            stripes: stripe_locks(),
             clock: CommitClock::new(),
             wal: None,
             counters: StoreCounters::new(),
@@ -238,7 +881,8 @@ impl Store {
         let counters = StoreCounters::new();
         let wal = Wal::create_with(path, policy, counters.wal_metrics())?;
         Ok(Store {
-            inner: RwLock::new(Inner::default()),
+            tables: Tables::new(),
+            stripes: stripe_locks(),
             clock: CommitClock::new(),
             wal: Some(wal),
             counters,
@@ -275,7 +919,8 @@ impl Store {
             last_seq: replay.last_seq,
         };
         let store = Store {
-            inner: RwLock::new(Inner::default()),
+            tables: Tables::new(),
+            stripes: stripe_locks(),
             clock: CommitClock::new(),
             wal: Some(wal),
             counters,
@@ -309,70 +954,78 @@ impl Store {
     /// Bulk-load all entities created at or before `cut` using `threads`
     /// loader threads.
     ///
-    /// On an empty store with `threads > 1` this takes the parallel sorted
-    /// path ([`crate::loader`]): partition every id space into contiguous
+    /// On an empty store this always takes the parallel sorted path
+    /// ([`crate::loader`]): partition every id space into contiguous
     /// per-thread ranges, build each table slice and adjacency list on its
-    /// owning thread, sort every date-ordered index **once**, and
-    /// concatenate — instead of per-item `sorted_insert` memmoves on one
-    /// thread. The result is identical to the serial path. A non-empty
-    /// store (incremental top-up loads, as used by a few experiments) falls
-    /// back to the serial path, which composes with existing contents.
+    /// owning thread, sort every date-ordered index **once**, and install
+    /// the lists as immutable bulk prefixes — the result is identical at
+    /// any thread count (including 1). A non-empty store (incremental
+    /// top-up loads, as used by a few experiments) falls back to the
+    /// serial insert path under all write stripes, which composes with
+    /// existing contents by appending [`BULK_TS`] tail entries.
+    ///
+    /// Bulk loading is not atomic with respect to concurrent readers —
+    /// run it before serving queries, as the benchmark does.
     pub fn bulk_load_until_threads(&self, ds: &snb_datagen::Dataset, cut: SimTime, threads: usize) {
-        let mut g = self.inner.write();
-        if threads > 1 && g.is_empty() {
-            *g = crate::loader::build(ds, cut, threads);
+        if self.tables.is_empty() {
+            crate::loader::build_into(&self.tables, ds, cut, threads.max(1));
             return;
         }
+        let _guards: Vec<MutexGuard<'_, ()>> = self.stripes.iter().map(|m| m.lock()).collect();
         for p in &ds.persons {
             if p.creation_date <= cut {
-                g.insert_person(p.clone(), BULK_TS);
+                self.tables.insert_person(p.clone(), BULK_TS);
             }
         }
         for k in &ds.knows {
             if k.creation_date <= cut {
-                g.insert_knows(k, BULK_TS);
+                self.tables.insert_knows(k, BULK_TS);
             }
         }
         for f in &ds.forums {
             if f.creation_date <= cut {
-                g.insert_forum(f.clone(), BULK_TS);
+                self.tables.insert_forum(f.clone(), BULK_TS);
             }
         }
         for m in &ds.memberships {
             if m.join_date <= cut {
-                g.insert_membership(m, BULK_TS);
+                self.tables.insert_membership(m, BULK_TS);
             }
         }
         for p in &ds.posts {
             if p.creation_date <= cut {
-                g.insert_post(p, BULK_TS);
+                self.tables.insert_post(p, BULK_TS);
             }
         }
         for c in &ds.comments {
             if c.creation_date <= cut {
-                g.insert_comment(c, BULK_TS);
+                self.tables.insert_comment(c, BULK_TS);
             }
         }
         for l in &ds.likes {
             if l.creation_date <= cut {
-                g.insert_like(l, BULK_TS);
+                self.tables.insert_like(l, BULK_TS);
             }
         }
     }
 
-    /// Execute one update operation as an ACID transaction: validate,
-    /// WAL-append, apply, publish — then, outside the writer lock, wait for
-    /// the WAL's [`SyncPolicy`] to make the record durable before
-    /// acknowledging.
+    /// Execute one update operation as an ACID transaction: lock the
+    /// touched stripes, validate, WAL-append, apply, publish — then,
+    /// outside every lock, wait for the WAL's [`SyncPolicy`] to make the
+    /// record durable before acknowledging.
     ///
-    /// Because the append happens under the writer lock, WAL order equals
-    /// commit order, so prefix-consistent recovery preserves every
-    /// dependency. The durability wait happens *after* the lock is
-    /// released (early lock release): group commit batches fsyncs across
-    /// concurrent committers without serializing the in-memory work behind
-    /// the disk. A commit may be briefly visible to snapshots before it is
-    /// durable, but it is never acknowledged to the caller until it is —
-    /// the standard group-commit contract.
+    /// WAL order is no longer equal to commit-timestamp order (two
+    /// shard-disjoint writers append in whatever order they reach the
+    /// log), but it still *respects dependencies*: a transaction B that
+    /// validated against A's rows can only have seen them after A's
+    /// append (A appends before it installs any row), so A precedes B in
+    /// the log and prefix-consistent recovery replays every dependency
+    /// before its dependent. The durability wait happens after all locks
+    /// are released (early lock release): group commit batches fsyncs
+    /// across concurrent committers without serializing the in-memory work
+    /// behind the disk. A commit may be briefly visible to snapshots
+    /// before it is durable, but it is never acknowledged to the caller
+    /// until it is — the standard group-commit contract.
     pub fn apply(&self, op: &UpdateOp) -> SnbResult<()> {
         let seq = self.apply_async(op)?;
         self.wait_durable(seq)
@@ -382,9 +1035,10 @@ impl Store {
     /// without waiting for durability. The commit is immediately visible to
     /// new snapshots (so causally dependent operations can proceed), but it
     /// MUST NOT be acknowledged until [`Store::wait_durable`] has been
-    /// called on the returned sequence number. Because WAL order equals
-    /// commit order, a crash before the sync loses only a suffix of
-    /// unacknowledged commits — never a dependency of a surviving record.
+    /// called on the returned sequence number. Because WAL order respects
+    /// dependency order (see [`Store::apply`]), a crash before the sync
+    /// loses only unacknowledged commits — never a dependency of a
+    /// surviving record.
     pub fn apply_async(&self, op: &UpdateOp) -> SnbResult<Option<u64>> {
         self.apply_internal(op, true)
     }
@@ -400,11 +1054,37 @@ impl Store {
         Ok(())
     }
 
-    /// Locked phase of [`Store::apply`]. Returns the WAL sequence number to
-    /// await when a log append happened.
+    /// Lock the stripes `op` writes to, ascending. A contended stripe is
+    /// counted in `store.write.shard_conflicts` before blocking.
+    fn lock_stripes(&self, op: &UpdateOp) -> Vec<MutexGuard<'_, ()>> {
+        let (set, n) = stripe_set(op);
+        let mut guards = Vec::with_capacity(n);
+        for &i in &set[..n] {
+            match self.stripes[i].try_lock() {
+                Some(g) => guards.push(g),
+                None => {
+                    self.counters.write_shard_conflicts.inc();
+                    guards.push(self.stripes[i].lock());
+                }
+            }
+        }
+        guards
+    }
+
+    /// Striped phase of [`Store::apply`]. Returns the WAL sequence number
+    /// to await when a log append happened.
+    ///
+    /// Ordering within the stripe critical section is load-bearing:
+    /// everything fallible (validation, the WAL append) happens **before**
+    /// [`CommitClock::reserve`], because every reserved timestamp must be
+    /// published or later publishers would wait forever; and the append
+    /// happens **before** any row is installed so WAL order respects
+    /// dependency order (see [`Store::apply`]). Between `reserve` and
+    /// `publish` the writer only places in-memory rows, keeping the
+    /// in-order publication wait in [`CommitClock::publish`] short.
     fn apply_internal(&self, op: &UpdateOp, log: bool) -> SnbResult<Option<u64>> {
-        let mut g = self.inner.write();
-        if let Err(e) = g.validate(op) {
+        let guards = self.lock_stripes(op);
+        if let Err(e) = self.tables.validate(op) {
             self.counters.conflicts.inc();
             return Err(e);
         }
@@ -419,18 +1099,19 @@ impl Store {
         }
         let ts = self.clock.reserve();
         match op {
-            UpdateOp::AddPerson(p) => g.insert_person(p.clone(), ts),
-            UpdateOp::AddPostLike(l) | UpdateOp::AddCommentLike(l) => g.insert_like(l, ts),
-            UpdateOp::AddForum(f) => g.insert_forum(f.clone(), ts),
-            UpdateOp::AddMembership(m) => g.insert_membership(m, ts),
-            UpdateOp::AddPost(p) => g.insert_post(p, ts),
-            UpdateOp::AddComment(c) => g.insert_comment(c, ts),
-            UpdateOp::AddFriendship(k) => g.insert_knows(k, ts),
+            UpdateOp::AddPerson(p) => self.tables.insert_person(p.clone(), ts),
+            UpdateOp::AddPostLike(l) | UpdateOp::AddCommentLike(l) => {
+                self.tables.insert_like(l, ts)
+            }
+            UpdateOp::AddForum(f) => self.tables.insert_forum(f.clone(), ts),
+            UpdateOp::AddMembership(m) => self.tables.insert_membership(m, ts),
+            UpdateOp::AddPost(p) => self.tables.insert_post(p, ts),
+            UpdateOp::AddComment(c) => self.tables.insert_comment(c, ts),
+            UpdateOp::AddFriendship(k) => self.tables.insert_knows(k, ts),
         }
-        // Publish while still holding the writer lock so commit order equals
-        // timestamp order.
         self.clock.publish(ts);
         self.counters.commits.inc();
+        drop(guards);
         Ok(seq)
     }
 
@@ -450,227 +1131,56 @@ impl Store {
         Snapshot { store: self, ts: self.clock.snapshot_ts() }
     }
 
-    /// Open a *pinned* read snapshot: acquires the store's read latch once
-    /// and holds it for the snapshot's whole lifetime, so every accessor —
-    /// and the zero-allocation borrowing iterators — runs latch-free.
+    /// Open a *pinned* read snapshot. Since the latch-free rework this
+    /// acquires **no lock at all**: it reads the commit horizon with one
+    /// acquire load and hands out borrows straight into the immutable
+    /// segments — a long query never blocks a writer, and a writer never
+    /// blocks a reader. It is now safe to hold a pin across
+    /// [`Store::apply`] on the same thread and to interleave any number of
+    /// pins; the pinned view stays frozen at its snapshot timestamp.
     ///
-    /// This is the query path's snapshot. Its MVCC semantics are identical
-    /// to [`Store::snapshot`] (same timestamp rule, same visibility
-    /// filter); only the blocking granularity differs: writers wait for
-    /// the whole pinned snapshot to drop rather than for individual
-    /// accessor calls. Do not hold one across a call to [`Store::apply`]
-    /// on the same thread, and do not interleave two pinned snapshots on
-    /// one thread — the underlying `RwLock` is not reentrant (see
-    /// DESIGN.md, "Read path").
+    /// MVCC semantics are identical to [`Store::snapshot`] (same timestamp
+    /// rule, same visibility filter); the pinned form exists for the
+    /// borrowing zero-allocation APIs ([`PinnedSnapshot::friends_iter`],
+    /// [`PinnedSnapshot::person_ref`], …).
     pub fn pinned(&self) -> PinnedSnapshot<'_> {
         self.counters.snapshots.inc();
-        self.counters.read_guard_pins.inc();
-        let guard = self.inner.read();
-        // Read the horizon while holding the latch: no commit can be in
-        // flight (publish happens under the write latch), so this sees
-        // exactly the transactions whose rows are in `guard`.
-        let ts = self.clock.snapshot_ts();
-        PinnedSnapshot { guard, ts, counters: &self.counters }
-    }
-}
-
-impl Inner {
-    /// Whether no entity has ever been inserted (the parallel loader can
-    /// only build a store from scratch).
-    fn is_empty(&self) -> bool {
-        self.persons.is_empty() && self.forums.is_empty() && self.messages.is_empty()
-    }
-
-    fn validate(&self, op: &UpdateOp) -> SnbResult<()> {
-        let person_exists = |id: PersonId| -> SnbResult<()> {
-            self.persons
-                .get(id.index())
-                .and_then(|s| s.as_ref())
-                .map(|_| ())
-                .ok_or(SnbError::NotFound { entity: "person", id: id.raw() })
-        };
-        let forum_exists = |id: ForumId| -> SnbResult<()> {
-            self.forums
-                .get(id.index())
-                .and_then(|s| s.as_ref())
-                .map(|_| ())
-                .ok_or(SnbError::NotFound { entity: "forum", id: id.raw() })
-        };
-        let message_exists = |id: MessageId| -> SnbResult<()> {
-            self.messages
-                .get(id.index())
-                .and_then(|s| s.as_ref())
-                .map(|_| ())
-                .ok_or(SnbError::NotFound { entity: "message", id: id.raw() })
-        };
-        match op {
-            UpdateOp::AddPerson(p) => {
-                if self.persons.get(p.id.index()).and_then(|s| s.as_ref()).is_some() {
-                    return Err(SnbError::Constraint(format!("duplicate person {}", p.id)));
-                }
-            }
-            UpdateOp::AddFriendship(k) => {
-                if k.a == k.b {
-                    return Err(SnbError::Constraint("self-friendship".into()));
-                }
-                person_exists(k.a)?;
-                person_exists(k.b)?;
-            }
-            UpdateOp::AddForum(f) => {
-                person_exists(f.moderator)?;
-                if self.forums.get(f.id.index()).and_then(|s| s.as_ref()).is_some() {
-                    return Err(SnbError::Constraint(format!("duplicate forum {}", f.id)));
-                }
-            }
-            UpdateOp::AddMembership(m) => {
-                person_exists(m.person)?;
-                forum_exists(m.forum)?;
-            }
-            UpdateOp::AddPost(p) => {
-                person_exists(p.author)?;
-                forum_exists(p.forum)?;
-                if self.messages.get(p.id.index()).and_then(|s| s.as_ref()).is_some() {
-                    return Err(SnbError::Constraint(format!("duplicate message {}", p.id)));
-                }
-            }
-            UpdateOp::AddComment(c) => {
-                person_exists(c.author)?;
-                forum_exists(c.forum)?;
-                message_exists(c.reply_to)?;
-                message_exists(c.root_post)?;
-                if self.messages.get(c.id.index()).and_then(|s| s.as_ref()).is_some() {
-                    return Err(SnbError::Constraint(format!("duplicate message {}", c.id)));
-                }
-            }
-            UpdateOp::AddPostLike(l) | UpdateOp::AddCommentLike(l) => {
-                person_exists(l.person)?;
-                message_exists(l.message)?;
-            }
+        self.counters.read_latchfree.inc();
+        PinnedSnapshot {
+            tables: &self.tables,
+            ts: self.clock.snapshot_ts(),
+            counters: &self.counters,
         }
-        Ok(())
-    }
-
-    fn insert_person(&mut self, p: Person, ts: CommitTs) {
-        let i = p.id.index();
-        ensure(&mut self.persons, i);
-        ensure(&mut self.knows, i);
-        ensure(&mut self.person_messages, i);
-        ensure(&mut self.person_forums, i);
-        ensure(&mut self.person_likes, i);
-        self.persons[i] = Some(Versioned { commit: ts, row: p });
-    }
-
-    fn insert_knows(&mut self, k: &Knows, ts: CommitTs) {
-        let (a, b) = (k.a.index(), k.b.index());
-        ensure(&mut self.knows, a.max(b));
-        self.knows[a].insert(Entry { date: k.creation_date, id: k.b.raw(), commit: ts });
-        self.knows[b].insert(Entry { date: k.creation_date, id: k.a.raw(), commit: ts });
-    }
-
-    fn insert_forum(&mut self, f: Forum, ts: CommitTs) {
-        let i = f.id.index();
-        ensure(&mut self.forums, i);
-        ensure(&mut self.forum_posts, i);
-        ensure(&mut self.forum_members, i);
-        self.forums[i] = Some(Versioned { commit: ts, row: f });
-    }
-
-    fn insert_membership(&mut self, m: &ForumMembership, ts: CommitTs) {
-        ensure(&mut self.forum_members, m.forum.index());
-        ensure(&mut self.person_forums, m.person.index());
-        self.forum_members[m.forum.index()].insert(Entry {
-            date: m.join_date,
-            id: m.person.raw(),
-            commit: ts,
-        });
-        self.person_forums[m.person.index()].insert(Entry {
-            date: m.join_date,
-            id: m.forum.raw(),
-            commit: ts,
-        });
-    }
-
-    fn insert_message_row(&mut self, id: MessageId, row: MessageRow, ts: CommitTs) {
-        let i = id.index();
-        ensure(&mut self.messages, i);
-        ensure(&mut self.message_replies, i);
-        ensure(&mut self.message_likes, i);
-        ensure(&mut self.person_messages, row.author.index());
-        self.person_messages[row.author.index()].insert(Entry {
-            date: row.creation_date,
-            id: id.raw(),
-            commit: ts,
-        });
-        self.messages[i] = Some(Versioned { commit: ts, row });
-    }
-
-    fn insert_post(&mut self, p: &Post, ts: CommitTs) {
-        ensure(&mut self.forum_posts, p.forum.index());
-        self.forum_posts[p.forum.index()].insert(Entry {
-            date: p.creation_date,
-            id: p.id.raw(),
-            commit: ts,
-        });
-        self.insert_message_row(p.id, post_row(p), ts);
-    }
-
-    fn insert_comment(&mut self, c: &Comment, ts: CommitTs) {
-        ensure(&mut self.message_replies, c.reply_to.index().max(c.id.index()));
-        self.message_replies[c.reply_to.index()].insert(Entry {
-            date: c.creation_date,
-            id: c.id.raw(),
-            commit: ts,
-        });
-        self.insert_message_row(c.id, comment_row(c), ts);
-    }
-
-    fn insert_like(&mut self, l: &Like, ts: CommitTs) {
-        ensure(&mut self.message_likes, l.message.index());
-        ensure(&mut self.person_likes, l.person.index());
-        self.message_likes[l.message.index()].insert(Entry {
-            date: l.creation_date,
-            id: l.person.raw(),
-            commit: ts,
-        });
-        self.person_likes[l.person.index()].insert(Entry {
-            date: l.creation_date,
-            id: l.message.raw(),
-            commit: ts,
-        });
     }
 }
 
 /// A consistent read view of the store.
 ///
-/// The snapshot pins a commit timestamp and acquires the store latch only
-/// briefly inside each accessor — never across caller code — so writers
-/// keep committing while long queries run. Consistency comes from MVCC
-/// visibility, not from the latch: every accessor filters by the pinned
-/// timestamp, so the snapshot observes exactly the transactions committed
-/// before it was opened, no matter how many commit during the query.
+/// The snapshot pins a commit timestamp; consistency comes from MVCC
+/// visibility alone — every accessor filters by the pinned timestamp, so
+/// the snapshot observes exactly the transactions committed before it was
+/// opened, no matter how many commit during the query. Reads are
+/// latch-free (see the module docs), so this type is cheap to hold across
+/// anything, including [`Store::apply`] on the same thread.
 ///
-/// This per-call-latch variant is safe to hold across [`Store::apply`] on
-/// the same thread (tests and mixed read/write code rely on that). The
-/// query hot path uses [`PinnedSnapshot`] instead, which trades that
-/// freedom for latch-free accessors.
+/// [`Snapshot`] carries the owned-`Vec` API and is kept deliberately as an
+/// independent implementation of the scans, serving as the oracle the
+/// property tests compare [`PinnedSnapshot`]'s borrowing iterators
+/// against.
 pub struct Snapshot<'a> {
     store: &'a Store,
     ts: CommitTs,
 }
 
-/// A consistent read view that holds the store's read latch for its whole
-/// lifetime (see [`Store::pinned`]).
+/// A pinned, latch-free read view (see [`Store::pinned`]).
 ///
-/// Pinning buys two things over [`Snapshot`]: accessors skip the per-call
-/// latch acquisition (a single Q9 makes hundreds of them), and the
-/// borrowing APIs ([`PinnedSnapshot::friends_iter`],
-/// [`PinnedSnapshot::recent_messages_walk`], [`PinnedSnapshot::person_ref`]
-/// …) can hand out references and iterators tied to the guard — zero
-/// allocation per scan. MVCC visibility is byte-identical to [`Snapshot`]:
-/// the latch only pins the memory, the timestamp still decides what is
-/// seen.
+/// Pinning buys the borrowing APIs: accessors hand out references and
+/// zero-allocation iterators tied to the store's immutable segments
+/// ([`PinnedSnapshot::friends_iter`], [`PinnedSnapshot::recent_messages_walk`],
+/// [`PinnedSnapshot::person_ref`] …). MVCC visibility is byte-identical to
+/// [`Snapshot`]: the timestamp decides what is seen; no latch is involved.
 pub struct PinnedSnapshot<'a> {
-    guard: RwLockReadGuard<'a, Inner>,
+    tables: &'a Tables,
     ts: CommitTs,
     counters: &'a StoreCounters,
 }
@@ -694,16 +1204,38 @@ pub struct MessageMeta {
     pub reply_info: Option<(MessageId, MessageId)>,
 }
 
-/// The shared read-path implementation: all primitives over a borrowed
-/// [`Inner`], parameterized by the snapshot timestamp. [`Snapshot`]
-/// constructs one per accessor call (acquire latch, delegate, drop);
-/// [`PinnedSnapshot`] constructs one over its long-lived guard, which is
-/// what lets it return borrows.
+/// The shared read-path implementation: all primitives over the shared
+/// [`Tables`], parameterized by the snapshot timestamp. Both snapshot
+/// types delegate here; the borrowing iterators gather a list's published
+/// tail once up front (visibility-filtered, sorted) and merge it with the
+/// immutable bulk prefix on the fly.
 #[derive(Clone, Copy)]
 struct ReadView<'g> {
-    inner: &'g Inner,
+    tables: &'g Tables,
     ts: CommitTs,
     counters: &'g StoreCounters,
+}
+
+/// Ascending two-pointer merge of a sorted bulk prefix and a sorted,
+/// already-visibility-filtered tail batch.
+fn merge_ascending(prefix: &[Entry], tail: &[Entry], out: &mut Vec<Dated>) {
+    out.reserve(prefix.len() + tail.len());
+    let (mut p, mut t) = (0usize, 0usize);
+    while p < prefix.len() && t < tail.len() {
+        if key(&prefix[p]) <= key(&tail[t]) {
+            out.push((prefix[p].id, prefix[p].date));
+            p += 1;
+        } else {
+            out.push((tail[t].id, tail[t].date));
+            t += 1;
+        }
+    }
+    for e in &prefix[p..] {
+        out.push((e.id, e.date));
+    }
+    for e in &tail[t..] {
+        out.push((e.id, e.date));
+    }
 }
 
 impl<'g> ReadView<'g> {
@@ -722,12 +1254,17 @@ impl<'g> ReadView<'g> {
         }
     }
 
-    /// Account one index scan: `fast` entries served from the bulk-prefix
-    /// fast lane (no visibility check), `examined` version-stamped entries
-    /// walked of which `kept` were visible. Both the fast-lane and the
-    /// MVCC-walk paths funnel through here so the two lanes stay
-    /// consistently accounted: every touched entry lands in exactly one of
+    /// Account one index scan: `fast` entries served from the always-
+    /// visible fast lane (bulk prefix, plus [`BULK_TS`] tail entries from
+    /// top-up loads — no visibility check either way), `examined`
+    /// version-stamped entries walked of which `kept` were visible. Both
+    /// lanes funnel through here so they stay consistently accounted:
+    /// every touched entry lands in exactly one of
     /// `store.read.fastpath_entries` or `store.mvcc.versions_walked`.
+    /// The eager `Vec` APIs account their whole gathered tail up front;
+    /// the lazy iterators batch per-entry accounting as they go and flush
+    /// it on drop (see [`flush_scan_accounting`]) — an early-exiting
+    /// caller reports only what it actually touched.
     fn note_scan(&self, fast: usize, examined: usize, kept: usize) {
         let c = self.counters;
         if fast > 0 {
@@ -741,21 +1278,21 @@ impl<'g> ReadView<'g> {
     }
 
     fn person_ref(&self, id: PersonId) -> Option<&'g Person> {
-        let slot = self.inner.persons.get(id.index()).and_then(|s| s.as_ref());
+        let slot = self.tables.persons.get(id.index());
         let vis = slot.filter(|v| visible(v.commit, self.ts));
         self.note_probe(slot.is_some(), vis.is_some());
         vis.map(|v| &v.row)
     }
 
     fn forum_ref(&self, id: ForumId) -> Option<&'g Forum> {
-        let slot = self.inner.forums.get(id.index()).and_then(|s| s.as_ref());
+        let slot = self.tables.forums.get(id.index());
         let vis = slot.filter(|v| visible(v.commit, self.ts));
         self.note_probe(slot.is_some(), vis.is_some());
         vis.map(|v| &v.row)
     }
 
     fn message_ref(&self, id: MessageId) -> Option<&'g MessageRow> {
-        let slot = self.inner.messages.get(id.index()).and_then(|s| s.as_ref());
+        let slot = self.tables.messages.get(id.index());
         let vis = slot.filter(|v| visible(v.commit, self.ts));
         self.note_probe(slot.is_some(), vis.is_some());
         vis.map(|v| &v.row)
@@ -771,10 +1308,9 @@ impl<'g> ReadView<'g> {
         })
     }
 
-    /// Materialize a whole index list, skipping `visible()` over the bulk
-    /// prefix and preallocating from the list length.
+    /// Materialize a whole index list, ascending `(date, id)`.
     ///
-    /// Deliberately NOT written as `self.iter(list).collect()`: this loop
+    /// Deliberately NOT written as `self.iter(list).collect()`: this merge
     /// and [`DatedIter`] are independent implementations of the same scan,
     /// so the property test comparing the `Vec` API against the iterator
     /// API actually checks something.
@@ -782,141 +1318,156 @@ impl<'g> ReadView<'g> {
         let Some(list) = list else {
             return Vec::new();
         };
-        let mut out = Vec::with_capacity(list.len());
-        for e in &list.entries[..list.bulk] {
-            out.push((e.id, e.date));
-        }
-        let mut kept = 0usize;
-        for e in &list.entries[list.bulk..] {
-            if visible(e.commit, self.ts) {
-                out.push((e.id, e.date));
-                kept += 1;
-            }
-        }
-        self.note_scan(list.bulk, list.len() - list.bulk, kept);
+        let bulk = list.bulk();
+        let mut tail = Vec::new();
+        let (fast_t, examined, kept) = list.gather_tail(self.ts, |_| true, &mut tail);
+        self.note_scan(bulk.len() + fast_t, examined, kept);
+        let mut out = Vec::new();
+        merge_ascending(bulk, &tail, &mut out);
         out
     }
 
-    /// Borrowing scan over a whole index list, ascending `(date, id)`.
+    /// Borrowing scan over a whole index list, ascending `(date, id)` —
+    /// lazy: the tail's ladder runs are merged as the iterator is
+    /// consumed, so an early-exiting caller never pays for the rest.
     fn iter(&self, list: Option<&'g IndexList>) -> DatedIter<'g> {
-        let (prefix, tail) = match list {
-            Some(l) => (&l.entries[..l.bulk], &l.entries[l.bulk..]),
-            None => (&[][..], &[][..]),
-        };
-        DatedIter {
-            prefix: prefix.iter(),
-            tail: tail.iter(),
+        let mut it = DatedIter {
+            prefix: &[],
+            runs: [&[]; MAX_RUNS],
+            nruns: 0,
+            cur: NO_LANE,
+            bound: (SimTime(0), 0),
             ts: self.ts,
             counters: self.counters,
             fast: 0,
             examined: 0,
             kept: 0,
+        };
+        if let Some(l) = list {
+            it.prefix = l.bulk();
+            if let Some(tail) = l.tail() {
+                it.nruns = tail.decompose(tail.published_len(), &mut it.runs);
+            }
         }
+        it
     }
 
     /// Borrowing reverse scan (newest first) over the entries dated at or
-    /// before `max_date`.
+    /// before `max_date` — lazy, same run-merge structure as
+    /// [`ReadView::iter`] consumed from the back.
     fn recent_walk(&self, list: Option<&'g IndexList>, max_date: SimTime) -> RecentWalk<'g> {
-        let (entries, bulk) = match list {
-            Some(l) => (&l.entries[..l.entries.partition_point(|e| e.date <= max_date)], l.bulk),
-            None => (&[][..], 0),
-        };
-        RecentWalk {
-            entries,
-            bulk,
+        let mut w = RecentWalk {
+            prefix: &[],
+            runs: [&[]; MAX_RUNS],
+            nruns: 0,
+            cur: NO_LANE,
+            bound: (SimTime(0), 0),
             ts: self.ts,
             counters: self.counters,
             fast: 0,
             examined: 0,
             kept: 0,
+        };
+        if let Some(l) = list {
+            let bulk = l.bulk();
+            w.prefix = &bulk[..bulk.partition_point(|e| e.date <= max_date)];
+            if let Some(tail) = l.tail() {
+                let mut runs = [&[][..]; MAX_RUNS];
+                let n = tail.decompose(tail.published_len(), &mut runs);
+                for r in &runs[..n] {
+                    let bounded = &r[..r.partition_point(|e| e.date <= max_date)];
+                    if !bounded.is_empty() {
+                        w.runs[w.nruns] = bounded;
+                        w.nruns += 1;
+                    }
+                }
+            }
         }
+        w
     }
 
     fn recent_messages_of(&self, id: PersonId, max_date: SimTime, k: usize) -> Vec<Dated> {
-        let Some(list) = self.inner.person_messages.get(id.index()) else {
-            return Vec::new();
-        };
-        let end = list.entries.partition_point(|e| e.date <= max_date);
-        let mut out = Vec::with_capacity(k.min(end));
-        let mut fast = 0usize;
-        let mut examined = 0usize;
-        let mut kept = 0usize;
-        for (i, e) in list.entries[..end].iter().enumerate().rev() {
-            if i < list.bulk {
-                fast += 1;
-            } else {
-                examined += 1;
-                if !visible(e.commit, self.ts) {
-                    continue;
-                }
-                kept += 1;
-            }
-            out.push((e.id, e.date));
-            if out.len() == k {
-                break;
-            }
-        }
-        self.note_scan(fast, examined, kept);
+        let walk = self.recent_walk(self.tables.person_messages.get(id.index()), max_date);
+        let mut out = Vec::with_capacity(k);
+        out.extend(walk.take(k));
         out
     }
 
     fn forums_of_after(&self, id: PersonId, min_date: SimTime) -> Vec<Dated> {
-        let Some(list) = self.inner.person_forums.get(id.index()) else {
+        let Some(list) = self.tables.person_forums.get(id.index()) else {
             return Vec::new();
         };
-        let start = list.entries.partition_point(|e| e.date <= min_date);
-        let mut out = Vec::with_capacity(list.len() - start);
-        let mut fast = 0usize;
-        let mut kept = 0usize;
-        for (i, e) in list.entries.iter().enumerate().skip(start) {
-            if i < list.bulk {
-                fast += 1;
-                out.push((e.id, e.date));
-            } else if visible(e.commit, self.ts) {
-                kept += 1;
-                out.push((e.id, e.date));
-            }
-        }
-        self.note_scan(fast, list.len() - start - fast, kept);
+        let bulk = list.bulk();
+        let prefix = &bulk[bulk.partition_point(|e| e.date <= min_date)..];
+        let mut tail = Vec::new();
+        let (fast_t, examined, kept) = list.gather_tail(self.ts, |e| e.date > min_date, &mut tail);
+        self.note_scan(prefix.len() + fast_t, examined, kept);
+        let mut out = Vec::new();
+        merge_ascending(prefix, &tail, &mut out);
         out
     }
 
     fn are_friends(&self, a: PersonId, b: PersonId) -> bool {
-        let Some(list) = self.inner.knows.get(a.index()) else {
+        let Some(list) = self.tables.knows.get(a.index()) else {
             self.note_scan(0, 0, 0);
             return false;
         };
         let mut fast = 0usize;
         let mut examined = 0usize;
+        let mut kept = 0usize;
         let mut found = false;
-        for (i, e) in list.entries.iter().enumerate() {
-            if i < list.bulk {
-                fast += 1;
-                if e.id == b.raw() {
-                    found = true;
-                    break;
-                }
-            } else {
-                examined += 1;
-                if e.id == b.raw() && visible(e.commit, self.ts) {
-                    found = true;
-                    break;
+        for e in list.bulk() {
+            fast += 1;
+            if e.id == b.raw() {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            if let Some(tail) = list.tail() {
+                let n = tail.published_len();
+                for i in 0..n {
+                    let e = tail.published(i);
+                    if e.commit == BULK_TS {
+                        fast += 1;
+                        if e.id == b.raw() {
+                            found = true;
+                            break;
+                        }
+                    } else {
+                        examined += 1;
+                        if e.id == b.raw() && visible(e.commit, self.ts) {
+                            kept = 1;
+                            found = true;
+                            break;
+                        }
+                    }
                 }
             }
         }
-        self.note_scan(fast, examined, if found && examined > 0 { 1 } else { 0 });
+        self.note_scan(fast, examined, kept);
         found
     }
 }
 
 /// Zero-allocation iterator over the visible entries of one index list,
-/// ascending `(date, id)` — the bulk prefix is yielded without visibility
-/// checks, the versioned tail is MVCC-filtered. Accounting is batched
-/// locally and flushed to the store counters once, on drop, so a scan
-/// costs one atomic add per counter regardless of length.
+/// ascending `(date, id)` — a lazy k-way merge of the immutable bulk
+/// prefix (yielded without visibility checks) and the list's ladder runs
+/// (at most one immutable sorted run per level; see [`IndexTail`]).
+/// Versioned run entries are MVCC-filtered as they are reached, so an
+/// early-exiting caller pays only for what it consumed. All accounting is
+/// batched locally and flushed once, on drop.
 pub struct DatedIter<'g> {
-    prefix: std::slice::Iter<'g, Entry>,
-    tail: std::slice::Iter<'g, Entry>,
+    prefix: &'g [Entry],
+    runs: [&'g [Entry]; MAX_RUNS],
+    nruns: usize,
+    /// Lane that yielded last (`nruns` = the prefix, [`NO_LANE`] = must
+    /// rescan). Dates correlate with append order, so the winning lane
+    /// usually wins again: draining it until its head crosses `bound`
+    /// makes the common per-entry cost one comparison, not one per lane.
+    cur: usize,
+    /// Smallest head among the *other* lanes when `cur` was selected.
+    bound: (SimTime, u64),
     ts: CommitTs,
     counters: &'g StoreCounters,
     fast: u64,
@@ -924,54 +1475,112 @@ pub struct DatedIter<'g> {
     kept: u64,
 }
 
+/// Lane-cache sentinel: no lane selected, rescan all heads.
+const NO_LANE: usize = usize::MAX;
+
 impl Iterator for DatedIter<'_> {
     type Item = Dated;
 
-    #[inline]
     fn next(&mut self) -> Option<Dated> {
-        if let Some(e) = self.prefix.next() {
-            self.fast += 1;
-            return Some((e.id, e.date));
-        }
-        for e in self.tail.by_ref() {
-            self.examined += 1;
-            if visible(e.commit, self.ts) {
-                self.kept += 1;
-                return Some((e.id, e.date));
+        loop {
+            if self.cur == NO_LANE {
+                // Rescan every lane head; the runner-up key becomes the
+                // bound the winner may drain up to. The bulk prefix is
+                // considered first and wins ties, matching the eager
+                // merge (run-vs-run ties are identical `(date, id)`
+                // tuples either way).
+                let inf = (SimTime(i64::MAX), u64::MAX);
+                let (mut best, mut best_key, mut second) = (NO_LANE, inf, inf);
+                if let Some(p) = self.prefix.first() {
+                    best = self.nruns;
+                    best_key = key(p);
+                }
+                for i in 0..self.nruns {
+                    if let Some(h) = self.runs[i].first() {
+                        let k = key(h);
+                        if best == NO_LANE || k < best_key {
+                            second = best_key;
+                            best = i;
+                            best_key = k;
+                        } else if k < second {
+                            second = k;
+                        }
+                    }
+                }
+                if best == NO_LANE {
+                    return None;
+                }
+                self.cur = best;
+                self.bound = second;
+            }
+            let on_prefix = self.cur == self.nruns;
+            let head = if on_prefix { self.prefix.first() } else { self.runs[self.cur].first() };
+            match head {
+                Some(&e) if key(&e) <= self.bound => {
+                    if on_prefix {
+                        self.prefix = &self.prefix[1..];
+                        self.fast += 1;
+                        return Some((e.id, e.date));
+                    }
+                    self.runs[self.cur] = &self.runs[self.cur][1..];
+                    if e.commit == BULK_TS {
+                        self.fast += 1;
+                        return Some((e.id, e.date));
+                    }
+                    self.examined += 1;
+                    if visible(e.commit, self.ts) {
+                        self.kept += 1;
+                        return Some((e.id, e.date));
+                    }
+                    // Invisible: skip and keep draining this lane.
+                }
+                _ => self.cur = NO_LANE, // exhausted or crossed the bound
             }
         }
-        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let (p, t) = (self.prefix.len(), self.tail.len());
-        (p, Some(p + t))
+        // Prefix entries are always visible; run entries may be filtered.
+        let tail: usize = self.runs[..self.nruns].iter().map(|r| r.len()).sum();
+        (self.prefix.len(), Some(self.prefix.len() + tail))
     }
 }
 
 impl Drop for DatedIter<'_> {
     fn drop(&mut self) {
-        let c = self.counters;
-        if self.fast > 0 {
-            c.read_fastpath_entries.add(self.fast);
-        }
-        if self.examined > 0 {
-            c.versions_walked.add(self.examined);
-            c.versions_skipped.add(self.examined - self.kept);
-            tick_versions_walked(self.examined);
-        }
+        flush_scan_accounting(self.counters, self.fast, self.examined, self.kept);
+    }
+}
+
+/// Flush an iterator's locally batched scan accounting (see
+/// [`ReadView::note_scan`] for the lane semantics).
+fn flush_scan_accounting(c: &StoreCounters, fast: u64, examined: u64, kept: u64) {
+    if fast > 0 {
+        c.read_fastpath_entries.add(fast);
+    }
+    if examined > 0 {
+        c.versions_walked.add(examined);
+        c.versions_skipped.add(examined - kept);
+        tick_versions_walked(examined);
     }
 }
 
 /// Zero-allocation reverse scan (newest first) over the entries of one
 /// date-ordered index list at or before a date bound — the borrowing form
-/// of the "top-k most recent before date" primitive. Same fast-lane and
-/// drop-flushed accounting as [`DatedIter`].
+/// of the "top-k most recent before date" primitive. Same lazy run-merge
+/// structure and accounting split as [`DatedIter`], but every lane is
+/// consumed from the back (each run was date-bounded at construction).
 pub struct RecentWalk<'g> {
-    /// Remaining entries, already bounded to dates `<= max_date`; consumed
-    /// from the back.
-    entries: &'g [Entry],
-    bulk: usize,
+    /// Remaining bulk-prefix entries, already bounded to `<= max_date`.
+    prefix: &'g [Entry],
+    /// Remaining ladder runs, each bounded to `<= max_date`, non-empty at
+    /// construction.
+    runs: [&'g [Entry]; MAX_RUNS],
+    nruns: usize,
+    /// Lane cache, mirrored from [`DatedIter`] (largest key wins here).
+    cur: usize,
+    /// Largest tail key among the *other* lanes when `cur` was selected.
+    bound: (SimTime, u64),
     ts: CommitTs,
     counters: &'g StoreCounters,
     fast: u64,
@@ -982,52 +1591,74 @@ pub struct RecentWalk<'g> {
 impl Iterator for RecentWalk<'_> {
     type Item = Dated;
 
-    #[inline]
     fn next(&mut self) -> Option<Dated> {
-        while let Some((e, rest)) = self.entries.split_last() {
-            self.entries = rest;
-            if rest.len() < self.bulk {
-                self.fast += 1;
-                return Some((e.id, e.date));
+        loop {
+            if self.cur == NO_LANE {
+                let ninf = (SimTime(i64::MIN), 0u64);
+                let (mut best, mut best_key, mut second) = (NO_LANE, ninf, ninf);
+                if let Some(p) = self.prefix.last() {
+                    best = self.nruns;
+                    best_key = key(p);
+                }
+                for i in 0..self.nruns {
+                    if let Some(t) = self.runs[i].last() {
+                        let k = key(t);
+                        if best == NO_LANE || k > best_key {
+                            second = best_key;
+                            best = i;
+                            best_key = k;
+                        } else if k > second {
+                            second = k;
+                        }
+                    }
+                }
+                if best == NO_LANE {
+                    return None;
+                }
+                self.cur = best;
+                self.bound = second;
             }
-            self.examined += 1;
-            if visible(e.commit, self.ts) {
-                self.kept += 1;
-                return Some((e.id, e.date));
+            let on_prefix = self.cur == self.nruns;
+            let head = if on_prefix { self.prefix.last() } else { self.runs[self.cur].last() };
+            match head {
+                Some(&e) if key(&e) >= self.bound => {
+                    if on_prefix {
+                        self.prefix = &self.prefix[..self.prefix.len() - 1];
+                        self.fast += 1;
+                        return Some((e.id, e.date));
+                    }
+                    let r = self.runs[self.cur];
+                    self.runs[self.cur] = &r[..r.len() - 1];
+                    if e.commit == BULK_TS {
+                        self.fast += 1;
+                        return Some((e.id, e.date));
+                    }
+                    self.examined += 1;
+                    if visible(e.commit, self.ts) {
+                        self.kept += 1;
+                        return Some((e.id, e.date));
+                    }
+                }
+                _ => self.cur = NO_LANE,
             }
         }
-        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        (self.entries.len().min(self.bulk), Some(self.entries.len()))
+        let tail: usize = self.runs[..self.nruns].iter().map(|r| r.len()).sum();
+        (self.prefix.len(), Some(self.prefix.len() + tail))
     }
 }
 
 impl Drop for RecentWalk<'_> {
     fn drop(&mut self) {
-        let c = self.counters;
-        if self.fast > 0 {
-            c.read_fastpath_entries.add(self.fast);
-        }
-        if self.examined > 0 {
-            c.versions_walked.add(self.examined);
-            c.versions_skipped.add(self.examined - self.kept);
-            tick_versions_walked(self.examined);
-        }
+        flush_scan_accounting(self.counters, self.fast, self.examined, self.kept);
     }
 }
 
 impl Snapshot<'_> {
-    fn read(&self) -> RwLockReadGuard<'_, Inner> {
-        self.store.inner.read()
-    }
-
-    fn view<'g>(&self, g: &'g Inner) -> ReadView<'g>
-    where
-        Self: 'g,
-    {
-        ReadView { inner: g, ts: self.ts, counters: &self.store.counters }
+    fn view(&self) -> ReadView<'_> {
+        ReadView { tables: &self.store.tables, ts: self.ts, counters: &self.store.counters }
     }
 
     /// The snapshot's commit timestamp.
@@ -1037,59 +1668,52 @@ impl Snapshot<'_> {
 
     /// Person by id, if visible (cloned row).
     pub fn person(&self, id: PersonId) -> Option<Person> {
-        let g = self.read();
-        self.view(&g).person_ref(id).cloned()
+        self.view().person_ref(id).cloned()
     }
 
     /// Forum by id, if visible (cloned row).
     pub fn forum(&self, id: ForumId) -> Option<Forum> {
-        let g = self.read();
-        self.view(&g).forum_ref(id).cloned()
+        self.view().forum_ref(id).cloned()
     }
 
     /// Full message row (content included), if visible.
     pub fn message(&self, id: MessageId) -> Option<MessageRow> {
-        let g = self.read();
-        self.view(&g).message_ref(id).cloned()
+        self.view().message_ref(id).cloned()
     }
 
     /// Fixed-size message header, if visible.
     pub fn message_meta(&self, id: MessageId) -> Option<MessageMeta> {
-        let g = self.read();
-        self.view(&g).message_meta(id)
+        self.view().message_meta(id)
     }
 
     /// Tags of a message (empty if the message is not visible).
     pub fn message_tags(&self, id: MessageId) -> Vec<TagId> {
-        let g = self.read();
-        self.view(&g).message_ref(id).map(|row| row.tags.to_vec()).unwrap_or_default()
+        self.view().message_ref(id).map(|row| row.tags.to_vec()).unwrap_or_default()
     }
 
     /// Upper bound of the person id space (for scans; slots may be empty).
     pub fn person_slots(&self) -> usize {
-        self.read().persons.len()
+        self.store.tables.persons.high()
     }
 
     /// Upper bound of the forum id space.
     pub fn forum_slots(&self) -> usize {
-        self.read().forums.len()
+        self.store.tables.forums.high()
     }
 
     /// Upper bound of the message id space.
     pub fn message_slots(&self) -> usize {
-        self.read().messages.len()
+        self.store.tables.messages.high()
     }
 
     /// Friends of `id` with friendship dates, ascending by date.
     pub fn friends(&self, id: PersonId) -> Vec<Dated> {
-        let g = self.read();
-        self.view(&g).collect(g.knows.get(id.index()))
+        self.view().collect(self.store.tables.knows.get(id.index()))
     }
 
     /// Messages authored by `id`, ascending by creation date.
     pub fn messages_of(&self, id: PersonId) -> Vec<Dated> {
-        let g = self.read();
-        self.view(&g).collect(g.person_messages.get(id.index()))
+        self.view().collect(self.store.tables.person_messages.get(id.index()))
     }
 
     /// The up-to-`k` most recent messages of `id` created at or before
@@ -1097,67 +1721,58 @@ impl Snapshot<'_> {
     /// Q2/Q9/S2 ("top-20 most recent before date" with early termination
     /// on the date-ordered index).
     pub fn recent_messages_of(&self, id: PersonId, max_date: SimTime, k: usize) -> Vec<Dated> {
-        let g = self.read();
-        self.view(&g).recent_messages_of(id, max_date, k)
+        self.view().recent_messages_of(id, max_date, k)
     }
 
     /// Posts in forum `id`, ascending by creation date.
     pub fn posts_in_forum(&self, id: ForumId) -> Vec<Dated> {
-        let g = self.read();
-        self.view(&g).collect(g.forum_posts.get(id.index()))
+        self.view().collect(self.store.tables.forum_posts.get(id.index()))
     }
 
     /// Members of forum `id` with join dates.
     pub fn members_of(&self, id: ForumId) -> Vec<Dated> {
-        let g = self.read();
-        self.view(&g).collect(g.forum_members.get(id.index()))
+        self.view().collect(self.store.tables.forum_members.get(id.index()))
     }
 
     /// Forums `id` has joined, with join dates.
     pub fn forums_of(&self, id: PersonId) -> Vec<Dated> {
-        let g = self.read();
-        self.view(&g).collect(g.person_forums.get(id.index()))
+        self.view().collect(self.store.tables.person_forums.get(id.index()))
     }
 
     /// Forums `id` joined strictly after `min_date` (date-index range scan).
     pub fn forums_of_after(&self, id: PersonId, min_date: SimTime) -> Vec<Dated> {
-        let g = self.read();
-        self.view(&g).forums_of_after(id, min_date)
+        self.view().forums_of_after(id, min_date)
     }
 
     /// Direct replies to message `id`, ascending by date.
     pub fn replies_of(&self, id: MessageId) -> Vec<Dated> {
-        let g = self.read();
-        self.view(&g).collect(g.message_replies.get(id.index()))
+        self.view().collect(self.store.tables.message_replies.get(id.index()))
     }
 
     /// Likes on message `id` as `(person, like date)`.
     pub fn likes_of(&self, id: MessageId) -> Vec<Dated> {
-        let g = self.read();
-        self.view(&g).collect(g.message_likes.get(id.index()))
+        self.view().collect(self.store.tables.message_likes.get(id.index()))
     }
 
     /// Likes given by person `id` as `(message, like date)`.
     pub fn likes_by(&self, id: PersonId) -> Vec<Dated> {
-        let g = self.read();
-        self.view(&g).collect(g.person_likes.get(id.index()))
+        self.view().collect(self.store.tables.person_likes.get(id.index()))
     }
 
     /// Whether persons `a` and `b` are friends in this snapshot.
     pub fn are_friends(&self, a: PersonId, b: PersonId) -> bool {
-        let g = self.read();
-        self.view(&g).are_friends(a, b)
+        self.view().are_friends(a, b)
     }
 
     /// Storage statistics for the Table 8 experiment.
     pub fn storage_stats(&self) -> crate::stats::StorageStats {
-        crate::stats::from_raw(self.read().sizes())
+        crate::stats::from_raw(self.store.tables.sizes())
     }
 }
 
 impl PinnedSnapshot<'_> {
     fn view(&self) -> ReadView<'_> {
-        ReadView { inner: &self.guard, ts: self.ts, counters: self.counters }
+        ReadView { tables: self.tables, ts: self.ts, counters: self.counters }
     }
 
     /// The snapshot's commit timestamp.
@@ -1165,17 +1780,17 @@ impl PinnedSnapshot<'_> {
         self.ts
     }
 
-    /// Person by id, if visible — borrowed from the pinned guard.
+    /// Person by id, if visible — borrowed from the store's segments.
     pub fn person_ref(&self, id: PersonId) -> Option<&Person> {
         self.view().person_ref(id)
     }
 
-    /// Forum by id, if visible — borrowed from the pinned guard.
+    /// Forum by id, if visible — borrowed from the store's segments.
     pub fn forum_ref(&self, id: ForumId) -> Option<&Forum> {
         self.view().forum_ref(id)
     }
 
-    /// Full message row, if visible — borrowed from the pinned guard.
+    /// Full message row, if visible — borrowed from the store's segments.
     pub fn message_ref(&self, id: MessageId) -> Option<&MessageRow> {
         self.view().message_ref(id)
     }
@@ -1207,75 +1822,82 @@ impl PinnedSnapshot<'_> {
 
     /// Upper bound of the person id space (for scans; slots may be empty).
     pub fn person_slots(&self) -> usize {
-        self.guard.persons.len()
+        self.tables.persons.high()
     }
 
     /// Upper bound of the forum id space.
     pub fn forum_slots(&self) -> usize {
-        self.guard.forums.len()
+        self.tables.forums.high()
     }
 
     /// Upper bound of the message id space.
     pub fn message_slots(&self) -> usize {
-        self.guard.messages.len()
+        self.tables.messages.high()
     }
 
-    /// Friends of `id`, ascending by date — zero-allocation iterator.
+    /// Friends of `id`, ascending by date — zero-allocation on bulk-only
+    /// lists (a non-empty published tail is gathered once up front).
     pub fn friends_iter(&self, id: PersonId) -> DatedIter<'_> {
-        self.view().iter(self.guard.knows.get(id.index()))
+        self.view().iter(self.tables.knows.get(id.index()))
     }
 
-    /// Messages authored by `id`, ascending by date — zero-allocation.
+    /// Messages authored by `id`, ascending by date — zero-allocation on
+    /// bulk-only lists.
     pub fn messages_of_iter(&self, id: PersonId) -> DatedIter<'_> {
-        self.view().iter(self.guard.person_messages.get(id.index()))
+        self.view().iter(self.tables.person_messages.get(id.index()))
     }
 
-    /// Posts in forum `id`, ascending by date — zero-allocation.
+    /// Posts in forum `id`, ascending by date — zero-allocation on
+    /// bulk-only lists.
     pub fn posts_in_forum_iter(&self, id: ForumId) -> DatedIter<'_> {
-        self.view().iter(self.guard.forum_posts.get(id.index()))
+        self.view().iter(self.tables.forum_posts.get(id.index()))
     }
 
-    /// Members of forum `id` with join dates — zero-allocation.
+    /// Members of forum `id` with join dates — zero-allocation on
+    /// bulk-only lists.
     pub fn members_of_iter(&self, id: ForumId) -> DatedIter<'_> {
-        self.view().iter(self.guard.forum_members.get(id.index()))
+        self.view().iter(self.tables.forum_members.get(id.index()))
     }
 
-    /// Forums `id` has joined, with join dates — zero-allocation.
+    /// Forums `id` has joined, with join dates — zero-allocation on
+    /// bulk-only lists.
     pub fn forums_of_iter(&self, id: PersonId) -> DatedIter<'_> {
-        self.view().iter(self.guard.person_forums.get(id.index()))
+        self.view().iter(self.tables.person_forums.get(id.index()))
     }
 
-    /// Direct replies to message `id`, ascending by date — zero-allocation.
+    /// Direct replies to message `id`, ascending by date — zero-allocation
+    /// on bulk-only lists.
     pub fn replies_of_iter(&self, id: MessageId) -> DatedIter<'_> {
-        self.view().iter(self.guard.message_replies.get(id.index()))
+        self.view().iter(self.tables.message_replies.get(id.index()))
     }
 
-    /// Likes on message `id` as `(person, like date)` — zero-allocation.
+    /// Likes on message `id` as `(person, like date)` — zero-allocation on
+    /// bulk-only lists.
     pub fn likes_of_iter(&self, id: MessageId) -> DatedIter<'_> {
-        self.view().iter(self.guard.message_likes.get(id.index()))
+        self.view().iter(self.tables.message_likes.get(id.index()))
     }
 
     /// Likes given by person `id` as `(message, like date)` —
-    /// zero-allocation.
+    /// zero-allocation on bulk-only lists.
     pub fn likes_by_iter(&self, id: PersonId) -> DatedIter<'_> {
-        self.view().iter(self.guard.person_likes.get(id.index()))
+        self.view().iter(self.tables.person_likes.get(id.index()))
     }
 
     /// The messages of `id` created at or before `max_date`, newest first —
     /// the borrowing form of [`PinnedSnapshot::recent_messages_of`]; bound
     /// it with `.take(k)` or a threshold-based early break.
     pub fn recent_messages_walk(&self, id: PersonId, max_date: SimTime) -> RecentWalk<'_> {
-        self.view().recent_walk(self.guard.person_messages.get(id.index()), max_date)
+        self.view().recent_walk(self.tables.person_messages.get(id.index()), max_date)
     }
 
     /// Friends of `id` with friendship dates, ascending by date.
     pub fn friends(&self, id: PersonId) -> Vec<Dated> {
-        self.view().collect(self.guard.knows.get(id.index()))
+        self.view().collect(self.tables.knows.get(id.index()))
     }
 
     /// Messages authored by `id`, ascending by creation date.
     pub fn messages_of(&self, id: PersonId) -> Vec<Dated> {
-        self.view().collect(self.guard.person_messages.get(id.index()))
+        self.view().collect(self.tables.person_messages.get(id.index()))
     }
 
     /// The up-to-`k` most recent messages of `id` created at or before
@@ -1286,17 +1908,17 @@ impl PinnedSnapshot<'_> {
 
     /// Posts in forum `id`, ascending by creation date.
     pub fn posts_in_forum(&self, id: ForumId) -> Vec<Dated> {
-        self.view().collect(self.guard.forum_posts.get(id.index()))
+        self.view().collect(self.tables.forum_posts.get(id.index()))
     }
 
     /// Members of forum `id` with join dates.
     pub fn members_of(&self, id: ForumId) -> Vec<Dated> {
-        self.view().collect(self.guard.forum_members.get(id.index()))
+        self.view().collect(self.tables.forum_members.get(id.index()))
     }
 
     /// Forums `id` has joined, with join dates.
     pub fn forums_of(&self, id: PersonId) -> Vec<Dated> {
-        self.view().collect(self.guard.person_forums.get(id.index()))
+        self.view().collect(self.tables.person_forums.get(id.index()))
     }
 
     /// Forums `id` joined strictly after `min_date` (date-index range scan).
@@ -1306,17 +1928,17 @@ impl PinnedSnapshot<'_> {
 
     /// Direct replies to message `id`, ascending by date.
     pub fn replies_of(&self, id: MessageId) -> Vec<Dated> {
-        self.view().collect(self.guard.message_replies.get(id.index()))
+        self.view().collect(self.tables.message_replies.get(id.index()))
     }
 
     /// Likes on message `id` as `(person, like date)`.
     pub fn likes_of(&self, id: MessageId) -> Vec<Dated> {
-        self.view().collect(self.guard.message_likes.get(id.index()))
+        self.view().collect(self.tables.message_likes.get(id.index()))
     }
 
     /// Likes given by person `id` as `(message, like date)`.
     pub fn likes_by(&self, id: PersonId) -> Vec<Dated> {
-        self.view().collect(self.guard.person_likes.get(id.index()))
+        self.view().collect(self.tables.person_likes.get(id.index()))
     }
 
     /// Whether persons `a` and `b` are friends in this snapshot.
@@ -1326,55 +1948,7 @@ impl PinnedSnapshot<'_> {
 
     /// Storage statistics for the Table 8 experiment.
     pub fn storage_stats(&self) -> crate::stats::StorageStats {
-        crate::stats::from_raw(self.guard.sizes())
-    }
-}
-
-impl Inner {
-    /// Raw element counts and byte sizes per table for storage statistics.
-    fn sizes(&self) -> crate::stats::RawSizes {
-        let inner = self;
-        let entry_bytes = std::mem::size_of::<Entry>();
-        let list_bytes =
-            |lists: &Vec<IndexList>| lists.iter().map(|l| l.len() * entry_bytes).sum::<usize>();
-        let msg_content: usize = inner
-            .messages
-            .iter()
-            .flatten()
-            .map(|v| v.row.content.len() + v.row.tags.len() * 8 + 64)
-            .sum();
-        crate::stats::RawSizes {
-            persons: inner.persons.iter().flatten().count(),
-            person_bytes: inner
-                .persons
-                .iter()
-                .flatten()
-                .map(|v| {
-                    160 + v.row.location_ip.len()
-                        + v.row.emails.iter().map(|e| e.len()).sum::<usize>()
-                        + v.row.interests.len() * 8
-                        + v.row.work_at.len() * 16
-                })
-                .sum(),
-            forums: inner.forums.iter().flatten().count(),
-            forum_bytes: inner
-                .forums
-                .iter()
-                .flatten()
-                .map(|v| 64 + v.row.title.len() + v.row.tags.len() * 8)
-                .sum(),
-            messages: inner.messages.iter().flatten().count(),
-            message_bytes: msg_content,
-            knows_entries: inner.knows.iter().map(|l| l.len()).sum(),
-            knows_bytes: list_bytes(&inner.knows),
-            likes_entries: inner.message_likes.iter().map(|l| l.len()).sum(),
-            likes_bytes: list_bytes(&inner.message_likes) + list_bytes(&inner.person_likes),
-            membership_entries: inner.forum_members.iter().map(|l| l.len()).sum(),
-            membership_bytes: list_bytes(&inner.forum_members) + list_bytes(&inner.person_forums),
-            person_message_bytes: list_bytes(&inner.person_messages),
-            forum_post_bytes: list_bytes(&inner.forum_posts),
-            reply_bytes: list_bytes(&inner.message_replies),
-        }
+        crate::stats::from_raw(self.tables.sizes())
     }
 }
 
@@ -1426,6 +2000,90 @@ mod tests {
             tags: vec![TagId(1)],
             language: "de",
             country: 0,
+        }
+    }
+
+    #[test]
+    fn segvec_locate_covers_segment_boundaries() {
+        type V = SegVec<u64, 10, 22>;
+        // Segment k covers [((1<<k)-1)<<10, ((1<<(k+1))-1)<<10).
+        assert_eq!(V::locate(0), (0, 0));
+        assert_eq!(V::locate(1023), (0, 1023));
+        assert_eq!(V::locate(1024), (1, 0));
+        assert_eq!(V::locate(3071), (1, 2047));
+        assert_eq!(V::locate(3072), (2, 0));
+        assert_eq!(V::locate(7167), (2, 4095));
+        assert_eq!(V::locate(7168), (3, 0));
+        let v: V = SegVec::new();
+        assert!(v.get(0).is_none());
+        v.install(3000, 42);
+        assert_eq!(v.get(3000), Some(&42));
+        assert!(v.get(2999).is_none(), "bound raised but slot not installed");
+        assert_eq!(v.high(), 3001);
+    }
+
+    #[test]
+    fn index_list_tail_publication_and_merge() {
+        let list = IndexList::from_bulk(vec![
+            Entry { date: SimTime(10), id: 0, commit: BULK_TS },
+            Entry { date: SimTime(30), id: 1, commit: BULK_TS },
+        ]);
+        assert_eq!(list.bulk().len(), 2);
+        // Appends never disturb the immutable bulk prefix: a top-up bulk
+        // entry, a committed entry, and a committed entry dated *inside*
+        // the prefix all land in the published tail.
+        list.push(Entry { date: SimTime(20), id: 2, commit: BULK_TS });
+        list.push(Entry { date: SimTime(40), id: 3, commit: 5 });
+        list.push(Entry { date: SimTime(15), id: 4, commit: 6 });
+        assert_eq!(list.bulk().len(), 2);
+        assert_eq!(list.tail_len(), 3);
+        assert_eq!(list.len(), 5);
+
+        // At ts 5 the commit-6 entry is invisible; gather sorts the rest.
+        let mut out = Vec::new();
+        let (fast, examined, kept) = list.gather_tail(5, |_| true, &mut out);
+        assert_eq!((fast, examined, kept), (1, 2, 1));
+        assert_eq!(out.iter().map(|e| e.id).collect::<Vec<_>>(), vec![2, 3]);
+
+        // At ts 6 all three are visible, sorted by (date, id).
+        out.clear();
+        let (fast, examined, kept) = list.gather_tail(6, |_| true, &mut out);
+        assert_eq!((fast, examined, kept), (1, 2, 2));
+        assert_eq!(out.iter().map(|e| e.id).collect::<Vec<_>>(), vec![4, 2, 3]);
+    }
+
+    #[test]
+    fn tail_merge_ladder_decomposes_every_prefix() {
+        // Dates descend so every ladder merge has real work to do, and
+        // every historical prefix decomposition must stay intact: a
+        // reader pinned at length p keeps using p's runs even after the
+        // ladder has carried past them.
+        let tail = IndexTail::new();
+        let total = 37usize; // crosses 32, exercising a 5-level carry
+        for i in 0..total {
+            tail.push(Entry {
+                date: SimTime((total - i) as i64),
+                id: i as u64,
+                commit: (i + 1) as CommitTs,
+            });
+            let p = tail.published_len();
+            assert_eq!(p, i + 1);
+            for q in 1..=p {
+                let mut runs = [&[][..]; MAX_RUNS];
+                let n = tail.decompose(q, &mut runs);
+                assert_eq!(n, q.count_ones() as usize, "one run per set bit of {q}");
+                let mut covered = 0usize;
+                for r in &runs[..n] {
+                    assert!(r.windows(2).all(|w| key(&w[0]) <= key(&w[1])), "run unsorted");
+                    covered += r.len();
+                }
+                assert_eq!(covered, q, "decomposition of {q} must cover it exactly");
+                // Together the runs hold exactly the first q raw entries.
+                let mut ids: Vec<u64> =
+                    runs[..n].iter().flat_map(|r| r.iter().map(|e| e.id)).collect();
+                ids.sort_unstable();
+                assert_eq!(ids, (0..q as u64).collect::<Vec<_>>());
+            }
         }
     }
 
@@ -1623,27 +2281,6 @@ mod tests {
     }
 
     #[test]
-    fn bulk_prefix_tracks_inserts() {
-        let mut list = IndexList::from_bulk(vec![
-            Entry { date: SimTime(10), id: 0, commit: BULK_TS },
-            Entry { date: SimTime(30), id: 1, commit: BULK_TS },
-        ]);
-        assert_eq!(list.bulk, 2);
-        // A bulk entry inside the prefix extends it (serial bulk load).
-        list.insert(Entry { date: SimTime(20), id: 2, commit: BULK_TS });
-        assert_eq!(list.bulk, 3);
-        // A versioned entry appended after the prefix leaves it intact.
-        list.insert(Entry { date: SimTime(40), id: 3, commit: 5 });
-        assert_eq!(list.bulk, 3);
-        // A versioned entry landing inside the prefix splits it there.
-        list.insert(Entry { date: SimTime(15), id: 4, commit: 6 });
-        assert_eq!(list.bulk, 1);
-        // Entries stay `(date, id)` sorted and the prefix stays all-bulk.
-        assert!(list.entries.windows(2).all(|w| (w[0].date, w[0].id) < (w[1].date, w[1].id)));
-        assert!(list.entries[..list.bulk].iter().all(|e| e.commit == BULK_TS));
-    }
-
-    #[test]
     fn pinned_snapshot_matches_unpinned_reads() {
         let ds =
             snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(120).activity(0.4))
@@ -1672,8 +2309,22 @@ mod tests {
                 format!("{:?}", pinned.person_ref(p).cloned())
             );
         }
-        assert!(s.counters().read_guard_pins.get() >= 1);
+        assert!(s.counters().read_latchfree.get() >= 1);
         assert!(s.counters().read_fastpath_entries.get() > 0, "bulk prefix must be exercised");
+    }
+
+    #[test]
+    fn pinned_reader_does_not_block_apply() {
+        let s = Store::new();
+        s.apply(&UpdateOp::AddPerson(person(0, 10))).unwrap();
+        let pin = s.pinned();
+        // Under the old guard-holding pin this exact sequence deadlocked
+        // (writer waits on the read guard held by `pin` on this thread).
+        s.apply(&UpdateOp::AddPerson(person(1, 20))).unwrap();
+        assert!(pin.person_ref(PersonId(1)).is_none(), "pin must stay frozen at its ts");
+        assert!(pin.person_ref(PersonId(0)).is_some());
+        assert!(s.pinned().person_ref(PersonId(1)).is_some());
+        assert_eq!(s.counters().read_latchfree.get(), 2);
     }
 
     #[test]
@@ -1712,7 +2363,7 @@ mod tests {
         let s = Store::new();
         s.apply(&UpdateOp::AddPerson(person(0, 1))).unwrap();
         s.apply(&UpdateOp::AddForum(forum(0, 0, 2))).unwrap();
-        // Insert posts out of date order; index must stay sorted.
+        // Insert posts out of date order; scans must observe sorted order.
         s.apply(&UpdateOp::AddPost(post(1, 0, 0, 50))).unwrap();
         s.apply(&UpdateOp::AddPost(post(0, 0, 0, 30))).unwrap();
         s.apply(&UpdateOp::AddPost(post(2, 0, 0, 40))).unwrap();

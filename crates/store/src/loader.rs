@@ -4,7 +4,7 @@
 //! `sorted_insert` — a binary search plus an `O(n)` memmove per entry,
 //! `O(n²)` per list in the worst case, all on one thread. Bulk-load time is
 //! a first-class benchmark dimension (§4: "32 months are bulkloaded at
-//! benchmark start"), so this module builds the same [`Inner`] a different
+//! benchmark start"), so this module builds the same [`Tables`] a different
 //! way:
 //!
 //! 1. every id space (persons, forums, messages) is split into contiguous
@@ -13,7 +13,10 @@
 //!    the table slots and index lists whose owning id falls in its ranges;
 //! 3. each list is sorted **once** with `sort_unstable_by_key` at the end
 //!    instead of being kept incrementally sorted;
-//! 4. the per-worker chunks are concatenated in range order.
+//! 4. each worker installs its chunk directly into the shared [`Tables`]
+//!    (stable [`SegVec`][crate::graph::SegVec] addresses make concurrent
+//!    disjoint-slot installs safe), and the table bounds are published
+//!    once, after all workers join.
 //!
 //! Every list is owned by exactly one worker and sorted by the same
 //! `(date, id)` key the serial path maintains, and a counting pre-pass
@@ -23,15 +26,17 @@
 //! load regardless of thread count (asserted by `tests/recovery.rs` and
 //! the workspace end-to-end suite).
 
-use crate::graph::{comment_row, post_row, Entry, IndexList, Inner, MessageRow, Versioned};
+use crate::graph::{
+    comment_row, post_row, Entry, IndexList, IndexTable, MessageRow, Tables, Versioned,
+};
 use crate::mvcc::BULK_TS;
 use snb_core::schema::{Forum, Person};
 use snb_core::time::SimTime;
 use snb_datagen::Dataset;
 use std::ops::Range;
 
-/// The sizing pre-pass result: exact final length of every [`Inner`]
-/// vector (replicating the serial loader's `ensure` calls so slot counts —
+/// The sizing pre-pass result: exact final bound of every [`Tables`]
+/// table (replicating the serial loader's `ensure` calls so slot counts —
 /// and thus `*_slots()` scan bounds — match the serial path exactly), and
 /// the exact number of entries each index list will receive, so workers
 /// allocate every list at final capacity and never pay a growth realloc.
@@ -123,7 +128,7 @@ fn range_of(len: usize, threads: usize, t: usize) -> Range<usize> {
     (t * chunk).min(len)..((t + 1) * chunk).min(len)
 }
 
-/// One worker's contiguous slice of every [`Inner`] vector.
+/// One worker's contiguous slice of every table.
 #[derive(Debug, Default)]
 struct Shard {
     persons: Vec<Option<Versioned<Person>>>,
@@ -269,35 +274,108 @@ fn build_shard(ds: &Dataset, cut: SimTime, s: &Plan, threads: usize, t: usize) -
     sh
 }
 
-/// Build a complete [`Inner`] from `ds` (entities dated at or before
-/// `cut`) using `threads` workers.
-pub(crate) fn build(ds: &Dataset, cut: SimTime, threads: usize) -> Inner {
+/// Install `lists` as immutable bulk prefixes at `table[start..]`.
+///
+/// Uses [`SegVec::set_slot`][crate::graph::SegVec] (no bound bump): slots
+/// stay invisible to readers until the final publication pass in
+/// [`build_into`] raises each table's high-water mark.
+fn put_lists(table: &IndexTable, start: usize, lists: Vec<Vec<Entry>>) {
+    for (j, list) in lists.into_iter().enumerate() {
+        table.set_slot(start + j, IndexList::from_bulk(list));
+    }
+}
+
+/// Install one worker's shard into the shared tables. Ranges are
+/// recomputed from the same `(len, threads, t)` inputs `build_shard` used,
+/// so every slot index lands exactly where the serial loader would put it.
+fn install_shard(tables: &Tables, sh: Shard, s: &Plan, threads: usize, t: usize) {
+    let persons_r = range_of(s.persons, threads, t);
+    for (j, p) in sh.persons.into_iter().enumerate() {
+        if let Some(v) = p {
+            tables.persons.set_slot(persons_r.start + j, v);
+        }
+    }
+    let forums_r = range_of(s.forums, threads, t);
+    for (j, f) in sh.forums.into_iter().enumerate() {
+        if let Some(v) = f {
+            tables.forums.set_slot(forums_r.start + j, v);
+        }
+    }
+    let messages_r = range_of(s.messages, threads, t);
+    for (j, m) in sh.messages.into_iter().enumerate() {
+        if let Some(v) = m {
+            tables.messages.set_slot(messages_r.start + j, v);
+        }
+    }
+    put_lists(&tables.knows, range_of(s.knows.len(), threads, t).start, sh.knows);
+    put_lists(
+        &tables.person_messages,
+        range_of(s.person_messages.len(), threads, t).start,
+        sh.person_messages,
+    );
+    put_lists(&tables.forum_posts, range_of(s.forum_posts.len(), threads, t).start, sh.forum_posts);
+    put_lists(
+        &tables.forum_members,
+        range_of(s.forum_members.len(), threads, t).start,
+        sh.forum_members,
+    );
+    put_lists(
+        &tables.person_forums,
+        range_of(s.person_forums.len(), threads, t).start,
+        sh.person_forums,
+    );
+    put_lists(
+        &tables.message_replies,
+        range_of(s.message_replies.len(), threads, t).start,
+        sh.message_replies,
+    );
+    put_lists(
+        &tables.message_likes,
+        range_of(s.message_likes.len(), threads, t).start,
+        sh.message_likes,
+    );
+    put_lists(
+        &tables.person_likes,
+        range_of(s.person_likes.len(), threads, t).start,
+        sh.person_likes,
+    );
+}
+
+/// Build `ds` (entities dated at or before `cut`) straight into `tables`
+/// using `threads` workers. `tables` must be empty. Every loader entry
+/// carries `BULK_TS`, so each list's bulk-prefix fast lane covers it
+/// entirely.
+pub(crate) fn build_into(tables: &Tables, ds: &Dataset, cut: SimTime, threads: usize) {
     let threads = threads.max(1);
     let s = plan(ds, cut);
-    let shards: Vec<Shard> = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let s = &s;
         let handles: Vec<_> = (0..threads)
-            .map(|t| scope.spawn(move || build_shard(ds, cut, s, threads, t)))
+            .map(|t| {
+                scope.spawn(move || {
+                    let sh = build_shard(ds, cut, s, threads, t);
+                    install_shard(tables, sh, s, threads, t);
+                })
+            })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("bulk-load worker panicked")).collect()
+        for h in handles {
+            h.join().expect("bulk-load worker panicked");
+        }
     });
-    // Per-space ranges are contiguous and in worker order: concatenation
-    // reassembles each full vector. Every loader entry carries `BULK_TS`,
-    // so each list's bulk-prefix fast lane covers it entirely.
-    let as_bulk = |lists: Vec<Vec<Entry>>| lists.into_iter().map(IndexList::from_bulk);
-    let mut inner = Inner::default();
-    for sh in shards {
-        inner.persons.extend(sh.persons);
-        inner.forums.extend(sh.forums);
-        inner.messages.extend(sh.messages);
-        inner.knows.extend(as_bulk(sh.knows));
-        inner.person_messages.extend(as_bulk(sh.person_messages));
-        inner.forum_posts.extend(as_bulk(sh.forum_posts));
-        inner.forum_members.extend(as_bulk(sh.forum_members));
-        inner.person_forums.extend(as_bulk(sh.person_forums));
-        inner.message_replies.extend(as_bulk(sh.message_replies));
-        inner.message_likes.extend(as_bulk(sh.message_likes));
-        inner.person_likes.extend(as_bulk(sh.person_likes));
-    }
-    inner
+    // Publish the bounds last: `SegVec::get` gates on `high`, so nothing
+    // installed above is reachable until these stores land. (Bulk load is
+    // not atomic with respect to concurrent readers — see
+    // `Store::bulk_load_until_threads` — but the bound-last order still
+    // guarantees no reader can reach an uninitialized slot.)
+    tables.persons.bump(s.persons);
+    tables.forums.bump(s.forums);
+    tables.messages.bump(s.messages);
+    tables.knows.bump(s.knows.len());
+    tables.person_messages.bump(s.person_messages.len());
+    tables.forum_posts.bump(s.forum_posts.len());
+    tables.forum_members.bump(s.forum_members.len());
+    tables.person_forums.bump(s.person_forums.len());
+    tables.message_replies.bump(s.message_replies.len());
+    tables.message_likes.bump(s.message_likes.len());
+    tables.person_likes.bump(s.person_likes.len());
 }

@@ -63,16 +63,52 @@ impl CommitClock {
         self.next.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Publish `ts` as committed (call after all rows are written, still
-    /// under the writer lock, so publication order equals timestamp order).
+    /// Publish `ts` as committed (call after all of the transaction's rows
+    /// are in place). This is the write path's **single global
+    /// serialization point**: with the store's write latch replaced by
+    /// striped per-shard locks, two shard-disjoint transactions reach here
+    /// concurrently, so `publish` itself enforces timestamp-order
+    /// publication — it waits (spin, then yield) until every earlier
+    /// reserved timestamp has been published, then advances the horizon
+    /// with a release store.
     ///
-    /// Monotonicity is a hard invariant, enforced in release builds too: a
-    /// non-monotone publish would silently move the snapshot horizon
-    /// backwards and un-commit visible transactions, so it panics instead.
+    /// In-order publication is what keeps the snapshot rule sound under
+    /// concurrent writers: `snapshot_ts()` returning `ts` guarantees every
+    /// transaction with a timestamp `≤ ts` has finished writing its rows
+    /// (its publish happened, and its row writes happen-before its
+    /// publish), so a reader can never observe a half-applied earlier
+    /// transaction through a newer horizon. The wait is short by
+    /// construction: between `reserve` and `publish` a writer only places
+    /// in-memory rows — WAL appends and fsyncs happen before reservation
+    /// and after publication respectively.
+    ///
+    /// Monotonicity stays a hard invariant, enforced in release builds
+    /// too: publishing a timestamp at or below the horizon would un-commit
+    /// visible transactions, so it panics instead. Every reserved
+    /// timestamp MUST be published (validation and WAL appends happen
+    /// before `reserve`), otherwise later publishers would wait forever.
     #[inline]
     pub fn publish(&self, ts: CommitTs) {
-        let latest = self.latest.load(Ordering::Relaxed);
-        assert!(ts > latest, "CommitClock::publish went backwards: publishing {ts} over {latest}");
+        let mut spins = 0u32;
+        loop {
+            let latest = self.latest.load(Ordering::Acquire);
+            assert!(
+                latest < ts,
+                "CommitClock::publish went backwards: publishing {ts} over {latest}"
+            );
+            if latest + 1 == ts {
+                break;
+            }
+            // An earlier timestamp is still writing its rows: wait for our
+            // turn. Spin briefly (the predecessor is mid-insert), then
+            // yield so a descheduled predecessor can run.
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
         self.latest.store(ts, Ordering::Release);
     }
 
@@ -122,12 +158,41 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "publish went backwards")]
-    fn non_monotone_publish_panics_in_release_too() {
+    fn republishing_a_timestamp_panics_in_release_too() {
         let clock = CommitClock::new();
         let a = clock.reserve();
-        let b = clock.reserve();
-        clock.publish(b);
+        clock.publish(a);
         clock.publish(a); // would regress the snapshot horizon
+    }
+
+    /// Two writers publishing out of reservation order: the later timestamp
+    /// must wait for the earlier one, so the horizon never exposes `b`
+    /// before `a` is fully published.
+    #[test]
+    fn publish_waits_for_earlier_timestamps() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let clock = Arc::new(CommitClock::new());
+        let a = clock.reserve();
+        let b = clock.reserve();
+        let b_published = Arc::new(AtomicBool::new(false));
+        let t = {
+            let clock = Arc::clone(&clock);
+            let b_published = Arc::clone(&b_published);
+            std::thread::spawn(move || {
+                clock.publish(b); // blocks until `a` is published
+                b_published.store(true, Ordering::SeqCst);
+            })
+        };
+        // Give the thread a chance to run: `b` must not become visible
+        // while `a` is outstanding.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(clock.snapshot_ts(), BULK_TS, "b published before a");
+        assert!(!b_published.load(Ordering::SeqCst));
+        clock.publish(a);
+        t.join().unwrap();
+        assert_eq!(clock.snapshot_ts(), b);
     }
 
     #[test]

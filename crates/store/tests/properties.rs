@@ -384,3 +384,156 @@ proptest! {
         }
     }
 }
+
+/// Highest entity id used by [`mixed_dataset`] plus one: synthetic ops
+/// offset their ids past this floor so they can never collide with (or
+/// depend on) bulk-loaded entities.
+fn id_floor() -> u64 {
+    use std::sync::OnceLock;
+    static FLOOR: OnceLock<u64> = OnceLock::new();
+    *FLOOR.get_or_init(|| {
+        let (ds, _) = mixed_dataset();
+        let persons = ds.persons.iter().map(|p| p.id.raw()).max().unwrap_or(0);
+        let forums = ds.forums.iter().map(|f| f.id.raw()).max().unwrap_or(0);
+        let posts = ds.posts.iter().map(|p| p.id.raw()).max().unwrap_or(0);
+        let comments = ds.comments.iter().map(|c| c.id.raw()).max().unwrap_or(0);
+        persons.max(forums).max(posts).max(comments) + 1
+    })
+}
+
+/// Shift every id in `a` into the window starting at `base`.
+fn offset_action(a: &Action, base: u64) -> Action {
+    match *a {
+        Action::AddPerson(id) => Action::AddPerson(base + id),
+        Action::AddFriendship(x, y) => Action::AddFriendship(base + x, base + y),
+        Action::AddForum(f, m) => Action::AddForum(base + f, base + m),
+        Action::AddPost { id, author, forum } => {
+            Action::AddPost { id: base + id, author: base + author, forum: base + forum }
+        }
+        Action::AddComment { id, author, parent, forum } => Action::AddComment {
+            id: base + id,
+            author: base + author,
+            parent: base + parent,
+            forum: base + forum,
+        },
+        Action::AddLike { person, message } => {
+            Action::AddLike { person: base + person, message: base + message }
+        }
+        Action::TakeSnapshot => Action::TakeSnapshot,
+    }
+}
+
+/// Turn raw action vectors into per-writer streams of *valid* ops over
+/// disjoint id windows (window `t` starts at `id_floor() + 64 t`), so any
+/// thread interleaving applies cleanly: no stream references another
+/// stream's entities. Dates are a function of `(stream, index)` — identical
+/// between the concurrent run and the serial oracle.
+fn disjoint_streams(raw: &[Vec<Action>]) -> Vec<Vec<UpdateOp>> {
+    raw.iter()
+        .enumerate()
+        .map(|(t, actions)| {
+            let base = id_floor() + (t as u64) * 64;
+            let mut model = Model::default();
+            let mut ops = Vec::new();
+            for (i, a) in actions.iter().enumerate() {
+                let a = offset_action(a, base);
+                let date = (t as i64 + 1) * 1_000_000 + i as i64;
+                if let Some((op, ok)) = to_op(&a, date, &model) {
+                    if ok {
+                        ops.push(op);
+                        apply_model(&a, &mut model);
+                    }
+                }
+            }
+            ops
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Tentpole property (PR 5): a store written by concurrent threads
+    /// through the striped-lock commit pipeline is pointwise identical —
+    /// across every adjacency accessor, every borrowing iterator and every
+    /// `*_ref` accessor — to a store that applied the same streams
+    /// serially. Half the cases layer the writers on top of a bulk-loaded
+    /// prefix, so the always-visible fast lane and the versioned tails are
+    /// both exercised.
+    #[test]
+    fn concurrent_apply_matches_serial_apply(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(action_strategy(), 1..48), 2..=4),
+        bulk in any::<bool>(),
+    ) {
+        let (ds, _) = mixed_dataset();
+        let streams = disjoint_streams(&raw);
+
+        let concurrent = Store::new();
+        let serial = Store::new();
+        if bulk {
+            concurrent.bulk_load(ds);
+            serial.bulk_load(ds);
+        }
+        std::thread::scope(|scope| {
+            for ops in &streams {
+                let store = &concurrent;
+                scope.spawn(move || {
+                    for op in ops {
+                        store.apply(op).expect("disjoint stream op must commit");
+                    }
+                });
+            }
+        });
+        for ops in &streams {
+            for op in ops {
+                serial.apply(op).expect("serial oracle op must commit");
+            }
+        }
+
+        prop_assert_eq!(
+            concurrent.counters().commits.get(),
+            serial.counters().commits.get()
+        );
+        let a = concurrent.pinned();
+        let b = serial.pinned();
+        prop_assert_eq!(a.person_slots(), b.person_slots());
+        prop_assert_eq!(a.forum_slots(), b.forum_slots());
+        prop_assert_eq!(a.message_slots(), b.message_slots());
+        for i in 0..a.person_slots() as u64 {
+            let p = PersonId(i);
+            prop_assert_eq!(
+                format!("{:?}", a.person_ref(p)), format!("{:?}", b.person_ref(p)),
+                "person_ref {} drifted", i
+            );
+            prop_assert_eq!(a.friends(p), b.friends(p), "friends of {} drifted", i);
+            prop_assert_eq!(a.friends(p), a.friends_iter(p).collect::<Vec<_>>());
+            prop_assert_eq!(a.messages_of(p), b.messages_of(p));
+            prop_assert_eq!(a.messages_of(p), a.messages_of_iter(p).collect::<Vec<_>>());
+            prop_assert_eq!(a.forums_of(p), b.forums_of(p));
+            prop_assert_eq!(a.likes_by(p), b.likes_by(p));
+            prop_assert_eq!(
+                a.recent_messages_walk(p, SimTime(i64::MAX)).take(4).collect::<Vec<_>>(),
+                b.recent_messages_walk(p, SimTime(i64::MAX)).take(4).collect::<Vec<_>>()
+            );
+        }
+        for i in 0..a.forum_slots() as u64 {
+            let f = ForumId(i);
+            prop_assert_eq!(
+                format!("{:?}", a.forum_ref(f)), format!("{:?}", b.forum_ref(f))
+            );
+            prop_assert_eq!(a.posts_in_forum(f), b.posts_in_forum(f));
+            prop_assert_eq!(a.posts_in_forum(f), a.posts_in_forum_iter(f).collect::<Vec<_>>());
+            prop_assert_eq!(a.members_of(f), b.members_of(f));
+        }
+        for i in 0..a.message_slots() as u64 {
+            let m = MessageId(i);
+            prop_assert_eq!(
+                format!("{:?}", a.message_ref(m)), format!("{:?}", b.message_ref(m))
+            );
+            prop_assert_eq!(a.replies_of(m), b.replies_of(m));
+            prop_assert_eq!(a.replies_of(m), a.replies_of_iter(m).collect::<Vec<_>>());
+            prop_assert_eq!(a.likes_of(m), b.likes_of(m));
+        }
+    }
+}
