@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by `snb run --trace`.
+
+Checks, with stdlib only (CI has no pip):
+  1. the file parses as JSON and has a non-empty `traceEvents` array;
+  2. every complete ("X") event carries ts/dur/pid/tid and span ids in args;
+  3. causal nesting holds: every span whose parent is present lies inside
+     its parent's [start, end] interval (ring-evicted parents are skipped);
+  4. with --require-server, both the driver (pid 1) and server (pid 2)
+     process lanes are present and at least one server span is parented to
+     a driver span in the same trace — i.e. the wire stitching worked.
+
+Usage: validate_trace.py TRACE.json [--require-server]
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: validate_trace.py TRACE.json [--require-server]")
+    path = sys.argv[1]
+    require_server = "--require-server" in sys.argv[2:]
+
+    with open(path) as f:
+        doc = json.load(f)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    spans = []
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        if ph != "X":
+            fail(f"unexpected event phase {ph!r}: {e}")
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in e:
+                fail(f"complete event missing {key!r}: {e}")
+        args = e.get("args", {})
+        for key in ("trace_id", "span_id", "parent_id"):
+            if key not in args:
+                fail(f"event args missing {key!r}: {e}")
+        spans.append(e)
+    if not spans:
+        fail("no complete (X) spans in trace")
+
+    # Span ids are only meaningful within a trace: the driver and the server
+    # allocate from independent counters, so a bare span_id join would pair
+    # spans from unrelated traces. Key by (trace_id, span_id).
+    by_id = {(s["args"]["trace_id"], s["args"]["span_id"]): s for s in spans}
+    checked = orphans = 0
+    for s in spans:
+        parent_id = s["args"]["parent_id"]
+        if parent_id == 0:
+            continue
+        parent = by_id.get((s["args"]["trace_id"], parent_id))
+        if parent is None:
+            orphans += 1  # parent evicted by the ring; not an error
+            continue
+        ps, pe = parent["ts"], parent["ts"] + parent["dur"]
+        cs, ce = s["ts"], s["ts"] + s["dur"]
+        if cs < ps or ce > pe:
+            fail(
+                f"span {s['args']['span_id']} {s['name']!r} [{cs}, {ce}] "
+                f"escapes parent {parent_id} {parent['name']!r} [{ps}, {pe}]"
+            )
+        checked += 1
+    if checked == 0:
+        fail("no parent/child link could be verified")
+
+    pids = {s["pid"] for s in spans}
+    stitched = 0
+    if require_server:
+        if 2 not in pids:
+            fail("--require-server: no server (pid 2) spans in trace")
+        for s in spans:
+            if s["pid"] != 2:
+                continue
+            parent = by_id.get((s["args"]["trace_id"], s["args"]["parent_id"]))
+            if parent is not None and parent["pid"] == 1:
+                stitched += 1
+        if stitched == 0:
+            fail("--require-server: no server span is parented to a driver span")
+
+    print(
+        f"OK: {len(spans)} spans, {checked} nested links verified, "
+        f"{orphans} orphans skipped, pids={sorted(pids)}, "
+        f"{stitched} client->server stitches"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -23,7 +23,7 @@ use snb_core::schema::{Comment, Forum, ForumKind, Knows, Like, Person, Post};
 use snb_core::time::SimTime;
 use snb_core::update::UpdateOp;
 use snb_core::{ForumId, MessageId, PersonId, TagId};
-use snb_obs::Json;
+use snb_obs::{HistogramSnapshot, Json};
 use snb_queries::params::Q2Params;
 use snb_queries::{complex, Engine};
 use snb_store::Store;
@@ -133,6 +133,14 @@ struct Trial {
     write_ops_per_s: f64,
     read_ops_per_s: f64,
     shard_conflicts: u64,
+    /// Write-pipeline stage histograms (`store.stage.*`) plus WAL fsync
+    /// and the merged stripe-wait distribution, straight from the store.
+    stage_histograms: Vec<(String, HistogramSnapshot)>,
+    /// Per-stripe conflict counts — the contention heatmap.
+    stripe_conflicts: Vec<u64>,
+    /// Per-stripe acquire-wait distributions (nanoseconds), index-aligned
+    /// with `stripe_conflicts`.
+    stripe_waits: Vec<HistogramSnapshot>,
 }
 
 /// One timed run: `streams.len()` writers + [`READERS`] pinned readers.
@@ -192,17 +200,36 @@ fn run_trial(ds: &snb_datagen::Dataset, streams: &[Vec<UpdateOp>], dataset_perso
     });
     let wall = write_wall.into_inner().unwrap().expect("last writer stamped the wall");
     let total_ops: usize = streams.iter().map(Vec::len).sum();
-    let conflicts = store
-        .counters()
+    let counters = store.counters();
+    let conflicts = counters
         .snapshot()
         .iter()
         .find(|&&(n, _)| n == "store.write.shard_conflicts")
         .map_or(0, |&(_, v)| v);
+    let stripe_conflicts = counters.stripes.conflict_counts();
+    let stripe_waits =
+        (0..stripe_conflicts.len()).map(|i| counters.stripes.wait_hist(i).snapshot()).collect();
     Trial {
         write_ops_per_s: total_ops as f64 / wall.as_secs_f64().max(1e-9),
         read_ops_per_s: reads.load(Ordering::Relaxed) as f64 / wall.as_secs_f64().max(1e-9),
         shard_conflicts: conflicts,
+        stage_histograms: counters.histogram_snapshots(),
+        stripe_conflicts,
+        stripe_waits,
     }
+}
+
+/// Histogram summary for the JSON report: count/mean/p50/p99/max, unit in
+/// the histogram's name.
+fn hist_json(h: &HistogramSnapshot) -> Json {
+    Json::obj([
+        ("count", Json::from(h.count)),
+        ("sum", Json::from(h.sum)),
+        ("mean", Json::from(h.mean())),
+        ("p50", Json::from(h.value_at_quantile(0.50))),
+        ("p99", Json::from(h.value_at_quantile(0.99))),
+        ("max", Json::from(h.max)),
+    ])
 }
 
 fn main() {
@@ -252,6 +279,49 @@ fn main() {
             format!("{:.0}", best.read_ops_per_s),
             best.shard_conflicts.to_string(),
         ]);
+
+        // Stage attribution: which pipeline stage the writers' time went
+        // to, from the store's nanosecond stage histograms.
+        let pipeline: Vec<&(String, HistogramSnapshot)> = best
+            .stage_histograms
+            .iter()
+            .filter(|(n, h)| n.starts_with("store.stage.") && !h.is_empty())
+            .collect();
+        let pipeline_sum: u64 = pipeline.iter().map(|(_, h)| h.sum).sum();
+        if let Some((name, h)) = pipeline.iter().max_by_key(|(_, h)| h.sum).map(|&(n, h)| (n, h)) {
+            println!(
+                "   writers={writers}: dominant stage {} ({:.0}% of pipeline, mean {:.0} ns, p99 {} ns)",
+                name.trim_start_matches("store.stage."),
+                100.0 * h.sum as f64 / pipeline_sum.max(1) as f64,
+                h.mean(),
+                h.value_at_quantile(0.99),
+            );
+        }
+        let stages = Json::obj(
+            best.stage_histograms
+                .iter()
+                .filter(|(_, h)| !h.is_empty())
+                .map(|(n, h)| (n.clone(), hist_json(h))),
+        );
+
+        // Stripe contention heatmap: total + per-stripe conflicts, the
+        // merged acquire-wait distribution, and the hottest stripes.
+        let conflicts_total: u64 = best.stripe_conflicts.iter().sum();
+        let mut hot: Vec<(usize, u64)> =
+            best.stripe_conflicts.iter().copied().enumerate().filter(|&(_, c)| c > 0).collect();
+        hot.sort_by_key(|&(i, c)| (std::cmp::Reverse(c), i));
+        let hottest = Json::arr(hot.iter().take(8).map(|&(i, c)| {
+            Json::obj([
+                ("stripe", Json::from(i as u64)),
+                ("conflicts", Json::from(c)),
+                ("wait_p99_nanos", Json::from(best.stripe_waits[i].value_at_quantile(0.99))),
+            ])
+        }));
+        let mut merged_wait = HistogramSnapshot::default();
+        for w in &best.stripe_waits {
+            merged_wait.merge(w);
+        }
+
         configs.push(Json::obj([
             ("writers", Json::from(writers as u64)),
             ("readers", Json::from(READERS as u64)),
@@ -259,6 +329,19 @@ fn main() {
             ("read_ops_per_s", Json::from(best.read_ops_per_s)),
             ("scaling_vs_single_writer", Json::from(scaling)),
             ("shard_conflicts", Json::from(best.shard_conflicts)),
+            ("stages", stages),
+            (
+                "stripes",
+                Json::obj([
+                    ("conflicts_total", Json::from(conflicts_total)),
+                    (
+                        "conflicts_by_stripe",
+                        Json::arr(best.stripe_conflicts.iter().map(|&c| Json::from(c))),
+                    ),
+                    ("wait_nanos", hist_json(&merged_wait)),
+                    ("hottest", hottest),
+                ]),
+            ),
         ]));
     }
     table.print();

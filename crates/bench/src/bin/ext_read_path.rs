@@ -443,11 +443,11 @@ fn main() {
     );
 
     let counters = store.counters().snapshot();
-    let fastpath =
-        counters.iter().find(|(n, _)| *n == "store.read.fastpath_entries").map_or(0, |&(_, v)| v);
+    let fastlane =
+        counters.iter().find(|(n, _)| *n == "store.read.fastlane_entries").map_or(0, |&(_, v)| v);
     let pins =
         counters.iter().find(|(n, _)| *n == "store.read.latchfree_reads").map_or(0, |&(_, v)| v);
-    println!("   store.read.fastpath_entries={fastpath} store.read.latchfree_reads={pins}");
+    println!("   store.read.fastlane_entries={fastlane} store.read.latchfree_reads={pins}");
 
     let doc = Json::obj([
         ("bench", Json::from("ext_read_path")),
@@ -458,7 +458,7 @@ fn main() {
         (
             "counters",
             Json::obj([
-                ("store.read.fastpath_entries", Json::from(fastpath)),
+                ("store.read.fastlane_entries", Json::from(fastlane)),
                 ("store.read.latchfree_reads", Json::from(pins)),
             ]),
         ),

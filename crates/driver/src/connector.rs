@@ -9,6 +9,7 @@
 
 use snb_core::update::UpdateOp;
 use snb_core::{MessageId, PersonId, SnbResult};
+use snb_obs::HistogramSnapshot;
 use snb_queries::params::{ComplexQuery, ShortQuery};
 use snb_queries::{complex, short, Engine};
 use snb_store::Store;
@@ -71,6 +72,14 @@ pub trait Connector: Send + Sync {
     fn counters(&self) -> Vec<(String, u64)> {
         Vec::new()
     }
+
+    /// Latency distributions of the system under test — write-pipeline
+    /// stage histograms, WAL fsync, stripe waits — as full
+    /// [`HistogramSnapshot`]s, not scalar summaries, so a remote run's
+    /// full disclosure equals an in-process run's. Default: none.
+    fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        Vec::new()
+    }
 }
 
 /// Connector running against the in-workspace store.
@@ -107,6 +116,10 @@ impl Connector for StoreConnector {
             .into_iter()
             .map(|(name, value)| (name.to_string(), value))
             .collect()
+    }
+
+    fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.store.counters().histogram_snapshots()
     }
 
     fn execute(&self, op: &Operation) -> SnbResult<OpOutcome> {

@@ -127,6 +127,31 @@ pub fn full_disclosure(report: &RunReport) -> String {
             let _ = writeln!(out, "  {name:<28} {value}");
         }
     }
+
+    // Write-pipeline stage attribution: each histogram's unit is in its
+    // name (`_nanos` / `_micros`), so values print raw and stay exact.
+    let stages: Vec<_> =
+        report.connector_histograms.iter().filter(|(_, h)| !h.is_empty()).collect();
+    if !stages.is_empty() {
+        let _ = writeln!(out, "\nwrite-pipeline stages and waits:");
+        let _ = writeln!(
+            out,
+            "  {:<32} {:>9} {:>12} {:>12} {:>12} {:>12}",
+            "histogram", "count", "mean", "p50", "p99", "max"
+        );
+        for (name, h) in stages {
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>9} {:>12.0} {:>12} {:>12} {:>12}",
+                name,
+                h.count,
+                h.mean(),
+                h.value_at_quantile(0.50),
+                h.value_at_quantile(0.99),
+                h.max
+            );
+        }
+    }
     out
 }
 
@@ -192,8 +217,33 @@ pub fn full_disclosure_json(report: &RunReport) -> Json {
         report.connector_counters.iter().map(|(name, value)| (name.clone(), Json::from(*value))),
     );
 
+    // Schema v2: full stage/wait histogram snapshots, keyed by name. The
+    // unit is part of the name (`_nanos` / `_micros`); buckets are
+    // `[low, high, count]` triples so a consumer can re-derive any
+    // quantile or merge runs.
+    let stage_histograms = Json::obj(report.connector_histograms.iter().map(|(name, h)| {
+        (
+            name.clone(),
+            Json::obj([
+                ("count", Json::from(h.count)),
+                ("sum", Json::from(h.sum)),
+                ("mean", Json::from(h.mean())),
+                ("p50", Json::from(h.value_at_quantile(0.50))),
+                ("p95", Json::from(h.value_at_quantile(0.95))),
+                ("p99", Json::from(h.value_at_quantile(0.99))),
+                ("max", Json::from(h.max)),
+                (
+                    "buckets",
+                    Json::arr(h.buckets.iter().map(|&(low, high, count)| {
+                        Json::arr([Json::from(low), Json::from(high), Json::from(count)])
+                    })),
+                ),
+            ]),
+        )
+    }));
+
     Json::obj([
-        ("schema_version", Json::from(1u64)),
+        ("schema_version", Json::from(2u64)),
         ("benchmark", Json::from("ldbc-snb-interactive")),
         ("total_ops", Json::from(report.total_ops)),
         ("wall_micros", Json::from(report.wall.as_micros() as u64)),
@@ -213,6 +263,7 @@ pub fn full_disclosure_json(report: &RunReport) -> Json {
         ("queries", Json::Arr(queries)),
         ("scheduler", Json::obj([("partitions", partitions)])),
         ("store_counters", store_counters),
+        ("stage_histograms", stage_histograms),
     ])
 }
 
@@ -258,6 +309,8 @@ mod tests {
         assert!(text.contains("scheduler (per partition)"));
         assert!(text.contains("store counters"));
         assert!(text.contains("store.txn.commits"));
+        assert!(text.contains("write-pipeline stages"));
+        assert!(text.contains("store.stage.apply_nanos"));
         // At least one of each class appears in the table.
         assert!(text.contains("Q8"), "complex reads missing:\n{text}");
         assert!(text.contains("U6"), "updates missing:\n{text}");
@@ -275,6 +328,10 @@ mod tests {
         assert!(text.contains("\"rows_scanned\""));
         assert!(text.contains("\"store.mvcc.versions_walked\""));
         assert!(text.contains("\"gct_wait_micros\""));
+        assert!(text.contains("\"schema_version\": 2"));
+        assert!(text.contains("\"stage_histograms\""));
+        assert!(text.contains("\"store.stage.publish_wait_nanos\""));
+        assert!(text.contains("\"store.wal.fsync_micros\""));
         // The acceptance bar: at least 5 complex queries report non-zero
         // operator counters in the disclosure.
         let with_operators = report

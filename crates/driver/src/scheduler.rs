@@ -17,7 +17,8 @@ use parking_lot::Mutex;
 use snb_core::rng::{Rng, Stream};
 use snb_core::time::SimTime;
 use snb_core::{SnbError, SnbResult};
-use snb_obs::QueryProfile;
+use snb_obs::trace::{self, NameId};
+use snb_obs::{HistogramSnapshot, QueryProfile};
 use snb_queries::params::ShortQuery;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -116,7 +117,64 @@ pub struct RunReport {
     /// Connector-side runtime counters (e.g. the store's MVCC/WAL
     /// counters), captured when the run finished.
     pub connector_counters: Vec<(String, u64)>,
+    /// Connector-side latency distributions (write-pipeline stage
+    /// histograms, WAL fsync, stripe waits), captured when the run
+    /// finished. Full snapshots, so the disclosure report can print
+    /// per-stage percentiles and attribute contention.
+    pub connector_histograms: Vec<(String, HistogramSnapshot)>,
 }
+
+/// Root span names for every operation kind, interned once. `span!` needs
+/// `&'static str` names, and `OpKind` is numeric, so the tables are spelled
+/// out; indexed by 1-based query number.
+fn op_span_name(kind: OpKind) -> &'static NameId {
+    static COMPLEX: [NameId; 14] = [
+        NameId::new("op.Q1"),
+        NameId::new("op.Q2"),
+        NameId::new("op.Q3"),
+        NameId::new("op.Q4"),
+        NameId::new("op.Q5"),
+        NameId::new("op.Q6"),
+        NameId::new("op.Q7"),
+        NameId::new("op.Q8"),
+        NameId::new("op.Q9"),
+        NameId::new("op.Q10"),
+        NameId::new("op.Q11"),
+        NameId::new("op.Q12"),
+        NameId::new("op.Q13"),
+        NameId::new("op.Q14"),
+    ];
+    static SHORT: [NameId; 7] = [
+        NameId::new("op.S1"),
+        NameId::new("op.S2"),
+        NameId::new("op.S3"),
+        NameId::new("op.S4"),
+        NameId::new("op.S5"),
+        NameId::new("op.S6"),
+        NameId::new("op.S7"),
+    ];
+    static UPDATE: [NameId; 8] = [
+        NameId::new("op.U1"),
+        NameId::new("op.U2"),
+        NameId::new("op.U3"),
+        NameId::new("op.U4"),
+        NameId::new("op.U5"),
+        NameId::new("op.U6"),
+        NameId::new("op.U7"),
+        NameId::new("op.U8"),
+    ];
+    static OTHER: NameId = NameId::new("op.other");
+    let (table, n): (&'static [NameId], usize) = match kind {
+        OpKind::Complex(n) => (&COMPLEX, n),
+        OpKind::Short(n) => (&SHORT, n),
+        OpKind::Update(n) => (&UPDATE, n),
+    };
+    n.checked_sub(1).and_then(|i| table.get(i)).unwrap_or(&OTHER)
+}
+
+static SPAN_GCT_WAIT: NameId = NameId::new("driver.gct_wait");
+static SPAN_PACE: NameId = NameId::new("driver.pace");
+static SPAN_EXECUTE: NameId = NameId::new("driver.execute");
 
 /// Execute a workload against a connector.
 pub fn run(
@@ -212,6 +270,7 @@ pub fn run(
         steady,
         partitions,
         connector_counters: connector.counters(),
+        connector_histograms: connector.histograms(),
     })
 }
 
@@ -282,6 +341,10 @@ impl Worker<'_> {
             if self.abort.load(Ordering::Acquire) {
                 break;
             }
+            // Root span for the whole client-side lifetime of this item:
+            // queue phases (GCT wait, pacing), execution, and any walk
+            // short reads it triggers nest under it.
+            let _op_span = trace::span(op_span_name(item.op.kind()));
             self.lds.initiate(item.due);
             if item.dep.millis() > 0 {
                 self.wait_for_gct(item.dep);
@@ -330,6 +393,9 @@ impl Worker<'_> {
                 break;
             }
             for item in batch {
+                // Per-item root span; the window's single GCT sync and pace
+                // happen outside any item and trace as their own roots.
+                let _op_span = trace::span(op_span_name(item.op.kind()));
                 let outcome = self.execute_timed(&item.op)?;
                 self.lds.complete(item.due);
                 if let Operation::Complex(_) = item.op {
@@ -348,6 +414,7 @@ impl Worker<'_> {
         if self.gds.gct() >= dep {
             return;
         }
+        let _span = trace::span(&SPAN_GCT_WAIT);
         let t0 = Instant::now();
         let mut spins = 0u32;
         loop {
@@ -387,6 +454,7 @@ impl Worker<'_> {
             self.stats.slippage_micros += (now - target).as_micros() as u64;
             return;
         }
+        let _span = trace::span(&SPAN_PACE);
         loop {
             // Another partition may have failed while we pace toward a due
             // time that can be the rest of the simulated span away; without
@@ -426,6 +494,9 @@ impl Worker<'_> {
         // Operator counters tick into the kind's shared profile while the
         // connector runs the operation.
         let _scope = QueryProfile::enter(Arc::clone(rec.profile()));
+        // Delineates execution from queue time inside the op's root span;
+        // store stages (or the wire round trip) nest under it.
+        let _span = trace::span(&SPAN_EXECUTE);
         let t0 = Instant::now();
         let outcome = self.connector.execute(op)?;
         let latency = t0.elapsed().as_micros() as u64;
@@ -596,6 +667,49 @@ mod tests {
             .map(|&(_, v)| v)
             .expect("store counters exposed through the connector");
         assert_eq!(commits as usize, items.len());
+        // Histogram snapshots ride along: every committed update recorded
+        // one sample in each write-pipeline stage histogram.
+        let apply = report
+            .connector_histograms
+            .iter()
+            .find(|(name, _)| name == "store.stage.apply_nanos")
+            .map(|(_, h)| h)
+            .expect("stage histograms exposed through the connector");
+        assert_eq!(apply.count as usize, items.len());
+        assert!(apply.mean() > 0.0);
+    }
+
+    #[test]
+    fn tracing_captures_nested_driver_and_store_spans() {
+        let ds = dataset();
+        let items: Vec<WorkItem> = mix::updates_only(ds).into_iter().take(120).collect();
+        let store = loaded_store(ds);
+        let conn = StoreConnector::new(store, Engine::Intended);
+        trace::enable(1);
+        let result = run(&items, &conn, &DriverConfig { partitions: 2, ..DriverConfig::default() });
+        trace::disable();
+        result.unwrap();
+        let spans = trace::drain();
+        // Other tests may run concurrently and contribute spans while
+        // tracing is on; existence and well-formedness assertions are
+        // robust to that, exact counts would not be.
+        let names: std::collections::HashSet<&str> =
+            spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(
+            names.iter().any(|n| n.starts_with("op.U")),
+            "update root spans present: {names:?}"
+        );
+        assert!(names.contains("driver.execute"), "execute child span present");
+        assert!(names.contains("store.stage.apply"), "store stage spans present");
+        let nested = trace::validate_nesting(&spans).unwrap();
+        assert!(nested > 0, "at least one parent/child pair validated");
+        // driver.execute spans are children of an op root in the same trace.
+        let exec = spans.iter().find(|s| s.name == "driver.execute").unwrap();
+        let parent =
+            spans.iter().find(|s| s.span_id == exec.parent_id && s.trace_id == exec.trace_id);
+        if let Some(p) = parent {
+            assert!(p.name.starts_with("op."), "execute parent is an op root: {}", p.name);
+        }
     }
 
     #[test]

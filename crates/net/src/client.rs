@@ -12,6 +12,8 @@ use crate::codec::{self, Request, Response, NET_MAGIC};
 use crate::metrics::NetMetrics;
 use snb_core::{SnbError, SnbResult};
 use snb_driver::connector::{Connector, OpOutcome, Operation};
+use snb_obs::trace::{self, NameId, SpanData, SpanGuard};
+use snb_obs::HistogramSnapshot;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -41,6 +43,10 @@ impl Default for NetConfig {
         }
     }
 }
+
+/// What the counters RPC returns: named counter values plus named
+/// histogram snapshots (SUT and `net.server.*` merged).
+pub type RemoteCounters = (Vec<(String, u64)>, Vec<(String, HistogramSnapshot)>);
 
 /// A pooled TCP client implementing the driver's [`Connector`] trait.
 pub struct RemoteConnector {
@@ -77,14 +83,15 @@ impl RemoteConnector {
         &self.metrics
     }
 
-    /// Fetch the server's counters (SUT + `net.server.*`) via the RPC.
-    pub fn remote_counters(&self) -> SnbResult<Vec<(String, u64)>> {
+    /// Fetch the server's counters (SUT + `net.server.*`) and histogram
+    /// snapshots via the RPC.
+    pub fn remote_counters(&self) -> SnbResult<RemoteCounters> {
         let mut payload = Vec::new();
         Request::Counters.encode(&mut payload);
         match self.request(&payload)? {
-            Response::Counters(counters) => Ok(counters),
+            Response::Counters { counters, histograms } => Ok((counters, histograms)),
             Response::Error(e) => Err(e),
-            Response::Outcome(_) => {
+            Response::Outcome(..) => {
                 Err(SnbError::Config("protocol mismatch: outcome reply to counters".into()))
             }
         }
@@ -192,17 +199,49 @@ impl RemoteConnector {
     }
 }
 
+/// Re-anchor server spans onto the client's clock and file them. The
+/// server's root span (recorded with sentinel parent 0 because its true
+/// parent — our wire span — lives in this process's id space) is centered
+/// inside the wire span's unaccounted time — `offset = slack/2` splits the
+/// round trip symmetrically, the classic NTP assumption — then grafted
+/// onto the wire span, so the stitched trace nests: wire span ⊇ server
+/// root ⊇ server children.
+fn stitch_server_spans(wire: &SpanGuard, mut spans: Vec<SpanData>) {
+    let rtt = trace::now_micros().saturating_sub(wire.start_us());
+    let Some(root) = spans.iter().find(|s| s.parent_id == 0) else {
+        return; // no recognizable root: drop rather than file unanchored
+    };
+    let slack = rtt.saturating_sub(root.dur_us);
+    let target = wire.start_us() + slack / 2;
+    let shift = target as i64 - root.start_us as i64;
+    for s in &mut spans {
+        s.start_us = s.start_us.saturating_add_signed(shift);
+    }
+    trace::record_foreign_rooted(spans, wire.span_id());
+}
+
 impl Connector for RemoteConnector {
     fn execute(&self, op: &Operation) -> SnbResult<OpOutcome> {
+        // The wire span covers serialize → RTT → deserialize; its context
+        // rides in the request so the server's spans come back stitched
+        // underneath it.
+        static SPAN_REQUEST: NameId = NameId::new("net.client.request");
+        let wire = trace::span(&SPAN_REQUEST);
+        let ctx = (wire.span_id() != 0).then(|| (wire.trace_id(), wire.span_id()));
         let mut payload = Vec::new();
-        codec::encode_execute(op, &mut payload);
+        codec::encode_execute(op, ctx, &mut payload);
         match self.request(&payload)? {
-            Response::Outcome(outcome) => Ok(outcome),
+            Response::Outcome(outcome, spans) => {
+                if ctx.is_some() && !spans.is_empty() {
+                    stitch_server_spans(&wire, spans);
+                }
+                Ok(outcome)
+            }
             Response::Error(e) => {
                 self.metrics.errors.inc();
                 Err(e)
             }
-            Response::Counters(_) => {
+            Response::Counters { .. } => {
                 Err(SnbError::Config("protocol mismatch: counters reply to execute".into()))
             }
         }
@@ -210,9 +249,18 @@ impl Connector for RemoteConnector {
 
     fn counters(&self) -> Vec<(String, u64)> {
         let mut counters = self.metrics.snapshot();
-        if let Ok(remote) = self.remote_counters() {
+        if let Ok((remote, _)) = self.remote_counters() {
             counters.extend(remote);
         }
         counters
+    }
+
+    fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        let mut histograms =
+            vec![("net.client.request_micros".to_string(), self.metrics.request_micros.snapshot())];
+        if let Ok((_, remote)) = self.remote_counters() {
+            histograms.extend(remote);
+        }
+        histograms
     }
 }

@@ -16,15 +16,19 @@
 use snb_core::time::SimTime;
 use snb_core::{MessageId, PersonId, SnbError};
 use snb_driver::connector::{OpOutcome, Operation};
+use snb_obs::trace::SpanData;
+use snb_obs::HistogramSnapshot;
 use snb_queries::params::{
     ComplexQuery, Q10Params, Q11Params, Q12Params, Q13Params, Q14Params, Q1Params, Q2Params,
     Q3Params, Q4Params, Q5Params, Q6Params, Q7Params, Q8Params, Q9Params, ShortQuery,
 };
 use std::io::{self, Read, Write};
 
-/// Handshake magic, sent by the client and echoed by the server. The
-/// trailing byte versions the protocol.
-pub const NET_MAGIC: [u8; 8] = *b"SNBNET1\0";
+/// Handshake magic, sent by the client and echoed by the server. The digit
+/// versions the protocol: v2 added trace-context propagation on `Execute`,
+/// piggybacked server spans on `Outcome`, and histogram snapshots on
+/// `Counters` — all incompatible with v1, hence the bump.
+pub const NET_MAGIC: [u8; 8] = *b"SNBNET2\0";
 
 /// Maximum accepted frame payload (16 MiB): large enough for any counters
 /// dump, small enough that a corrupt length prefix cannot OOM the peer.
@@ -52,8 +56,11 @@ const ERR_IO: u8 = 3;
 #[derive(Debug, Clone)]
 #[allow(clippy::large_enum_variant)]
 pub enum Request {
-    /// Execute one operation and return its outcome.
-    Execute(Operation),
+    /// Execute one operation and return its outcome. The optional
+    /// `(trace id, parent span id)` pair propagates the client's trace
+    /// context so the server can capture its execution spans under the
+    /// client's wire span.
+    Execute(Operation, Option<(u64, u64)>),
     /// Return the SUT's counters merged with the server's net counters.
     Counters,
 }
@@ -61,25 +68,35 @@ pub enum Request {
 /// One server-to-client message.
 #[derive(Debug)]
 pub enum Response {
-    /// The operation executed; here is what it returned.
-    Outcome(OpOutcome),
+    /// The operation executed; here is what it returned, plus any server
+    /// spans captured for the request's trace context (empty when the
+    /// request carried none).
+    Outcome(OpOutcome, Vec<SpanData>),
     /// The operation (or the request itself) failed.
     Error(SnbError),
-    /// Counters dump.
-    Counters(Vec<(String, u64)>),
+    /// Counters dump plus full histogram snapshots, so a remote run's
+    /// disclosure equals an in-process run's.
+    Counters { counters: Vec<(String, u64)>, histograms: Vec<(String, HistogramSnapshot)> },
 }
 
 impl Request {
     pub fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            Request::Execute(op) => encode_execute(op, buf),
+            Request::Execute(op, trace) => encode_execute(op, *trace, buf),
             Request::Counters => buf.push(REQ_COUNTERS),
         }
     }
 
     pub fn decode(mut p: &[u8]) -> Option<Request> {
         let req = match get_u8(&mut p)? {
-            REQ_EXECUTE => Request::Execute(decode_operation(&mut p)?),
+            REQ_EXECUTE => {
+                let trace = match get_u8(&mut p)? {
+                    0 => None,
+                    1 => Some((get_u64(&mut p)?, get_u64(&mut p)?)),
+                    _ => return None,
+                };
+                Request::Execute(decode_operation(&mut p)?, trace)
+            }
             REQ_COUNTERS => Request::Counters,
             _ => return None,
         };
@@ -89,30 +106,44 @@ impl Request {
 
 /// Encode an `Execute` request from a borrowed operation (the client's hot
 /// path — avoids cloning the operation into a [`Request`]).
-pub fn encode_execute(op: &Operation, buf: &mut Vec<u8>) {
+pub fn encode_execute(op: &Operation, trace: Option<(u64, u64)>, buf: &mut Vec<u8>) {
     buf.push(REQ_EXECUTE);
+    match trace {
+        Some((trace_id, parent_span)) => {
+            buf.push(1);
+            put_u64(buf, trace_id);
+            put_u64(buf, parent_span);
+        }
+        None => buf.push(0),
+    }
     encode_operation(op, buf);
 }
 
 impl Response {
     pub fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            Response::Outcome(out) => {
+            Response::Outcome(out, spans) => {
                 buf.push(RESP_OUTCOME);
                 put_u64(buf, out.rows as u64);
                 put_opt_u64(buf, out.seed_person.map(|p| p.0));
                 put_opt_u64(buf, out.seed_message.map(|m| m.0));
+                put_spans(buf, spans);
             }
             Response::Error(e) => {
                 buf.push(RESP_ERROR);
                 encode_error(e, buf);
             }
-            Response::Counters(counters) => {
+            Response::Counters { counters, histograms } => {
                 buf.push(RESP_COUNTERS);
                 put_u64(buf, counters.len() as u64);
                 for (name, value) in counters {
                     put_str(buf, name);
                     put_u64(buf, *value);
+                }
+                put_u64(buf, histograms.len() as u64);
+                for (name, hist) in histograms {
+                    put_str(buf, name);
+                    put_hist(buf, hist);
                 }
             }
         }
@@ -124,7 +155,8 @@ impl Response {
                 let rows = get_u64(&mut p)? as usize;
                 let seed_person = get_opt_u64(&mut p)?.map(PersonId);
                 let seed_message = get_opt_u64(&mut p)?.map(MessageId);
-                Response::Outcome(OpOutcome { rows, seed_person, seed_message })
+                let spans = get_spans(&mut p)?;
+                Response::Outcome(OpOutcome { rows, seed_person, seed_message }, spans)
             }
             RESP_ERROR => Response::Error(decode_error(&mut p)?),
             RESP_COUNTERS => {
@@ -138,12 +170,88 @@ impl Response {
                     let value = get_u64(&mut p)?;
                     counters.push((name, value));
                 }
-                Response::Counters(counters)
+                let n = get_u64(&mut p)? as usize;
+                if n > MAX_FRAME / 33 {
+                    return None; // name + 3 header words + count ≥ 33 bytes
+                }
+                let mut histograms = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = get_str(&mut p)?;
+                    let hist = get_hist(&mut p)?;
+                    histograms.push((name, hist));
+                }
+                Response::Counters { counters, histograms }
             }
             _ => return None,
         };
         p.is_empty().then_some(resp)
     }
+}
+
+// ---- spans and histograms ----
+
+/// Spans ride the wire as their exported fields; `process` is implied
+/// ("server" — only a traced server piggybacks spans) and the timestamps
+/// stay on the *server's* clock: the client re-anchors them before filing.
+fn put_spans(buf: &mut Vec<u8>, spans: &[SpanData]) {
+    put_u64(buf, spans.len() as u64);
+    for s in spans {
+        put_u64(buf, s.trace_id);
+        put_u64(buf, s.span_id);
+        put_u64(buf, s.parent_id);
+        put_str(buf, &s.name);
+        put_u64(buf, s.start_us);
+        put_u64(buf, s.dur_us);
+        put_u64(buf, s.tid as u64);
+    }
+}
+
+fn get_spans(p: &mut &[u8]) -> Option<Vec<SpanData>> {
+    let n = get_u64(p)? as usize;
+    if n > MAX_FRAME / 56 {
+        return None; // 7 words minimum per span; length is a lie
+    }
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        spans.push(SpanData {
+            trace_id: get_u64(p)?,
+            span_id: get_u64(p)?,
+            parent_id: get_u64(p)?,
+            name: get_str(p)?,
+            start_us: get_u64(p)?,
+            dur_us: get_u64(p)?,
+            tid: get_u64(p)? as u32,
+            process: "server",
+        });
+    }
+    Some(spans)
+}
+
+fn put_hist(buf: &mut Vec<u8>, h: &HistogramSnapshot) {
+    put_u64(buf, h.count);
+    put_u64(buf, h.sum);
+    put_u64(buf, h.max);
+    put_u64(buf, h.buckets.len() as u64);
+    for &(low, high, count) in &h.buckets {
+        put_u64(buf, low);
+        put_u64(buf, high);
+        put_u64(buf, count);
+    }
+}
+
+fn get_hist(p: &mut &[u8]) -> Option<HistogramSnapshot> {
+    let count = get_u64(p)?;
+    let sum = get_u64(p)?;
+    let max = get_u64(p)?;
+    let n = get_u64(p)? as usize;
+    if n > MAX_FRAME / 24 {
+        return None; // 3 words per bucket; length is a lie
+    }
+    let mut buckets = Vec::with_capacity(n);
+    for _ in 0..n {
+        buckets.push((get_u64(p)?, get_u64(p)?, get_u64(p)?));
+    }
+    Some(HistogramSnapshot { count, sum, max, buckets })
 }
 
 // ---- operations ----

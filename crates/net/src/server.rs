@@ -11,6 +11,8 @@ use crate::codec::{self, Request, Response, NET_MAGIC};
 use crate::metrics::NetMetrics;
 use snb_core::{SnbError, SnbResult};
 use snb_driver::connector::Connector;
+use snb_obs::trace::{self, NameId};
+use snb_obs::HistogramSnapshot;
 use std::io::{Read, Write};
 use std::net::ToSocketAddrs;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -69,6 +71,12 @@ impl Server {
     /// the counters RPC returns.
     pub fn counters(&self) -> Vec<(String, u64)> {
         merged_counters(&self.shared)
+    }
+
+    /// SUT histogram snapshots merged with the server's request-latency
+    /// histogram — the same view the counters RPC returns.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        merged_histograms(&self.shared)
     }
 
     /// Stop accepting, sever every open connection, and wake blocked reads.
@@ -174,16 +182,39 @@ fn serve_conn(mut stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
         let started = Instant::now();
         let mut malformed = false;
         let response = match Request::decode(&frame) {
-            Some(Request::Execute(op)) => match shared.connector.execute(&op) {
-                Ok(outcome) => Response::Outcome(outcome),
-                // An execution error is an application-level reply, not a
-                // connection failure: report it and keep serving.
-                Err(e) => {
-                    shared.metrics.errors.inc();
-                    Response::Error(e)
+            Some(Request::Execute(op, ctx)) => {
+                // A request carrying a trace context adopts it: spans the
+                // execution records on this thread go to a capture buffer
+                // and ride back on the response, where the client stitches
+                // them under its wire span.
+                static SPAN_EXECUTE: NameId = NameId::new("server.execute");
+                if let Some((trace_id, _parent_span)) = ctx {
+                    // The client's parent span id lives in the client's id
+                    // space and would be ambiguous against ids allocated
+                    // here, so the capture root is recorded with sentinel
+                    // parent 0; the client grafts it onto its wire span
+                    // after remapping (`record_foreign_rooted`).
+                    trace::start_capture(trace_id, 0);
                 }
+                let result = {
+                    let _span = ctx.is_some().then(|| trace::span(&SPAN_EXECUTE));
+                    shared.connector.execute(&op)
+                };
+                let spans = if ctx.is_some() { trace::take_capture() } else { Vec::new() };
+                match result {
+                    Ok(outcome) => Response::Outcome(outcome, spans),
+                    // An execution error is an application-level reply, not
+                    // a connection failure: report it and keep serving.
+                    Err(e) => {
+                        shared.metrics.errors.inc();
+                        Response::Error(e)
+                    }
+                }
+            }
+            Some(Request::Counters) => Response::Counters {
+                counters: merged_counters(shared),
+                histograms: merged_histograms(shared),
             },
-            Some(Request::Counters) => Response::Counters(merged_counters(shared)),
             None => {
                 shared.metrics.errors.inc();
                 malformed = true;
@@ -209,4 +240,11 @@ fn merged_counters(shared: &Shared) -> Vec<(String, u64)> {
     let mut counters = shared.connector.counters();
     counters.extend(shared.metrics.snapshot());
     counters
+}
+
+fn merged_histograms(shared: &Shared) -> Vec<(String, HistogramSnapshot)> {
+    let mut histograms = shared.connector.histograms();
+    histograms
+        .push(("net.server.request_micros".to_string(), shared.metrics.request_micros.snapshot()));
+    histograms
 }

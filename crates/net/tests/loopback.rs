@@ -98,9 +98,15 @@ fn codec_round_trips_every_operation_variant() {
     assert!(kinds_seen.len() >= 7, "update stream only covered {kinds_seen:?}");
 
     for op in &ops {
-        let decoded = request_round_trip(&Request::Execute(op.clone()));
-        let Request::Execute(back) = decoded else { panic!("wrong request variant") };
+        // Both without and with a propagated trace context.
+        let decoded = request_round_trip(&Request::Execute(op.clone(), None));
+        let Request::Execute(back, ctx) = decoded else { panic!("wrong request variant") };
         assert_eq!(format!("{op:?}"), format!("{back:?}"));
+        assert_eq!(ctx, None);
+        let decoded = request_round_trip(&Request::Execute(op.clone(), Some((77, 12))));
+        let Request::Execute(back, ctx) = decoded else { panic!("wrong request variant") };
+        assert_eq!(format!("{op:?}"), format!("{back:?}"));
+        assert_eq!(ctx, Some((77, 12)));
     }
     assert!(matches!(request_round_trip(&Request::Counters), Request::Counters));
 }
@@ -115,13 +121,40 @@ fn codec_round_trips_every_response_variant() {
         OpOutcome { rows: 1, seed_person: None, seed_message: Some(MessageId(u64::MAX)) },
         OpOutcome { rows: 7, seed_person: Some(PersonId(0)), seed_message: Some(MessageId(9)) },
     ];
+    let sample_spans = vec![
+        snb_obs::trace::SpanData {
+            trace_id: 9,
+            span_id: 10,
+            parent_id: 3,
+            name: "server.execute".into(),
+            start_us: 100,
+            dur_us: 50,
+            tid: 2,
+            process: "server",
+        },
+        snb_obs::trace::SpanData {
+            trace_id: 9,
+            span_id: 11,
+            parent_id: 10,
+            name: "store.stage.apply".into(),
+            start_us: 110,
+            dur_us: 20,
+            tid: 2,
+            process: "server",
+        },
+    ];
     for out in outcomes {
-        let Response::Outcome(back) = response_round_trip(&Response::Outcome(out)) else {
-            panic!("wrong response variant")
-        };
-        assert_eq!(back.rows, out.rows);
-        assert_eq!(back.seed_person, out.seed_person);
-        assert_eq!(back.seed_message, out.seed_message);
+        for spans in [Vec::new(), sample_spans.clone()] {
+            let Response::Outcome(back, back_spans) =
+                response_round_trip(&Response::Outcome(out, spans.clone()))
+            else {
+                panic!("wrong response variant")
+            };
+            assert_eq!(back.rows, out.rows);
+            assert_eq!(back.seed_person, out.seed_person);
+            assert_eq!(back.seed_message, out.seed_message);
+            assert_eq!(back_spans, spans, "piggybacked spans must survive the wire");
+        }
     }
 
     let errors = [
@@ -140,11 +173,25 @@ fn codec_round_trips_every_response_variant() {
 
     let counters =
         vec![("net.server.requests".to_string(), 12u64), ("store.wal.bytes".to_string(), 0)];
-    let Response::Counters(back) = response_round_trip(&Response::Counters(counters.clone()))
+    let live = snb_obs::LatencyHistogram::new();
+    for v in [1, 5, 1000, 123_456, 7] {
+        live.record(v);
+    }
+    let histograms = vec![
+        ("store.stage.apply_nanos".to_string(), live.snapshot()),
+        ("empty".to_string(), snb_obs::HistogramSnapshot::default()),
+    ];
+    let Response::Counters { counters: back, histograms: back_h } =
+        response_round_trip(&Response::Counters {
+            counters: counters.clone(),
+            histograms: histograms.clone(),
+        })
     else {
         panic!("wrong response variant")
     };
     assert_eq!(back, counters);
+    assert_eq!(back_h, histograms, "histogram snapshots must survive the wire losslessly");
+    assert_eq!(back_h[0].1.value_at_quantile(0.99), live.value_at_quantile(0.99));
 }
 
 /// Truncated or trailing-garbage payloads must be rejected, and the framing
@@ -152,7 +199,7 @@ fn codec_round_trips_every_response_variant() {
 #[test]
 fn codec_rejects_malformed_input() {
     let mut buf = Vec::new();
-    Request::Execute(Operation::Short(ShortQuery::S1(PersonId(5)))).encode(&mut buf);
+    Request::Execute(Operation::Short(ShortQuery::S1(PersonId(5))), None).encode(&mut buf);
     assert!(Request::decode(&buf[..buf.len() - 1]).is_none(), "truncation must fail");
     buf.push(0xFF);
     assert!(Request::decode(&buf).is_none(), "trailing bytes must fail");
@@ -221,7 +268,7 @@ fn mix_loopback_matches_in_process() {
     );
 
     // The counters RPC merges SUT counters with the server's net counters.
-    let counters = remote.remote_counters().unwrap();
+    let (counters, histograms) = remote.remote_counters().unwrap();
     let get = |name: &str| {
         counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or_else(|| {
             panic!("counter {name} missing from RPC dump");
@@ -231,11 +278,93 @@ fn mix_loopback_matches_in_process() {
     assert!(get("net.server.bytes_in") > 0);
     assert!(get("net.server.bytes_out") > 0);
     assert!(counters.iter().any(|(n, _)| n.starts_with("store.")), "SUT counters must be merged");
+    // ... and the RPC carries the SUT's full histogram snapshots, so a
+    // remote run's disclosure equals an in-process run's.
+    let apply = histograms
+        .iter()
+        .find(|(n, _)| n == "store.stage.apply_nanos")
+        .map(|(_, h)| h)
+        .expect("stage histograms missing from RPC dump");
+    assert!(apply.count > 0, "writes recorded stage samples");
+    assert!(histograms.iter().any(|(n, _)| n == "net.server.request_micros"));
     // Driver-side counters surface through the Connector trait.
     let client_side = remote.counters();
     assert!(client_side.iter().any(|(n, _)| n == "net.client.requests"));
+    let client_hists = remote.histograms();
+    assert!(client_hists.iter().any(|(n, h)| n == "net.client.request_micros" && !h.is_empty()));
+    assert!(client_hists.iter().any(|(n, _)| n == "store.stage.apply_nanos"));
+    // The report built over the wire therefore carries the same stage
+    // histogram names as an in-process report.
+    let local_names: std::collections::BTreeSet<&str> =
+        local_report.connector_histograms.iter().map(|(n, _)| n.as_str()).collect();
+    let remote_names: std::collections::BTreeSet<&str> = remote_report
+        .connector_histograms
+        .iter()
+        .filter(|(n, _)| !n.starts_with("net."))
+        .map(|(n, _)| n.as_str())
+        .collect();
+    assert_eq!(local_names, remote_names, "remote disclosure must match in-process");
     // At most one connection per partition, plus the eager validation dial.
     assert!(remote.metrics().connections.get() <= config.partitions as u64 + 1);
+}
+
+/// Tentpole acceptance: with tracing enabled, a loopback run produces ONE
+/// trace per operation that stitches client queue → wire RTT → server
+/// execution, and the whole set renders as a well-formed Chrome trace.
+#[test]
+fn loopback_trace_stitches_client_and_server_spans() {
+    use snb_obs::trace;
+
+    let ds = dataset();
+    let server = store_server(ds);
+    let remote = RemoteConnector::connect(server.local_addr().to_string()).unwrap();
+
+    trace::enable(1);
+    let out = remote
+        .execute(&Operation::Complex(ComplexQuery::Q2(Q2Params {
+            person: PersonId(0),
+            max_date: SimTime(i64::MAX),
+        })))
+        .unwrap();
+    trace::disable();
+    assert_eq!(out.seed_person, Some(PersonId(0)));
+
+    let spans = trace::drain();
+    let wire =
+        spans.iter().find(|s| s.name == "net.client.request").expect("client wire span recorded");
+    assert_eq!(wire.process, "driver");
+    let server_root = spans
+        .iter()
+        .find(|s| s.name == "server.execute")
+        .expect("server spans piggybacked on the response");
+    assert_eq!(server_root.process, "server");
+    assert_eq!(server_root.trace_id, wire.trace_id, "one trace across the wire");
+    assert_eq!(server_root.parent_id, wire.span_id, "server root hangs off the wire span");
+    // Re-anchored server time lies within the client's wire span.
+    assert!(server_root.start_us >= wire.start_us);
+    assert!(
+        server_root.start_us + server_root.dur_us <= wire.start_us + wire.dur_us,
+        "server root [{} +{}] escapes wire [{} +{}]",
+        server_root.start_us,
+        server_root.dur_us,
+        wire.start_us,
+        wire.dur_us,
+    );
+    // The server-side read path recorded children under its root.
+    let trace_spans: Vec<_> =
+        spans.iter().filter(|s| s.trace_id == wire.trace_id).cloned().collect();
+    assert!(
+        trace_spans.iter().any(|s| s.process == "server" && s.name.starts_with("store.read.")),
+        "server read-path spans present: {trace_spans:#?}"
+    );
+    trace::validate_nesting(&trace_spans).expect("stitched trace nests");
+
+    let doc = trace::export_chrome_trace(&trace_spans).render();
+    assert!(doc.contains("\"traceEvents\""));
+    assert!(doc.contains("\"server\""), "server process lane exported");
+
+    server.shutdown();
+    server.join();
 }
 
 /// Killing the server mid-run must abort the driver within the configured

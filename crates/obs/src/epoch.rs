@@ -108,6 +108,45 @@ mod tests {
     }
 
     #[test]
+    fn merge_order_does_not_change_any_epoch_distribution() {
+        // Three workers' series merged in different orders must yield the
+        // same per-epoch distributions — steady-state verdicts depend on
+        // time order, never merge order.
+        let make = |offset: u64| {
+            let s = EpochSeries::new(1_000, 4);
+            for i in 0..40u64 {
+                s.record((i * 97) % 4_000, offset + i * 13);
+            }
+            s
+        };
+        let (a, b, c) = (make(10), make(500), make(9_000));
+
+        let forward = EpochSeries::new(1_000, 4);
+        forward.merge(&a);
+        forward.merge(&b);
+        forward.merge(&c);
+        let reverse = EpochSeries::new(1_000, 4);
+        reverse.merge(&c);
+        reverse.merge(&b);
+        reverse.merge(&a);
+
+        assert_eq!(forward.count(), reverse.count());
+        for idx in 0..4 {
+            let (f, r) = (forward.epoch(idx), reverse.epoch(idx));
+            assert_eq!(f.count(), r.count(), "epoch {idx} count");
+            assert_eq!(f.sum(), r.sum(), "epoch {idx} sum");
+            assert_eq!(f.max(), r.max(), "epoch {idx} max");
+            assert_eq!(f.nonzero_buckets(), r.nonzero_buckets(), "epoch {idx} buckets");
+            for q in [0.5, 0.95, 0.99] {
+                assert_eq!(f.value_at_quantile(q), r.value_at_quantile(q), "epoch {idx} q={q}");
+            }
+        }
+        let idx_f: Vec<usize> = forward.non_empty().iter().map(|&(i, _)| i).collect();
+        let idx_r: Vec<usize> = reverse.non_empty().iter().map(|&(i, _)| i).collect();
+        assert_eq!(idx_f, idx_r, "non-empty epochs stay in time order");
+    }
+
+    #[test]
     #[should_panic(expected = "epoch length mismatch")]
     fn merge_rejects_mismatched_epoch_length() {
         let a = EpochSeries::new(500, 3);

@@ -182,6 +182,80 @@ impl LatencyHistogram {
             })
             .collect()
     }
+
+    /// An owned point-in-time copy, cheap to ship across the wire (only
+    /// non-empty buckets are materialized). Quantiles computed from the
+    /// snapshot match the live histogram's at the capture instant.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            buckets: self.nonzero_buckets(),
+        }
+    }
+}
+
+/// Owned snapshot of a [`LatencyHistogram`]: exact count/sum/max plus the
+/// non-empty `(low, high, count)` buckets. This is the unit the counters
+/// RPC ships so remote runs disclose the same distributions as in-process
+/// runs, and what the full-disclosure JSON renders per write-pipeline
+/// stage.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    /// Non-empty buckets as `(low, high, count)`, ascending by `low`.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean (0.0 when empty), mirroring [`LatencyHistogram::mean`].
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile over the snapshotted buckets, mirroring
+    /// [`LatencyHistogram::value_at_quantile`] (upper bucket edge, clamped
+    /// to the exact max; 0 when empty).
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(_, high, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return high.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another snapshot's buckets into this one (lossless, like
+    /// [`LatencyHistogram::merge`]): used to merge per-stripe wait
+    /// distributions into one store-wide view.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for &(low, high, c) in &other.buckets {
+            match self.buckets.binary_search_by_key(&low, |b| b.0) {
+                Ok(i) => self.buckets[i].2 += c,
+                Err(i) => self.buckets.insert(i, (low, high, c)),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +386,63 @@ mod tests {
         assert_eq!(left.count(), a.count() + b.count() + c.count());
         for q in [0.5, 0.95, 0.99] {
             assert_eq!(left.value_at_quantile(q), right.value_at_quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_reports_zeros_like_the_live_histogram() {
+        let snap = LatencyHistogram::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.max, 0);
+        assert_eq!(snap.mean(), 0.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.value_at_quantile(q), 0, "q={q}");
+        }
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn single_sample_snapshot_is_exact_at_every_quantile() {
+        let h = LatencyHistogram::new();
+        h.record(777);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.mean(), 777.0);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(snap.value_at_quantile(q), 777, "q={q}");
+        }
+    }
+
+    #[test]
+    fn snapshot_quantiles_match_live_histogram_and_merge_is_lossless() {
+        let (a, b) = (LatencyHistogram::new(), LatencyHistogram::new());
+        for v in samples(3, 4000, 44) {
+            a.record(v);
+        }
+        for v in samples(9, 4000, 52) {
+            b.record(v);
+        }
+        for h in [&a, &b] {
+            let snap = h.snapshot();
+            assert_eq!(snap.count, h.count());
+            assert_eq!(snap.mean(), h.mean());
+            for q in [0.01, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                assert_eq!(snap.value_at_quantile(q), h.value_at_quantile(q), "q={q}");
+            }
+        }
+        // Snapshot-side merge agrees with live merge.
+        let live = LatencyHistogram::new();
+        live.merge(&a);
+        live.merge(&b);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.count, live.count());
+        assert_eq!(snap.sum, live.sum());
+        assert_eq!(snap.max, live.max());
+        assert_eq!(snap.buckets, live.nonzero_buckets());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(snap.value_at_quantile(q), live.value_at_quantile(q), "q={q}");
         }
     }
 

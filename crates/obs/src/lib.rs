@@ -22,16 +22,20 @@
 //!   without signature churn.
 //! - [`Json`]: a tiny dependency-free JSON document builder backing the
 //!   machine-readable full-disclosure export.
+//! - [`trace`]: causal span tracing — lock-free per-thread span rings with
+//!   a scoped [`span!`] API, remote-capture stitching for networked runs,
+//!   and Chrome `trace_event` export. One relaxed load when disabled.
 
 mod counters;
 mod epoch;
 mod hist;
 mod json;
 mod profile;
+pub mod trace;
 
 pub use counters::{Counter, Counters};
 pub use epoch::EpochSeries;
-pub use hist::LatencyHistogram;
+pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use json::Json;
 pub use profile::{
     current_profile, tick_index_probes, tick_neighbors_expanded, tick_result_rows,

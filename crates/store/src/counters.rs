@@ -7,8 +7,106 @@
 //! export.
 
 use crate::wal::WalMetrics;
-use snb_obs::{Counter, Counters, LatencyHistogram};
+use snb_obs::{Counter, Counters, HistogramSnapshot, LatencyHistogram};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Stripes in the writer lock map (shared with `graph.rs`; also the length
+/// of the per-stripe telemetry arrays below).
+pub const STRIPES: usize = 64;
+
+/// Latency histograms for each named stage of the write pipeline, in
+/// **nanoseconds** — most stages are sub-microsecond, and nanosecond
+/// samples keep the histogram sums exact. Stages tile `Store::apply` end-to-end (stage sums ≈
+/// measured op latency), so the full-disclosure table can attribute
+/// multi-writer collapse to a specific stage instead of an aggregate
+/// "writes got slower".
+#[derive(Debug, Default)]
+pub struct StageHistograms {
+    /// Time blocked acquiring the op's stripe locks
+    /// (`store.stage.stripe_wait_nanos`).
+    pub stripe_wait: LatencyHistogram,
+    /// Pre-image validation under the stripe locks
+    /// (`store.stage.validate_nanos`).
+    pub validate: LatencyHistogram,
+    /// WAL record append, excluding fsync (`store.stage.wal_append_nanos`).
+    pub wal_append: LatencyHistogram,
+    /// CommitClock timestamp reservation (`store.stage.reserve_nanos`).
+    pub reserve: LatencyHistogram,
+    /// Row/index insertion at the reserved timestamp
+    /// (`store.stage.apply_nanos`).
+    pub apply: LatencyHistogram,
+    /// In-order publish wait on the CommitClock — time spent waiting for
+    /// every earlier reservation to publish
+    /// (`store.stage.publish_wait_nanos`).
+    pub publish_wait: LatencyHistogram,
+    /// Group-commit durability wait after publish, outside the stripe
+    /// locks (`store.stage.durable_wait_nanos`).
+    pub durable_wait: LatencyHistogram,
+}
+
+impl StageHistograms {
+    /// `(name, histogram)` for each stage, in pipeline order.
+    pub fn named(&self) -> [(&'static str, &LatencyHistogram); 7] {
+        [
+            ("store.stage.stripe_wait_nanos", &self.stripe_wait),
+            ("store.stage.validate_nanos", &self.validate),
+            ("store.stage.wal_append_nanos", &self.wal_append),
+            ("store.stage.reserve_nanos", &self.reserve),
+            ("store.stage.apply_nanos", &self.apply),
+            ("store.stage.publish_wait_nanos", &self.publish_wait),
+            ("store.stage.durable_wait_nanos", &self.durable_wait),
+        ]
+    }
+}
+
+/// Per-stripe contention telemetry: how often each of the [`STRIPES`]
+/// writer locks was found contended, and how long contended acquisitions
+/// waited. Indexed by stripe, so hot stripes show up as a heatmap rather
+/// than vanishing into a global total.
+#[derive(Debug)]
+pub struct StripeTelemetry {
+    conflicts: Box<[AtomicU64]>,
+    wait: Box<[LatencyHistogram]>,
+}
+
+impl Default for StripeTelemetry {
+    fn default() -> Self {
+        StripeTelemetry {
+            conflicts: (0..STRIPES).map(|_| AtomicU64::new(0)).collect(),
+            wait: (0..STRIPES).map(|_| LatencyHistogram::new()).collect(),
+        }
+    }
+}
+
+impl StripeTelemetry {
+    /// Record a contended acquisition of `stripe` that blocked for
+    /// `wait_nanos` before getting the lock.
+    #[inline]
+    pub fn note_conflict(&self, stripe: usize, wait_nanos: u64) {
+        self.conflicts[stripe].fetch_add(1, Ordering::Relaxed);
+        self.wait[stripe].record(wait_nanos);
+    }
+
+    /// Conflict count per stripe index (the heatmap).
+    pub fn conflict_counts(&self) -> Vec<u64> {
+        self.conflicts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Acquire-wait distribution for one stripe.
+    pub fn wait_hist(&self, stripe: usize) -> &LatencyHistogram {
+        &self.wait[stripe]
+    }
+
+    /// All stripes' waits folded into one store-wide distribution.
+    pub fn merged_wait(&self) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for h in self.wait.iter() {
+            merged.merge(&h.snapshot());
+        }
+        merged
+    }
+}
 
 /// Counter handles for every store subsystem.
 #[derive(Debug)]
@@ -27,8 +125,10 @@ pub struct StoreCounters {
     /// Transactions rejected by validation (`store.txn.conflicts`).
     pub conflicts: Counter,
     /// Index entries served from the bulk-prefix fast lane — no `visible()`
-    /// check needed (`store.read.fastpath_entries`).
-    pub read_fastpath_entries: Counter,
+    /// check needed (`store.read.fastlane_entries`). Renamed from the
+    /// pre-PR-5 `store.read.fastpath_entries` to match the "fast lane"
+    /// terminology used everywhere else.
+    pub read_fastlane_entries: Counter,
     /// Latch-free read snapshots opened (`store.read.latchfree_reads`):
     /// pinned snapshots that never touch a lock — readers see the store
     /// through release/acquire tail publication alone. Replaces the
@@ -55,6 +155,10 @@ pub struct StoreCounters {
     pub wal_recovery_truncated_bytes: Counter,
     /// WAL fsync latency distribution, in microseconds.
     pub wal_fsync_micros: Arc<LatencyHistogram>,
+    /// Write-pipeline stage latency breakdown (see [`StageHistograms`]).
+    pub stages: StageHistograms,
+    /// Per-stripe conflict heatmap + acquire-wait distributions.
+    pub stripes: StripeTelemetry,
 }
 
 impl Default for StoreCounters {
@@ -72,7 +176,7 @@ impl StoreCounters {
             versions_skipped: registry.counter("store.mvcc.versions_skipped"),
             commits: registry.counter("store.txn.commits"),
             conflicts: registry.counter("store.txn.conflicts"),
-            read_fastpath_entries: registry.counter("store.read.fastpath_entries"),
+            read_fastlane_entries: registry.counter("store.read.fastlane_entries"),
             read_latchfree: registry.counter("store.read.latchfree_reads"),
             write_shard_conflicts: registry.counter("store.write.shard_conflicts"),
             wal_appends: registry.counter("store.wal.appends"),
@@ -82,8 +186,22 @@ impl StoreCounters {
             wal_sync_errors: registry.counter("store.wal.sync_errors"),
             wal_recovery_truncated_bytes: registry.counter("store.wal.recovery_truncated_bytes"),
             wal_fsync_micros: Arc::new(LatencyHistogram::new()),
+            stages: StageHistograms::default(),
+            stripes: StripeTelemetry::default(),
             registry,
         }
+    }
+
+    /// Every store-side latency distribution by name: the seven write
+    /// stages, the WAL fsync distribution, and the merged per-stripe
+    /// acquire-wait. This is what the full-disclosure export and the
+    /// counters RPC ship.
+    pub fn histogram_snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
+        let mut out: Vec<(String, HistogramSnapshot)> =
+            self.stages.named().iter().map(|(name, h)| (name.to_string(), h.snapshot())).collect();
+        out.push(("store.wal.fsync_micros".to_string(), self.wal_fsync_micros.snapshot()));
+        out.push(("store.stripe.wait_nanos".to_string(), self.stripes.merged_wait()));
+        out
     }
 
     /// Handles for the WAL to record into (shared with this registry, so
@@ -120,9 +238,44 @@ mod tests {
         assert_eq!(names, sorted);
         assert_eq!(names.len(), 14);
         assert!(snap.contains(&("store.mvcc.snapshots", 1)));
-        assert!(names.contains(&"store.read.fastpath_entries"));
+        assert!(names.contains(&"store.read.fastlane_entries"));
+        assert!(!names.contains(&"store.read.fastpath_entries"), "pre-PR-5 name must be gone");
         assert!(names.contains(&"store.read.latchfree_reads"));
         assert!(names.contains(&"store.write.shard_conflicts"));
         assert!(snap.contains(&("store.wal.bytes", 100)));
+    }
+
+    #[test]
+    fn histogram_snapshots_cover_stages_wal_and_stripes() {
+        let c = StoreCounters::new();
+        c.stages.publish_wait.record(120);
+        c.stripes.note_conflict(3, 55);
+        c.stripes.note_conflict(3, 70);
+        c.stripes.note_conflict(9, 10);
+        let snaps = c.histogram_snapshots();
+        let names: Vec<&str> = snaps.iter().map(|(n, _)| n.as_str()).collect();
+        for expect in [
+            "store.stage.stripe_wait_nanos",
+            "store.stage.validate_nanos",
+            "store.stage.wal_append_nanos",
+            "store.stage.reserve_nanos",
+            "store.stage.apply_nanos",
+            "store.stage.publish_wait_nanos",
+            "store.stage.durable_wait_nanos",
+            "store.wal.fsync_micros",
+            "store.stripe.wait_nanos",
+        ] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+        let publish = &snaps.iter().find(|(n, _)| n.ends_with("publish_wait_nanos")).unwrap().1;
+        assert_eq!(publish.count, 1);
+        let stripe_wait = &snaps.iter().find(|(n, _)| n.starts_with("store.stripe")).unwrap().1;
+        assert_eq!(stripe_wait.count, 3, "merged wait folds every stripe");
+        assert_eq!(stripe_wait.max, 70);
+        let heat = c.stripes.conflict_counts();
+        assert_eq!(heat.len(), STRIPES);
+        assert_eq!(heat[3], 2);
+        assert_eq!(heat[9], 1);
+        assert_eq!(heat.iter().sum::<u64>(), 3);
     }
 }

@@ -41,7 +41,7 @@
 //!   [`Snapshot`]/[`PinnedSnapshot`] semantics are byte-identical to the
 //!   old latched store.
 
-use crate::counters::StoreCounters;
+use crate::counters::{StoreCounters, STRIPES};
 use crate::mvcc::{visible, CommitClock, CommitTs, BULK_TS};
 use crate::wal::{SyncPolicy, Wal};
 use parking_lot::{Mutex, MutexGuard};
@@ -49,6 +49,7 @@ use snb_core::schema::{Comment, Forum, ForumMembership, Knows, Like, Person, Pos
 use snb_core::time::SimTime;
 use snb_core::update::UpdateOp;
 use snb_core::{ForumId, MessageId, PersonId, SnbError, SnbResult, TagId};
+use snb_obs::trace::{self, NameId};
 use snb_obs::{tick_index_probes, tick_versions_walked};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -479,10 +480,25 @@ impl IndexList {
     }
 }
 
-/// Write-lock striping width. Power of two so the stripe map is a mask;
-/// 64 stripes keep the collision probability of two random ids ~1.6% while
-/// the whole lock array stays one cache page.
-const STRIPES: usize = 64;
+// Write-lock striping width (`STRIPES`, declared next to the per-stripe
+// telemetry in `counters.rs` so the lock map and the heatmap can't drift).
+// Power of two so the stripe map is a mask; 64 stripes keep the collision
+// probability of two random ids ~1.6% while the whole lock array stays one
+// cache page.
+
+/// Trace-span names for the write-pipeline stages and read-path phases
+/// ([`trace::record_stage`] attaches these as children of whatever span the
+/// caller has open — `driver.execute` in-process, `server.execute` remote).
+static SPAN_STRIPE_WAIT: NameId = NameId::new("store.stage.stripe_wait");
+static SPAN_VALIDATE: NameId = NameId::new("store.stage.validate");
+static SPAN_WAL_APPEND: NameId = NameId::new("store.stage.wal_append");
+static SPAN_RESERVE: NameId = NameId::new("store.stage.reserve");
+static SPAN_APPLY: NameId = NameId::new("store.stage.apply");
+static SPAN_PUBLISH_WAIT: NameId = NameId::new("store.stage.publish_wait");
+static SPAN_DURABLE_WAIT: NameId = NameId::new("store.stage.durable_wait");
+static SPAN_READ_PIN: NameId = NameId::new("store.read.pin");
+static SPAN_LADDER_MERGE: NameId = NameId::new("store.read.ladder_merge");
+static SPAN_RECENT_WALK: NameId = NameId::new("store.read.recent_walk");
 
 #[inline]
 fn stripe_of(raw: u64) -> usize {
@@ -1027,8 +1043,17 @@ impl Store {
     /// before it is durable, but it is never acknowledged to the caller
     /// until it is — the standard group-commit contract.
     pub fn apply(&self, op: &UpdateOp) -> SnbResult<()> {
-        let seq = self.apply_async(op)?;
-        self.wait_durable(seq)
+        let (seq, published) = self.apply_internal(op, true)?;
+        // The durable stage runs from publish to acknowledgement — group
+        // commit wait plus the commit's bookkeeping tail — and is timed
+        // even when it is a no-op (no WAL), so the seven stage histograms
+        // tile `apply` end-to-end and their sums reconcile against
+        // measured op latency.
+        self.wait_durable(seq)?;
+        let t1 = trace::now_nanos();
+        self.counters.stages.durable_wait.record(t1 - published);
+        trace::record_stage(&SPAN_DURABLE_WAIT, published / 1_000, t1 / 1_000);
+        Ok(())
     }
 
     /// Pipelined commit, phase one: WAL-append, apply, publish — and return
@@ -1040,7 +1065,7 @@ impl Store {
     /// loses only unacknowledged commits — never a dependency of a
     /// surviving record.
     pub fn apply_async(&self, op: &UpdateOp) -> SnbResult<Option<u64>> {
-        self.apply_internal(op, true)
+        self.apply_internal(op, true).map(|(seq, _)| seq)
     }
 
     /// Pipelined commit, phase two: block until the WAL record `seq` (and,
@@ -1055,7 +1080,10 @@ impl Store {
     }
 
     /// Lock the stripes `op` writes to, ascending. A contended stripe is
-    /// counted in `store.write.shard_conflicts` before blocking.
+    /// counted in `store.write.shard_conflicts` before blocking, and the
+    /// time spent blocked lands in that stripe's acquire-wait histogram —
+    /// the per-stripe heatmap that separates "one hot stripe" from
+    /// "uniform collision pressure".
     fn lock_stripes(&self, op: &UpdateOp) -> Vec<MutexGuard<'_, ()>> {
         let (set, n) = stripe_set(op);
         let mut guards = Vec::with_capacity(n);
@@ -1064,7 +1092,10 @@ impl Store {
                 Some(g) => guards.push(g),
                 None => {
                     self.counters.write_shard_conflicts.inc();
-                    guards.push(self.stripes[i].lock());
+                    let blocked = trace::now_nanos();
+                    let g = self.stripes[i].lock();
+                    self.counters.stripes.note_conflict(i, trace::now_nanos() - blocked);
+                    guards.push(g);
                 }
             }
         }
@@ -1082,12 +1113,21 @@ impl Store {
     /// dependency order (see [`Store::apply`]). Between `reserve` and
     /// `publish` the writer only places in-memory rows, keeping the
     /// in-order publication wait in [`CommitClock::publish`] short.
-    fn apply_internal(&self, op: &UpdateOp, log: bool) -> SnbResult<Option<u64>> {
+    /// Returns the WAL sequence to await plus the publish-end timestamp
+    /// ([`trace::now_nanos`]) where the `durable_wait` stage begins.
+    fn apply_internal(&self, op: &UpdateOp, log: bool) -> SnbResult<(Option<u64>, u64)> {
+        // Stage boundaries double as histogram samples and (when a trace
+        // is live) causal child spans of the caller's op span. The six
+        // stages here plus `durable_wait` in `apply` tile the committed
+        // path end-to-end; failed validations record nothing.
+        let t0 = trace::now_nanos();
         let guards = self.lock_stripes(op);
+        let t1 = trace::now_nanos();
         if let Err(e) = self.tables.validate(op) {
             self.counters.conflicts.inc();
             return Err(e);
         }
+        let t2 = trace::now_nanos();
         let mut seq = None;
         if log {
             if let Some(wal) = &self.wal {
@@ -1097,7 +1137,9 @@ impl Store {
                 seq = Some(appended.seq);
             }
         }
+        let t3 = trace::now_nanos();
         let ts = self.clock.reserve();
+        let t4 = trace::now_nanos();
         match op {
             UpdateOp::AddPerson(p) => self.tables.insert_person(p.clone(), ts),
             UpdateOp::AddPostLike(l) | UpdateOp::AddCommentLike(l) => {
@@ -1109,10 +1151,27 @@ impl Store {
             UpdateOp::AddComment(c) => self.tables.insert_comment(c, ts),
             UpdateOp::AddFriendship(k) => self.tables.insert_knows(k, ts),
         }
+        let t5 = trace::now_nanos();
         self.clock.publish(ts);
+        let t6 = trace::now_nanos();
         self.counters.commits.inc();
         drop(guards);
-        Ok(seq)
+        let st = &self.counters.stages;
+        st.stripe_wait.record(t1 - t0);
+        st.validate.record(t2 - t1);
+        st.wal_append.record(t3 - t2);
+        st.reserve.record(t4 - t3);
+        st.apply.record(t5 - t4);
+        st.publish_wait.record(t6 - t5);
+        if trace::tracing_possible() {
+            trace::record_stage(&SPAN_STRIPE_WAIT, t0 / 1_000, t1 / 1_000);
+            trace::record_stage(&SPAN_VALIDATE, t1 / 1_000, t2 / 1_000);
+            trace::record_stage(&SPAN_WAL_APPEND, t2 / 1_000, t3 / 1_000);
+            trace::record_stage(&SPAN_RESERVE, t3 / 1_000, t4 / 1_000);
+            trace::record_stage(&SPAN_APPLY, t4 / 1_000, t5 / 1_000);
+            trace::record_stage(&SPAN_PUBLISH_WAIT, t5 / 1_000, t6 / 1_000);
+        }
+        Ok((seq, t6))
     }
 
     /// Flush the WAL (an fsync durability point under any policy other than
@@ -1146,6 +1205,12 @@ impl Store {
     pub fn pinned(&self) -> PinnedSnapshot<'_> {
         self.counters.snapshots.inc();
         self.counters.read_latchfree.inc();
+        if trace::tracing_possible() {
+            // Instant marker: the pin itself is one acquire load, so the
+            // span records *when* the snapshot was taken, not a duration.
+            let t = trace::now_micros();
+            trace::record_stage(&SPAN_READ_PIN, t, t);
+        }
         PinnedSnapshot {
             tables: &self.tables,
             ts: self.clock.snapshot_ts(),
@@ -1260,7 +1325,7 @@ impl<'g> ReadView<'g> {
     /// version-stamped entries walked of which `kept` were visible. Both
     /// lanes funnel through here so they stay consistently accounted:
     /// every touched entry lands in exactly one of
-    /// `store.read.fastpath_entries` or `store.mvcc.versions_walked`.
+    /// `store.read.fastlane_entries` or `store.mvcc.versions_walked`.
     /// The eager `Vec` APIs account their whole gathered tail up front;
     /// the lazy iterators batch per-entry accounting as they go and flush
     /// it on drop (see [`flush_scan_accounting`]) — an early-exiting
@@ -1268,7 +1333,7 @@ impl<'g> ReadView<'g> {
     fn note_scan(&self, fast: usize, examined: usize, kept: usize) {
         let c = self.counters;
         if fast > 0 {
-            c.read_fastpath_entries.add(fast as u64);
+            c.read_fastlane_entries.add(fast as u64);
         }
         if examined > 0 {
             c.versions_walked.add(examined as u64);
@@ -1342,6 +1407,7 @@ impl<'g> ReadView<'g> {
             fast: 0,
             examined: 0,
             kept: 0,
+            span_start: if trace::tracing_possible() { trace::now_micros().max(1) } else { 0 },
         };
         if let Some(l) = list {
             it.prefix = l.bulk();
@@ -1367,6 +1433,7 @@ impl<'g> ReadView<'g> {
             fast: 0,
             examined: 0,
             kept: 0,
+            span_start: if trace::tracing_possible() { trace::now_micros().max(1) } else { 0 },
         };
         if let Some(l) = list {
             let bulk = l.bulk();
@@ -1473,6 +1540,9 @@ pub struct DatedIter<'g> {
     fast: u64,
     examined: u64,
     kept: u64,
+    /// Construction time when a trace was live (0 = untraced); the ladder
+    /// merge becomes one `store.read.ladder_merge` span on drop.
+    span_start: u64,
 }
 
 /// Lane-cache sentinel: no lane selected, rescan all heads.
@@ -1549,6 +1619,9 @@ impl Iterator for DatedIter<'_> {
 impl Drop for DatedIter<'_> {
     fn drop(&mut self) {
         flush_scan_accounting(self.counters, self.fast, self.examined, self.kept);
+        if self.span_start != 0 {
+            trace::record_stage(&SPAN_LADDER_MERGE, self.span_start, trace::now_micros());
+        }
     }
 }
 
@@ -1556,7 +1629,7 @@ impl Drop for DatedIter<'_> {
 /// [`ReadView::note_scan`] for the lane semantics).
 fn flush_scan_accounting(c: &StoreCounters, fast: u64, examined: u64, kept: u64) {
     if fast > 0 {
-        c.read_fastpath_entries.add(fast);
+        c.read_fastlane_entries.add(fast);
     }
     if examined > 0 {
         c.versions_walked.add(examined);
@@ -1586,6 +1659,8 @@ pub struct RecentWalk<'g> {
     fast: u64,
     examined: u64,
     kept: u64,
+    /// As in [`DatedIter`]: trace-span begin, 0 = untraced.
+    span_start: u64,
 }
 
 impl Iterator for RecentWalk<'_> {
@@ -1653,6 +1728,9 @@ impl Iterator for RecentWalk<'_> {
 impl Drop for RecentWalk<'_> {
     fn drop(&mut self) {
         flush_scan_accounting(self.counters, self.fast, self.examined, self.kept);
+        if self.span_start != 0 {
+            trace::record_stage(&SPAN_RECENT_WALK, self.span_start, trace::now_micros());
+        }
     }
 }
 
@@ -2310,7 +2388,7 @@ mod tests {
             );
         }
         assert!(s.counters().read_latchfree.get() >= 1);
-        assert!(s.counters().read_fastpath_entries.get() > 0, "bulk prefix must be exercised");
+        assert!(s.counters().read_fastlane_entries.get() > 0, "bulk prefix must be exercised");
     }
 
     #[test]
@@ -2328,7 +2406,7 @@ mod tests {
     }
 
     #[test]
-    fn fastpath_entries_skip_version_accounting() {
+    fn fastlane_entries_skip_version_accounting() {
         let ds =
             snb_datagen::generate(snb_datagen::GeneratorConfig::with_persons(80).activity(0.3))
                 .unwrap();
@@ -2336,7 +2414,7 @@ mod tests {
         s.load_full(&ds);
         let pinned = s.pinned();
         let walked_before = s.counters().versions_walked.get();
-        let fast_before = s.counters().read_fastpath_entries.get();
+        let fast_before = s.counters().read_fastlane_entries.get();
         let mut total = 0usize;
         for i in 0..pinned.person_slots() as u64 {
             total += pinned.friends_iter(PersonId(i)).count();
@@ -2344,7 +2422,38 @@ mod tests {
         assert!(total > 0);
         // A purely bulk-loaded store serves everything from the fast lane.
         assert_eq!(s.counters().versions_walked.get(), walked_before);
-        assert_eq!(s.counters().read_fastpath_entries.get(), fast_before + total as u64);
+        assert_eq!(s.counters().read_fastlane_entries.get(), fast_before + total as u64);
+    }
+
+    #[test]
+    fn stage_sums_reconcile_with_measured_apply_latency() {
+        // The write-pipeline stage histograms claim to tile `Store::apply`
+        // end-to-end; hold them to it: the sum of all stage sums must be
+        // within 10% of the wall-clock time spent inside `apply`.
+        let s = Store::new();
+        s.apply(&UpdateOp::AddPerson(person(0, 1))).unwrap();
+        s.apply(&UpdateOp::AddForum(forum(0, 0, 5))).unwrap();
+        let mut ops = Vec::new();
+        for i in 1..4_000u64 {
+            ops.push(UpdateOp::AddPerson(person(i, i as i64)));
+            ops.push(UpdateOp::AddPost(post(i, i, 0, i as i64 + 1)));
+        }
+        let t0 = std::time::Instant::now();
+        for op in &ops {
+            s.apply(op).unwrap();
+        }
+        let wall_nanos = t0.elapsed().as_nanos() as f64;
+        let stage_sum: u64 = s.counters().stages.named().iter().map(|(_, h)| h.sum()).sum();
+        let ratio = stage_sum as f64 / wall_nanos;
+        assert!(
+            (0.90..=1.05).contains(&ratio),
+            "stage sums ({stage_sum}ns) must reconcile with measured apply wall time \
+             ({wall_nanos:.0}ns); ratio {ratio:.3}"
+        );
+        // And every committed op contributed to every stage.
+        for (name, h) in s.counters().stages.named() {
+            assert_eq!(h.count(), s.counters().commits.get(), "{name} must sample every commit");
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! snb run      --persons 2000 [--accel N] [--partitions N] [--naive] [--json]
 //!              [--wal PATH] [--sync never|commit|group|group:B:DELAY_US]
 //!              [--connect HOST:PORT] [--request-timeout SECS]
+//!              [--trace PATH] [--trace-sample N]
 //!                                                  # full benchmark + disclosure
 //! snb serve    --persons 2000 [--addr HOST:PORT] [--naive]
 //!              [--wal PATH] [--sync ...]           # networked SUT (see snb-net)
@@ -48,6 +49,8 @@ struct Args {
     addr: String,
     connect: Option<String>,
     request_timeout: f64,
+    trace: Option<PathBuf>,
+    trace_sample: u64,
 }
 
 fn usage() -> ExitCode {
@@ -55,7 +58,8 @@ fn usage() -> ExitCode {
         "usage: snb <generate|rdf|stats|run|serve> [--persons N] [--seed N] [--threads N]\n\
          \x20          [--out PATH] [--accel N] [--partitions N] [--naive] [--json]\n\
          \x20          [--wal PATH] [--sync never|commit|group|group:BATCH:DELAY_US]\n\
-         \x20          [--addr HOST:PORT] [--connect HOST:PORT] [--request-timeout SECS]"
+         \x20          [--addr HOST:PORT] [--connect HOST:PORT] [--request-timeout SECS]\n\
+         \x20          [--trace PATH] [--trace-sample N]"
     );
     ExitCode::from(2)
 }
@@ -78,6 +82,8 @@ fn parse() -> Result<Args, ExitCode> {
         addr: "127.0.0.1:7455".to_string(),
         connect: None,
         request_timeout: 10.0,
+        trace: None,
+        trace_sample: 1,
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -111,6 +117,10 @@ fn parse() -> Result<Args, ExitCode> {
             "--connect" => args.connect = Some(value(&rest, &mut i)?),
             "--request-timeout" => {
                 args.request_timeout = value(&rest, &mut i)?.parse().map_err(|_| usage())?
+            }
+            "--trace" => args.trace = Some(PathBuf::from(value(&rest, &mut i)?)),
+            "--trace-sample" => {
+                args.trace_sample = value(&rest, &mut i)?.parse().map_err(|_| usage())?
             }
             other => {
                 eprintln!("unknown flag: {other}");
@@ -192,7 +202,17 @@ fn main() -> ExitCode {
                 acceleration: args.accel,
                 ..DriverConfig::default()
             };
+            if args.trace.is_some() {
+                ldbc_snb::obs::trace::enable(args.trace_sample);
+            }
             let report = run(&items, conn.as_ref(), &driver_config).expect("benchmark run failed");
+            if let Some(path) = &args.trace {
+                ldbc_snb::obs::trace::disable();
+                let spans = ldbc_snb::obs::trace::drain();
+                let doc = ldbc_snb::obs::trace::export_chrome_trace(&spans);
+                std::fs::write(path, doc.render_pretty(1)).expect("trace write failed");
+                eprintln!("wrote {} spans to {}", spans.len(), path.display());
+            }
             if args.json {
                 println!("{}", full_disclosure_json(&report).render_pretty(2));
             } else {
