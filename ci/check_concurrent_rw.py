@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Guard the claims in BENCH_concurrent_rw.json (stdlib only).
+
+Two checks, run by the CI perf-smoke job after `ext_concurrent_rw`:
+
+1. Scaling-claim validity: every config must carry `scaling_valid` equal
+   to `hw_threads >= writers`. A "scaling" figure measured with fewer
+   hardware threads than writers is a Linux scheduler-share artifact, not
+   parallelism, and must be flagged so nobody reads the JSON as a
+   multi-core result (this exact misread happened with the PR 5 numbers).
+
+2. publish_wait budget: on a host with `hw_threads >= 4`, the
+   out-of-order publication rework (PR 7) must keep `publish_wait` at or
+   below MAX_PUBLISH_WAIT_SHARE of summed pipeline time at 4 writers.
+   Regressing this means head-of-line blocking is back. The
+   `validate_failed` split is excluded: it belongs to rejected
+   transactions, which never tile a committed apply.
+
+Exit code 0 = all claims hold; 1 = a guard tripped.
+
+Usage: python3 ci/check_concurrent_rw.py BENCH_concurrent_rw.json
+"""
+
+import json
+import sys
+
+MAX_PUBLISH_WAIT_SHARE = 0.20
+GUARDED_WRITERS = 4
+
+# Committed-path pipeline stages (see StageHistograms::named in
+# crates/store/src/counters.rs); validate_failed is deliberately absent.
+PIPELINE_PREFIX = "store.stage."
+EXCLUDED = {"store.stage.validate_failed_nanos"}
+
+
+def pipeline_sum(stages):
+    return sum(
+        h["sum"]
+        for name, h in stages.items()
+        if name.startswith(PIPELINE_PREFIX) and name not in EXCLUDED
+    )
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "ext_concurrent_rw":
+        print(f"FAIL: {path} is not an ext_concurrent_rw report")
+        return 1
+
+    hw_threads = doc["hw_threads"]
+    failures = []
+    checked_publish_wait = False
+
+    for config in doc["configs"]:
+        writers = config["writers"]
+        expected_valid = hw_threads >= writers
+        if config.get("scaling_valid") != expected_valid:
+            failures.append(
+                f"writers={writers}: scaling_valid={config.get('scaling_valid')!r} "
+                f"but hw_threads={hw_threads} implies {expected_valid}"
+            )
+
+        if writers == GUARDED_WRITERS and hw_threads >= GUARDED_WRITERS:
+            checked_publish_wait = True
+            stages = config["stages"]
+            total = pipeline_sum(stages)
+            publish = stages.get("store.stage.publish_wait_nanos", {"sum": 0})["sum"]
+            share = publish / total if total else 0.0
+            if share > MAX_PUBLISH_WAIT_SHARE:
+                failures.append(
+                    f"writers={writers}: publish_wait is {share:.1%} of pipeline time "
+                    f"(limit {MAX_PUBLISH_WAIT_SHARE:.0%}) — head-of-line blocking is back"
+                )
+            else:
+                print(
+                    f"OK: publish_wait {share:.1%} of pipeline at {writers} writers "
+                    f"(limit {MAX_PUBLISH_WAIT_SHARE:.0%}, hw_threads={hw_threads})"
+                )
+
+    if not checked_publish_wait:
+        print(
+            f"NOTE: publish_wait budget not enforced "
+            f"(hw_threads={hw_threads} < {GUARDED_WRITERS}); "
+            f"scaling rows beyond {hw_threads} writers are marked invalid instead"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"OK: {len(doc['configs'])} configs, scaling_valid flags consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1]))

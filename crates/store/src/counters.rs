@@ -36,13 +36,20 @@ pub struct StageHistograms {
     /// Row/index insertion at the reserved timestamp
     /// (`store.stage.apply_nanos`).
     pub apply: LatencyHistogram,
-    /// In-order publish wait on the CommitClock — time spent waiting for
-    /// every earlier reservation to publish
+    /// Out-of-order publication on the CommitClock: marking the commit in
+    /// the publication ring, helping the watermark advance, and (rarely)
+    /// parking for ring-wraparound room
     /// (`store.stage.publish_wait_nanos`).
     pub publish_wait: LatencyHistogram,
     /// Group-commit durability wait after publish, outside the stripe
     /// locks (`store.stage.durable_wait_nanos`).
     pub durable_wait: LatencyHistogram,
+    /// Stripe-held time of transactions *rejected* by validation
+    /// (`store.stage.validate_failed_nanos`). Deliberately outside
+    /// [`StageHistograms::named`]'s committed-path tiling: failed ops burn
+    /// `stripe_wait` plus this, and splitting the sample keeps conflict
+    /// pressure visible without skewing the commit attribution.
+    pub validate_failed: LatencyHistogram,
 }
 
 impl StageHistograms {
@@ -138,6 +145,16 @@ pub struct StoreCounters {
     /// had to block (`store.write.shard_conflicts`) — the residual
     /// serialization between shard-colliding transactions.
     pub write_shard_conflicts: Counter,
+    /// Park rounds publishers spent waiting for publication-ring room
+    /// (`store.write.publish_parks`): nonzero only when a commit ran more
+    /// than the ring capacity ahead of the visibility watermark — a
+    /// straggler-pathology signal, not a steady-state cost.
+    pub publish_parks: Counter,
+    /// Watermark lag observed at publish (`store.write.watermark_lag`):
+    /// how many earlier reservations were still unpublished when each
+    /// commit published, i.e. how far out of order commits complete.
+    /// Samples are timestamp counts, not nanoseconds.
+    pub watermark_lag: LatencyHistogram,
     /// WAL records appended (`store.wal.appends`).
     pub wal_appends: Counter,
     /// WAL bytes written including record headers (`store.wal.bytes`).
@@ -179,6 +196,8 @@ impl StoreCounters {
             read_fastlane_entries: registry.counter("store.read.fastlane_entries"),
             read_latchfree: registry.counter("store.read.latchfree_reads"),
             write_shard_conflicts: registry.counter("store.write.shard_conflicts"),
+            publish_parks: registry.counter("store.write.publish_parks"),
+            watermark_lag: LatencyHistogram::new(),
             wal_appends: registry.counter("store.wal.appends"),
             wal_bytes: registry.counter("store.wal.bytes"),
             wal_fsyncs: registry.counter("store.wal.fsyncs"),
@@ -193,12 +212,18 @@ impl StoreCounters {
     }
 
     /// Every store-side latency distribution by name: the seven write
-    /// stages, the WAL fsync distribution, and the merged per-stripe
-    /// acquire-wait. This is what the full-disclosure export and the
-    /// counters RPC ship.
+    /// stages, the failed-validation split, the watermark-lag distribution
+    /// (timestamp counts, not time), the WAL fsync distribution, and the
+    /// merged per-stripe acquire-wait. This is what the full-disclosure
+    /// export and the counters RPC ship.
     pub fn histogram_snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
         let mut out: Vec<(String, HistogramSnapshot)> =
             self.stages.named().iter().map(|(name, h)| (name.to_string(), h.snapshot())).collect();
+        out.push((
+            "store.stage.validate_failed_nanos".to_string(),
+            self.stages.validate_failed.snapshot(),
+        ));
+        out.push(("store.write.watermark_lag".to_string(), self.watermark_lag.snapshot()));
         out.push(("store.wal.fsync_micros".to_string(), self.wal_fsync_micros.snapshot()));
         out.push(("store.stripe.wait_nanos".to_string(), self.stripes.merged_wait()));
         out
@@ -236,12 +261,13 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 15);
         assert!(snap.contains(&("store.mvcc.snapshots", 1)));
         assert!(names.contains(&"store.read.fastlane_entries"));
         assert!(!names.contains(&"store.read.fastpath_entries"), "pre-PR-5 name must be gone");
         assert!(names.contains(&"store.read.latchfree_reads"));
         assert!(names.contains(&"store.write.shard_conflicts"));
+        assert!(names.contains(&"store.write.publish_parks"));
         assert!(snap.contains(&("store.wal.bytes", 100)));
     }
 
@@ -249,6 +275,8 @@ mod tests {
     fn histogram_snapshots_cover_stages_wal_and_stripes() {
         let c = StoreCounters::new();
         c.stages.publish_wait.record(120);
+        c.stages.validate_failed.record(90);
+        c.watermark_lag.record(3);
         c.stripes.note_conflict(3, 55);
         c.stripes.note_conflict(3, 70);
         c.stripes.note_conflict(9, 10);
@@ -262,6 +290,8 @@ mod tests {
             "store.stage.apply_nanos",
             "store.stage.publish_wait_nanos",
             "store.stage.durable_wait_nanos",
+            "store.stage.validate_failed_nanos",
+            "store.write.watermark_lag",
             "store.wal.fsync_micros",
             "store.stripe.wait_nanos",
         ] {

@@ -34,8 +34,10 @@
 //! - Writers lock only the [`STRIPES`]-way striped locks covering the ids
 //!   their operation touches, so shard-disjoint updates (different persons'
 //!   activity — the common case) run in parallel.
-//!   [`crate::mvcc::CommitClock::publish`] remains the single global
-//!   serialization point and enforces timestamp-order publication.
+//!   [`crate::mvcc::CommitClock::publish`] is out-of-order and
+//!   non-blocking: writers mark their timestamp in a publication ring and
+//!   the visibility watermark advances over the contiguous published
+//!   prefix, so ordering lives in visibility, not in a barrier.
 //! - MVCC visibility is untouched: a published entry whose commit
 //!   timestamp is above the snapshot timestamp is simply invisible, so
 //!   [`Snapshot`]/[`PinnedSnapshot`] semantics are byte-identical to the
@@ -491,6 +493,7 @@ impl IndexList {
 /// caller has open — `driver.execute` in-process, `server.execute` remote).
 static SPAN_STRIPE_WAIT: NameId = NameId::new("store.stage.stripe_wait");
 static SPAN_VALIDATE: NameId = NameId::new("store.stage.validate");
+static SPAN_VALIDATE_FAILED: NameId = NameId::new("store.stage.validate_failed");
 static SPAN_WAL_APPEND: NameId = NameId::new("store.stage.wal_append");
 static SPAN_RESERVE: NameId = NameId::new("store.stage.reserve");
 static SPAN_APPLY: NameId = NameId::new("store.stage.apply");
@@ -1108,23 +1111,35 @@ impl Store {
     /// Ordering within the stripe critical section is load-bearing:
     /// everything fallible (validation, the WAL append) happens **before**
     /// [`CommitClock::reserve`], because every reserved timestamp must be
-    /// published or later publishers would wait forever; and the append
-    /// happens **before** any row is installed so WAL order respects
-    /// dependency order (see [`Store::apply`]). Between `reserve` and
-    /// `publish` the writer only places in-memory rows, keeping the
-    /// in-order publication wait in [`CommitClock::publish`] short.
+    /// published or the visibility watermark would wedge at the gap; and
+    /// the append happens **before** any row is installed so WAL order
+    /// respects dependency order (see [`Store::apply`]). `publish` is
+    /// out-of-order and non-blocking (ring wraparound aside — see
+    /// [`CommitClock::publish`]): a descheduled writer delays only the
+    /// watermark, never other committers.
     /// Returns the WAL sequence to await plus the publish-end timestamp
     /// ([`trace::now_nanos`]) where the `durable_wait` stage begins.
     fn apply_internal(&self, op: &UpdateOp, log: bool) -> SnbResult<(Option<u64>, u64)> {
         // Stage boundaries double as histogram samples and (when a trace
         // is live) causal child spans of the caller's op span. The six
         // stages here plus `durable_wait` in `apply` tile the committed
-        // path end-to-end; failed validations record nothing.
+        // path end-to-end. Failed validations record their stripe wait
+        // plus a `validate_failed` sample (kept out of the committed-path
+        // tiling), so contention burned before a conflict still shows up
+        // in the attribution exactly when conflicts spike.
         let t0 = trace::now_nanos();
         let guards = self.lock_stripes(op);
         let t1 = trace::now_nanos();
         if let Err(e) = self.tables.validate(op) {
+            let t_failed = trace::now_nanos();
             self.counters.conflicts.inc();
+            let st = &self.counters.stages;
+            st.stripe_wait.record(t1 - t0);
+            st.validate_failed.record(t_failed - t1);
+            if trace::tracing_possible() {
+                trace::record_stage(&SPAN_STRIPE_WAIT, t0 / 1_000, t1 / 1_000);
+                trace::record_stage(&SPAN_VALIDATE_FAILED, t1 / 1_000, t_failed / 1_000);
+            }
             return Err(e);
         }
         let t2 = trace::now_nanos();
@@ -1152,10 +1167,12 @@ impl Store {
             UpdateOp::AddFriendship(k) => self.tables.insert_knows(k, ts),
         }
         let t5 = trace::now_nanos();
-        self.clock.publish(ts);
+        let publication = self.clock.publish(ts);
         let t6 = trace::now_nanos();
         self.counters.commits.inc();
         drop(guards);
+        self.counters.publish_parks.add(publication.parked);
+        self.counters.watermark_lag.record(publication.lag);
         let st = &self.counters.stages;
         st.stripe_wait.record(t1 - t0);
         st.validate.record(t2 - t1);

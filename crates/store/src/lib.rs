@@ -5,9 +5,10 @@
 //! systems under test. Insert-only MVCC gives serializable snapshot reads
 //! (see [`mvcc`]), reads are latch-free (pinned snapshots hold no guard;
 //! index tails are published with release/acquire atomics) while writers
-//! commit in parallel through striped per-entity locks with one global
-//! in-order publication point (see [`graph`] and DESIGN.md "Concurrency
-//! model"), a group-commit write-ahead log gives redo durability with
+//! commit in parallel through striped per-entity locks and publish
+//! out-of-order behind a visibility watermark (see [`graph`] and
+//! DESIGN.md "Concurrency model"), a group-commit write-ahead log gives
+//! redo durability with
 //! tail-truncating crash recovery (see [`wal`]), bulk loading is parallel
 //! and sort-once (see the `bulk_load*` methods on [`graph::Store`]), and
 //! the index set is designed around the Interactive workload's "most

@@ -266,3 +266,171 @@ mod striped {
         assert!(store.counters().read_latchfree.get() > 0);
     }
 }
+
+// --- PR 7: out-of-order publication behind a visibility watermark ---
+
+mod watermark {
+    use proptest::prelude::*;
+    use snb_core::dict::names::Gender;
+    use snb_core::schema::Person;
+    use snb_core::time::SimTime;
+    use snb_core::update::UpdateOp;
+    use snb_core::{PersonId, TagId};
+    use snb_store::mvcc::CommitClock;
+    use snb_store::Store;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    fn person(id: u64, t: i64) -> Person {
+        Person {
+            id: PersonId(id),
+            first_name: "Karl",
+            last_name: "Muller",
+            gender: Gender::Male,
+            birthday: SimTime(0),
+            creation_date: SimTime(t),
+            city: 0,
+            country: 0,
+            browser: "Chrome",
+            location_ip: String::new(),
+            languages: vec!["de"],
+            emails: vec![],
+            interests: vec![TagId(1)],
+            study_at: None,
+            work_at: vec![],
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Clock-level snapshot rule: publisher threads publish shuffled
+        /// timestamp batches genuinely out of order while a sampler
+        /// asserts the watermark is monotone and never outruns the
+        /// contiguous prefix of publishes that have *started*. The
+        /// started-set is a superset of the completed-set (each publisher
+        /// marks intent before calling `publish`), so `horizon ≤ started
+        /// prefix` failing can only mean the watermark jumped a gap.
+        #[test]
+        fn watermark_advances_only_over_contiguous_published_prefix(
+            seed in any::<u64>(),
+            writers in 2usize..=4,
+            per_writer in 4u64..=48,
+        ) {
+            let clock = CommitClock::new();
+            let k = writers as u64 * per_writer;
+            let mut order: Vec<u64> = (0..k).map(|_| clock.reserve()).collect();
+            // Fisher–Yates with the deterministic proptest RNG, so each
+            // case exercises a different global publish order.
+            let mut rng = proptest::TestRng::new(seed);
+            for i in (1..order.len()).rev() {
+                let j = rng.below(i as u64 + 1) as usize;
+                order.swap(i, j);
+            }
+            let started: Vec<AtomicBool> = (0..=k).map(|_| AtomicBool::new(false)).collect();
+            let writers_left = AtomicUsize::new(writers);
+            std::thread::scope(|scope| {
+                for w in 0..writers {
+                    let mine: Vec<u64> =
+                        order.iter().copied().skip(w).step_by(writers).collect();
+                    let (clock, started, writers_left) = (&clock, &started, &writers_left);
+                    scope.spawn(move || {
+                        for ts in mine {
+                            started[ts as usize].store(true, Ordering::SeqCst);
+                            clock.publish(ts);
+                            std::thread::yield_now();
+                        }
+                        writers_left.fetch_sub(1, Ordering::AcqRel);
+                    });
+                }
+                let mut last = 0u64;
+                loop {
+                    let finished = writers_left.load(Ordering::Acquire) == 0;
+                    let horizon = clock.snapshot_ts();
+                    // Read the horizon *before* scanning the started-set:
+                    // the set only grows, so the scanned prefix is at
+                    // least as long as it was when the horizon was read.
+                    let prefix =
+                        (1..=k).take_while(|&t| started[t as usize].load(Ordering::SeqCst)).count()
+                            as u64;
+                    assert!(horizon >= last, "watermark went backwards: {horizon} < {last}");
+                    assert!(
+                        horizon <= prefix,
+                        "watermark {horizon} outran the contiguous started prefix {prefix}"
+                    );
+                    last = horizon;
+                    if finished {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+            prop_assert_eq!(clock.snapshot_ts(), k);
+        }
+
+        /// Store-level snapshot rule: concurrent writers commit disjoint
+        /// person streams — so publication happens out of order — while a
+        /// pinned reader checks that every pin's visible person count
+        /// equals its horizon *exactly* (each commit inserts exactly one
+        /// person). `count < ts` would mean the watermark exposed a
+        /// half-applied gap; `count > ts` would mean a pin leaked an
+        /// uncommitted row. The final store matches a serial oracle
+        /// pointwise (concurrent-apply == serial-apply).
+        #[test]
+        fn pinned_readers_see_contiguous_history_under_out_of_order_writers(
+            writers in 2usize..=4,
+            per_writer in 8u64..=48,
+        ) {
+            let store = Store::new();
+            let total = writers as u64 * per_writer;
+            std::thread::scope(|scope| {
+                for w in 0..writers {
+                    let store = &store;
+                    let base = w as u64 * per_writer;
+                    scope.spawn(move || {
+                        for i in 0..per_writer {
+                            let op = UpdateOp::AddPerson(person(base + i, (base + i) as i64));
+                            store.apply(&op).expect("disjoint person stream must commit");
+                        }
+                    });
+                }
+                let mut last_ts = 0u64;
+                loop {
+                    let pin = store.pinned();
+                    let ts = pin.ts();
+                    assert!(ts >= last_ts, "pin horizon went backwards");
+                    last_ts = ts;
+                    let visible = (0..total)
+                        .filter(|&i| pin.person_ref(PersonId(i)).is_some())
+                        .count() as u64;
+                    assert_eq!(
+                        visible, ts,
+                        "visible persons must equal the pin horizon exactly"
+                    );
+                    if visible == total {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+            prop_assert_eq!(store.counters().commits.get(), total);
+
+            let serial = Store::new();
+            for w in 0..writers as u64 {
+                for i in 0..per_writer {
+                    let id = w * per_writer + i;
+                    serial.apply(&UpdateOp::AddPerson(person(id, id as i64))).unwrap();
+                }
+            }
+            let a = store.pinned();
+            let b = serial.pinned();
+            prop_assert_eq!(a.person_slots(), b.person_slots());
+            for i in 0..total {
+                let p = PersonId(i);
+                prop_assert_eq!(
+                    format!("{:?}", a.person_ref(p)),
+                    format!("{:?}", b.person_ref(p))
+                );
+            }
+        }
+    }
+}
