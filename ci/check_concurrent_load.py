@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Guard the claims in BENCH_concurrent_load.json (stdlib only).
+
+Three checks, run by the CI perf-smoke job after `ext_concurrent_load`:
+
+1. Zero errors: every level of every mix must report `errors == 0`. The
+   sweep uses only valid dataset ids and independent updates, so a single
+   error means the server dropped, corrupted, or mis-correlated a request.
+
+2. Leak guard: after a level's clients hang up, the server must have
+   reaped every connection it accepted — `accepted - closed` may not
+   drift past the connections still live when the counters were read
+   (`open_conns`, which is 0 for this bench: it holds no idle
+   connections). Drift here is exactly the churn leak this PR fixes.
+
+3. Concurrency does not collapse throughput: read-heavy QPS at
+   COMPARE_CONNS connections must be at least MIN_QPS_RATIO of QPS at 1
+   connection. The readiness loop must multiplex connections, not
+   serialize them; the small tolerance absorbs scheduler noise on
+   single-core CI hosts.
+
+Exit code 0 = all claims hold; 1 = a guard tripped.
+
+Usage: python3 ci/check_concurrent_load.py BENCH_concurrent_load.json
+"""
+
+import json
+import sys
+
+COMPARE_CONNS = 16
+MIN_QPS_RATIO = 0.9
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "ext_concurrent_load":
+        print(f"FAIL: {path} is not an ext_concurrent_load report")
+        return 1
+
+    failures = []
+    levels_checked = 0
+
+    for mix in doc["mixes"]:
+        name = mix["mix"]
+        for level in mix["levels"]:
+            levels_checked += 1
+            conns = level["conns"]
+            if level["errors"] != 0:
+                failures.append(
+                    f"{name} conns={conns}: {level['errors']} errors "
+                    f"({level['error_rate']:.2%} of {level['total_ops']} ops)"
+                )
+            drift = level["accepted"] - level["closed"]
+            if drift > level["open_conns"]:
+                failures.append(
+                    f"{name} conns={conns}: accepted-closed drift {drift} exceeds "
+                    f"live connections {level['open_conns']} — connection leak"
+                )
+
+    read_heavy = next((m for m in doc["mixes"] if m["mix"] == "read_heavy"), None)
+    if read_heavy is None:
+        failures.append("read_heavy mix missing from report")
+    else:
+        by_conns = {lvl["conns"]: lvl for lvl in read_heavy["levels"]}
+        if 1 not in by_conns or COMPARE_CONNS not in by_conns:
+            failures.append(
+                f"read_heavy sweep lacks the 1 and {COMPARE_CONNS} connection "
+                f"levels needed for the throughput guard"
+            )
+        else:
+            qps_1 = by_conns[1]["qps"]
+            qps_n = by_conns[COMPARE_CONNS]["qps"]
+            if qps_n < MIN_QPS_RATIO * qps_1:
+                failures.append(
+                    f"read_heavy QPS collapsed under concurrency: "
+                    f"{qps_n:.0f} at {COMPARE_CONNS} conns vs {qps_1:.0f} at 1 "
+                    f"(floor {MIN_QPS_RATIO:.0%})"
+                )
+            else:
+                print(
+                    f"OK: read_heavy QPS {qps_n:.0f} at {COMPARE_CONNS} conns vs "
+                    f"{qps_1:.0f} at 1 (floor {MIN_QPS_RATIO:.0%})"
+                )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"OK: {levels_checked} levels, zero errors, no connection leaks")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1]))

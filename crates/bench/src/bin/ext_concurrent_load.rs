@@ -1,0 +1,329 @@
+//! Extension — connection-concurrency load curve for the readiness-loop
+//! server (PR 8): sweep 1 → `max_conns` simultaneous [`PipelinedClient`]
+//! connections against an in-process `snb-net` server on loopback, once
+//! with a read-heavy mix (short reads over valid dataset ids) and once
+//! with a mixed read/update mix (10% independent `AddPerson` updates drawn
+//! from a global id allocator, so pipelined updates never conflict).
+//!
+//! Reported per level: sustained QPS, request-latency P50/P90/P99, error
+//! rate (the acceptance bar is zero errors at every level), and the leak
+//! guards — `accepted − closed` drift after the level's clients hang up,
+//! the `net.server.open_conns` gauge, and the process's open-fd count
+//! (Linux). Writes `BENCH_concurrent_load.json` (consumed by
+//! `ci/check_concurrent_load.py` and EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p snb-bench --release --bin ext_concurrent_load
+//! [persons] [ops_per_conn] [max_conns]`
+
+use snb_core::dict::names::Gender;
+use snb_core::schema::Person;
+use snb_core::time::SimTime;
+use snb_core::update::UpdateOp;
+use snb_core::{MessageId, PersonId, TagId};
+use snb_driver::connector::{Operation, StoreConnector};
+use snb_net::{PipelinedClient, Response, Server};
+use snb_obs::{Json, LatencyHistogram};
+use snb_queries::params::ShortQuery;
+use snb_queries::Engine;
+use snb_store::Store;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Requests each connection keeps in flight (must stay at or below the
+/// server's `max_pipeline`, or the extra sends just queue client-side).
+const WINDOW: usize = 8;
+
+fn person(id: u64) -> Person {
+    Person {
+        id: PersonId(id),
+        first_name: "Karl",
+        last_name: "Muller",
+        gender: Gender::Male,
+        birthday: SimTime(0),
+        creation_date: SimTime(id as i64),
+        city: 0,
+        country: 0,
+        browser: "Chrome",
+        location_ip: String::new(),
+        languages: vec!["de"],
+        emails: vec![],
+        interests: vec![TagId(1)],
+        study_at: None,
+        work_at: vec![],
+    }
+}
+
+/// First id past every dataset entity, so update ids never collide with
+/// bulk-loaded rows.
+fn id_floor(ds: &snb_datagen::Dataset) -> u64 {
+    let persons = ds.persons.iter().map(|p| p.id.raw()).max().unwrap_or(0);
+    let forums = ds.forums.iter().map(|f| f.id.raw()).max().unwrap_or(0);
+    let posts = ds.posts.iter().map(|p| p.id.raw()).max().unwrap_or(0);
+    let comments = ds.comments.iter().map(|c| c.id.raw()).max().unwrap_or(0);
+    persons.max(forums).max(posts).max(comments) + 1
+}
+
+/// Open file descriptors of this process (Linux); 0 where /proc is absent.
+fn open_fds() -> u64 {
+    std::fs::read_dir("/proc/self/fd").map(|d| d.count() as u64).unwrap_or(0)
+}
+
+/// The `i`-th operation of a connection's request stream. Read-heavy: all
+/// seven short-read kinds over valid dataset ids. Mixed: every 10th
+/// request is an `AddPerson` with a globally unique id — independent of
+/// every other in-flight request, so pipelining cannot create
+/// intra-connection dependencies.
+fn nth_op(
+    i: u64,
+    conn: u64,
+    persons: &[PersonId],
+    messages: &[MessageId],
+    update_ids: Option<&AtomicU64>,
+) -> Operation {
+    if let Some(ids) = update_ids {
+        if i % 10 == 9 {
+            let id = ids.fetch_add(1, Ordering::Relaxed);
+            return Operation::Update(UpdateOp::AddPerson(person(id)));
+        }
+    }
+    let mix = i.wrapping_mul(7).wrapping_add(conn.wrapping_mul(13));
+    let p = persons[(mix % persons.len() as u64) as usize];
+    let m = messages[(mix % messages.len() as u64) as usize];
+    match mix % 7 {
+        0 => Operation::Short(ShortQuery::S1(p)),
+        1 => Operation::Short(ShortQuery::S2(p)),
+        2 => Operation::Short(ShortQuery::S3(p)),
+        3 => Operation::Short(ShortQuery::S4(m)),
+        4 => Operation::Short(ShortQuery::S5(m)),
+        5 => Operation::Short(ShortQuery::S6(m)),
+        _ => Operation::Short(ShortQuery::S7(m)),
+    }
+}
+
+struct Level {
+    conns: usize,
+    total_ops: u64,
+    errors: u64,
+    wall: Duration,
+    latency: LatencyHistogram,
+    accepted: u64,
+    closed: u64,
+    open_conns: u64,
+    pipeline_depth: u64,
+    open_fds: u64,
+}
+
+/// Drive one concurrency level: `conns` client threads, each running
+/// `ops_per_conn` requests through a windowed [`PipelinedClient`], then
+/// wait for the server to reap every connection before reading the leak
+/// counters.
+#[allow(clippy::too_many_arguments)]
+fn run_level(
+    server: &Server,
+    conns: usize,
+    ops_per_conn: u64,
+    persons: &[PersonId],
+    messages: &[MessageId],
+    update_ids: Option<&AtomicU64>,
+) -> Level {
+    let addr = server.local_addr().to_string();
+    let latency = LatencyHistogram::new();
+    let errors = AtomicU64::new(0);
+    let accepted_before = server.metrics().connections.get();
+    let closed_before = server.metrics().closed.get();
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for conn in 0..conns {
+            let (addr, latency, errors) = (&addr, &latency, &errors);
+            scope.spawn(move || {
+                let mut client = PipelinedClient::connect(addr.clone()).expect("dial");
+                // Correlation id -> send instant, for per-request latency.
+                let mut sent: std::collections::HashMap<u64, Instant> =
+                    std::collections::HashMap::with_capacity(WINDOW * 2);
+                let mut next = 0u64;
+                let recv_one =
+                    |client: &mut PipelinedClient,
+                     sent: &mut std::collections::HashMap<u64, Instant>| {
+                        match client.recv() {
+                            Ok((corr, response)) => {
+                                if let Some(at) = sent.remove(&corr) {
+                                    latency.record(at.elapsed().as_micros() as u64);
+                                }
+                                if matches!(response, Response::Error(_)) {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    };
+                while next < ops_per_conn || client.in_flight() > 0 {
+                    while next < ops_per_conn && client.in_flight() < WINDOW {
+                        let op = nth_op(next, conn as u64, persons, messages, update_ids);
+                        match client.send(&op) {
+                            Ok(corr) => {
+                                sent.insert(corr, Instant::now());
+                            }
+                            Err(_) => {
+                                // Poisoned connection: count every request
+                                // that can no longer complete and bail.
+                                errors.fetch_add(ops_per_conn - next, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                        next += 1;
+                    }
+                    if client.in_flight() > 0 {
+                        recv_one(&mut client, &mut sent);
+                    }
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed();
+
+    // Leak guard: with every client dropped, the event loop must reap all
+    // of this level's connections — poll until `closed` catches up.
+    let reap_deadline = Instant::now() + Duration::from_secs(10);
+    let accepted = server.metrics().connections.get() - accepted_before;
+    loop {
+        let closed = server.metrics().closed.get() - closed_before;
+        if closed >= accepted || Instant::now() > reap_deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    Level {
+        conns,
+        total_ops: conns as u64 * ops_per_conn,
+        errors: errors.load(Ordering::Relaxed),
+        wall,
+        latency,
+        accepted,
+        closed: server.metrics().closed.get() - closed_before,
+        open_conns: server.metrics().open_conns.get(),
+        pipeline_depth: server.metrics().pipeline_depth.get(),
+        open_fds: open_fds(),
+    }
+}
+
+fn level_json(l: &Level) -> Json {
+    let qps = l.total_ops as f64 / l.wall.as_secs_f64().max(1e-9);
+    Json::obj([
+        ("conns", Json::from(l.conns as u64)),
+        ("total_ops", Json::from(l.total_ops)),
+        ("qps", Json::from(qps)),
+        ("p50_micros", Json::from(l.latency.value_at_quantile(0.50))),
+        ("p90_micros", Json::from(l.latency.value_at_quantile(0.90))),
+        ("p99_micros", Json::from(l.latency.value_at_quantile(0.99))),
+        ("errors", Json::from(l.errors)),
+        ("error_rate", Json::from(l.errors as f64 / l.total_ops.max(1) as f64)),
+        ("accepted", Json::from(l.accepted)),
+        ("closed", Json::from(l.closed)),
+        ("accepted_minus_closed", Json::from(l.accepted.saturating_sub(l.closed))),
+        ("open_conns", Json::from(l.open_conns)),
+        ("pipeline_depth", Json::from(l.pipeline_depth)),
+        ("open_fds", Json::from(l.open_fds)),
+        ("wall_secs", Json::from(l.wall.as_secs_f64())),
+    ])
+}
+
+fn main() {
+    let persons: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("persons must be a number"))
+        .unwrap_or(1_000);
+    let ops_per_conn: u64 = std::env::args()
+        .nth(2)
+        .map(|a| a.parse().expect("ops_per_conn must be a number"))
+        .unwrap_or(200);
+    let max_conns: usize = std::env::args()
+        .nth(3)
+        .map(|a| a.parse().expect("max_conns must be a number"))
+        .unwrap_or(256);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("== ext_concurrent_load: connection sweep over the readiness-loop server ==");
+    println!(
+        "   persons={persons} ops_per_conn={ops_per_conn} max_conns={max_conns} \
+         window={WINDOW} hw_threads={cores}"
+    );
+
+    let ds = snb_bench::dataset(persons);
+    let person_ids: Vec<PersonId> = ds.persons.iter().map(|p| p.id).collect();
+    let message_ids: Vec<MessageId> = ds.posts.iter().map(|p| p.id).collect();
+    let update_ids = AtomicU64::new(id_floor(&ds));
+
+    let store = Arc::new(Store::new());
+    store.bulk_load(&ds);
+    let connector = Arc::new(StoreConnector::new(store, Engine::Intended));
+    let server = Server::bind("127.0.0.1:0", connector).expect("bind loopback server");
+
+    let mut levels = Vec::new();
+    let mut l = 1usize;
+    while l <= max_conns {
+        levels.push(l);
+        l *= 2;
+    }
+
+    let mut mixes: Vec<Json> = Vec::new();
+    for (mix_name, updates) in [("read_heavy", false), ("mixed_rw", true)] {
+        println!("-- mix: {mix_name} --");
+        let mut table = snb_bench::Table::new(&[
+            "conns",
+            "qps",
+            "p50 us",
+            "p90 us",
+            "p99 us",
+            "errors",
+            "acc-closed",
+            "open fds",
+        ]);
+        let mut rows: Vec<Json> = Vec::new();
+        for &conns in &levels {
+            let level = run_level(
+                &server,
+                conns,
+                ops_per_conn,
+                &person_ids,
+                &message_ids,
+                updates.then_some(&update_ids),
+            );
+            table.row(&[
+                conns.to_string(),
+                format!("{:.0}", level.total_ops as f64 / level.wall.as_secs_f64().max(1e-9)),
+                level.latency.value_at_quantile(0.50).to_string(),
+                level.latency.value_at_quantile(0.90).to_string(),
+                level.latency.value_at_quantile(0.99).to_string(),
+                level.errors.to_string(),
+                level.accepted.saturating_sub(level.closed).to_string(),
+                level.open_fds.to_string(),
+            ]);
+            rows.push(level_json(&level));
+        }
+        table.print();
+        mixes.push(Json::obj([
+            ("mix", Json::from(mix_name)),
+            ("updates_every", Json::from(if updates { 10u64 } else { 0 })),
+            ("levels", Json::Arr(rows)),
+        ]));
+    }
+
+    server.shutdown();
+    server.join();
+
+    let doc = Json::obj([
+        ("bench", Json::from("ext_concurrent_load")),
+        ("persons", Json::from(persons)),
+        ("ops_per_conn", Json::from(ops_per_conn)),
+        ("max_conns", Json::from(max_conns as u64)),
+        ("window", Json::from(WINDOW as u64)),
+        ("hw_threads", Json::from(cores as u64)),
+        ("mixes", Json::Arr(mixes)),
+    ]);
+    std::fs::write("BENCH_concurrent_load.json", doc.render_pretty(2)).expect("write json");
+    println!("   wrote BENCH_concurrent_load.json");
+}

@@ -1,14 +1,26 @@
-//! [`RemoteConnector`] — the driver side of the wire.
+//! [`RemoteConnector`] — the driver side of the wire — and
+//! [`PipelinedClient`], a single-connection v3 client that keeps several
+//! requests in flight.
 //!
-//! Implements [`Connector`] over TCP with a connection pool sized by
-//! demand: each concurrent `execute` checks a connection out, so a driver
-//! with P partitions settles on at most P connections. Connect failures are
-//! retried with bounded exponential backoff; a request that has been *sent*
-//! is NEVER retried — updates are not idempotent, and a timed-out update
-//! may well have executed. The error surfaces to the driver, which aborts
-//! the run (the benchmark's required behavior on SUT failure).
+//! `RemoteConnector` implements [`Connector`] over TCP with a connection
+//! pool sized by demand: each concurrent `execute` checks a connection
+//! out, so a driver with P partitions settles on at most P connections. It
+//! speaks protocol v3 (every request carries a correlation id, verified on
+//! the response) but keeps one request outstanding per checked-out
+//! connection — the driver's dependency-execution loop is synchronous per
+//! partition. Connect failures are retried with bounded exponential
+//! backoff; a request that has been *sent* is NEVER retried — updates are
+//! not idempotent, and a timed-out update may well have executed. The
+//! error surfaces to the driver, which aborts the run (the benchmark's
+//! required behavior on SUT failure).
+//!
+//! `PipelinedClient` is the load-generation primitive: `send` queues a
+//! request and returns its correlation id without waiting; `recv` returns
+//! the next completed `(correlation id, response)` in whatever order the
+//! server finished them. The concurrent-load sweep drives hundreds of
+//! these at once.
 
-use crate::codec::{self, Request, Response, NET_MAGIC};
+use crate::codec::{self, Request, Response, NET_MAGIC_V3};
 use crate::metrics::NetMetrics;
 use snb_core::{SnbError, SnbResult};
 use snb_driver::connector::{Connector, OpOutcome, Operation};
@@ -16,7 +28,7 @@ use snb_obs::trace::{self, NameId, SpanData, SpanGuard};
 use snb_obs::HistogramSnapshot;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -54,6 +66,9 @@ pub struct RemoteConnector {
     config: NetConfig,
     pool: Mutex<Vec<TcpStream>>,
     ever_connected: AtomicBool,
+    /// v3 correlation ids, unique across the whole pool so a response
+    /// surfacing on the wrong connection can never be mistaken for ours.
+    next_corr: AtomicU64,
     metrics: NetMetrics,
 }
 
@@ -71,6 +86,7 @@ impl RemoteConnector {
             config,
             pool: Mutex::new(Vec::new()),
             ever_connected: AtomicBool::new(false),
+            next_corr: AtomicU64::new(1),
             metrics: NetMetrics::new("client"),
         };
         let conn = client.dial()?;
@@ -133,20 +149,8 @@ impl RemoteConnector {
         let mut last_err: Option<std::io::Error> = None;
         for addr in addrs {
             match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
-                Ok(mut stream) => {
-                    stream.set_nodelay(true)?;
-                    stream.set_read_timeout(Some(self.config.request_timeout))?;
-                    stream.set_write_timeout(Some(self.config.request_timeout))?;
-                    stream.write_all(&NET_MAGIC)?;
-                    let mut echo = [0u8; 8];
-                    stream.read_exact(&mut echo)?;
-                    if echo != NET_MAGIC {
-                        return Err(SnbError::Config(format!(
-                            "{} is not an snb-net server (bad handshake)",
-                            self.addr
-                        )));
-                    }
-                    return Ok(stream);
+                Ok(stream) => {
+                    return handshake_v3(stream, &self.config, &self.addr);
                 }
                 Err(e) => last_err = Some(e),
             }
@@ -173,14 +177,27 @@ impl RemoteConnector {
     fn request(&self, payload: &[u8]) -> SnbResult<Response> {
         let mut stream = self.checkout()?;
         self.metrics.requests.inc();
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
         let result = (|| -> std::io::Result<Response> {
-            let n_out = codec::write_frame(&mut stream, payload)?;
+            let mut framed = Vec::with_capacity(payload.len() + 8);
+            codec::put_corr(&mut framed, corr);
+            framed.extend_from_slice(payload);
+            let n_out = codec::write_frame(&mut stream, &framed)?;
             self.metrics.bytes_out.add(n_out as u64);
             let mut frame = Vec::new();
             let n_in = codec::read_frame(&mut stream, &mut frame)?;
             self.metrics.bytes_in.add(n_in as u64);
-            Response::decode(&frame).ok_or_else(|| {
+            let (echoed, body) = codec::take_corr(&frame).ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "response frame too short")
+            })?;
+            if echoed != corr {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("correlation mismatch: sent {corr}, got {echoed}"),
+                ));
+            }
+            Response::decode(body).ok_or_else(|| {
                 std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response frame")
             })
         })();
@@ -196,6 +213,151 @@ impl RemoteConnector {
                 Err(SnbError::Io(e))
             }
         }
+    }
+}
+
+/// Perform the client half of the v3 handshake on a fresh stream: apply
+/// timeouts, disable Nagle, send our magic, and require the server to echo
+/// it (a v2-only server would echo nothing or close).
+fn handshake_v3(mut stream: TcpStream, config: &NetConfig, addr: &str) -> SnbResult<TcpStream> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(config.request_timeout))?;
+    stream.set_write_timeout(Some(config.request_timeout))?;
+    stream.write_all(&NET_MAGIC_V3)?;
+    let mut echo = [0u8; 8];
+    stream.read_exact(&mut echo)?;
+    if echo != NET_MAGIC_V3 {
+        return Err(SnbError::Config(format!(
+            "{addr} is not an snb-net v3 server (bad handshake)"
+        )));
+    }
+    Ok(stream)
+}
+
+/// A single v3 connection with decoupled send and receive halves, for load
+/// generation. Unlike [`RemoteConnector`] (one request in flight per pooled
+/// connection), `PipelinedClient` lets the caller keep a window of requests
+/// outstanding: [`send`](PipelinedClient::send) returns as soon as the
+/// request is written, and [`recv`](PipelinedClient::recv) blocks for the
+/// next response the server finished, identified by correlation id.
+///
+/// Any transport error poisons the client: the connection's framing can no
+/// longer be trusted, so subsequent calls fail fast.
+pub struct PipelinedClient {
+    stream: TcpStream,
+    next_corr: u64,
+    in_flight: usize,
+    poisoned: bool,
+}
+
+impl PipelinedClient {
+    /// Dial and handshake (v3) with default [`NetConfig`].
+    pub fn connect(addr: impl Into<String>) -> SnbResult<PipelinedClient> {
+        PipelinedClient::with_config(addr, NetConfig::default())
+    }
+
+    /// Dial and handshake (v3) with an explicit config. No connect retries:
+    /// load sweeps want to see dial failures, not paper over them.
+    pub fn with_config(addr: impl Into<String>, config: NetConfig) -> SnbResult<PipelinedClient> {
+        let addr = addr.into();
+        let sock_addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| SnbError::Config(format!("cannot resolve {addr}: {e}")))?
+            .collect();
+        let mut last_err: Option<std::io::Error> = None;
+        for sock in sock_addrs {
+            match TcpStream::connect_timeout(&sock, config.connect_timeout) {
+                Ok(stream) => {
+                    let stream = handshake_v3(stream, &config, &addr)?;
+                    return Ok(PipelinedClient {
+                        stream,
+                        next_corr: 1,
+                        in_flight: 0,
+                        poisoned: false,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(SnbError::Io(
+            last_err.unwrap_or_else(|| {
+                std::io::Error::other(format!("{addr} resolved to no addresses"))
+            }),
+        ))
+    }
+
+    /// Requests sent whose responses have not yet been received.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Write one operation to the wire and return its correlation id
+    /// without waiting for the response.
+    pub fn send(&mut self, op: &Operation) -> SnbResult<u64> {
+        let mut payload = Vec::new();
+        codec::encode_execute(op, None, &mut payload);
+        self.send_payload(&payload)
+    }
+
+    /// Write a counters RPC to the wire and return its correlation id.
+    pub fn send_counters(&mut self) -> SnbResult<u64> {
+        let mut payload = Vec::new();
+        Request::Counters.encode(&mut payload);
+        self.send_payload(&payload)
+    }
+
+    fn send_payload(&mut self, payload: &[u8]) -> SnbResult<u64> {
+        self.check_poisoned()?;
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        let mut framed = Vec::with_capacity(payload.len() + 8);
+        codec::put_corr(&mut framed, corr);
+        framed.extend_from_slice(payload);
+        if let Err(e) = codec::write_frame(&mut self.stream, &framed) {
+            self.poisoned = true;
+            return Err(SnbError::Io(e));
+        }
+        self.in_flight += 1;
+        Ok(corr)
+    }
+
+    /// Block for the next completed response, in server completion order
+    /// (not send order). Returns the correlation id it answers.
+    pub fn recv(&mut self) -> SnbResult<(u64, Response)> {
+        self.check_poisoned()?;
+        if self.in_flight == 0 {
+            return Err(SnbError::Config("recv with no requests in flight".into()));
+        }
+        let result = (|| -> std::io::Result<(u64, Response)> {
+            let mut frame = Vec::new();
+            codec::read_frame(&mut self.stream, &mut frame)?;
+            let (corr, body) = codec::take_corr(&frame).ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "response frame too short")
+            })?;
+            let response = Response::decode(body).ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response frame")
+            })?;
+            Ok((corr, response))
+        })();
+        match result {
+            Ok(ok) => {
+                self.in_flight -= 1;
+                Ok(ok)
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(SnbError::Io(e))
+            }
+        }
+    }
+
+    fn check_poisoned(&self) -> SnbResult<()> {
+        if self.poisoned {
+            return Err(SnbError::Config(
+                "pipelined connection poisoned by an earlier transport error".into(),
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -1,17 +1,20 @@
 //! Wire encoding: length-prefixed binary frames over a byte stream.
 //!
 //! One frame is `u32 little-endian payload length | payload`. A connection
-//! opens with an 8-byte magic handshake ([`NET_MAGIC`]) in each direction;
-//! after that the client sends [`Request`] frames and reads exactly one
+//! opens with an 8-byte magic handshake ([`NET_MAGIC`] for protocol v2,
+//! [`NET_MAGIC_V3`] for v3) sent by the client and echoed by the server;
+//! after that the client sends [`Request`] frames and reads one
 //! [`Response`] frame per request. Update operations reuse the WAL's
 //! versioned `UpdateOp` codec ([`snb_store::encode_update`]) so the
 //! workspace has a single binary encoding for mutations, on disk and on the
 //! wire; query parameters are encoded field-by-field here.
 //!
-//! The protocol is deliberately synchronous (one outstanding request per
-//! connection): the driver's dependency-execution loop issues one operation
-//! at a time per partition, and concurrency comes from the connection pool,
-//! not pipelining.
+//! v2 is synchronous (one outstanding request per connection); v3 frames
+//! carry a `u64` correlation id ahead of the v2-shaped payload
+//! ([`put_corr`] / [`take_corr`]) so a client may keep several requests in
+//! flight per connection and match responses arriving out of order. The
+//! server negotiates per connection off the handshake magic, so old v2
+//! clients keep working unchanged.
 
 use snb_core::time::SimTime;
 use snb_core::{MessageId, PersonId, SnbError};
@@ -24,11 +27,41 @@ use snb_queries::params::{
 };
 use std::io::{self, Read, Write};
 
-/// Handshake magic, sent by the client and echoed by the server. The digit
-/// versions the protocol: v2 added trace-context propagation on `Execute`,
-/// piggybacked server spans on `Outcome`, and histogram snapshots on
-/// `Counters` — all incompatible with v1, hence the bump.
+/// v2 handshake magic, sent by the client and echoed by the server. The
+/// digit versions the protocol: v2 added trace-context propagation on
+/// `Execute`, piggybacked server spans on `Outcome`, and histogram
+/// snapshots on `Counters` — all incompatible with v1, hence the bump.
 pub const NET_MAGIC: [u8; 8] = *b"SNBNET2\0";
+
+/// v3 handshake magic. v3 framing prefixes every request and response
+/// payload with a `u64` little-endian **correlation id** so a client may
+/// pipeline several requests on one connection and match responses that
+/// the server completes out of order. The server echoes whichever magic
+/// the client sent (negotiation: a v2 client gets v2 framing and strict
+/// one-at-a-time semantics; a v3 client gets pipelining).
+pub const NET_MAGIC_V3: [u8; 8] = *b"SNBNET3\0";
+
+/// The wire protocol version negotiated by a handshake magic, or `None`
+/// for an unknown peer.
+pub fn protocol_version(magic: &[u8; 8]) -> Option<u8> {
+    match *magic {
+        NET_MAGIC => Some(2),
+        NET_MAGIC_V3 => Some(3),
+        _ => None,
+    }
+}
+
+/// Prepend a v3 correlation id to a frame payload under construction.
+pub fn put_corr(buf: &mut Vec<u8>, corr: u64) {
+    put_u64(buf, corr);
+}
+
+/// Split a v3 frame payload into its correlation id and the v2-shaped
+/// message bytes that follow it.
+pub fn take_corr(p: &[u8]) -> Option<(u64, &[u8])> {
+    let (bytes, rest) = p.split_first_chunk::<8>()?;
+    Some((u64::from_le_bytes(*bytes), rest))
+}
 
 /// Maximum accepted frame payload (16 MiB): large enough for any counters
 /// dump, small enough that a corrupt length prefix cannot OOM the peer.
@@ -483,6 +516,11 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<usize> {
 /// Read one frame into `buf` (reusing its capacity). Returns the number of
 /// bytes consumed from the wire. `UnexpectedEof` on the length prefix means
 /// the peer closed the connection cleanly between frames.
+///
+/// The payload is read incrementally (`Read::take` + `read_to_end`) so
+/// allocation tracks the bytes that actually arrive: a malformed length
+/// prefix just under [`MAX_FRAME`] cannot force a 16 MiB zero-fill before
+/// the first payload byte shows up.
 pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<usize> {
     let mut len = [0u8; 4];
     r.read_exact(&mut len)?;
@@ -493,8 +531,14 @@ pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<usize> {
             format!("frame length {len} out of range"),
         ));
     }
-    buf.resize(len, 0);
-    r.read_exact(buf)?;
+    buf.clear();
+    let got = r.take(len as u64).read_to_end(buf)?;
+    if got < len {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("frame truncated: {got} of {len} bytes"),
+        ));
+    }
     Ok(len + 4)
 }
 

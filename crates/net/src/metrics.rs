@@ -1,7 +1,7 @@
 //! Net-layer counters, exported through the same full-disclosure channel as
 //! every other subsystem (`layer.subsystem.metric` names, see `snb-obs`).
 
-use snb_obs::{Counter, LatencyHistogram};
+use snb_obs::{Counter, Gauge, LatencyHistogram};
 
 /// Counters kept by one side of the wire. Both the server and the
 /// [`crate::RemoteConnector`] own one; [`NetMetrics::snapshot`] renders it
@@ -12,8 +12,21 @@ pub struct NetMetrics {
     side: &'static str,
     /// Successful dials (client) or accepted connections (server).
     pub connections: Counter,
+    /// Connections reaped after the peer hung up or erred (server only).
+    /// `connections - closed` is the live count — drift past
+    /// `open_conns` is a connection leak.
+    pub closed: Counter,
     /// Replacement connections dialed after the first (client only).
     pub reconnects: Counter,
+    /// Currently open connections (server only).
+    pub open_conns: Gauge,
+    /// Connections accepted in the most recent accept-readiness burst — a
+    /// measure of how far the listen backlog got ahead of the readiness
+    /// loop (server only).
+    pub accept_backlog: Gauge,
+    /// Requests dispatched to the worker pool whose responses have not yet
+    /// been queued for write, across all connections (server only).
+    pub pipeline_depth: Gauge,
     /// Requests sent (client) or served (server).
     pub requests: Counter,
     /// Failed dial attempts, transport errors, and error responses.
@@ -33,7 +46,11 @@ impl NetMetrics {
         NetMetrics {
             side,
             connections: Counter::detached(),
+            closed: Counter::detached(),
             reconnects: Counter::detached(),
+            open_conns: Gauge::new(),
+            accept_backlog: Gauge::new(),
+            pipeline_depth: Gauge::new(),
             requests: Counter::detached(),
             errors: Counter::detached(),
             bytes_in: Counter::detached(),
@@ -55,6 +72,12 @@ impl NetMetrics {
             (name("bytes_out"), self.bytes_out.get()),
             (name("request_micros_count"), self.request_micros.count()),
         ];
+        if self.side == "server" {
+            out.push((name("closed"), self.closed.get()));
+            out.push((name("open_conns"), self.open_conns.get()));
+            out.push((name("accept_backlog"), self.accept_backlog.get()));
+            out.push((name("pipeline_depth"), self.pipeline_depth.get()));
+        }
         if !self.request_micros.is_empty() {
             out.push((name("request_micros_mean"), self.request_micros.mean() as u64));
             out.push((name("request_micros_p50"), self.request_micros.value_at_quantile(0.50)));

@@ -1,60 +1,161 @@
-//! Blocking multi-threaded TCP server wrapping any [`Connector`].
+//! Nonblocking readiness-loop TCP server wrapping any [`Connector`].
 //!
-//! One accept thread, one handler thread per connection — the paper's SUTs
-//! are likewise thread-per-session servers, and the driver opens at most
-//! one connection per partition, so the thread count is bounded by the
-//! driver's partition count plus stragglers. Shutdown is cooperative: a
-//! flag flips, every registered connection is `shutdown(Both)` so blocked
-//! reads return, and a throwaway self-connect unblocks `accept`.
+//! The paper's throughput metric assumes the SUT absorbs many concurrent
+//! driver sessions, so the server is built for connection counts far past
+//! the driver's partition count: one event-loop thread multiplexes every
+//! connection through an epoll-style poller (the vendored `polling` shim),
+//! and a **fixed worker pool** executes requests — thread count is
+//! constant no matter how many clients connect or how hard they churn.
+//!
+//! Per-connection state machine: `handshake → frame-read → execute →
+//! frame-write`. The handshake magic negotiates the protocol version per
+//! connection: v2 peers get the synchronous one-request-at-a-time contract
+//! they expect; v3 peers may **pipeline** — every v3 frame carries a `u64`
+//! correlation id, requests fan out to the worker pool, and responses are
+//! written back in completion order with their ids, so out-of-order
+//! completion is fine.
+//!
+//! Flow control is bounded end to end: per-connection write queues have a
+//! byte limit, and a connection over its limit (or over its pipeline cap)
+//! stops being read — **backpressure** instead of unbounded buffering.
+//! Connection state lives in a slab keyed by poller token and is reaped
+//! the moment a connection dies, so accept/close churn cannot leak fds,
+//! buffers, or threads (the leak the old thread-per-connection server had:
+//! it pushed every stream clone and `JoinHandle` into vectors that only
+//! drained at shutdown).
 
-use crate::codec::{self, Request, Response, NET_MAGIC};
+use crate::codec::{self, protocol_version, Request, Response, MAX_FRAME};
 use crate::metrics::NetMetrics;
 use snb_core::{SnbError, SnbResult};
 use snb_driver::connector::Connector;
-use snb_obs::trace::{self, NameId};
+use snb_obs::trace::{self, NameId, SpanData};
 use snb_obs::HistogramSnapshot;
+use std::collections::VecDeque;
 use std::io::{Read, Write};
-use std::net::ToSocketAddrs;
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Sizing knobs for the readiness loop and worker pool.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing requests. `0` = one per hardware thread,
+    /// clamped to `[2, 8]`.
+    pub workers: usize,
+    /// Maximum requests in flight per v3 connection (v2 connections are
+    /// pinned to 1 to preserve their synchronous response order). Parsed
+    /// requests past this cap wait in the connection's pending queue, and
+    /// the connection stops being read while the queue is full.
+    pub max_pipeline: usize,
+    /// Per-connection write-queue byte limit. A connection over the limit
+    /// gets no new dispatches and is not read until the queue drains below
+    /// it — slow readers stall themselves, not the server.
+    pub write_buf_limit: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { workers: 0, max_pipeline: 64, write_buf_limit: 4 << 20 }
+    }
+}
+
+impl ServerConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).clamp(2, 8)
+    }
+}
 
 /// A running server. Dropping it shuts it down and joins every thread.
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    accept: Mutex<Option<JoinHandle<()>>>,
+    event_loop: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// One request handed to the worker pool. `token` names the connection
+/// (slot + generation) so a completion for a connection that died in the
+/// meantime is recognized and dropped instead of hitting a reused slot.
+struct Job {
+    token: u64,
+    corr: Option<u64>,
+    request: Request,
+}
+
+/// A fully framed response ready to be queued on its connection.
+struct Completion {
+    token: u64,
+    frame: Vec<u8>,
 }
 
 struct Shared {
     connector: Arc<dyn Connector>,
+    config: ServerConfig,
     shutdown: AtomicBool,
-    /// Clones of every accepted stream, so shutdown can unblock their reads.
-    conns: Mutex<Vec<TcpStream>>,
-    handlers: Mutex<Vec<JoinHandle<()>>>,
+    poller: polling::Poller,
+    jobs: Mutex<VecDeque<Job>>,
+    jobs_ready: Condvar,
+    completions: Mutex<Vec<Completion>>,
     metrics: NetMetrics,
 }
 
 impl Server {
-    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving `connector`.
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving `connector`
+    /// with the default [`ServerConfig`].
     pub fn bind(addr: impl ToSocketAddrs, connector: Arc<dyn Connector>) -> SnbResult<Server> {
+        Server::bind_with_config(addr, connector, ServerConfig::default())
+    }
+
+    /// Bind with explicit readiness-loop / worker-pool sizing.
+    pub fn bind_with_config(
+        addr: impl ToSocketAddrs,
+        connector: Arc<dyn Connector>,
+        config: ServerConfig,
+    ) -> SnbResult<Server> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let poller = polling::Poller::new()?;
+        poller.add(&listener, polling::Event::readable(LISTENER_KEY))?;
+        let worker_count = config.effective_workers();
         let shared = Arc::new(Shared {
             connector,
+            config,
             shutdown: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
-            handlers: Mutex::new(Vec::new()),
+            poller,
+            jobs: Mutex::new(VecDeque::new()),
+            jobs_ready: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
             metrics: NetMetrics::new("server"),
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::Builder::new()
-            .name("snb-net-accept".into())
-            .spawn(move || accept_loop(listener, &accept_shared))
+
+        let mut workers = Vec::with_capacity(worker_count);
+        for i in 0..worker_count {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("snb-net-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(SnbError::Io)?,
+            );
+        }
+        let loop_shared = Arc::clone(&shared);
+        let event_loop = std::thread::Builder::new()
+            .name("snb-net-events".into())
+            .spawn(move || EventLoop::new(listener, loop_shared).run())
             .map_err(SnbError::Io)?;
-        Ok(Server { shared, addr, accept: Mutex::new(Some(accept)) })
+        Ok(Server {
+            shared,
+            addr,
+            event_loop: Mutex::new(Some(event_loop)),
+            workers: Mutex::new(workers),
+        })
     }
 
     /// The bound address (with the OS-assigned port when bound to `:0`).
@@ -79,27 +180,25 @@ impl Server {
         merged_histograms(&self.shared)
     }
 
-    /// Stop accepting, sever every open connection, and wake blocked reads.
-    /// Idempotent; does not wait for handler threads (see [`Server::join`]).
+    /// Stop accepting, sever every open connection, and wake every thread.
+    /// Idempotent; does not wait for threads (see [`Server::join`]).
     pub fn shutdown(&self) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        for conn in self.shared.conns.lock().unwrap_or_else(|e| e.into_inner()).iter() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        // Unblock `accept` with a throwaway connection to ourselves.
-        let _ = TcpStream::connect_timeout(&wake_addr(self.addr), Duration::from_millis(250));
+        // The event loop owns every socket; waking it is enough — it sees
+        // the flag, drops the listener and all connections, and exits.
+        let _ = self.shared.poller.notify();
+        self.shared.jobs_ready.notify_all();
     }
 
-    /// Wait for the accept thread and every handler to exit.
+    /// Wait for the event loop and every worker to exit.
     pub fn join(&self) {
-        if let Some(handle) = self.accept.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        if let Some(handle) = self.event_loop.lock().unwrap_or_else(|e| e.into_inner()).take() {
             let _ = handle.join();
         }
-        let handlers =
-            std::mem::take(&mut *self.shared.handlers.lock().unwrap_or_else(|e| e.into_inner()));
-        for handle in handlers {
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for handle in workers {
             let _ = handle.join();
         }
     }
@@ -112,128 +211,126 @@ impl Drop for Server {
     }
 }
 
-/// Where to self-connect to unblock `accept`: the bound address, with
-/// unspecified (`0.0.0.0` / `::`) rewritten to loopback.
-fn wake_addr(addr: SocketAddr) -> SocketAddr {
-    let ip = match addr.ip() {
-        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
-        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
-        ip => ip,
-    };
-    SocketAddr::new(ip, addr.port())
-}
+// ---- worker pool ----
 
-fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>) {
     loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
+        let job = {
+            let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
+                    return;
                 }
-                continue;
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                jobs = shared
+                    .jobs_ready
+                    .wait_timeout(jobs, Duration::from_millis(100))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
             }
         };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            let _ = stream.shutdown(Shutdown::Both);
-            break;
+        let frame = serve_request(shared, job.corr, job.request);
+        shared
+            .completions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Completion { token: job.token, frame });
+        let _ = shared.poller.notify();
+    }
+}
+
+/// Clears the thread's trace-capture buffer on **every** exit path. An
+/// early return or panic between `start_capture` and `take_capture` must
+/// not leave the buffer armed, or a later request handled by this worker
+/// would absorb the leftover spans into its own trace.
+struct CaptureGuard {
+    armed: bool,
+}
+
+impl CaptureGuard {
+    fn start(ctx: Option<(u64, u64)>) -> CaptureGuard {
+        // The client's parent span id lives in the client's id space and
+        // would be ambiguous against ids allocated here, so the capture
+        // root is recorded with sentinel parent 0; the client grafts it
+        // onto its wire span after remapping (`record_foreign_rooted`).
+        if let Some((trace_id, _parent_span)) = ctx {
+            trace::start_capture(trace_id, 0);
+            CaptureGuard { armed: true }
+        } else {
+            CaptureGuard { armed: false }
         }
-        shared.metrics.connections.inc();
-        let _ = stream.set_nodelay(true);
-        if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
-        }
-        let handler_shared = Arc::clone(shared);
-        let handler = std::thread::Builder::new().name("snb-net-conn".into()).spawn(move || {
-            let _ = serve_conn(stream, &handler_shared);
-        });
-        if let Ok(handle) = handler {
-            shared.handlers.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+    }
+
+    fn take(mut self) -> Vec<SpanData> {
+        self.armed = false;
+        trace::take_capture()
+    }
+}
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = trace::take_capture();
         }
     }
 }
 
-fn serve_conn(mut stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
-    // Handshake: the client speaks first; echo the magic back.
-    let mut magic = [0u8; 8];
-    stream.read_exact(&mut magic)?;
-    if magic != NET_MAGIC {
-        shared.metrics.errors.inc();
-        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad handshake magic"));
-    }
-    stream.write_all(&NET_MAGIC)?;
-
-    let mut frame = Vec::new();
-    let mut reply = Vec::new();
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let n_in = match codec::read_frame(&mut stream, &mut frame) {
-            Ok(n) => n,
-            // EOF on the length prefix is the client hanging up cleanly;
-            // anything else (including our own shutdown severing the
-            // socket) just ends the connection.
-            Err(_) => break,
-        };
-        shared.metrics.bytes_in.add(n_in as u64);
-        shared.metrics.requests.inc();
-
-        let started = Instant::now();
-        let mut malformed = false;
-        let response = match Request::decode(&frame) {
-            Some(Request::Execute(op, ctx)) => {
-                // A request carrying a trace context adopts it: spans the
-                // execution records on this thread go to a capture buffer
-                // and ride back on the response, where the client stitches
-                // them under its wire span.
-                static SPAN_EXECUTE: NameId = NameId::new("server.execute");
-                if let Some((trace_id, _parent_span)) = ctx {
-                    // The client's parent span id lives in the client's id
-                    // space and would be ambiguous against ids allocated
-                    // here, so the capture root is recorded with sentinel
-                    // parent 0; the client grafts it onto its wire span
-                    // after remapping (`record_foreign_rooted`).
-                    trace::start_capture(trace_id, 0);
+/// Execute one request and return its fully framed response
+/// (`len | [corr] | payload`). Never panics outward: a panicking connector
+/// becomes an error response, and the worker lives on.
+fn serve_request(shared: &Arc<Shared>, corr: Option<u64>, request: Request) -> Vec<u8> {
+    shared.metrics.requests.inc();
+    let started = Instant::now();
+    let response = match request {
+        Request::Execute(op, ctx) => {
+            // A request carrying a trace context adopts it: spans the
+            // execution records on this thread go to a capture buffer and
+            // ride back on the response, where the client stitches them
+            // under its wire span.
+            static SPAN_EXECUTE: NameId = NameId::new("server.execute");
+            let capture = CaptureGuard::start(ctx);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let _span = ctx.is_some().then(|| trace::span(&SPAN_EXECUTE));
+                shared.connector.execute(&op)
+            }));
+            let spans = capture.take();
+            match result {
+                Ok(Ok(outcome)) => Response::Outcome(outcome, spans),
+                // An execution error is an application-level reply, not a
+                // connection failure: report it and keep serving.
+                Ok(Err(e)) => {
+                    shared.metrics.errors.inc();
+                    Response::Error(e)
                 }
-                let result = {
-                    let _span = ctx.is_some().then(|| trace::span(&SPAN_EXECUTE));
-                    shared.connector.execute(&op)
-                };
-                let spans = if ctx.is_some() { trace::take_capture() } else { Vec::new() };
-                match result {
-                    Ok(outcome) => Response::Outcome(outcome, spans),
-                    // An execution error is an application-level reply, not
-                    // a connection failure: report it and keep serving.
-                    Err(e) => {
-                        shared.metrics.errors.inc();
-                        Response::Error(e)
-                    }
+                Err(_) => {
+                    shared.metrics.errors.inc();
+                    Response::Error(SnbError::Config("SUT panicked during execution".into()))
                 }
             }
-            Some(Request::Counters) => Response::Counters {
-                counters: merged_counters(shared),
-                histograms: merged_histograms(shared),
-            },
-            None => {
-                shared.metrics.errors.inc();
-                malformed = true;
-                Response::Error(SnbError::Config("malformed request frame".into()))
-            }
-        };
-        shared.metrics.request_micros.record(started.elapsed().as_micros() as u64);
-
-        reply.clear();
-        response.encode(&mut reply);
-        let n_out = codec::write_frame(&mut stream, &reply)?;
-        shared.metrics.bytes_out.add(n_out as u64);
-        if malformed {
-            // A frame we could not decode leaves no trustworthy stream
-            // position; sever rather than serve garbage.
-            break;
         }
+        Request::Counters => Response::Counters {
+            counters: merged_counters(shared),
+            histograms: merged_histograms(shared),
+        },
+    };
+    let frame = frame_response(corr, &response);
+    shared.metrics.request_micros.record(started.elapsed().as_micros() as u64);
+    frame
+}
+
+/// Frame a response: 4-byte length prefix, the v3 correlation id when the
+/// connection negotiated one, then the encoded response.
+fn frame_response(corr: Option<u64>, response: &Response) -> Vec<u8> {
+    let mut frame = vec![0u8; 4];
+    if let Some(corr) = corr {
+        codec::put_corr(&mut frame, corr);
     }
-    Ok(())
+    response.encode(&mut frame);
+    let len = (frame.len() - 4) as u32;
+    frame[..4].copy_from_slice(&len.to_le_bytes());
+    frame
 }
 
 fn merged_counters(shared: &Shared) -> Vec<(String, u64)> {
@@ -247,4 +344,437 @@ fn merged_histograms(shared: &Shared) -> Vec<(String, HistogramSnapshot)> {
     histograms
         .push(("net.server.request_micros".to_string(), shared.metrics.request_micros.snapshot()));
     histograms
+}
+
+// ---- event loop ----
+
+const LISTENER_KEY: usize = 0;
+/// Connection keys are `slot + KEY_BASE` so slot 0 never collides with the
+/// listener's key.
+const KEY_BASE: usize = 1;
+
+/// How long `wait` may block with nothing happening. Shutdown and
+/// completions arrive via `poller.notify`, so this is only a lost-wakeup
+/// backstop, not a polling interval.
+const WAIT_BACKSTOP: Duration = Duration::from_millis(250);
+
+/// Read chunk size per `read` call; reads repeat until `WouldBlock`.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    gen: u32,
+    /// Negotiated protocol version; 0 while the handshake is incomplete.
+    version: u8,
+    /// Handshake bytes accumulated so far (the magic may arrive split).
+    hs: [u8; 8],
+    hs_len: usize,
+    /// Inbound bytes: the unparsed window is `rbuf[rpos..]`.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Outbound bytes: the unflushed window is `wbuf[wpos..]`.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Parsed requests waiting for a worker slot (pipeline cap/backpressure).
+    pending: VecDeque<(Option<u64>, Request)>,
+    /// Requests dispatched to the pool whose responses are still owed.
+    in_flight: usize,
+    /// The peer hung up or sent garbage: read no more, finish what is owed,
+    /// then close.
+    read_closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, gen: u32) -> Conn {
+        Conn {
+            stream,
+            gen,
+            version: 0,
+            hs: [0u8; 8],
+            hs_len: 0,
+            rbuf: Vec::with_capacity(8 * 1024),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: VecDeque::new(),
+            in_flight: 0,
+            read_closed: false,
+        }
+    }
+
+    fn token(&self, slot: usize) -> u64 {
+        ((self.gen as u64) << 32) | slot as u64
+    }
+
+    fn unflushed(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Everything owed has been delivered and the peer is gone.
+    fn drained(&self) -> bool {
+        self.read_closed && self.in_flight == 0 && self.pending.is_empty() && self.unflushed() == 0
+    }
+}
+
+struct EventLoop {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conns: Vec<Option<Conn>>,
+    /// Reusable slots; `gens[slot]` bumps on every close so stale worker
+    /// completions can never reach a recycled connection.
+    free: Vec<usize>,
+    gens: Vec<u32>,
+}
+
+impl EventLoop {
+    fn new(listener: TcpListener, shared: Arc<Shared>) -> EventLoop {
+        EventLoop { listener, shared, conns: Vec::new(), free: Vec::new(), gens: Vec::new() }
+    }
+
+    fn run(mut self) {
+        let mut events = Vec::new();
+        loop {
+            events.clear();
+            if self.shared.poller.wait(&mut events, Some(WAIT_BACKSTOP)).is_err() {
+                // A persistently failing poller must not become a busy
+                // loop; back off and recheck shutdown.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            self.drain_completions();
+            for &event in &events {
+                if event.key == LISTENER_KEY {
+                    self.accept_burst();
+                } else {
+                    self.handle_conn_event(event.key - KEY_BASE, event);
+                }
+            }
+        }
+        // Teardown: closing every fd sends FIN/RST, so blocked client
+        // reads fail promptly; workers exit via the shutdown flag.
+        for slot in 0..self.conns.len() {
+            self.close_conn(slot);
+        }
+        self.shared.jobs_ready.notify_all();
+    }
+
+    fn accept_burst(&mut self) {
+        let mut burst = 0u64;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    burst += 1;
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue; // never serve a stream that would block the loop
+                    }
+                    self.shared.metrics.connections.inc();
+                    self.shared.metrics.open_conns.inc();
+                    let slot = match self.free.pop() {
+                        Some(slot) => slot,
+                        None => {
+                            self.conns.push(None);
+                            self.gens.push(0);
+                            self.conns.len() - 1
+                        }
+                    };
+                    let conn = Conn::new(stream, self.gens[slot]);
+                    if self
+                        .shared
+                        .poller
+                        .add(&conn.stream, polling::Event::readable(slot + KEY_BASE))
+                        .is_err()
+                    {
+                        self.shared.metrics.closed.inc();
+                        self.shared.metrics.open_conns.dec();
+                        self.gens[slot] = self.gens[slot].wrapping_add(1);
+                        self.free.push(slot);
+                        continue;
+                    }
+                    self.conns[slot] = Some(conn);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (EMFILE, aborted connections):
+                // drop this readiness round; the re-arm below retries.
+                Err(_) => break,
+            }
+        }
+        self.shared.metrics.accept_backlog.set(burst);
+        let _ = self.shared.poller.modify(&self.listener, polling::Event::readable(LISTENER_KEY));
+    }
+
+    fn handle_conn_event(&mut self, slot: usize, event: polling::Event) {
+        if self.conns.get(slot).is_none_or(Option::is_none) {
+            return; // closed earlier this iteration
+        }
+        if event.readable && !self.read_into_conn(slot) {
+            return; // hard error: connection already closed
+        }
+        if !self.parse_frames(slot) {
+            return;
+        }
+        self.after_progress(slot); // dispatches newly parsed requests
+    }
+
+    /// Pull everything the socket has into `rbuf`. Returns false when the
+    /// connection was closed on a hard error.
+    fn read_into_conn(&mut self, slot: usize) -> bool {
+        let conn = self.conns[slot].as_mut().expect("checked by caller");
+        if conn.read_closed {
+            return true;
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => conn.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.shared.metrics.errors.inc();
+                    self.close_conn(slot);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Parse the handshake and every complete frame out of `rbuf` into the
+    /// pending queue. Returns false when the connection was closed.
+    fn parse_frames(&mut self, slot: usize) -> bool {
+        let conn = self.conns[slot].as_mut().expect("checked by caller");
+
+        // Handshake: the client speaks first; echo the magic back.
+        if conn.version == 0 {
+            let window = conn.rbuf.len() - conn.rpos;
+            let take = (8 - conn.hs_len).min(window);
+            conn.hs[conn.hs_len..conn.hs_len + take]
+                .copy_from_slice(&conn.rbuf[conn.rpos..conn.rpos + take]);
+            conn.hs_len += take;
+            conn.rpos += take;
+            if conn.hs_len < 8 {
+                return true; // wait for the rest of the magic
+            }
+            match protocol_version(&conn.hs) {
+                Some(version) => {
+                    conn.version = version;
+                    let echo = conn.hs;
+                    conn.wbuf.extend_from_slice(&echo);
+                    self.shared.metrics.bytes_in.add(8);
+                    self.shared.metrics.bytes_out.add(8);
+                }
+                None => {
+                    self.shared.metrics.errors.inc();
+                    self.close_conn(slot);
+                    return false;
+                }
+            }
+        }
+
+        loop {
+            let conn = self.conns[slot].as_mut().expect("checked by caller");
+            let window = &conn.rbuf[conn.rpos..];
+            if window.len() < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes(window[..4].try_into().expect("4 bytes")) as usize;
+            if len == 0 || len > MAX_FRAME {
+                // No trustworthy stream position remains; sever.
+                self.shared.metrics.errors.inc();
+                self.close_conn(slot);
+                return false;
+            }
+            if window.len() < 4 + len {
+                break; // frame still arriving
+            }
+            let payload = &window[4..4 + len];
+            let (corr, body) = if conn.version >= 3 {
+                match codec::take_corr(payload) {
+                    Some((corr, body)) => (Some(corr), body),
+                    None => (None, &[][..]), // undecodably short; falls out below
+                }
+            } else {
+                (None, payload)
+            };
+            let decoded = Request::decode(body);
+            conn.rpos += 4 + len;
+            self.shared.metrics.bytes_in.add((4 + len) as u64);
+            match decoded {
+                Some(request) => conn.pending.push_back((corr, request)),
+                None => {
+                    // A frame we could not decode leaves no trustworthy
+                    // stream position; report once, then sever after the
+                    // reply (and anything already owed) is flushed.
+                    self.shared.metrics.errors.inc();
+                    let reply = frame_response(
+                        corr.or(Some(0)).filter(|_| conn.version >= 3),
+                        &Response::Error(SnbError::Config("malformed request frame".into())),
+                    );
+                    self.shared.metrics.bytes_out.add(reply.len() as u64);
+                    conn.wbuf.extend_from_slice(&reply);
+                    conn.pending.clear();
+                    conn.read_closed = true;
+                    break;
+                }
+            }
+        }
+
+        // Compact the consumed prefix once it dominates the buffer.
+        let conn = self.conns[slot].as_mut().expect("checked by caller");
+        if conn.rpos == conn.rbuf.len() {
+            conn.rbuf.clear();
+            conn.rpos = 0;
+        } else if conn.rpos > 64 * 1024 {
+            conn.rbuf.drain(..conn.rpos);
+            conn.rpos = 0;
+        }
+        true
+    }
+
+    /// Move parsed requests to the worker pool, bounded by the pipeline
+    /// cap (1 for v2: its responses must come back in request order) and
+    /// by write-queue backpressure.
+    fn dispatch(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        let cap = if conn.version >= 3 { self.shared.config.max_pipeline } else { 1 };
+        let mut dispatched = false;
+        while conn.in_flight < cap
+            && !conn.pending.is_empty()
+            && conn.unflushed() < self.shared.config.write_buf_limit
+        {
+            let (corr, request) = conn.pending.pop_front().expect("nonempty");
+            conn.in_flight += 1;
+            self.shared.metrics.pipeline_depth.inc();
+            self.shared.jobs.lock().unwrap_or_else(|e| e.into_inner()).push_back(Job {
+                token: conn.token(slot),
+                corr,
+                request,
+            });
+            dispatched = true;
+        }
+        if dispatched {
+            self.shared.jobs_ready.notify_all();
+        }
+    }
+
+    /// Append completed responses to their connections' write queues and
+    /// keep those connections moving.
+    fn drain_completions(&mut self) {
+        let completions =
+            std::mem::take(&mut *self.shared.completions.lock().unwrap_or_else(|e| e.into_inner()));
+        for completion in completions {
+            let slot = (completion.token & 0xffff_ffff) as usize;
+            let gen = (completion.token >> 32) as u32;
+            self.shared.metrics.pipeline_depth.dec();
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                continue; // connection died while the request executed
+            };
+            if conn.gen != gen {
+                continue; // slot recycled: response belongs to a dead peer
+            }
+            conn.in_flight -= 1;
+            self.shared.metrics.bytes_out.add(completion.frame.len() as u64);
+            conn.wbuf.extend_from_slice(&completion.frame);
+            self.after_progress(slot);
+        }
+    }
+
+    /// Flush what can be written, dispatch anything the flush unblocked,
+    /// then either close a drained connection or re-arm its poller
+    /// interest to match what it still needs.
+    fn after_progress(&mut self, slot: usize) {
+        if !self.flush(slot) {
+            return;
+        }
+        // A drained write queue may clear backpressure on the pending
+        // queue: dispatch here, or a window-limited client waiting for
+        // responses before sending more would deadlock.
+        self.dispatch(slot);
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.drained() {
+            self.close_conn(slot);
+            return;
+        }
+        let conn = self.conns[slot].as_ref().expect("just checked");
+        let want_read = !conn.read_closed
+            && conn.pending.len() < self.shared.config.max_pipeline
+            && conn.unflushed() < self.shared.config.write_buf_limit;
+        let want_write = conn.unflushed() > 0;
+        let key = slot + KEY_BASE;
+        let interest = match (want_read, want_write) {
+            (true, true) => polling::Event::all(key),
+            (true, false) => polling::Event::readable(key),
+            (false, true) => polling::Event::writable(key),
+            // Fully backpressured or half-closed with work in flight:
+            // completions re-arm via after_progress.
+            (false, false) => polling::Event::none(key),
+        };
+        if self.shared.poller.modify(&conn.stream, interest).is_err() {
+            self.close_conn(slot);
+        }
+    }
+
+    /// Write as much of the queue as the socket accepts. Returns false
+    /// when the connection was closed on a hard error.
+    fn flush(&mut self, slot: usize) -> bool {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return false;
+        };
+        while conn.unflushed() > 0 {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => {
+                    self.shared.metrics.errors.inc();
+                    self.close_conn(slot);
+                    return false;
+                }
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.shared.metrics.errors.inc();
+                    self.close_conn(slot);
+                    return false;
+                }
+            }
+        }
+        if conn.wpos == conn.wbuf.len() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+        } else if conn.wpos > 256 * 1024 {
+            conn.wbuf.drain(..conn.wpos);
+            conn.wpos = 0;
+        }
+        true
+    }
+
+    /// Reap one connection *now*: poller deregistration, fd close (via
+    /// drop), slot recycled under a bumped generation. This runs the
+    /// moment a connection dies — not at shutdown — so churn cannot
+    /// accumulate state.
+    fn close_conn(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        let _ = self.shared.poller.delete(&conn.stream);
+        self.shared.metrics.closed.inc();
+        self.shared.metrics.open_conns.dec();
+        self.gens[slot] = self.gens[slot].wrapping_add(1);
+        self.free.push(slot);
+        // In-flight jobs for this conn finish in the pool and are dropped
+        // by the generation check in drain_completions; `pipeline_depth`
+        // is decremented there, so the gauge stays balanced.
+        drop(conn);
+    }
 }

@@ -1,0 +1,210 @@
+//! Readiness-loop server tests: connection churn must not leak, pipelined
+//! v3 requests must come back matched by correlation id, and bare v2
+//! clients must still be served.
+
+use snb_core::PersonId;
+use snb_datagen::{generate, Dataset, GeneratorConfig};
+use snb_driver::connector::{Operation, StoreConnector};
+use snb_net::{codec, PipelinedClient, Request, Response, Server, NET_MAGIC, NET_MAGIC_V3};
+use snb_queries::params::ShortQuery;
+use snb_queries::Engine;
+use snb_store::Store;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+fn dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| generate(GeneratorConfig::with_persons(200).activity(0.3)).unwrap())
+}
+
+fn store_server() -> Server {
+    let store = Arc::new(Store::new());
+    store.bulk_load(dataset());
+    let connector = Arc::new(StoreConnector::new(store, Engine::Intended));
+    Server::bind("127.0.0.1:0", connector).unwrap()
+}
+
+/// Block until the server has reaped every accepted connection (closed
+/// catches up to connections and the open gauge hits zero) or panic after
+/// a deadline. Reaping is asynchronous — the event loop learns about a
+/// hangup on its next readiness wakeup.
+fn wait_reaped(server: &Server, deadline: Duration) {
+    let t0 = Instant::now();
+    loop {
+        let accepted = server.metrics().connections.get();
+        let closed = server.metrics().closed.get();
+        let open = server.metrics().open_conns.get();
+        if accepted == closed && open == 0 {
+            return;
+        }
+        assert!(
+            t0.elapsed() < deadline,
+            "connections not reaped: accepted={accepted} closed={closed} open={open}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap()
+}
+
+/// Satellite: connection churn must not leak. 200 connect/disconnect
+/// cycles — some after a full handshake, some hung up mid-handshake — must
+/// all be reaped, with `accepted - closed` settling to zero and (on Linux)
+/// no thread growth: the worker pool is fixed, there is no per-connection
+/// handler to leak.
+#[test]
+fn connection_churn_is_reaped() {
+    let server = store_server();
+    let addr = server.local_addr();
+
+    #[cfg(target_os = "linux")]
+    let threads_before = thread_count();
+
+    for i in 0..200u32 {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        if i % 3 != 0 {
+            // Full handshake, then hang up without sending a request.
+            stream.write_all(&NET_MAGIC_V3).unwrap();
+            let mut echo = [0u8; 8];
+            stream.read_exact(&mut echo).unwrap();
+            assert_eq!(echo, NET_MAGIC_V3);
+        }
+        // else: drop mid-handshake; the server sees EOF before any magic.
+        drop(stream);
+    }
+
+    wait_reaped(&server, Duration::from_secs(10));
+    assert_eq!(server.metrics().connections.get(), 200);
+
+    #[cfg(target_os = "linux")]
+    {
+        let threads_after = thread_count();
+        assert!(
+            threads_after <= threads_before,
+            "thread count grew under churn: {threads_before} -> {threads_after}"
+        );
+    }
+
+    // The server still works after all that churn.
+    let mut client = PipelinedClient::connect(addr.to_string()).unwrap();
+    client.send(&Operation::Short(ShortQuery::S1(PersonId(1)))).unwrap();
+    let (_, response) = client.recv().unwrap();
+    assert!(matches!(response, Response::Outcome(..)), "got {response:?}");
+
+    server.shutdown();
+    server.join();
+}
+
+/// Satellite: K pipelined requests on one v3 connection all complete, and
+/// every response's correlation id matches one request — regardless of the
+/// order the server finished them in.
+#[test]
+fn pipelined_requests_match_correlation_ids() {
+    let server = store_server();
+    let mut client = PipelinedClient::connect(server.local_addr().to_string()).unwrap();
+
+    const K: usize = 32;
+    let mut sent = std::collections::BTreeSet::new();
+    for i in 0..K {
+        let op = Operation::Short(ShortQuery::S1(PersonId((i % 50) as u64)));
+        let corr = client.send(&op).unwrap();
+        assert!(sent.insert(corr), "correlation ids must be unique");
+    }
+    assert_eq!(client.in_flight(), K);
+
+    let mut got = std::collections::BTreeSet::new();
+    for _ in 0..K {
+        let (corr, response) = client.recv().unwrap();
+        assert!(got.insert(corr), "duplicate response for correlation id {corr}");
+        match response {
+            Response::Outcome(..) => {}
+            other => panic!("pipelined request failed: {other:?}"),
+        }
+    }
+    assert_eq!(got, sent, "every request answered exactly once");
+    assert_eq!(client.in_flight(), 0);
+
+    server.shutdown();
+    server.join();
+}
+
+/// Compatibility: a bare v2 client (no correlation ids, strict
+/// request/response alternation) is still served by the readiness-loop
+/// server — the handshake magic selects the framing per connection.
+#[test]
+fn v2_client_is_still_served() {
+    let server = store_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    stream.write_all(&NET_MAGIC).unwrap();
+    let mut echo = [0u8; 8];
+    stream.read_exact(&mut echo).unwrap();
+    assert_eq!(echo, NET_MAGIC, "server echoes the v2 magic back to v2 clients");
+
+    for i in 0..5u64 {
+        let op = Operation::Short(ShortQuery::S1(PersonId(i)));
+        let mut payload = Vec::new();
+        Request::Execute(op, None).encode(&mut payload);
+        codec::write_frame(&mut stream, &payload).unwrap();
+
+        let mut frame = Vec::new();
+        codec::read_frame(&mut stream, &mut frame).unwrap();
+        // v2 frames carry the response directly — no correlation prefix.
+        let response = Response::decode(&frame).expect("v2 response must decode");
+        assert!(matches!(response, Response::Outcome(..)), "got {response:?}");
+    }
+
+    // The counters RPC works over v2 too.
+    let mut payload = Vec::new();
+    Request::Counters.encode(&mut payload);
+    codec::write_frame(&mut stream, &payload).unwrap();
+    let mut frame = Vec::new();
+    codec::read_frame(&mut stream, &mut frame).unwrap();
+    let Some(Response::Counters { counters, .. }) = Response::decode(&frame) else {
+        panic!("counters RPC failed over v2");
+    };
+    assert!(counters.iter().any(|(n, _)| n == "net.server.requests"));
+
+    server.shutdown();
+    server.join();
+}
+
+/// A v3 connection that sends garbage instead of a well-formed request is
+/// answered with an error and severed, without taking the server down.
+#[test]
+fn malformed_frame_severs_only_that_connection() {
+    let server = store_server();
+    let addr = server.local_addr();
+
+    let mut bad = TcpStream::connect(addr).unwrap();
+    bad.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    bad.write_all(&NET_MAGIC_V3).unwrap();
+    let mut echo = [0u8; 8];
+    bad.read_exact(&mut echo).unwrap();
+    // Well-framed garbage: valid length prefix, junk payload.
+    codec::write_frame(&mut bad, &[0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04, 0x05]).unwrap();
+    // The server replies with an error frame (best effort) and closes; EOF
+    // follows either way.
+    let mut rest = Vec::new();
+    let _ = bad.read_to_end(&mut rest);
+
+    // A healthy client on the same server is unaffected.
+    let mut good = PipelinedClient::connect(addr.to_string()).unwrap();
+    good.send(&Operation::Short(ShortQuery::S1(PersonId(1)))).unwrap();
+    let (_, response) = good.recv().unwrap();
+    assert!(matches!(response, Response::Outcome(..)));
+
+    server.shutdown();
+    server.join();
+}

@@ -42,6 +42,60 @@ impl Counter {
     }
 }
 
+/// A level gauge: like [`Counter`] but decrementable, for quantities that
+/// rise and fall (open connections, in-flight pipeline depth). Cloning
+/// shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Saturating decrement: a stray extra `dec` pins the gauge at zero
+    /// instead of wrapping to u64::MAX and poisoning every later read.
+    #[inline]
+    pub fn dec(&self) {
+        self.cell
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)))
+            .ok();
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        if n != 0 {
+            self.cell
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)))
+                .ok();
+        }
+    }
+
+    #[inline]
+    pub fn set(&self, n: u64) {
+        self.cell.store(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
 /// A registry of named counters. Registration takes a lock; increments on
 /// the returned [`Counter`] handles are lock-free.
 ///
@@ -98,6 +152,23 @@ mod tests {
             reg.snapshot(),
             vec![("driver.scheduler.slippage_micros", 9), ("store.wal.appends", 5)]
         );
+    }
+
+    #[test]
+    fn gauge_rises_falls_and_saturates_at_zero() {
+        let g = Gauge::new();
+        g.inc();
+        g.add(4);
+        assert_eq!(g.get(), 5);
+        g.dec();
+        g.sub(3);
+        assert_eq!(g.get(), 1);
+        g.sub(100); // saturates, never wraps
+        assert_eq!(g.get(), 0);
+        g.dec();
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        assert_eq!(g.get(), 7);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! - [`Counters`] / [`Counter`]: a registry of named atomic counters with
 //!   `#[inline]` increments, snapshotted in sorted name order. Names follow
 //!   `layer.subsystem.metric` (e.g. `store.mvcc.versions_walked`).
+//!   [`Gauge`] is the decrementable sibling for level quantities (open
+//!   connections, pipeline depth) that rise and fall.
 //! - [`QueryProfile`]: per-operator tick counts (rows scanned, index probes,
 //!   neighbors expanded, versions walked, result rows) threaded to query
 //!   implementations through a thread-local scope so deep helpers tick it
@@ -33,7 +35,7 @@ mod json;
 mod profile;
 pub mod trace;
 
-pub use counters::{Counter, Counters};
+pub use counters::{Counter, Counters, Gauge};
 pub use epoch::EpochSeries;
 pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use json::Json;

@@ -1,0 +1,480 @@
+//! Offline shim of the `polling` crate: a minimal, API-compatible subset
+//! providing one-shot readiness notification over OS primitives, written
+//! directly against the standard library plus a handful of `extern "C"`
+//! declarations (the symbols come from the libc the Rust standard library
+//! already links — no registry crate needed).
+//!
+//! Backends:
+//! - **Linux**: `epoll` (`epoll_create1` / `epoll_ctl` / `epoll_wait`) with
+//!   `EPOLLONESHOT`, the same one-shot contract as the real crate — after
+//!   an event is delivered for a key, that source stays disarmed until
+//!   [`Poller::modify`] re-arms it.
+//! - **Other Unix**: `poll(2)` over a registration table, with one-shot
+//!   semantics emulated by clearing interest on delivery.
+//!
+//! Cross-thread wakeups ([`Poller::notify`]) use a self-connected UDP
+//! socket rather than an eventfd/pipe so the wake channel itself needs no
+//! extra FFI. Subset only — `Poller::new/add/modify/delete/wait/notify` and
+//! `Event` — which is all `snb-net`'s readiness loop uses.
+
+#![cfg(unix)]
+
+use std::io;
+use std::net::UdpSocket;
+use std::os::fd::AsRawFd;
+use std::time::Duration;
+
+/// Interest in (or delivery of) readiness for one registered source.
+/// `key` is caller-chosen and returned verbatim with each delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub key: usize,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Event {
+        Event { key, readable: true, writable: false }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Event {
+        Event { key, readable: false, writable: true }
+    }
+
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Event {
+        Event { key, readable: true, writable: true }
+    }
+
+    /// No interest: keeps the registration but delivers nothing until a
+    /// `modify` re-arms it (the state every source enters after a one-shot
+    /// delivery).
+    pub fn none(key: usize) -> Event {
+        Event { key, readable: false, writable: false }
+    }
+}
+
+/// Key reserved for the internal notify channel; user keys must differ.
+const NOTIFY_KEY: usize = usize::MAX;
+
+/// Waits for readiness events on registered sources. All methods take
+/// `&self` and the poller is `Sync`: one thread may `wait` while others
+/// `add`/`modify`/`delete`/`notify`.
+pub struct Poller {
+    backend: backend::Backend,
+    /// Self-connected UDP socket; a 1-byte send wakes `wait`.
+    notify_rx: UdpSocket,
+    notify_tx: UdpSocket,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        let notify_rx = UdpSocket::bind("127.0.0.1:0")?;
+        notify_rx.set_nonblocking(true)?;
+        let notify_tx = UdpSocket::bind("127.0.0.1:0")?;
+        notify_tx.set_nonblocking(true)?;
+        notify_tx.connect(notify_rx.local_addr()?)?;
+        let backend = backend::Backend::new()?;
+        backend.add(notify_rx.as_raw_fd(), Event::readable(NOTIFY_KEY))?;
+        Ok(Poller { backend, notify_rx, notify_tx })
+    }
+
+    /// Register a source with an initial one-shot interest.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "key reserved"));
+        }
+        self.backend.add(source.as_raw_fd(), interest)
+    }
+
+    /// Re-arm (or change) a registered source's one-shot interest.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "key reserved"));
+        }
+        self.backend.modify(source.as_raw_fd(), interest)
+    }
+
+    /// Remove a source. Always call before closing the fd.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.backend.delete(source.as_raw_fd())
+    }
+
+    /// Block until at least one source is ready, `notify` is called, or
+    /// `timeout` elapses (`None` = wait forever). Delivered events are
+    /// appended to `events`; each delivered source is disarmed until
+    /// re-armed with [`Poller::modify`]. Returns the number appended.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let before = events.len();
+        self.backend.wait(events, timeout)?;
+        // Filter the notify channel out of the caller's view and drain +
+        // re-arm it so the next notify still wakes us.
+        let mut notified = false;
+        events.retain(|e| {
+            if e.key == NOTIFY_KEY {
+                notified = true;
+                false
+            } else {
+                true
+            }
+        });
+        if notified {
+            let mut sink = [0u8; 16];
+            while self.notify_rx.recv(&mut sink).is_ok() {}
+            self.backend.modify(self.notify_rx.as_raw_fd(), Event::readable(NOTIFY_KEY))?;
+        }
+        Ok(events.len() - before)
+    }
+
+    /// Wake a concurrent (or the next) `wait` call. Coalesces: many
+    /// notifies before a wait produce one wakeup.
+    pub fn notify(&self) -> io::Result<()> {
+        match self.notify_tx.send(&[1u8]) {
+            Ok(_) => Ok(()),
+            // A full socket buffer means wakeups are already pending.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod backend {
+    //! epoll, via `extern "C"` declarations resolved by the libc that the
+    //! Rust standard library links on Linux.
+
+    use super::Event;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::c_int;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLONESHOT: u32 = 1 << 30;
+
+    // The kernel ABI packs epoll_event on x86-64 only.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask(interest: Event) -> u32 {
+        let mut m = EPOLLONESHOT | EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    pub(super) struct Backend {
+        epfd: RawFd,
+    }
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Backend { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, interest: Option<Event>) -> io::Result<()> {
+            let mut ev = interest
+                .map(|i| EpollEvent { events: mask(i), data: i.key as u64 })
+                .unwrap_or(EpollEvent { events: 0, data: 0 });
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        pub(super) fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, Some(interest))
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, Some(interest))
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                // Round up so a nonzero timeout never busy-spins as 0.
+                Some(t) => {
+                    t.as_millis().min(i32::MAX as u128).max(u128::from(!t.is_zero())) as c_int
+                }
+            };
+            let n = loop {
+                match cvt(unsafe {
+                    epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms)
+                }) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for ev in &buf[..n] {
+                // Copy out of the (possibly packed) struct before use.
+                let (events, data) = (ev.events, ev.data);
+                // Error/hangup surface as readiness so the owner reads the
+                // EOF/error off the socket and closes it.
+                let gone = events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+                out.push(Event {
+                    key: data as usize,
+                    readable: events & EPOLLIN != 0 || gone,
+                    writable: events & EPOLLOUT != 0 || gone,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod backend {
+    //! Portable fallback: `poll(2)` over a registration table, one-shot
+    //! semantics emulated by clearing interest after delivery.
+
+    use super::Event;
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_int, c_short, c_uint};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_uint, timeout: c_int) -> c_int;
+    }
+
+    pub(super) struct Backend {
+        registered: Mutex<HashMap<RawFd, Event>>,
+    }
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            Ok(Backend { registered: Mutex::new(HashMap::new()) })
+        }
+
+        pub(super) fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            self.registered.lock().unwrap().insert(fd, interest);
+            Ok(())
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            match self.registered.lock().unwrap().get_mut(&fd) {
+                Some(slot) => {
+                    *slot = interest;
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.registered.lock().unwrap().remove(&fd);
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut fds: Vec<PollFd> = Vec::new();
+            let mut keys: Vec<(RawFd, Event)> = Vec::new();
+            for (&fd, &interest) in self.registered.lock().unwrap().iter() {
+                let mut events = 0;
+                if interest.readable {
+                    events |= POLLIN;
+                }
+                if interest.writable {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd { fd, events, revents: 0 });
+                keys.push((fd, interest));
+            }
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(t) => {
+                    t.as_millis().min(i32::MAX as u128).max(u128::from(!t.is_zero())) as c_int
+                }
+            };
+            let n = loop {
+                match unsafe { poll(fds.as_mut_ptr(), fds.len() as c_uint, timeout_ms) } {
+                    n if n >= 0 => break n,
+                    _ => {
+                        let e = io::Error::last_os_error();
+                        if e.kind() != io::ErrorKind::Interrupted {
+                            return Err(e);
+                        }
+                    }
+                }
+            };
+            if n == 0 {
+                return Ok(());
+            }
+            let mut registered = self.registered.lock().unwrap();
+            for (slot, (fd, interest)) in fds.iter().zip(keys) {
+                if slot.revents == 0 {
+                    continue;
+                }
+                let gone = slot.revents & (POLLERR | POLLHUP) != 0;
+                out.push(Event {
+                    key: interest.key,
+                    readable: slot.revents & POLLIN != 0 || gone,
+                    writable: slot.revents & POLLOUT != 0 || gone,
+                });
+                // One-shot: disarm until the owner re-arms via modify.
+                if let Some(reg) = registered.get_mut(&fd) {
+                    *reg = Event::none(interest.key);
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn delivers_read_readiness_once_until_rearmed() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        poller.add(&server, Event::readable(7)).unwrap();
+
+        client.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == 7 && e.readable), "{events:?}");
+
+        // One-shot: without a re-arm, nothing further is delivered even
+        // though the byte is still unread.
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert!(events.is_empty(), "{events:?}");
+
+        // Re-armed: the same readiness is delivered again.
+        poller.modify(&server, Event::readable(7)).unwrap();
+        events.clear();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == 7 && e.readable), "{events:?}");
+
+        let mut byte = [0u8; 1];
+        let mut server = server;
+        server.read_exact(&mut byte).unwrap();
+        poller.delete(&server).unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_wait_from_another_thread() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.notify().unwrap();
+        });
+        let mut events = Vec::new();
+        let start = std::time::Instant::now();
+        poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5), "notify did not wake wait");
+        assert!(events.is_empty(), "notify must not surface as a user event: {events:?}");
+        t.join().unwrap();
+
+        // Coalesced notifies still wake exactly one wait, and the channel
+        // re-arms: a second notify wakes a second wait.
+        poller.notify().unwrap();
+        poller.notify().unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+        poller.notify().unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn write_readiness_for_connected_socket() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        client.set_nonblocking(true).unwrap();
+        poller.add(&client, Event::all(3)).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == 3 && e.writable), "{events:?}");
+        poller.delete(&client).unwrap();
+    }
+}
