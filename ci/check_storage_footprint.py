@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Guard the claims in BENCH_storage_footprint.json (stdlib only).
+
+Two checks, run by the CI perf-smoke job after `ext_storage_footprint`:
+
+1. Compression floor: the store-wide index compression ratio
+   (uncompressed 24-byte run entries over compact run bytes) must stay at
+   or above MIN_COMPRESSION_RATIO at every measured scale. The PR that
+   introduced the compact run format measured >= 2x; 1.5x is the
+   regression floor, leaving headroom for dataset-shape drift at the tiny
+   CI scales.
+
+2. Read-path floor: the complex read-only mix (Q2/Q6/Q9 intended plans)
+   over compact runs must reach at least MIN_OPS_RATIO of the same mix
+   over the in-bin uncompressed oracle replica. The bench asserts
+   row-identical results before timing, so this ratio isolates the decode
+   cost of the compact format.
+
+Exit code 0 = all claims hold; 1 = a guard tripped.
+
+Usage: python3 ci/check_storage_footprint.py BENCH_storage_footprint.json
+"""
+
+import json
+import sys
+
+MIN_COMPRESSION_RATIO = 1.5
+MIN_OPS_RATIO = 0.9
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "ext_storage_footprint":
+        print(f"FAIL: {path} is not an ext_storage_footprint report")
+        return 1
+
+    failures = []
+    for scale in doc["scales"]:
+        persons = scale["persons"]
+        ratio = scale["compression_ratio"]
+        ops_ratio = scale["ops_ratio"]
+        if ratio < MIN_COMPRESSION_RATIO:
+            failures.append(
+                f"persons={persons}: compression ratio {ratio:.2f}x "
+                f"below floor {MIN_COMPRESSION_RATIO}x"
+            )
+        if ops_ratio < MIN_OPS_RATIO:
+            failures.append(
+                f"persons={persons}: complex-mix ops ratio {ops_ratio:.2f} "
+                f"below floor {MIN_OPS_RATIO} (compact read path regressed "
+                f"vs the uncompressed oracle)"
+            )
+        print(
+            f"scale persons={persons}: compression {ratio:.2f}x, "
+            f"complex-mix ops ratio {ops_ratio:.2f}, "
+            f"{scale['run_bytes']} run bytes vs {scale['oracle_run_bytes']} raw"
+        )
+
+    # The per-scale loop and the bench's own min must agree — a drifting
+    # summary field would make the EXPERIMENTS.md numbers unverifiable.
+    mins = (doc["min_compression_ratio"], doc["min_ops_ratio"])
+    recomputed = (
+        min(s["compression_ratio"] for s in doc["scales"]),
+        min(s["ops_ratio"] for s in doc["scales"]),
+    )
+    for name, reported, computed in zip(
+        ("min_compression_ratio", "min_ops_ratio"), mins, recomputed
+    ):
+        if abs(reported - computed) > 1e-9:
+            failures.append(f"{name}={reported} but per-scale values imply {computed}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"OK: {len(doc['scales'])} scales, compression >= {MIN_COMPRESSION_RATIO}x, "
+        f"complex-mix ops ratio >= {MIN_OPS_RATIO}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1]))

@@ -259,7 +259,7 @@ fn main() {
 
     let store = Arc::new(Store::new());
     store.bulk_load(&ds);
-    let connector = Arc::new(StoreConnector::new(store, Engine::Intended));
+    let connector = Arc::new(StoreConnector::new(Arc::clone(&store), Engine::Intended));
     let server = Server::bind("127.0.0.1:0", connector).expect("bind loopback server");
 
     let mut levels = Vec::new();
@@ -305,6 +305,9 @@ fn main() {
             rows.push(level_json(&level));
         }
         table.print();
+        // The mixed_rw sweep grows the store, so the footprint line after
+        // each mix shows what the applied updates cost resident.
+        println!("   {}", snb_bench::storage_line(&store.pinned().storage_stats()));
         mixes.push(Json::obj([
             ("mix", Json::from(mix_name)),
             ("updates_every", Json::from(if updates { 10u64 } else { 0 })),

@@ -147,6 +147,9 @@ struct Trial {
     /// Per-stripe acquire-wait distributions (nanoseconds), index-aligned
     /// with `stripe_conflicts`.
     stripe_waits: Vec<HistogramSnapshot>,
+    /// End-of-trial storage footprint (bulk + everything the writers
+    /// committed).
+    storage: snb_store::StorageStats,
 }
 
 /// One timed run: `streams.len()` writers + [`READERS`] pinned readers.
@@ -220,6 +223,7 @@ fn run_trial(ds: &snb_datagen::Dataset, streams: &[Vec<UpdateOp>], dataset_perso
         stage_histograms: counters.histogram_snapshots(),
         stripe_conflicts,
         stripe_waits,
+        storage: store.pinned().storage_stats(),
     }
 }
 
@@ -283,6 +287,8 @@ fn main() {
             format!("{:.0}", best.read_ops_per_s),
             best.shard_conflicts.to_string(),
         ]);
+
+        println!("   writers={writers}: {}", snb_bench::storage_line(&best.storage));
 
         // Stage attribution: which pipeline stage the writers' time went
         // to, from the store's nanosecond stage histograms. The

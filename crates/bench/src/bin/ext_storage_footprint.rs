@@ -1,0 +1,306 @@
+//! Extension — storage footprint of the compact run format, at two scales.
+//!
+//! Loads a mixed store (bulk + full update stream) and reports what the
+//! index layer actually holds resident: compact run bytes (anchors + block
+//! streams) next to the uncompressed cost of the same runs (plain 24-byte
+//! entries, as the pre-compact format stored them), plus bytes-per-person /
+//! bytes-per-message in the spirit of the paper's Table 8.
+//!
+//! The read-path cost of compression is an honest A/B over the store
+//! itself: a second `Store` is built from the same dataset and update
+//! stream under [`snb_store::set_uncompressed_runs`], so both sides share
+//! every line of MVCC, ladder, iterator, and query-plan code — only the
+//! physical run representation differs. Both sides are asserted
+//! row-identical on every curated binding before anything is timed, and
+//! the uncompressed store's *measured* run bytes are checked against the
+//! compact store's analytic oracle accounting (24 B x entries).
+//!
+//! Writes `BENCH_storage_footprint.json` (consumed by
+//! `ci/check_storage_footprint.py` and EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p snb-bench --release --bin ext_storage_footprint \
+//! [persons_a] [persons_b] [iters]`
+
+use snb_obs::Json;
+use snb_queries::params::{Q2Params, Q6Params, Q9Params};
+use snb_queries::{complex, Engine};
+use snb_store::{set_uncompressed_runs, StorageStats, Store};
+use std::time::Instant;
+
+/// One measured side of the complex mix.
+struct Measure {
+    ops_per_s: f64,
+    micros_per_op: f64,
+}
+
+/// Measure both sides of an A/B strictly interleaved — one call of each
+/// side per alternation — until each side has accumulated `secs` of
+/// samples. Single-op alternation matters: machine-level drift (frequency
+/// scaling, noisy neighbours) changes on a tens-of-milliseconds scale, so
+/// coarse batches let a dip land entirely on one side; adjacent single
+/// calls see the same machine state and the drift cancels in the ratio.
+fn measure_pair(
+    secs: f64,
+    mut fa: impl FnMut() -> usize,
+    mut fb: impl FnMut() -> usize,
+) -> (Measure, Measure) {
+    std::hint::black_box(fa()); // warm-up
+    std::hint::black_box(fb());
+    let mut sink = 0usize;
+    let (mut dt_a, mut dt_b) = (0f64, 0f64);
+    let mut n = 0u64;
+    while n == 0 || dt_a < secs || dt_b < secs {
+        let t0 = Instant::now();
+        sink = sink.wrapping_add(fa());
+        let t1 = Instant::now();
+        sink = sink.wrapping_add(fb());
+        dt_a += (t1 - t0).as_secs_f64();
+        dt_b += t1.elapsed().as_secs_f64();
+        n += 1;
+    }
+    std::hint::black_box(sink);
+    let m = |dt: f64| Measure { ops_per_s: n as f64 / dt, micros_per_op: dt * 1e6 / n as f64 };
+    (m(dt_a), m(dt_b))
+}
+
+struct ScaleResult {
+    persons: u64,
+    stats: StorageStats,
+    compact: Measure,
+    uncompressed: Measure,
+    json: Json,
+}
+
+/// Bulk-load plus the full update stream as versioned commits, so the
+/// ladder holds real merged runs on both sides.
+fn build_store(ds: &snb_datagen::Dataset) -> Store {
+    let store = Store::new();
+    store.bulk_load(ds);
+    for u in ds.update_stream() {
+        store.apply(&u.op).unwrap();
+    }
+    store
+}
+
+fn run_scale(persons: u64, secs: f64) -> ScaleResult {
+    println!("-- scale: {persons} persons --");
+    let ds = snb_bench::dataset(persons);
+    let store = build_store(&ds);
+    // The A/B baseline: the identical store built with plain-entry runs.
+    set_uncompressed_runs(true);
+    let baseline = build_store(&ds);
+    set_uncompressed_runs(false);
+
+    let bindings = snb_params::curated_bindings(&ds, 8);
+    let pick = |n: usize| bindings.all(n).to_vec();
+    let q2s: Vec<Q2Params> = pick(2)
+        .iter()
+        .filter_map(|q| match q {
+            snb_queries::ComplexQuery::Q2(p) => Some(*p),
+            _ => None,
+        })
+        .collect();
+    let q6s: Vec<Q6Params> = pick(6)
+        .iter()
+        .filter_map(|q| match q {
+            snb_queries::ComplexQuery::Q6(p) => Some(p.clone()),
+            _ => None,
+        })
+        .collect();
+    let q9s: Vec<Q9Params> = pick(9)
+        .iter()
+        .filter_map(|q| match q {
+            snb_queries::ComplexQuery::Q9(p) => Some(*p),
+            _ => None,
+        })
+        .collect();
+    assert!(!q2s.is_empty() && !q6s.is_empty() && !q9s.is_empty(), "curation produced bindings");
+
+    // Differential check before timing anything: the same query code over
+    // packed and plain runs must return byte-identical rows.
+    {
+        let a = store.pinned();
+        let b = baseline.pinned();
+        for p in &q2s {
+            assert_eq!(
+                complex::q2::run(&a, Engine::Intended, p),
+                complex::q2::run(&b, Engine::Intended, p)
+            );
+        }
+        for p in &q6s {
+            assert_eq!(
+                complex::q6::run(&a, Engine::Intended, p),
+                complex::q6::run(&b, Engine::Intended, p)
+            );
+        }
+        for p in &q9s {
+            assert_eq!(
+                complex::q9::run(&a, Engine::Intended, p),
+                complex::q9::run(&b, Engine::Intended, p)
+            );
+        }
+    }
+    println!("   differential check: compact == uncompressed store on all bindings");
+
+    // The read-path acceptance metric: the complex mix over each store.
+    // Snapshots are pinned per mix pass, matching the driver connector.
+    let mix = |st: &Store| {
+        let snap = st.pinned();
+        let mut rows = 0;
+        for p in &q2s {
+            rows += complex::q2::run(&snap, Engine::Intended, p).len();
+        }
+        for p in &q6s {
+            rows += complex::q6::run(&snap, Engine::Intended, p).len();
+        }
+        for p in &q9s {
+            rows += complex::q9::run(&snap, Engine::Intended, p).len();
+        }
+        rows
+    };
+    let (compact, uncompressed) = measure_pair(secs, || mix(&store), || mix(&baseline));
+
+    // Per-query breakdown of the same A/B, for disclosure.
+    for (name, run) in [
+        (
+            "q2",
+            &(|st: &Store| {
+                let snap = st.pinned();
+                q2s.iter().map(|p| complex::q2::run(&snap, Engine::Intended, p).len()).sum()
+            }) as &dyn Fn(&Store) -> usize,
+        ),
+        ("q6", &|st: &Store| {
+            let snap = st.pinned();
+            q6s.iter().map(|p| complex::q6::run(&snap, Engine::Intended, p).len()).sum()
+        }),
+        ("q9", &|st: &Store| {
+            let snap = st.pinned();
+            q9s.iter().map(|p| complex::q9::run(&snap, Engine::Intended, p).len()).sum()
+        }),
+    ] {
+        let (c, u) = measure_pair(secs, || run(&store), || run(&baseline));
+        println!(
+            "   {name}: {:.1} ops/s compact vs {:.1} ops/s uncompressed ({:.2}x)",
+            c.ops_per_s,
+            u.ops_per_s,
+            c.ops_per_s / u.ops_per_s
+        );
+    }
+
+    store.refresh_mem_gauges();
+    let stats = store.pinned().storage_stats();
+    let base_stats = baseline.pinned().storage_stats();
+    let dict_bytes = snb_core::dict::Dictionaries::global().heap_bytes();
+    let ops_ratio = compact.ops_per_s / uncompressed.ops_per_s;
+
+    // Cross-check the analytic oracle accounting (24 B x entries) against
+    // the bytes the uncompressed store actually holds in its runs.
+    assert_eq!(
+        stats.index.oracle_run_bytes, base_stats.index.run_bytes,
+        "analytic oracle bytes match the measured uncompressed store"
+    );
+
+    println!("   {}", snb_bench::storage_line(&stats));
+    println!(
+        "   complex mix: {:.1} ops/s compact vs {:.1} ops/s uncompressed ({:.2}x)",
+        compact.ops_per_s, uncompressed.ops_per_s, ops_ratio
+    );
+
+    let per_index: Vec<Json> = stats
+        .per_index
+        .iter()
+        .map(|(name, f)| {
+            Json::obj([
+                ("name", Json::from(*name)),
+                ("entries", Json::from(f.entries as u64)),
+                ("run_bytes", Json::from(f.run_bytes as u64)),
+                ("oracle_run_bytes", Json::from(f.oracle_run_bytes as u64)),
+                ("tail_bytes", Json::from(f.tail_bytes as u64)),
+                ("compression_ratio", Json::from(f.compression_ratio())),
+            ])
+        })
+        .collect();
+    let side = |m: &Measure| {
+        Json::obj([
+            ("ops_per_s", Json::from(m.ops_per_s)),
+            ("micros_per_op", Json::from(m.micros_per_op)),
+        ])
+    };
+    let json = Json::obj([
+        ("persons", Json::from(persons)),
+        ("messages", Json::from(stats.messages as u64)),
+        ("index_entries", Json::from(stats.index.entries as u64)),
+        ("run_bytes", Json::from(stats.index.run_bytes as u64)),
+        ("oracle_run_bytes", Json::from(stats.index.oracle_run_bytes as u64)),
+        ("uncompressed_run_bytes", Json::from(base_stats.index.run_bytes as u64)),
+        ("tail_bytes", Json::from(stats.index.tail_bytes as u64)),
+        ("entity_bytes", Json::from(stats.entity_bytes as u64)),
+        ("dict_bytes", Json::from(dict_bytes as u64)),
+        ("compression_ratio", Json::from(stats.compression_ratio())),
+        ("bytes_per_person", Json::from(stats.bytes_per_person())),
+        ("bytes_per_message", Json::from(stats.bytes_per_message())),
+        ("per_index", Json::Arr(per_index)),
+        ("compact", side(&compact)),
+        ("uncompressed", side(&uncompressed)),
+        ("ops_ratio", Json::from(ops_ratio)),
+    ]);
+    ScaleResult { persons, stats, compact, uncompressed, json }
+}
+
+fn main() {
+    let arg = |n: usize| std::env::args().nth(n).map(|a| a.parse().expect("numeric argument"));
+    let scale_a: u64 = arg(1).unwrap_or(1_000);
+    let scale_b: u64 = arg(2).unwrap_or(3_000);
+    let secs: f64 = arg(3).map(|s: u64| s as f64).unwrap_or(2.0);
+    println!("== ext_storage_footprint: compact runs vs uncompressed store ==");
+    println!("   scales={scale_a},{scale_b} secs-per-side={secs}");
+
+    let results = [run_scale(scale_a, secs), run_scale(scale_b, secs)];
+
+    let mut table = snb_bench::Table::new(&[
+        "persons",
+        "index MB",
+        "raw MB",
+        "ratio",
+        "B/person",
+        "B/message",
+        "compact ops/s",
+        "uncompressed ops/s",
+        "ops ratio",
+    ]);
+    for r in &results {
+        table.row(&[
+            r.persons.to_string(),
+            format!("{:.2}", r.stats.index.run_bytes as f64 / 1e6),
+            format!("{:.2}", r.stats.index.oracle_run_bytes as f64 / 1e6),
+            format!("{:.2}x", r.stats.compression_ratio()),
+            format!("{:.0}", r.stats.bytes_per_person()),
+            format!("{:.0}", r.stats.bytes_per_message()),
+            format!("{:.1}", r.compact.ops_per_s),
+            format!("{:.1}", r.uncompressed.ops_per_s),
+            format!("{:.2}x", r.compact.ops_per_s / r.uncompressed.ops_per_s),
+        ]);
+    }
+    table.print();
+
+    let min_ratio =
+        results.iter().map(|r| r.stats.compression_ratio()).fold(f64::INFINITY, f64::min);
+    let min_ops_ratio = results
+        .iter()
+        .map(|r| r.compact.ops_per_s / r.uncompressed.ops_per_s)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\n   min compression ratio: {min_ratio:.2}x; min complex-mix ops ratio: \
+         {min_ops_ratio:.2}x (compact / uncompressed)"
+    );
+
+    let doc = Json::obj([
+        ("bench", Json::from("ext_storage_footprint")),
+        ("secs_per_side", Json::from(secs)),
+        ("scales", Json::Arr(results.iter().map(|r| r.json.clone()).collect())),
+        ("min_compression_ratio", Json::from(min_ratio)),
+        ("min_ops_ratio", Json::from(min_ops_ratio)),
+    ]);
+    std::fs::write("BENCH_storage_footprint.json", doc.render_pretty(2)).expect("write json");
+    println!("   wrote BENCH_storage_footprint.json");
+}

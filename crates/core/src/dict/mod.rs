@@ -39,6 +39,17 @@ pub struct Dictionaries {
 }
 
 impl Dictionaries {
+    /// Estimated resident heap bytes across all dictionaries — the
+    /// process-wide "dictionary" line in the store's memory accounting
+    /// (`store.mem.dict_bytes`). Static string pools cost nothing here;
+    /// built `String`s and index vectors do.
+    pub fn heap_bytes(&self) -> usize {
+        self.places.heap_bytes()
+            + self.names.heap_bytes()
+            + self.orgs.heap_bytes()
+            + self.tags.heap_bytes()
+    }
+
     /// The process-wide dictionary set (built once, immutable).
     pub fn global() -> &'static Dictionaries {
         static DICTS: OnceLock<Dictionaries> = OnceLock::new();

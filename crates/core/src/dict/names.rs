@@ -131,6 +131,12 @@ fn pool_for(country_name: &str) -> Pool {
 }
 
 impl Names {
+    /// Estimated resident heap bytes: three vectors of fat pointers into
+    /// static pools.
+    pub fn heap_bytes(&self) -> usize {
+        (self.male.len() + self.female.len() + self.last.len()) * std::mem::size_of::<&[&str]>()
+    }
+
     /// Build per-country pools. `country_names` must align with
     /// [`crate::dict::Places`] country indices; we take the names themselves
     /// from [`crate::dict::Dictionaries::global`]'s place table.

@@ -46,6 +46,20 @@ const COMPANY_STEMS: &[&str] =
 const COMPANY_SUFFIXES: &[&str] = &["Systems", "Industries", "Logistics", "Media", "Labs"];
 
 impl Organisations {
+    /// Estimated resident heap bytes (structs plus built name strings and
+    /// per-country index vectors).
+    pub fn heap_bytes(&self) -> usize {
+        let vecvec = |v: &Vec<Vec<usize>>| {
+            v.iter().map(|x| std::mem::size_of::<Vec<usize>>() + x.len() * 8).sum::<usize>()
+        };
+        self.universities.len() * std::mem::size_of::<University>()
+            + self.universities.iter().map(|u| u.name.len()).sum::<usize>()
+            + self.companies.len() * std::mem::size_of::<Company>()
+            + self.companies.iter().map(|c| c.name.len()).sum::<usize>()
+            + vecvec(&self.unis_by_country)
+            + vecvec(&self.companies_by_country)
+    }
+
     /// Derive universities (per city) and companies (per country) from the
     /// place dictionary. Names are synthesized deterministically.
     pub fn build(places: &Places) -> Organisations {

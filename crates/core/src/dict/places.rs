@@ -109,6 +109,14 @@ const RAW: &[Raw] = &[
 ];
 
 impl Places {
+    /// Estimated resident heap bytes (country/city vectors; name strings
+    /// are static).
+    pub fn heap_bytes(&self) -> usize {
+        self.countries.len() * std::mem::size_of::<Country>()
+            + self.cities.len() * std::mem::size_of::<City>()
+            + self.cum_weights.len() * std::mem::size_of::<f64>()
+    }
+
     /// Build the place dictionary from the embedded table.
     pub fn build() -> Places {
         let mut countries = Vec::with_capacity(RAW.len());

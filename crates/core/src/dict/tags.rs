@@ -99,6 +99,21 @@ const GLOBAL_TAGS: &[(&str, usize, f64)] = &[
 ];
 
 impl Tags {
+    /// Estimated resident heap bytes (tag structs, built tag-name strings,
+    /// per-country and cumulative-weight vectors).
+    pub fn heap_bytes(&self) -> usize {
+        self.classes.len() * std::mem::size_of::<TagClassDef>()
+            + self.tags.len() * std::mem::size_of::<TagDef>()
+            + self.tags.iter().map(|t| t.name.len()).sum::<usize>()
+            + self
+                .by_country
+                .iter()
+                .map(|x| std::mem::size_of::<Vec<usize>>() + x.len() * 8)
+                .sum::<usize>()
+            + self.global.len() * 8
+            + self.cum_all.len() * std::mem::size_of::<f64>()
+    }
+
     /// Build the dictionary for `country_count` countries (aligned with the
     /// [`crate::dict::Places`] indices).
     pub fn build(country_count: usize) -> Tags {

@@ -110,6 +110,9 @@ impl StoreConnector {
 
 impl Connector for StoreConnector {
     fn counters(&self) -> Vec<(String, u64)> {
+        // Bring the store.mem.* gauges up to date so the report carries
+        // measured footprints, not whatever the last refresh saw.
+        self.store.refresh_mem_gauges();
         self.store
             .counters()
             .snapshot()

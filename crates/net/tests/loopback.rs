@@ -304,6 +304,34 @@ fn mix_loopback_matches_in_process() {
         .map(|(n, _)| n.as_str())
         .collect();
     assert_eq!(local_names, remote_names, "remote disclosure must match in-process");
+    // Same equality for counter names: everything the store registers —
+    // including the store.mem.* memory gauges — must surface identically
+    // in a remote report and an in-process one (the remote side adds only
+    // net.* client/server counters on top).
+    let local_counter_names: std::collections::BTreeSet<&str> =
+        local_report.connector_counters.iter().map(|(n, _)| n.as_str()).collect();
+    let remote_counter_names: std::collections::BTreeSet<&str> = remote_report
+        .connector_counters
+        .iter()
+        .filter(|(n, _)| !n.starts_with("net."))
+        .map(|(n, _)| n.as_str())
+        .collect();
+    assert_eq!(local_counter_names, remote_counter_names, "counter names must match in-process");
+    for name in ["store.mem.run_bytes.person_messages", "store.mem.dict_bytes"] {
+        assert!(local_counter_names.contains(name), "{name} missing from disclosure");
+    }
+    // The gauges carry measured values, not zeros: the loaded store holds
+    // real index runs on both sides of the wire.
+    let mem_value = |report: &snb_driver::RunReport, name: &str| {
+        report
+            .connector_counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_default()
+    };
+    assert!(mem_value(&local_report, "store.mem.index_bytes") > 0);
+    assert!(mem_value(&remote_report, "store.mem.index_bytes") > 0);
     // At most one connection per partition, plus the eager validation dial.
     assert!(remote.metrics().connections.get() <= config.partitions as u64 + 1);
 }

@@ -126,6 +126,16 @@ impl Counters {
         Counter { cell: Arc::clone(cell) }
     }
 
+    /// Get-or-create the gauge named `name`. Gauges share the counter
+    /// namespace and cell map, so they appear in [`Counters::snapshot`]
+    /// (and everything built on it — the counters RPC, `--json` full
+    /// disclosure) with no extra plumbing.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let mut map = self.by_name.lock().unwrap_or_else(|e| e.into_inner());
+        let cell = map.entry(name).or_default();
+        Gauge { cell: Arc::clone(cell) }
+    }
+
     /// Current values in sorted name order.
     pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
         let map = self.by_name.lock().unwrap_or_else(|e| e.into_inner());
@@ -152,6 +162,17 @@ mod tests {
             reg.snapshot(),
             vec![("driver.scheduler.slippage_micros", 9), ("store.wal.appends", 5)]
         );
+    }
+
+    #[test]
+    fn registered_gauges_appear_in_snapshots() {
+        let reg = Counters::new();
+        let g = reg.gauge("net.server.open_conns");
+        let g2 = reg.gauge("net.server.open_conns");
+        g.add(3);
+        g2.dec();
+        assert_eq!(g.get(), 2, "handles share one cell");
+        assert_eq!(reg.snapshot(), vec![("net.server.open_conns", 2)]);
     }
 
     #[test]

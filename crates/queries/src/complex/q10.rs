@@ -80,7 +80,9 @@ fn score_one(common: i64, total: i64) -> i64 {
     common - (total - common)
 }
 
-/// Intended: per candidate, scan their message index counting posts.
+/// Intended: per candidate, scan their posts-only covering index — no
+/// per-message row probe just to discard replies (only the tag lookup
+/// touches the message table).
 fn intended(
     snap: &PinnedSnapshot<'_>,
     cands: &[u64],
@@ -90,13 +92,10 @@ fn intended(
     for &c in cands {
         let mut common = 0i64;
         let mut total = 0i64;
-        for (msg, _) in snap.messages_of_iter(PersonId(c)) {
-            let id = MessageId(msg);
-            if snap.message_meta(id).is_some_and(|m| m.reply_info.is_none()) {
-                total += 1;
-                if snap.message_tags(id).iter().any(|t| interests.contains(t)) {
-                    common += 1;
-                }
+        for (msg, _) in snap.posts_of_iter(PersonId(c)) {
+            total += 1;
+            if snap.message_tags(MessageId(msg)).iter().any(|t| interests.contains(t)) {
+                common += 1;
             }
         }
         scores.insert(c, score_one(common, total));

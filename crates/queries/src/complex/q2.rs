@@ -82,8 +82,12 @@ fn naive(snap: &PinnedSnapshot<'_>, p: &Q2Params) -> Vec<(Key, ())> {
 fn materialize(snap: &PinnedSnapshot<'_>, top: Vec<(Key, ())>) -> Vec<Q2Row> {
     top.into_iter()
         .filter_map(|((Reverse(date), msg), ())| {
-            let row = snap.message(MessageId(msg))?;
-            let author = snap.person(row.author)?;
+            // Borrow the rows: cloning a MessageRow copies content + tags
+            // and cloning a Person copies four Vecs, but the result row
+            // only needs the author id, interned names, and the content
+            // (one copy, made once below).
+            let row = snap.message_ref(MessageId(msg))?;
+            let author = snap.person_ref(row.author)?;
             let content = row
                 .image_file
                 .as_deref()

@@ -59,17 +59,18 @@ fn count_post(
     }
 }
 
-/// Intended: traverse the 2-hop circle, scan each candidate's posts.
+/// Intended: traverse the 2-hop circle, scan each candidate's posts via
+/// the posts-only covering index — every yielded entry is a post, so the
+/// per-message row probe (one random access into the fat message table
+/// just to discard replies, formerly the dominant cost of this query) is
+/// gone entirely.
 fn intended(snap: &PinnedSnapshot<'_>, p: &Q6Params) -> HashMap<u64, u32> {
     let mut counts = HashMap::new();
     with_scratch(|sx| {
         load_two_hop(snap, sx, p.person);
         for &c in sx.one.iter().chain(sx.two.iter()) {
-            for (msg, _) in snap.messages_of_iter(PersonId(c)) {
-                let id = MessageId(msg);
-                if snap.message_meta(id).is_some_and(|m| m.reply_info.is_none()) {
-                    count_post(snap, id, p.tag as u64, &mut counts);
-                }
+            for (msg, _) in snap.posts_of_iter(PersonId(c)) {
+                count_post(snap, MessageId(msg), p.tag as u64, &mut counts);
             }
         }
     });

@@ -47,8 +47,9 @@ pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q9Params) -> Vec<Q9Row
     };
     top.into_iter()
         .filter_map(|((Reverse(date), msg), ())| {
-            let row = snap.message(MessageId(msg))?;
-            let author = snap.person(row.author)?;
+            // Borrowed rows — see Q2's materialize for why.
+            let row = snap.message_ref(MessageId(msg))?;
+            let author = snap.person_ref(row.author)?;
             let content = row
                 .image_file
                 .as_deref()

@@ -6,8 +6,9 @@
 //! convention so they land sorted and greppable in the full-disclosure
 //! export.
 
+use crate::stats::StorageStats;
 use crate::wal::WalMetrics;
-use snb_obs::{Counter, Counters, HistogramSnapshot, LatencyHistogram};
+use snb_obs::{Counter, Counters, Gauge, HistogramSnapshot, LatencyHistogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -115,6 +116,91 @@ impl StripeTelemetry {
     }
 }
 
+/// Index-table order shared by [`MemGauges::run_bytes`] and the store's
+/// per-index footprint walk — the two sides `debug_assert` against each
+/// other at refresh time so names can't drift.
+pub const MEM_INDEX_NAMES: [&str; 9] = [
+    "knows",
+    "person_messages",
+    "person_posts",
+    "forum_posts",
+    "forum_members",
+    "person_forums",
+    "message_replies",
+    "message_likes",
+    "person_likes",
+];
+
+/// The `store.mem.*` gauge family: real measured memory, refreshed on
+/// demand (a full walk of the tables is too expensive per write, so
+/// [`crate::Store::refresh_mem_gauges`] runs right before counters are
+/// snapshot — the numbers in any report are current as of that report).
+/// Registered in the same registry as the counters, so they ride every
+/// existing export path: `snapshot()`, the counters RPC, and `--json`
+/// full disclosure.
+#[derive(Debug)]
+pub struct MemGauges {
+    /// Compact run bytes per index table (`store.mem.run_bytes.<index>`,
+    /// ordered as [`MEM_INDEX_NAMES`]): bulk prefix + ladder runs, anchors
+    /// + delta streams.
+    pub run_bytes: [Gauge; 9],
+    /// Raw (uncompressed) tail slot bytes across all indexes
+    /// (`store.mem.tail_bytes`).
+    pub tail_bytes: Gauge,
+    /// Entity-row heap bytes: persons + forums + messages including string
+    /// content (`store.mem.entity_bytes`).
+    pub entity_bytes: Gauge,
+    /// Global dictionary heap bytes (`store.mem.dict_bytes`) — shared
+    /// process-wide, reported once.
+    pub dict_bytes: Gauge,
+    /// Total index bytes, runs + tails (`store.mem.index_bytes`).
+    pub index_bytes: Gauge,
+    /// Resident bytes per visible person (`store.mem.bytes_per_person`).
+    pub bytes_per_person: Gauge,
+    /// Resident bytes per visible message
+    /// (`store.mem.bytes_per_message`).
+    pub bytes_per_message: Gauge,
+}
+
+impl MemGauges {
+    fn new(registry: &Counters) -> MemGauges {
+        const RUN_NAMES: [&str; 9] = [
+            "store.mem.run_bytes.knows",
+            "store.mem.run_bytes.person_messages",
+            "store.mem.run_bytes.person_posts",
+            "store.mem.run_bytes.forum_posts",
+            "store.mem.run_bytes.forum_members",
+            "store.mem.run_bytes.person_forums",
+            "store.mem.run_bytes.message_replies",
+            "store.mem.run_bytes.message_likes",
+            "store.mem.run_bytes.person_likes",
+        ];
+        MemGauges {
+            run_bytes: std::array::from_fn(|i| registry.gauge(RUN_NAMES[i])),
+            tail_bytes: registry.gauge("store.mem.tail_bytes"),
+            entity_bytes: registry.gauge("store.mem.entity_bytes"),
+            dict_bytes: registry.gauge("store.mem.dict_bytes"),
+            index_bytes: registry.gauge("store.mem.index_bytes"),
+            bytes_per_person: registry.gauge("store.mem.bytes_per_person"),
+            bytes_per_message: registry.gauge("store.mem.bytes_per_message"),
+        }
+    }
+
+    /// Overwrite every gauge from a fresh [`StorageStats`] walk.
+    pub(crate) fn refresh(&self, stats: &StorageStats, dict_bytes: usize) {
+        for (i, (name, f)) in stats.per_index.iter().enumerate() {
+            debug_assert_eq!(*name, MEM_INDEX_NAMES[i], "gauge/footprint order drift");
+            self.run_bytes[i].set(f.run_bytes as u64);
+        }
+        self.tail_bytes.set(stats.index.tail_bytes as u64);
+        self.entity_bytes.set(stats.entity_bytes as u64);
+        self.dict_bytes.set(dict_bytes as u64);
+        self.index_bytes.set(stats.index.bytes() as u64);
+        self.bytes_per_person.set(stats.bytes_per_person() as u64);
+        self.bytes_per_message.set(stats.bytes_per_message() as u64);
+    }
+}
+
 /// Counter handles for every store subsystem.
 #[derive(Debug)]
 pub struct StoreCounters {
@@ -176,6 +262,8 @@ pub struct StoreCounters {
     pub stages: StageHistograms,
     /// Per-stripe conflict heatmap + acquire-wait distributions.
     pub stripes: StripeTelemetry,
+    /// Measured memory gauges (see [`MemGauges`]).
+    pub mem: MemGauges,
 }
 
 impl Default for StoreCounters {
@@ -207,6 +295,7 @@ impl StoreCounters {
             wal_fsync_micros: Arc::new(LatencyHistogram::new()),
             stages: StageHistograms::default(),
             stripes: StripeTelemetry::default(),
+            mem: MemGauges::new(&registry),
             registry,
         }
     }
@@ -261,8 +350,19 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
-        assert_eq!(names.len(), 15);
+        assert_eq!(names.len(), 30);
         assert!(snap.contains(&("store.mvcc.snapshots", 1)));
+        // The store.mem.* gauge family registers eagerly so remote and
+        // local disclosures agree on the name set even before a refresh.
+        for idx in MEM_INDEX_NAMES {
+            assert!(names.iter().any(|n| n.strip_prefix("store.mem.run_bytes.") == Some(idx)));
+        }
+        assert!(names.contains(&"store.mem.tail_bytes"));
+        assert!(names.contains(&"store.mem.dict_bytes"));
+        assert!(names.contains(&"store.mem.index_bytes"));
+        assert!(names.contains(&"store.mem.entity_bytes"));
+        assert!(names.contains(&"store.mem.bytes_per_person"));
+        assert!(names.contains(&"store.mem.bytes_per_message"));
         assert!(names.contains(&"store.read.fastlane_entries"));
         assert!(!names.contains(&"store.read.fastpath_entries"), "pre-PR-5 name must be gone");
         assert!(names.contains(&"store.read.latchfree_reads"));

@@ -43,6 +43,7 @@
 //!   [`Snapshot`]/[`PinnedSnapshot`] semantics are byte-identical to the
 //!   old latched store.
 
+use crate::compact::{merge_compact, CompactRun, Cursor, RevCursor, FILL_DATED};
 use crate::counters::{StoreCounters, STRIPES};
 use crate::mvcc::{visible, CommitClock, CommitTs, BULK_TS};
 use crate::wal::{SyncPolicy, Wal};
@@ -104,7 +105,7 @@ pub(crate) struct Entry {
 }
 
 #[inline]
-fn key(e: &Entry) -> (SimTime, u64) {
+pub(crate) fn key(e: &Entry) -> (SimTime, u64) {
     (e.date, e.id)
 }
 
@@ -252,15 +253,37 @@ impl TailSlots {
 /// `1 << k` entries (level 0 is the raw slot array itself), so levels up
 /// to 26 cover the ~2^27-entry tail capacity of [`TailSlots`].
 const LADDER_LEVELS: usize = 27;
-/// Most runs one decomposition can produce: one per level (the binary
-/// representation of the published length has at most one bit per level).
-const MAX_RUNS: usize = LADDER_LEVELS;
+/// Lowest *materialized* ladder level. Levels below it are never built:
+/// the newest `p mod 2^LADDER_BASE` tail entries are served straight from
+/// the raw slot array as single-entry lanes instead. Retained low-level
+/// runs were where the ladder's `O(t log t)` memory actually lived — every
+/// tail entry used to be copied into a 2-run, a 4-run and an 8-run that
+/// are all kept forever for pinned readers, and at ~10-14 encoded bytes
+/// per entry per level those three levels cost more than the whole bulk
+/// index. Skipping them trades at most `2^LADDER_BASE - 1` extra
+/// decode-free lanes per read for a third of total index memory, and the
+/// newest entries — what "most recent" walks consume first — now need no
+/// decode at all.
+const LADDER_BASE: usize = 4;
+/// Most lanes one decomposition can produce: one run per materialized
+/// level plus up to `2^LADDER_BASE - 1` raw singles.
+const MAX_RUNS: usize = LADDER_LEVELS - LADDER_BASE + (1 << LADDER_BASE) - 1;
 
 /// One ladder level: run `j` of level `k` is the sorted copy of raw tail
-/// entries `[j << k, (j + 1) << k)`. Runs complete in ascending `j` order
-/// (run `j` is built when entry `((j + 1) << k) - 1` lands), so a
-/// [`SegVec`] publishes them naturally.
-type RunLevel = SegVec<Box<[Entry]>, 2, 26>;
+/// entries `[j << k, (j + 1) << k)`, stored delta-encoded (see
+/// [`crate::compact`]). Runs complete in ascending `j` order (run `j` is
+/// built when entry `((j + 1) << k) - 1` lands), so a [`SegVec`] publishes
+/// them naturally.
+type RunLevel = SegVec<CompactRun, 2, 26>;
+
+/// One lane of a decomposed tail: either a single raw slot (a level-0
+/// "run" borrows its entry straight from the slot array) or a compact
+/// ladder run that lanes decode through cursors.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LaneSrc<'t> {
+    Single(&'t Entry),
+    Run(&'t CompactRun),
+}
 
 /// The published tail of an [`IndexList`]: an append-only raw slot array
 /// plus a *merge ladder* of immutable sorted runs (Bentley–Saxe binary
@@ -323,18 +346,22 @@ impl IndexTail {
         let stored = self.slots.slot(n).set(e).is_ok();
         debug_assert!(stored, "tail slot {n} double-published");
         let len = n + 1;
-        let mut k = 1usize;
+        let mut k = LADDER_BASE;
         while k < LADDER_LEVELS && len & ((1usize << k) - 1) == 0 {
             let j = (len >> k) - 1;
-            let run: Box<[Entry]> = if k == 1 {
-                let (a, b) = (self.slots.published(2 * j), self.slots.published(2 * j + 1));
-                let pair = if key(&a) <= key(&b) { [a, b] } else { [b, a] };
-                Box::new(pair)
+            let run: CompactRun = if k == LADDER_BASE {
+                // The base run sorts its slot range directly — levels
+                // below LADDER_BASE are never materialized.
+                let base = j << LADDER_BASE;
+                let mut batch: [Entry; 1 << LADDER_BASE] =
+                    std::array::from_fn(|i| self.slots.published(base + i));
+                batch.sort_unstable_by_key(key);
+                CompactRun::from_sorted(&batch)
             } else {
                 let lower = self.level(k - 1);
                 let a = lower.get(2 * j).expect("ladder child run missing");
                 let b = lower.get(2 * j + 1).expect("ladder child run missing");
-                merge_runs(a, b)
+                merge_compact(a, b)
             };
             self.level(k).install(j, run);
             k += 1;
@@ -347,42 +374,47 @@ impl IndexTail {
     /// `[0, p)` exactly. Every returned run was fully built before `p`
     /// was published.
     #[inline]
-    fn decompose<'t>(&'t self, p: usize, out: &mut [&'t [Entry]; MAX_RUNS]) -> usize {
+    fn decompose<'t>(&'t self, p: usize, out: &mut [Option<LaneSrc<'t>>; MAX_RUNS]) -> usize {
         let mut n = 0usize;
         let mut offset = 0usize;
-        let mut rem = p;
+        // Materialized runs cover the largest base-aligned prefix.
+        let mut rem = p & !((1usize << LADDER_BASE) - 1);
         while rem != 0 {
             let k = (usize::BITS - 1 - rem.leading_zeros()) as usize;
-            out[n] = if k == 0 {
-                std::slice::from_ref(self.slots.published_ref(offset))
-            } else {
-                let level = self.levels[k - 1].get().expect("published ladder level missing");
-                level.get_published(offset >> k).expect("published ladder run missing")
-            };
+            let level = self.levels[k - 1].get().expect("published ladder level missing");
+            out[n] = Some(LaneSrc::Run(
+                level.get_published(offset >> k).expect("published ladder run missing"),
+            ));
             n += 1;
             offset += 1usize << k;
             rem &= !(1usize << k);
         }
+        // The sub-base remainder — the newest entries — straight from the
+        // raw slots, one decode-free lane each.
+        for i in offset..p {
+            out[n] = Some(LaneSrc::Single(self.slots.published_ref(i)));
+            n += 1;
+        }
         n
     }
-}
 
-/// Merge two `(date, id)`-sorted runs into a new boxed run.
-fn merge_runs(a: &[Entry], b: &[Entry]) -> Box<[Entry]> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        if key(&a[i]) <= key(&b[j]) {
-            out.push(a[i]);
-            i += 1;
-        } else {
-            out.push(b[j]);
-            j += 1;
+    /// Resident bytes of the ladder itself for the published prefix: the
+    /// compact run bytes across all levels plus the raw slot array.
+    fn heap_bytes(&self) -> (usize, usize, usize) {
+        let len = self.published_len();
+        let mut run_bytes = 0usize;
+        let mut run_entries = 0usize;
+        for k in LADDER_BASE..LADDER_LEVELS {
+            let Some(level) = self.levels[k - 1].get() else { continue };
+            for j in 0..(len >> k) {
+                if let Some(run) = level.get(j) {
+                    run_bytes += run.heap_bytes();
+                    run_entries += run.len();
+                }
+            }
         }
+        (run_bytes, run_entries, len * std::mem::size_of::<Entry>())
     }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
-    out.into_boxed_slice()
 }
 
 /// A date-ordered index list: an immutable `(date, id)`-sorted bulk prefix
@@ -399,23 +431,25 @@ fn merge_runs(a: &[Entry], b: &[Entry]) -> Box<[Entry]> {
 /// tail costs readers nothing beyond one acquire load either way.
 #[derive(Debug, Default)]
 pub(crate) struct IndexList {
-    bulk: Box<[Entry]>,
+    bulk: CompactRun,
     /// Lazily allocated: most lists never see a post-bulk insert.
     tail: OnceLock<Box<IndexTail>>,
 }
 
 impl IndexList {
     /// A list whose entries are all bulk-loaded (already `(date, id)`
-    /// sorted, all stamped [`BULK_TS`]).
+    /// sorted, all stamped [`BULK_TS`]), delta-encoded here — the bulk
+    /// loader's sort-once path is the one construction site for bulk
+    /// prefixes, so compression rides the existing single pass.
     pub(crate) fn from_bulk(entries: Vec<Entry>) -> IndexList {
         debug_assert!(entries.iter().all(|e| e.commit == BULK_TS));
         debug_assert!(entries.windows(2).all(|w| key(&w[0]) <= key(&w[1])));
-        IndexList { bulk: entries.into_boxed_slice(), tail: OnceLock::new() }
+        IndexList { bulk: CompactRun::from_sorted(&entries), tail: OnceLock::new() }
     }
 
     /// The immutable always-visible bulk prefix.
     #[inline]
-    pub(crate) fn bulk(&self) -> &[Entry] {
+    pub(crate) fn bulk(&self) -> &CompactRun {
         &self.bulk
     }
 
@@ -437,6 +471,23 @@ impl IndexList {
     /// Total published entries (bulk prefix + tail).
     pub(crate) fn len(&self) -> usize {
         self.bulk.len() + self.tail_len()
+    }
+
+    /// Resident-byte accounting: `(run_bytes, run_entries, tail_bytes)`.
+    /// `run_bytes` covers the compact bulk prefix plus every ladder run;
+    /// `run_entries` is the entry count behind those bytes (bulk + ladder
+    /// copies — what the pre-compact format stored as 24-byte structs);
+    /// `tail_bytes` is the raw (uncompressed) slot array.
+    pub(crate) fn mem(&self) -> (usize, usize, usize) {
+        let (mut run_bytes, mut run_entries, mut tail_bytes) =
+            (self.bulk.heap_bytes(), self.bulk.len(), 0);
+        if let Some(tail) = self.tail() {
+            let (ladder_bytes, ladder_entries, raw_bytes) = tail.heap_bytes();
+            run_bytes += ladder_bytes;
+            run_entries += ladder_entries;
+            tail_bytes += raw_bytes;
+        }
+        (run_bytes, run_entries, tail_bytes)
     }
 
     /// Gather the tail entries passing `pred` that are visible at `ts`
@@ -576,6 +627,12 @@ pub(crate) struct Tables {
     pub(crate) knows: IndexTable,
     /// per-person authored messages; Entry.id = message.
     pub(crate) person_messages: IndexTable,
+    /// per-person authored posts only (no comments); Entry.id = message.
+    /// A covering index for the "posts by circle" queries (Q6, Q10):
+    /// without it they scan `person_messages` and pay one random probe
+    /// into the fat message table per entry just to discard replies —
+    /// measured as the dominant cost of the complex mix.
+    pub(crate) person_posts: IndexTable,
     /// per-forum posts; Entry.id = message.
     pub(crate) forum_posts: IndexTable,
     /// per-forum members; Entry.id = person, date = join date.
@@ -598,6 +655,7 @@ impl Tables {
             messages: SegVec::new(),
             knows: SegVec::new(),
             person_messages: SegVec::new(),
+            person_posts: SegVec::new(),
             forum_posts: SegVec::new(),
             forum_members: SegVec::new(),
             person_forums: SegVec::new(),
@@ -690,6 +748,7 @@ impl Tables {
         let i = p.id.index();
         self.knows.bump(i + 1);
         self.person_messages.bump(i + 1);
+        self.person_posts.bump(i + 1);
         self.person_forums.bump(i + 1);
         self.person_likes.bump(i + 1);
         self.persons.install(i, Versioned { commit: ts, row: p });
@@ -739,6 +798,11 @@ impl Tables {
             id: p.id.raw(),
             commit: ts,
         });
+        Self::list(&self.person_posts, p.author.index()).push(Entry {
+            date: p.creation_date,
+            id: p.id.raw(),
+            commit: ts,
+        });
         self.insert_message_row(p.id, post_row(p), ts);
     }
 
@@ -764,12 +828,38 @@ impl Tables {
         });
     }
 
+    /// `(name, measured footprint)` for each of the nine index tables:
+    /// compact run bytes, raw tail bytes, and the uncompressed-oracle cost
+    /// of the same runs (see [`crate::stats::IndexFootprint`]).
+    fn index_footprints(&self) -> Vec<(&'static str, crate::stats::IndexFootprint)> {
+        let foot = |t: &IndexTable| {
+            let mut f = crate::stats::IndexFootprint::default();
+            for i in 0..t.high() {
+                if let Some(l) = t.get(i) {
+                    let (run_bytes, run_entries, tail_bytes) = l.mem();
+                    f.entries += l.len();
+                    f.run_bytes += run_bytes;
+                    f.tail_bytes += tail_bytes;
+                    f.oracle_run_bytes += run_entries * std::mem::size_of::<Entry>();
+                }
+            }
+            f
+        };
+        vec![
+            ("knows", foot(&self.knows)),
+            ("person_messages", foot(&self.person_messages)),
+            ("person_posts", foot(&self.person_posts)),
+            ("forum_posts", foot(&self.forum_posts)),
+            ("forum_members", foot(&self.forum_members)),
+            ("person_forums", foot(&self.person_forums)),
+            ("message_replies", foot(&self.message_replies)),
+            ("message_likes", foot(&self.message_likes)),
+            ("person_likes", foot(&self.person_likes)),
+        ]
+    }
+
     /// Raw element counts and byte sizes per table for storage statistics.
     fn sizes(&self) -> crate::stats::RawSizes {
-        let entry_bytes = std::mem::size_of::<Entry>();
-        let list_entries =
-            |t: &IndexTable| (0..t.high()).map(|i| t.get(i).map_or(0, |l| l.len())).sum::<usize>();
-        let list_bytes = |t: &IndexTable| list_entries(t) * entry_bytes;
         let persons = || (0..self.persons.high()).filter_map(|i| self.persons.get(i));
         let forums = || (0..self.forums.high()).filter_map(|i| self.forums.get(i));
         let messages = || (0..self.messages.high()).filter_map(|i| self.messages.get(i));
@@ -789,15 +879,7 @@ impl Tables {
             message_bytes: messages()
                 .map(|v| v.row.content.len() + v.row.tags.len() * 8 + 64)
                 .sum(),
-            knows_entries: list_entries(&self.knows),
-            knows_bytes: list_bytes(&self.knows),
-            likes_entries: list_entries(&self.message_likes),
-            likes_bytes: list_bytes(&self.message_likes) + list_bytes(&self.person_likes),
-            membership_entries: list_entries(&self.forum_members),
-            membership_bytes: list_bytes(&self.forum_members) + list_bytes(&self.person_forums),
-            person_message_bytes: list_bytes(&self.person_messages),
-            forum_post_bytes: list_bytes(&self.forum_posts),
-            reply_bytes: list_bytes(&self.message_replies),
+            per_index: self.index_footprints(),
         }
     }
 }
@@ -911,6 +993,15 @@ impl Store {
     /// Runtime counters for this store instance.
     pub fn counters(&self) -> &StoreCounters {
         &self.counters
+    }
+
+    /// Walk the tables and overwrite the `store.mem.*` gauges with current
+    /// measured sizes. The walk is O(rows), so callers run it on demand —
+    /// right before snapshotting counters for a report — never per write.
+    pub fn refresh_mem_gauges(&self) {
+        let stats = crate::stats::from_raw(self.tables.sizes());
+        let dict = snb_core::dict::Dictionaries::global().heap_bytes();
+        self.counters.mem.refresh(&stats, dict);
     }
 
     /// Recover a store by bulk-loading `bulk` and replaying the WAL at
@@ -1298,22 +1389,18 @@ struct ReadView<'g> {
     counters: &'g StoreCounters,
 }
 
-/// Ascending two-pointer merge of a sorted bulk prefix and a sorted,
-/// already-visibility-filtered tail batch.
-fn merge_ascending(prefix: &[Entry], tail: &[Entry], out: &mut Vec<Dated>) {
-    out.reserve(prefix.len() + tail.len());
-    let (mut p, mut t) = (0usize, 0usize);
-    while p < prefix.len() && t < tail.len() {
-        if key(&prefix[p]) <= key(&tail[t]) {
-            out.push((prefix[p].id, prefix[p].date));
-            p += 1;
-        } else {
+/// Ascending two-pointer merge of a (compact) sorted bulk prefix and a
+/// sorted, already-visibility-filtered tail batch.
+fn merge_ascending(mut prefix: Cursor<'_>, tail: &[Entry], out: &mut Vec<Dated>) {
+    out.reserve(prefix.remaining() + tail.len());
+    let mut t = 0usize;
+    while let Some(p) = prefix.peek() {
+        while t < tail.len() && key(&tail[t]) < key(&p) {
             out.push((tail[t].id, tail[t].date));
             t += 1;
         }
-    }
-    for e in &prefix[p..] {
-        out.push((e.id, e.date));
+        out.push((p.id, p.date));
+        prefix.advance();
     }
     for e in &tail[t..] {
         out.push((e.id, e.date));
@@ -1405,7 +1492,7 @@ impl<'g> ReadView<'g> {
         let (fast_t, examined, kept) = list.gather_tail(self.ts, |_| true, &mut tail);
         self.note_scan(bulk.len() + fast_t, examined, kept);
         let mut out = Vec::new();
-        merge_ascending(bulk, &tail, &mut out);
+        merge_ascending(bulk.cursor(), &tail, &mut out);
         out
     }
 
@@ -1414,8 +1501,11 @@ impl<'g> ReadView<'g> {
     /// consumed, so an early-exiting caller never pays for the rest.
     fn iter(&self, list: Option<&'g IndexList>) -> DatedIter<'g> {
         let mut it = DatedIter {
-            prefix: &[],
-            runs: [&[]; MAX_RUNS],
+            prefix: Cursor::empty(),
+            pbuf: [(0, SimTime(0)); FILL_DATED],
+            pbuf_pos: 0,
+            pbuf_len: 0,
+            runs: std::array::from_fn(|_| Cursor::empty()),
             nruns: 0,
             cur: NO_LANE,
             bound: (SimTime(0), 0),
@@ -1427,9 +1517,17 @@ impl<'g> ReadView<'g> {
             span_start: if trace::tracing_possible() { trace::now_micros().max(1) } else { 0 },
         };
         if let Some(l) = list {
-            it.prefix = l.bulk();
+            it.prefix = l.bulk().cursor();
             if let Some(tail) = l.tail() {
-                it.nruns = tail.decompose(tail.published_len(), &mut it.runs);
+                let mut lanes = [None; MAX_RUNS];
+                let n = tail.decompose(tail.published_len(), &mut lanes);
+                for lane in lanes[..n].iter().flatten() {
+                    it.runs[it.nruns] = match lane {
+                        LaneSrc::Single(e) => Cursor::single(**e),
+                        LaneSrc::Run(r) => r.cursor(),
+                    };
+                    it.nruns += 1;
+                }
             }
         }
         it
@@ -1440,8 +1538,8 @@ impl<'g> ReadView<'g> {
     /// [`ReadView::iter`] consumed from the back.
     fn recent_walk(&self, list: Option<&'g IndexList>, max_date: SimTime) -> RecentWalk<'g> {
         let mut w = RecentWalk {
-            prefix: &[],
-            runs: [&[]; MAX_RUNS],
+            prefix: RevCursor::empty(),
+            runs: std::array::from_fn(|_| RevCursor::empty()),
             nruns: 0,
             cur: NO_LANE,
             bound: (SimTime(0), 0),
@@ -1453,17 +1551,28 @@ impl<'g> ReadView<'g> {
             span_start: if trace::tracing_possible() { trace::now_micros().max(1) } else { 0 },
         };
         if let Some(l) = list {
-            let bulk = l.bulk();
-            w.prefix = &bulk[..bulk.partition_point(|e| e.date <= max_date)];
+            w.prefix = RevCursor::to_date_bound(l.bulk(), max_date);
             if let Some(tail) = l.tail() {
-                let mut runs = [&[][..]; MAX_RUNS];
-                let n = tail.decompose(tail.published_len(), &mut runs);
-                for r in &runs[..n] {
-                    let bounded = &r[..r.partition_point(|e| e.date <= max_date)];
-                    if !bounded.is_empty() {
-                        w.runs[w.nruns] = bounded;
-                        w.nruns += 1;
-                    }
+                let mut lanes = [None; MAX_RUNS];
+                let n = tail.decompose(tail.published_len(), &mut lanes);
+                for lane in lanes[..n].iter().flatten() {
+                    let bounded = match lane {
+                        LaneSrc::Single(e) => {
+                            if e.date > max_date {
+                                continue;
+                            }
+                            RevCursor::single(**e)
+                        }
+                        LaneSrc::Run(r) => {
+                            let c = RevCursor::to_date_bound(r, max_date);
+                            if c.remaining() == 0 {
+                                continue;
+                            }
+                            c
+                        }
+                    };
+                    w.runs[w.nruns] = bounded;
+                    w.nruns += 1;
                 }
             }
         }
@@ -1482,10 +1591,10 @@ impl<'g> ReadView<'g> {
             return Vec::new();
         };
         let bulk = list.bulk();
-        let prefix = &bulk[bulk.partition_point(|e| e.date <= min_date)..];
+        let prefix = Cursor::at(bulk, bulk.upper_bound_date(min_date));
         let mut tail = Vec::new();
         let (fast_t, examined, kept) = list.gather_tail(self.ts, |e| e.date > min_date, &mut tail);
-        self.note_scan(prefix.len() + fast_t, examined, kept);
+        self.note_scan(prefix.remaining() + fast_t, examined, kept);
         let mut out = Vec::new();
         merge_ascending(prefix, &tail, &mut out);
         out
@@ -1500,12 +1609,14 @@ impl<'g> ReadView<'g> {
         let mut examined = 0usize;
         let mut kept = 0usize;
         let mut found = false;
-        for e in list.bulk() {
+        let mut cursor = list.bulk().cursor();
+        while let Some(e) = cursor.peek() {
             fast += 1;
             if e.id == b.raw() {
                 found = true;
                 break;
             }
+            cursor.advance();
         }
         if !found {
             if let Some(tail) = list.tail() {
@@ -1542,8 +1653,15 @@ impl<'g> ReadView<'g> {
 /// early-exiting caller pays only for what it consumed. All accounting is
 /// batched locally and flushed once, on drop.
 pub struct DatedIter<'g> {
-    prefix: &'g [Entry],
-    runs: [&'g [Entry]; MAX_RUNS],
+    prefix: Cursor<'g>,
+    /// Decoded read-ahead for the prefix lane (prefix entries bypass MVCC,
+    /// so only ids and dates are kept). Covers cursor ranks
+    /// `[prefix.rank, prefix.rank + (pbuf_len - pbuf_pos))`: serving an
+    /// entry advances `pbuf_pos` and the cursor together.
+    pbuf: [Dated; FILL_DATED],
+    pbuf_pos: u32,
+    pbuf_len: u32,
+    runs: [Cursor<'g>; MAX_RUNS],
     nruns: usize,
     /// Lane that yielded last (`nruns` = the prefix, [`NO_LANE`] = must
     /// rescan). Dates correlate with append order, so the winning lane
@@ -1565,10 +1683,44 @@ pub struct DatedIter<'g> {
 /// Lane-cache sentinel: no lane selected, rescan all heads.
 const NO_LANE: usize = usize::MAX;
 
+impl DatedIter<'_> {
+    /// The prefix lane's head, served from the read-ahead buffer —
+    /// refilled block-wise via [`Cursor::fill_dated`] so whole-list drains
+    /// decode in tight per-block loops instead of entry-at-a-time.
+    #[inline]
+    fn prefix_head(&mut self) -> Option<Dated> {
+        if self.pbuf_pos < self.pbuf_len {
+            return Some(self.pbuf[self.pbuf_pos as usize]);
+        }
+        let n = self.prefix.fill_dated(&mut self.pbuf);
+        if n == 0 {
+            return None;
+        }
+        self.pbuf_pos = 0;
+        self.pbuf_len = n;
+        Some(self.pbuf[0])
+    }
+
+    /// Consume the entry `prefix_head` returned.
+    #[inline]
+    fn prefix_advance(&mut self) {
+        self.pbuf_pos += 1;
+        self.prefix.advance();
+    }
+}
+
 impl Iterator for DatedIter<'_> {
     type Item = Dated;
 
     fn next(&mut self) -> Option<Dated> {
+        // Lists with no ladder tail — the common case on a bulk-heavy
+        // store — are a plain prefix scan: skip the lane machinery.
+        if self.nruns == 0 {
+            let (id, date) = self.prefix_head()?;
+            self.prefix_advance();
+            self.fast += 1;
+            return Some((id, date));
+        }
         loop {
             if self.cur == NO_LANE {
                 // Rescan every lane head; the runner-up key becomes the
@@ -1578,13 +1730,13 @@ impl Iterator for DatedIter<'_> {
                 // tuples either way).
                 let inf = (SimTime(i64::MAX), u64::MAX);
                 let (mut best, mut best_key, mut second) = (NO_LANE, inf, inf);
-                if let Some(p) = self.prefix.first() {
+                if let Some((id, date)) = self.prefix_head() {
                     best = self.nruns;
-                    best_key = key(p);
+                    best_key = (date, id);
                 }
                 for i in 0..self.nruns {
-                    if let Some(h) = self.runs[i].first() {
-                        let k = key(h);
+                    if let Some(h) = self.runs[i].peek() {
+                        let k = key(&h);
                         if best == NO_LANE || k < best_key {
                             second = best_key;
                             best = i;
@@ -1600,16 +1752,23 @@ impl Iterator for DatedIter<'_> {
                 self.cur = best;
                 self.bound = second;
             }
-            let on_prefix = self.cur == self.nruns;
-            let head = if on_prefix { self.prefix.first() } else { self.runs[self.cur].first() };
-            match head {
-                Some(&e) if key(&e) <= self.bound => {
-                    if on_prefix {
-                        self.prefix = &self.prefix[1..];
+            if self.cur == self.nruns {
+                // Draining the prefix lane: commit-free decode, no MVCC.
+                match self.prefix_head() {
+                    Some((id, date)) if (date, id) <= self.bound => {
+                        self.prefix_advance();
                         self.fast += 1;
-                        return Some((e.id, e.date));
+                        return Some((id, date));
                     }
-                    self.runs[self.cur] = &self.runs[self.cur][1..];
+                    _ => {
+                        self.cur = NO_LANE;
+                        continue;
+                    }
+                }
+            }
+            match self.runs[self.cur].peek() {
+                Some(e) if key(&e) <= self.bound => {
+                    self.runs[self.cur].advance();
                     if e.commit == BULK_TS {
                         self.fast += 1;
                         return Some((e.id, e.date));
@@ -1628,8 +1787,8 @@ impl Iterator for DatedIter<'_> {
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         // Prefix entries are always visible; run entries may be filtered.
-        let tail: usize = self.runs[..self.nruns].iter().map(|r| r.len()).sum();
-        (self.prefix.len(), Some(self.prefix.len() + tail))
+        let tail: usize = self.runs[..self.nruns].iter().map(|r| r.remaining()).sum();
+        (self.prefix.remaining(), Some(self.prefix.remaining() + tail))
     }
 }
 
@@ -1662,10 +1821,10 @@ fn flush_scan_accounting(c: &StoreCounters, fast: u64, examined: u64, kept: u64)
 /// consumed from the back (each run was date-bounded at construction).
 pub struct RecentWalk<'g> {
     /// Remaining bulk-prefix entries, already bounded to `<= max_date`.
-    prefix: &'g [Entry],
+    prefix: RevCursor<'g>,
     /// Remaining ladder runs, each bounded to `<= max_date`, non-empty at
     /// construction.
-    runs: [&'g [Entry]; MAX_RUNS],
+    runs: [RevCursor<'g>; MAX_RUNS],
     nruns: usize,
     /// Lane cache, mirrored from [`DatedIter`] (largest key wins here).
     cur: usize,
@@ -1684,17 +1843,24 @@ impl Iterator for RecentWalk<'_> {
     type Item = Dated;
 
     fn next(&mut self) -> Option<Dated> {
+        // No ladder tail (the common case): a pure backward prefix scan.
+        if self.nruns == 0 {
+            let (id, date) = self.prefix.peek_back_dated()?;
+            self.prefix.advance_back();
+            self.fast += 1;
+            return Some((id, date));
+        }
         loop {
             if self.cur == NO_LANE {
                 let ninf = (SimTime(i64::MIN), 0u64);
                 let (mut best, mut best_key, mut second) = (NO_LANE, ninf, ninf);
-                if let Some(p) = self.prefix.last() {
+                if let Some((id, date)) = self.prefix.peek_back_dated() {
                     best = self.nruns;
-                    best_key = key(p);
+                    best_key = (date, id);
                 }
                 for i in 0..self.nruns {
-                    if let Some(t) = self.runs[i].last() {
-                        let k = key(t);
+                    if let Some(t) = self.runs[i].peek_back() {
+                        let k = key(&t);
                         if best == NO_LANE || k > best_key {
                             second = best_key;
                             best = i;
@@ -1710,17 +1876,23 @@ impl Iterator for RecentWalk<'_> {
                 self.cur = best;
                 self.bound = second;
             }
-            let on_prefix = self.cur == self.nruns;
-            let head = if on_prefix { self.prefix.last() } else { self.runs[self.cur].last() };
-            match head {
-                Some(&e) if key(&e) >= self.bound => {
-                    if on_prefix {
-                        self.prefix = &self.prefix[..self.prefix.len() - 1];
+            if self.cur == self.nruns {
+                // Draining the prefix lane: commit-free decode, no MVCC.
+                match self.prefix.peek_back_dated() {
+                    Some((id, date)) if (date, id) >= self.bound => {
+                        self.prefix.advance_back();
                         self.fast += 1;
-                        return Some((e.id, e.date));
+                        return Some((id, date));
                     }
-                    let r = self.runs[self.cur];
-                    self.runs[self.cur] = &r[..r.len() - 1];
+                    _ => {
+                        self.cur = NO_LANE;
+                        continue;
+                    }
+                }
+            }
+            match self.runs[self.cur].peek_back() {
+                Some(e) if key(&e) >= self.bound => {
+                    self.runs[self.cur].advance_back();
                     if e.commit == BULK_TS {
                         self.fast += 1;
                         return Some((e.id, e.date));
@@ -1737,8 +1909,8 @@ impl Iterator for RecentWalk<'_> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let tail: usize = self.runs[..self.nruns].iter().map(|r| r.len()).sum();
-        (self.prefix.len(), Some(self.prefix.len() + tail))
+        let tail: usize = self.runs[..self.nruns].iter().map(|r| r.remaining()).sum();
+        (self.prefix.remaining(), Some(self.prefix.remaining() + tail))
     }
 }
 
@@ -1809,6 +1981,11 @@ impl Snapshot<'_> {
     /// Messages authored by `id`, ascending by creation date.
     pub fn messages_of(&self, id: PersonId) -> Vec<Dated> {
         self.view().collect(self.store.tables.person_messages.get(id.index()))
+    }
+
+    /// Posts (no comments) authored by `id`, ascending by creation date.
+    pub fn posts_of(&self, id: PersonId) -> Vec<Dated> {
+        self.view().collect(self.store.tables.person_posts.get(id.index()))
     }
 
     /// The up-to-`k` most recent messages of `id` created at or before
@@ -1942,6 +2119,14 @@ impl PinnedSnapshot<'_> {
         self.view().iter(self.tables.person_messages.get(id.index()))
     }
 
+    /// Posts (no comments) authored by `id`, ascending by date — the
+    /// covering index behind the Q6/Q10 circle scans: every entry is a
+    /// visible post, so consumers skip the per-message row probe that a
+    /// `messages_of_iter` + reply filter would pay.
+    pub fn posts_of_iter(&self, id: PersonId) -> DatedIter<'_> {
+        self.view().iter(self.tables.person_posts.get(id.index()))
+    }
+
     /// Posts in forum `id`, ascending by date — zero-allocation on
     /// bulk-only lists.
     pub fn posts_in_forum_iter(&self, id: ForumId) -> DatedIter<'_> {
@@ -1993,6 +2178,11 @@ impl PinnedSnapshot<'_> {
     /// Messages authored by `id`, ascending by creation date.
     pub fn messages_of(&self, id: PersonId) -> Vec<Dated> {
         self.view().collect(self.tables.person_messages.get(id.index()))
+    }
+
+    /// Posts (no comments) authored by `id`, ascending by creation date.
+    pub fn posts_of(&self, id: PersonId) -> Vec<Dated> {
+        self.view().collect(self.tables.person_posts.get(id.index()))
     }
 
     /// The up-to-`k` most recent messages of `id` created at or before
@@ -2164,18 +2354,32 @@ mod tests {
             let p = tail.published_len();
             assert_eq!(p, i + 1);
             for q in 1..=p {
-                let mut runs = [&[][..]; MAX_RUNS];
-                let n = tail.decompose(q, &mut runs);
-                assert_eq!(n, q.count_ones() as usize, "one run per set bit of {q}");
+                let mut lanes = [None; MAX_RUNS];
+                let n = tail.decompose(q, &mut lanes);
+                // One run per set bit at or above the base level, one
+                // raw single lane per sub-base entry.
+                let base_mask = (1usize << LADDER_BASE) - 1;
+                let expect = (q & !base_mask).count_ones() as usize + (q & base_mask);
+                assert_eq!(n, expect, "lane count for {q}");
+                // Decode every lane (single raw slot or compact run) and
+                // check sortedness and exact coverage of the first q
+                // entries.
+                let decoded: Vec<Vec<Entry>> = lanes[..n]
+                    .iter()
+                    .map(|lane| match lane.expect("decompose fills the first n lanes") {
+                        LaneSrc::Single(e) => vec![*e],
+                        LaneSrc::Run(r) => r.to_vec(),
+                    })
+                    .collect();
                 let mut covered = 0usize;
-                for r in &runs[..n] {
+                for r in &decoded {
                     assert!(r.windows(2).all(|w| key(&w[0]) <= key(&w[1])), "run unsorted");
                     covered += r.len();
                 }
                 assert_eq!(covered, q, "decomposition of {q} must cover it exactly");
                 // Together the runs hold exactly the first q raw entries.
                 let mut ids: Vec<u64> =
-                    runs[..n].iter().flat_map(|r| r.iter().map(|e| e.id)).collect();
+                    decoded.iter().flat_map(|r| r.iter().map(|e| e.id)).collect();
                 ids.sort_unstable();
                 assert_eq!(ids, (0..q as u64).collect::<Vec<_>>());
             }

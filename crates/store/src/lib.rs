@@ -14,6 +14,7 @@
 //! the index set is designed around the Interactive workload's "most
 //! recent N before date" access patterns (see [`graph`]).
 
+mod compact;
 pub mod counters;
 pub mod graph;
 mod loader;
@@ -21,6 +22,7 @@ pub mod mvcc;
 pub mod stats;
 pub mod wal;
 
+pub use compact::set_uncompressed_runs;
 pub use counters::StoreCounters;
 pub use graph::{
     Dated, DatedIter, MessageMeta, MessageRow, PinnedSnapshot, RecentWalk, RecoveryReport,

@@ -47,6 +47,7 @@ struct Plan {
     messages: usize,
     knows: Vec<u32>,
     person_messages: Vec<u32>,
+    person_posts: Vec<u32>,
     person_forums: Vec<u32>,
     person_likes: Vec<u32>,
     forum_posts: Vec<u32>,
@@ -81,6 +82,7 @@ fn plan(ds: &Dataset, cut: SimTime) -> Plan {
         bump(&mut s.persons, i);
         ensure(&mut s.knows, i);
         ensure(&mut s.person_messages, i);
+        ensure(&mut s.person_posts, i);
         ensure(&mut s.person_forums, i);
         ensure(&mut s.person_likes, i);
     }
@@ -101,6 +103,7 @@ fn plan(ds: &Dataset, cut: SimTime) -> Plan {
     for p in ds.posts.iter().filter(|p| p.creation_date <= cut) {
         tick(&mut s.forum_posts, p.forum.index());
         tick(&mut s.person_messages, p.author.index());
+        tick(&mut s.person_posts, p.author.index());
         let i = p.id.index();
         bump(&mut s.messages, i);
         ensure(&mut s.message_replies, i);
@@ -136,6 +139,7 @@ struct Shard {
     messages: Vec<Option<Versioned<MessageRow>>>,
     knows: Vec<Vec<Entry>>,
     person_messages: Vec<Vec<Entry>>,
+    person_posts: Vec<Vec<Entry>>,
     forum_posts: Vec<Vec<Entry>>,
     forum_members: Vec<Vec<Entry>>,
     person_forums: Vec<Vec<Entry>>,
@@ -158,6 +162,7 @@ fn build_shard(ds: &Dataset, cut: SimTime, s: &Plan, threads: usize, t: usize) -
     let persons_r = range_of(s.persons, threads, t);
     let knows_r = range_of(s.knows.len(), threads, t);
     let person_messages_r = range_of(s.person_messages.len(), threads, t);
+    let person_posts_r = range_of(s.person_posts.len(), threads, t);
     let person_forums_r = range_of(s.person_forums.len(), threads, t);
     let person_likes_r = range_of(s.person_likes.len(), threads, t);
     let forums_r = range_of(s.forums, threads, t);
@@ -173,6 +178,7 @@ fn build_shard(ds: &Dataset, cut: SimTime, s: &Plan, threads: usize, t: usize) -
         messages: vec![None; messages_r.len()],
         knows: with_caps(&s.knows[knows_r.clone()]),
         person_messages: with_caps(&s.person_messages[person_messages_r.clone()]),
+        person_posts: with_caps(&s.person_posts[person_posts_r.clone()]),
         forum_posts: with_caps(&s.forum_posts[forum_posts_r.clone()]),
         forum_members: with_caps(&s.forum_members[forum_members_r.clone()]),
         person_forums: with_caps(&s.person_forums[person_forums_r.clone()]),
@@ -221,6 +227,9 @@ fn build_shard(ds: &Dataset, cut: SimTime, s: &Plan, threads: usize, t: usize) -
             sh.person_messages[a - person_messages_r.start]
                 .push(entry(p.creation_date, p.id.raw()));
         }
+        if person_posts_r.contains(&a) {
+            sh.person_posts[a - person_posts_r.start].push(entry(p.creation_date, p.id.raw()));
+        }
         let i = p.id.index();
         if messages_r.contains(&i) {
             sh.messages[i - messages_r.start] =
@@ -262,6 +271,7 @@ fn build_shard(ds: &Dataset, cut: SimTime, s: &Plan, threads: usize, t: usize) -
         .knows
         .iter_mut()
         .chain(sh.person_messages.iter_mut())
+        .chain(sh.person_posts.iter_mut())
         .chain(sh.forum_posts.iter_mut())
         .chain(sh.forum_members.iter_mut())
         .chain(sh.person_forums.iter_mut())
@@ -312,6 +322,11 @@ fn install_shard(tables: &Tables, sh: Shard, s: &Plan, threads: usize, t: usize)
         &tables.person_messages,
         range_of(s.person_messages.len(), threads, t).start,
         sh.person_messages,
+    );
+    put_lists(
+        &tables.person_posts,
+        range_of(s.person_posts.len(), threads, t).start,
+        sh.person_posts,
     );
     put_lists(&tables.forum_posts, range_of(s.forum_posts.len(), threads, t).start, sh.forum_posts);
     put_lists(
@@ -372,6 +387,7 @@ pub(crate) fn build_into(tables: &Tables, ds: &Dataset, cut: SimTime, threads: u
     tables.messages.bump(s.messages);
     tables.knows.bump(s.knows.len());
     tables.person_messages.bump(s.person_messages.len());
+    tables.person_posts.bump(s.person_posts.len());
     tables.forum_posts.bump(s.forum_posts.len());
     tables.forum_members.bump(s.forum_members.len());
     tables.person_forums.bump(s.person_forums.len());

@@ -385,6 +385,93 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Differential guard for the compact run format: the store's read
+    /// path (anchor binary search + varint block decode) is pointwise
+    /// equal to an uncompressed oracle assembled straight from the
+    /// dataset and the applied update prefix — plain `(date, id)`-sorted
+    /// Vecs, the pre-compact representation — without ever touching the
+    /// store. Covers the two largest index families (`knows`,
+    /// `person_messages`) forward and the full newest-first bounded walk
+    /// backward, on stores mixing bulk runs with versioned commits.
+    #[test]
+    fn compact_runs_match_uncompressed_oracle(
+        prefix_pct in 0u32..=100,
+        day_offset in 0i64..1_096,
+    ) {
+        use std::collections::HashMap;
+
+        let (ds, stream) = mixed_dataset();
+        let store = Store::new();
+        store.bulk_load(ds);
+        let applied = stream.len() * prefix_pct as usize / 100;
+        for u in &stream[..applied] {
+            store.apply(&u.op).unwrap();
+        }
+
+        type Lists = HashMap<u64, Vec<(SimTime, u64)>>;
+        fn edge(knows: &mut Lists, k: &Knows) {
+            knows.entry(k.a.raw()).or_default().push((k.creation_date, k.b.raw()));
+            knows.entry(k.b.raw()).or_default().push((k.creation_date, k.a.raw()));
+        }
+        let split = ds.config.update_split;
+        let mut knows: Lists = HashMap::new();
+        let mut msgs: Lists = HashMap::new();
+        // Bulk part: everything the loader takes (created at or before the
+        // update split)...
+        for k in ds.knows.iter().filter(|k| k.creation_date <= split) {
+            edge(&mut knows, k);
+        }
+        for p in ds.posts.iter().filter(|p| p.creation_date <= split) {
+            msgs.entry(p.author.raw()).or_default().push((p.creation_date, p.id.raw()));
+        }
+        for c in ds.comments.iter().filter(|c| c.creation_date <= split) {
+            msgs.entry(c.author.raw()).or_default().push((c.creation_date, c.id.raw()));
+        }
+        // ... plus exactly the applied update prefix.
+        for u in &stream[..applied] {
+            match &u.op {
+                UpdateOp::AddFriendship(k) => edge(&mut knows, k),
+                UpdateOp::AddPost(p) => {
+                    msgs.entry(p.author.raw()).or_default().push((p.creation_date, p.id.raw()));
+                }
+                UpdateOp::AddComment(c) => {
+                    msgs.entry(c.author.raw()).or_default().push((c.creation_date, c.id.raw()));
+                }
+                _ => {}
+            }
+        }
+        for list in knows.values_mut().chain(msgs.values_mut()) {
+            list.sort_unstable();
+        }
+
+        let snap = store.pinned();
+        let max_date = SimTime(SimTime::SIM_START.0 + day_offset * 86_400_000);
+        let as_dated = |list: &[(SimTime, u64)]| -> Vec<(u64, SimTime)> {
+            list.iter().map(|&(d, id)| (id, d)).collect()
+        };
+        for p in 0..snap.person_slots() as u64 {
+            let id = PersonId(p);
+            let exp_knows = knows.get(&p).map(|v| &v[..]).unwrap_or(&[]);
+            let exp_msgs = msgs.get(&p).map(|v| &v[..]).unwrap_or(&[]);
+            prop_assert_eq!(snap.friends(id), as_dated(exp_knows));
+            prop_assert_eq!(snap.messages_of_iter(id).collect::<Vec<_>>(), as_dated(exp_msgs));
+            // Bounded newest-first walk vs the oracle's reversed prefix —
+            // this exercises the anchor seek (`upper_bound_date`) and the
+            // backward block decode at every list length and bound.
+            let end = exp_msgs.partition_point(|&(d, _)| d <= max_date);
+            let expected: Vec<(u64, SimTime)> =
+                exp_msgs[..end].iter().rev().map(|&(d, id)| (id, d)).collect();
+            prop_assert_eq!(
+                snap.recent_messages_walk(id, max_date).collect::<Vec<_>>(),
+                expected
+            );
+        }
+    }
+}
+
 /// Highest entity id used by [`mixed_dataset`] plus one: synthetic ops
 /// offset their ids past this floor so they can never collide with (or
 /// depend on) bulk-loaded entities.
