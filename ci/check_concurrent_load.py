@@ -13,11 +13,15 @@ Three checks, run by the CI perf-smoke job after `ext_concurrent_load`:
    (`open_conns`, which is 0 for this bench: it holds no idle
    connections). Drift here is exactly the churn leak this PR fixes.
 
-3. Concurrency does not collapse throughput: read-heavy QPS at
-   COMPARE_CONNS connections must be at least MIN_QPS_RATIO of QPS at 1
-   connection. The readiness loop must multiplex connections, not
-   serialize them; the small tolerance absorbs scheduler noise on
-   single-core CI hosts.
+3. Concurrency does not collapse throughput — and, where the hardware can
+   show it, actually scales. On a host with at least SCALING_HW_THREADS
+   hardware threads, read-heavy QPS at COMPARE_CONNS connections must be
+   at least SCALING_QPS_RATIO of QPS at 1 connection: the readiness loop
+   feeds a worker pool, so independent reads on independent connections
+   must run concurrently, not merely avoid collapse. On smaller hosts
+   (single-core CI runners) real scaling is physically impossible and the
+   floor falls back to MIN_QPS_RATIO — multiplexing must still not
+   serialize or thrash.
 
 Exit code 0 = all claims hold; 1 = a guard tripped.
 
@@ -29,6 +33,8 @@ import sys
 
 COMPARE_CONNS = 16
 MIN_QPS_RATIO = 0.9
+SCALING_HW_THREADS = 4
+SCALING_QPS_RATIO = 1.25
 
 
 def main(path):
@@ -69,18 +75,23 @@ def main(path):
                 f"levels needed for the throughput guard"
             )
         else:
+            hw_threads = doc.get("hw_threads", 1)
+            if hw_threads >= SCALING_HW_THREADS:
+                floor, regime = SCALING_QPS_RATIO, f"{hw_threads} hw threads: scaling floor"
+            else:
+                floor, regime = MIN_QPS_RATIO, f"{hw_threads} hw thread(s): no-collapse floor"
             qps_1 = by_conns[1]["qps"]
             qps_n = by_conns[COMPARE_CONNS]["qps"]
-            if qps_n < MIN_QPS_RATIO * qps_1:
+            if qps_n < floor * qps_1:
                 failures.append(
-                    f"read_heavy QPS collapsed under concurrency: "
+                    f"read_heavy QPS under concurrency: "
                     f"{qps_n:.0f} at {COMPARE_CONNS} conns vs {qps_1:.0f} at 1 "
-                    f"(floor {MIN_QPS_RATIO:.0%})"
+                    f"({regime} {floor:.0%})"
                 )
             else:
                 print(
                     f"OK: read_heavy QPS {qps_n:.0f} at {COMPARE_CONNS} conns vs "
-                    f"{qps_1:.0f} at 1 (floor {MIN_QPS_RATIO:.0%})"
+                    f"{qps_1:.0f} at 1 ({regime} {floor:.0%})"
                 )
 
     if failures:

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Guard the claims in BENCH_sharded.json (stdlib only).
+
+Run by the CI perf-smoke job after `ext_sharded`, which sweeps the same
+read slice over 1, 2, and 4 shard servers behind the ShardedConnector:
+
+1. Zero errors: every level of every mix must report `errors == 0`. The
+   router verifies shard identity at connect and correlation ids on every
+   reply, so a single error means a request was dropped, misrouted, or
+   mis-correlated.
+
+2. Leak guard, per shard: after the windows finish, each shard server's
+   `accepted - closed` may not drift past the connections the router
+   still holds open on it. Drift means the shard leaked churned
+   connections.
+
+3. Every shard serves work: a level's per-shard request counts must all
+   be positive — point ops spread over shards by id range, scatters hit
+   every shard, so a silent shard means routing is broken.
+
+4. The router is near-free on routed point reads. In the `routed_reads`
+   mix every op crosses the wire exactly once regardless of shard count,
+   so 2-shard aggregate QPS must hold at least MIN_ROUTER_RATIO of
+   single-shard QPS even on a one-core host. The ratio is taken from the
+   best *matched round*: the bench interleaves the levels' timed windows
+   round-robin, so comparing round r of each level cancels the
+   background-load drift a cross-time ratio would absorb.
+
+5. Real scaling where the hardware can show it: on a host with at least
+   SCALING_HW_THREADS hardware threads, `routed_reads` 2-shard QPS must
+   reach SCALING_RATIO of single-shard — N shards put N event loops and
+   worker pools behind the same workload. On smaller hosts the levels
+   are published with `scaling_valid: false` and only the no-collapse
+   floor (4) applies; `scatter_heavy` documents the ~N-fold fan-out cost
+   of scattered reads and is never held to a scaling floor, only to
+   checks 1-3.
+
+Exit code 0 = all claims hold; 1 = a guard tripped.
+
+Usage: python3 ci/check_sharded.py BENCH_sharded.json
+"""
+
+import json
+import sys
+
+MIN_ROUTER_RATIO = 0.9
+SCALING_HW_THREADS = 4
+SCALING_RATIO = 1.2
+
+
+def best_matched_ratio(base_level, level):
+    """Best over rounds of level-qps / base-qps, rounds running back to back."""
+    pairs = list(zip(base_level["round_qps"], level["round_qps"]))
+    if not pairs:
+        return None
+    return max(n / b for b, n in pairs if b > 0)
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "ext_sharded":
+        print(f"FAIL: {path} is not an ext_sharded report")
+        return 1
+
+    failures = []
+    levels_checked = 0
+
+    for mix in doc["mixes"]:
+        name = mix["mix"]
+        for level in mix["levels"]:
+            levels_checked += 1
+            shards = level["shards"]
+            where = f"{name} shards={shards}"
+            if level["errors"] != 0:
+                failures.append(
+                    f"{where}: {level['errors']} errors across {level['total_ops']} ops"
+                )
+            if len(level["per_shard"]) != shards:
+                failures.append(
+                    f"{where}: disclosure covers {len(level['per_shard'])} shards"
+                )
+            for s in level["per_shard"]:
+                drift = s["accepted"] - s["closed"]
+                if drift > s["open_conns"]:
+                    failures.append(
+                        f"{where} shard {s['shard']}: accepted-closed drift {drift} "
+                        f"exceeds live connections {s['open_conns']} — connection leak"
+                    )
+                if s["requests"] == 0:
+                    failures.append(
+                        f"{where} shard {s['shard']}: served zero requests — "
+                        f"routing never reached it"
+                    )
+
+    routed = next((m for m in doc["mixes"] if m["mix"] == "routed_reads"), None)
+    if routed is None:
+        failures.append("routed_reads mix missing from report")
+    else:
+        by_shards = {lvl["shards"]: lvl for lvl in routed["levels"]}
+        if 1 not in by_shards or 2 not in by_shards:
+            failures.append(
+                "routed_reads sweep lacks the 1 and 2 shard levels needed "
+                "for the router-overhead guard"
+            )
+        else:
+            hw_threads = doc.get("hw_threads", 1)
+            if hw_threads >= SCALING_HW_THREADS:
+                floor, regime = SCALING_RATIO, f"{hw_threads} hw threads: scaling floor"
+            else:
+                floor, regime = MIN_ROUTER_RATIO, (
+                    f"{hw_threads} hw thread(s): router-overhead floor"
+                )
+            ratio = best_matched_ratio(by_shards[1], by_shards[2])
+            if ratio is None:
+                failures.append("routed_reads levels carry no matched rounds")
+            elif ratio < floor:
+                failures.append(
+                    f"routed_reads 2-shard QPS fell to {ratio:.2f}x of "
+                    f"single-shard ({regime} {floor:.0%})"
+                )
+            else:
+                print(
+                    f"OK: routed_reads 2-shard QPS {ratio:.2f}x of single-shard "
+                    f"({regime} {floor:.0%})"
+                )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"OK: {levels_checked} levels, zero errors, no leaks, every shard served")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1]))

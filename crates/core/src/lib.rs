@@ -16,6 +16,7 @@ pub mod error;
 pub mod id;
 pub mod rng;
 pub mod schema;
+pub mod shard;
 pub mod time;
 pub mod update;
 

@@ -1,0 +1,124 @@
+//! Horizontal partitioning of the id spaces across N shard processes.
+//!
+//! The paper's driver is built to drive a distributed SUT: update streams
+//! are partitioned and the GCT exists precisely so dependent updates stay
+//! ordered across partitions (§4.2). [`ShardMap`] is the pure routing
+//! function both sides share — the driver's `ShardedConnector` computes it
+//! to route operations, and every `snb serve --shard i/N` process computes
+//! the identical map to bulk-load only its slice. There is no lookup table
+//! to distribute and nothing to resize: ownership is a function of the id.
+//!
+//! Ids are assigned densely in creation order (bulk entities first, then
+//! update-era entities past the bulk ceiling), so plain modulo would work —
+//! but contiguous *ranges* keep a shard's slice of each `SegVec`-backed
+//! table dense and give range scans locality. [`ShardMap`] therefore uses
+//! block-cyclic ranges: contiguous blocks of [`BLOCK`] ids assigned
+//! round-robin, which spreads both the bulk id range and the update-era
+//! tail evenly without coordination.
+//!
+//! What partitions and what replicates is a property of the workload, not
+//! of this map (see DESIGN.md "Sharding"): persons and the friendship
+//! graph are replicated (every complex read traverses them; they are a
+//! small fraction of storage per the paper's Table 3), while forums and
+//! their activity trees — memberships, posts, comments, likes — partition
+//! by **forum** id range. A forum's discussion trees are causally
+//! self-contained ([`crate::update::StreamKey`] relies on the same fact),
+//! so every foreign key of a partitioned row lands on its own shard.
+
+use crate::{ForumId, PersonId};
+
+/// Ids per block: contiguous runs of this many ids share a shard.
+pub const BLOCK: u64 = 64;
+
+/// The pure id → shard routing function, identical in every process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: u32,
+}
+
+impl ShardMap {
+    /// A map over `shards` shards (at least 1).
+    pub fn new(shards: u32) -> ShardMap {
+        ShardMap { shards: shards.max(1) }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Shard owning a raw id in any dense id space.
+    pub fn shard_of(&self, id: u64) -> u32 {
+        ((id / BLOCK) % self.shards as u64) as u32
+    }
+
+    /// Shard a person-anchored point op routes to. Person rows are
+    /// replicated, so any shard *could* answer — routing by id range
+    /// spreads the load deterministically.
+    pub fn shard_of_person(&self, id: PersonId) -> u32 {
+        self.shard_of(id.raw())
+    }
+
+    /// Shard owning a forum and its entire activity tree.
+    pub fn shard_of_forum(&self, id: ForumId) -> u32 {
+        self.shard_of(id.raw())
+    }
+
+    /// Whether `shard` owns this forum's activity tree.
+    pub fn owns_forum(&self, id: ForumId, shard: u32) -> bool {
+        self.shard_of(id.raw()) == shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let map = ShardMap::new(1);
+        for id in [0, 1, 63, 64, 1_000_000] {
+            assert_eq!(map.shard_of(id), 0);
+        }
+    }
+
+    #[test]
+    fn blocks_are_contiguous_and_cyclic() {
+        let map = ShardMap::new(4);
+        // Whole blocks map to one shard.
+        for id in 0..BLOCK {
+            assert_eq!(map.shard_of(id), 0);
+            assert_eq!(map.shard_of(BLOCK + id), 1);
+            assert_eq!(map.shard_of(2 * BLOCK + id), 2);
+            assert_eq!(map.shard_of(3 * BLOCK + id), 3);
+            assert_eq!(map.shard_of(4 * BLOCK + id), 0, "cycle wraps");
+        }
+    }
+
+    #[test]
+    fn dense_ids_balance_within_one_block() {
+        let map = ShardMap::new(3);
+        let n = 10_000u64;
+        let mut counts = [0u64; 3];
+        for id in 0..n {
+            counts[map.shard_of(id) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= BLOCK, "{counts:?}");
+    }
+
+    #[test]
+    fn every_id_has_exactly_one_owner() {
+        let map = ShardMap::new(5);
+        for id in 0..1000 {
+            let owner = map.shard_of_forum(ForumId(id));
+            let owners = (0..5).filter(|&s| map.owns_forum(ForumId(id), s)).collect::<Vec<_>>();
+            assert_eq!(owners, vec![owner]);
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        assert_eq!(ShardMap::new(0).shards(), 1);
+    }
+}

@@ -113,6 +113,18 @@ impl Dataset {
         self.message_index[message.index()].1
     }
 
+    /// Every bulk message's owning forum, dense by message id. A sharded
+    /// client seeds its routing directory from this: likes name only a
+    /// message, so routing them to the shard owning the message's forum
+    /// tree needs the same message → forum lookup the update-stream
+    /// builder uses for [`snb_core::update::StreamKey`].
+    pub fn message_routes(&self) -> impl Iterator<Item = (MessageId, ForumId)> + '_ {
+        self.message_index
+            .iter()
+            .enumerate()
+            .map(|(i, &(forum, _))| (MessageId(i as u64), ForumId(forum as u64)))
+    }
+
     /// Total message count.
     pub fn message_count(&self) -> usize {
         self.message_index.len()

@@ -8,11 +8,13 @@
 //! experiment (Table 5).
 
 use snb_core::update::UpdateOp;
-use snb_core::{MessageId, PersonId, SnbResult};
+use snb_core::{MessageId, PersonId, SimTime, SnbError, SnbResult};
 use snb_obs::HistogramSnapshot;
 use snb_queries::params::{ComplexQuery, ShortQuery};
-use snb_queries::{complex, short, Engine};
+use snb_queries::sharded::Partial;
+use snb_queries::{complex, sharded, short, Engine};
 use snb_store::Store;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -62,6 +64,22 @@ pub struct OpOutcome {
     pub seed_message: Option<MessageId>,
 }
 
+/// A shard's reply to a scattered read: the mergeable partial result plus
+/// the shard-local walk-seed candidate — the most recent message the
+/// query's anchor person authored *on this shard*, with its creation
+/// date. A sharded router takes the `(date, id)`-max candidate across
+/// shards, which reproduces exactly the seed a single-process
+/// [`StoreConnector`] derives (`recent_messages_of` walks newest-first
+/// under the same `(date, id)` order), so the driver's short-read walk is
+/// deployment-independent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialOutcome {
+    /// The shard-local partial result for the client-side merge.
+    pub partial: Partial,
+    /// This shard's walk-seed candidate for the op's anchor person.
+    pub seed: Option<(MessageId, SimTime)>,
+}
+
 /// An execution target.
 pub trait Connector: Send + Sync {
     /// Execute one operation to completion.
@@ -80,6 +98,51 @@ pub trait Connector: Send + Sync {
     fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
         Vec::new()
     }
+
+    /// Execute the shard-local half of a scatterable read and return its
+    /// [`Partial`] for a client-side merge (see `snb_queries::sharded`),
+    /// plus this shard's walk-seed candidate. Only meaningful on targets
+    /// that hold a shard (or the whole graph); the default refuses so
+    /// non-sharded connectors stay oblivious.
+    fn execute_partial(&self, op: &Operation) -> SnbResult<PartialOutcome> {
+        let _ = op;
+        Err(SnbError::Config("connector does not support partial execution".into()))
+    }
+
+    /// High-water mark (creation date, millis) of the *replicated* updates
+    /// this target has applied — AddPerson and AddFriendship, the rows
+    /// every shard must hold before dependent operations touch them. A
+    /// sharded driver compares each shard's horizon against the updates it
+    /// broadcast to verify the GCT dependency-visibility invariant.
+    /// Default: 0 (nothing replicated, nothing to verify).
+    fn gct_horizon(&self) -> i64 {
+        0
+    }
+}
+
+/// Shared connectors delegate: callers that must keep a handle after the
+/// run (e.g. for a post-run GCT verification RPC) can hand the driver an
+/// `Arc` of the same instance.
+impl<T: Connector + ?Sized> Connector for Arc<T> {
+    fn execute(&self, op: &Operation) -> SnbResult<OpOutcome> {
+        (**self).execute(op)
+    }
+
+    fn counters(&self) -> Vec<(String, u64)> {
+        (**self).counters()
+    }
+
+    fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        (**self).histograms()
+    }
+
+    fn execute_partial(&self, op: &Operation) -> SnbResult<PartialOutcome> {
+        (**self).execute_partial(op)
+    }
+
+    fn gct_horizon(&self) -> i64 {
+        (**self).gct_horizon()
+    }
 }
 
 /// Connector running against the in-workspace store.
@@ -94,12 +157,15 @@ pub trait Connector: Send + Sync {
 pub struct StoreConnector {
     store: Arc<Store>,
     engine: Engine,
+    /// Max creation date of applied replicated updates (AddPerson /
+    /// AddFriendship) — the value [`Connector::gct_horizon`] reports.
+    replicated_horizon: AtomicI64,
 }
 
 impl StoreConnector {
     /// Wrap a store; complex reads run on the given engine.
     pub fn new(store: Arc<Store>, engine: Engine) -> StoreConnector {
-        StoreConnector { store, engine }
+        StoreConnector { store, engine, replicated_horizon: AtomicI64::new(0) }
     }
 
     /// The wrapped store.
@@ -129,19 +195,29 @@ impl Connector for StoreConnector {
         match op {
             Operation::Update(u) => {
                 self.store.apply(u)?;
+                if matches!(u, UpdateOp::AddPerson(_) | UpdateOp::AddFriendship(_)) {
+                    self.replicated_horizon.fetch_max(u.creation_date().0, Ordering::Release);
+                }
                 Ok(OpOutcome { rows: 1, ..Default::default() })
             }
             Operation::Complex(q) => {
                 let snap = self.store.pinned();
                 let rows = complex::run_complex(&snap, self.engine, q);
-                // Seed the random walk with the query's anchor person and
-                // one of their recent messages.
+                // Seed the random walk with the query's anchor person and —
+                // for message-touching queries only — one of their recent
+                // messages. Q1/Q11/Q13 read persons and knows alone, so
+                // they seed no message: those tables are replicated on
+                // every shard, which keeps the walk identical whether the
+                // query ran against the whole graph or one shard's slice.
                 let person = anchor_person(q);
-                let seed_message = person.and_then(|p| {
-                    snap.recent_messages_of(p, snb_core::SimTime(i64::MAX), 1)
-                        .first()
-                        .map(|&(m, _)| MessageId(m))
-                });
+                let seed_message = match q {
+                    ComplexQuery::Q1(_) | ComplexQuery::Q11(_) | ComplexQuery::Q13(_) => None,
+                    _ => person.and_then(|p| {
+                        snap.recent_messages_of(p, snb_core::SimTime(i64::MAX), 1)
+                            .first()
+                            .map(|&(m, _)| MessageId(m))
+                    }),
+                };
                 Ok(OpOutcome { rows, seed_person: person, seed_message })
             }
             Operation::Short(s) => {
@@ -170,6 +246,36 @@ impl Connector for StoreConnector {
                 Ok(OpOutcome { rows, seed_person, seed_message })
             }
         }
+    }
+
+    fn execute_partial(&self, op: &Operation) -> SnbResult<PartialOutcome> {
+        let snap = self.store.pinned();
+        let partial = match op {
+            Operation::Complex(q) => sharded::partial(&snap, self.engine, q),
+            Operation::Short(s) => sharded::partial_short(&snap, s).ok_or_else(|| {
+                SnbError::Config(format!("S{} is a point lookup, not scatterable", s.number()))
+            })?,
+            Operation::Update(_) => {
+                return Err(SnbError::Config("updates have no partial execution".into()))
+            }
+        };
+        // The same anchor + recent-message seed `execute` derives, but
+        // over this shard's slice only — the router maxes across shards.
+        let anchor = match op {
+            Operation::Complex(q) => anchor_person(q),
+            Operation::Short(ShortQuery::S2(p)) => Some(*p),
+            _ => None,
+        };
+        let seed = anchor.and_then(|p| {
+            snap.recent_messages_of(p, SimTime(i64::MAX), 1)
+                .first()
+                .map(|&(m, date)| (MessageId(m), date))
+        });
+        Ok(PartialOutcome { partial, seed })
+    }
+
+    fn gct_horizon(&self) -> i64 {
+        self.replicated_horizon.load(Ordering::Acquire)
     }
 }
 

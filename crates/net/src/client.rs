@@ -22,8 +22,8 @@
 
 use crate::codec::{self, Request, Response, NET_MAGIC_V3};
 use crate::metrics::NetMetrics;
-use snb_core::{SnbError, SnbResult};
-use snb_driver::connector::{Connector, OpOutcome, Operation};
+use snb_core::{MessageId, SimTime, SnbError, SnbResult};
+use snb_driver::connector::{Connector, OpOutcome, Operation, PartialOutcome};
 use snb_obs::trace::{self, NameId, SpanData, SpanGuard};
 use snb_obs::HistogramSnapshot;
 use std::io::{Read, Write};
@@ -41,7 +41,9 @@ pub struct NetConfig {
     pub request_timeout: Duration,
     /// Additional dial attempts after a failed connect (0 = fail fast).
     pub connect_retries: u32,
-    /// Sleep before the first retry; doubles per subsequent retry.
+    /// Base sleep before the first retry; the ceiling doubles per
+    /// subsequent retry and each actual sleep is jittered (see
+    /// [`backoff_schedule`]).
     pub retry_backoff: Duration,
 }
 
@@ -107,17 +109,28 @@ impl RemoteConnector {
         match self.request(&payload)? {
             Response::Counters { counters, histograms } => Ok((counters, histograms)),
             Response::Error(e) => Err(e),
-            Response::Outcome(..) => {
-                Err(SnbError::Config("protocol mismatch: outcome reply to counters".into()))
-            }
+            _ => Err(SnbError::Config("protocol mismatch: wrong reply to counters".into())),
         }
     }
 
-    /// Dial with bounded retry + exponential backoff. Only *connecting* is
-    /// retried; requests never are.
+    /// Fetch the server's shard identity and replicated-update horizon via
+    /// the GCT RPC: `(shard_index, shard_count, horizon_millis)`.
+    pub fn remote_gct(&self) -> SnbResult<(u32, u32, i64)> {
+        let mut payload = Vec::new();
+        Request::Gct.encode(&mut payload);
+        match self.request(&payload)? {
+            Response::Gct { shard, shards, horizon } => Ok((shard, shards, horizon)),
+            Response::Error(e) => Err(e),
+            _ => Err(SnbError::Config("protocol mismatch: wrong reply to gct".into())),
+        }
+    }
+
+    /// Dial with bounded retry + jittered exponential backoff. Only
+    /// *connecting* is retried; requests never are.
     fn dial(&self) -> SnbResult<TcpStream> {
-        let mut backoff = self.config.retry_backoff;
-        let mut attempts_left = self.config.connect_retries;
+        let schedule =
+            backoff_schedule(self.config.retry_backoff, self.config.connect_retries, dial_seed());
+        let mut sleeps = schedule.into_iter();
         loop {
             match self.dial_once() {
                 Ok(stream) => {
@@ -129,12 +142,10 @@ impl RemoteConnector {
                 }
                 Err(e) => {
                     self.metrics.errors.inc();
-                    if attempts_left == 0 {
-                        return Err(e);
+                    match sleeps.next() {
+                        Some(delay) => std::thread::sleep(delay),
+                        None => return Err(e),
                     }
-                    attempts_left -= 1;
-                    std::thread::sleep(backoff);
-                    backoff = backoff.saturating_mul(2);
                 }
             }
         }
@@ -213,6 +224,97 @@ impl RemoteConnector {
                 Err(SnbError::Io(e))
             }
         }
+    }
+
+    /// Scatter phase 1: check a connection out and write one framed
+    /// request without waiting for the reply. The caller holds the stream
+    /// and must follow up with [`finish_request`](Self::finish_request) —
+    /// writing to every shard before reading from any overlaps the
+    /// shards' execution. On a write error the connection is dropped
+    /// (poisoned), never returned to the pool.
+    pub(crate) fn start_request(&self, payload: &[u8]) -> SnbResult<(TcpStream, u64)> {
+        let mut stream = self.checkout()?;
+        self.metrics.requests.inc();
+        let corr = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let mut framed = Vec::with_capacity(payload.len() + 8);
+        codec::put_corr(&mut framed, corr);
+        framed.extend_from_slice(payload);
+        match codec::write_frame(&mut stream, &framed) {
+            Ok(n) => {
+                self.metrics.bytes_out.add(n as u64);
+                Ok((stream, corr))
+            }
+            Err(e) => {
+                self.metrics.errors.inc();
+                drop(stream);
+                Err(SnbError::Io(e))
+            }
+        }
+    }
+
+    /// Scatter phase 2: read the response for a request started with
+    /// [`start_request`](Self::start_request). A healthy exchange returns
+    /// the connection to the pool; any transport error poisons it — the
+    /// request reached the server, so it must not be replayed.
+    pub(crate) fn finish_request(&self, mut stream: TcpStream, corr: u64) -> SnbResult<Response> {
+        let result = (|| -> std::io::Result<Response> {
+            let mut frame = Vec::new();
+            let n_in = codec::read_frame(&mut stream, &mut frame)?;
+            self.metrics.bytes_in.add(n_in as u64);
+            let (echoed, body) = codec::take_corr(&frame).ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "response frame too short")
+            })?;
+            if echoed != corr {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("correlation mismatch: sent {corr}, got {echoed}"),
+                ));
+            }
+            Response::decode(body).ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response frame")
+            })
+        })();
+        match result {
+            Ok(response) => {
+                self.checkin(stream);
+                Ok(response)
+            }
+            Err(e) => {
+                self.metrics.errors.inc();
+                drop(stream);
+                Err(SnbError::Io(e))
+            }
+        }
+    }
+}
+
+/// The dial-retry sleep schedule: attempt `i` (0-based) sleeps a uniformly
+/// random duration in `[ceil/2, ceil]` where `ceil = base · 2^i` — the
+/// classic equal-jitter variant of exponential backoff. Deterministic
+/// doubling synchronizes clients that failed together (a restarting server
+/// sees its whole fleet re-dial in lockstep waves); the jitter spreads
+/// each wave over half its window while keeping the exponential envelope,
+/// and the lower bound keeps retry pressure bounded below the
+/// deterministic schedule's.
+pub fn backoff_schedule(base: Duration, retries: u32, seed: u64) -> Vec<Duration> {
+    let mut rng = snb_core::rng::Rng::new(seed);
+    (0..retries)
+        .map(|i| {
+            let ceil = base.saturating_mul(1u32 << i.min(20)).as_nanos().min(u64::MAX as u128);
+            let ceil = ceil as u64;
+            let jittered = ceil / 2 + rng.next_u64() % (ceil / 2 + 1);
+            Duration::from_nanos(jittered)
+        })
+        .collect()
+}
+
+/// Per-dial seed for the backoff jitter: wall-clock derived so two clients
+/// that fail at the same instant still jitter apart (different nanos), and
+/// so repeated dials by one client draw fresh schedules.
+fn dial_seed() -> u64 {
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_nanos() as u64,
+        Err(_) => 0x005e_edba_5e0f_f5e7u64,
     }
 }
 
@@ -403,9 +505,7 @@ impl Connector for RemoteConnector {
                 self.metrics.errors.inc();
                 Err(e)
             }
-            Response::Counters { .. } => {
-                Err(SnbError::Config("protocol mismatch: counters reply to execute".into()))
-            }
+            _ => Err(SnbError::Config("protocol mismatch: wrong reply to execute".into())),
         }
     }
 
@@ -424,5 +524,56 @@ impl Connector for RemoteConnector {
             histograms.extend(remote);
         }
         histograms
+    }
+
+    fn execute_partial(&self, op: &Operation) -> SnbResult<PartialOutcome> {
+        let mut payload = Vec::new();
+        codec::encode_partial_req(op, &mut payload);
+        match self.request(&payload)? {
+            Response::Partial(partial, seed) => Ok(PartialOutcome {
+                partial,
+                seed: seed.map(|(m, date)| (MessageId(m), SimTime(date))),
+            }),
+            Response::Error(e) => {
+                self.metrics.errors.inc();
+                Err(e)
+            }
+            _ => Err(SnbError::Config("protocol mismatch: wrong reply to partial".into())),
+        }
+    }
+
+    fn gct_horizon(&self) -> i64 {
+        self.remote_gct().map(|(_, _, horizon)| horizon).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_stays_inside_the_jitter_envelope() {
+        let base = Duration::from_millis(50);
+        for seed in 0..64 {
+            let schedule = backoff_schedule(base, 6, seed);
+            assert_eq!(schedule.len(), 6);
+            for (i, d) in schedule.iter().enumerate() {
+                let ceil = base * (1u32 << i);
+                assert!(*d >= ceil / 2, "attempt {i} slept {d:?}, below floor {:?}", ceil / 2);
+                assert!(*d <= ceil, "attempt {i} slept {d:?}, above ceiling {ceil:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_actually_jitters() {
+        let a = backoff_schedule(Duration::from_millis(50), 4, 1);
+        let b = backoff_schedule(Duration::from_millis(50), 4, 2);
+        assert_ne!(a, b, "different seeds drew identical schedules");
+    }
+
+    #[test]
+    fn backoff_schedule_is_empty_when_retries_are_disabled() {
+        assert!(backoff_schedule(Duration::from_millis(50), 0, 7).is_empty());
     }
 }

@@ -25,6 +25,7 @@ use snb_queries::params::{
     ComplexQuery, Q10Params, Q11Params, Q12Params, Q13Params, Q14Params, Q1Params, Q2Params,
     Q3Params, Q4Params, Q5Params, Q6Params, Q7Params, Q8Params, Q9Params, ShortQuery,
 };
+use snb_queries::sharded::{GroupRow, MergedRow, Partial};
 use std::io::{self, Read, Write};
 
 /// v2 handshake magic, sent by the client and echoed by the server. The
@@ -70,10 +71,17 @@ pub const MAX_FRAME: usize = 1 << 24;
 // Request tags.
 const REQ_EXECUTE: u8 = 1;
 const REQ_COUNTERS: u8 = 2;
+const REQ_PARTIAL: u8 = 3;
+const REQ_GCT: u8 = 4;
 // Response tags.
 const RESP_OUTCOME: u8 = 1;
 const RESP_ERROR: u8 = 2;
 const RESP_COUNTERS: u8 = 3;
+const RESP_PARTIAL: u8 = 4;
+const RESP_GCT: u8 = 5;
+// Partial class tags.
+const PARTIAL_TOP: u8 = 1;
+const PARTIAL_GROUPS: u8 = 2;
 // Operation class tags.
 const OP_UPDATE: u8 = 1;
 const OP_COMPLEX: u8 = 2;
@@ -96,6 +104,12 @@ pub enum Request {
     Execute(Operation, Option<(u64, u64)>),
     /// Return the SUT's counters merged with the server's net counters.
     Counters,
+    /// Execute the shard-local half of a scatterable read and return its
+    /// partial result for a client-side merge (`snb_queries::sharded`).
+    Partial(Operation),
+    /// Return this shard's identity and replicated-update horizon (the
+    /// GCT dependency-visibility probe — cheap, no execution).
+    Gct,
 }
 
 /// One server-to-client message.
@@ -110,6 +124,18 @@ pub enum Response {
     /// Counters dump plus full histogram snapshots, so a remote run's
     /// disclosure equals an in-process run's.
     Counters { counters: Vec<(String, u64)>, histograms: Vec<(String, HistogramSnapshot)> },
+    /// A shard's partial answer to a scatterable read, plus its
+    /// shard-local walk-seed candidate (message id, creation date millis).
+    Partial(Partial, Option<(u64, i64)>),
+    /// Shard identity plus the replicated-update horizon (millis).
+    Gct {
+        /// This server's shard index.
+        shard: u32,
+        /// Total shards in the deployment the server was launched for.
+        shards: u32,
+        /// Max creation date of applied AddPerson/AddFriendship updates.
+        horizon: i64,
+    },
 }
 
 impl Request {
@@ -117,6 +143,8 @@ impl Request {
         match self {
             Request::Execute(op, trace) => encode_execute(op, *trace, buf),
             Request::Counters => buf.push(REQ_COUNTERS),
+            Request::Partial(op) => encode_partial_req(op, buf),
+            Request::Gct => buf.push(REQ_GCT),
         }
     }
 
@@ -131,10 +159,19 @@ impl Request {
                 Request::Execute(decode_operation(&mut p)?, trace)
             }
             REQ_COUNTERS => Request::Counters,
+            REQ_PARTIAL => Request::Partial(decode_operation(&mut p)?),
+            REQ_GCT => Request::Gct,
             _ => return None,
         };
         p.is_empty().then_some(req)
     }
+}
+
+/// Encode a `Partial` request from a borrowed operation (the sharded
+/// client's scatter path — avoids cloning into a [`Request`]).
+pub fn encode_partial_req(op: &Operation, buf: &mut Vec<u8>) {
+    buf.push(REQ_PARTIAL);
+    encode_operation(op, buf);
 }
 
 /// Encode an `Execute` request from a borrowed operation (the client's hot
@@ -179,6 +216,24 @@ impl Response {
                     put_hist(buf, hist);
                 }
             }
+            Response::Partial(partial, seed) => {
+                buf.push(RESP_PARTIAL);
+                put_partial(buf, partial);
+                match seed {
+                    Some((m, date)) => {
+                        buf.push(1);
+                        put_u64(buf, *m);
+                        put_i64(buf, *date);
+                    }
+                    None => buf.push(0),
+                }
+            }
+            Response::Gct { shard, shards, horizon } => {
+                buf.push(RESP_GCT);
+                put_u64(buf, *shard as u64);
+                put_u64(buf, *shards as u64);
+                put_i64(buf, *horizon);
+            }
         }
     }
 
@@ -215,9 +270,149 @@ impl Response {
                 }
                 Response::Counters { counters, histograms }
             }
+            RESP_PARTIAL => {
+                let partial = get_partial(&mut p)?;
+                let seed = match get_u8(&mut p)? {
+                    0 => None,
+                    1 => Some((get_u64(&mut p)?, get_i64(&mut p)?)),
+                    _ => return None,
+                };
+                Response::Partial(partial, seed)
+            }
+            RESP_GCT => Response::Gct {
+                shard: get_u64(&mut p)? as u32,
+                shards: get_u64(&mut p)? as u32,
+                horizon: get_i64(&mut p)?,
+            },
             _ => return None,
         };
         p.is_empty().then_some(resp)
+    }
+}
+
+// ---- partials ----
+
+/// Partial results ride the wire structurally: merged rows keep their
+/// explicit sort keys, group rows their additive measures. All length
+/// prefixes are sanity-bounded against [`MAX_FRAME`] like every other
+/// variable-length decode here.
+fn put_partial(buf: &mut Vec<u8>, partial: &Partial) {
+    match partial {
+        Partial::Top { limit, rows } => {
+            buf.push(PARTIAL_TOP);
+            put_u64(buf, *limit as u64);
+            put_u64(buf, rows.len() as u64);
+            for row in rows {
+                for k in row.key {
+                    put_i64(buf, k);
+                }
+                put_u64(buf, row.cols.len() as u64);
+                for &c in &row.cols {
+                    put_i64(buf, c);
+                }
+                put_u64(buf, row.text.len() as u64);
+                for t in &row.text {
+                    put_str(buf, t);
+                }
+            }
+        }
+        Partial::Groups { rows, pairs, paths } => {
+            buf.push(PARTIAL_GROUPS);
+            put_u64(buf, rows.len() as u64);
+            for r in rows {
+                put_u64(buf, r.k1);
+                put_u64(buf, r.k2);
+                put_i64(buf, r.a);
+                put_i64(buf, r.b);
+            }
+            put_u64(buf, pairs.len() as u64);
+            for &(a, b) in pairs {
+                put_u64(buf, a);
+                put_u64(buf, b);
+            }
+            put_u64(buf, paths.len() as u64);
+            for path in paths {
+                put_u64(buf, path.len() as u64);
+                for &p in path {
+                    put_u64(buf, p);
+                }
+            }
+        }
+    }
+}
+
+fn get_partial(p: &mut &[u8]) -> Option<Partial> {
+    match get_u8(p)? {
+        PARTIAL_TOP => {
+            let limit = get_u64(p)? as u32;
+            let n = get_u64(p)? as usize;
+            if n > MAX_FRAME / 40 {
+                return None; // 3 key words + 2 lengths minimum per row
+            }
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let key = [get_i64(p)?, get_i64(p)?, get_i64(p)?];
+                let nc = get_u64(p)? as usize;
+                if nc > p.len() / 8 {
+                    return None;
+                }
+                let mut cols = Vec::with_capacity(nc);
+                for _ in 0..nc {
+                    cols.push(get_i64(p)?);
+                }
+                let nt = get_u64(p)? as usize;
+                if nt > p.len() / 8 {
+                    return None;
+                }
+                let mut text = Vec::with_capacity(nt);
+                for _ in 0..nt {
+                    text.push(get_str(p)?);
+                }
+                rows.push(MergedRow { key, cols, text });
+            }
+            Some(Partial::Top { limit, rows })
+        }
+        PARTIAL_GROUPS => {
+            let n = get_u64(p)? as usize;
+            if n > MAX_FRAME / 32 {
+                return None; // 4 words per group row
+            }
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(GroupRow {
+                    k1: get_u64(p)?,
+                    k2: get_u64(p)?,
+                    a: get_i64(p)?,
+                    b: get_i64(p)?,
+                });
+            }
+            let n = get_u64(p)? as usize;
+            if n > MAX_FRAME / 16 {
+                return None; // 2 words per pair
+            }
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                pairs.push((get_u64(p)?, get_u64(p)?));
+            }
+            let n = get_u64(p)? as usize;
+            if n > MAX_FRAME / 8 {
+                return None; // 1 length word minimum per path
+            }
+            let mut paths = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = get_u64(p)? as usize;
+                if len > p.len() / 8 {
+                    return None;
+                }
+                let mut path = Vec::with_capacity(len);
+                for _ in 0..len {
+                    path.push(get_u64(p)?);
+                }
+                paths.push(path);
+            }
+            Some(Partial::Groups { rows, pairs, paths })
+        }
+        _ => None,
     }
 }
 

@@ -30,9 +30,11 @@
 pub mod client;
 pub mod codec;
 pub mod metrics;
+pub mod router;
 pub mod server;
 
 pub use client::{NetConfig, PipelinedClient, RemoteConnector};
 pub use codec::{read_frame, write_frame, Request, Response, MAX_FRAME, NET_MAGIC, NET_MAGIC_V3};
 pub use metrics::NetMetrics;
+pub use router::ShardedConnector;
 pub use server::{Server, ServerConfig};

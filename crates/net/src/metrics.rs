@@ -27,6 +27,14 @@ pub struct NetMetrics {
     /// Requests dispatched to the worker pool whose responses have not yet
     /// been queued for write, across all connections (server only).
     pub pipeline_depth: Gauge,
+    /// Nanoseconds the event-loop thread spent working — accepting,
+    /// reading, parsing, dispatching, flushing — as opposed to blocked in
+    /// the poller (server only). `busy / (busy + idle)` nearing 1 means
+    /// the loop thread itself, not the worker pool, is the bottleneck.
+    pub loop_busy_nanos: Counter,
+    /// Nanoseconds the event-loop thread spent blocked waiting for
+    /// readiness (server only).
+    pub loop_idle_nanos: Counter,
     /// Requests sent (client) or served (server).
     pub requests: Counter,
     /// Failed dial attempts, transport errors, and error responses.
@@ -51,6 +59,8 @@ impl NetMetrics {
             open_conns: Gauge::new(),
             accept_backlog: Gauge::new(),
             pipeline_depth: Gauge::new(),
+            loop_busy_nanos: Counter::detached(),
+            loop_idle_nanos: Counter::detached(),
             requests: Counter::detached(),
             errors: Counter::detached(),
             bytes_in: Counter::detached(),
@@ -77,6 +87,8 @@ impl NetMetrics {
             out.push((name("open_conns"), self.open_conns.get()));
             out.push((name("accept_backlog"), self.accept_backlog.get()));
             out.push((name("pipeline_depth"), self.pipeline_depth.get()));
+            out.push((name("loop_busy_nanos"), self.loop_busy_nanos.get()));
+            out.push((name("loop_idle_nanos"), self.loop_idle_nanos.get()));
         }
         if !self.request_micros.is_empty() {
             out.push((name("request_micros_mean"), self.request_micros.mean() as u64));

@@ -54,11 +54,18 @@ pub struct ServerConfig {
     /// gets no new dispatches and is not read until the queue drains below
     /// it — slow readers stall themselves, not the server.
     pub write_buf_limit: usize,
+    /// This server's shard index (0-based). Single-process deployments
+    /// keep the default `0/1`.
+    pub shard: u32,
+    /// Total shards in the deployment this server belongs to. Reported on
+    /// the Gct RPC and as `net.server.shard_index`/`shard_count` counters
+    /// so a sharded run's full disclosure identifies every participant.
+    pub shards: u32,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
-        ServerConfig { workers: 0, max_pipeline: 64, write_buf_limit: 4 << 20 }
+        ServerConfig { workers: 0, max_pipeline: 64, write_buf_limit: 4 << 20, shard: 0, shards: 1 }
     }
 }
 
@@ -314,6 +321,26 @@ fn serve_request(shared: &Arc<Shared>, corr: Option<u64>, request: Request) -> V
             counters: merged_counters(shared),
             histograms: merged_histograms(shared),
         },
+        Request::Partial(op) => {
+            match catch_unwind(AssertUnwindSafe(|| shared.connector.execute_partial(&op))) {
+                Ok(Ok(out)) => {
+                    Response::Partial(out.partial, out.seed.map(|(m, date)| (m.raw(), date.0)))
+                }
+                Ok(Err(e)) => {
+                    shared.metrics.errors.inc();
+                    Response::Error(e)
+                }
+                Err(_) => {
+                    shared.metrics.errors.inc();
+                    Response::Error(SnbError::Config("SUT panicked during partial".into()))
+                }
+            }
+        }
+        Request::Gct => Response::Gct {
+            shard: shared.config.shard,
+            shards: shared.config.shards,
+            horizon: shared.connector.gct_horizon(),
+        },
     };
     let frame = frame_response(corr, &response);
     shared.metrics.request_micros.record(started.elapsed().as_micros() as u64);
@@ -336,6 +363,11 @@ fn frame_response(corr: Option<u64>, response: &Response) -> Vec<u8> {
 fn merged_counters(shared: &Shared) -> Vec<(String, u64)> {
     let mut counters = shared.connector.counters();
     counters.extend(shared.metrics.snapshot());
+    // Shard identity rides the ordinary counters channel so a sharded
+    // run's full disclosure names every participant without a codec
+    // change (old clients simply see two more counters).
+    counters.push(("net.server.shard_index".to_string(), shared.config.shard as u64));
+    counters.push(("net.server.shard_count".to_string(), shared.config.shards as u64));
     counters
 }
 
@@ -436,11 +468,21 @@ impl EventLoop {
         let mut events = Vec::new();
         loop {
             events.clear();
+            let wait_started = Instant::now();
             if self.shared.poller.wait(&mut events, Some(WAIT_BACKSTOP)).is_err() {
                 // A persistently failing poller must not become a busy
                 // loop; back off and recheck shutdown.
                 std::thread::sleep(Duration::from_millis(10));
             }
+            // Busy/idle split of the loop thread: `wait` time is idle,
+            // everything else (accept, read, parse, dispatch, flush) is
+            // busy. busy/(busy+idle) approaching 1 means the single loop
+            // thread — not the worker pool — is the bottleneck.
+            let busy_started = Instant::now();
+            self.shared
+                .metrics
+                .loop_idle_nanos
+                .add(busy_started.duration_since(wait_started).as_nanos() as u64);
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
@@ -452,6 +494,7 @@ impl EventLoop {
                     self.handle_conn_event(event.key - KEY_BASE, event);
                 }
             }
+            self.shared.metrics.loop_busy_nanos.add(busy_started.elapsed().as_nanos() as u64);
         }
         // Teardown: closing every fd sends FIN/RST, so blocked client
         // reads fail promptly; workers exit via the shutdown flag.

@@ -194,6 +194,52 @@ fn codec_round_trips_every_response_variant() {
     assert_eq!(back_h[0].1.value_at_quantile(0.99), live.value_at_quantile(0.99));
 }
 
+/// The v3 sharding extensions — partial requests, both partial response
+/// shapes, and the GCT RPC — survive the wire losslessly.
+#[test]
+fn codec_round_trips_sharding_frames() {
+    use snb_queries::sharded::{GroupRow, MergedRow, Partial};
+
+    for op in every_complex().into_iter().map(Operation::Complex) {
+        let decoded = request_round_trip(&Request::Partial(op.clone()));
+        let Request::Partial(back) = decoded else { panic!("wrong request variant") };
+        assert_eq!(format!("{op:?}"), format!("{back:?}"));
+    }
+    assert!(matches!(request_round_trip(&Request::Gct), Request::Gct));
+
+    let top = Partial::Top {
+        limit: 20,
+        rows: vec![
+            MergedRow {
+                key: [-5, 3, 0],
+                cols: vec![1, -2, i64::MAX],
+                text: vec!["Käthe".into(), String::new()],
+            },
+            MergedRow { key: [i64::MIN, i64::MAX, 7], cols: vec![], text: vec![] },
+        ],
+    };
+    let groups = Partial::Groups {
+        rows: vec![GroupRow { k1: 9, k2: u64::MAX, a: -4, b: 11 }],
+        pairs: vec![(1, 2), (3, 4)],
+        paths: vec![vec![1, 2, 3], vec![]],
+    };
+    let seeds = [Some((u64::MAX, i64::MIN)), None, Some((7, -3))];
+    for (p, seed) in [top, groups, Partial::Top { limit: 0, rows: vec![] }].into_iter().zip(seeds) {
+        let Response::Partial(back, s) = response_round_trip(&Response::Partial(p.clone(), seed))
+        else {
+            panic!("wrong response variant")
+        };
+        assert_eq!((back, s), (p, seed), "partial + seed must survive the wire losslessly");
+    }
+
+    let Response::Gct { shard, shards, horizon } =
+        response_round_trip(&Response::Gct { shard: 1, shards: 4, horizon: -123 })
+    else {
+        panic!("wrong response variant")
+    };
+    assert_eq!((shard, shards, horizon), (1, 4, -123));
+}
+
 /// Truncated or trailing-garbage payloads must be rejected, and the framing
 /// layer must refuse absurd lengths instead of allocating them.
 #[test]

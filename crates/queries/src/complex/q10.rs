@@ -59,7 +59,7 @@ pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q10Params) -> Vec<Q10R
 }
 
 /// Strict friends-of-friends passing the horoscope restriction.
-fn horoscope_candidates(snap: &PinnedSnapshot<'_>, p: &Q10Params) -> Vec<u64> {
+pub(crate) fn horoscope_candidates(snap: &PinnedSnapshot<'_>, p: &Q10Params) -> Vec<u64> {
     let next_month = if p.month == 12 { 1 } else { p.month + 1 };
     with_scratch(|sx| {
         load_two_hop(snap, sx, p.person);
@@ -83,7 +83,7 @@ fn score_one(common: i64, total: i64) -> i64 {
 /// Intended: per candidate, scan their posts-only covering index — no
 /// per-message row probe just to discard replies (only the tag lookup
 /// touches the message table).
-fn intended(
+pub(crate) fn intended(
     snap: &PinnedSnapshot<'_>,
     cands: &[u64],
     interests: &HashSet<TagId>,
@@ -104,7 +104,7 @@ fn intended(
 }
 
 /// Naive: one full message scan grouping per candidate.
-fn naive(
+pub(crate) fn naive(
     snap: &PinnedSnapshot<'_>,
     cands: &[u64],
     interests: &HashSet<TagId>,

@@ -49,7 +49,7 @@ pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q12Params) -> Vec<Q12R
                 person: PersonId(friend),
                 first_name: person.first_name,
                 last_name: person.last_name,
-                tags: tags.into_iter().collect(),
+                tags: tag_names(&tags),
                 count,
             })
         })
@@ -59,15 +59,27 @@ pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q12Params) -> Vec<Q12R
     rows
 }
 
-type Agg = HashMap<u64, (u32, BTreeSet<String>)>;
+/// Per-friend aggregate: reply count plus the matched tag *ids* (names are
+/// materialized from the global dictionary only when rows are built, so a
+/// sharded merge can union aggregates without shipping strings).
+pub(crate) type Agg = HashMap<u64, (u32, BTreeSet<u64>)>;
+
+/// Sorted tag names for a set of tag ids.
+pub(crate) fn tag_names(tags: &BTreeSet<u64>) -> Vec<String> {
+    let dicts = Dictionaries::global();
+    let mut names: Vec<String> =
+        tags.iter().map(|&t| dicts.tags.tag(t as usize).name.clone()).collect();
+    names.sort();
+    names
+}
 
 /// Count a comment if its direct parent is a *post* tagged inside the class
-/// subtree; collect the matching tag names.
+/// subtree; collect the matching tag ids.
 fn score_comment(
     snap: &PinnedSnapshot<'_>,
     comment: MessageId,
     classes: &HashSet<usize>,
-    entry: &mut (u32, BTreeSet<String>),
+    entry: &mut (u32, BTreeSet<u64>),
 ) {
     let dicts = Dictionaries::global();
     let Some(meta) = snap.message_meta(comment) else { return };
@@ -76,11 +88,11 @@ fn score_comment(
     if pmeta.reply_info.is_some() {
         return; // parent must be a post, not a comment
     }
-    let matched: Vec<String> = snap
+    let matched: Vec<u64> = snap
         .message_tags(parent)
         .iter()
         .filter(|t| classes.contains(&dicts.tags.tag(t.index()).class))
-        .map(|t| dicts.tags.tag(t.index()).name.clone())
+        .map(|t| t.raw())
         .collect();
     if !matched.is_empty() {
         entry.0 += 1;
@@ -89,7 +101,7 @@ fn score_comment(
 }
 
 /// Intended: per friend, scan their messages picking comments.
-fn intended(snap: &PinnedSnapshot<'_>, p: &Q12Params, classes: &HashSet<usize>) -> Agg {
+pub(crate) fn intended(snap: &PinnedSnapshot<'_>, p: &Q12Params, classes: &HashSet<usize>) -> Agg {
     let mut agg: Agg = HashMap::new();
     with_scratch(|sx| {
         load_friends(snap, sx, p.person);
@@ -104,7 +116,7 @@ fn intended(snap: &PinnedSnapshot<'_>, p: &Q12Params, classes: &HashSet<usize>) 
 }
 
 /// Naive: full message scan probing the friend marks.
-fn naive(snap: &PinnedSnapshot<'_>, p: &Q12Params, classes: &HashSet<usize>) -> Agg {
+pub(crate) fn naive(snap: &PinnedSnapshot<'_>, p: &Q12Params, classes: &HashSet<usize>) -> Agg {
     let mut agg: Agg = HashMap::new();
     with_scratch(|sx| {
         load_friends(snap, sx, p.person);

@@ -59,7 +59,7 @@ fn pair_weight(
 }
 
 /// Weight of `from`'s comments on `to`'s messages.
-fn directed_weight(snap: &PinnedSnapshot<'_>, from: u64, to: u64) -> f64 {
+pub(crate) fn directed_weight(snap: &PinnedSnapshot<'_>, from: u64, to: u64) -> f64 {
     let mut w = 0.0;
     for (msg, _) in snap.messages_of_iter(PersonId(from)) {
         let Some(meta) = snap.message_meta(MessageId(msg)) else { continue };
@@ -74,7 +74,11 @@ fn directed_weight(snap: &PinnedSnapshot<'_>, from: u64, to: u64) -> f64 {
 
 /// All shortest paths from X to Y as raw id vectors (deterministic order,
 /// capped at [`MAX_PATHS`]).
-fn shortest_paths(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q14Params) -> Vec<Vec<u64>> {
+pub(crate) fn shortest_paths(
+    snap: &PinnedSnapshot<'_>,
+    engine: Engine,
+    p: &Q14Params,
+) -> Vec<Vec<u64>> {
     if p.person_x == p.person_y {
         return vec![vec![p.person_x.raw()]];
     }

@@ -76,7 +76,7 @@ fn candidates(snap: &PinnedSnapshot<'_>, p: &Q3Params) -> Vec<u64> {
 /// Intended plan: traverse from the person; per candidate, a date-range
 /// scan of their message index, fetching the country only for in-window
 /// messages.
-fn intended(snap: &PinnedSnapshot<'_>, p: &Q3Params) -> HashMap<u64, (u32, u32)> {
+pub(crate) fn intended(snap: &PinnedSnapshot<'_>, p: &Q3Params) -> HashMap<u64, (u32, u32)> {
     let end = p.start.plus_days(p.duration_days);
     let mut counts = HashMap::new();
     for c in candidates(snap, p) {
@@ -102,7 +102,7 @@ fn intended(snap: &PinnedSnapshot<'_>, p: &Q3Params) -> HashMap<u64, (u32, u32)>
 }
 
 /// Naive plan: full message scan grouped by author, filtered afterwards.
-fn naive(snap: &PinnedSnapshot<'_>, p: &Q3Params) -> HashMap<u64, (u32, u32)> {
+pub(crate) fn naive(snap: &PinnedSnapshot<'_>, p: &Q3Params) -> HashMap<u64, (u32, u32)> {
     let end = p.start.plus_days(p.duration_days);
     let cands: std::collections::HashSet<u64> = candidates(snap, p).into_iter().collect();
     let mut counts: HashMap<u64, (u32, u32)> = HashMap::new();

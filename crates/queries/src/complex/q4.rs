@@ -46,7 +46,10 @@ pub fn run(snap: &PinnedSnapshot<'_>, engine: Engine, p: &Q4Params) -> Vec<Q4Row
 }
 
 /// Intended: walk friends, range-scan each friend's message index.
-fn intended(snap: &PinnedSnapshot<'_>, p: &Q4Params) -> (HashMap<u64, u32>, HashSet<u64>) {
+pub(crate) fn intended(
+    snap: &PinnedSnapshot<'_>,
+    p: &Q4Params,
+) -> (HashMap<u64, u32>, HashSet<u64>) {
     let end = p.start.plus_days(p.duration_days);
     let mut in_window: HashMap<u64, u32> = HashMap::new();
     let mut before: HashSet<u64> = HashSet::new();
@@ -76,7 +79,7 @@ fn intended(snap: &PinnedSnapshot<'_>, p: &Q4Params) -> (HashMap<u64, u32>, Hash
 }
 
 /// Naive: full message-table scan.
-fn naive(snap: &PinnedSnapshot<'_>, p: &Q4Params) -> (HashMap<u64, u32>, HashSet<u64>) {
+pub(crate) fn naive(snap: &PinnedSnapshot<'_>, p: &Q4Params) -> (HashMap<u64, u32>, HashSet<u64>) {
     let end = p.start.plus_days(p.duration_days);
     let mut in_window: HashMap<u64, u32> = HashMap::new();
     let mut before: HashSet<u64> = HashSet::new();

@@ -64,7 +64,7 @@ fn count_post(
 /// per-message row probe (one random access into the fat message table
 /// just to discard replies, formerly the dominant cost of this query) is
 /// gone entirely.
-fn intended(snap: &PinnedSnapshot<'_>, p: &Q6Params) -> HashMap<u64, u32> {
+pub(crate) fn intended(snap: &PinnedSnapshot<'_>, p: &Q6Params) -> HashMap<u64, u32> {
     let mut counts = HashMap::new();
     with_scratch(|sx| {
         load_two_hop(snap, sx, p.person);
@@ -78,7 +78,7 @@ fn intended(snap: &PinnedSnapshot<'_>, p: &Q6Params) -> HashMap<u64, u32> {
 }
 
 /// Naive: full message scan with a hash probe.
-fn naive(snap: &PinnedSnapshot<'_>, p: &Q6Params) -> HashMap<u64, u32> {
+pub(crate) fn naive(snap: &PinnedSnapshot<'_>, p: &Q6Params) -> HashMap<u64, u32> {
     let mut counts = HashMap::new();
     with_scratch(|sx| {
         load_two_hop(snap, sx, p.person);

@@ -13,6 +13,7 @@ pub mod engine;
 pub mod helpers;
 pub mod params;
 pub mod scratch;
+pub mod sharded;
 pub mod short;
 pub mod update;
 

@@ -1119,6 +1119,31 @@ impl Store {
         }
     }
 
+    /// Bulk-load only shard `shard` of `map`'s slice of `ds` (entities
+    /// dated at or before `cut`): persons and the friendship graph in
+    /// full — they are replicated on every shard — plus the forums whose
+    /// id range this shard owns together with their entire activity trees
+    /// (memberships, posts, comments, likes). Backs `snb serve
+    /// --shard i/N`; requires an empty store, and always takes the
+    /// parallel sorted path.
+    pub fn bulk_load_sharded(
+        &self,
+        ds: &snb_datagen::Dataset,
+        cut: SimTime,
+        threads: usize,
+        map: snb_core::shard::ShardMap,
+        shard: u32,
+    ) {
+        assert!(self.tables.is_empty(), "sharded bulk load requires an empty store");
+        crate::loader::build_into_sharded(
+            &self.tables,
+            ds,
+            cut,
+            threads.max(1),
+            Some(crate::loader::ShardSel::new(map, shard)),
+        );
+    }
+
     /// Execute one update operation as an ACID transaction: lock the
     /// touched stripes, validate, WAL-append, apply, publish — then,
     /// outside every lock, wait for the WAL's [`SyncPolicy`] to make the

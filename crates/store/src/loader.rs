@@ -31,9 +31,49 @@ use crate::graph::{
 };
 use crate::mvcc::BULK_TS;
 use snb_core::schema::{Forum, Person};
+use snb_core::shard::ShardMap;
 use snb_core::time::SimTime;
+use snb_core::{ForumId, MessageId};
 use snb_datagen::Dataset;
 use std::ops::Range;
+
+/// Ownership filter for a shard-local bulk load (`snb serve --shard i/N`).
+///
+/// Persons and the friendship graph always load — they are replicated on
+/// every shard so 2-hop traversals never cross a process boundary. Forums
+/// and their activity trees (memberships, posts, comments, likes) load
+/// only when the owning forum falls in this shard's id range. Likes name
+/// only a message, so their ownership resolves through the dataset's
+/// message → forum index — the same co-location [`snb_core::update::StreamKey`]
+/// relies on for causal ordering.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardSel {
+    map: ShardMap,
+    shard: u32,
+}
+
+impl ShardSel {
+    pub(crate) fn new(map: ShardMap, shard: u32) -> ShardSel {
+        ShardSel { map, shard }
+    }
+
+    fn forum(&self, f: ForumId) -> bool {
+        self.map.owns_forum(f, self.shard)
+    }
+
+    fn message(&self, ds: &Dataset, m: MessageId) -> bool {
+        self.forum(ds.forum_of_message(m))
+    }
+}
+
+/// `sel` keeps everything when absent; otherwise only this shard's slice.
+fn keep_forum(sel: Option<&ShardSel>, f: ForumId) -> bool {
+    sel.is_none_or(|s| s.forum(f))
+}
+
+fn keep_message(sel: Option<&ShardSel>, ds: &Dataset, m: MessageId) -> bool {
+    sel.is_none_or(|s| s.message(ds, m))
+}
 
 /// The sizing pre-pass result: exact final bound of every [`Tables`]
 /// table (replicating the serial loader's `ensure` calls so slot counts —
@@ -75,7 +115,7 @@ fn tick(v: &mut Vec<u32>, idx: usize) {
     v[idx] += 1;
 }
 
-fn plan(ds: &Dataset, cut: SimTime) -> Plan {
+fn plan(ds: &Dataset, cut: SimTime, sel: Option<&ShardSel>) -> Plan {
     let mut s = Plan::default();
     for p in ds.persons.iter().filter(|p| p.creation_date <= cut) {
         let i = p.id.index();
@@ -90,17 +130,17 @@ fn plan(ds: &Dataset, cut: SimTime) -> Plan {
         tick(&mut s.knows, k.a.index());
         tick(&mut s.knows, k.b.index());
     }
-    for f in ds.forums.iter().filter(|f| f.creation_date <= cut) {
+    for f in ds.forums.iter().filter(|f| f.creation_date <= cut && keep_forum(sel, f.id)) {
         let i = f.id.index();
         bump(&mut s.forums, i);
         ensure(&mut s.forum_posts, i);
         ensure(&mut s.forum_members, i);
     }
-    for m in ds.memberships.iter().filter(|m| m.join_date <= cut) {
+    for m in ds.memberships.iter().filter(|m| m.join_date <= cut && keep_forum(sel, m.forum)) {
         tick(&mut s.forum_members, m.forum.index());
         tick(&mut s.person_forums, m.person.index());
     }
-    for p in ds.posts.iter().filter(|p| p.creation_date <= cut) {
+    for p in ds.posts.iter().filter(|p| p.creation_date <= cut && keep_forum(sel, p.forum)) {
         tick(&mut s.forum_posts, p.forum.index());
         tick(&mut s.person_messages, p.author.index());
         tick(&mut s.person_posts, p.author.index());
@@ -109,7 +149,7 @@ fn plan(ds: &Dataset, cut: SimTime) -> Plan {
         ensure(&mut s.message_replies, i);
         ensure(&mut s.message_likes, i);
     }
-    for c in ds.comments.iter().filter(|c| c.creation_date <= cut) {
+    for c in ds.comments.iter().filter(|c| c.creation_date <= cut && keep_forum(sel, c.forum)) {
         tick(&mut s.message_replies, c.reply_to.index());
         tick(&mut s.person_messages, c.author.index());
         let i = c.id.index();
@@ -117,7 +157,8 @@ fn plan(ds: &Dataset, cut: SimTime) -> Plan {
         ensure(&mut s.message_replies, i);
         ensure(&mut s.message_likes, i);
     }
-    for l in ds.likes.iter().filter(|l| l.creation_date <= cut) {
+    for l in ds.likes.iter().filter(|l| l.creation_date <= cut && keep_message(sel, ds, l.message))
+    {
         tick(&mut s.message_likes, l.message.index());
         tick(&mut s.person_likes, l.person.index());
     }
@@ -158,7 +199,14 @@ fn with_caps(counts: &[u32]) -> Vec<Vec<Entry>> {
     counts.iter().map(|&c| Vec::with_capacity(c as usize)).collect()
 }
 
-fn build_shard(ds: &Dataset, cut: SimTime, s: &Plan, threads: usize, t: usize) -> Shard {
+fn build_shard(
+    ds: &Dataset,
+    cut: SimTime,
+    sel: Option<&ShardSel>,
+    s: &Plan,
+    threads: usize,
+    t: usize,
+) -> Shard {
     let persons_r = range_of(s.persons, threads, t);
     let knows_r = range_of(s.knows.len(), threads, t);
     let person_messages_r = range_of(s.person_messages.len(), threads, t);
@@ -202,13 +250,13 @@ fn build_shard(ds: &Dataset, cut: SimTime, s: &Plan, threads: usize, t: usize) -
             sh.knows[b - knows_r.start].push(entry(k.creation_date, k.a.raw()));
         }
     }
-    for f in ds.forums.iter().filter(|f| f.creation_date <= cut) {
+    for f in ds.forums.iter().filter(|f| f.creation_date <= cut && keep_forum(sel, f.id)) {
         let i = f.id.index();
         if forums_r.contains(&i) {
             sh.forums[i - forums_r.start] = Some(Versioned { commit: BULK_TS, row: f.clone() });
         }
     }
-    for m in ds.memberships.iter().filter(|m| m.join_date <= cut) {
+    for m in ds.memberships.iter().filter(|m| m.join_date <= cut && keep_forum(sel, m.forum)) {
         let (f, p) = (m.forum.index(), m.person.index());
         if forum_members_r.contains(&f) {
             sh.forum_members[f - forum_members_r.start].push(entry(m.join_date, m.person.raw()));
@@ -217,7 +265,7 @@ fn build_shard(ds: &Dataset, cut: SimTime, s: &Plan, threads: usize, t: usize) -
             sh.person_forums[p - person_forums_r.start].push(entry(m.join_date, m.forum.raw()));
         }
     }
-    for p in ds.posts.iter().filter(|p| p.creation_date <= cut) {
+    for p in ds.posts.iter().filter(|p| p.creation_date <= cut && keep_forum(sel, p.forum)) {
         let f = p.forum.index();
         if forum_posts_r.contains(&f) {
             sh.forum_posts[f - forum_posts_r.start].push(entry(p.creation_date, p.id.raw()));
@@ -236,7 +284,7 @@ fn build_shard(ds: &Dataset, cut: SimTime, s: &Plan, threads: usize, t: usize) -
                 Some(Versioned { commit: BULK_TS, row: post_row(p) });
         }
     }
-    for c in ds.comments.iter().filter(|c| c.creation_date <= cut) {
+    for c in ds.comments.iter().filter(|c| c.creation_date <= cut && keep_forum(sel, c.forum)) {
         let parent = c.reply_to.index();
         if message_replies_r.contains(&parent) {
             sh.message_replies[parent - message_replies_r.start]
@@ -253,7 +301,8 @@ fn build_shard(ds: &Dataset, cut: SimTime, s: &Plan, threads: usize, t: usize) -
                 Some(Versioned { commit: BULK_TS, row: comment_row(c) });
         }
     }
-    for l in ds.likes.iter().filter(|l| l.creation_date <= cut) {
+    for l in ds.likes.iter().filter(|l| l.creation_date <= cut && keep_message(sel, ds, l.message))
+    {
         let m = l.message.index();
         if message_likes_r.contains(&m) {
             sh.message_likes[m - message_likes_r.start]
@@ -361,14 +410,30 @@ fn install_shard(tables: &Tables, sh: Shard, s: &Plan, threads: usize, t: usize)
 /// carries `BULK_TS`, so each list's bulk-prefix fast lane covers it
 /// entirely.
 pub(crate) fn build_into(tables: &Tables, ds: &Dataset, cut: SimTime, threads: usize) {
+    build_into_sharded(tables, ds, cut, threads, None)
+}
+
+/// [`build_into`] restricted to one shard's slice when `sel` is set:
+/// persons and knows load fully (replicated), forum-rooted activity loads
+/// only when [`ShardSel`] owns its forum. The per-thread range split and
+/// sort order are unchanged, so a shard's tables are byte-identical to a
+/// full load with the foreign activity simply absent.
+pub(crate) fn build_into_sharded(
+    tables: &Tables,
+    ds: &Dataset,
+    cut: SimTime,
+    threads: usize,
+    sel: Option<ShardSel>,
+) {
     let threads = threads.max(1);
-    let s = plan(ds, cut);
+    let sel = sel.as_ref();
+    let s = plan(ds, cut, sel);
     std::thread::scope(|scope| {
         let s = &s;
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 scope.spawn(move || {
-                    let sh = build_shard(ds, cut, s, threads, t);
+                    let sh = build_shard(ds, cut, sel, s, threads, t);
                     install_shard(tables, sh, s, threads, t);
                 })
             })

@@ -6,10 +6,10 @@
 //! snb stats    --persons 5000                      # Table 3-style statistics
 //! snb run      --persons 2000 [--accel N] [--partitions N] [--naive] [--json]
 //!              [--wal PATH] [--sync never|commit|group|group:B:DELAY_US]
-//!              [--connect HOST:PORT] [--request-timeout SECS]
+//!              [--connect HOST:PORT[,HOST:PORT…]] [--request-timeout SECS]
 //!              [--trace PATH] [--trace-sample N]
 //!                                                  # full benchmark + disclosure
-//! snb serve    --persons 2000 [--addr HOST:PORT] [--naive]
+//! snb serve    --persons 2000 [--addr HOST:PORT] [--naive] [--shard I/N]
 //!              [--wal PATH] [--sync ...]           # networked SUT (see snb-net)
 //! ```
 //!
@@ -18,14 +18,20 @@
 //! the workload, and both must be given the same `--persons`/`--seed` so
 //! the generated dataset (and thus the update stream) matches.
 //!
+//! A *sharded* SUT runs N `serve --shard i/N` processes — each bulk-loads
+//! only its forum-partitioned slice plus the replicated person/knows graph
+//! — and one `run --connect addr0,addr1,…` driver, whose address order
+//! must match the shard order (verified over the GCT RPC at connect).
+//!
 //! Argument handling is deliberately dependency-free; every subcommand maps
 //! onto the public library API.
 
+use ldbc_snb::core::shard::ShardMap;
 use ldbc_snb::datagen::{generate, serializer, GeneratorConfig};
 use ldbc_snb::driver::{
     build_mix, full_disclosure, full_disclosure_json, run, Connector, DriverConfig, StoreConnector,
 };
-use ldbc_snb::net::{NetConfig, RemoteConnector, Server};
+use ldbc_snb::net::{NetConfig, RemoteConnector, Server, ServerConfig, ShardedConnector};
 use ldbc_snb::params::curated_bindings;
 use ldbc_snb::queries::Engine;
 use ldbc_snb::store::{Store, SyncPolicy};
@@ -47,6 +53,7 @@ struct Args {
     wal: Option<PathBuf>,
     sync: SyncPolicy,
     addr: String,
+    shard: Option<(u32, u32)>,
     connect: Option<String>,
     request_timeout: f64,
     trace: Option<PathBuf>,
@@ -58,8 +65,8 @@ fn usage() -> ExitCode {
         "usage: snb <generate|rdf|stats|run|serve> [--persons N] [--seed N] [--threads N]\n\
          \x20          [--out PATH] [--accel N] [--partitions N] [--naive] [--json]\n\
          \x20          [--wal PATH] [--sync never|commit|group|group:BATCH:DELAY_US]\n\
-         \x20          [--addr HOST:PORT] [--connect HOST:PORT] [--request-timeout SECS]\n\
-         \x20          [--trace PATH] [--trace-sample N]"
+         \x20          [--addr HOST:PORT] [--shard I/N] [--connect HOST:PORT[,HOST:PORT...]]\n\
+         \x20          [--request-timeout SECS] [--trace PATH] [--trace-sample N]"
     );
     ExitCode::from(2)
 }
@@ -80,6 +87,7 @@ fn parse() -> Result<Args, ExitCode> {
         wal: None,
         sync: SyncPolicy::default(),
         addr: "127.0.0.1:7455".to_string(),
+        shard: None,
         connect: None,
         request_timeout: 10.0,
         trace: None,
@@ -114,6 +122,18 @@ fn parse() -> Result<Args, ExitCode> {
                 })?;
             }
             "--addr" => args.addr = value(&rest, &mut i)?,
+            "--shard" => {
+                let spec = value(&rest, &mut i)?;
+                let parsed = spec.split_once('/').and_then(|(idx, n)| {
+                    let idx: u32 = idx.parse().ok()?;
+                    let n: u32 = n.parse().ok()?;
+                    (n >= 1 && idx < n).then_some((idx, n))
+                });
+                args.shard = Some(parsed.ok_or_else(|| {
+                    eprintln!("bad --shard spec: {spec} (want I/N with I < N)");
+                    usage()
+                })?);
+            }
             "--connect" => args.connect = Some(value(&rest, &mut i)?),
             "--request-timeout" => {
                 args.request_timeout = value(&rest, &mut i)?.parse().map_err(|_| usage())?
@@ -172,18 +192,31 @@ fn main() -> ExitCode {
             let ds = generate(config).expect("generation failed");
             let bindings = curated_bindings(&ds, 16);
             let items = build_mix(&ds, &bindings);
+            let net_config = NetConfig {
+                request_timeout: Duration::from_secs_f64(args.request_timeout),
+                ..NetConfig::default()
+            };
+            // Kept when driving a sharded SUT, for the post-run GCT
+            // dependency-visibility verification.
+            let mut sharded: Option<Arc<ShardedConnector>> = None;
             let conn: Box<dyn Connector> = match &args.connect {
+                // Sharded SUT: one address per `serve --shard i/N`
+                // process, in shard order.
+                Some(spec) if spec.contains(',') => {
+                    let addrs: Vec<&str> =
+                        spec.split(',').map(str::trim).filter(|a| !a.is_empty()).collect();
+                    let router = Arc::new(
+                        ShardedConnector::with_config(&addrs, net_config)
+                            .expect("sharded connect failed"),
+                    );
+                    router.seed_routes(ds.message_routes());
+                    sharded = Some(Arc::clone(&router));
+                    Box::new(router)
+                }
                 // Networked SUT: the workload crosses the wire; the server
                 // (started with the same --persons/--seed) owns the store.
                 Some(addr) => Box::new(
-                    RemoteConnector::with_config(
-                        addr.clone(),
-                        NetConfig {
-                            request_timeout: Duration::from_secs_f64(args.request_timeout),
-                            ..NetConfig::default()
-                        },
-                    )
-                    .expect("connect failed"),
+                    RemoteConnector::with_config(addr.clone(), net_config).expect("connect failed"),
                 ),
                 None => {
                     let store = match &args.wal {
@@ -206,6 +239,13 @@ fn main() -> ExitCode {
                 ldbc_snb::obs::trace::enable(args.trace_sample);
             }
             let report = run(&items, conn.as_ref(), &driver_config).expect("benchmark run failed");
+            if let Some(router) = &sharded {
+                router.gct_check().expect("GCT dependency-visibility check failed");
+                eprintln!(
+                    "GCT check passed: all {} shards reached the broadcast horizon",
+                    router.shard_count()
+                );
+            }
             if let Some(path) = &args.trace {
                 ldbc_snb::obs::trace::disable();
                 let spans = ldbc_snb::obs::trace::drain();
@@ -228,15 +268,40 @@ fn main() -> ExitCode {
                 }
                 None => Arc::new(Store::new()),
             };
-            store.bulk_load(&ds);
+            let server_config = match args.shard {
+                Some((shard, shards)) => {
+                    // Load only this shard's forum slice plus the
+                    // replicated person/knows graph.
+                    store.bulk_load_sharded(
+                        &ds,
+                        ds.config.update_split,
+                        args.threads,
+                        ShardMap::new(shards),
+                        shard,
+                    );
+                    ServerConfig { shard, shards, ..ServerConfig::default() }
+                }
+                None => {
+                    store.bulk_load(&ds);
+                    ServerConfig::default()
+                }
+            };
             let engine = if args.naive { Engine::Naive } else { Engine::Intended };
-            let server =
-                Server::bind(args.addr.as_str(), Arc::new(StoreConnector::new(store, engine)))
-                    .expect("bind failed");
+            let server = Server::bind_with_config(
+                args.addr.as_str(),
+                Arc::new(StoreConnector::new(store, engine)),
+                server_config,
+            )
+            .expect("bind failed");
+            let shard_note = match args.shard {
+                Some((i, n)) => format!(" shard {i}/{n}"),
+                None => String::new(),
+            };
             println!(
-                "serving {} persons (seed {}) on {} — drive with: snb run --persons {} --seed {} --connect {}",
+                "serving {} persons (seed {}){} on {} — drive with: snb run --persons {} --seed {} --connect {}",
                 args.persons,
                 args.seed,
+                shard_note,
                 server.local_addr(),
                 args.persons,
                 args.seed,
